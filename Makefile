@@ -1,0 +1,40 @@
+# goetsc — build / test / reproduce targets.
+
+GO ?= go
+
+.PHONY: all build vet test bench figures data tune clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# One benchmark per paper table/figure + per-algorithm and ablation benches.
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Scaled-down evaluation matrix with text figures, SVG files and the
+# qualitative-claims check.
+figures:
+	$(GO) run ./cmd/etsc-bench -scale 0.15 -folds 3 -budget 3m -claims -svg figures
+
+# Full-size paper-parameter run (hours of compute; EDSC times out on Wide
+# datasets, exactly as in the paper).
+figures-paper:
+	$(GO) run ./cmd/etsc-bench -preset paper -scale 1 -folds 5 -budget 48h -claims -svg figures
+
+# Write the twelve datasets to ./data in the framework's CSV layout.
+data:
+	$(GO) run ./cmd/etsc-data -out data
+
+tune:
+	$(GO) run ./cmd/etsc-tune -algorithm TEASER -dataset PowerCons
+
+clean:
+	rm -rf figures data test_output.txt bench_output.txt

@@ -1,0 +1,248 @@
+package goetsc
+
+// Ablation benchmarks for the design choices the paper discusses in
+// Section 6.2: TEASER's one-class SVM tier (credited for its edge over
+// plain S-WEASEL), ECEC's accuracy/earliness trade-off parameter α,
+// WEASEL's bigram features, STRUT's binary-search refinement, and the
+// plain vs weighted voting schemes (the latter is the paper's future-work
+// alternative). Each benchmark runs the paired configurations on the same
+// data and reports the headline metrics side by side.
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/goetsc/goetsc/internal/algos/ecec"
+	"github.com/goetsc/goetsc/internal/algos/ects"
+	"github.com/goetsc/goetsc/internal/algos/teaser"
+	"github.com/goetsc/goetsc/internal/bench"
+	"github.com/goetsc/goetsc/internal/core"
+	"github.com/goetsc/goetsc/internal/datasets"
+	"github.com/goetsc/goetsc/internal/metrics"
+	"github.com/goetsc/goetsc/internal/oversample"
+	"github.com/goetsc/goetsc/internal/strut"
+	ts "github.com/goetsc/goetsc/internal/timeseries"
+	"github.com/goetsc/goetsc/internal/weasel"
+)
+
+// ablationDataset: univariate series whose classes diverge a third of the
+// way in — enough shared prefix that premature commitment is punished.
+func ablationDataset(seed int64, n, length int) *ts.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := &ts.Dataset{Name: "ablation"}
+	divergeAt := length / 3
+	for i := 0; i < n; i++ {
+		c := i % 2
+		row := make([]float64, length)
+		for t := range row {
+			if t < divergeAt {
+				row[t] = rng.NormFloat64() * 0.4
+			} else {
+				row[t] = float64(c)*4 + rng.NormFloat64()*0.4
+			}
+		}
+		d.Instances = append(d.Instances, ts.Instance{Values: [][]float64{row}, Label: c})
+	}
+	return d
+}
+
+func evalOnce(b *testing.B, factory core.Factory, d *ts.Dataset) metrics.Result {
+	b.Helper()
+	avg, _, err := core.Evaluate(factory, d, core.EvalConfig{Folds: 2, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return avg
+}
+
+func BenchmarkAblationTEASERFilter(b *testing.B) {
+	d := ablationDataset(1, 60, 36)
+	var withHM, withoutHM float64
+	for i := 0; i < b.N; i++ {
+		with := evalOnce(b, func() core.EarlyClassifier {
+			return teaser.New(teaser.Config{S: 6, Weasel: weasel.Config{MaxWindows: 3}, Seed: 1})
+		}, d)
+		without := evalOnce(b, func() core.EarlyClassifier {
+			return teaser.New(teaser.Config{S: 6, DisableFilter: true, Weasel: weasel.Config{MaxWindows: 3}, Seed: 1})
+		}, d)
+		withHM, withoutHM = with.HarmonicMean, without.HarmonicMean
+	}
+	b.ReportMetric(withHM, "hm-with-ocsvm")
+	b.ReportMetric(withoutHM, "hm-without-ocsvm")
+}
+
+func BenchmarkAblationECECAlpha(b *testing.B) {
+	d := ablationDataset(2, 60, 36)
+	var earlAccurate, earlEager float64
+	for i := 0; i < b.N; i++ {
+		accurate := evalOnce(b, func() core.EarlyClassifier {
+			return ecec.New(ecec.Config{N: 6, Alpha: 0.95, CVFolds: 3, Weasel: weasel.Config{MaxWindows: 3}, Seed: 1})
+		}, d)
+		eager := evalOnce(b, func() core.EarlyClassifier {
+			return ecec.New(ecec.Config{N: 6, Alpha: 0.5, CVFolds: 3, Weasel: weasel.Config{MaxWindows: 3}, Seed: 1})
+		}, d)
+		earlAccurate, earlEager = accurate.Earliness, eager.Earliness
+	}
+	b.ReportMetric(earlAccurate, "earliness-alpha095")
+	b.ReportMetric(earlEager, "earliness-alpha050")
+}
+
+func BenchmarkAblationWEASELBigrams(b *testing.B) {
+	// Order-sensitive classes: same content, different arrangement.
+	rng := rand.New(rand.NewSource(3))
+	var series [][]float64
+	var labels []int
+	for i := 0; i < 50; i++ {
+		firstLow := i%2 == 0
+		s := make([]float64, 64)
+		for t := range s {
+			level := 0.0
+			if (t < 32) == firstLow {
+				level = 4
+			}
+			s[t] = level + rng.NormFloat64()*0.3
+		}
+		series = append(series, s)
+		labels = append(labels, i%2)
+	}
+	var withAcc, withoutAcc float64
+	for i := 0; i < b.N; i++ {
+		for _, noBigrams := range []bool{false, true} {
+			m := weasel.New(weasel.Config{MaxWindows: 3, NoBigrams: noBigrams})
+			if err := m.FitSeries(series[:40], labels[:40], 2); err != nil {
+				b.Fatal(err)
+			}
+			correct := 0
+			for j := 40; j < 50; j++ {
+				p := m.PredictProbaSeries(series[j])
+				pred := 0
+				if p[1] > p[0] {
+					pred = 1
+				}
+				if pred == labels[j] {
+					correct++
+				}
+			}
+			acc := float64(correct) / 10
+			if noBigrams {
+				withoutAcc = acc
+			} else {
+				withAcc = acc
+			}
+		}
+	}
+	b.ReportMetric(withAcc, "acc-with-bigrams")
+	b.ReportMetric(withoutAcc, "acc-without-bigrams")
+}
+
+func BenchmarkAblationSTRUTRefine(b *testing.B) {
+	d := ablationDataset(4, 80, 64)
+	var coarseT, fineT float64
+	for i := 0; i < b.N; i++ {
+		coarse := strut.NewSWeasel(weasel.Config{MaxWindows: 3}, strut.Options{Seed: 1})
+		if err := coarse.Fit(d); err != nil {
+			b.Fatal(err)
+		}
+		fine := strut.NewSWeasel(weasel.Config{MaxWindows: 3}, strut.Options{Seed: 1, Refine: true})
+		if err := fine.Fit(d); err != nil {
+			b.Fatal(err)
+		}
+		coarseT = float64(coarse.TruncationPoint())
+		fineT = float64(fine.TruncationPoint())
+	}
+	b.ReportMetric(coarseT, "truncation-coarse")
+	b.ReportMetric(fineT, "truncation-refined")
+}
+
+func BenchmarkAblationVotingSchemes(b *testing.B) {
+	// Multivariate data where only one of five variables is informative:
+	// the regime where weighted voting should beat plain majority voting.
+	rng := rand.New(rand.NewSource(5))
+	d := &ts.Dataset{Name: "voting"}
+	for i := 0; i < 60; i++ {
+		c := i % 2
+		values := make([][]float64, 5)
+		for v := range values {
+			row := make([]float64, 16)
+			for t := range row {
+				if v == 0 {
+					row[t] = float64(c)*4 + rng.NormFloat64()*0.4
+				} else {
+					row[t] = rng.NormFloat64() * 2
+				}
+			}
+			values[v] = row
+		}
+		d.Instances = append(d.Instances, ts.Instance{Values: values, Label: c})
+	}
+	newECTS := func() core.EarlyClassifier { return ects.New(ects.Config{Seed: 1}) }
+	var plainAcc, weightedAcc float64
+	for i := 0; i < b.N; i++ {
+		plain := evalOnce(b, func() core.EarlyClassifier { return core.NewVoting(newECTS) }, d)
+		weighted := evalOnce(b, func() core.EarlyClassifier { return core.NewWeightedVoting(newECTS) }, d)
+		plainAcc, weightedAcc = plain.Accuracy, weighted.Accuracy
+	}
+	b.ReportMetric(plainAcc, "acc-plain-voting")
+	b.ReportMetric(weightedAcc, "acc-weighted-voting")
+}
+
+func BenchmarkExtensionSR(b *testing.B) {
+	// The stopping-rule extension evaluated end-to-end, like the core
+	// eight in their per-algorithm benchmarks.
+	spec, err := datasets.ByName("PowerCons")
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := spec.Generate(0.15, 2)
+	fs := bench.AlgorithmsByName(spec.Name, bench.Fast, 2, []string{"SR"})
+	if len(fs) != 1 {
+		b.Fatalf("missing factory for SR")
+	}
+	var hm float64
+	for i := 0; i < b.N; i++ {
+		res := evalOnce(b, fs[0].New, d)
+		hm = res.HarmonicMean
+	}
+	b.ReportMetric(hm, "sr-hm")
+}
+
+func BenchmarkAblationTSMOTEOversampling(b *testing.B) {
+	// The T-SMOTE-style extension on the imbalanced Biological data:
+	// balance the training split, fit ECTS, compare macro-F1 against the
+	// unbalanced baseline.
+	spec, err := datasets.ByName("Biological")
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := spec.Generate(0.2, 3)
+	var plainF1, balancedF1 float64
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(3))
+		trainIdx, testIdx, err := ts.StratifiedSplit(d, 0.75, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		train := d.Subset(trainIdx)
+		test := d.Subset(testIdx)
+		balanced, err := oversample.Balance(train, oversample.Config{Seed: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		f1 := func(fit *ts.Dataset) float64 {
+			algo := core.NewVoting(func() core.EarlyClassifier { return ects.New(ects.Config{Seed: 1}) })
+			if err := algo.Fit(fit); err != nil {
+				b.Fatal(err)
+			}
+			cm := metrics.NewConfusionMatrix(d.NumClasses())
+			for _, in := range test.Instances {
+				label, _ := algo.Classify(in)
+				cm.Add(in.Label, label)
+			}
+			return cm.MacroF1()
+		}
+		plainF1 = f1(train)
+		balancedF1 = f1(balanced)
+	}
+	b.ReportMetric(plainF1, "f1-unbalanced")
+	b.ReportMetric(balancedF1, "f1-tsmote")
+}

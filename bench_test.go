@@ -1,0 +1,247 @@
+package goetsc
+
+// One benchmark per table and figure of the paper's evaluation (Section 6),
+// regenerating each artifact on scaled-down data so the whole suite runs on
+// a laptop. `go run ./cmd/etsc-bench -preset paper -scale 1` produces the
+// full-size versions. Additional benchmarks cover the training and
+// classification cost of every algorithm and the hot substrates.
+
+import (
+	"io"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/goetsc/goetsc/internal/bench"
+	"github.com/goetsc/goetsc/internal/core"
+	"github.com/goetsc/goetsc/internal/datasets"
+	"github.com/goetsc/goetsc/internal/fft"
+	"github.com/goetsc/goetsc/internal/metrics"
+	"github.com/goetsc/goetsc/internal/minirocket"
+	ts "github.com/goetsc/goetsc/internal/timeseries"
+	"github.com/goetsc/goetsc/internal/weasel"
+)
+
+// benchMatrix is the shared scaled-down evaluation matrix behind the
+// figure benchmarks: all eight algorithms on three datasets covering the
+// Common, Imbalanced/Multivariate and Large/Unstable categories.
+var (
+	matrixOnce sync.Once
+	matrix     *bench.Results
+	matrixErr  error
+)
+
+func sharedMatrix(b *testing.B) *bench.Results {
+	b.Helper()
+	matrixOnce.Do(func() {
+		matrix, matrixErr = bench.Run(bench.RunConfig{
+			Datasets: []string{"PowerCons", "Biological", "SharePriceIncrease"},
+			Scale:    0.1,
+			Folds:    2,
+			Seed:     1,
+			Preset:   bench.Fast,
+		})
+	})
+	if matrixErr != nil {
+		b.Fatal(matrixErr)
+	}
+	return matrix
+}
+
+func BenchmarkTable2AlgorithmGrid(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.Table2().WriteText(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3DatasetCharacteristics(b *testing.B) {
+	// Generates every dataset (scaled) and recomputes the category flags.
+	for i := 0; i < b.N; i++ {
+		for _, spec := range datasets.All() {
+			d := spec.Generate(0.05, 3)
+			p := core.Categorize(d)
+			if len(p.Categories) == 0 {
+				b.Fatal("no categories")
+			}
+		}
+	}
+}
+
+func BenchmarkTable4Parameters(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.Table4(bench.Paper).WriteText(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable5Complexities(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.Table5().WriteText(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure09AccuracyAndF1(b *testing.B) {
+	res := sharedMatrix(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc, f1 := res.Figure9()
+		if err := acc.WriteText(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+		if err := f1.WriteText(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.CategoryAverage(core.Common, "ECEC",
+		func(m metrics.Result) float64 { return m.Accuracy }), "ECEC-common-acc")
+}
+
+func BenchmarkFigure10Earliness(b *testing.B) {
+	res := sharedMatrix(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := res.Figure10().WriteText(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.CategoryAverage(core.Common, "S-MLSTM",
+		func(m metrics.Result) float64 { return m.Earliness }), "SMLSTM-common-earliness")
+}
+
+func BenchmarkFigure11HarmonicMean(b *testing.B) {
+	res := sharedMatrix(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := res.Figure11().WriteText(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.CategoryAverage(core.Common, "S-MINI",
+		func(m metrics.Result) float64 { return m.HarmonicMean }), "SMINI-common-hm")
+}
+
+func BenchmarkFigure12TrainingTimes(b *testing.B) {
+	res := sharedMatrix(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := res.Figure12().WriteText(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.CategoryAverage(core.Common, "S-WEASEL",
+		func(m metrics.Result) float64 { return m.TrainTime.Minutes() }), "SWEASEL-common-train-min")
+}
+
+func BenchmarkFigure13OnlineFeasibility(b *testing.B) {
+	res := sharedMatrix(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := res.Figure13().WriteText(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Per-algorithm end-to-end benchmarks: one 2-fold evaluation on a small
+// PowerCons-like dataset per iteration.
+
+func benchmarkAlgorithm(b *testing.B, name string) {
+	b.Helper()
+	spec, err := datasets.ByName("PowerCons")
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := spec.Generate(0.15, 2)
+	factory := bench.AlgorithmsByName(spec.Name, bench.Fast, 2, []string{name})
+	if len(factory) != 1 {
+		b.Fatalf("missing factory for %s", name)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		avg, _, err := core.Evaluate(factory[0].New, d, core.EvalConfig{Folds: 2, Seed: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if avg.NumTest == 0 {
+			b.Fatal("no predictions")
+		}
+	}
+}
+
+func BenchmarkECEC(b *testing.B)    { benchmarkAlgorithm(b, "ECEC") }
+func BenchmarkECOK(b *testing.B)    { benchmarkAlgorithm(b, "ECO-K") }
+func BenchmarkECTS(b *testing.B)    { benchmarkAlgorithm(b, "ECTS") }
+func BenchmarkEDSC(b *testing.B)    { benchmarkAlgorithm(b, "EDSC") }
+func BenchmarkSMINI(b *testing.B)   { benchmarkAlgorithm(b, "S-MINI") }
+func BenchmarkSMLSTM(b *testing.B)  { benchmarkAlgorithm(b, "S-MLSTM") }
+func BenchmarkSWEASEL(b *testing.B) { benchmarkAlgorithm(b, "S-WEASEL") }
+func BenchmarkTEASER(b *testing.B)  { benchmarkAlgorithm(b, "TEASER") }
+
+// Substrate micro-benchmarks.
+
+func BenchmarkFFT256(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, 256)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := fft.Transform(x); len(out) == 0 {
+			b.Fatal("empty transform")
+		}
+	}
+}
+
+func BenchmarkWEASELFit(b *testing.B) {
+	d := datasets.PowerCons(0.15, 3)
+	series := make([][]float64, d.Len())
+	labels := make([]int, d.Len())
+	for i, in := range d.Instances {
+		series[i] = in.Values[0]
+		labels[i] = in.Label
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := weasel.New(weasel.Config{MaxWindows: 4})
+		if err := m.FitSeries(series, labels, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMiniROCKETTransform(b *testing.B) {
+	d := datasets.PowerCons(0.15, 4)
+	instances := make([][][]float64, d.Len())
+	labels := make([]int, d.Len())
+	for i, in := range d.Instances {
+		instances[i] = in.Values
+		labels[i] = in.Label
+	}
+	m := minirocket.New(minirocket.Config{NumFeatures: 840, Seed: 1})
+	if err := m.Fit(instances, labels, 2); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if f := m.Transform(instances[i%len(instances)]); len(f) == 0 {
+			b.Fatal("empty features")
+		}
+	}
+}
+
+func BenchmarkStratifiedKFold(b *testing.B) {
+	d := datasets.SharePriceIncrease(0.5, 5)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ts.StratifiedKFold(d, 5, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+// Command etsc-bench runs the paper's evaluation matrix (Section 6) and
+// renders the requested tables and figures.
+//
+// Usage examples:
+//
+//	etsc-bench                             # everything, fast preset, scaled data
+//	etsc-bench -preset paper -scale 1      # Table 4 parameters on full-size data
+//	etsc-bench -fig 11,13 -datasets PowerCons,Biological -algorithms ECEC,TEASER
+//	etsc-bench -per-dataset                # supplementary per-dataset tables
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/goetsc/goetsc/internal/bench"
+	"github.com/goetsc/goetsc/internal/metrics"
+	"github.com/goetsc/goetsc/internal/report"
+)
+
+func main() {
+	var (
+		datasetsFlag = flag.String("datasets", "", "comma-separated dataset names (default: all twelve)")
+		algosFlag    = flag.String("algorithms", "", "comma-separated algorithm names (default: all eight)")
+		scale        = flag.Float64("scale", 0.25, "dataset height scale in (0,1]; 1 = paper size")
+		folds        = flag.Int("folds", 5, "stratified cross-validation folds")
+		seed         = flag.Int64("seed", 42, "random seed for data and folds")
+		budget       = flag.Duration("budget", bench.DefaultTrainBudget, "per-fold training budget (0 = unlimited); reproduces the paper's 48h cutoff")
+		presetFlag   = flag.String("preset", "fast", "parameter preset: paper (Table 4) or fast")
+		figs         = flag.String("fig", "all", "figures/tables to render: comma list of 2,3,4,5,9,10,11,12,13 or all")
+		perDataset   = flag.Bool("per-dataset", false, "also render per-dataset supplementary tables")
+		quiet        = flag.Bool("quiet", false, "suppress per-cell progress lines")
+		svgDir       = flag.String("svg", "", "when set, also write figure9a..figure13 as SVG files into this directory")
+		claims       = flag.Bool("claims", false, "check the paper's qualitative findings against this run")
+	)
+	flag.Parse()
+
+	preset := bench.Fast
+	switch strings.ToLower(*presetFlag) {
+	case "paper":
+		preset = bench.Paper
+	case "fast":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown preset %q (want paper or fast)\n", *presetFlag)
+		os.Exit(2)
+	}
+
+	cfg := bench.RunConfig{
+		Datasets:    splitList(*datasetsFlag),
+		Algorithms:  splitList(*algosFlag),
+		Scale:       *scale,
+		Folds:       *folds,
+		Seed:        *seed,
+		TrainBudget: *budget,
+		Preset:      preset,
+	}
+	if !*quiet {
+		cfg.Progress = os.Stderr
+	}
+
+	want := map[string]bool{}
+	for _, f := range splitList(*figs) {
+		want[f] = true
+	}
+	all := *figs == "all" || *figs == ""
+
+	out := os.Stdout
+	check := func(err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "etsc-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if all || want["2"] {
+		check(bench.Table2().WriteText(out))
+	}
+	if all || want["4"] {
+		check(bench.Table4(preset).WriteText(out))
+	}
+	if all || want["5"] {
+		check(bench.Table5().WriteText(out))
+	}
+
+	needRun := all || want["3"] || want["9"] || want["10"] || want["11"] || want["12"] || want["13"]
+	if !needRun && !*perDataset {
+		return
+	}
+	start := time.Now()
+	res, err := bench.Run(cfg)
+	check(err)
+	fmt.Fprintf(os.Stderr, "matrix completed in %s\n", time.Since(start).Round(time.Second))
+
+	if all || want["3"] {
+		check(res.Table3().WriteText(out))
+	}
+	if all || want["9"] {
+		acc, f1 := res.Figure9()
+		check(acc.WriteText(out))
+		check(f1.WriteText(out))
+	}
+	if all || want["10"] {
+		check(res.Figure10().WriteText(out))
+	}
+	if all || want["11"] {
+		check(res.Figure11().WriteText(out))
+	}
+	if all || want["12"] {
+		check(res.Figure12().WriteText(out))
+	}
+	if all || want["13"] {
+		check(res.Figure13().WriteText(out))
+	}
+	if *svgDir != "" {
+		check(os.MkdirAll(*svgDir, 0o755))
+		acc, f1 := res.Figure9()
+		figures := map[string]*report.Table{
+			"figure9a_accuracy.svg":     acc,
+			"figure9b_f1.svg":           f1,
+			"figure10_earliness.svg":    res.Figure10(),
+			"figure11_harmonicmean.svg": res.Figure11(),
+			"figure12_traintime.svg":    res.Figure12(),
+		}
+		for name, table := range figures {
+			check(writeSVGFile(filepath.Join(*svgDir, name), func(f *os.File) error {
+				return report.TableToBarChart(table).WriteSVG(f)
+			}))
+		}
+		check(writeSVGFile(filepath.Join(*svgDir, "figure13_feasibility.svg"), func(f *os.File) error {
+			return res.Figure13().WriteSVG(f)
+		}))
+		fmt.Fprintf(os.Stderr, "SVG figures written to %s\n", *svgDir)
+	}
+	if *claims {
+		fmt.Fprintln(out, bench.ClaimsReport(res.ShapeClaims()))
+	}
+	if *perDataset {
+		check(res.PerDatasetTable("Supplementary: accuracy per dataset",
+			func(m metrics.Result) float64 { return m.Accuracy }).WriteText(out))
+		check(res.PerDatasetTable("Supplementary: macro F1 per dataset",
+			func(m metrics.Result) float64 { return m.MacroF1 }).WriteText(out))
+		check(res.PerDatasetTable("Supplementary: earliness per dataset",
+			func(m metrics.Result) float64 { return m.Earliness }).WriteText(out))
+		check(res.PerDatasetTable("Supplementary: harmonic mean per dataset",
+			func(m metrics.Result) float64 { return m.HarmonicMean }).WriteText(out))
+		check(res.PerDatasetTable("Supplementary: training minutes per dataset",
+			func(m metrics.Result) float64 { return m.TrainTime.Minutes() }).WriteText(out))
+	}
+}
+
+func writeSVGFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func splitList(s string) []string {
+	if s == "" || s == "all" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

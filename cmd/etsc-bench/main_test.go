@@ -1,0 +1,26 @@
+package main
+
+import "testing"
+
+func TestSplitList(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{"all", nil},
+		{"a,b", []string{"a", "b"}},
+		{" a , b ,", []string{"a", "b"}},
+	}
+	for _, tc := range cases {
+		got := splitList(tc.in)
+		if len(got) != len(tc.want) {
+			t.Fatalf("splitList(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("splitList(%q) = %v, want %v", tc.in, got, tc.want)
+			}
+		}
+	}
+}

@@ -1,0 +1,85 @@
+// Command etsc-data generates the benchmark datasets to disk in the
+// framework's CSV layout (Section 5.5: one variable per row, label first)
+// or as ARFF for univariate data.
+//
+// Usage examples:
+//
+//	etsc-data -out ./data                      # all twelve datasets as CSV
+//	etsc-data -dataset Maritime -scale 0.1     # one scaled dataset
+//	etsc-data -dataset PowerCons -format arff
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/goetsc/goetsc/internal/datasets"
+	ts "github.com/goetsc/goetsc/internal/timeseries"
+)
+
+func main() {
+	var (
+		datasetFlag = flag.String("dataset", "", "dataset name (default: all twelve)")
+		scale       = flag.Float64("scale", 1, "dataset height scale in (0,1]")
+		seed        = flag.Int64("seed", 42, "random seed")
+		outDir      = flag.String("out", "data", "output directory")
+		format      = flag.String("format", "csv", "output format: csv or arff (arff: univariate only)")
+	)
+	flag.Parse()
+
+	specs := datasets.All()
+	if *datasetFlag != "" {
+		spec, err := datasets.ByName(*datasetFlag)
+		if err != nil {
+			fail(err)
+		}
+		specs = []datasets.Spec{spec}
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fail(err)
+	}
+	for _, spec := range specs {
+		d := spec.Generate(*scale, *seed)
+		var path string
+		switch strings.ToLower(*format) {
+		case "csv":
+			path = filepath.Join(*outDir, spec.Name+".csv")
+			if err := writeFile(path, func(f *os.File) error { return ts.WriteCSV(f, d) }); err != nil {
+				fail(err)
+			}
+		case "arff":
+			if d.NumVars() != 1 {
+				fmt.Fprintf(os.Stderr, "etsc-data: skipping %s: ARFF supports univariate data only\n", spec.Name)
+				continue
+			}
+			path = filepath.Join(*outDir, spec.Name+".arff")
+			if err := writeFile(path, func(f *os.File) error { return ts.WriteARFF(f, d) }); err != nil {
+				fail(err)
+			}
+		default:
+			fail(fmt.Errorf("unknown format %q", *format))
+		}
+		fmt.Printf("%s: %d instances, %d vars, length %d -> %s\n",
+			spec.Name, d.Len(), d.NumVars(), d.MaxLength(), path)
+	}
+}
+
+func writeFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "etsc-data: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,91 @@
+// Command etsc-info prints the paper's descriptive tables: the algorithm
+// characteristics (Table 2), the dataset characteristics computed from the
+// generated data (Table 3), the parameter values (Table 4) and the
+// worst-case complexities (Table 5).
+//
+// Usage examples:
+//
+//	etsc-info                  # all four tables
+//	etsc-info -table 3 -scale 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/goetsc/goetsc/internal/bench"
+	"github.com/goetsc/goetsc/internal/core"
+	"github.com/goetsc/goetsc/internal/datasets"
+	"github.com/goetsc/goetsc/internal/report"
+)
+
+func main() {
+	var (
+		table      = flag.String("table", "all", "which table to print: 2, 3, 4, 5 or all")
+		scale      = flag.Float64("scale", 1, "dataset scale used when computing Table 3")
+		seed       = flag.Int64("seed", 42, "random seed for Table 3 data")
+		presetFlag = flag.String("preset", "paper", "preset shown in Table 4: paper or fast")
+	)
+	flag.Parse()
+
+	preset := bench.Paper
+	if strings.EqualFold(*presetFlag, "fast") {
+		preset = bench.Fast
+	}
+	out := os.Stdout
+	check := func(err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "etsc-info: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	want := func(t string) bool { return *table == "all" || *table == t }
+
+	if want("2") {
+		check(bench.Table2().WriteText(out))
+	}
+	if want("3") {
+		check(table3(*scale, *seed).WriteText(out))
+	}
+	if want("4") {
+		check(bench.Table4(preset).WriteText(out))
+	}
+	if want("5") {
+		check(bench.Table5().WriteText(out))
+	}
+}
+
+// table3 computes dataset characteristics directly from the generators,
+// also showing the paper's published flags for comparison.
+func table3(scale float64, seed int64) *report.Table {
+	t := &report.Table{
+		Title:   "Table 3: dataset characteristics (computed vs paper)",
+		Headers: []string{"dataset", "L", "N", "vars", "classes", "CoV", "CIR", "computed categories", "paper categories"},
+	}
+	for _, spec := range datasets.All() {
+		d := spec.Generate(scale, seed)
+		p := core.Categorize(d)
+		t.Rows = append(t.Rows, []string{
+			spec.Name,
+			fmt.Sprintf("%d", p.Length),
+			fmt.Sprintf("%d", p.Height),
+			fmt.Sprintf("%d", p.NumVars),
+			fmt.Sprintf("%d", p.NumClasses),
+			fmt.Sprintf("%.3f", p.CoV),
+			fmt.Sprintf("%.2f", p.CIR),
+			joinCategories(p.Categories),
+			joinCategories(spec.PaperCategories),
+		})
+	}
+	return t
+}
+
+func joinCategories(cs []core.Category) string {
+	parts := make([]string, len(cs))
+	for i, c := range cs {
+		parts[i] = string(c)
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,71 @@
+// Command etsc-run evaluates one ETSC algorithm on one dataset and prints
+// a detailed per-fold report — the fine-grained companion to etsc-bench.
+//
+// Usage example:
+//
+//	etsc-run -algorithm TEASER -dataset PowerCons -scale 0.5 -preset paper
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/goetsc/goetsc/internal/bench"
+	"github.com/goetsc/goetsc/internal/core"
+	"github.com/goetsc/goetsc/internal/datasets"
+)
+
+func main() {
+	var (
+		algoName    = flag.String("algorithm", "TEASER", "algorithm name (one of "+strings.Join(bench.AlgorithmNames(), ", ")+")")
+		datasetName = flag.String("dataset", "PowerCons", "dataset name (one of "+strings.Join(datasets.Names(), ", ")+")")
+		scale       = flag.Float64("scale", 0.25, "dataset height scale in (0,1]")
+		folds       = flag.Int("folds", 5, "cross-validation folds")
+		seed        = flag.Int64("seed", 42, "random seed")
+		presetFlag  = flag.String("preset", "fast", "parameter preset: paper or fast")
+		budget      = flag.Duration("budget", 0, "per-fold training budget (0 = unlimited)")
+	)
+	flag.Parse()
+
+	preset := bench.Fast
+	if strings.EqualFold(*presetFlag, "paper") {
+		preset = bench.Paper
+	}
+
+	spec, err := datasets.ByName(*datasetName)
+	if err != nil {
+		fail(err)
+	}
+	d := spec.Generate(*scale, *seed)
+	d.Interpolate()
+	profile := core.Categorize(d)
+	fmt.Printf("dataset %s: N=%d L=%d vars=%d classes=%d CoV=%.3f CIR=%.2f categories=%v\n",
+		d.Name, profile.Height, profile.Length, profile.NumVars, profile.NumClasses,
+		profile.CoV, profile.CIR, profile.Categories)
+
+	factories := bench.AlgorithmsByName(spec.Name, preset, *seed, []string{*algoName})
+	if len(factories) == 0 {
+		fail(fmt.Errorf("unknown algorithm %q (want one of %v)", *algoName, bench.AlgorithmNames()))
+	}
+	factory := factories[0]
+
+	avg, foldResults, err := core.Evaluate(factory.New, d, core.EvalConfig{
+		Folds:       *folds,
+		Seed:        *seed,
+		TrainBudget: *budget,
+	})
+	if err != nil {
+		fail(err)
+	}
+	for i, r := range foldResults {
+		fmt.Printf("fold %d: %s\n", i+1, r)
+	}
+	fmt.Printf("average: %s\n", avg)
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "etsc-run: %v\n", err)
+	os.Exit(1)
+}

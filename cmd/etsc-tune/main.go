@@ -1,0 +1,159 @@
+// Command etsc-tune performs MultiETSC-style hyper-parameter selection
+// (the paper's future-work item) for one algorithm on one dataset: a
+// candidate grid is cross-validated on the training data, all scores are
+// reported, and the winner is evaluated on a held-out split.
+//
+// Usage examples:
+//
+//	etsc-tune -algorithm TEASER -dataset PowerCons
+//	etsc-tune -algorithm ECEC -dataset Biological -metric accuracy
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"github.com/goetsc/goetsc/internal/algos/ecec"
+	"github.com/goetsc/goetsc/internal/algos/srule"
+	"github.com/goetsc/goetsc/internal/algos/teaser"
+	"github.com/goetsc/goetsc/internal/core"
+	"github.com/goetsc/goetsc/internal/datasets"
+	"github.com/goetsc/goetsc/internal/metrics"
+	ts "github.com/goetsc/goetsc/internal/timeseries"
+	"github.com/goetsc/goetsc/internal/tune"
+	"github.com/goetsc/goetsc/internal/weasel"
+)
+
+func main() {
+	var (
+		algoName    = flag.String("algorithm", "TEASER", "algorithm to tune: TEASER, ECEC or SR")
+		datasetName = flag.String("dataset", "PowerCons", "dataset name")
+		scale       = flag.Float64("scale", 0.25, "dataset height scale in (0,1]")
+		seed        = flag.Int64("seed", 42, "random seed")
+		metricName  = flag.String("metric", "hm", "selection metric: hm, accuracy or f1")
+	)
+	flag.Parse()
+
+	spec, err := datasets.ByName(*datasetName)
+	if err != nil {
+		fail(err)
+	}
+	d := spec.Generate(*scale, *seed)
+	d.Interpolate()
+
+	rng := rand.New(rand.NewSource(*seed))
+	trainIdx, testIdx, err := ts.StratifiedSplit(d, 0.75, rng)
+	if err != nil {
+		fail(err)
+	}
+	train := d.Subset(trainIdx)
+	test := d.Subset(testIdx)
+
+	candidates, err := grid(*algoName, *seed)
+	if err != nil {
+		fail(err)
+	}
+	// Univariate algorithms need the voting wrapper on multivariate data.
+	if d.NumVars() > 1 {
+		for i := range candidates {
+			base := candidates[i].New
+			candidates[i].New = func() core.EarlyClassifier { return core.NewVoting(base) }
+		}
+	}
+
+	cfg := tune.Config{Seed: *seed, Metric: metric(*metricName)}
+	best, scores, err := tune.Select(candidates, train, cfg)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("tuning %s on %s (%d candidates, metric %s):\n\n", *algoName, d.Name, len(candidates), *metricName)
+	for _, s := range scores {
+		marker := " "
+		if s.Label == best.Label {
+			marker = "*"
+		}
+		fmt.Printf(" %s %-22s score=%.3f  %s\n", marker, s.Label, s.Value, s.Result)
+	}
+
+	// Refit the winner on the full training part and score held-out data.
+	winner := best.New()
+	if err := winner.Fit(train); err != nil {
+		fail(err)
+	}
+	cm := metrics.NewConfusionMatrix(d.NumClasses())
+	var consumed, lengths []int
+	for _, in := range test.Instances {
+		label, used := winner.Classify(in)
+		cm.Add(in.Label, label)
+		consumed = append(consumed, used)
+		lengths = append(lengths, in.Length())
+	}
+	earl := metrics.Earliness(consumed, lengths)
+	fmt.Printf("\nheld-out: acc=%.3f f1=%.3f earl=%.3f hm=%.3f\n",
+		cm.Accuracy(), cm.MacroF1(), earl, metrics.HarmonicMean(cm.Accuracy(), earl))
+}
+
+// grid builds the candidate set for one tunable algorithm.
+func grid(name string, seed int64) ([]tune.Candidate, error) {
+	w := weasel.Config{MaxWindows: 4}
+	switch strings.ToUpper(name) {
+	case "TEASER":
+		var out []tune.Candidate
+		for _, s := range []int{5, 10, 20} {
+			s := s
+			out = append(out, tune.Candidate{
+				Label: fmt.Sprintf("TEASER S=%d", s),
+				New: func() core.EarlyClassifier {
+					return teaser.New(teaser.Config{S: s, Weasel: w, Seed: seed})
+				},
+			})
+		}
+		return out, nil
+	case "ECEC":
+		var out []tune.Candidate
+		for _, n := range []int{10, 20} {
+			for _, alpha := range []float64{0.6, 0.8, 0.95} {
+				n, alpha := n, alpha
+				out = append(out, tune.Candidate{
+					Label: fmt.Sprintf("ECEC N=%d a=%.2f", n, alpha),
+					New: func() core.EarlyClassifier {
+						return ecec.New(ecec.Config{N: n, Alpha: alpha, CVFolds: 3, Weasel: w, Seed: seed})
+					},
+				})
+			}
+		}
+		return out, nil
+	case "SR":
+		var out []tune.Candidate
+		for _, n := range []int{10, 20} {
+			n := n
+			out = append(out, tune.Candidate{
+				Label: fmt.Sprintf("SR N=%d", n),
+				New: func() core.EarlyClassifier {
+					return srule.New(srule.Config{Checkpoints: n, CVFolds: 3, Weasel: w, Seed: seed})
+				},
+			})
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("no tuning grid for %q (have TEASER, ECEC, SR)", name)
+}
+
+func metric(name string) func(metrics.Result) float64 {
+	switch strings.ToLower(name) {
+	case "accuracy":
+		return func(m metrics.Result) float64 { return m.Accuracy }
+	case "f1":
+		return func(m metrics.Result) float64 { return m.MacroF1 }
+	default:
+		return func(m metrics.Result) float64 { return m.HarmonicMean }
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "etsc-tune: %v\n", err)
+	os.Exit(1)
+}

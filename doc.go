@@ -1,0 +1,23 @@
+// Package goetsc is a pure-Go reproduction of "A Framework to Evaluate
+// Early Time-Series Classification Algorithms" (Akasiadis et al., EDBT
+// 2024).
+//
+// The framework lives under internal/ and is driven by the binaries in
+// cmd/ and the runnable examples in examples/:
+//
+//   - internal/core        — the evaluation framework (EarlyClassifier
+//     contract, voting wrapper, dataset categorizer, registry, CV runner)
+//   - internal/algos/...   — ECEC, ECONOMY-K, ECTS, EDSC and TEASER
+//   - internal/strut       — the paper's proposed STRUT baseline
+//     (S-MINI, S-WEASEL, S-MLSTM variants)
+//   - internal/weasel, internal/minirocket, internal/mlstm — the full
+//     time-series classifiers STRUT wraps, built from scratch
+//   - internal/datasets    — the twelve benchmark datasets (two domain
+//     simulators + ten UCR-shaped synthetics)
+//   - internal/bench       — the experiment driver regenerating the
+//     paper's Tables 2-5 and Figures 9-13
+//
+// The root-level benchmarks in bench_test.go regenerate each table and
+// figure on scaled data; `go run ./cmd/etsc-bench` produces the full-size
+// versions. See README.md, DESIGN.md and EXPERIMENTS.md.
+package goetsc

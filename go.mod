@@ -1,0 +1,3 @@
+module github.com/goetsc/goetsc
+
+go 1.22

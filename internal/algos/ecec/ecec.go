@@ -1,0 +1,349 @@
+// Package ecec implements the Effective Confidence-based Early
+// Classification algorithm of Lv, Hu, Li & Li (IEEE Access 2019): N WEASEL
+// classifiers are trained on overlapping prefixes; internal cross
+// validation estimates each classifier's reliability p_i(y | ŷ); the
+// confidence of predicting ŷ after t prefixes is
+// C_t = 1 − Π_{i ≤ t} (1 − p_i(ŷ | ŷ_i)); and the acceptance threshold θ
+// is swept over candidate values to minimize the cost
+// CF(θ) = α·(1 − accuracy) + (1 − α)·earliness on the training set.
+//
+// Table 4 parameters: N = 20 prefixes, α = 0.8.
+package ecec
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/goetsc/goetsc/internal/stats"
+	ts "github.com/goetsc/goetsc/internal/timeseries"
+	"github.com/goetsc/goetsc/internal/weasel"
+)
+
+// Config holds the ECEC parameters (zero values = Table 4 defaults).
+type Config struct {
+	// N is the number of overlapping prefixes / base classifiers.
+	// Default 20.
+	N int
+	// Alpha weighs accuracy against earliness in the threshold cost.
+	// Default 0.8.
+	Alpha float64
+	// CVFolds is the internal cross-validation fold count used to
+	// estimate reliabilities. Default 5.
+	CVFolds int
+	// MaxThresholdCandidates caps the θ sweep (evenly sampled from the
+	// sorted candidate list). Default 60.
+	MaxThresholdCandidates int
+	// Weasel configures the base classifiers.
+	Weasel weasel.Config
+	// Seed drives fold assignment.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.N <= 0 {
+		c.N = 20
+	}
+	if c.Alpha <= 0 {
+		c.Alpha = 0.8
+	}
+	if c.CVFolds <= 0 {
+		c.CVFolds = 5
+	}
+	if c.MaxThresholdCandidates <= 0 {
+		c.MaxThresholdCandidates = 60
+	}
+	return c
+}
+
+// Classifier is a fitted ECEC model implementing core.EarlyClassifier.
+type Classifier struct {
+	Cfg Config
+
+	cfg        Config
+	numClasses int
+	length     int
+	prefixes   []int
+	models     []*weasel.Model
+	// reliability[i][yhat][y] = P(true = y | classifier i predicted yhat)
+	reliability [][][]float64
+	theta       float64
+}
+
+// New returns an untrained ECEC classifier.
+func New(cfg Config) *Classifier { return &Classifier{Cfg: cfg} }
+
+// Name implements core.EarlyClassifier.
+func (c *Classifier) Name() string { return "ECEC" }
+
+// Fit implements core.EarlyClassifier; the input must be univariate.
+func (c *Classifier) Fit(train *ts.Dataset) error {
+	if train.NumVars() != 1 {
+		return fmt.Errorf("ecec: univariate algorithm got %d variables (use the voting wrapper)", train.NumVars())
+	}
+	cfg := c.Cfg.withDefaults()
+	c.cfg = cfg
+	c.numClasses = train.NumClasses()
+	if c.numClasses < 2 {
+		return fmt.Errorf("ecec: need at least 2 classes")
+	}
+	c.length = train.MaxLength()
+	c.prefixes = prefixLengths(c.length, cfg.N)
+
+	n := train.Len()
+	series := make([][]float64, n)
+	labels := make([]int, n)
+	for i, in := range train.Instances {
+		series[i] = in.Values[0]
+		labels[i] = in.Label
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+
+	// Stratified fold assignment shared across prefixes so that the
+	// out-of-fold prediction sequence of one instance is coherent.
+	folds := cfg.CVFolds
+	if folds > n {
+		folds = n
+	}
+	if folds < 2 {
+		return fmt.Errorf("ecec: need at least 2 training series")
+	}
+	assignment := foldAssignment(labels, c.numClasses, folds, rng)
+
+	// Out-of-fold predictions per prefix, plus the final full-train models.
+	cvPreds := make([][]int, len(c.prefixes)) // [prefix][instance]
+	c.models = make([]*weasel.Model, len(c.prefixes))
+	for pi, plen := range c.prefixes {
+		truncated := make([][]float64, n)
+		for i, s := range series {
+			truncated[i] = prefixOf(s, plen)
+		}
+		// Full-train model used at test time.
+		m := weasel.New(cfg.Weasel)
+		if err := m.FitSeries(truncated, labels, c.numClasses); err != nil {
+			return fmt.Errorf("ecec: prefix %d: %w", plen, err)
+		}
+		c.models[pi] = m
+		// Out-of-fold predictions.
+		preds := make([]int, n)
+		for f := 0; f < folds; f++ {
+			var trX [][]float64
+			var trY []int
+			var teIdx []int
+			for i := range series {
+				if assignment[i] == f {
+					teIdx = append(teIdx, i)
+				} else {
+					trX = append(trX, truncated[i])
+					trY = append(trY, labels[i])
+				}
+			}
+			if len(teIdx) == 0 {
+				continue
+			}
+			fm := weasel.New(cfg.Weasel)
+			if err := fm.FitSeries(trX, trY, c.numClasses); err != nil {
+				return fmt.Errorf("ecec: prefix %d fold %d: %w", plen, f, err)
+			}
+			for _, i := range teIdx {
+				preds[i] = stats.ArgMax(fm.PredictProbaSeries(truncated[i]))
+			}
+		}
+		cvPreds[pi] = preds
+	}
+
+	// Reliability matrices p_i(y | ŷ) with Laplace smoothing.
+	c.reliability = make([][][]float64, len(c.prefixes))
+	for pi := range c.prefixes {
+		rel := make([][]float64, c.numClasses)
+		for yh := range rel {
+			rel[yh] = make([]float64, c.numClasses)
+			for y := range rel[yh] {
+				rel[yh][y] = 1 // Laplace
+			}
+		}
+		for i := range series {
+			rel[cvPreds[pi][i]][labels[i]]++
+		}
+		for yh := range rel {
+			var sum float64
+			for _, v := range rel[yh] {
+				sum += v
+			}
+			for y := range rel[yh] {
+				rel[yh][y] /= sum
+			}
+		}
+		c.reliability[pi] = rel
+	}
+
+	// Candidate thresholds: confidences observed on the training sequences.
+	var candidates []float64
+	trainConf := make([][]float64, n) // [instance][prefix]
+	for i := 0; i < n; i++ {
+		trainConf[i] = make([]float64, len(c.prefixes))
+		for pi := range c.prefixes {
+			conf := c.confidence(cvPredsSeq(cvPreds, i, pi))
+			trainConf[i][pi] = conf
+			candidates = append(candidates, conf)
+		}
+	}
+	sort.Float64s(candidates)
+	candidates = midpoints(dedup(candidates))
+	if len(candidates) > cfg.MaxThresholdCandidates {
+		step := float64(len(candidates)) / float64(cfg.MaxThresholdCandidates)
+		var sampled []float64
+		for i := 0; i < cfg.MaxThresholdCandidates; i++ {
+			sampled = append(sampled, candidates[int(float64(i)*step)])
+		}
+		candidates = sampled
+	}
+	if len(candidates) == 0 {
+		candidates = []float64{0.5}
+	}
+
+	// Sweep θ minimizing CF(θ) = α(1-acc) + (1-α)·earliness on the
+	// cross-validated training decisions.
+	bestCost := math.Inf(1)
+	for _, theta := range candidates {
+		correct := 0
+		var earliness float64
+		for i := 0; i < n; i++ {
+			pi := len(c.prefixes) - 1
+			for p := range c.prefixes {
+				if trainConf[i][p] >= theta {
+					pi = p
+					break
+				}
+			}
+			if cvPreds[pi][i] == labels[i] {
+				correct++
+			}
+			earliness += float64(c.prefixes[pi]) / float64(c.length)
+		}
+		acc := float64(correct) / float64(n)
+		earl := earliness / float64(n)
+		cost := cfg.Alpha*(1-acc) + (1-cfg.Alpha)*earl
+		if cost < bestCost {
+			bestCost = cost
+			c.theta = theta
+		}
+	}
+	return nil
+}
+
+// cvPredsSeq collects the prediction sequence ŷ_0..ŷ_pi of instance i.
+func cvPredsSeq(cvPreds [][]int, i, pi int) []int {
+	seq := make([]int, pi+1)
+	for p := 0; p <= pi; p++ {
+		seq[p] = cvPreds[p][i]
+	}
+	return seq
+}
+
+// confidence computes C = 1 − Π_{i} (1 − p_i(ŷ_t | ŷ_i)) for the prediction
+// sequence seq, whose last element is the current prediction ŷ_t.
+func (c *Classifier) confidence(seq []int) float64 {
+	final := seq[len(seq)-1]
+	prod := 1.0
+	for i, yh := range seq {
+		prod *= 1 - c.reliability[i][yh][final]
+	}
+	return 1 - prod
+}
+
+// Theta exposes the learned confidence threshold.
+func (c *Classifier) Theta() float64 { return c.theta }
+
+// Prefixes exposes the prefix lengths.
+func (c *Classifier) Prefixes() []int { return append([]int(nil), c.prefixes...) }
+
+// Classify implements core.EarlyClassifier: prefixes are consumed batch by
+// batch; the first prediction whose confidence reaches θ is emitted.
+func (c *Classifier) Classify(in ts.Instance) (int, int) {
+	s := in.Values[0]
+	seq := make([]int, 0, len(c.prefixes))
+	for pi, plen := range c.prefixes {
+		if plen > len(s) && len(seq) > 0 {
+			// The instance ended before this prefix: emit the last verdict.
+			return seq[len(seq)-1], len(s)
+		}
+		pred := stats.ArgMax(c.models[pi].PredictProbaSeries(prefixOf(s, plen)))
+		seq = append(seq, pred)
+		if c.confidence(seq) >= c.theta || pi == len(c.prefixes)-1 {
+			consumed := plen
+			if consumed > len(s) {
+				consumed = len(s)
+			}
+			return pred, consumed
+		}
+	}
+	return 0, len(s) // unreachable: the loop always returns
+}
+
+// prefixLengths returns the N overlapping prefix lengths ceil(i·L/N).
+func prefixLengths(length, n int) []int {
+	if n > length {
+		n = length
+	}
+	var out []int
+	seen := map[int]bool{}
+	for i := 1; i <= n; i++ {
+		t := int(math.Ceil(float64(i*length) / float64(n)))
+		if t < 2 {
+			t = 2
+		}
+		if t > length {
+			t = length
+		}
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func prefixOf(s []float64, n int) []float64 {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}
+
+func foldAssignment(labels []int, numClasses, folds int, rng *rand.Rand) []int {
+	byClass := make([][]int, numClasses)
+	for i, y := range labels {
+		byClass[y] = append(byClass[y], i)
+	}
+	out := make([]int, len(labels))
+	for _, idxs := range byClass {
+		rng.Shuffle(len(idxs), func(i, j int) { idxs[i], idxs[j] = idxs[j], idxs[i] })
+		for pos, idx := range idxs {
+			out[idx] = pos % folds
+		}
+	}
+	return out
+}
+
+func dedup(sorted []float64) []float64 {
+	out := sorted[:0]
+	for i, v := range sorted {
+		if i == 0 || v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func midpoints(sorted []float64) []float64 {
+	if len(sorted) < 2 {
+		return sorted
+	}
+	out := make([]float64, 0, len(sorted)-1)
+	for i := 1; i < len(sorted); i++ {
+		out = append(out, (sorted[i-1]+sorted[i])/2)
+	}
+	return out
+}

@@ -1,0 +1,190 @@
+package ects
+
+import (
+	"math/rand"
+	"testing"
+
+	ts "github.com/goetsc/goetsc/internal/timeseries"
+)
+
+func divergeDataset(rng *rand.Rand, n, length, divergeAt int) *ts.Dataset {
+	d := &ts.Dataset{Name: "diverge"}
+	for i := 0; i < n; i++ {
+		c := i % 2
+		row := make([]float64, length)
+		for t := range row {
+			if t < divergeAt {
+				row[t] = rng.NormFloat64() * 0.2
+			} else {
+				row[t] = float64(c)*4 + rng.NormFloat64()*0.2
+			}
+		}
+		d.Instances = append(d.Instances, ts.Instance{Values: [][]float64{row}, Label: c})
+	}
+	return d
+}
+
+func evaluate(algo *Classifier, test *ts.Dataset) (acc, earl float64) {
+	correct := 0
+	var consumed float64
+	for _, in := range test.Instances {
+		label, used := algo.Classify(in)
+		if label == in.Label {
+			correct++
+		}
+		consumed += float64(used) / float64(in.Length())
+	}
+	return float64(correct) / float64(test.Len()), consumed / float64(test.Len())
+}
+
+func TestLearnsSeparableClasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	train := divergeDataset(rng, 50, 30, 6)
+	test := divergeDataset(rng, 25, 30, 6)
+	algo := New(Config{})
+	if err := algo.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	acc, earl := evaluate(algo, test)
+	if acc < 0.9 {
+		t.Fatalf("accuracy = %v", acc)
+	}
+	if earl >= 1 {
+		t.Fatalf("earliness = %v: never early", earl)
+	}
+}
+
+func TestMPLRespectsDivergencePoint(t *testing.T) {
+	// Classes identical until t=12 (of 24): MPLs below ~12 would imply
+	// predicting from pure noise, so the bulk of MPLs must sit at or past
+	// the divergence region.
+	rng := rand.New(rand.NewSource(2))
+	train := divergeDataset(rng, 60, 24, 12)
+	algo := New(Config{})
+	if err := algo.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	mpls := algo.MPLs()
+	early := 0
+	for _, m := range mpls {
+		if m < 10 {
+			early++
+		}
+	}
+	if early > len(mpls)/4 {
+		t.Fatalf("%d/%d MPLs fall well before the divergence point", early, len(mpls))
+	}
+}
+
+func TestClusteringLowersSomeMPLs(t *testing.T) {
+	// With clearly separated classes from t=2, clustering should enable
+	// early MPLs (well below the full length).
+	rng := rand.New(rand.NewSource(3))
+	train := divergeDataset(rng, 40, 30, 2)
+	algo := New(Config{})
+	if err := algo.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	mpls := algo.MPLs()
+	early := 0
+	for _, m := range mpls {
+		if m <= 15 {
+			early++
+		}
+	}
+	if early == 0 {
+		t.Fatalf("no MPL below half the series; clustering ineffective: %v", mpls)
+	}
+}
+
+func TestSupportRaisesMPL(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	train := divergeDataset(rng, 30, 20, 4)
+	loose := New(Config{Support: 0})
+	strict := New(Config{Support: 3})
+	if err := loose.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if err := strict.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	var sumLoose, sumStrict int
+	for i := range loose.MPLs() {
+		sumLoose += loose.MPLs()[i]
+		sumStrict += strict.MPLs()[i]
+	}
+	if sumStrict < sumLoose {
+		t.Fatalf("higher support lowered total MPL: %d < %d", sumStrict, sumLoose)
+	}
+}
+
+func TestSubsamplingCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	train := divergeDataset(rng, 120, 10, 2)
+	algo := New(Config{MaxTrainInstances: 40, Seed: 1})
+	if err := algo.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if len(algo.MPLs()) > 45 {
+		t.Fatalf("cap ignored: kept %d series", len(algo.MPLs()))
+	}
+	acc, _ := evaluate(algo, divergeDataset(rng, 20, 10, 2))
+	if acc < 0.85 {
+		t.Fatalf("subsampled accuracy = %v", acc)
+	}
+}
+
+func TestRejectsMultivariateAndTiny(t *testing.T) {
+	mv := &ts.Dataset{Name: "mv", Instances: []ts.Instance{
+		{Values: [][]float64{{1}, {2}}, Label: 0},
+		{Values: [][]float64{{1}, {2}}, Label: 1},
+	}}
+	if err := New(Config{}).Fit(mv); err == nil {
+		t.Fatal("multivariate accepted")
+	}
+	tiny := &ts.Dataset{Name: "tiny", Instances: []ts.Instance{{Values: [][]float64{{1, 2}}, Label: 0}}}
+	if err := New(Config{}).Fit(tiny); err == nil {
+		t.Fatal("single series accepted")
+	}
+}
+
+func TestVaryingLengthTestInstance(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	train := divergeDataset(rng, 30, 20, 4)
+	algo := New(Config{})
+	if err := algo.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	// Longer than training: consumed must not exceed instance length and
+	// classification must not panic.
+	long := ts.Instance{Values: [][]float64{make([]float64, 40)}, Label: 0}
+	for t2 := range long.Values[0] {
+		long.Values[0][t2] = rng.NormFloat64() * 0.2
+		if t2 >= 4 {
+			long.Values[0][t2] = 4
+		}
+	}
+	long.Label = 1
+	_, consumed := algo.Classify(long)
+	if consumed > 40 {
+		t.Fatalf("consumed = %d", consumed)
+	}
+	// Shorter than training.
+	short := ts.Instance{Values: [][]float64{{0.1, 0.1, 0.1}}, Label: 0}
+	_, consumed = algo.Classify(short)
+	if consumed > 3 {
+		t.Fatalf("short consumed = %d", consumed)
+	}
+}
+
+func TestSameSet(t *testing.T) {
+	if !sameSet([]int{1, 2}, []int{1, 2}) {
+		t.Fatal("equal sets unequal")
+	}
+	if sameSet([]int{1}, []int{1, 2}) || sameSet([]int{1, 3}, []int{1, 2}) {
+		t.Fatal("unequal sets equal")
+	}
+	if !sameSet(nil, nil) {
+		t.Fatal("empty sets unequal")
+	}
+}

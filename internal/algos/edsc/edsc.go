@@ -1,0 +1,357 @@
+// Package edsc implements Early Distinctive Shapelet Classification (Xing,
+// Pei, Yu & Wang, SDM 2011): candidate subseries are mined from the
+// training set, each is given a distance threshold from the Chebyshev
+// inequality over distances to other-class series (the CHE variant with
+// k = 3 used by the paper), candidates are ranked by an earliness-weighted
+// utility, and a greedy pass keeps the best shapelets until the training
+// set is covered. At test time each growing prefix is matched against the
+// learned shapelets; the first match emits that shapelet's class.
+package edsc
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync/atomic"
+
+	"github.com/goetsc/goetsc/internal/stats"
+	ts "github.com/goetsc/goetsc/internal/timeseries"
+)
+
+// ThresholdMethod selects how a shapelet's distance threshold is derived
+// from the distances to other-class series. The original EDSC paper offers
+// both; the benchmark configuration (Table 4) uses CHE.
+type ThresholdMethod int
+
+// Threshold methods.
+const (
+	// CHE derives the threshold from the Chebyshev inequality:
+	// δ = mean − k·std of other-class distances.
+	CHE ThresholdMethod = iota
+	// KDE fits a Gaussian kernel density to the other-class distances and
+	// picks the largest δ whose estimated false-match mass stays below
+	// Epsilon.
+	KDE
+)
+
+// Config holds the EDSC parameters (defaults follow Table 4).
+type Config struct {
+	// Method selects the threshold derivation; default CHE.
+	Method ThresholdMethod
+	// ChebyshevK is the CHE threshold multiplier; default 3 (the
+	// "CHE, k=3" configuration of the paper).
+	ChebyshevK float64
+	// Epsilon is KDE's allowed false-match probability mass; default 0.05.
+	Epsilon float64
+	// MinLen is the shortest candidate subseries; default 5.
+	MinLen int
+	// MaxLen is the longest candidate; default L/2.
+	MaxLen int
+	// LengthStep samples candidate lengths (MinLen, MinLen+step, ...);
+	// default spreads ~4 lengths over the range.
+	LengthStep int
+	// MaxCandidates caps the number of candidate subseries (randomly
+	// sampled). Negative means exhaustive — the paper's configuration,
+	// whose O(N²L³) cost is the reason EDSC cannot finish Wide datasets
+	// within the 48-hour budget. Default 300.
+	MaxCandidates int
+	// Seed drives candidate sampling.
+	Seed int64
+}
+
+func (c Config) withDefaults(length int) Config {
+	if c.ChebyshevK <= 0 {
+		c.ChebyshevK = 3
+	}
+	if c.Epsilon <= 0 {
+		c.Epsilon = 0.05
+	}
+	if c.MinLen <= 0 {
+		c.MinLen = 5
+	}
+	if c.MinLen > length {
+		c.MinLen = length
+	}
+	if c.MaxLen <= 0 {
+		c.MaxLen = length / 2
+	}
+	if c.MaxLen < c.MinLen {
+		c.MaxLen = c.MinLen
+	}
+	if c.LengthStep <= 0 {
+		c.LengthStep = (c.MaxLen-c.MinLen)/4 + 1
+	}
+	if c.MaxCandidates == 0 {
+		c.MaxCandidates = 300
+	}
+	return c
+}
+
+// Shapelet is one learned (subseries, threshold, class) triplet.
+type Shapelet struct {
+	Values    []float64
+	Threshold float64
+	Class     int
+	Utility   float64
+}
+
+// Classifier is a fitted EDSC model implementing core.EarlyClassifier.
+type Classifier struct {
+	Cfg Config
+
+	shapelets  []Shapelet
+	majority   int
+	numClasses int
+	stopped    atomic.Bool
+}
+
+// Stop aborts an in-progress Fit at the next candidate boundary
+// (core.Stoppable); the exhaustive search is the reason EDSC cannot finish
+// Wide datasets within a training budget.
+func (c *Classifier) Stop() { c.stopped.Store(true) }
+
+// New returns an untrained EDSC classifier.
+func New(cfg Config) *Classifier { return &Classifier{Cfg: cfg} }
+
+// Name implements core.EarlyClassifier.
+func (c *Classifier) Name() string { return "EDSC" }
+
+// Fit implements core.EarlyClassifier; the input must be univariate.
+func (c *Classifier) Fit(train *ts.Dataset) error {
+	if train.NumVars() != 1 {
+		return fmt.Errorf("edsc: univariate algorithm got %d variables (use the voting wrapper)", train.NumVars())
+	}
+	if train.Len() < 2 {
+		return fmt.Errorf("edsc: need at least 2 training series")
+	}
+	length := train.MaxLength()
+	cfg := c.Cfg.withDefaults(length)
+	c.numClasses = train.NumClasses()
+
+	series := make([][]float64, train.Len())
+	labels := make([]int, train.Len())
+	classCounts := make([]int, c.numClasses)
+	for i, in := range train.Instances {
+		series[i] = in.Values[0]
+		labels[i] = in.Label
+		classCounts[in.Label]++
+	}
+	c.majority = argmaxInt(classCounts)
+
+	// Enumerate candidate (series, offset, length) triplets, then sample.
+	type candidate struct {
+		owner, offset, length int
+	}
+	var candidates []candidate
+	for i, s := range series {
+		for l := cfg.MinLen; l <= cfg.MaxLen; l += cfg.LengthStep {
+			for off := 0; off+l <= len(s); off++ {
+				candidates = append(candidates, candidate{owner: i, offset: off, length: l})
+			}
+		}
+	}
+	if len(candidates) == 0 {
+		return fmt.Errorf("edsc: no candidate subseries (series too short for MinLen=%d)", cfg.MinLen)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	if cfg.MaxCandidates > 0 && len(candidates) > cfg.MaxCandidates {
+		rng.Shuffle(len(candidates), func(i, j int) { candidates[i], candidates[j] = candidates[j], candidates[i] })
+		candidates = candidates[:cfg.MaxCandidates]
+	}
+
+	// Score each candidate: Chebyshev threshold from other-class distances,
+	// utility from earliness-weighted recall × precision.
+	var scored []Shapelet
+	coverCache := make(map[int][]int) // shapelet index -> covered series
+	for _, cand := range candidates {
+		if c.stopped.Load() {
+			return fmt.Errorf("edsc: training aborted (budget exceeded)")
+		}
+		sub := series[cand.owner][cand.offset : cand.offset+cand.length]
+		class := labels[cand.owner]
+		var otherDists []float64
+		for i, s := range series {
+			if labels[i] == class {
+				continue
+			}
+			d, _ := stats.MinSlidingDistance(sub, s)
+			otherDists = append(otherDists, d)
+		}
+		if len(otherDists) == 0 {
+			continue
+		}
+		var threshold float64
+		switch cfg.Method {
+		case KDE:
+			threshold = kdeThreshold(otherDists, cfg.Epsilon)
+		default:
+			mean, std := stats.MeanStd(otherDists)
+			threshold = mean - cfg.ChebyshevK*std
+		}
+		if threshold <= 0 {
+			continue // no discriminative margin
+		}
+		// Coverage and utility over the training set.
+		var covered []int
+		var weightedRecall float64
+		sameTotal, coveredSame, coveredOther := 0, 0, 0
+		for i, s := range series {
+			if labels[i] == class {
+				sameTotal++
+			}
+			d, at := stats.MinSlidingDistance(sub, s)
+			if d > threshold {
+				continue
+			}
+			matchEnd := at + cand.length
+			if labels[i] == class {
+				coveredSame++
+				covered = append(covered, i)
+				weightedRecall += float64(len(s)-matchEnd+1) / float64(len(s))
+			} else {
+				coveredOther++
+			}
+		}
+		if coveredSame == 0 {
+			continue
+		}
+		precision := float64(coveredSame) / float64(coveredSame+coveredOther)
+		recall := weightedRecall / float64(sameTotal)
+		utility := 2 * precision * recall / (precision + recall)
+		scored = append(scored, Shapelet{
+			Values:    append([]float64(nil), sub...),
+			Threshold: threshold,
+			Class:     class,
+			Utility:   utility,
+		})
+		coverCache[len(scored)-1] = covered
+	}
+	if len(scored) == 0 {
+		// Degenerate training data: fall back to majority-class behaviour.
+		c.shapelets = nil
+		return nil
+	}
+
+	// Greedy selection by utility until all training series are covered.
+	order := make([]int, len(scored))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return scored[order[a]].Utility > scored[order[b]].Utility })
+	uncovered := len(series)
+	coveredSet := make([]bool, len(series))
+	for _, idx := range order {
+		news := 0
+		for _, i := range coverCache[idx] {
+			if !coveredSet[i] {
+				news++
+			}
+		}
+		if news == 0 && len(c.shapelets) > 0 {
+			continue
+		}
+		c.shapelets = append(c.shapelets, scored[idx])
+		for _, i := range coverCache[idx] {
+			if !coveredSet[i] {
+				coveredSet[i] = true
+				uncovered--
+			}
+		}
+		if uncovered == 0 {
+			break
+		}
+	}
+	return nil
+}
+
+// Shapelets exposes the selected shapelets (for tests and diagnostics).
+func (c *Classifier) Shapelets() []Shapelet { return c.shapelets }
+
+// Classify implements core.EarlyClassifier: prefixes grow one point at a
+// time; the first shapelet whose distance to some fully-contained window
+// falls under its threshold emits its class. Only windows ending at the
+// newest time point need checking per step.
+func (c *Classifier) Classify(in ts.Instance) (int, int) {
+	s := in.Values[0]
+	for t := 1; t <= len(s); t++ {
+		for _, sh := range c.shapelets {
+			m := len(sh.Values)
+			if t < m {
+				continue
+			}
+			window := s[t-m : t]
+			if stats.Euclidean(sh.Values, window) <= sh.Threshold {
+				return sh.Class, t
+			}
+		}
+	}
+	// No shapelet fired: nearest shapelet by full-series distance, or the
+	// majority class when no shapelets were learned.
+	best, bestDist := -1, math.Inf(1)
+	for i, sh := range c.shapelets {
+		d, _ := stats.MinSlidingDistance(sh.Values, s)
+		if d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	if best < 0 {
+		return c.majority, len(s)
+	}
+	return c.shapelets[best].Class, len(s)
+}
+
+// kdeThreshold fits a Gaussian kernel density to the other-class distances
+// (Silverman bandwidth) and returns the largest δ whose estimated CDF mass
+// stays at or below epsilon, located by bisection. It returns 0 when even
+// the smallest distances carry more than epsilon mass.
+func kdeThreshold(dists []float64, epsilon float64) float64 {
+	n := float64(len(dists))
+	_, std := stats.MeanStd(dists)
+	if std < 1e-12 {
+		// Degenerate distances: accept anything strictly below them.
+		min := dists[0]
+		for _, d := range dists {
+			if d < min {
+				min = d
+			}
+		}
+		return min * (1 - epsilon)
+	}
+	h := 1.06 * std * math.Pow(n, -0.2)
+	cdf := func(x float64) float64 {
+		var sum float64
+		for _, d := range dists {
+			sum += 0.5 * (1 + math.Erf((x-d)/(h*math.Sqrt2)))
+		}
+		return sum / n
+	}
+	lo, hi := 0.0, 0.0
+	for _, d := range dists {
+		if d > hi {
+			hi = d
+		}
+	}
+	if cdf(lo) > epsilon {
+		return 0
+	}
+	for iter := 0; iter < 60; iter++ {
+		mid := (lo + hi) / 2
+		if cdf(mid) <= epsilon {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func argmaxInt(xs []int) int {
+	best := 0
+	for i, v := range xs {
+		if v > xs[best] {
+			best = i
+		}
+	}
+	return best
+}

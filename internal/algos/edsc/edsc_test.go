@@ -1,0 +1,228 @@
+package edsc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	ts "github.com/goetsc/goetsc/internal/timeseries"
+)
+
+// spikeDataset embeds a class-specific motif at a random position: class 0
+// gets a V-shaped dip, class 1 a plateau, over a noisy baseline.
+func spikeDataset(rng *rand.Rand, n, length int) *ts.Dataset {
+	d := &ts.Dataset{Name: "spike"}
+	for i := 0; i < n; i++ {
+		c := i % 2
+		row := make([]float64, length)
+		for t := range row {
+			row[t] = rng.NormFloat64() * 0.2
+		}
+		pos := 2 + rng.Intn(length-10)
+		for j := 0; j < 6; j++ {
+			if c == 0 {
+				row[pos+j] = -4 + math.Abs(float64(j)-2.5) // V dip
+			} else {
+				row[pos+j] = 4 // plateau
+			}
+		}
+		d.Instances = append(d.Instances, ts.Instance{Values: [][]float64{row}, Label: c})
+	}
+	return d
+}
+
+func evaluate(algo *Classifier, test *ts.Dataset) (acc, earl float64) {
+	correct := 0
+	var consumed float64
+	for _, in := range test.Instances {
+		label, used := algo.Classify(in)
+		if label == in.Label {
+			correct++
+		}
+		consumed += float64(used) / float64(in.Length())
+	}
+	return float64(correct) / float64(test.Len()), consumed / float64(test.Len())
+}
+
+func TestLearnsMotifClasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	train := spikeDataset(rng, 60, 40)
+	test := spikeDataset(rng, 30, 40)
+	algo := New(Config{MinLen: 4, MaxCandidates: 500, Seed: 1})
+	if err := algo.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if len(algo.Shapelets()) == 0 {
+		t.Fatal("no shapelets learned")
+	}
+	acc, earl := evaluate(algo, test)
+	if acc < 0.85 {
+		t.Fatalf("accuracy = %v", acc)
+	}
+	if earl >= 0.99 {
+		t.Fatalf("earliness = %v: shapelets never fired early", earl)
+	}
+}
+
+func TestThresholdsPositive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	train := spikeDataset(rng, 40, 30)
+	algo := New(Config{MinLen: 4, Seed: 2})
+	if err := algo.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	for _, sh := range algo.Shapelets() {
+		if sh.Threshold <= 0 {
+			t.Fatalf("non-positive threshold %v retained", sh.Threshold)
+		}
+		if sh.Class < 0 || sh.Class > 1 {
+			t.Fatalf("bad class %d", sh.Class)
+		}
+		if sh.Utility <= 0 {
+			t.Fatalf("non-positive utility %v", sh.Utility)
+		}
+	}
+}
+
+func TestShapeletsSortedByGreedyUtility(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	train := spikeDataset(rng, 40, 30)
+	algo := New(Config{MinLen: 4, Seed: 3})
+	if err := algo.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	shapelets := algo.Shapelets()
+	for i := 1; i < len(shapelets); i++ {
+		if shapelets[i].Utility > shapelets[i-1].Utility+1e-12 {
+			t.Fatal("greedy selection order violates utility ranking")
+		}
+	}
+}
+
+func TestIndistinguishableClassesFallBack(t *testing.T) {
+	// Pure noise in both classes: no discriminative shapelet should survive
+	// the Chebyshev margin, and classification must fall back gracefully.
+	rng := rand.New(rand.NewSource(4))
+	d := &ts.Dataset{Name: "noise"}
+	for i := 0; i < 30; i++ {
+		row := make([]float64, 20)
+		for t := range row {
+			row[t] = rng.NormFloat64()
+		}
+		d.Instances = append(d.Instances, ts.Instance{Values: [][]float64{row}, Label: i % 2})
+	}
+	algo := New(Config{MinLen: 4, Seed: 4})
+	if err := algo.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	label, consumed := algo.Classify(d.Instances[0])
+	if label < 0 || label > 1 {
+		t.Fatalf("label = %d", label)
+	}
+	if consumed != d.Instances[0].Length() && len(algo.Shapelets()) == 0 {
+		t.Fatal("fallback should consume the full series")
+	}
+}
+
+func TestRejectsMultivariateAndTiny(t *testing.T) {
+	mv := &ts.Dataset{Name: "mv", Instances: []ts.Instance{
+		{Values: [][]float64{{1}, {2}}, Label: 0},
+		{Values: [][]float64{{1}, {2}}, Label: 1},
+	}}
+	if err := New(Config{}).Fit(mv); err == nil {
+		t.Fatal("multivariate accepted")
+	}
+	tiny := &ts.Dataset{Name: "tiny", Instances: []ts.Instance{{Values: [][]float64{{1}}, Label: 0}}}
+	if err := New(Config{}).Fit(tiny); err == nil {
+		t.Fatal("single series accepted")
+	}
+}
+
+func TestMaxCandidatesCapsWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	train := spikeDataset(rng, 40, 60)
+	algo := New(Config{MinLen: 4, MaxCandidates: 50, Seed: 5})
+	if err := algo.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	// With only 50 sampled candidates the model must still classify.
+	acc, _ := evaluate(algo, spikeDataset(rng, 20, 60))
+	if acc < 0.6 {
+		t.Fatalf("capped-candidate accuracy = %v", acc)
+	}
+}
+
+func TestEarlyFiringPosition(t *testing.T) {
+	// A motif planted at the very start should fire almost immediately.
+	rng := rand.New(rand.NewSource(6))
+	d := &ts.Dataset{Name: "front"}
+	for i := 0; i < 40; i++ {
+		c := i % 2
+		row := make([]float64, 30)
+		for t := range row {
+			row[t] = rng.NormFloat64() * 0.2
+		}
+		for j := 0; j < 6; j++ {
+			row[j] = float64(1-2*c) * 4
+		}
+		d.Instances = append(d.Instances, ts.Instance{Values: [][]float64{row}, Label: c})
+	}
+	algo := New(Config{MinLen: 4, Seed: 6})
+	if err := algo.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	_, earl := evaluate(algo, d)
+	if earl > 0.5 {
+		t.Fatalf("front-loaded motif but earliness = %v", earl)
+	}
+}
+
+func TestKDEThresholdProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	dists := make([]float64, 200)
+	for i := range dists {
+		dists[i] = 10 + rng.NormFloat64()
+	}
+	delta := kdeThreshold(dists, 0.05)
+	if delta <= 0 {
+		t.Fatalf("threshold = %v", delta)
+	}
+	// The threshold must leave at most ~epsilon of the distances below it.
+	below := 0
+	for _, d := range dists {
+		if d <= delta {
+			below++
+		}
+	}
+	if below > 20 { // 10% slack over the 5% target on 200 samples
+		t.Fatalf("%d/200 other-class distances below the KDE threshold", below)
+	}
+	// Distances overlapping zero yield no usable margin.
+	tight := []float64{0.0001, 0.0002, 0.0003}
+	if d := kdeThreshold(tight, 0.05); d > 0.01 {
+		t.Fatalf("near-zero distances gave threshold %v", d)
+	}
+}
+
+func TestKDEThresholdDegenerateDistances(t *testing.T) {
+	if d := kdeThreshold([]float64{5, 5, 5}, 0.05); d <= 0 || d >= 5 {
+		t.Fatalf("constant distances threshold = %v", d)
+	}
+}
+
+func TestKDEMethodLearns(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	train := spikeDataset(rng, 60, 40)
+	test := spikeDataset(rng, 30, 40)
+	algo := New(Config{Method: KDE, MinLen: 4, MaxCandidates: 500, Seed: 8})
+	if err := algo.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if len(algo.Shapelets()) == 0 {
+		t.Fatal("no shapelets learned with KDE thresholds")
+	}
+	acc, _ := evaluate(algo, test)
+	if acc < 0.8 {
+		t.Fatalf("KDE accuracy = %v", acc)
+	}
+}

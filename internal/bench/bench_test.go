@@ -1,0 +1,236 @@
+package bench
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/goetsc/goetsc/internal/core"
+	"github.com/goetsc/goetsc/internal/metrics"
+)
+
+var (
+	fastRunOnce   sync.Once
+	fastRunResult *Results
+	fastRunErr    error
+)
+
+// fastRun executes a tiny matrix once per test binary: two small datasets,
+// three cheap algorithms, two folds.
+func fastRun(t *testing.T) *Results {
+	t.Helper()
+	fastRunOnce.Do(func() {
+		fastRunResult, fastRunErr = Run(RunConfig{
+			Datasets:   []string{"PowerCons", "Biological"},
+			Algorithms: []string{"ECTS", "S-WEASEL", "TEASER"},
+			Scale:      0.12,
+			Folds:      2,
+			Seed:       1,
+			Preset:     Fast,
+		})
+	})
+	if fastRunErr != nil {
+		t.Fatal(fastRunErr)
+	}
+	return fastRunResult
+}
+
+func TestRunMatrixShape(t *testing.T) {
+	res := fastRun(t)
+	if len(res.Cells) != 6 {
+		t.Fatalf("cells = %d, want 6", len(res.Cells))
+	}
+	if len(res.Algos) != 3 {
+		t.Fatalf("algos = %v", res.Algos)
+	}
+	for _, c := range res.Cells {
+		if c.Result.Accuracy < 0 || c.Result.Accuracy > 1 {
+			t.Fatalf("%s/%s accuracy = %v", c.Dataset, c.Algorithm, c.Result.Accuracy)
+		}
+		if c.Result.Earliness < 0 || c.Result.Earliness > 1 {
+			t.Fatalf("%s/%s earliness = %v", c.Dataset, c.Algorithm, c.Result.Earliness)
+		}
+		if c.Result.NumTest == 0 {
+			t.Fatalf("%s/%s has no test predictions", c.Dataset, c.Algorithm)
+		}
+		if c.BatchLen < 1 {
+			t.Fatalf("%s/%s batch = %d", c.Dataset, c.Algorithm, c.BatchLen)
+		}
+	}
+}
+
+func TestAlgorithmsLearnOnEasyDataset(t *testing.T) {
+	res := fastRun(t)
+	// PowerCons (Common, clean separation) must be well above chance for
+	// every algorithm in the fast preset.
+	for _, algo := range res.Algos {
+		cell, ok := res.Get("PowerCons", algo)
+		if !ok {
+			t.Fatalf("missing PowerCons result for %s", algo)
+		}
+		if cell.Result.Accuracy < 0.7 {
+			t.Fatalf("%s accuracy on PowerCons = %v", algo, cell.Result.Accuracy)
+		}
+	}
+}
+
+func TestCategoryAverage(t *testing.T) {
+	res := fastRun(t)
+	// PowerCons is Common; Biological is Imbalanced+Multivariate.
+	acc := res.CategoryAverage(core.Common, "ECTS", func(m metrics.Result) float64 { return m.Accuracy })
+	cell, _ := res.Get("PowerCons", "ECTS")
+	if math.Abs(acc-cell.Result.Accuracy) > 1e-12 {
+		t.Fatalf("Common average %v != PowerCons accuracy %v", acc, cell.Result.Accuracy)
+	}
+	if !math.IsNaN(res.CategoryAverage(core.Wide, "ECTS", func(m metrics.Result) float64 { return m.Accuracy })) {
+		t.Fatal("average over an absent category should be NaN")
+	}
+}
+
+func TestFiguresRender(t *testing.T) {
+	res := fastRun(t)
+	var buf bytes.Buffer
+	accT, f1T := res.Figure9()
+	if err := accT.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := f1T.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Figure10().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Figure11().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Figure12().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Figure13().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 9a", "Figure 10", "Figure 11", "Figure 12", "Figure 13", "Common", "TEASER"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("figures missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStaticTables(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table2().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := Table4(Paper).WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := Table4(Fast).WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := Table5().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"ECEC", "N = 20", "fast preset", "O(N^2 * L^3 * V)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("static tables missing %q", want)
+		}
+	}
+	res := fastRun(t)
+	buf.Reset()
+	if err := res.Table3().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "PowerCons") {
+		t.Fatal("Table 3 missing dataset")
+	}
+}
+
+func TestTrainBudgetProducesHatchedCells(t *testing.T) {
+	res, err := Run(RunConfig{
+		Datasets:    []string{"PowerCons"},
+		Algorithms:  []string{"ECTS"},
+		Scale:       0.2,
+		Folds:       2,
+		Seed:        2,
+		Preset:      Fast,
+		TrainBudget: time.Nanosecond, // everything times out
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell, _ := res.Get("PowerCons", "ECTS")
+	if !cell.Result.TimedOut {
+		t.Fatal("nanosecond budget did not time out")
+	}
+	hm := res.Figure13()
+	if !math.IsNaN(hm.Values[0][0]) {
+		t.Fatal("timed-out cell not hatched in Figure 13")
+	}
+}
+
+func TestAlgorithmNamesOrder(t *testing.T) {
+	names := AlgorithmNames()
+	if len(names) != 8 {
+		t.Fatalf("names = %v", names)
+	}
+	if names[0] != "ECEC" || names[7] != "TEASER" {
+		t.Fatalf("paper order broken: %v", names)
+	}
+	// Factories exist for every name.
+	for _, n := range names {
+		fs := AlgorithmsByName("PowerCons", Fast, 1, []string{n})
+		if len(fs) != 1 || fs[0].Name != n {
+			t.Fatalf("factory missing for %s", n)
+		}
+	}
+}
+
+func TestTeaserSFollowsTable4(t *testing.T) {
+	// TEASER batch length depends on S: 20 for UCR, 10 for Biological and
+	// Maritime.
+	ucr := AlgorithmsByName("PowerCons", Paper, 1, []string{"TEASER"})[0]
+	bio := AlgorithmsByName("Biological", Paper, 1, []string{"TEASER"})[0]
+	if ucr.BatchLen(100) != 5 { // ceil(100/20)
+		t.Fatalf("UCR batch = %d, want 5", ucr.BatchLen(100))
+	}
+	if bio.BatchLen(100) != 10 { // ceil(100/10)
+		t.Fatalf("Biological batch = %d, want 10", bio.BatchLen(100))
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := Run(RunConfig{Datasets: []string{"nope"}}); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestCeilDiv(t *testing.T) {
+	if ceilDiv(10, 3) != 4 || ceilDiv(9, 3) != 3 || ceilDiv(5, 0) != 5 {
+		t.Fatal("ceilDiv wrong")
+	}
+}
+
+func TestExtensionAlgorithmsByExplicitNameOnly(t *testing.T) {
+	// The default set is the paper's eight; SR joins only when named.
+	def := AlgorithmsByName("PowerCons", Fast, 1, nil)
+	if len(def) != 8 {
+		t.Fatalf("default algorithms = %d, want 8", len(def))
+	}
+	for _, f := range def {
+		if f.Name == "SR" {
+			t.Fatal("SR included by default")
+		}
+	}
+	sr := AlgorithmsByName("PowerCons", Fast, 1, []string{"SR"})
+	if len(sr) != 1 || sr[0].Name != "SR" {
+		t.Fatalf("SR lookup = %+v", sr)
+	}
+	if sr[0].BatchLen(60) != 10 {
+		t.Fatalf("SR batch = %d, want 10 (ceil(60/6))", sr[0].BatchLen(60))
+	}
+}

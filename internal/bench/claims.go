@@ -1,0 +1,258 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"github.com/goetsc/goetsc/internal/core"
+	"github.com/goetsc/goetsc/internal/metrics"
+)
+
+// Claim is one qualitative finding of the paper's Section 6, checked
+// against a completed evaluation matrix. The reproduction goal is shape,
+// not absolute numbers: who wins, roughly where.
+type Claim struct {
+	ID          string
+	Description string
+	Holds       bool
+	Detail      string
+}
+
+// ShapeClaims evaluates the paper's headline qualitative findings against
+// the matrix. Claims that cannot be evaluated (algorithm or category
+// missing from the run) are reported as not holding with an explanatory
+// detail.
+func (r *Results) ShapeClaims() []Claim {
+	var claims []Claim
+	cats := r.Categories()
+
+	rankOf := func(cat core.Category, algo string, metric func(metrics.Result) float64, ascending bool) (rank, total int) {
+		type scored struct {
+			name  string
+			value float64
+		}
+		var all []scored
+		for _, a := range r.Algos {
+			v := r.CategoryAverage(cat, a, metric)
+			if math.IsNaN(v) {
+				continue
+			}
+			all = append(all, scored{a, v})
+		}
+		sort.Slice(all, func(i, j int) bool {
+			if ascending {
+				return all[i].value < all[j].value
+			}
+			return all[i].value > all[j].value
+		})
+		for i, s := range all {
+			if s.name == algo {
+				return i + 1, len(all)
+			}
+		}
+		return 0, len(all)
+	}
+
+	countTop := func(algo string, metric func(metrics.Result) float64, ascending bool, topK int, skip map[core.Category]bool) (hits, total int, detail string) {
+		var parts []string
+		for _, cat := range cats {
+			if skip[cat] {
+				continue
+			}
+			rank, n := rankOf(cat, algo, metric, ascending)
+			if rank == 0 || n == 0 {
+				continue
+			}
+			total++
+			if rank <= topK {
+				hits++
+			}
+			parts = append(parts, fmt.Sprintf("%s:#%d", cat, rank))
+		}
+		return hits, total, strings.Join(parts, " ")
+	}
+
+	accuracy := func(m metrics.Result) float64 { return m.Accuracy }
+	earliness := func(m metrics.Result) float64 { return m.Earliness }
+	hm := func(m metrics.Result) float64 { return m.HarmonicMean }
+	trainMin := func(m metrics.Result) float64 { return m.TrainTime.Minutes() }
+
+	// C1: "ECEC is shown to be the best [accuracy] for all categories,
+	// apart from Multiclass for which it ranks second."
+	hits, total, detail := countTop("ECEC", accuracy, false, 2, nil)
+	claims = append(claims, Claim{
+		ID:          "C1",
+		Description: "ECEC ranks top-2 accuracy in a majority of categories",
+		Holds:       total > 0 && hits*2 > total,
+		Detail:      detail,
+	})
+
+	// C2: "S-MINI is very competitive" — top-3 accuracy in at least half
+	// the categories.
+	hits, total, detail = countTop("S-MINI", accuracy, false, 3, nil)
+	claims = append(claims, Claim{
+		ID:          "C2",
+		Description: "S-MINI ranks top-3 accuracy in at least half the categories",
+		Holds:       total > 0 && hits*2 >= total,
+		Detail:      detail,
+	})
+
+	// C3: "EDSC and S-WEASEL do not perform well" — bottom half accuracy
+	// in a majority of the categories where they trained.
+	for _, algo := range []string{"EDSC", "S-WEASEL"} {
+		low, n := 0, 0
+		var parts []string
+		for _, cat := range cats {
+			rank, size := rankOf(cat, algo, accuracy, false)
+			if rank == 0 || size < 2 {
+				continue
+			}
+			n++
+			if rank*2 > size {
+				low++
+			}
+			parts = append(parts, fmt.Sprintf("%s:#%d/%d", cat, rank, size))
+		}
+		claims = append(claims, Claim{
+			ID:          "C3-" + algo,
+			Description: algo + " ranks in the bottom half of accuracy in a majority of categories",
+			Holds:       n > 0 && low*2 > n,
+			Detail:      strings.Join(parts, " "),
+		})
+	}
+
+	// C4: "S-MLSTM generates earlier predictions for most dataset
+	// categories apart from the Wide case."
+	hits, total, detail = countTop("S-MLSTM", earliness, true, 2, map[core.Category]bool{core.Wide: true})
+	claims = append(claims, Claim{
+		ID:          "C4",
+		Description: "S-MLSTM ranks top-2 earliness (earliest) in a majority of non-Wide categories",
+		Holds:       total > 0 && hits*2 > total,
+		Detail:      detail,
+	})
+
+	// C5: "S-MLSTM achieves the highest [harmonic mean] for most dataset
+	// categories, apart from the Wide case."
+	hits, total, detail = countTop("S-MLSTM", hm, false, 2, map[core.Category]bool{core.Wide: true})
+	claims = append(claims, Claim{
+		ID:          "C5",
+		Description: "S-MLSTM ranks top-2 harmonic mean in a majority of non-Wide categories",
+		Holds:       total > 0 && hits*2 > total,
+		Detail:      detail,
+	})
+
+	// C6: "In the Wide category, ECEC is shown to be the most competitive"
+	// (harmonic mean).
+	if hasCategory(cats, core.Wide) {
+		rank, n := rankOf(core.Wide, "ECEC", hm, false)
+		claims = append(claims, Claim{
+			ID:          "C6",
+			Description: "ECEC ranks top-2 harmonic mean in the Wide category",
+			Holds:       rank > 0 && rank <= 2,
+			Detail:      fmt.Sprintf("Wide:#%d/%d", rank, n),
+		})
+	}
+
+	// C7: "S-WEASEL has the lowest training times for all dataset
+	// categories."
+	hits, total, detail = countTop("S-WEASEL", trainMin, true, 2, nil)
+	claims = append(claims, Claim{
+		ID:          "C7",
+		Description: "S-WEASEL ranks top-2 fastest training in a majority of categories",
+		Holds:       total > 0 && hits*2 > total,
+		Detail:      detail,
+	})
+
+	// C8: "EDSC did not produce results for Wide datasets within 48
+	// hours" — with a training budget set, EDSC times out on every Wide
+	// dataset.
+	var wideNames []string
+	timedOut := 0
+	for _, ds := range r.Datasets {
+		if !r.Profiles[ds].In(core.Wide) {
+			continue
+		}
+		wideNames = append(wideNames, ds)
+		if cell, ok := r.Get(ds, "EDSC"); ok && cell.Result.TimedOut {
+			timedOut++
+		}
+	}
+	if len(wideNames) > 0 {
+		claims = append(claims, Claim{
+			ID:          "C8",
+			Description: "EDSC fails to train on Wide datasets within the budget",
+			Holds:       timedOut == len(wideNames),
+			Detail:      fmt.Sprintf("timed out on %d/%d wide datasets (%s)", timedOut, len(wideNames), strings.Join(wideNames, ", ")),
+		})
+	}
+
+	// C9: "EDSC ... can generate predictions very fast" — fastest average
+	// per-instance test time among algorithms, over datasets where it
+	// trained.
+	perInstance := map[string]float64{}
+	counts := map[string]int{}
+	for _, c := range r.Cells {
+		if c.Result.TimedOut || c.Result.NumTest == 0 {
+			continue
+		}
+		if _, ok := r.Get(c.Dataset, "EDSC"); !ok {
+			continue
+		}
+		if ec, _ := r.Get(c.Dataset, "EDSC"); ec.Result.TimedOut {
+			continue // compare only on datasets EDSC handled
+		}
+		perInstance[c.Algorithm] += c.Result.TestTime.Seconds() / float64(c.Result.NumTest)
+		counts[c.Algorithm]++
+	}
+	type avgT struct {
+		name string
+		avg  float64
+	}
+	var ranking []avgT
+	for algo, sum := range perInstance {
+		ranking = append(ranking, avgT{algo, sum / float64(counts[algo])})
+	}
+	sort.Slice(ranking, func(i, j int) bool { return ranking[i].avg < ranking[j].avg })
+	for pos, r := range ranking {
+		if r.name != "EDSC" {
+			continue
+		}
+		var order []string
+		for _, x := range ranking {
+			order = append(order, fmt.Sprintf("%s:%.2gs", x.name, x.avg))
+		}
+		claims = append(claims, Claim{
+			ID:          "C9",
+			Description: "EDSC ranks among the three fastest per-instance testers (where it trained)",
+			Holds:       pos < 3,
+			Detail:      strings.Join(order, " "),
+		})
+		break
+	}
+	return claims
+}
+
+func hasCategory(cats []core.Category, want core.Category) bool {
+	for _, c := range cats {
+		if c == want {
+			return true
+		}
+	}
+	return false
+}
+
+// ClaimsReport renders the claims as a text block.
+func ClaimsReport(claims []Claim) string {
+	var sb strings.Builder
+	sb.WriteString("Paper shape claims vs this run:\n")
+	for _, c := range claims {
+		mark := "FAIL"
+		if c.Holds {
+			mark = "ok  "
+		}
+		fmt.Fprintf(&sb, "  [%s] %s: %s\n         %s\n", mark, c.ID, c.Description, c.Detail)
+	}
+	return sb.String()
+}

@@ -1,0 +1,216 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/goetsc/goetsc/internal/metrics"
+	"github.com/goetsc/goetsc/internal/report"
+)
+
+// categoryMetricTable builds a category × algorithm table of one metric.
+func (r *Results) categoryMetricTable(title string, metric func(metrics.Result) float64) *report.Table {
+	cats := r.Categories()
+	t := &report.Table{Title: title, Headers: append([]string{"category"}, r.Algos...)}
+	for _, cat := range cats {
+		row := []string{string(cat)}
+		for _, algo := range r.Algos {
+			row = append(row, report.Cell(r.CategoryAverage(cat, algo, metric)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Figure9 renders accuracy and macro-F1 per dataset category (two tables,
+// matching the two panels of the paper's Figure 9).
+func (r *Results) Figure9() (accuracy, f1 *report.Table) {
+	accuracy = r.categoryMetricTable(
+		"Figure 9a: accuracy per dataset category",
+		func(m metrics.Result) float64 { return m.Accuracy })
+	f1 = r.categoryMetricTable(
+		"Figure 9b: macro F1-score per dataset category",
+		func(m metrics.Result) float64 { return m.MacroF1 })
+	return accuracy, f1
+}
+
+// Figure10 renders earliness per category (lower is better).
+func (r *Results) Figure10() *report.Table {
+	return r.categoryMetricTable(
+		"Figure 10: earliness per dataset category (lower is better)",
+		func(m metrics.Result) float64 { return m.Earliness })
+}
+
+// Figure11 renders the harmonic mean of accuracy and earliness.
+func (r *Results) Figure11() *report.Table {
+	return r.categoryMetricTable(
+		"Figure 11: harmonic mean of accuracy and (1 - earliness)",
+		func(m metrics.Result) float64 { return m.HarmonicMean })
+}
+
+// Figure12 renders training times in minutes per category.
+func (r *Results) Figure12() *report.Table {
+	return r.categoryMetricTable(
+		"Figure 12: training time per dataset category (minutes, lower is better)",
+		func(m metrics.Result) float64 { return m.TrainTime.Minutes() })
+}
+
+// Figure13 renders the online-feasibility heatmap: per-instance test time
+// divided by the dataset's observation interval times the algorithm's
+// decision batch length. Values below 1 mean predictions arrive before the
+// next observation (batch); hatched cells failed to train.
+func (r *Results) Figure13() *report.Heatmap {
+	h := &report.Heatmap{
+		Title: "Figure 13: online feasibility (test time / arrival interval; +feasible, -infeasible, #### failed to train)",
+		Cols:  r.Algos,
+	}
+	for _, ds := range r.Datasets {
+		h.RowLabels = append(h.RowLabels, fmt.Sprintf("%s (%s)", ds, r.Freq[ds]))
+		row := make([]float64, len(r.Algos))
+		for i, algo := range r.Algos {
+			cell, ok := r.Get(ds, algo)
+			if !ok || cell.Result.TimedOut || cell.Result.NumTest == 0 {
+				row[i] = math.NaN()
+				continue
+			}
+			perInstance := cell.Result.TestTime.Seconds() / float64(cell.Result.NumTest)
+			arrival := r.Freq[ds].Seconds() * float64(cell.BatchLen)
+			if arrival <= 0 {
+				row[i] = math.NaN()
+				continue
+			}
+			row[i] = perInstance / arrival
+		}
+		h.Values = append(h.Values, row)
+	}
+	return h
+}
+
+// PerDatasetTable renders the raw per-dataset results for one metric (the
+// paper's supplementary material).
+func (r *Results) PerDatasetTable(title string, metric func(metrics.Result) float64) *report.Table {
+	t := &report.Table{Title: title, Headers: append([]string{"dataset"}, r.Algos...)}
+	for _, ds := range r.Datasets {
+		row := []string{ds}
+		for _, algo := range r.Algos {
+			cell, ok := r.Get(ds, algo)
+			if !ok || cell.Result.TimedOut {
+				row = append(row, "####")
+				continue
+			}
+			row = append(row, report.Cell(metric(cell.Result)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Table2 renders the static algorithm-characteristics grid of the paper.
+func Table2() *report.Table {
+	t := &report.Table{
+		Title:   "Table 2: characteristics of evaluated algorithms",
+		Headers: []string{"algorithm", "model-based", "prefix-based", "shapelet-based", "misc", "univariate", "multivariate", "early", "full-TSC", "language"},
+	}
+	mark := func(b bool) string {
+		if b {
+			return "x"
+		}
+		return ""
+	}
+	type row struct {
+		name                                  string
+		model, prefix, shapelet, misc         bool
+		univariate, multivariate, early, full bool
+		language                              string
+	}
+	rows := []row{
+		{"ECEC", true, false, false, false, true, false, true, false, "Go (paper: Java)"},
+		{"ECONOMY-K", true, false, false, false, true, false, true, false, "Go (paper: Python)"},
+		{"ECTS", false, true, false, false, true, false, true, false, "Go (paper: Python)"},
+		{"EDSC", false, false, true, false, true, false, true, false, "Go (paper: C++)"},
+		{"MiniROCKET", false, false, false, true, false, true, false, true, "Go (paper: Python)"},
+		{"MLSTM", false, false, false, true, false, true, false, true, "Go (paper: Python)"},
+		{"WEASEL", false, false, true, false, true, true, false, true, "Go (paper: Python)"},
+		{"TEASER", false, true, false, false, true, false, true, false, "Go (paper: Java)"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.name, mark(r.model), mark(r.prefix), mark(r.shapelet), mark(r.misc),
+			mark(r.univariate), mark(r.multivariate), mark(r.early), mark(r.full), r.language,
+		})
+	}
+	return t
+}
+
+// Table3 renders the dataset-characteristics grid, computed from the
+// generated data (checked against the paper's flags by the dataset tests).
+func (r *Results) Table3() *report.Table {
+	t := &report.Table{
+		Title:   "Table 3: dataset characteristics (computed with the paper's thresholds)",
+		Headers: []string{"dataset", "L", "N", "vars", "classes", "CoV", "CIR", "categories"},
+	}
+	for _, ds := range r.Datasets {
+		p := r.Profiles[ds]
+		var cats []string
+		for _, c := range p.Categories {
+			cats = append(cats, string(c))
+		}
+		t.Rows = append(t.Rows, []string{
+			ds,
+			fmt.Sprintf("%d", p.Length),
+			fmt.Sprintf("%d", p.Height),
+			fmt.Sprintf("%d", p.NumVars),
+			fmt.Sprintf("%d", p.NumClasses),
+			fmt.Sprintf("%.3f", p.CoV),
+			fmt.Sprintf("%.2f", p.CIR),
+			strings.Join(cats, " "),
+		})
+	}
+	return t
+}
+
+// Table4 renders the Table 4 parameter values actually used at the given
+// preset.
+func Table4(preset Preset) *report.Table {
+	t := &report.Table{
+		Title:   "Table 4: parameter values of ETSC algorithms",
+		Headers: []string{"algorithm", "parameters"},
+	}
+	if preset == Paper {
+		t.Rows = [][]string{
+			{"ECEC", "N = 20, a = 0.8"},
+			{"ECONOMY-K", "k = {1,2,3}, lambda = 100, cost = 0.001"},
+			{"ECTS", "support = 0"},
+			{"EDSC", "CHE, k = 3, minLen = 5, maxLen = L/2"},
+			{"TEASER", "S = 20 for UCR; S = 10 for Biological and Maritime"},
+		}
+	} else {
+		t.Rows = [][]string{
+			{"ECEC", "N = 6, a = 0.8 (fast preset)"},
+			{"ECONOMY-K", "k = {1,2}, lambda = 100, cost = 0.001, 6 checkpoints (fast preset)"},
+			{"ECTS", "support = 0"},
+			{"EDSC", "CHE, k = 3, minLen = 5, maxLen = L/2, 80 candidates (fast preset)"},
+			{"TEASER", "S = 6 (fast preset)"},
+		}
+	}
+	return t
+}
+
+// Table5 renders the paper's worst-case complexity table.
+func Table5() *report.Table {
+	return &report.Table{
+		Title:   "Table 5: worst-case training complexity (N = height, L = length, V = variables)",
+		Headers: []string{"algorithm", "complexity"},
+		Rows: [][]string{
+			{"ECEC", "O(N * L^3 * #classifiers * #classes * V)"},
+			{"ECO-K", "O(L*logN + 2*N*L + #classes * #clusters * N * V)"},
+			{"ECTS", "O(N^3 * L * V)"},
+			{"EDSC", "O(N^2 * L^3 * V)"},
+			{"S-MINI", "O(N * L * log(L) * #kernels)"},
+			{"S-MLSTM", "O(N * #epochs * L)"},
+			{"S-WEASEL", "O(N * L^2 * log(L) * V)"},
+			{"TEASER", "O(L/S * L^2 * V)"},
+		},
+	}
+}

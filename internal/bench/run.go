@@ -1,0 +1,184 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"github.com/goetsc/goetsc/internal/core"
+	"github.com/goetsc/goetsc/internal/datasets"
+	"github.com/goetsc/goetsc/internal/metrics"
+	ts "github.com/goetsc/goetsc/internal/timeseries"
+)
+
+// RunConfig controls one evaluation matrix run.
+type RunConfig struct {
+	// Datasets restricts the run (empty = all twelve).
+	Datasets []string
+	// Algorithms restricts the run (empty = all eight).
+	Algorithms []string
+	// Scale shrinks dataset heights for faster runs (1 = paper size).
+	Scale float64
+	// Folds is the cross-validation fold count; default 5.
+	Folds int
+	// Seed fixes data generation and fold assignment.
+	Seed int64
+	// TrainBudget bounds each fold's training time (0 = unlimited),
+	// reproducing the paper's 48-hour cutoff.
+	TrainBudget time.Duration
+	// Preset selects Paper (Table 4) or Fast parameters.
+	Preset Preset
+	// Progress, when non-nil, receives one line per completed cell.
+	Progress io.Writer
+}
+
+// Cell is one dataset × algorithm evaluation outcome.
+type Cell struct {
+	Dataset   string
+	Algorithm string
+	Result    metrics.Result
+	// BatchLen is the time points consumed per decision step (Figure 13).
+	BatchLen int
+}
+
+// Results holds a completed evaluation matrix.
+type Results struct {
+	Cells    []Cell
+	Profiles map[string]core.Profile
+	Datasets []string // run order
+	Algos    []string // paper order
+	Freq     map[string]time.Duration
+	Length   map[string]int
+}
+
+// Run executes the matrix.
+func Run(cfg RunConfig) (*Results, error) {
+	if cfg.Scale <= 0 || cfg.Scale > 1 {
+		cfg.Scale = 1
+	}
+	if cfg.Folds <= 0 {
+		cfg.Folds = 5
+	}
+	specs := datasets.All()
+	if len(cfg.Datasets) > 0 {
+		want := map[string]bool{}
+		for _, n := range cfg.Datasets {
+			want[n] = true
+		}
+		var filtered []datasets.Spec
+		for _, s := range specs {
+			if want[s.Name] {
+				filtered = append(filtered, s)
+			}
+		}
+		if len(filtered) == 0 {
+			return nil, fmt.Errorf("bench: no datasets match %v", cfg.Datasets)
+		}
+		specs = filtered
+	}
+	res := &Results{
+		Profiles: map[string]core.Profile{},
+		Freq:     map[string]time.Duration{},
+		Length:   map[string]int{},
+	}
+	for _, spec := range specs {
+		d := spec.Generate(cfg.Scale, cfg.Seed)
+		// Repair any missing values (the framework's Section 5.1 rule);
+		// varying-length instances are handled by the algorithms
+		// themselves.
+		d.Interpolate()
+		// Category flags always come from the paper-size characteristics:
+		// a scaled run must still aggregate LSST under "Large" even when
+		// only a fraction of its instances are evaluated. Generation is
+		// cheap relative to evaluation.
+		if cfg.Scale < 1 {
+			res.Profiles[spec.Name] = core.Categorize(spec.Generate(1, cfg.Seed))
+		} else {
+			res.Profiles[spec.Name] = core.Categorize(d)
+		}
+		res.Datasets = append(res.Datasets, spec.Name)
+		res.Freq[spec.Name] = d.Freq
+		res.Length[spec.Name] = d.MaxLength()
+
+		factories := AlgorithmsByName(spec.Name, cfg.Preset, cfg.Seed, cfg.Algorithms)
+		for _, f := range factories {
+			if len(res.Algos) < len(factories) {
+				res.Algos = append(res.Algos, f.Name)
+			}
+			avg, _, err := core.Evaluate(f.New, d, core.EvalConfig{
+				Folds:       cfg.Folds,
+				Seed:        cfg.Seed,
+				TrainBudget: cfg.TrainBudget,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s on %s: %w", f.Name, spec.Name, err)
+			}
+			cell := Cell{
+				Dataset:   spec.Name,
+				Algorithm: f.Name,
+				Result:    avg,
+				BatchLen:  f.BatchLen(d.MaxLength()),
+			}
+			res.Cells = append(res.Cells, cell)
+			if cfg.Progress != nil {
+				fmt.Fprintf(cfg.Progress, "%s\n", avg.String())
+			}
+		}
+	}
+	return res, nil
+}
+
+// Get returns the cell for one dataset × algorithm pair.
+func (r *Results) Get(dataset, algorithm string) (Cell, bool) {
+	for _, c := range r.Cells {
+		if c.Dataset == dataset && c.Algorithm == algorithm {
+			return c, true
+		}
+	}
+	return Cell{}, false
+}
+
+// CategoryAverage aggregates one metric over all datasets carrying the
+// category flag; timed-out cells are skipped; NaN when nothing qualified.
+func (r *Results) CategoryAverage(cat core.Category, algorithm string, metric func(metrics.Result) float64) float64 {
+	var sum float64
+	n := 0
+	for _, c := range r.Cells {
+		if c.Algorithm != algorithm || c.Result.TimedOut {
+			continue
+		}
+		if !r.Profiles[c.Dataset].In(cat) {
+			continue
+		}
+		sum += metric(c.Result)
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+// Categories lists the categories realized by the run's datasets, in the
+// paper's column order.
+func (r *Results) Categories() []core.Category {
+	var out []core.Category
+	for _, cat := range core.AllCategories {
+		for _, p := range r.Profiles {
+			if p.In(cat) {
+				out = append(out, cat)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// PadVaryingLength normalizes ragged datasets; exposed for reuse in tests
+// and the CLI.
+func PadVaryingLength(d *ts.Dataset) {
+	if d.MinLength() != d.MaxLength() {
+		d.PadToLength(d.MaxLength())
+	}
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"github.com/goetsc/goetsc/internal/stats"
+	ts "github.com/goetsc/goetsc/internal/timeseries"
+)
+
+// Category is one of the eight dataset groups of Table 3.
+type Category string
+
+// The eight categories of Section 5.4.
+const (
+	Wide         Category = "Wide"
+	Large        Category = "Large"
+	Unstable     Category = "Unstable"
+	Imbalanced   Category = "Imbalanced"
+	Multiclass   Category = "Multiclass"
+	Common       Category = "Common"
+	Univariate   Category = "Univariate"
+	Multivariate Category = "Multivariate"
+)
+
+// AllCategories lists the categories in the paper's column order.
+var AllCategories = []Category{Wide, Large, Unstable, Imbalanced, Multiclass, Common, Univariate, Multivariate}
+
+// Thresholds of Section 5.4. Length and height were set empirically by the
+// authors; CoV and CIR are the medians of their dataset values.
+const (
+	WideLengthThreshold  = 1300
+	LargeHeightThreshold = 1000
+	UnstableCoVThreshold = 1.08
+	ImbalancedCIRMin     = 1.73
+)
+
+// Profile summarizes a dataset's characteristics and category flags.
+type Profile struct {
+	Name       string
+	Length     int // maximum series length (L)
+	Height     int // number of instances (N)
+	NumVars    int
+	NumClasses int
+	CoV        float64 // coefficient of variation over all values
+	CIR        float64 // class imbalance ratio (largest / smallest class)
+	Categories []Category
+}
+
+// In reports whether the profile carries the given category flag.
+func (p Profile) In(c Category) bool {
+	for _, have := range p.Categories {
+		if have == c {
+			return true
+		}
+	}
+	return false
+}
+
+// Categorize computes a dataset's profile using the paper's thresholds. A
+// dataset that is not Wide, Large, Unstable, Imbalanced or Multiclass is
+// flagged Common; every dataset is additionally Univariate or Multivariate.
+func Categorize(d *ts.Dataset) Profile {
+	p := Profile{
+		Name:       d.Name,
+		Length:     d.MaxLength(),
+		Height:     d.Len(),
+		NumVars:    d.NumVars(),
+		NumClasses: d.NumClasses(),
+		CoV:        DatasetCoV(d),
+		CIR:        ClassImbalanceRatio(d),
+	}
+	if p.Length > WideLengthThreshold {
+		p.Categories = append(p.Categories, Wide)
+	}
+	if p.Height > LargeHeightThreshold {
+		p.Categories = append(p.Categories, Large)
+	}
+	if p.CoV > UnstableCoVThreshold {
+		p.Categories = append(p.Categories, Unstable)
+	}
+	if p.CIR > ImbalancedCIRMin {
+		p.Categories = append(p.Categories, Imbalanced)
+	}
+	if p.NumClasses > 2 {
+		p.Categories = append(p.Categories, Multiclass)
+	}
+	if len(p.Categories) == 0 {
+		p.Categories = append(p.Categories, Common)
+	}
+	if p.NumVars > 1 {
+		p.Categories = append(p.Categories, Multivariate)
+	} else {
+		p.Categories = append(p.Categories, Univariate)
+	}
+	return p
+}
+
+// DatasetCoV flattens every value of every instance and variable and
+// returns stddev/|mean| (Section 5.4).
+func DatasetCoV(d *ts.Dataset) float64 {
+	var all []float64
+	for _, in := range d.Instances {
+		for _, row := range in.Values {
+			all = append(all, row...)
+		}
+	}
+	return stats.CoefficientOfVariation(all)
+}
+
+// ClassImbalanceRatio divides the size of the most populated class by the
+// size of the least populated one. Datasets with an empty class report +Inf
+// via division semantics avoided: empty classes are skipped.
+func ClassImbalanceRatio(d *ts.Dataset) float64 {
+	counts := d.ClassCounts()
+	max, min := 0, int(^uint(0)>>1)
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if c > max {
+			max = c
+		}
+		if c < min {
+			min = c
+		}
+	}
+	if min == 0 || min == int(^uint(0)>>1) {
+		return 1
+	}
+	return float64(max) / float64(min)
+}

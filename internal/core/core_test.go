@@ -1,0 +1,366 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	ts "github.com/goetsc/goetsc/internal/timeseries"
+)
+
+// meanThreshold is a trivial univariate early classifier for tests: it
+// predicts class 1 when the running mean of the first half exceeds the
+// learned midpoint, consuming exactly half the series.
+type meanThreshold struct {
+	mid  float64
+	name string
+}
+
+func (m *meanThreshold) Name() string {
+	if m.name != "" {
+		return m.name
+	}
+	return "MEANTH"
+}
+
+func (m *meanThreshold) Fit(train *ts.Dataset) error {
+	var sum0, sum1 float64
+	var n0, n1 int
+	for _, in := range train.Instances {
+		for _, v := range in.Values[0] {
+			if in.Label == 0 {
+				sum0 += v
+				n0++
+			} else {
+				sum1 += v
+				n1++
+			}
+		}
+	}
+	m.mid = (sum0/float64(n0) + sum1/float64(n1)) / 2
+	return nil
+}
+
+func (m *meanThreshold) Classify(in ts.Instance) (int, int) {
+	half := (in.Length() + 1) / 2
+	var sum float64
+	for _, v := range in.Values[0][:half] {
+		sum += v
+	}
+	if sum/float64(half) > m.mid {
+		return 1, half
+	}
+	return 0, half
+}
+
+// fixedVote always predicts a fixed label with fixed consumption.
+type fixedVote struct {
+	label, consumed int
+}
+
+func (f *fixedVote) Name() string                    { return "FIXED" }
+func (f *fixedVote) Fit(train *ts.Dataset) error     { return nil }
+func (f *fixedVote) Classify(ts.Instance) (int, int) { return f.label, f.consumed }
+
+func offsetDataset(name string, n, length, vars int, rng *rand.Rand) *ts.Dataset {
+	d := &ts.Dataset{Name: name}
+	for i := 0; i < n; i++ {
+		c := i % 2
+		values := make([][]float64, vars)
+		for v := range values {
+			row := make([]float64, length)
+			for t := range row {
+				row[t] = float64(c)*4 + rng.NormFloat64()*0.3
+			}
+			values[v] = row
+		}
+		d.Instances = append(d.Instances, ts.Instance{Values: values, Label: c})
+	}
+	return d
+}
+
+func TestVotingMajorityAndWorstEarliness(t *testing.T) {
+	// Three voters: labels 1, 1, 0 with consumptions 3, 5, 9.
+	votersSpec := []fixedVote{{1, 3}, {1, 5}, {0, 9}}
+	i := 0
+	v := NewVoting(func() EarlyClassifier {
+		voter := votersSpec[i%3]
+		i++
+		return &voter
+	})
+	train := offsetDataset("d", 10, 6, 3, rand.New(rand.NewSource(1)))
+	if err := v.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	label, consumed := v.Classify(train.Instances[0])
+	if label != 1 {
+		t.Fatalf("majority label = %d, want 1", label)
+	}
+	if consumed != 9 {
+		t.Fatalf("consumed = %d, want worst (9)", consumed)
+	}
+}
+
+func TestVotingTieSelectsFirstVoterLabel(t *testing.T) {
+	votersSpec := []fixedVote{{2, 1}, {0, 1}}
+	i := 0
+	v := NewVoting(func() EarlyClassifier {
+		voter := votersSpec[i%2]
+		i++
+		return &voter
+	})
+	train := offsetDataset("d", 10, 6, 2, rand.New(rand.NewSource(2)))
+	if err := v.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	label, _ := v.Classify(train.Instances[0])
+	if label != 2 {
+		t.Fatalf("tie label = %d, want first voter's 2", label)
+	}
+}
+
+func TestVotingTrainsPerVariable(t *testing.T) {
+	created := 0
+	v := NewVoting(func() EarlyClassifier {
+		created++
+		return &meanThreshold{}
+	})
+	train := offsetDataset("d", 20, 8, 4, rand.New(rand.NewSource(3)))
+	if err := v.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if created != 4 {
+		t.Fatalf("created %d voters, want 4", created)
+	}
+	if v.Name() != "MEANTH" {
+		t.Fatalf("name = %q", v.Name())
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register("meanth", func() EarlyClassifier { return &meanThreshold{} }); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register("meanth", func() EarlyClassifier { return &meanThreshold{} }); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	if err := r.Register("", nil); err == nil {
+		t.Fatal("empty registration accepted")
+	}
+	algo, err := r.New("meanth")
+	if err != nil || algo == nil {
+		t.Fatalf("New failed: %v", err)
+	}
+	if _, err := r.New("nope"); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if names := r.Names(); len(names) != 1 || names[0] != "meanth" {
+		t.Fatalf("names = %v", names)
+	}
+	if _, err := r.Factory("meanth"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCategorizeFlags(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	// Common: small, balanced, stable, binary, univariate.
+	common := offsetDataset("common", 100, 50, 1, rng)
+	p := Categorize(common)
+	if !p.In(Common) || !p.In(Univariate) || len(p.Categories) != 2 {
+		t.Fatalf("common profile = %+v", p)
+	}
+	// Wide: length > 1300.
+	wide := offsetDataset("wide", 10, 1400, 1, rng)
+	if p := Categorize(wide); !p.In(Wide) || p.In(Common) {
+		t.Fatalf("wide profile = %+v", p)
+	}
+	// Large: height > 1000.
+	large := offsetDataset("large", 1100, 10, 1, rng)
+	if p := Categorize(large); !p.In(Large) {
+		t.Fatalf("large profile = %+v", p)
+	}
+	// Multivariate flag.
+	multi := offsetDataset("multi", 50, 10, 3, rng)
+	if p := Categorize(multi); !p.In(Multivariate) || p.In(Univariate) {
+		t.Fatalf("multi profile = %+v", p)
+	}
+}
+
+func TestCategorizeImbalancedAndMulticlass(t *testing.T) {
+	d := &ts.Dataset{Name: "imb"}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 90; i++ {
+		d.Instances = append(d.Instances, ts.Instance{Values: [][]float64{{rng.NormFloat64() + 5, rng.NormFloat64() + 5}}, Label: 0})
+	}
+	for i := 0; i < 10; i++ {
+		d.Instances = append(d.Instances, ts.Instance{Values: [][]float64{{rng.NormFloat64() + 5, rng.NormFloat64() + 5}}, Label: 1})
+	}
+	p := Categorize(d)
+	if !p.In(Imbalanced) {
+		t.Fatalf("CIR=%v not flagged imbalanced", p.CIR)
+	}
+	if p.CIR != 9 {
+		t.Fatalf("CIR = %v, want 9", p.CIR)
+	}
+	// Multiclass.
+	mc := &ts.Dataset{Name: "mc"}
+	for c := 0; c < 3; c++ {
+		for i := 0; i < 10; i++ {
+			mc.Instances = append(mc.Instances, ts.Instance{Values: [][]float64{{1, 2}}, Label: c})
+		}
+	}
+	if p := Categorize(mc); !p.In(Multiclass) {
+		t.Fatalf("multiclass not flagged: %+v", p)
+	}
+}
+
+func TestCategorizeUnstable(t *testing.T) {
+	d := &ts.Dataset{Name: "unstable"}
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 20; i++ {
+		row := make([]float64, 30)
+		for t := range row {
+			// Heavy-tailed positive values: CoV > 1.08.
+			v := rng.NormFloat64()
+			row[t] = v * v * v * v
+		}
+		d.Instances = append(d.Instances, ts.Instance{Values: [][]float64{row}, Label: i % 2})
+	}
+	p := Categorize(d)
+	if !p.In(Unstable) {
+		t.Fatalf("CoV=%v not flagged unstable", p.CoV)
+	}
+}
+
+func TestEvaluatePerfectAlgorithm(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d := offsetDataset("easy", 60, 10, 1, rng)
+	avg, folds, err := Evaluate(func() EarlyClassifier { return &meanThreshold{} }, d, EvalConfig{Folds: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folds) != 5 {
+		t.Fatalf("folds = %d", len(folds))
+	}
+	if avg.Accuracy < 0.99 {
+		t.Fatalf("accuracy = %v", avg.Accuracy)
+	}
+	if avg.Earliness < 0.45 || avg.Earliness > 0.55 {
+		t.Fatalf("earliness = %v, want ~0.5", avg.Earliness)
+	}
+	if avg.HarmonicMean <= 0 {
+		t.Fatal("harmonic mean not computed")
+	}
+	if avg.Algorithm != "MEANTH" || avg.Dataset != "easy" {
+		t.Fatalf("labels = %q/%q", avg.Algorithm, avg.Dataset)
+	}
+}
+
+func TestEvaluateAutoWrapsMultivariate(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	d := offsetDataset("mv", 40, 10, 3, rng)
+	avg, _, err := Evaluate(func() EarlyClassifier { return &meanThreshold{} }, d, EvalConfig{Folds: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg.Accuracy < 0.99 {
+		t.Fatalf("wrapped accuracy = %v", avg.Accuracy)
+	}
+}
+
+// slowFit blocks long enough to trip a tiny training budget.
+type slowFit struct{ meanThreshold }
+
+func (s *slowFit) Fit(train *ts.Dataset) error {
+	time.Sleep(200 * time.Millisecond)
+	return s.meanThreshold.Fit(train)
+}
+
+func TestEvaluateTrainBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	d := offsetDataset("slow", 20, 10, 1, rng)
+	avg, _, err := Evaluate(func() EarlyClassifier { return &slowFit{} }, d, EvalConfig{Folds: 2, Seed: 3, TrainBudget: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !avg.TimedOut {
+		t.Fatal("budget exceeded but not marked TimedOut")
+	}
+}
+
+func TestEvaluateInvalidDataset(t *testing.T) {
+	bad := &ts.Dataset{Name: "bad"}
+	if _, _, err := Evaluate(func() EarlyClassifier { return &meanThreshold{} }, bad, EvalConfig{}); err == nil {
+		t.Fatal("invalid dataset accepted")
+	}
+}
+
+func TestConsumedClampedToLength(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	d := offsetDataset("clamp", 20, 10, 1, rng)
+	over := func() EarlyClassifier { return &fixedVote{label: 0, consumed: 99} }
+	avg, _, err := Evaluate(over, d, EvalConfig{Folds: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg.Earliness > 1 {
+		t.Fatalf("earliness = %v > 1", avg.Earliness)
+	}
+}
+
+// slowStoppable blocks in Fit until Stop is called, then returns an error.
+type slowStoppable struct {
+	meanThreshold
+	stop chan struct{}
+}
+
+func (s *slowStoppable) Fit(train *ts.Dataset) error {
+	select {
+	case <-s.stop:
+		return nil
+	case <-time.After(5 * time.Second):
+		return nil
+	}
+}
+
+func (s *slowStoppable) Stop() { close(s.stop) }
+
+func TestEvaluateStopsCooperativeAlgorithms(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	d := offsetDataset("coop", 20, 10, 1, rng)
+	var created []*slowStoppable
+	factory := func() EarlyClassifier {
+		s := &slowStoppable{stop: make(chan struct{})}
+		created = append(created, s)
+		return s
+	}
+	start := time.Now()
+	avg, _, err := Evaluate(factory, d, EvalConfig{Folds: 2, Seed: 1, TrainBudget: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !avg.TimedOut {
+		t.Fatal("not marked TimedOut")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("Stop was not propagated; Fit ran to its 5s sleep")
+	}
+	// The first (and only, due to fold skipping) algorithm was stopped.
+	select {
+	case <-created[0].stop:
+	default:
+		t.Fatal("Stop never called on the training algorithm")
+	}
+}
+
+func TestVotingStopAborts(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	d := offsetDataset("vstop", 20, 10, 3, rng)
+	v := NewVoting(func() EarlyClassifier { return &meanThreshold{} })
+	v.Stop()
+	if err := v.Fit(d); err == nil {
+		t.Fatal("stopped voting wrapper still trained")
+	}
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	ts "github.com/goetsc/goetsc/internal/timeseries"
+)
+
+// WeightedVoting is the alternative voting scheme the paper lists as
+// future work ("analyze the performance of alternative voting schemes"):
+// instead of one-vote-per-variable, each voter's ballot is weighted by its
+// accuracy on a held-out validation split of the training data, so
+// uninformative variables (e.g. the Maritime timestamp channel) stop
+// drowning out informative ones. Earliness remains the worst among voters,
+// as in the plain scheme.
+type WeightedVoting struct {
+	// NewVoter creates a fresh underlying classifier for one variable.
+	NewVoter func() EarlyClassifier
+	// ValFrac is the training fraction held out to estimate voter
+	// weights; default 0.25.
+	ValFrac float64
+	// Seed drives the validation split.
+	Seed int64
+
+	voters  []EarlyClassifier
+	weights []float64
+	name    string
+}
+
+// NewWeightedVoting wraps the given factory.
+func NewWeightedVoting(factory func() EarlyClassifier) *WeightedVoting {
+	return &WeightedVoting{NewVoter: factory}
+}
+
+// Name returns the underlying algorithm's name with a scheme suffix.
+func (v *WeightedVoting) Name() string {
+	if v.name != "" {
+		return v.name + "+W"
+	}
+	return v.NewVoter().Name() + "+W"
+}
+
+// Multivariate reports true.
+func (v *WeightedVoting) Multivariate() bool { return true }
+
+// Fit trains one voter per variable and estimates per-voter weights on a
+// held-out split.
+func (v *WeightedVoting) Fit(train *ts.Dataset) error {
+	nVars := train.NumVars()
+	if nVars == 0 {
+		return fmt.Errorf("weighted voting: dataset %q has no variables", train.Name)
+	}
+	valFrac := v.ValFrac
+	if valFrac <= 0 || valFrac >= 1 {
+		valFrac = 0.25
+	}
+	rng := rand.New(rand.NewSource(v.Seed + 1))
+	trainIdx, valIdx, err := ts.StratifiedSplit(train, 1-valFrac, rng)
+	if err != nil {
+		return fmt.Errorf("weighted voting: %w", err)
+	}
+	fitPart := train.Subset(trainIdx)
+	valPart := train.Subset(valIdx)
+
+	v.voters = make([]EarlyClassifier, nVars)
+	v.weights = make([]float64, nVars)
+	for variable := 0; variable < nVars; variable++ {
+		voter := v.NewVoter()
+		if v.name == "" {
+			v.name = voter.Name()
+		}
+		if err := voter.Fit(fitPart.Univariate(variable)); err != nil {
+			return fmt.Errorf("weighted voting: variable %d: %w", variable, err)
+		}
+		correct := 0
+		for _, in := range valPart.Instances {
+			if label, _ := voter.Classify(in.Variable(variable)); label == in.Label {
+				correct++
+			}
+		}
+		acc := float64(correct) / float64(valPart.Len())
+		// Weight = accuracy above chance, floored at a small epsilon so a
+		// unanimous set of weak voters still produces a decision.
+		chance := 1.0 / float64(train.NumClasses())
+		w := acc - chance
+		if w < 0.01 {
+			w = 0.01
+		}
+		v.weights[variable] = w
+		// Refit the voter on the full training data for test time.
+		voter = v.NewVoter()
+		if err := voter.Fit(train.Univariate(variable)); err != nil {
+			return fmt.Errorf("weighted voting: variable %d refit: %w", variable, err)
+		}
+		v.voters[variable] = voter
+	}
+	return nil
+}
+
+// Weights exposes the learned per-variable weights.
+func (v *WeightedVoting) Weights() []float64 { return append([]float64(nil), v.weights...) }
+
+// Classify collects weighted votes; ties resolve to the earlier voter.
+func (v *WeightedVoting) Classify(instance ts.Instance) (int, int) {
+	scores := map[int]float64{}
+	order := map[int]int{} // first voter index proposing the label
+	worst := 0
+	for variable, voter := range v.voters {
+		label, consumed := voter.Classify(instance.Variable(variable))
+		scores[label] += v.weights[variable]
+		if _, seen := order[label]; !seen {
+			order[label] = variable
+		}
+		if consumed > worst {
+			worst = consumed
+		}
+	}
+	best, bestScore, bestOrder := 0, -1.0, 0
+	for label, score := range scores {
+		if score > bestScore || (score == bestScore && order[label] < bestOrder) {
+			best, bestScore, bestOrder = label, score, order[label]
+		}
+	}
+	return best, worst
+}

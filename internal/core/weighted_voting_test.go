@@ -1,0 +1,133 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	ts "github.com/goetsc/goetsc/internal/timeseries"
+)
+
+// signalOneVariable builds a dataset where only variable `informative`
+// carries class signal; the rest are noise.
+func signalOneVariable(rng *rand.Rand, n, length, vars, informative int) *ts.Dataset {
+	d := &ts.Dataset{Name: "partial"}
+	for i := 0; i < n; i++ {
+		c := i % 2
+		values := make([][]float64, vars)
+		for v := range values {
+			row := make([]float64, length)
+			for t := range row {
+				if v == informative {
+					row[t] = float64(c)*4 + rng.NormFloat64()*0.3
+				} else {
+					row[t] = rng.NormFloat64() * 2
+				}
+			}
+			values[v] = row
+		}
+		d.Instances = append(d.Instances, ts.Instance{Values: values, Label: c})
+	}
+	return d
+}
+
+func TestWeightedVotingUpweightsInformativeVariable(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := signalOneVariable(rng, 80, 12, 5, 2)
+	wv := NewWeightedVoting(func() EarlyClassifier { return &meanThreshold{} })
+	if err := wv.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	weights := wv.Weights()
+	for v, w := range weights {
+		if v == 2 {
+			continue
+		}
+		if weights[2] <= w {
+			t.Fatalf("informative variable weight %v not above noise variable %d weight %v", weights[2], v, w)
+		}
+	}
+	// Weighted voting should classify well despite 4 noise voters.
+	correct := 0
+	test := signalOneVariable(rng, 40, 12, 5, 2)
+	for _, in := range test.Instances {
+		if label, _ := wv.Classify(in); label == in.Label {
+			correct++
+		}
+	}
+	if correct < 36 {
+		t.Fatalf("weighted voting accuracy = %d/40", correct)
+	}
+}
+
+func TestWeightedVotingBeatsPlainOnNoisyChannels(t *testing.T) {
+	// Plain majority voting is drowned by noise voters; weighted voting
+	// should do at least as well.
+	rng := rand.New(rand.NewSource(2))
+	train := signalOneVariable(rng, 80, 12, 5, 0)
+	test := signalOneVariable(rng, 60, 12, 5, 0)
+	plain := NewVoting(func() EarlyClassifier { return &meanThreshold{} })
+	weighted := NewWeightedVoting(func() EarlyClassifier { return &meanThreshold{} })
+	if err := plain.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if err := weighted.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	count := func(c EarlyClassifier) int {
+		n := 0
+		for _, in := range test.Instances {
+			if label, _ := c.Classify(in); label == in.Label {
+				n++
+			}
+		}
+		return n
+	}
+	if count(weighted) < count(plain) {
+		t.Fatalf("weighted voting (%d) worse than plain (%d)", count(weighted), count(plain))
+	}
+	if count(weighted) < 48 {
+		t.Fatalf("weighted voting accuracy = %d/60", count(weighted))
+	}
+}
+
+func TestWeightedVotingNameAndCapability(t *testing.T) {
+	wv := NewWeightedVoting(func() EarlyClassifier { return &meanThreshold{} })
+	if !wv.Multivariate() {
+		t.Fatal("weighted voting must be multivariate")
+	}
+	rng := rand.New(rand.NewSource(3))
+	d := signalOneVariable(rng, 40, 8, 2, 0)
+	if err := wv.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	if wv.Name() != "MEANTH+W" {
+		t.Fatalf("name = %q", wv.Name())
+	}
+}
+
+func TestWeightedVotingWorstEarliness(t *testing.T) {
+	votersSpec := []fixedVote{{1, 3}, {1, 8}}
+	i := 0
+	wv := NewWeightedVoting(func() EarlyClassifier {
+		voter := votersSpec[i%2]
+		i++
+		return &voter
+	})
+	rng := rand.New(rand.NewSource(4))
+	d := signalOneVariable(rng, 40, 10, 2, 0)
+	if err := wv.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	_, consumed := wv.Classify(d.Instances[0])
+	if consumed != 8 {
+		t.Fatalf("consumed = %d, want worst (8)", consumed)
+	}
+}
+
+func TestWeightedVotingErrors(t *testing.T) {
+	wv := NewWeightedVoting(func() EarlyClassifier { return &meanThreshold{} })
+	empty := &ts.Dataset{Name: "e", Instances: []ts.Instance{{Values: [][]float64{}, Label: 0}}}
+	if err := wv.Fit(empty); err == nil {
+		t.Fatal("no-variable dataset accepted")
+	}
+}

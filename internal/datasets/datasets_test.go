@@ -1,0 +1,227 @@
+package datasets
+
+import (
+	"sort"
+	"testing"
+
+	"github.com/goetsc/goetsc/internal/core"
+)
+
+// TestTable3FlagsReproduced is the repository's reproduction of Table 3:
+// for every dataset, the category flags computed from the generated data
+// with the paper's thresholds must match the published flags exactly.
+func TestTable3FlagsReproduced(t *testing.T) {
+	for _, spec := range All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			d := spec.Generate(1, 42)
+			if err := d.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			profile := core.Categorize(d)
+			got := categoriesAsStrings(profile.Categories)
+			want := categoriesAsStrings(spec.PaperCategories)
+			if len(got) != len(want) {
+				t.Fatalf("categories = %v, want %v (profile: L=%d N=%d CoV=%.3f CIR=%.2f classes=%d)",
+					got, want, profile.Length, profile.Height, profile.CoV, profile.CIR, profile.NumClasses)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("categories = %v, want %v (profile: L=%d N=%d CoV=%.3f CIR=%.2f classes=%d)",
+						got, want, profile.Length, profile.Height, profile.CoV, profile.CIR, profile.NumClasses)
+				}
+			}
+		})
+	}
+}
+
+func categoriesAsStrings(cs []core.Category) []string {
+	out := make([]string, len(cs))
+	for i, c := range cs {
+		out[i] = string(c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestPublishedShapes checks instance counts, lengths, variables and class
+// counts against the paper (full scale).
+func TestPublishedShapes(t *testing.T) {
+	cases := []struct {
+		name            string
+		n, length, vars int
+		classes         int
+		exactN          bool
+	}{
+		{"BasicMotions", 80, 100, 6, 4, true},
+		{"Biological", 644, 48, 3, 2, true},
+		{"DodgerLoopDay", 158, 288, 1, 7, true},
+		{"DodgerLoopGame", 158, 288, 1, 2, true},
+		{"DodgerLoopWeekend", 158, 288, 1, 2, true},
+		{"HouseTwenty", 159, 2000, 1, 2, true},
+		{"LSST", 4925, 36, 6, 14, true},
+		{"Maritime", 8000, 30, 7, 2, true}, // scaled-down stand-in for 80,591
+		{"PickupGestureWiimoteZ", 100, 361, 1, 10, true},
+		{"PLAID", 1074, 1344, 1, 11, true},
+		{"PowerCons", 360, 144, 1, 2, true},
+		{"SharePriceIncrease", 1931, 60, 1, 2, true},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			spec, err := ByName(tc.name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d := spec.Generate(1, 7)
+			if tc.exactN && d.Len() != tc.n {
+				t.Fatalf("N = %d, want %d", d.Len(), tc.n)
+			}
+			if d.MaxLength() != tc.length {
+				t.Fatalf("L = %d, want %d", d.MaxLength(), tc.length)
+			}
+			if d.NumVars() != tc.vars {
+				t.Fatalf("vars = %d, want %d", d.NumVars(), tc.vars)
+			}
+			if d.NumClasses() != tc.classes {
+				t.Fatalf("classes = %d, want %d", d.NumClasses(), tc.classes)
+			}
+			if d.Freq <= 0 {
+				t.Fatal("no observation frequency set")
+			}
+		})
+	}
+}
+
+func TestBiologicalImbalanceNearPaper(t *testing.T) {
+	d := Biological(1, 3)
+	counts := d.ClassCounts()
+	frac := float64(counts[1]) / float64(d.Len())
+	// Paper: interesting ≈ 20% of 644.
+	if frac < 0.12 || frac > 0.30 {
+		t.Fatalf("interesting fraction = %v, want ~0.20", frac)
+	}
+}
+
+func TestMaritimeImbalanceNearPaper(t *testing.T) {
+	d := Maritime(1, 3)
+	counts := d.ClassCounts()
+	cir := float64(counts[0]) / float64(counts[1])
+	// Paper: 65,124 / 15,467 ≈ 4.2.
+	if cir < 2 || cir > 8 {
+		t.Fatalf("CIR = %v, want near 4.2", cir)
+	}
+}
+
+func TestPLAIDVaryingLengths(t *testing.T) {
+	d := PLAID(1, 5)
+	if d.MinLength() == d.MaxLength() {
+		t.Fatal("PLAID lengths should vary")
+	}
+	if d.MinLength() < 100 {
+		t.Fatalf("min length = %d, implausibly short", d.MinLength())
+	}
+}
+
+func TestScaleShrinksHeightOnly(t *testing.T) {
+	full := PowerCons(1, 9)
+	small := PowerCons(0.25, 9)
+	if small.Len() >= full.Len() {
+		t.Fatalf("scale did not shrink: %d vs %d", small.Len(), full.Len())
+	}
+	if small.MaxLength() != full.MaxLength() {
+		t.Fatal("scale changed the series length")
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a := Biological(0.2, 11)
+	b := Biological(0.2, 11)
+	if a.Len() != b.Len() {
+		t.Fatal("same seed, different sizes")
+	}
+	for i := range a.Instances {
+		if a.Instances[i].Label != b.Instances[i].Label {
+			t.Fatal("same seed, different labels")
+		}
+		if a.Instances[i].Values[0][0] != b.Instances[i].Values[0][0] {
+			t.Fatal("same seed, different values")
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	if len(Names()) != 12 {
+		t.Fatalf("names = %v", Names())
+	}
+}
+
+// TestClassSignalLearnable verifies with a phase-invariant 1-NN (mean,
+// variance and mean absolute difference per variable) that every generated
+// dataset carries real class signal, well above chance on a held-out split.
+func TestClassSignalLearnable(t *testing.T) {
+	for _, spec := range All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			d := spec.Generate(0.12, 13)
+			features := make([][]float64, d.Len())
+			for i, in := range d.Instances {
+				features[i] = summaryFeatures(in.Values)
+			}
+			nTrain := d.Len() * 2 / 3
+			correct, total := 0, 0
+			for i := nTrain; i < d.Len(); i++ {
+				best, bestDist := -1, 0.0
+				for j := 0; j < nTrain; j++ {
+					var dist float64
+					for k := range features[i] {
+						diff := features[i][k] - features[j][k]
+						dist += diff * diff
+					}
+					if best < 0 || dist < bestDist {
+						best, bestDist = j, dist
+					}
+				}
+				if d.Instances[best].Label == d.Instances[i].Label {
+					correct++
+				}
+				total++
+			}
+			chance := 1.0 / float64(d.NumClasses())
+			acc := float64(correct) / float64(total)
+			if acc < chance+0.15 {
+				t.Fatalf("feature 1-NN accuracy %v barely above chance %v: dataset carries no class signal", acc, chance)
+			}
+		})
+	}
+}
+
+// summaryFeatures computes phase-invariant per-variable statistics.
+func summaryFeatures(values [][]float64) []float64 {
+	var out []float64
+	for _, row := range values {
+		var sum, ss, ad float64
+		for k, v := range row {
+			sum += v
+			ss += v * v
+			if k > 0 {
+				d := v - row[k-1]
+				if d < 0 {
+					d = -d
+				}
+				ad += d
+			}
+		}
+		n := float64(len(row))
+		mean := sum / n
+		variance := ss/n - mean*mean
+		if variance < 0 {
+			variance = 0
+		}
+		out = append(out, mean, variance, ad/n)
+	}
+	return out
+}

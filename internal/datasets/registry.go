@@ -1,0 +1,60 @@
+package datasets
+
+import (
+	"fmt"
+
+	"github.com/goetsc/goetsc/internal/core"
+	ts "github.com/goetsc/goetsc/internal/timeseries"
+)
+
+// Spec describes one benchmark dataset: its generator plus the category
+// flags the paper's Table 3 assigns to it (used to verify that the
+// synthesized data reproduces the published characteristics).
+type Spec struct {
+	// Name is the dataset name as it appears in the paper.
+	Name string
+	// Generate synthesizes the dataset. scale in (0, 1] shrinks the
+	// instance count for fast runs (lengths and variable counts are
+	// preserved so that category flags survive); seed fixes the data.
+	Generate func(scale float64, seed int64) *ts.Dataset
+	// PaperCategories are the Table 3 flags.
+	PaperCategories []core.Category
+}
+
+// All returns the twelve dataset specs in the paper's Table 3 order.
+func All() []Spec {
+	return []Spec{
+		{"BasicMotions", BasicMotions, []core.Category{core.Unstable, core.Multiclass, core.Multivariate}},
+		{"Biological", Biological, []core.Category{core.Imbalanced, core.Multivariate}},
+		{"DodgerLoopDay", DodgerLoopDay, []core.Category{core.Multiclass, core.Univariate}},
+		{"DodgerLoopGame", DodgerLoopGame, []core.Category{core.Common, core.Univariate}},
+		{"DodgerLoopWeekend", DodgerLoopWeekend, []core.Category{core.Imbalanced, core.Univariate}},
+		{"HouseTwenty", HouseTwenty, []core.Category{core.Wide, core.Unstable, core.Univariate}},
+		{"LSST", LSST, []core.Category{core.Large, core.Unstable, core.Imbalanced, core.Multiclass, core.Multivariate}},
+		{"Maritime", Maritime, []core.Category{core.Large, core.Unstable, core.Imbalanced, core.Multivariate}},
+		{"PickupGestureWiimoteZ", PickupGestureWiimoteZ, []core.Category{core.Multiclass, core.Univariate}},
+		{"PLAID", PLAID, []core.Category{core.Wide, core.Large, core.Unstable, core.Imbalanced, core.Multiclass, core.Univariate}},
+		{"PowerCons", PowerCons, []core.Category{core.Common, core.Univariate}},
+		{"SharePriceIncrease", SharePriceIncrease, []core.Category{core.Large, core.Unstable, core.Imbalanced, core.Univariate}},
+	}
+}
+
+// ByName returns the spec for one dataset.
+func ByName(name string) (Spec, error) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("datasets: unknown dataset %q", name)
+}
+
+// Names lists all dataset names in Table 3 order.
+func Names() []string {
+	specs := All()
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Name
+	}
+	return out
+}

@@ -1,0 +1,400 @@
+package datasets
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	ts "github.com/goetsc/goetsc/internal/timeseries"
+)
+
+// The ten UEA & UCR datasets of Section 5.1, synthesized to match the
+// originals' published shape and Table 3 category flags. Class-dependent
+// structure is embedded so every dataset is genuinely learnable, and the
+// onset of the class signal varies across datasets to exercise different
+// earliness regimes.
+
+// BasicMotions: 80 six-variate accelerometer/gyroscope recordings of 100
+// points across four activities (standing, walking, running, badminton).
+// Flags: Unstable, Multiclass, Multivariate.
+func BasicMotions(scale float64, seed int64) *ts.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	n := scaled(80, scale, 40)
+	const length, vars = 100, 6
+	d := &ts.Dataset{
+		Name:       "BasicMotions",
+		ClassNames: []string{"standing", "walking", "running", "badminton"},
+		Freq:       100 * time.Millisecond,
+	}
+	for i := 0; i < n; i++ {
+		c := i % 4
+		values := make([][]float64, vars)
+		freq := []float64{0, 1.2, 2.8, 2.0}[c]
+		amp := []float64{0.05, 1.0, 3.0, 2.0}[c]
+		for v := 0; v < vars; v++ {
+			row := make([]float64, length)
+			phase := rng.Float64() * 2 * math.Pi
+			for t := range row {
+				switch c {
+				case 0: // standing: sensor noise only
+					row[t] = rng.NormFloat64() * 0.05
+				case 3: // badminton: irregular bursts
+					row[t] = rng.NormFloat64() * 0.3
+					if rng.Float64() < 0.08 {
+						row[t] += amp * (2 + rng.Float64()*3) * sign(rng)
+					}
+				default: // walking / running: periodic gait
+					row[t] = amp*math.Sin(2*math.Pi*freq*float64(t)/20+phase+float64(v)) +
+						rng.NormFloat64()*0.2
+				}
+			}
+			values[v] = row
+		}
+		d.Instances = append(d.Instances, ts.Instance{Values: values, Label: c})
+	}
+	return d
+}
+
+// dodgerLoop is the shared generator of the three DodgerLoop variants:
+// one day (288 five-minute bins) of highway-ramp vehicle counts with a
+// morning and evening rush, day-of-week level differences and optional
+// game-evening surges.
+func dodgerLoop(rng *rand.Rand, day int, game bool, length int) []float64 {
+	row := make([]float64, length)
+	weekend := day >= 5
+	base := 14.0 + float64(day)*0.9 // weekday identity shows in the level
+	if weekend {
+		base = 8 + float64(day-5)*1.5
+	}
+	for t := range row {
+		hour := float64(t) * 24 / float64(length)
+		traffic := base
+		if !weekend {
+			traffic += 14 * gauss(hour, 8, 1.3)  // morning rush
+			traffic += 12 * gauss(hour, 17, 1.6) // evening rush
+		} else {
+			traffic += 7 * gauss(hour, 13, 3) // weekend midday
+		}
+		if game && hour > 18 && hour < 22.5 {
+			traffic += 16 * gauss(hour, 19.5, 0.8) // game-day surge
+		}
+		row[t] = traffic + rng.NormFloat64()*1.5
+		if row[t] < 0 {
+			row[t] = 0
+		}
+	}
+	return row
+}
+
+// DodgerLoopDay: classify the day of the week (7 classes).
+// Flags: Multiclass, Univariate.
+func DodgerLoopDay(scale float64, seed int64) *ts.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	n := scaled(158, scale, 56)
+	d := &ts.Dataset{
+		Name:       "DodgerLoopDay",
+		ClassNames: []string{"mon", "tue", "wed", "thu", "fri", "sat", "sun"},
+		Freq:       5 * time.Minute,
+	}
+	for i := 0; i < n; i++ {
+		day := i % 7
+		row := dodgerLoop(rng, day, false, 288)
+		d.Instances = append(d.Instances, ts.Instance{Values: [][]float64{row}, Label: day})
+	}
+	return d
+}
+
+// DodgerLoopGame: game evening vs normal evening (2 balanced classes).
+// Flags: Common, Univariate.
+func DodgerLoopGame(scale float64, seed int64) *ts.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	n := scaled(158, scale, 40)
+	d := &ts.Dataset{
+		Name:       "DodgerLoopGame",
+		ClassNames: []string{"normal", "game"},
+		Freq:       5 * time.Minute,
+	}
+	for i := 0; i < n; i++ {
+		game := i%2 == 1
+		row := dodgerLoop(rng, i%5, game, 288)
+		label := 0
+		if game {
+			label = 1
+		}
+		d.Instances = append(d.Instances, ts.Instance{Values: [][]float64{row}, Label: label})
+	}
+	return d
+}
+
+// DodgerLoopWeekend: weekend vs weekday (imbalanced 5:2).
+// Flags: Imbalanced, Univariate.
+func DodgerLoopWeekend(scale float64, seed int64) *ts.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	n := scaled(158, scale, 56)
+	d := &ts.Dataset{
+		Name:       "DodgerLoopWeekend",
+		ClassNames: []string{"weekday", "weekend"},
+		Freq:       5 * time.Minute,
+	}
+	for i := 0; i < n; i++ {
+		day := i % 7
+		label := 0
+		if day >= 5 {
+			label = 1
+		}
+		row := dodgerLoop(rng, day, false, 288)
+		d.Instances = append(d.Instances, ts.Instance{Values: [][]float64{row}, Label: label})
+	}
+	return d
+}
+
+// HouseTwenty: 2000-point household electricity traces; class 1 households
+// run a high-power appliance (kettle/shower spikes) in addition to the
+// base load. Flags: Wide, Unstable, Univariate.
+func HouseTwenty(scale float64, seed int64) *ts.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	n := scaled(159, scale, 40)
+	const length = 2000
+	d := &ts.Dataset{
+		Name:       "HouseTwenty",
+		ClassNames: []string{"aggregate", "tumble-dryer"},
+		Freq:       8 * time.Second,
+	}
+	for i := 0; i < n; i++ {
+		c := i % 2
+		row := make([]float64, length)
+		base := 40 + rng.Float64()*30
+		for t := range row {
+			row[t] = base + rng.NormFloat64()*6
+		}
+		// Background appliance events in both classes.
+		for e := 0; e < 4+rng.Intn(4); e++ {
+			at := rng.Intn(length - 60)
+			power := 300 + rng.Float64()*500
+			for k := 0; k < 30+rng.Intn(30); k++ {
+				row[at+k] += power
+			}
+		}
+		if c == 1 {
+			// Tumble-dryer signature: long cyclic high-power block.
+			at := rng.Intn(length / 2)
+			dur := 400 + rng.Intn(300)
+			for k := 0; k < dur && at+k < length; k++ {
+				row[at+k] += 1800 + 400*math.Sin(2*math.Pi*float64(k)/90)
+			}
+		}
+		d.Instances = append(d.Instances, ts.Instance{Values: [][]float64{row}, Label: c})
+	}
+	return d
+}
+
+// LSST: six-band astronomical light curves of 36 points across 14 transient
+// classes with a long-tailed class distribution.
+// Flags: Large, Unstable, Imbalanced, Multiclass, Multivariate.
+func LSST(scale float64, seed int64) *ts.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	n := scaled(4925, scale, 140)
+	const length, vars, classes = 36, 6, 14
+	d := &ts.Dataset{Name: "LSST", Freq: 24 * time.Hour}
+	classNames := make([]string, classes)
+	for c := range classNames {
+		classNames[c] = "transient-" + string(rune('a'+c))
+	}
+	d.ClassNames = classNames
+	// Long-tailed class weights (largest/smallest > 1.73).
+	weights := make([]float64, classes)
+	var wSum float64
+	for c := range weights {
+		weights[c] = 1 / float64(c+1)
+		wSum += weights[c]
+	}
+	for i := 0; i < n; i++ {
+		// Guarantee every class appears, then sample the long tail.
+		var c int
+		if i < classes {
+			c = i
+		} else {
+			r := rng.Float64() * wSum
+			for c = 0; c < classes-1; c++ {
+				if r < weights[c] {
+					break
+				}
+				r -= weights[c]
+			}
+		}
+		rise := 1.5 + float64(c%7)*0.8 // class-specific rise time
+		decay := 3 + float64(c/7)*6    // and decay scale
+		peak := 5 + float64(c%5)*4     // and amplitude
+		onset := 4 + rng.Intn(8)
+		values := make([][]float64, vars)
+		for v := 0; v < vars; v++ {
+			row := make([]float64, length)
+			bandGain := 0.5 + 0.5*math.Sin(float64(v)+float64(c)) // band response
+			for t := range row {
+				x := float64(t - onset)
+				flux := 0.0
+				if x >= 0 {
+					flux = peak * bandGain * (1 - math.Exp(-x/rise)) * math.Exp(-x/decay)
+				}
+				row[t] = flux + rng.NormFloat64()*0.4
+			}
+			values[v] = row
+		}
+		d.Instances = append(d.Instances, ts.Instance{Values: values, Label: c})
+	}
+	return d
+}
+
+// PickupGestureWiimoteZ: 361-point z-axis accelerometer traces of ten
+// pick-up gestures differing in onset, speed and repetition count.
+// Flags: Multiclass, Univariate.
+func PickupGestureWiimoteZ(scale float64, seed int64) *ts.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	n := scaled(100, scale, 50)
+	const length, classes = 361, 10
+	d := &ts.Dataset{Name: "PickupGestureWiimoteZ", Freq: 10 * time.Millisecond}
+	for c := 0; c < classes; c++ {
+		d.ClassNames = append(d.ClassNames, "gesture-"+string(rune('0'+c)))
+	}
+	for i := 0; i < n; i++ {
+		c := i % classes
+		row := make([]float64, length)
+		// Gravity baseline keeps the CoV below the Unstable threshold.
+		for t := range row {
+			row[t] = 9.8 + rng.NormFloat64()*0.15
+		}
+		reps := 1 + c%3
+		width := 30 + (c/3)*25
+		start := 40 + 10*(c%4) + rng.Intn(20)
+		for r := 0; r < reps; r++ {
+			at := start + r*(width+20)
+			for k := 0; k < width && at+k < length; k++ {
+				row[at+k] += 3 * math.Sin(math.Pi*float64(k)/float64(width)) * (1 + 0.15*float64(c))
+			}
+		}
+		d.Instances = append(d.Instances, ts.Instance{Values: [][]float64{row}, Label: c})
+	}
+	return d
+}
+
+// PLAID: appliance current signatures with VARYING lengths (the dataset
+// that exercises unequal-length handling), 11 appliance classes with a
+// long-tailed distribution.
+// Flags: Wide, Large, Unstable, Imbalanced, Multiclass, Univariate.
+func PLAID(scale float64, seed int64) *ts.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	n := scaled(1074, scale, 110)
+	const classes = 11
+	d := &ts.Dataset{Name: "PLAID", Freq: 33 * time.Microsecond}
+	for c := 0; c < classes; c++ {
+		d.ClassNames = append(d.ClassNames, "appliance-"+string(rune('a'+c)))
+	}
+	for i := 0; i < n; i++ {
+		var c int
+		if i < classes {
+			c = i
+		} else {
+			// Long tail: class weight 1/(c+1).
+			r := rng.Float64() * 3.02
+			for c = 0; c < classes-1; c++ {
+				w := 1 / float64(c+1)
+				if r < w {
+					break
+				}
+				r -= w
+			}
+		}
+		// Varying length between 200 and 1344 (class-correlated, noisy) —
+		// the MAXIMUM keeps the dataset Wide.
+		length := 200 + c*95 + rng.Intn(160)
+		if length > 1344 {
+			length = 1344
+		}
+		if i%17 == 0 {
+			length = 1344 // ensure the max length is realized
+		}
+		row := make([]float64, length)
+		fundamental := 2 * math.Pi / 500.0 // mains cycle in samples
+		h3 := 0.1 + 0.08*float64(c%5)      // class-specific harmonics
+		h5 := 0.05 * float64(c%3)
+		amp := 1 + 0.4*float64(c)
+		for t := range row {
+			x := float64(t) * fundamental
+			row[t] = amp * (math.Sin(x) + h3*math.Sin(3*x) + h5*math.Sin(5*x))
+			row[t] += rng.NormFloat64() * 0.05
+		}
+		d.Instances = append(d.Instances, ts.Instance{Values: [][]float64{row}, Label: c})
+	}
+	return d
+}
+
+// PowerCons: one day of household power at 10-minute resolution; warm vs
+// cold season (heating load separates the classes from early morning on).
+// Flags: Common, Univariate.
+func PowerCons(scale float64, seed int64) *ts.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	n := scaled(360, scale, 60)
+	const length = 144
+	d := &ts.Dataset{
+		Name:       "PowerCons",
+		ClassNames: []string{"warm", "cold"},
+		Freq:       10 * time.Minute,
+	}
+	for i := 0; i < n; i++ {
+		c := i % 2
+		row := make([]float64, length)
+		for t := range row {
+			hour := float64(t) * 24 / float64(length)
+			load := 5 + 2*gauss(hour, 8, 2) + 3*gauss(hour, 20, 2.5) // daily routine
+			if c == 1 {
+				load += 3.5 + 1.5*gauss(hour, 7, 3) // heating, on from early morning
+			}
+			row[t] = load + rng.NormFloat64()*0.5
+		}
+		d.Instances = append(d.Instances, ts.Instance{Values: [][]float64{row}, Label: c})
+	}
+	return d
+}
+
+// SharePriceIncrease: 60 daily relative price changes; the positive class
+// develops sustained upward drift in the last third of the window.
+// Flags: Large, Unstable, Imbalanced, Univariate.
+func SharePriceIncrease(scale float64, seed int64) *ts.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	n := scaled(1931, scale, 120)
+	const length = 60
+	d := &ts.Dataset{
+		Name:       "SharePriceIncrease",
+		ClassNames: []string{"flat", "increase"},
+		Freq:       24 * time.Hour,
+	}
+	for i := 0; i < n; i++ {
+		// ~27% positive, CIR ≈ 2.7.
+		label := 0
+		if i%15 < 4 {
+			label = 1
+		}
+		row := make([]float64, length)
+		vol := 0.8 + rng.Float64()*1.2
+		for t := range row {
+			row[t] = rng.NormFloat64() * vol
+			if label == 1 && t > 40 {
+				row[t] += 1.1 // late upward drift
+			}
+		}
+		d.Instances = append(d.Instances, ts.Instance{Values: [][]float64{row}, Label: label})
+	}
+	return d
+}
+
+func gauss(x, mu, sigma float64) float64 {
+	d := (x - mu) / sigma
+	return math.Exp(-d * d / 2)
+}
+
+func sign(rng *rand.Rand) float64 {
+	if rng.Float64() < 0.5 {
+		return -1
+	}
+	return 1
+}

@@ -1,0 +1,137 @@
+package fft
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestTransformConstantSignal(t *testing.T) {
+	x := []float64{2, 2, 2, 2}
+	out := Transform(x)
+	if math.Abs(out[0]-8) > 1e-9 {
+		t.Fatalf("DC = %v, want 8", out[0])
+	}
+	for i := 2; i < len(out); i++ {
+		if math.Abs(out[i]) > 1e-9 {
+			t.Fatalf("non-DC bin %d = %v, want 0", i, out[i])
+		}
+	}
+}
+
+func TestTransformSingleTone(t *testing.T) {
+	n := 16
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Cos(2 * math.Pi * 3 * float64(i) / float64(n))
+	}
+	out := Transform(x)
+	// Bin 3 should carry all energy: Re = n/2.
+	if math.Abs(out[6]-8) > 1e-9 {
+		t.Fatalf("bin 3 Re = %v, want 8", out[6])
+	}
+	for k := 0; k <= n/2; k++ {
+		if k == 3 {
+			continue
+		}
+		if math.Abs(out[2*k]) > 1e-9 || math.Abs(out[2*k+1]) > 1e-9 {
+			t.Fatalf("bin %d nonzero: (%v, %v)", k, out[2*k], out[2*k+1])
+		}
+	}
+}
+
+func TestFFTMatchesDirectDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{2, 4, 8, 16, 64, 128} {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		fast := realFFT(x)
+		slow := directDFT(x)
+		if len(fast) != len(slow) {
+			t.Fatalf("n=%d: lengths differ %d vs %d", n, len(fast), len(slow))
+		}
+		for i := range fast {
+			if math.Abs(fast[i]-slow[i]) > 1e-7 {
+				t.Fatalf("n=%d bin %d: fft=%v dft=%v", n, i, fast[i], slow[i])
+			}
+		}
+	}
+}
+
+func TestTransformInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{3, 5, 8, 16, 30, 33} {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		spec := Transform(x)
+		back := Inverse(spec, n)
+		for i := range x {
+			if math.Abs(back[i]-x[i]) > 1e-7 {
+				t.Fatalf("n=%d t=%d: got %v want %v", n, i, back[i], x[i])
+			}
+		}
+	}
+}
+
+func TestCoefficients(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	// Without dropping: first coeff pair is DC.
+	c := Coefficients(x, 2, false)
+	if len(c) != 4 {
+		t.Fatalf("len = %d, want 4", len(c))
+	}
+	if math.Abs(c[0]-36) > 1e-9 {
+		t.Fatalf("DC = %v, want 36", c[0])
+	}
+	// Dropping the first removes the DC pair.
+	d := Coefficients(x, 2, true)
+	if len(d) != 4 {
+		t.Fatalf("len = %d, want 4", len(d))
+	}
+	if math.Abs(d[0]-c[2]) > 1e-12 {
+		t.Fatalf("dropFirst misaligned: %v vs %v", d[0], c[2])
+	}
+}
+
+func TestCoefficientsShortSignal(t *testing.T) {
+	// Signal too short to provide requested coefficients: truncate, no panic.
+	c := Coefficients([]float64{1, 2}, 10, false)
+	if len(c) == 0 || len(c) > 20 {
+		t.Fatalf("unexpected coeff count %d", len(c))
+	}
+	if out := Coefficients([]float64{1}, 1, true); len(out) != 0 {
+		t.Fatalf("dropFirst on 1-sample signal should be empty, got %v", out)
+	}
+	if Transform(nil) != nil {
+		t.Fatal("empty transform should be nil")
+	}
+}
+
+func TestParsevalEnergyConservation(t *testing.T) {
+	// Parseval: sum x² = (1/n) * sum |X_k|² over the FULL spectrum.
+	rng := rand.New(rand.NewSource(9))
+	n := 32
+	x := make([]float64, n)
+	var timeEnergy float64
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		timeEnergy += x[i] * x[i]
+	}
+	spec := Transform(x)
+	var freqEnergy float64
+	for k := 0; k <= n/2; k++ {
+		mag2 := spec[2*k]*spec[2*k] + spec[2*k+1]*spec[2*k+1]
+		if k != 0 && k != n/2 {
+			mag2 *= 2
+		}
+		freqEnergy += mag2
+	}
+	freqEnergy /= float64(n)
+	if math.Abs(timeEnergy-freqEnergy) > 1e-7 {
+		t.Fatalf("Parseval violated: time %v vs freq %v", timeEnergy, freqEnergy)
+	}
+}

@@ -1,0 +1,227 @@
+package gbdt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func accuracy(m *Model, X [][]float64, y []int) float64 {
+	correct := 0
+	for i, x := range X {
+		if m.Predict(x) == y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(y))
+}
+
+func TestBinaryNonLinearXOR(t *testing.T) {
+	// XOR is non-linear: trees must solve it, linear models cannot.
+	rng := rand.New(rand.NewSource(1))
+	var X [][]float64
+	var y []int
+	for i := 0; i < 200; i++ {
+		a, b := rng.Float64()*2-1, rng.Float64()*2-1
+		X = append(X, []float64{a, b})
+		if (a > 0) != (b > 0) {
+			y = append(y, 1)
+		} else {
+			y = append(y, 0)
+		}
+	}
+	m := New(Config{Rounds: 60, MaxDepth: 3})
+	if err := m.Fit(X, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(m, X, y); acc < 0.95 {
+		t.Fatalf("XOR accuracy = %v", acc)
+	}
+}
+
+func TestMulticlass(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var X [][]float64
+	var y []int
+	// Concentric rings: needs non-linear boundaries.
+	for i := 0; i < 240; i++ {
+		angle := rng.Float64() * 2 * math.Pi
+		c := i % 3
+		r := 1.0 + float64(c)*2 + rng.NormFloat64()*0.2
+		X = append(X, []float64{r * math.Cos(angle), r * math.Sin(angle)})
+		y = append(y, c)
+	}
+	m := New(Config{Rounds: 40, MaxDepth: 4})
+	if err := m.Fit(X, y, 3); err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(m, X, y); acc < 0.9 {
+		t.Fatalf("ring accuracy = %v", acc)
+	}
+}
+
+func TestProbabilitiesValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var X [][]float64
+	var y []int
+	for i := 0; i < 60; i++ {
+		X = append(X, []float64{rng.NormFloat64() + float64(i%2)*4})
+		y = append(y, i%2)
+	}
+	m := New(Config{Rounds: 20})
+	if err := m.Fit(X, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range X {
+		p := m.PredictProba(x)
+		var sum float64
+		for _, v := range p {
+			if v < 0 || v > 1 {
+				t.Fatalf("probability out of range: %v", p)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("proba sum = %v", sum)
+		}
+	}
+}
+
+func TestMoreRoundsImproveTrainFit(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var X [][]float64
+	var y []int
+	for i := 0; i < 150; i++ {
+		a, b := rng.Float64()*4-2, rng.Float64()*4-2
+		X = append(X, []float64{a, b})
+		if a*a+b*b < 2 {
+			y = append(y, 1)
+		} else {
+			y = append(y, 0)
+		}
+	}
+	weak := New(Config{Rounds: 2, MaxDepth: 2})
+	strong := New(Config{Rounds: 60, MaxDepth: 3})
+	if err := weak.Fit(X, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := strong.Fit(X, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	if accuracy(strong, X, y) < accuracy(weak, X, y) {
+		t.Fatalf("more rounds hurt: weak=%v strong=%v", accuracy(weak, X, y), accuracy(strong, X, y))
+	}
+	if accuracy(strong, X, y) < 0.93 {
+		t.Fatalf("strong model accuracy = %v", accuracy(strong, X, y))
+	}
+}
+
+func TestSubsamplingStillLearns(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var X [][]float64
+	var y []int
+	for i := 0; i < 200; i++ {
+		X = append(X, []float64{rng.NormFloat64() + float64(i%2)*3})
+		y = append(y, i%2)
+	}
+	m := New(Config{Rounds: 30, Subsample: 0.5, Seed: 9})
+	if err := m.Fit(X, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(m, X, y); acc < 0.9 {
+		t.Fatalf("subsampled accuracy = %v", acc)
+	}
+}
+
+func TestConstantFeatures(t *testing.T) {
+	// All features identical: model must fall back to the prior, not crash.
+	X := [][]float64{{1, 1}, {1, 1}, {1, 1}, {1, 1}}
+	y := []int{0, 0, 0, 1}
+	m := New(Config{Rounds: 5})
+	if err := m.Fit(X, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	p := m.PredictProba([]float64{1, 1})
+	if p[0] < p[1] {
+		t.Fatalf("prior ignored: %v", p)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	m := New(Config{})
+	if err := m.Fit(nil, nil, 2); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if err := m.Fit([][]float64{{1}}, []int{0, 1}, 2); err == nil {
+		t.Fatal("mismatch accepted")
+	}
+	if err := m.Fit([][]float64{{1}}, []int{0}, 1); err == nil {
+		t.Fatal("single class accepted")
+	}
+	if err := m.Fit([][]float64{{1, 2}, {3}}, []int{0, 1}, 2); err == nil {
+		t.Fatal("ragged accepted")
+	}
+}
+
+func TestNumTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	var X [][]float64
+	var y []int
+	for i := 0; i < 30; i++ {
+		X = append(X, []float64{rng.NormFloat64() + float64(i%3)*3, rng.NormFloat64()})
+		y = append(y, i%3)
+	}
+	m := New(Config{Rounds: 7})
+	if err := m.Fit(X, y, 3); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumTrees() != 21 {
+		t.Fatalf("num trees = %d, want 21 (7 rounds x 3 classes)", m.NumTrees())
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var X [][]float64
+	var y []int
+	for i := 0; i < 50; i++ {
+		X = append(X, []float64{rng.NormFloat64() + float64(i%2)*2})
+		y = append(y, i%2)
+	}
+	m1 := New(Config{Rounds: 10, Subsample: 0.7, Seed: 5})
+	m2 := New(Config{Rounds: 10, Subsample: 0.7, Seed: 5})
+	if err := m1.Fit(X, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Fit(X, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		x := []float64{rng.NormFloat64() * 3}
+		p1, p2 := m1.PredictProba(x), m2.PredictProba(x)
+		if p1[0] != p2[0] {
+			t.Fatal("same seed produced different models")
+		}
+	}
+}
+
+func TestTreeSplitFindsObviousFeature(t *testing.T) {
+	// Feature 1 is pure noise; feature 0 separates perfectly.
+	X := [][]float64{{0, 5}, {0.1, -3}, {1, 4}, {1.1, -2}}
+	g := []float64{-1, -1, 1, 1}
+	h := []float64{1, 1, 1, 1}
+	tr := buildTree(X, g, h, []int{0, 1, 2, 3}, treeParams{maxDepth: 2, lambda: 1, minChildWeight: 0.5})
+	root := tr.nodes[0]
+	if root.feature != 0 {
+		t.Fatalf("split feature = %d, want 0", root.feature)
+	}
+	if root.threshold < 0.1 || root.threshold > 1 {
+		t.Fatalf("threshold = %v", root.threshold)
+	}
+	// Leaf weight is -G/(H+lambda): negative gradients (left group) give a
+	// positive leaf, positive gradients a negative one.
+	if tr.predict([]float64{0, 0}) <= 0 || tr.predict([]float64{1.05, 0}) >= 0 {
+		t.Fatalf("leaf signs wrong: left=%v right=%v",
+			tr.predict([]float64{0, 0}), tr.predict([]float64{1.05, 0}))
+	}
+}

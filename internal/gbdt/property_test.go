@@ -1,0 +1,71 @@
+package gbdt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: PredictProba always returns a valid probability distribution,
+// even for inputs far outside the training range.
+func TestPredictProbaIsDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var X [][]float64
+	var y []int
+	for i := 0; i < 60; i++ {
+		X = append(X, []float64{rng.NormFloat64(), rng.NormFloat64()})
+		y = append(y, i%3)
+	}
+	m := New(Config{Rounds: 10})
+	if err := m.Fit(X, y, 3); err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) {
+			return true
+		}
+		p := m.PredictProba([]float64{a, b})
+		var sum float64
+		for _, v := range p {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: tree prediction is piecewise constant — inputs in the same
+// leaf produce identical outputs, and small leaves cover the whole space
+// (no panics anywhere).
+func TestTreePredictTotal(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	X := make([][]float64, 30)
+	g := make([]float64, 30)
+	h := make([]float64, 30)
+	samples := make([]int, 30)
+	for i := range X {
+		X[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+		g[i] = rng.NormFloat64()
+		h[i] = 1
+		samples[i] = i
+	}
+	tr := buildTree(X, g, h, samples, treeParams{maxDepth: 4, lambda: 1, minChildWeight: 1})
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) {
+			return true
+		}
+		v := tr.predict([]float64{a, b})
+		return !math.IsNaN(v) && !math.IsInf(v, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+	// Short feature vectors fall to the right child rather than panicking.
+	_ = tr.predict([]float64{})
+}

@@ -1,0 +1,107 @@
+// Package hclust implements naive agglomerative hierarchical clustering over
+// a precomputed distance matrix. ECTS consumes the merge sequence to refine
+// per-cluster Minimum Prediction Lengths.
+package hclust
+
+import (
+	"fmt"
+	"math"
+)
+
+// Linkage selects how inter-cluster distance is computed from member
+// pairwise distances.
+type Linkage int
+
+const (
+	// Single linkage: minimum pairwise distance.
+	Single Linkage = iota
+	// Complete linkage: maximum pairwise distance.
+	Complete
+	// Average linkage: mean pairwise distance.
+	Average
+)
+
+// Merge records one agglomeration step: clusters A and B (by member index
+// into the original items) fused at the given Distance into Result.
+type Merge struct {
+	A, B     []int
+	Result   []int
+	Distance float64
+}
+
+// Agglomerate repeatedly merges the two closest clusters until one remains,
+// returning the n-1 merge events in order. dist must be a symmetric n×n
+// matrix with zero diagonal.
+func Agglomerate(dist [][]float64, linkage Linkage) ([]Merge, error) {
+	n := len(dist)
+	if n == 0 {
+		return nil, fmt.Errorf("hclust: empty distance matrix")
+	}
+	for i, row := range dist {
+		if len(row) != n {
+			return nil, fmt.Errorf("hclust: row %d has %d entries, want %d", i, len(row), n)
+		}
+	}
+	// active clusters as member lists
+	clusters := make([][]int, n)
+	for i := range clusters {
+		clusters[i] = []int{i}
+	}
+	// cd[i][j]: distance between active clusters i and j (indices into the
+	// clusters slice; merged entries become nil).
+	cd := make([][]float64, n)
+	for i := range cd {
+		cd[i] = append([]float64(nil), dist[i]...)
+	}
+	active := n
+	var merges []Merge
+	for active > 1 {
+		// Find the closest active pair.
+		bi, bj, best := -1, -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if clusters[i] == nil {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if clusters[j] == nil {
+					continue
+				}
+				if cd[i][j] < best {
+					bi, bj, best = i, j, cd[i][j]
+				}
+			}
+		}
+		merged := append(append([]int(nil), clusters[bi]...), clusters[bj]...)
+		merges = append(merges, Merge{
+			A:        clusters[bi],
+			B:        clusters[bj],
+			Result:   merged,
+			Distance: best,
+		})
+		sizeI := float64(len(clusters[bi]))
+		sizeJ := float64(len(clusters[bj]))
+		clusters[bi] = merged
+		clusters[bj] = nil
+		active--
+		// Lance-Williams style distance update for the merged cluster.
+		for k := 0; k < n; k++ {
+			if k == bi || clusters[k] == nil {
+				continue
+			}
+			var d float64
+			switch linkage {
+			case Single:
+				d = math.Min(cd[bi][k], cd[bj][k])
+			case Complete:
+				d = math.Max(cd[bi][k], cd[bj][k])
+			case Average:
+				d = (sizeI*cd[bi][k] + sizeJ*cd[bj][k]) / (sizeI + sizeJ)
+			default:
+				d = math.Min(cd[bi][k], cd[bj][k])
+			}
+			cd[bi][k] = d
+			cd[k][bi] = d
+		}
+	}
+	return merges, nil
+}

@@ -1,0 +1,142 @@
+package hclust
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/goetsc/goetsc/internal/stats"
+)
+
+func distMatrix(points [][]float64) [][]float64 {
+	n := len(points)
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		for j := range d[i] {
+			d[i][j] = stats.Euclidean(points[i], points[j])
+		}
+	}
+	return d
+}
+
+func TestAgglomerateMergeCount(t *testing.T) {
+	points := [][]float64{{0}, {1}, {10}, {11}, {20}}
+	merges, err := Agglomerate(distMatrix(points), Single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merges) != len(points)-1 {
+		t.Fatalf("merges = %d, want %d", len(merges), len(points)-1)
+	}
+	// Final merge contains all items.
+	final := merges[len(merges)-1].Result
+	if len(final) != len(points) {
+		t.Fatalf("final cluster size = %d", len(final))
+	}
+	seen := append([]int(nil), final...)
+	sort.Ints(seen)
+	for i, v := range seen {
+		if v != i {
+			t.Fatalf("final cluster = %v, not a permutation", final)
+		}
+	}
+}
+
+func TestFirstMergesAreNearestPairs(t *testing.T) {
+	points := [][]float64{{0}, {1}, {10}, {11}, {20}}
+	merges, err := Agglomerate(distMatrix(points), Single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First two merges must pair {0,1} and {2,3} (in some order).
+	pairOf := func(m Merge) [2]int {
+		if len(m.A) != 1 || len(m.B) != 1 {
+			t.Fatalf("early merge not of singletons: %+v", m)
+		}
+		p := [2]int{m.A[0], m.B[0]}
+		if p[0] > p[1] {
+			p[0], p[1] = p[1], p[0]
+		}
+		return p
+	}
+	p1, p2 := pairOf(merges[0]), pairOf(merges[1])
+	want := map[[2]int]bool{{0, 1}: true, {2, 3}: true}
+	if !want[p1] || !want[p2] || p1 == p2 {
+		t.Fatalf("first merges = %v, %v", p1, p2)
+	}
+}
+
+func TestMergeDistancesMonotonicForSingleLinkage(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	points := make([][]float64, 20)
+	for i := range points {
+		points[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+	}
+	merges, err := Agglomerate(distMatrix(points), Single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(merges); i++ {
+		if merges[i].Distance < merges[i-1].Distance-1e-12 {
+			t.Fatalf("single-linkage distances not monotone at step %d: %v < %v",
+				i, merges[i].Distance, merges[i-1].Distance)
+		}
+	}
+}
+
+func TestLinkagesProduceValidHierarchy(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	points := make([][]float64, 12)
+	for i := range points {
+		points[i] = []float64{rng.NormFloat64() * 5}
+	}
+	for _, linkage := range []Linkage{Single, Complete, Average} {
+		merges, err := Agglomerate(distMatrix(points), linkage)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Each item must appear in the final cluster exactly once.
+		final := merges[len(merges)-1].Result
+		count := map[int]int{}
+		for _, v := range final {
+			count[v]++
+		}
+		for i := range points {
+			if count[i] != 1 {
+				t.Fatalf("linkage %v: item %d appears %d times", linkage, i, count[i])
+			}
+		}
+	}
+}
+
+func TestCompleteVsSingleOnChain(t *testing.T) {
+	// Chain 0-1-2: single linkage merges greedily along the chain; the last
+	// merge distance under complete linkage must be >= under single.
+	points := [][]float64{{0}, {1}, {2.1}}
+	s, _ := Agglomerate(distMatrix(points), Single)
+	c, _ := Agglomerate(distMatrix(points), Complete)
+	if c[len(c)-1].Distance < s[len(s)-1].Distance {
+		t.Fatalf("complete linkage final distance %v < single %v",
+			c[len(c)-1].Distance, s[len(s)-1].Distance)
+	}
+}
+
+func TestAgglomerateErrors(t *testing.T) {
+	if _, err := Agglomerate(nil, Single); err == nil {
+		t.Fatal("empty matrix accepted")
+	}
+	if _, err := Agglomerate([][]float64{{0, 1}}, Single); err == nil {
+		t.Fatal("ragged matrix accepted")
+	}
+}
+
+func TestSingleItem(t *testing.T) {
+	merges, err := Agglomerate([][]float64{{0}}, Average)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merges) != 0 {
+		t.Fatalf("single item produced %d merges", len(merges))
+	}
+}

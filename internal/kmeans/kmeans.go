@@ -1,0 +1,201 @@
+// Package kmeans implements k-means clustering with k-means++ seeding,
+// used by ECONOMY-K to group training series into typical shapes.
+package kmeans
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/goetsc/goetsc/internal/stats"
+)
+
+// Model is a fitted k-means clustering.
+type Model struct {
+	// Centroids holds K cluster centers, each of the training dimension.
+	Centroids [][]float64
+	// Inertia is the final sum of squared distances of samples to their
+	// nearest centroid.
+	Inertia float64
+}
+
+// Config controls the clustering run.
+type Config struct {
+	K        int // number of clusters (required, >= 1)
+	MaxIter  int // Lloyd iterations; default 100
+	Restarts int // independent runs, best inertia wins; default 3
+}
+
+// Fit clusters the rows of X. All rows must share one length. The rng
+// drives seeding; identical seeds give identical models.
+func Fit(X [][]float64, cfg Config, rng *rand.Rand) (*Model, error) {
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("kmeans: K must be >= 1, got %d", cfg.K)
+	}
+	if len(X) == 0 {
+		return nil, fmt.Errorf("kmeans: no samples")
+	}
+	if cfg.K > len(X) {
+		return nil, fmt.Errorf("kmeans: K=%d exceeds %d samples", cfg.K, len(X))
+	}
+	dim := len(X[0])
+	for i, x := range X {
+		if len(x) != dim {
+			return nil, fmt.Errorf("kmeans: row %d has dimension %d, want %d", i, len(x), dim)
+		}
+	}
+	if cfg.MaxIter <= 0 {
+		cfg.MaxIter = 100
+	}
+	if cfg.Restarts <= 0 {
+		cfg.Restarts = 3
+	}
+	var best *Model
+	for r := 0; r < cfg.Restarts; r++ {
+		m := run(X, cfg, rng)
+		if best == nil || m.Inertia < best.Inertia {
+			best = m
+		}
+	}
+	return best, nil
+}
+
+func run(X [][]float64, cfg Config, rng *rand.Rand) *Model {
+	centroids := seedPlusPlus(X, cfg.K, rng)
+	assign := make([]int, len(X))
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		changed := false
+		for i, x := range X {
+			c := nearest(centroids, x)
+			if c != assign[i] {
+				assign[i] = c
+				changed = true
+			}
+		}
+		// Recompute centroids.
+		dim := len(X[0])
+		sums := make([][]float64, cfg.K)
+		counts := make([]int, cfg.K)
+		for c := range sums {
+			sums[c] = make([]float64, dim)
+		}
+		for i, x := range X {
+			c := assign[i]
+			counts[c]++
+			for j, v := range x {
+				sums[c][j] += v
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at the point farthest from its
+				// centroid, a standard degeneracy fix.
+				far, farDist := 0, -1.0
+				for i, x := range X {
+					d := stats.SquaredEuclidean(x, centroids[assign[i]])
+					if d > farDist {
+						far, farDist = i, d
+					}
+				}
+				centroids[c] = append([]float64(nil), X[far]...)
+				changed = true
+				continue
+			}
+			for j := range centroids[c] {
+				centroids[c][j] = sums[c][j] / float64(counts[c])
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+	}
+	var inertia float64
+	for _, x := range X {
+		c := nearest(centroids, x)
+		inertia += stats.SquaredEuclidean(x, centroids[c])
+	}
+	return &Model{Centroids: centroids, Inertia: inertia}
+}
+
+// seedPlusPlus picks K initial centers with the k-means++ D² weighting.
+func seedPlusPlus(X [][]float64, k int, rng *rand.Rand) [][]float64 {
+	centroids := make([][]float64, 0, k)
+	first := X[rng.Intn(len(X))]
+	centroids = append(centroids, append([]float64(nil), first...))
+	dists := make([]float64, len(X))
+	for len(centroids) < k {
+		var total float64
+		for i, x := range X {
+			d := math.Inf(1)
+			for _, c := range centroids {
+				if dd := stats.SquaredEuclidean(x, c); dd < d {
+					d = dd
+				}
+			}
+			dists[i] = d
+			total += d
+		}
+		var pick int
+		if total <= 0 {
+			pick = rng.Intn(len(X))
+		} else {
+			target := rng.Float64() * total
+			acc := 0.0
+			pick = len(X) - 1
+			for i, d := range dists {
+				acc += d
+				if acc >= target {
+					pick = i
+					break
+				}
+			}
+		}
+		centroids = append(centroids, append([]float64(nil), X[pick]...))
+	}
+	return centroids
+}
+
+func nearest(centroids [][]float64, x []float64) int {
+	best, bestDist := 0, math.Inf(1)
+	for c, cen := range centroids {
+		if d := stats.SquaredEuclidean(x, cen); d < bestDist {
+			best, bestDist = c, d
+		}
+	}
+	return best
+}
+
+// Assign returns the index of the centroid nearest to x.
+func (m *Model) Assign(x []float64) int { return nearest(m.Centroids, x) }
+
+// Memberships returns soft cluster-membership probabilities for x computed
+// from truncated-centroid distances, as ECONOMY-K requires when only the
+// first len(x) time points have been observed: each centroid is cut to the
+// prefix length and the distances are passed through a sharpness-λ softmax
+// (larger λ concentrates mass on the closest cluster).
+func (m *Model) Memberships(x []float64, lambda float64) []float64 {
+	k := len(m.Centroids)
+	probs := make([]float64, k)
+	dists := make([]float64, k)
+	var mean float64
+	for c, cen := range m.Centroids {
+		n := len(x)
+		if n > len(cen) {
+			n = len(cen)
+		}
+		dists[c] = stats.Euclidean(x[:n], cen[:n])
+		mean += dists[c]
+	}
+	mean /= float64(k)
+	if mean < 1e-12 {
+		for c := range probs {
+			probs[c] = 1 / float64(k)
+		}
+		return probs
+	}
+	logits := make([]float64, k)
+	for c := range logits {
+		logits[c] = -lambda * dists[c] / mean
+	}
+	return stats.Softmax(logits, probs)
+}

@@ -1,0 +1,167 @@
+package kmeans
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/goetsc/goetsc/internal/stats"
+)
+
+func threeBlobs(rng *rand.Rand, n int) ([][]float64, []int) {
+	centers := [][]float64{{0, 0}, {10, 0}, {0, 10}}
+	var X [][]float64
+	var truth []int
+	for c, center := range centers {
+		for i := 0; i < n; i++ {
+			X = append(X, []float64{
+				center[0] + rng.NormFloat64()*0.5,
+				center[1] + rng.NormFloat64()*0.5,
+			})
+			truth = append(truth, c)
+		}
+	}
+	return X, truth
+}
+
+func TestFitRecoversBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	X, truth := threeBlobs(rng, 30)
+	m, err := Fit(X, Config{K: 3}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each true blob should map to exactly one cluster.
+	blobToCluster := map[int]int{}
+	for i, x := range X {
+		c := m.Assign(x)
+		if prev, ok := blobToCluster[truth[i]]; ok {
+			if prev != c {
+				t.Fatalf("blob %d split across clusters %d and %d", truth[i], prev, c)
+			}
+		} else {
+			blobToCluster[truth[i]] = c
+		}
+	}
+	if len(blobToCluster) != 3 {
+		t.Fatalf("blobs mapped to %d clusters, want 3", len(blobToCluster))
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	if _, err := Fit(nil, Config{K: 2}, rng); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := Fit([][]float64{{1}}, Config{K: 0}, rng); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+	if _, err := Fit([][]float64{{1}}, Config{K: 5}, rng); err == nil {
+		t.Fatal("K > n accepted")
+	}
+	if _, err := Fit([][]float64{{1, 2}, {1}}, Config{K: 1}, rng); err == nil {
+		t.Fatal("ragged input accepted")
+	}
+}
+
+func TestK1CentroidIsMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	X := [][]float64{{0, 0}, {2, 4}, {4, 2}}
+	m, err := Fit(X, Config{K: 1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Centroids[0][0]-2) > 1e-9 || math.Abs(m.Centroids[0][1]-2) > 1e-9 {
+		t.Fatalf("centroid = %v, want mean (2,2)", m.Centroids[0])
+	}
+}
+
+func TestAssignIsNearestCentroid(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	X, _ := threeBlobs(rng, 20)
+	m, err := Fit(X, Config{K: 3}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range X {
+		c := m.Assign(x)
+		d := stats.SquaredEuclidean(x, m.Centroids[c])
+		for _, cen := range m.Centroids {
+			if stats.SquaredEuclidean(x, cen) < d-1e-12 {
+				t.Fatal("Assign did not return the nearest centroid")
+			}
+		}
+	}
+}
+
+func TestInertiaDecreasesWithK(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	X, _ := threeBlobs(rng, 20)
+	m1, _ := Fit(X, Config{K: 1}, rand.New(rand.NewSource(5)))
+	m3, _ := Fit(X, Config{K: 3}, rand.New(rand.NewSource(5)))
+	if m3.Inertia >= m1.Inertia {
+		t.Fatalf("inertia did not decrease: k1=%v k3=%v", m1.Inertia, m3.Inertia)
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	rngData := rand.New(rand.NewSource(6))
+	X, _ := threeBlobs(rngData, 15)
+	m1, _ := Fit(X, Config{K: 3}, rand.New(rand.NewSource(42)))
+	m2, _ := Fit(X, Config{K: 3}, rand.New(rand.NewSource(42)))
+	if m1.Inertia != m2.Inertia {
+		t.Fatalf("same seed, different inertia: %v vs %v", m1.Inertia, m2.Inertia)
+	}
+}
+
+func TestMembershipsSumToOneAndFavorNearest(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	X, _ := threeBlobs(rng, 20)
+	m, err := Fit(X, Config{K: 3}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full-length query near a centroid.
+	q := m.Centroids[1]
+	probs := m.Memberships(q, 100)
+	var sum float64
+	for _, p := range probs {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("memberships sum = %v", sum)
+	}
+	if stats.ArgMax(probs) != 1 {
+		t.Fatalf("nearest cluster not favored: %v", probs)
+	}
+	// Prefix query (shorter than centroids) must not panic and still sum to 1.
+	p2 := m.Memberships(q[:1], 100)
+	sum = 0
+	for _, p := range p2 {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("prefix memberships sum = %v", sum)
+	}
+}
+
+func TestMembershipsDegenerate(t *testing.T) {
+	m := &Model{Centroids: [][]float64{{0, 0}, {0, 0}}}
+	probs := m.Memberships([]float64{0, 0}, 100)
+	if math.Abs(probs[0]-0.5) > 1e-9 {
+		t.Fatalf("identical centroids should give uniform memberships: %v", probs)
+	}
+}
+
+func TestDuplicatePointsMoreClustersThanDistinct(t *testing.T) {
+	// 5 identical points, K=2: must not loop or panic.
+	X := [][]float64{{1, 1}, {1, 1}, {1, 1}, {1, 1}, {1, 1}}
+	rng := rand.New(rand.NewSource(8))
+	m, err := Fit(X, Config{K: 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Inertia > 1e-9 {
+		t.Fatalf("inertia = %v, want 0", m.Inertia)
+	}
+}

@@ -1,0 +1,161 @@
+// Package knn provides 1-nearest-neighbour primitives: a prefix-aware
+// searcher used at ETSC test time and an incremental pairwise-distance
+// sweep that yields nearest-neighbour sets for every prefix length, the
+// core computation behind ECTS's RNN analysis.
+package knn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Searcher answers nearest-neighbour queries over a set of stored
+// univariate series, optionally restricted to a prefix length.
+type Searcher struct {
+	series [][]float64
+	labels []int
+}
+
+// NewSearcher stores the given series (not copied) and their labels.
+func NewSearcher(series [][]float64, labels []int) (*Searcher, error) {
+	if len(series) == 0 {
+		return nil, fmt.Errorf("knn: no series")
+	}
+	if len(series) != len(labels) {
+		return nil, fmt.Errorf("knn: %d series but %d labels", len(series), len(labels))
+	}
+	return &Searcher{series: series, labels: labels}, nil
+}
+
+// Len returns the number of stored series.
+func (s *Searcher) Len() int { return len(s.series) }
+
+// Label returns the label of stored series i.
+func (s *Searcher) Label(i int) int { return s.labels[i] }
+
+// Nearest returns the index of the stored series closest to query in
+// Euclidean distance over the first min(len(query), prefix, len(stored))
+// time points, along with the distance. Ties resolve to the lower index.
+func (s *Searcher) Nearest(query []float64, prefix int) (int, float64) {
+	if prefix > len(query) || prefix <= 0 {
+		prefix = len(query)
+	}
+	best, bestDist := -1, math.Inf(1)
+	for i, ser := range s.series {
+		n := prefix
+		if len(ser) < n {
+			n = len(ser)
+		}
+		var sum float64
+		for t := 0; t < n; t++ {
+			d := query[t] - ser[t]
+			sum += d * d
+			if sum >= bestDist {
+				break
+			}
+		}
+		if sum < bestDist {
+			best, bestDist = i, sum
+		}
+	}
+	return best, math.Sqrt(bestDist)
+}
+
+// IncrementalPairwise sweeps prefix lengths t = 1..L over a fixed set of
+// equal-length series, maintaining all pairwise squared distances with an
+// O(N²) update per step instead of O(N²·L) per prefix.
+type IncrementalPairwise struct {
+	series [][]float64
+	d      [][]float64 // squared distances at current prefix
+	t      int         // current prefix length (0 = not started)
+	length int
+}
+
+// NewIncrementalPairwise prepares a sweep over the given equal-length
+// series.
+func NewIncrementalPairwise(series [][]float64) (*IncrementalPairwise, error) {
+	if len(series) < 2 {
+		return nil, fmt.Errorf("knn: incremental pairwise needs >= 2 series, got %d", len(series))
+	}
+	length := len(series[0])
+	for i, s := range series {
+		if len(s) != length {
+			return nil, fmt.Errorf("knn: series %d has length %d, want %d", i, len(s), length)
+		}
+	}
+	n := len(series)
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+	}
+	return &IncrementalPairwise{series: series, d: d, length: length}, nil
+}
+
+// Step extends the prefix by one time point, updating all pairwise
+// distances. It returns false once the full length has been consumed.
+func (p *IncrementalPairwise) Step() bool {
+	if p.t >= p.length {
+		return false
+	}
+	t := p.t
+	n := len(p.series)
+	for i := 0; i < n; i++ {
+		vi := p.series[i][t]
+		for j := i + 1; j < n; j++ {
+			diff := vi - p.series[j][t]
+			p.d[i][j] += diff * diff
+			p.d[j][i] = p.d[i][j]
+		}
+	}
+	p.t++
+	return true
+}
+
+// Prefix returns the current prefix length.
+func (p *IncrementalPairwise) Prefix() int { return p.t }
+
+// SquaredDist returns the squared distance between series i and j at the
+// current prefix.
+func (p *IncrementalPairwise) SquaredDist(i, j int) float64 { return p.d[i][j] }
+
+// NearestSets returns, for every series, the set of its nearest neighbours
+// at the current prefix (all indices tied within tol of the minimum,
+// excluding the series itself).
+func (p *IncrementalPairwise) NearestSets(tol float64) [][]int {
+	n := len(p.series)
+	out := make([][]int, n)
+	for i := 0; i < n; i++ {
+		min := math.Inf(1)
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			if p.d[i][j] < min {
+				min = p.d[i][j]
+			}
+		}
+		var set []int
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			if p.d[i][j] <= min+tol {
+				set = append(set, j)
+			}
+		}
+		out[i] = set
+	}
+	return out
+}
+
+// ReverseSets inverts nearest-neighbour sets: rnn[i] lists every j whose
+// nearest-neighbour set contains i.
+func ReverseSets(nn [][]int) [][]int {
+	out := make([][]int, len(nn))
+	for j, set := range nn {
+		for _, i := range set {
+			out[i] = append(out[i], j)
+		}
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package knn
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/goetsc/goetsc/internal/stats"
+)
+
+func TestSearcherNearestFullLength(t *testing.T) {
+	series := [][]float64{{0, 0, 0}, {5, 5, 5}, {1, 1, 1}}
+	s, err := NewSearcher(series, []int{0, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, dist := s.Nearest([]float64{0.9, 1.1, 1.0}, 0)
+	if idx != 2 {
+		t.Fatalf("nearest = %d, want 2", idx)
+	}
+	want := stats.Euclidean([]float64{0.9, 1.1, 1.0}, series[2])
+	if math.Abs(dist-want) > 1e-9 {
+		t.Fatalf("dist = %v, want %v", dist, want)
+	}
+	if s.Len() != 3 || s.Label(1) != 1 {
+		t.Fatal("accessors wrong")
+	}
+}
+
+func TestSearcherPrefixRestriction(t *testing.T) {
+	// Series 0 matches the query on the first 2 points; series 1 matches the
+	// full query.
+	series := [][]float64{{1, 1, 99}, {1, 1, 1}}
+	s, _ := NewSearcher(series, []int{0, 1})
+	idxFull, _ := s.Nearest([]float64{1, 1, 1}, 3)
+	if idxFull != 1 {
+		t.Fatalf("full nearest = %d, want 1", idxFull)
+	}
+	idxPrefix, distPrefix := s.Nearest([]float64{1, 1, 1}, 2)
+	if idxPrefix != 0 || distPrefix != 0 {
+		t.Fatalf("prefix nearest = %d (dist %v), want 0 at 0 (tie to lower index)", idxPrefix, distPrefix)
+	}
+}
+
+func TestSearcherErrors(t *testing.T) {
+	if _, err := NewSearcher(nil, nil); err == nil {
+		t.Fatal("empty searcher accepted")
+	}
+	if _, err := NewSearcher([][]float64{{1}}, []int{0, 1}); err == nil {
+		t.Fatal("label mismatch accepted")
+	}
+}
+
+func TestIncrementalPairwiseMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n, L := 8, 12
+	series := make([][]float64, n)
+	for i := range series {
+		series[i] = make([]float64, L)
+		for t := range series[i] {
+			series[i][t] = rng.NormFloat64()
+		}
+	}
+	p, err := NewIncrementalPairwise(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 1; step <= L; step++ {
+		if !p.Step() {
+			t.Fatalf("Step returned false at %d", step)
+		}
+		if p.Prefix() != step {
+			t.Fatalf("prefix = %d, want %d", p.Prefix(), step)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := stats.SquaredEuclidean(series[i][:step], series[j][:step])
+				if math.Abs(p.SquaredDist(i, j)-want) > 1e-9 {
+					t.Fatalf("step %d: d(%d,%d) = %v, want %v", step, i, j, p.SquaredDist(i, j), want)
+				}
+			}
+		}
+	}
+	if p.Step() {
+		t.Fatal("Step past the end returned true")
+	}
+}
+
+func TestNearestSetsWithTies(t *testing.T) {
+	series := [][]float64{{0}, {1}, {-1}, {10}}
+	p, err := NewIncrementalPairwise(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Step()
+	nn := p.NearestSets(1e-9)
+	// Series 0 is equidistant from 1 and 2.
+	if !reflect.DeepEqual(nn[0], []int{1, 2}) {
+		t.Fatalf("nn[0] = %v, want [1 2]", nn[0])
+	}
+	// Series 3's nearest is 1.
+	if !reflect.DeepEqual(nn[3], []int{1}) {
+		t.Fatalf("nn[3] = %v, want [1]", nn[3])
+	}
+}
+
+func TestReverseSets(t *testing.T) {
+	nn := [][]int{{1}, {0}, {0}}
+	rnn := ReverseSets(nn)
+	if !reflect.DeepEqual(rnn[0], []int{1, 2}) {
+		t.Fatalf("rnn[0] = %v", rnn[0])
+	}
+	if !reflect.DeepEqual(rnn[1], []int{0}) {
+		t.Fatalf("rnn[1] = %v", rnn[1])
+	}
+	if rnn[2] != nil {
+		t.Fatalf("rnn[2] = %v, want empty", rnn[2])
+	}
+}
+
+func TestIncrementalPairwiseErrors(t *testing.T) {
+	if _, err := NewIncrementalPairwise([][]float64{{1}}); err == nil {
+		t.Fatal("single series accepted")
+	}
+	if _, err := NewIncrementalPairwise([][]float64{{1, 2}, {1}}); err == nil {
+		t.Fatal("ragged series accepted")
+	}
+}

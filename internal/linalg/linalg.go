@@ -1,0 +1,228 @@
+// Package linalg provides the dense linear-algebra kernels needed by the
+// classifier substrates: a row-major matrix type, Cholesky factorization for
+// small symmetric positive-definite solves (dual ridge regression) and a
+// conjugate-gradient solver for large sparse-free primal systems.
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len = Rows*Cols
+}
+
+// NewMatrix allocates a zero matrix of the given shape.
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a slice aliasing row i.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// MulVec computes y = M x. x must have length Cols; the result has length
+// Rows (allocated when y is nil).
+func (m *Matrix) MulVec(x, y []float64) []float64 {
+	if y == nil {
+		y = make([]float64, m.Rows)
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		var sum float64
+		for j, v := range row {
+			sum += v * x[j]
+		}
+		y[i] = sum
+	}
+	return y
+}
+
+// MulVecT computes y = Mᵀ x. x must have length Rows; the result has length
+// Cols (allocated when y is nil).
+func (m *Matrix) MulVecT(x, y []float64) []float64 {
+	if y == nil {
+		y = make([]float64, m.Cols)
+	} else {
+		for j := range y {
+			y[j] = 0
+		}
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		for j, v := range row {
+			y[j] += v * xi
+		}
+	}
+	return y
+}
+
+// Gram computes G = M Mᵀ (Rows × Rows), the kernel matrix used by the dual
+// ridge solver.
+func (m *Matrix) Gram() *Matrix {
+	g := NewMatrix(m.Rows, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		ri := m.Row(i)
+		for j := i; j < m.Rows; j++ {
+			rj := m.Row(j)
+			var sum float64
+			for k := range ri {
+				sum += ri[k] * rj[k]
+			}
+			g.Set(i, j, sum)
+			g.Set(j, i, sum)
+		}
+	}
+	return g
+}
+
+// Dot returns the inner product of equal-length vectors.
+func Dot(a, b []float64) float64 {
+	var sum float64
+	for i := range a {
+		sum += a[i] * b[i]
+	}
+	return sum
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 { return math.Sqrt(Dot(x, x)) }
+
+// AddScaled computes dst += alpha * src in place.
+func AddScaled(dst []float64, alpha float64, src []float64) {
+	for i := range dst {
+		dst[i] += alpha * src[i]
+	}
+}
+
+// Cholesky factors the symmetric positive-definite matrix A in place into
+// L Lᵀ, storing L in the lower triangle. It returns an error when A is not
+// positive definite (within jitter tolerance).
+func Cholesky(a *Matrix) error {
+	if a.Rows != a.Cols {
+		return fmt.Errorf("cholesky: matrix is %dx%d, want square", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			l := a.At(j, k)
+			d -= l * l
+		}
+		if d <= 0 {
+			return fmt.Errorf("cholesky: matrix not positive definite at pivot %d (d=%g)", j, d)
+		}
+		d = math.Sqrt(d)
+		a.Set(j, j, d)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= a.At(i, k) * a.At(j, k)
+			}
+			a.Set(i, j, s/d)
+		}
+	}
+	return nil
+}
+
+// CholeskySolve solves A x = b given the Cholesky factor produced by
+// Cholesky (stored in the lower triangle of l). b is not modified.
+func CholeskySolve(l *Matrix, b []float64) []float64 {
+	n := l.Rows
+	// Forward substitution: L y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.At(i, k) * y[k]
+		}
+		y[i] = s / l.At(i, i)
+	}
+	// Back substitution: Lᵀ x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x
+}
+
+// SolveSPD solves A x = b for a symmetric positive-definite A, adding a
+// small diagonal jitter and retrying when the factorization fails due to
+// near-singularity. A is modified in place.
+func SolveSPD(a *Matrix, b []float64) ([]float64, error) {
+	jitter := 0.0
+	for attempt := 0; attempt < 6; attempt++ {
+		work := &Matrix{Rows: a.Rows, Cols: a.Cols, Data: append([]float64(nil), a.Data...)}
+		if jitter > 0 {
+			for i := 0; i < work.Rows; i++ {
+				work.Set(i, i, work.At(i, i)+jitter)
+			}
+		}
+		if err := Cholesky(work); err == nil {
+			return CholeskySolve(work, b), nil
+		}
+		if jitter == 0 {
+			jitter = 1e-8
+		} else {
+			jitter *= 100
+		}
+	}
+	return nil, fmt.Errorf("solve spd: matrix remained non-positive-definite after jitter")
+}
+
+// MulVecFunc abstracts a linear operator for the conjugate-gradient solver,
+// so that normal-equation products AᵀA x can be computed without forming
+// the (possibly huge) matrix.
+type MulVecFunc func(x, y []float64) []float64
+
+// ConjugateGradient solves the symmetric positive-definite system
+// op(x) = b iteratively. It stops when the residual norm falls below
+// tol*||b|| or after maxIter iterations, returning the iterate either way.
+func ConjugateGradient(op MulVecFunc, b []float64, tol float64, maxIter int) []float64 {
+	n := len(b)
+	x := make([]float64, n)
+	r := append([]float64(nil), b...) // r = b - op(0) = b
+	p := append([]float64(nil), b...)
+	ap := make([]float64, n)
+	rs := Dot(r, r)
+	bNorm := Norm2(b)
+	if bNorm == 0 {
+		return x
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		if math.Sqrt(rs) <= tol*bNorm {
+			break
+		}
+		op(p, ap)
+		pap := Dot(p, ap)
+		if pap <= 0 {
+			break // operator not PD along p; bail with current iterate
+		}
+		alpha := rs / pap
+		AddScaled(x, alpha, p)
+		AddScaled(r, -alpha, ap)
+		rsNew := Dot(r, r)
+		beta := rsNew / rs
+		for i := range p {
+			p[i] = r[i] + beta*p[i]
+		}
+		rs = rsNew
+	}
+	return x
+}

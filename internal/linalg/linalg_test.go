@@ -1,0 +1,152 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMatrixAccessors(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(1, 2, 5)
+	if m.At(1, 2) != 5 {
+		t.Fatal("At/Set mismatch")
+	}
+	row := m.Row(1)
+	if len(row) != 3 || row[2] != 5 {
+		t.Fatalf("Row = %v", row)
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := NewMatrix(2, 3)
+	copy(m.Data, []float64{1, 2, 3, 4, 5, 6})
+	y := m.MulVec([]float64{1, 1, 1}, nil)
+	if y[0] != 6 || y[1] != 15 {
+		t.Fatalf("MulVec = %v", y)
+	}
+	yt := m.MulVecT([]float64{1, 1}, nil)
+	if yt[0] != 5 || yt[1] != 7 || yt[2] != 9 {
+		t.Fatalf("MulVecT = %v", yt)
+	}
+}
+
+func TestGram(t *testing.T) {
+	m := NewMatrix(2, 2)
+	copy(m.Data, []float64{1, 2, 3, 4})
+	g := m.Gram()
+	// [[1,2],[3,4]] * [[1,3],[2,4]] = [[5,11],[11,25]]
+	if g.At(0, 0) != 5 || g.At(0, 1) != 11 || g.At(1, 1) != 25 {
+		t.Fatalf("Gram = %v", g.Data)
+	}
+	if g.At(1, 0) != g.At(0, 1) {
+		t.Fatal("Gram not symmetric")
+	}
+}
+
+func TestCholeskySolveKnownSystem(t *testing.T) {
+	// A = [[4,2],[2,3]], b = [10, 8] => x = [1.75, 1.5]
+	a := NewMatrix(2, 2)
+	copy(a.Data, []float64{4, 2, 2, 3})
+	x, err := SolveSPD(a, []float64{10, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1.75) > 1e-10 || math.Abs(x[1]-1.5) > 1e-10 {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestCholeskyRejectsNonPD(t *testing.T) {
+	a := NewMatrix(2, 2)
+	copy(a.Data, []float64{1, 2, 2, 1}) // eigenvalues 3, -1
+	if err := Cholesky(a); err == nil {
+		t.Fatal("non-PD matrix factored")
+	}
+	r := NewMatrix(2, 3)
+	if err := Cholesky(r); err == nil {
+		t.Fatal("rectangular matrix factored")
+	}
+}
+
+func TestSolveSPDRandomSystems(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(8)
+		// Build SPD matrix A = B Bᵀ + I.
+		b := NewMatrix(n, n)
+		for i := range b.Data {
+			b.Data[i] = rng.NormFloat64()
+		}
+		a := b.Gram()
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+1)
+		}
+		xTrue := make([]float64, n)
+		for i := range xTrue {
+			xTrue[i] = rng.NormFloat64()
+		}
+		rhs := a.MulVec(xTrue, nil)
+		x, err := SolveSPD(a, rhs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if math.Abs(x[i]-xTrue[i]) > 1e-6 {
+				t.Fatalf("trial %d: x[%d] = %v, want %v", trial, i, x[i], xTrue[i])
+			}
+		}
+	}
+}
+
+func TestConjugateGradientMatchesDirectSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	n := 12
+	b := NewMatrix(n, n)
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat64()
+	}
+	a := b.Gram()
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+1)
+	}
+	xTrue := make([]float64, n)
+	for i := range xTrue {
+		xTrue[i] = rng.NormFloat64()
+	}
+	rhs := a.MulVec(xTrue, nil)
+	op := func(x, y []float64) []float64 { return a.MulVec(x, y) }
+	x := ConjugateGradient(op, rhs, 1e-10, 1000)
+	for i := range x {
+		if math.Abs(x[i]-xTrue[i]) > 1e-5 {
+			t.Fatalf("x[%d] = %v, want %v", i, x[i], xTrue[i])
+		}
+	}
+}
+
+func TestConjugateGradientZeroRHS(t *testing.T) {
+	op := func(x, y []float64) []float64 {
+		copy(y, x)
+		return y
+	}
+	x := ConjugateGradient(op, []float64{0, 0, 0}, 1e-8, 10)
+	for _, v := range x {
+		if v != 0 {
+			t.Fatalf("x = %v, want zeros", x)
+		}
+	}
+}
+
+func TestVectorHelpers(t *testing.T) {
+	if Dot([]float64{1, 2}, []float64{3, 4}) != 11 {
+		t.Fatal("Dot wrong")
+	}
+	if Norm2([]float64{3, 4}) != 5 {
+		t.Fatal("Norm2 wrong")
+	}
+	dst := []float64{1, 1}
+	AddScaled(dst, 2, []float64{1, 2})
+	if dst[0] != 3 || dst[1] != 5 {
+		t.Fatalf("AddScaled = %v", dst)
+	}
+}

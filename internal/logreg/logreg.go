@@ -1,0 +1,199 @@
+// Package logreg implements multinomial (softmax) logistic regression
+// trained with Adam, the linear classification head used by WEASEL-based
+// pipelines (WEASEL, ECEC, TEASER) throughout the framework.
+package logreg
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/goetsc/goetsc/internal/ml"
+	"github.com/goetsc/goetsc/internal/stats"
+)
+
+// Config holds training hyper-parameters. The zero value selects sensible
+// defaults via (*Model).Fit.
+type Config struct {
+	// L2 is the ridge penalty on the weights (not the bias). Default 1e-4.
+	L2 float64
+	// LearningRate is Adam's step size. Default 0.05.
+	LearningRate float64
+	// Epochs is the number of passes over the data. Default 100.
+	Epochs int
+	// BatchSize is the mini-batch size; 0 uses full-batch gradients.
+	BatchSize int
+	// Seed drives mini-batch shuffling.
+	Seed int64
+}
+
+// Model is a trained multinomial logistic-regression classifier.
+// It satisfies ml.Classifier.
+type Model struct {
+	Cfg Config
+
+	numClasses int
+	dim        int
+	weights    [][]float64 // [class][feature]
+	bias       []float64
+}
+
+var _ ml.Classifier = (*Model)(nil)
+
+// New returns an untrained model with the given configuration.
+func New(cfg Config) *Model { return &Model{Cfg: cfg} }
+
+// Fit trains the classifier on rows X with labels y in [0, numClasses).
+func (m *Model) Fit(X [][]float64, y []int, numClasses int) error {
+	if len(X) == 0 {
+		return fmt.Errorf("logreg: no samples")
+	}
+	if len(X) != len(y) {
+		return fmt.Errorf("logreg: %d samples but %d labels", len(X), len(y))
+	}
+	if numClasses < 2 {
+		return fmt.Errorf("logreg: need at least 2 classes, got %d", numClasses)
+	}
+	dim := len(X[0])
+	for i, x := range X {
+		if len(x) != dim {
+			return fmt.Errorf("logreg: row %d has %d features, want %d", i, len(x), dim)
+		}
+	}
+	cfg := m.Cfg
+	if cfg.L2 == 0 {
+		cfg.L2 = 1e-4
+	}
+	if cfg.LearningRate == 0 {
+		cfg.LearningRate = 0.05
+	}
+	if cfg.Epochs == 0 {
+		cfg.Epochs = 100
+	}
+	m.numClasses = numClasses
+	m.dim = dim
+	m.weights = make([][]float64, numClasses)
+	for c := range m.weights {
+		m.weights[c] = make([]float64, dim)
+	}
+	m.bias = make([]float64, numClasses)
+
+	n := len(X)
+	batch := cfg.BatchSize
+	if batch <= 0 || batch > n {
+		batch = n
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	// Adam state.
+	mw := make([][]float64, numClasses)
+	vw := make([][]float64, numClasses)
+	for c := range mw {
+		mw[c] = make([]float64, dim)
+		vw[c] = make([]float64, dim)
+	}
+	mb := make([]float64, numClasses)
+	vb := make([]float64, numClasses)
+	const beta1, beta2, eps = 0.9, 0.999, 1e-8
+	step := 0
+	gradW := make([][]float64, numClasses)
+	for c := range gradW {
+		gradW[c] = make([]float64, dim)
+	}
+	gradB := make([]float64, numClasses)
+	probs := make([]float64, numClasses)
+	logits := make([]float64, numClasses)
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for start := 0; start < n; start += batch {
+			end := start + batch
+			if end > n {
+				end = n
+			}
+			bs := float64(end - start)
+			for c := 0; c < numClasses; c++ {
+				for j := range gradW[c] {
+					gradW[c][j] = 0
+				}
+				gradB[c] = 0
+			}
+			for _, idx := range order[start:end] {
+				x := X[idx]
+				m.logits(x, logits)
+				stats.Softmax(logits, probs)
+				for c := 0; c < numClasses; c++ {
+					g := probs[c]
+					if c == y[idx] {
+						g -= 1
+					}
+					if g == 0 {
+						continue
+					}
+					gw := gradW[c]
+					for j, xv := range x {
+						gw[j] += g * xv
+					}
+					gradB[c] += g
+				}
+			}
+			step++
+			corr1 := 1 - math.Pow(beta1, float64(step))
+			corr2 := 1 - math.Pow(beta2, float64(step))
+			for c := 0; c < numClasses; c++ {
+				w := m.weights[c]
+				for j := range w {
+					g := gradW[c][j]/bs + cfg.L2*w[j]
+					mw[c][j] = beta1*mw[c][j] + (1-beta1)*g
+					vw[c][j] = beta2*vw[c][j] + (1-beta2)*g*g
+					w[j] -= cfg.LearningRate * (mw[c][j] / corr1) / (math.Sqrt(vw[c][j]/corr2) + eps)
+				}
+				g := gradB[c] / bs
+				mb[c] = beta1*mb[c] + (1-beta1)*g
+				vb[c] = beta2*vb[c] + (1-beta2)*g*g
+				m.bias[c] -= cfg.LearningRate * (mb[c] / corr1) / (math.Sqrt(vb[c]/corr2) + eps)
+			}
+		}
+	}
+	return nil
+}
+
+func (m *Model) logits(x []float64, out []float64) {
+	for c := 0; c < m.numClasses; c++ {
+		w := m.weights[c]
+		sum := m.bias[c]
+		for j, xv := range x {
+			if xv != 0 {
+				sum += w[j] * xv
+			}
+		}
+		out[c] = sum
+	}
+}
+
+// PredictProba returns class probabilities for one sample. Inputs shorter
+// than the training dimension are treated as zero-padded; longer inputs are
+// truncated.
+func (m *Model) PredictProba(x []float64) []float64 {
+	if len(x) > m.dim {
+		x = x[:m.dim]
+	}
+	logits := make([]float64, m.numClasses)
+	for c := 0; c < m.numClasses; c++ {
+		w := m.weights[c]
+		sum := m.bias[c]
+		for j, xv := range x {
+			if xv != 0 {
+				sum += w[j] * xv
+			}
+		}
+		logits[c] = sum
+	}
+	return stats.Softmax(logits, nil)
+}
+
+// Predict returns the argmax class for one sample.
+func (m *Model) Predict(x []float64) int { return stats.ArgMax(m.PredictProba(x)) }

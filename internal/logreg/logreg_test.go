@@ -1,0 +1,188 @@
+package logreg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func linearlySeparable(rng *rand.Rand, nPerClass int) ([][]float64, []int) {
+	var X [][]float64
+	var y []int
+	for i := 0; i < nPerClass; i++ {
+		X = append(X, []float64{rng.NormFloat64() - 3, rng.NormFloat64()})
+		y = append(y, 0)
+		X = append(X, []float64{rng.NormFloat64() + 3, rng.NormFloat64()})
+		y = append(y, 1)
+	}
+	return X, y
+}
+
+func accuracy(m *Model, X [][]float64, y []int) float64 {
+	correct := 0
+	for i, x := range X {
+		if m.Predict(x) == y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(y))
+}
+
+func TestBinarySeparable(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	X, y := linearlySeparable(rng, 50)
+	m := New(Config{Epochs: 150})
+	if err := m.Fit(X, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(m, X, y); acc < 0.97 {
+		t.Fatalf("train accuracy = %v", acc)
+	}
+}
+
+func TestMulticlass(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	centers := [][]float64{{0, 0}, {6, 0}, {0, 6}, {6, 6}}
+	var X [][]float64
+	var y []int
+	for c, center := range centers {
+		for i := 0; i < 30; i++ {
+			X = append(X, []float64{center[0] + rng.NormFloat64()*0.7, center[1] + rng.NormFloat64()*0.7})
+			y = append(y, c)
+		}
+	}
+	m := New(Config{Epochs: 200})
+	if err := m.Fit(X, y, 4); err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(m, X, y); acc < 0.95 {
+		t.Fatalf("multiclass accuracy = %v", acc)
+	}
+}
+
+func TestProbabilitiesSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	X, y := linearlySeparable(rng, 20)
+	m := New(Config{Epochs: 50})
+	if err := m.Fit(X, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range X {
+		p := m.PredictProba(x)
+		var sum float64
+		for _, v := range p {
+			if v < 0 || v > 1 {
+				t.Fatalf("probability out of range: %v", p)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("probabilities sum to %v", sum)
+		}
+	}
+}
+
+func TestMiniBatchMatchesFullBatchQuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	X, y := linearlySeparable(rng, 60)
+	mb := New(Config{Epochs: 100, BatchSize: 16, Seed: 7})
+	if err := mb.Fit(X, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(mb, X, y); acc < 0.95 {
+		t.Fatalf("mini-batch accuracy = %v", acc)
+	}
+}
+
+func TestL2RegularizationShrinksWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	X, y := linearlySeparable(rng, 40)
+	loose := New(Config{Epochs: 100, L2: 1e-6})
+	tight := New(Config{Epochs: 100, L2: 1.0})
+	if err := loose.Fit(X, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := tight.Fit(X, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	norm := func(m *Model) float64 {
+		var s float64
+		for _, w := range m.weights {
+			for _, v := range w {
+				s += v * v
+			}
+		}
+		return s
+	}
+	if norm(tight) >= norm(loose) {
+		t.Fatalf("strong L2 did not shrink weights: %v vs %v", norm(tight), norm(loose))
+	}
+}
+
+func TestPredictProbaDimensionTolerance(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	X, y := linearlySeparable(rng, 20)
+	m := New(Config{Epochs: 30})
+	if err := m.Fit(X, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Short input (zero padding) and long input (truncation) must not panic.
+	if p := m.PredictProba([]float64{1}); len(p) != 2 {
+		t.Fatal("short input mishandled")
+	}
+	if p := m.PredictProba([]float64{1, 2, 3, 4}); len(p) != 2 {
+		t.Fatal("long input mishandled")
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	m := New(Config{})
+	if err := m.Fit(nil, nil, 2); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if err := m.Fit([][]float64{{1}}, []int{0, 1}, 2); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if err := m.Fit([][]float64{{1}}, []int{0}, 1); err == nil {
+		t.Fatal("single class accepted")
+	}
+	if err := m.Fit([][]float64{{1, 2}, {1}}, []int{0, 1}, 2); err == nil {
+		t.Fatal("ragged rows accepted")
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	X, y := linearlySeparable(rng, 30)
+	m1 := New(Config{Epochs: 40, BatchSize: 8, Seed: 3})
+	m2 := New(Config{Epochs: 40, BatchSize: 8, Seed: 3})
+	if err := m1.Fit(X, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Fit(X, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	for c := range m1.weights {
+		for j := range m1.weights[c] {
+			if m1.weights[c][j] != m2.weights[c][j] {
+				t.Fatal("same seed produced different weights")
+			}
+		}
+	}
+}
+
+func TestSparseFeaturesHandled(t *testing.T) {
+	// Bag-of-words style features: mostly zeros.
+	X := [][]float64{
+		{3, 0, 0, 0}, {2, 0, 1, 0}, {4, 0, 0, 0},
+		{0, 0, 0, 2}, {0, 1, 0, 3}, {0, 0, 0, 4},
+	}
+	y := []int{0, 0, 0, 1, 1, 1}
+	m := New(Config{Epochs: 200})
+	if err := m.Fit(X, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(m, X, y); acc != 1 {
+		t.Fatalf("sparse accuracy = %v", acc)
+	}
+}

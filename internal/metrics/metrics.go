@@ -1,0 +1,190 @@
+// Package metrics implements the evaluation measures of the paper
+// (Section 2.2): accuracy, macro-averaged F1-score, earliness, the harmonic
+// mean of accuracy and (1 - earliness), and confusion-matrix utilities.
+package metrics
+
+import (
+	"fmt"
+	"time"
+)
+
+// ConfusionMatrix counts predictions: M[true][predicted].
+type ConfusionMatrix struct {
+	NumClasses int
+	Counts     [][]int
+}
+
+// NewConfusionMatrix allocates an empty numClasses × numClasses matrix.
+func NewConfusionMatrix(numClasses int) *ConfusionMatrix {
+	counts := make([][]int, numClasses)
+	for i := range counts {
+		counts[i] = make([]int, numClasses)
+	}
+	return &ConfusionMatrix{NumClasses: numClasses, Counts: counts}
+}
+
+// Add records one prediction. Out-of-range labels panic, as they indicate a
+// programming error upstream.
+func (m *ConfusionMatrix) Add(trueLabel, predicted int) {
+	m.Counts[trueLabel][predicted]++
+}
+
+// Total returns the number of recorded predictions.
+func (m *ConfusionMatrix) Total() int {
+	total := 0
+	for _, row := range m.Counts {
+		for _, c := range row {
+			total += c
+		}
+	}
+	return total
+}
+
+// Accuracy returns (TP+TN)/total, i.e. the trace over the total count.
+// An empty matrix reports 0.
+func (m *ConfusionMatrix) Accuracy() float64 {
+	total := m.Total()
+	if total == 0 {
+		return 0
+	}
+	correct := 0
+	for i := 0; i < m.NumClasses; i++ {
+		correct += m.Counts[i][i]
+	}
+	return float64(correct) / float64(total)
+}
+
+// F1PerClass returns the F1-score of each class, using the paper's
+// formulation F1_c = TP_c / (TP_c + (FP_c + FN_c)/2). A class with no true
+// or predicted instances scores 0.
+func (m *ConfusionMatrix) F1PerClass() []float64 {
+	out := make([]float64, m.NumClasses)
+	for c := 0; c < m.NumClasses; c++ {
+		tp := m.Counts[c][c]
+		fp, fn := 0, 0
+		for other := 0; other < m.NumClasses; other++ {
+			if other == c {
+				continue
+			}
+			fp += m.Counts[other][c]
+			fn += m.Counts[c][other]
+		}
+		denom := float64(tp) + 0.5*float64(fp+fn)
+		if denom > 0 {
+			out[c] = float64(tp) / denom
+		}
+	}
+	return out
+}
+
+// MacroF1 returns the unweighted average of per-class F1 scores over all
+// |C| classes, as defined in Section 2.2 of the paper.
+func (m *ConfusionMatrix) MacroF1() float64 {
+	if m.NumClasses == 0 {
+		return 0
+	}
+	var sum float64
+	for _, f1 := range m.F1PerClass() {
+		sum += f1
+	}
+	return sum / float64(m.NumClasses)
+}
+
+// Accuracy computes plain accuracy from parallel truth/prediction slices.
+func Accuracy(truth, predicted []int) float64 {
+	if len(truth) == 0 || len(truth) != len(predicted) {
+		return 0
+	}
+	correct := 0
+	for i := range truth {
+		if truth[i] == predicted[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(truth))
+}
+
+// Earliness returns the average of l/L over all test instances, where l is
+// the number of time points consumed before the prediction and L the full
+// instance length. Lower is better; 1 means the full series was needed.
+func Earliness(consumed, lengths []int) float64 {
+	if len(consumed) == 0 || len(consumed) != len(lengths) {
+		return 0
+	}
+	var sum float64
+	for i := range consumed {
+		if lengths[i] <= 0 {
+			continue
+		}
+		e := float64(consumed[i]) / float64(lengths[i])
+		if e > 1 {
+			e = 1
+		}
+		sum += e
+	}
+	return sum / float64(len(consumed))
+}
+
+// HarmonicMean returns 2·Acc·(1−Earl) / (Acc + (1−Earl)), the paper's
+// combined earliness/accuracy score. It is 0 when either accuracy is 0 or
+// the full series was always required (earliness 1).
+func HarmonicMean(accuracy, earliness float64) float64 {
+	saved := 1 - earliness
+	if accuracy+saved <= 0 {
+		return 0
+	}
+	return 2 * accuracy * saved / (accuracy + saved)
+}
+
+// Result bundles every measure the framework reports for one evaluation run
+// (one algorithm × one dataset × one fold, or an average of folds).
+type Result struct {
+	Algorithm string
+	Dataset   string
+
+	Accuracy     float64
+	MacroF1      float64
+	Earliness    float64
+	HarmonicMean float64
+
+	TrainTime time.Duration
+	TestTime  time.Duration
+	// NumTest is the number of test predictions behind the scores.
+	NumTest int
+	// TimedOut marks runs aborted by the harness training budget
+	// (reproducing the paper's 48-hour cutoff / hatched heatmap cells).
+	TimedOut bool
+}
+
+// String renders the result in a compact single-line form.
+func (r Result) String() string {
+	if r.TimedOut {
+		return fmt.Sprintf("%s on %s: TIMED OUT (train budget exceeded)", r.Algorithm, r.Dataset)
+	}
+	return fmt.Sprintf("%s on %s: acc=%.3f f1=%.3f earl=%.3f hm=%.3f train=%s test=%s",
+		r.Algorithm, r.Dataset, r.Accuracy, r.MacroF1, r.Earliness, r.HarmonicMean, r.TrainTime, r.TestTime)
+}
+
+// Average combines per-fold results into a mean result. Timed-out folds
+// poison the aggregate: if any fold timed out the average is marked
+// TimedOut, matching how the paper reports algorithms that failed to train.
+func Average(results []Result) Result {
+	if len(results) == 0 {
+		return Result{}
+	}
+	avg := Result{Algorithm: results[0].Algorithm, Dataset: results[0].Dataset}
+	n := float64(len(results))
+	for _, r := range results {
+		if r.TimedOut {
+			avg.TimedOut = true
+		}
+		avg.Accuracy += r.Accuracy / n
+		avg.MacroF1 += r.MacroF1 / n
+		avg.Earliness += r.Earliness / n
+		avg.TrainTime += r.TrainTime / time.Duration(len(results))
+		avg.TestTime += r.TestTime / time.Duration(len(results))
+		avg.NumTest += r.NumTest
+	}
+	avg.HarmonicMean = HarmonicMean(avg.Accuracy, avg.Earliness)
+	return avg
+}

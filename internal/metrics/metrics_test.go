@@ -1,0 +1,212 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestConfusionMatrixAccuracy(t *testing.T) {
+	m := NewConfusionMatrix(2)
+	m.Add(0, 0)
+	m.Add(0, 0)
+	m.Add(1, 1)
+	m.Add(1, 0)
+	if !approx(m.Accuracy(), 0.75) {
+		t.Fatalf("accuracy = %v", m.Accuracy())
+	}
+	if m.Total() != 4 {
+		t.Fatalf("total = %d", m.Total())
+	}
+	if NewConfusionMatrix(2).Accuracy() != 0 {
+		t.Fatal("empty matrix accuracy != 0")
+	}
+}
+
+func TestF1PerClassKnownValues(t *testing.T) {
+	// Class 0: TP=2, FN=1 (predicted 1), FP=1 (true 1 predicted 0).
+	m := NewConfusionMatrix(2)
+	m.Add(0, 0)
+	m.Add(0, 0)
+	m.Add(0, 1)
+	m.Add(1, 0)
+	m.Add(1, 1)
+	f1 := m.F1PerClass()
+	// F1_0 = 2 / (2 + 0.5*(1+1)) = 2/3
+	if !approx(f1[0], 2.0/3.0) {
+		t.Fatalf("f1[0] = %v", f1[0])
+	}
+	// F1_1 = 1 / (1 + 0.5*(1+1)) = 0.5
+	if !approx(f1[1], 0.5) {
+		t.Fatalf("f1[1] = %v", f1[1])
+	}
+	if !approx(m.MacroF1(), (2.0/3.0+0.5)/2) {
+		t.Fatalf("macro f1 = %v", m.MacroF1())
+	}
+}
+
+func TestF1AbsentClass(t *testing.T) {
+	m := NewConfusionMatrix(3)
+	m.Add(0, 0)
+	m.Add(1, 1)
+	f1 := m.F1PerClass()
+	if f1[2] != 0 {
+		t.Fatalf("absent class f1 = %v, want 0", f1[2])
+	}
+}
+
+func TestPerfectAndWorstScores(t *testing.T) {
+	m := NewConfusionMatrix(3)
+	for c := 0; c < 3; c++ {
+		for i := 0; i < 5; i++ {
+			m.Add(c, c)
+		}
+	}
+	if !approx(m.Accuracy(), 1) || !approx(m.MacroF1(), 1) {
+		t.Fatalf("perfect scores: acc=%v f1=%v", m.Accuracy(), m.MacroF1())
+	}
+	w := NewConfusionMatrix(2)
+	w.Add(0, 1)
+	w.Add(1, 0)
+	if w.Accuracy() != 0 || w.MacroF1() != 0 {
+		t.Fatalf("worst scores: acc=%v f1=%v", w.Accuracy(), w.MacroF1())
+	}
+}
+
+func TestAccuracySlices(t *testing.T) {
+	if !approx(Accuracy([]int{1, 0, 1}, []int{1, 1, 1}), 2.0/3.0) {
+		t.Fatal("slice accuracy wrong")
+	}
+	if Accuracy([]int{1}, []int{1, 2}) != 0 {
+		t.Fatal("mismatched lengths should score 0")
+	}
+	if Accuracy(nil, nil) != 0 {
+		t.Fatal("empty accuracy != 0")
+	}
+}
+
+func TestEarliness(t *testing.T) {
+	// Two instances: consumed 5/10 and 10/10 -> average 0.75.
+	e := Earliness([]int{5, 10}, []int{10, 10})
+	if !approx(e, 0.75) {
+		t.Fatalf("earliness = %v", e)
+	}
+	// Consumption beyond the length clamps at 1.
+	if e := Earliness([]int{20}, []int{10}); !approx(e, 1) {
+		t.Fatalf("clamped earliness = %v", e)
+	}
+	if Earliness(nil, nil) != 0 {
+		t.Fatal("empty earliness != 0")
+	}
+}
+
+func TestHarmonicMean(t *testing.T) {
+	// Paper formula: HM = 2*Acc*(1-Earl)/(Acc+(1-Earl)).
+	if !approx(HarmonicMean(1, 0), 1) {
+		t.Fatal("ideal HM != 1")
+	}
+	if HarmonicMean(0, 0.5) != 0 {
+		t.Fatal("zero accuracy HM != 0")
+	}
+	if HarmonicMean(0.9, 1) != 0 {
+		t.Fatal("earliness 1 HM != 0")
+	}
+	if !approx(HarmonicMean(0.8, 0.2), 2*0.8*0.8/(0.8+0.8)) {
+		t.Fatal("HM formula wrong")
+	}
+}
+
+func TestHarmonicMeanBounds(t *testing.T) {
+	f := func(a, e float64) bool {
+		acc := math.Abs(math.Mod(a, 1))
+		earl := math.Abs(math.Mod(e, 1))
+		hm := HarmonicMean(acc, earl)
+		if hm < 0 || hm > 1 {
+			return false
+		}
+		// HM never exceeds either component.
+		return hm <= acc+1e-12 && hm <= (1-earl)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAverage(t *testing.T) {
+	results := []Result{
+		{Algorithm: "a", Dataset: "d", Accuracy: 0.8, MacroF1: 0.7, Earliness: 0.4, TrainTime: 2 * time.Second, NumTest: 10},
+		{Algorithm: "a", Dataset: "d", Accuracy: 0.6, MacroF1: 0.5, Earliness: 0.2, TrainTime: 4 * time.Second, NumTest: 10},
+	}
+	avg := Average(results)
+	if !approx(avg.Accuracy, 0.7) || !approx(avg.MacroF1, 0.6) || !approx(avg.Earliness, 0.3) {
+		t.Fatalf("avg = %+v", avg)
+	}
+	if avg.TrainTime != 3*time.Second {
+		t.Fatalf("train time = %v", avg.TrainTime)
+	}
+	if avg.NumTest != 20 {
+		t.Fatalf("num test = %d", avg.NumTest)
+	}
+	if !approx(avg.HarmonicMean, HarmonicMean(0.7, 0.3)) {
+		t.Fatal("aggregate HM not recomputed")
+	}
+	if Average(nil).Accuracy != 0 {
+		t.Fatal("empty average not zero")
+	}
+}
+
+func TestAverageTimedOutPoisons(t *testing.T) {
+	results := []Result{
+		{Accuracy: 0.9},
+		{TimedOut: true},
+	}
+	if !Average(results).TimedOut {
+		t.Fatal("timed-out fold did not poison average")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{Algorithm: "ECEC", Dataset: "PowerCons", Accuracy: 0.9}
+	if s := r.String(); s == "" {
+		t.Fatal("empty string")
+	}
+	to := Result{Algorithm: "EDSC", Dataset: "PLAID", TimedOut: true}
+	if s := to.String(); s == "" || !containsTimedOut(s) {
+		t.Fatalf("timeout string = %q", s)
+	}
+}
+
+func containsTimedOut(s string) bool {
+	for i := 0; i+9 <= len(s); i++ {
+		if s[i:i+9] == "TIMED OUT" {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRandomizedConfusionConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 50; trial++ {
+		k := 2 + rng.Intn(4)
+		n := 20 + rng.Intn(100)
+		truth := make([]int, n)
+		pred := make([]int, n)
+		m := NewConfusionMatrix(k)
+		for i := 0; i < n; i++ {
+			truth[i] = rng.Intn(k)
+			pred[i] = rng.Intn(k)
+			m.Add(truth[i], pred[i])
+		}
+		if !approx(m.Accuracy(), Accuracy(truth, pred)) {
+			t.Fatalf("trial %d: matrix accuracy %v != slice accuracy %v", trial, m.Accuracy(), Accuracy(truth, pred))
+		}
+		if f1 := m.MacroF1(); f1 < 0 || f1 > 1 {
+			t.Fatalf("trial %d: macro f1 out of bounds: %v", trial, f1)
+		}
+	}
+}

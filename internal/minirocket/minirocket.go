@@ -1,0 +1,268 @@
+// Package minirocket implements the MiniROCKET transform (Dempster,
+// Schmidt & Webb, KDD 2021): a fixed set of 84 dilated convolutional
+// kernels of length 9 with weights {-1, 2}, bias thresholds drawn from
+// training convolution quantiles, and "proportion of positive values"
+// (PPV) pooling, classified by a ridge head. Multivariate input is handled
+// with random channel subsets per kernel/dilation combination, as in the
+// reference implementation.
+package minirocket
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/goetsc/goetsc/internal/ridge"
+	"github.com/goetsc/goetsc/internal/stats"
+)
+
+const (
+	kernelLength = 9
+	numKernels   = 84 // C(9,3) choices of the three weight-2 positions
+)
+
+// Config controls the transform.
+type Config struct {
+	// NumFeatures is the approximate total PPV feature count; default 2520
+	// (84 kernels × 30). The reference default of ~10k is supported but
+	// slower; accuracy saturates well before that on the datasets used
+	// here.
+	NumFeatures int
+	// RidgeLambda is the head's L2 penalty; default 1.
+	RidgeLambda float64
+	// Seed drives bias sampling and channel-subset selection.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.NumFeatures <= 0 {
+		c.NumFeatures = 2520
+	}
+	if c.RidgeLambda <= 0 {
+		c.RidgeLambda = 1
+	}
+	return c
+}
+
+// combo is one (kernel, dilation, padding, channels) combination with its
+// bias thresholds; each bias yields one PPV feature.
+type combo struct {
+	kernel   int
+	dilation int
+	padding  bool
+	channels []int
+	biases   []float64
+}
+
+// Model is a fitted MiniROCKET classifier.
+type Model struct {
+	Cfg Config
+
+	kernels [numKernels][3]int
+	combos  []combo
+	head    *ridge.Model
+	numVars int
+}
+
+// New returns an untrained model.
+func New(cfg Config) *Model {
+	m := &Model{Cfg: cfg}
+	// Enumerate the 84 kernels: positions of the three weight-2 taps.
+	idx := 0
+	for a := 0; a < kernelLength; a++ {
+		for b := a + 1; b < kernelLength; b++ {
+			for c := b + 1; c < kernelLength; c++ {
+				m.kernels[idx] = [3]int{a, b, c}
+				idx++
+			}
+		}
+	}
+	return m
+}
+
+// Fit learns bias quantiles from the training instances and trains the
+// ridge head. Instances are indexed [instance][variable][time].
+func (m *Model) Fit(instances [][][]float64, labels []int, numClasses int) error {
+	if len(instances) == 0 {
+		return fmt.Errorf("minirocket: no instances")
+	}
+	if len(instances) != len(labels) {
+		return fmt.Errorf("minirocket: %d instances but %d labels", len(instances), len(labels))
+	}
+	if numClasses < 2 {
+		return fmt.Errorf("minirocket: need at least 2 classes, got %d", numClasses)
+	}
+	cfg := m.Cfg.withDefaults()
+	m.numVars = len(instances[0])
+	if m.numVars == 0 {
+		return fmt.Errorf("minirocket: instances have no variables")
+	}
+	minLen := math.MaxInt
+	for _, inst := range instances {
+		if len(inst) != m.numVars {
+			return fmt.Errorf("minirocket: inconsistent variable counts")
+		}
+		if l := len(inst[0]); l < minLen {
+			minLen = l
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+
+	// Exponentially spaced dilations such that the kernel span fits.
+	dilations := []int{1}
+	for d := 2; (kernelLength-1)*d < minLen; d *= 2 {
+		dilations = append(dilations, d)
+	}
+	nCombos := numKernels * len(dilations)
+	biasesPerCombo := cfg.NumFeatures / nCombos
+	if biasesPerCombo < 1 {
+		biasesPerCombo = 1
+	}
+
+	// Sample up to 10 training instances per combo for bias quantiles.
+	sampleCount := 10
+	if sampleCount > len(instances) {
+		sampleCount = len(instances)
+	}
+
+	m.combos = make([]combo, 0, nCombos)
+	comboIdx := 0
+	for _, d := range dilations {
+		for k := 0; k < numKernels; k++ {
+			cb := combo{
+				kernel:   k,
+				dilation: d,
+				padding:  comboIdx%2 == 0,
+				channels: m.pickChannels(rng),
+			}
+			// Collect convolution outputs from sampled instances.
+			var pool []float64
+			for s := 0; s < sampleCount; s++ {
+				inst := instances[rng.Intn(len(instances))]
+				pool = append(pool, m.convolve(inst, cb)...)
+			}
+			if len(pool) == 0 {
+				pool = []float64{0}
+			}
+			sort.Float64s(pool)
+			cb.biases = make([]float64, biasesPerCombo)
+			for b := 0; b < biasesPerCombo; b++ {
+				// Low-discrepancy quantile positions, as in the reference.
+				q := (float64(b) + 0.5) / float64(biasesPerCombo)
+				pos := int(q * float64(len(pool)-1))
+				cb.biases[b] = pool[pos]
+			}
+			m.combos = append(m.combos, cb)
+			comboIdx++
+		}
+	}
+
+	// Transform the training set and fit the head.
+	X := make([][]float64, len(instances))
+	for i, inst := range instances {
+		X[i] = m.Transform(inst)
+	}
+	m.head = ridge.New(ridge.Config{Lambda: cfg.RidgeLambda, Standardize: true})
+	return m.head.Fit(X, labels, numClasses)
+}
+
+// pickChannels selects a random channel subset (log-uniform size), the
+// multivariate MiniROCKET scheme. Univariate input always uses channel 0.
+func (m *Model) pickChannels(rng *rand.Rand) []int {
+	if m.numVars == 1 {
+		return []int{0}
+	}
+	maxExp := int(math.Log2(float64(m.numVars))) + 1
+	size := 1 << rng.Intn(maxExp)
+	if size > m.numVars {
+		size = m.numVars
+	}
+	perm := rng.Perm(m.numVars)
+	channels := append([]int(nil), perm[:size]...)
+	sort.Ints(channels)
+	return channels
+}
+
+// convolve computes the dilated convolution of one instance with a combo's
+// kernel, summed over its channel subset. With padding, every time point
+// produces an output (missing taps read as zero); without, only fully
+// covered positions do.
+func (m *Model) convolve(instance [][]float64, cb combo) []float64 {
+	length := len(instance[0])
+	span := (kernelLength - 1) / 2 * cb.dilation // 4d
+	var start, end int
+	if cb.padding {
+		start, end = 0, length
+	} else {
+		start, end = span, length-span
+	}
+	if end <= start {
+		start, end = 0, length // series too short: fall back to padded
+	}
+	out := make([]float64, 0, end-start)
+	pos := m.kernels[cb.kernel]
+	for t := start; t < end; t++ {
+		var sumAll, sumPos float64
+		for j := 0; j < kernelLength; j++ {
+			off := t + (j-4)*cb.dilation
+			if off < 0 || off >= length {
+				continue
+			}
+			var v float64
+			for _, ch := range cb.channels {
+				if ch < len(instance) {
+					v += instance[ch][off]
+				}
+			}
+			sumAll += v
+			if j == pos[0] || j == pos[1] || j == pos[2] {
+				sumPos += v
+			}
+		}
+		// Weights are -1 everywhere plus 3 at the selected taps.
+		out = append(out, 3*sumPos-sumAll)
+	}
+	return out
+}
+
+// Transform maps one instance to its PPV feature vector.
+func (m *Model) Transform(instance [][]float64) []float64 {
+	var features []float64
+	for _, cb := range m.combos {
+		conv := m.convolve(instance, cb)
+		for _, bias := range cb.biases {
+			positive := 0
+			for _, v := range conv {
+				if v > bias {
+					positive++
+				}
+			}
+			ppv := 0.0
+			if len(conv) > 0 {
+				ppv = float64(positive) / float64(len(conv))
+			}
+			features = append(features, ppv)
+		}
+	}
+	return features
+}
+
+// PredictProba returns class probabilities for one instance.
+func (m *Model) PredictProba(instance [][]float64) []float64 {
+	return m.head.PredictProba(m.Transform(instance))
+}
+
+// Predict returns the most probable class for one instance.
+func (m *Model) Predict(instance [][]float64) int {
+	return stats.ArgMax(m.head.DecisionScores(m.Transform(instance)))
+}
+
+// NumFeatures reports the realized feature dimensionality.
+func (m *Model) NumFeatures() int {
+	total := 0
+	for _, cb := range m.combos {
+		total += len(cb.biases)
+	}
+	return total
+}

@@ -1,0 +1,186 @@
+package minirocket
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func sineInstances(rng *rand.Rand, nPerClass, length int) ([][][]float64, []int) {
+	var instances [][][]float64
+	var labels []int
+	for i := 0; i < nPerClass; i++ {
+		for c, freq := range []float64{2, 5} {
+			s := make([]float64, length)
+			phase := rng.Float64() * 2 * math.Pi
+			for t := range s {
+				s[t] = math.Sin(2*math.Pi*freq*float64(t)/float64(length)+phase) + rng.NormFloat64()*0.1
+			}
+			instances = append(instances, [][]float64{s})
+			labels = append(labels, c)
+		}
+	}
+	return instances, labels
+}
+
+func modelAccuracy(m *Model, instances [][][]float64, labels []int) float64 {
+	correct := 0
+	for i, inst := range instances {
+		if m.Predict(inst) == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(labels))
+}
+
+func TestKernelEnumeration(t *testing.T) {
+	m := New(Config{})
+	seen := map[[3]int]bool{}
+	for _, k := range m.kernels {
+		if k[0] >= k[1] || k[1] >= k[2] {
+			t.Fatalf("kernel positions not ascending: %v", k)
+		}
+		if k[2] >= kernelLength {
+			t.Fatalf("kernel position out of range: %v", k)
+		}
+		if seen[k] {
+			t.Fatalf("duplicate kernel %v", k)
+		}
+		seen[k] = true
+	}
+	if len(seen) != 84 {
+		t.Fatalf("kernels = %d, want 84", len(seen))
+	}
+}
+
+func TestUnivariateFrequencyClasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	train, trainY := sineInstances(rng, 20, 64)
+	test, testY := sineInstances(rng, 8, 64)
+	m := New(Config{NumFeatures: 840, Seed: 1})
+	if err := m.Fit(train, trainY, 2); err != nil {
+		t.Fatal(err)
+	}
+	if acc := modelAccuracy(m, test, testY); acc < 0.9 {
+		t.Fatalf("test accuracy = %v", acc)
+	}
+}
+
+func TestMultivariate(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var instances [][][]float64
+	var labels []int
+	for i := 0; i < 60; i++ {
+		c := i % 2
+		noise := make([]float64, 48)
+		signal := make([]float64, 48)
+		for t := range noise {
+			noise[t] = rng.NormFloat64()
+			signal[t] = math.Sin(2*math.Pi*float64(2+c*3)*float64(t)/48) + rng.NormFloat64()*0.2
+		}
+		instances = append(instances, [][]float64{noise, signal, noise})
+		labels = append(labels, c)
+	}
+	m := New(Config{NumFeatures: 840, Seed: 3})
+	if err := m.Fit(instances, labels, 2); err != nil {
+		t.Fatal(err)
+	}
+	if acc := modelAccuracy(m, instances, labels); acc < 0.9 {
+		t.Fatalf("multivariate accuracy = %v", acc)
+	}
+}
+
+func TestPPVFeaturesInUnitInterval(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	train, trainY := sineInstances(rng, 10, 32)
+	m := New(Config{NumFeatures: 420, Seed: 5})
+	if err := m.Fit(train, trainY, 2); err != nil {
+		t.Fatal(err)
+	}
+	f := m.Transform(train[0])
+	if len(f) != m.NumFeatures() {
+		t.Fatalf("feature length %d != NumFeatures %d", len(f), m.NumFeatures())
+	}
+	for i, v := range f {
+		if v < 0 || v > 1 {
+			t.Fatalf("feature %d = %v outside [0,1]", i, v)
+		}
+	}
+}
+
+func TestTransformDeterministicAfterFit(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	train, trainY := sineInstances(rng, 8, 32)
+	m := New(Config{NumFeatures: 168, Seed: 7})
+	if err := m.Fit(train, trainY, 2); err != nil {
+		t.Fatal(err)
+	}
+	a := m.Transform(train[0])
+	b := m.Transform(train[0])
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("transform not deterministic")
+		}
+	}
+}
+
+func TestShortSeriesAtPredictTime(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	train, trainY := sineInstances(rng, 10, 64)
+	m := New(Config{NumFeatures: 168, Seed: 9})
+	if err := m.Fit(train, trainY, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Prefix shorter than the largest kernel span: must not panic.
+	short := [][]float64{train[0][0][:5]}
+	p := m.PredictProba(short)
+	var sum float64
+	for _, v := range p {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("short-prefix proba sum = %v", sum)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	m := New(Config{})
+	if err := m.Fit(nil, nil, 2); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if err := m.Fit([][][]float64{{{1, 2}}}, []int{0, 1}, 2); err == nil {
+		t.Fatal("mismatch accepted")
+	}
+	if err := m.Fit([][][]float64{{{1, 2}}}, []int{0}, 1); err == nil {
+		t.Fatal("single class accepted")
+	}
+	if err := m.Fit([][][]float64{{}}, []int{0}, 2); err == nil {
+		t.Fatal("no variables accepted")
+	}
+}
+
+func TestDilationsScaleWithLength(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	short, shortY := sineInstances(rng, 6, 16)
+	long, longY := sineInstances(rng, 6, 256)
+	ms := New(Config{NumFeatures: 168, Seed: 11})
+	ml := New(Config{NumFeatures: 168, Seed: 11})
+	if err := ms.Fit(short, shortY, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := ml.Fit(long, longY, 2); err != nil {
+		t.Fatal(err)
+	}
+	maxDil := func(m *Model) int {
+		max := 0
+		for _, cb := range m.combos {
+			if cb.dilation > max {
+				max = cb.dilation
+			}
+		}
+		return max
+	}
+	if maxDil(ml) <= maxDil(ms) {
+		t.Fatalf("long series should use larger dilations: %d vs %d", maxDil(ml), maxDil(ms))
+	}
+}

@@ -1,0 +1,148 @@
+// Package ml defines the tabular-classifier contract shared by the ETSC
+// algorithm implementations (ECONOMY-K's per-time-point classifiers, the
+// WEASEL / MiniROCKET heads) plus cross-validation utilities for obtaining
+// out-of-fold probability estimates, as required by ECEC's reliability
+// computation.
+package ml
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/goetsc/goetsc/internal/stats"
+)
+
+// Classifier is a probabilistic multi-class classifier over fixed-length
+// feature vectors.
+type Classifier interface {
+	// Fit trains on feature matrix X (one row per sample) with labels y in
+	// [0, numClasses).
+	Fit(X [][]float64, y []int, numClasses int) error
+	// PredictProba returns the class-probability vector for one sample.
+	// It must only be called after a successful Fit.
+	PredictProba(x []float64) []float64
+}
+
+// Factory creates fresh, untrained classifiers; cross-validation needs one
+// per fold.
+type Factory func() Classifier
+
+// Predict returns the argmax class of c's probability estimate for x.
+func Predict(c Classifier, x []float64) int {
+	return stats.ArgMax(c.PredictProba(x))
+}
+
+// PredictAll returns argmax predictions for every row of X.
+func PredictAll(c Classifier, X [][]float64) []int {
+	out := make([]int, len(X))
+	for i, x := range X {
+		out[i] = Predict(c, x)
+	}
+	return out
+}
+
+// CrossValProba produces out-of-fold probability predictions for every
+// sample using k-fold cross validation with class stratification. The
+// returned matrix is indexed like X. Classes with fewer members than folds
+// still receive predictions: they are simply spread over fewer folds.
+func CrossValProba(factory Factory, X [][]float64, y []int, numClasses, folds int, rng *rand.Rand) ([][]float64, error) {
+	if len(X) != len(y) {
+		return nil, fmt.Errorf("cross val: %d samples but %d labels", len(X), len(y))
+	}
+	if folds < 2 {
+		return nil, fmt.Errorf("cross val: folds must be >= 2, got %d", folds)
+	}
+	if len(X) < folds {
+		folds = len(X)
+		if folds < 2 {
+			return nil, fmt.Errorf("cross val: need at least 2 samples, got %d", len(X))
+		}
+	}
+	// Stratified fold assignment.
+	assignment := make([]int, len(X))
+	byClass := make([][]int, numClasses)
+	for i, label := range y {
+		byClass[label] = append(byClass[label], i)
+	}
+	for _, idxs := range byClass {
+		rng.Shuffle(len(idxs), func(i, j int) { idxs[i], idxs[j] = idxs[j], idxs[i] })
+		for pos, idx := range idxs {
+			assignment[idx] = pos % folds
+		}
+	}
+	out := make([][]float64, len(X))
+	for f := 0; f < folds; f++ {
+		var trainX [][]float64
+		var trainY []int
+		var testIdx []int
+		for i := range X {
+			if assignment[i] == f {
+				testIdx = append(testIdx, i)
+			} else {
+				trainX = append(trainX, X[i])
+				trainY = append(trainY, y[i])
+			}
+		}
+		if len(testIdx) == 0 {
+			continue
+		}
+		if len(trainX) == 0 {
+			return nil, fmt.Errorf("cross val: fold %d has no training samples", f)
+		}
+		c := factory()
+		if err := c.Fit(trainX, trainY, numClasses); err != nil {
+			return nil, fmt.Errorf("cross val: fold %d: %w", f, err)
+		}
+		for _, i := range testIdx {
+			out[i] = c.PredictProba(X[i])
+		}
+	}
+	return out, nil
+}
+
+// MajorityClass returns the most frequent label in y (ties broken by the
+// lower label), or 0 for empty input.
+type trivialDist struct{ probs []float64 }
+
+// MajorityClassifier is a baseline Classifier that always predicts the
+// training class distribution. It doubles as a safe fallback when a real
+// classifier cannot be trained (e.g. a degenerate prefix with one class).
+type MajorityClassifier struct {
+	dist trivialDist
+}
+
+// Fit records the empirical class distribution.
+func (m *MajorityClassifier) Fit(X [][]float64, y []int, numClasses int) error {
+	if numClasses < 1 {
+		return fmt.Errorf("majority classifier: numClasses must be >= 1")
+	}
+	probs := make([]float64, numClasses)
+	if len(y) == 0 {
+		for i := range probs {
+			probs[i] = 1 / float64(numClasses)
+		}
+	} else {
+		for _, label := range y {
+			probs[label]++
+		}
+		for i := range probs {
+			probs[i] /= float64(len(y))
+		}
+	}
+	m.dist = trivialDist{probs: probs}
+	return nil
+}
+
+// PredictProba returns the stored training distribution.
+func (m *MajorityClassifier) PredictProba(x []float64) []float64 {
+	return append([]float64(nil), m.dist.probs...)
+}
+
+// UniqueLabels reports how many distinct labels appear in y.
+func UniqueLabels(y []int) int {
+	seen := map[int]bool{}
+	for _, label := range y {
+		seen[label] = true
+	}
+	return len(seen)
+}

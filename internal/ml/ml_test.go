@@ -1,0 +1,202 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// nearestCentroid is a tiny test classifier: predicts by distance to the
+// per-class mean feature vector.
+type nearestCentroid struct {
+	centroids [][]float64
+}
+
+func (n *nearestCentroid) Fit(X [][]float64, y []int, numClasses int) error {
+	n.centroids = make([][]float64, numClasses)
+	counts := make([]int, numClasses)
+	for i, x := range X {
+		c := y[i]
+		if n.centroids[c] == nil {
+			n.centroids[c] = make([]float64, len(x))
+		}
+		for j, v := range x {
+			n.centroids[c][j] += v
+		}
+		counts[c]++
+	}
+	for c := range n.centroids {
+		if counts[c] == 0 {
+			continue
+		}
+		for j := range n.centroids[c] {
+			n.centroids[c][j] /= float64(counts[c])
+		}
+	}
+	return nil
+}
+
+func (n *nearestCentroid) PredictProba(x []float64) []float64 {
+	probs := make([]float64, len(n.centroids))
+	var sum float64
+	for c, cen := range n.centroids {
+		if cen == nil {
+			continue
+		}
+		var d float64
+		for j := range x {
+			diff := x[j] - cen[j]
+			d += diff * diff
+		}
+		probs[c] = math.Exp(-d)
+		sum += probs[c]
+	}
+	if sum == 0 {
+		for c := range probs {
+			probs[c] = 1 / float64(len(probs))
+		}
+		return probs
+	}
+	for c := range probs {
+		probs[c] /= sum
+	}
+	return probs
+}
+
+func blobs(rng *rand.Rand, nPerClass int) ([][]float64, []int) {
+	var X [][]float64
+	var y []int
+	centers := [][]float64{{0, 0}, {5, 5}}
+	for c, center := range centers {
+		for i := 0; i < nPerClass; i++ {
+			X = append(X, []float64{center[0] + rng.NormFloat64()*0.5, center[1] + rng.NormFloat64()*0.5})
+			y = append(y, c)
+		}
+	}
+	return X, y
+}
+
+func TestPredictAndPredictAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	X, y := blobs(rng, 20)
+	c := &nearestCentroid{}
+	if err := c.Fit(X, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	preds := PredictAll(c, X)
+	correct := 0
+	for i := range preds {
+		if preds[i] == y[i] {
+			correct++
+		}
+	}
+	if correct < len(y)*9/10 {
+		t.Fatalf("nearest centroid only got %d/%d right", correct, len(y))
+	}
+	if Predict(c, []float64{5, 5}) != 1 {
+		t.Fatal("Predict wrong on obvious point")
+	}
+}
+
+func TestCrossValProbaShapeAndQuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	X, y := blobs(rng, 25)
+	probas, err := CrossValProba(func() Classifier { return &nearestCentroid{} }, X, y, 2, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probas) != len(X) {
+		t.Fatalf("probas len = %d", len(probas))
+	}
+	correct := 0
+	for i, p := range probas {
+		if p == nil {
+			t.Fatalf("sample %d got no out-of-fold prediction", i)
+		}
+		var sum float64
+		for _, v := range p {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("sample %d proba sum = %v", i, sum)
+		}
+		if argmax(p) == y[i] {
+			correct++
+		}
+	}
+	if correct < len(y)*8/10 {
+		t.Fatalf("out-of-fold accuracy too low: %d/%d", correct, len(y))
+	}
+}
+
+func argmax(xs []float64) int {
+	best := 0
+	for i, v := range xs {
+		if v > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func TestCrossValProbaErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	factory := func() Classifier { return &nearestCentroid{} }
+	if _, err := CrossValProba(factory, [][]float64{{1}}, []int{0, 1}, 2, 2, rng); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := CrossValProba(factory, [][]float64{{1}, {2}}, []int{0, 1}, 2, 1, rng); err == nil {
+		t.Fatal("folds=1 accepted")
+	}
+	if _, err := CrossValProba(factory, [][]float64{{1}}, []int{0}, 1, 3, rng); err == nil {
+		t.Fatal("single sample accepted")
+	}
+}
+
+func TestCrossValProbaSmallClasses(t *testing.T) {
+	// A class with a single member must still get an out-of-fold estimate.
+	rng := rand.New(rand.NewSource(4))
+	X := [][]float64{{0, 0}, {0.1, 0}, {0.2, 0}, {5, 5}, {0, 0.1}, {0.1, 0.2}}
+	y := []int{0, 0, 0, 1, 0, 0}
+	probas, err := CrossValProba(func() Classifier { return &nearestCentroid{} }, X, y, 2, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range probas {
+		if p == nil {
+			t.Fatalf("sample %d missing", i)
+		}
+	}
+}
+
+func TestMajorityClassifier(t *testing.T) {
+	m := &MajorityClassifier{}
+	if err := m.Fit(nil, []int{0, 0, 0, 1}, 2); err != nil {
+		t.Fatal(err)
+	}
+	p := m.PredictProba([]float64{42})
+	if math.Abs(p[0]-0.75) > 1e-12 || math.Abs(p[1]-0.25) > 1e-12 {
+		t.Fatalf("probs = %v", p)
+	}
+	// Empty training data falls back to uniform.
+	if err := m.Fit(nil, nil, 4); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range m.PredictProba(nil) {
+		if math.Abs(v-0.25) > 1e-12 {
+			t.Fatal("uniform fallback wrong")
+		}
+	}
+	if err := m.Fit(nil, nil, 0); err == nil {
+		t.Fatal("numClasses=0 accepted")
+	}
+}
+
+func TestUniqueLabels(t *testing.T) {
+	if UniqueLabels([]int{1, 1, 2, 3, 3}) != 3 {
+		t.Fatal("unique labels wrong")
+	}
+	if UniqueLabels(nil) != 0 {
+		t.Fatal("empty unique labels != 0")
+	}
+}

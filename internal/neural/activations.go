@@ -1,0 +1,92 @@
+package neural
+
+import (
+	"math"
+	"math/rand"
+)
+
+// ReLU applies max(0, x) element-wise on [channels][time] activations.
+type ReLU struct {
+	mask [][]bool
+}
+
+// Forward clamps negatives to zero.
+func (r *ReLU) Forward(x [][]float64, train bool) [][]float64 {
+	y := matrix(len(x), len(x[0]))
+	if train {
+		r.mask = make([][]bool, len(x))
+	}
+	for c := range x {
+		if train {
+			r.mask[c] = make([]bool, len(x[c]))
+		}
+		for t, v := range x[c] {
+			if v > 0 {
+				y[c][t] = v
+				if train {
+					r.mask[c][t] = true
+				}
+			}
+		}
+	}
+	return y
+}
+
+// Backward zeroes gradients where the input was negative.
+func (r *ReLU) Backward(grad [][]float64) [][]float64 {
+	dx := matrix(len(grad), len(grad[0]))
+	for c := range grad {
+		for t, g := range grad[c] {
+			if r.mask[c][t] {
+				dx[c][t] = g
+			}
+		}
+	}
+	return dx
+}
+
+// Dropout zeroes a fraction of vector activations during training, scaling
+// the survivors (inverted dropout).
+type Dropout struct {
+	Rate float64
+	rng  *rand.Rand
+	mask []float64
+}
+
+// NewDropout creates a dropout layer with the given drop probability.
+func NewDropout(rate float64, rng *rand.Rand) *Dropout {
+	return &Dropout{Rate: rate, rng: rng}
+}
+
+// ForwardVec applies dropout to a flat vector.
+func (d *Dropout) ForwardVec(x []float64, train bool) []float64 {
+	if !train || d.Rate <= 0 {
+		return x
+	}
+	y := make([]float64, len(x))
+	d.mask = make([]float64, len(x))
+	keep := 1 - d.Rate
+	for i, v := range x {
+		if d.rng.Float64() < keep {
+			d.mask[i] = 1 / keep
+			y[i] = v / keep
+		}
+	}
+	return y
+}
+
+// BackwardVec propagates gradients through the dropout mask.
+func (d *Dropout) BackwardVec(grad []float64) []float64 {
+	if d.mask == nil {
+		return grad
+	}
+	dx := make([]float64, len(grad))
+	for i, g := range grad {
+		dx[i] = g * d.mask[i]
+	}
+	return dx
+}
+
+func sigmoid(z float64) float64 { return 1 / (1 + math.Exp(-z)) }
+
+func tanh(z float64) float64 { return math.Tanh(z) }

@@ -1,0 +1,150 @@
+package neural
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Attention pools a sequence of hidden vectors into one context vector
+// using additive (Bahdanau-style) attention with a learned scoring vector:
+//
+//	e_t = uᵀ tanh(W h_t + b),  a = softmax(e),  out = Σ_t a_t · h_t
+//
+// MLSTM-FCN's LSTM branch uses this form to attend over the
+// dimension-shuffled steps instead of keeping only the final hidden state.
+type Attention struct {
+	Dim, Hidden int
+
+	w *Param // [hidden][dim]
+	b *Param // [hidden]
+	u *Param // [hidden]
+
+	// caches for backward
+	hs     [][]float64 // input sequence
+	pre    [][]float64 // W h_t + b
+	tanhed [][]float64
+	scores []float64 // attention weights a_t
+}
+
+// NewAttention creates an attention pool over dim-sized vectors with the
+// given scoring bottleneck width.
+func NewAttention(dim, hidden int, rng *rand.Rand) *Attention {
+	a := &Attention{Dim: dim, Hidden: hidden}
+	a.w = newParam(hidden * dim)
+	glorotInit(a.w.Val, dim, hidden, rng)
+	a.b = newParam(hidden)
+	a.u = newParam(hidden)
+	glorotInit(a.u.Val, hidden, 1, rng)
+	return a
+}
+
+// ForwardSeq pools the sequence (steps × dim) into one dim-sized vector.
+func (a *Attention) ForwardSeq(seq [][]float64, train bool) []float64 {
+	steps := len(seq)
+	pre := make([][]float64, steps)
+	tanhed := make([][]float64, steps)
+	energies := make([]float64, steps)
+	for t, h := range seq {
+		p := make([]float64, a.Hidden)
+		th := make([]float64, a.Hidden)
+		var e float64
+		for j := 0; j < a.Hidden; j++ {
+			row := a.w.Val[j*a.Dim : (j+1)*a.Dim]
+			sum := a.b.Val[j]
+			for i := 0; i < a.Dim && i < len(h); i++ {
+				sum += row[i] * h[i]
+			}
+			p[j] = sum
+			th[j] = math.Tanh(sum)
+			e += a.u.Val[j] * th[j]
+		}
+		pre[t] = p
+		tanhed[t] = th
+		energies[t] = e
+	}
+	// Softmax over steps.
+	max := math.Inf(-1)
+	for _, e := range energies {
+		if e > max {
+			max = e
+		}
+	}
+	var z float64
+	scores := make([]float64, steps)
+	for t, e := range energies {
+		scores[t] = math.Exp(e - max)
+		z += scores[t]
+	}
+	for t := range scores {
+		scores[t] /= z
+	}
+	out := make([]float64, a.Dim)
+	for t, h := range seq {
+		s := scores[t]
+		for i := 0; i < a.Dim && i < len(h); i++ {
+			out[i] += s * h[i]
+		}
+	}
+	if train {
+		a.hs = seq
+		a.pre = pre
+		a.tanhed = tanhed
+		a.scores = scores
+	}
+	return out
+}
+
+// Scores returns the attention weights of the last forward pass.
+func (a *Attention) Scores() []float64 { return a.scores }
+
+// BackwardSeq propagates dL/dout back to every sequence step, accumulating
+// parameter gradients.
+func (a *Attention) BackwardSeq(grad []float64) [][]float64 {
+	steps := len(a.hs)
+	dhs := make([][]float64, steps)
+	// d out / d h_t (direct path) and d out / d a_t.
+	dScores := make([]float64, steps)
+	for t, h := range a.hs {
+		dh := make([]float64, a.Dim)
+		s := a.scores[t]
+		var dA float64
+		for i := 0; i < a.Dim && i < len(h); i++ {
+			dh[i] = grad[i] * s
+			dA += grad[i] * h[i]
+		}
+		dhs[t] = dh
+		dScores[t] = dA
+	}
+	// Through the softmax: dE_t = a_t (dA_t - Σ_k a_k dA_k).
+	var dot float64
+	for t := range dScores {
+		dot += a.scores[t] * dScores[t]
+	}
+	for t := range a.hs {
+		dE := a.scores[t] * (dScores[t] - dot)
+		if dE == 0 {
+			continue
+		}
+		// e_t = Σ_j u_j tanh(pre_j); pre = W h_t + b.
+		for j := 0; j < a.Hidden; j++ {
+			a.u.Grad[j] += dE * a.tanhed[t][j]
+			dPre := dE * a.u.Val[j] * (1 - a.tanhed[t][j]*a.tanhed[t][j])
+			if dPre == 0 {
+				continue
+			}
+			a.b.Grad[j] += dPre
+			row := a.w.Val[j*a.Dim : (j+1)*a.Dim]
+			gRow := a.w.Grad[j*a.Dim : (j+1)*a.Dim]
+			h := a.hs[t]
+			dh := dhs[t]
+			for i := 0; i < a.Dim && i < len(h); i++ {
+				gRow[i] += dPre * h[i]
+				dh[i] += dPre * row[i]
+			}
+		}
+	}
+	return dhs
+}
+
+// Params returns the learnable parameters.
+func (a *Attention) Params() []*Param { return []*Param{a.w, a.b, a.u} }

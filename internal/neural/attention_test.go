@@ -1,0 +1,128 @@
+package neural
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestAttentionGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	layer := NewAttention(3, 4, rng)
+	seq := [][]float64{
+		{0.5, -0.2, 0.1},
+		{-0.3, 0.8, 0.4},
+		{0.2, 0.1, -0.6},
+		{0.9, -0.5, 0.3},
+	}
+	loss := newVecLoss(rng, 3)
+	forward := func() float64 { return loss.value(layer.ForwardSeq(seq, false)) }
+
+	layer.ForwardSeq(seq, true)
+	dhs := layer.BackwardSeq(loss.grad())
+	checkParamGrads(t, "attention", layer.Params(), forward)
+	for s := range seq {
+		for i := range seq[s] {
+			orig := seq[s][i]
+			seq[s][i] = orig + gcEps
+			up := forward()
+			seq[s][i] = orig - gcEps
+			down := forward()
+			seq[s][i] = orig
+			numeric := (up - down) / (2 * gcEps)
+			if relErr(numeric, dhs[s][i]) > gcTol {
+				t.Fatalf("attention input grad [%d][%d]: analytic %v vs numeric %v", s, i, dhs[s][i], numeric)
+			}
+		}
+	}
+}
+
+func TestAttentionScoresAreDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	layer := NewAttention(2, 3, rng)
+	seq := [][]float64{{1, 0}, {0, 1}, {5, 5}}
+	layer.ForwardSeq(seq, true)
+	var sum float64
+	for _, s := range layer.Scores() {
+		if s < 0 || s > 1 {
+			t.Fatalf("score out of range: %v", layer.Scores())
+		}
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("scores sum = %v", sum)
+	}
+}
+
+func TestAttentionOutputIsConvexCombination(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	layer := NewAttention(1, 2, rng)
+	seq := [][]float64{{1}, {2}, {3}}
+	out := layer.ForwardSeq(seq, false)
+	if out[0] < 1-1e-9 || out[0] > 3+1e-9 {
+		t.Fatalf("output %v outside the convex hull of inputs", out[0])
+	}
+}
+
+func TestLSTMThroughAttentionGradients(t *testing.T) {
+	// End-to-end gradient check of the attention-LSTM branch: LSTM emits
+	// all hidden states, attention pools them.
+	rng := rand.New(rand.NewSource(4))
+	lstm := NewLSTM(2, 3, rng)
+	attn := NewAttention(3, 3, rng)
+	seq := [][]float64{
+		{0.4, -0.7},
+		{-0.1, 0.2},
+		{0.8, 0.5},
+	}
+	loss := newVecLoss(rng, 3)
+	forward := func() float64 {
+		hs := lstm.ForwardSeqAll(seq, false)
+		return loss.value(attn.ForwardSeq(hs, false))
+	}
+
+	hs := lstm.ForwardSeqAll(seq, true)
+	attn.ForwardSeq(hs, true)
+	dhs := attn.BackwardSeq(loss.grad())
+	dxs := lstm.BackwardSeqAll(dhs)
+
+	checkParamGrads(t, "attn-lstm attention", attn.Params(), forward)
+	checkParamGrads(t, "attn-lstm lstm", lstm.Params(), forward)
+	for s := range seq {
+		for i := range seq[s] {
+			orig := seq[s][i]
+			seq[s][i] = orig + gcEps
+			up := forward()
+			seq[s][i] = orig - gcEps
+			down := forward()
+			seq[s][i] = orig
+			numeric := (up - down) / (2 * gcEps)
+			if relErr(numeric, dxs[s][i]) > gcTol {
+				t.Fatalf("attn-lstm input grad [%d][%d]: analytic %v vs numeric %v", s, i, dxs[s][i], numeric)
+			}
+		}
+	}
+}
+
+func TestBackwardSeqAllMidStepGradients(t *testing.T) {
+	// Gradients injected at a middle step only must still check out.
+	rng := rand.New(rand.NewSource(5))
+	lstm := NewLSTM(2, 3, rng)
+	seq := [][]float64{{0.3, -0.2}, {0.7, 0.1}, {-0.4, 0.6}}
+	loss := newVecLoss(rng, 3)
+	forward := func() float64 {
+		hs := lstm.ForwardSeqAll(seq, false)
+		return loss.value(hs[1]) // only the middle hidden state matters
+	}
+	lstm.ForwardSeqAll(seq, true)
+	grads := make([][]float64, 3)
+	grads[1] = loss.grad()
+	dxs := lstm.BackwardSeqAll(grads)
+	checkParamGrads(t, "mid-step lstm", lstm.Params(), forward)
+	// Inputs after the graded step must have zero gradient.
+	for i := range dxs[2] {
+		if dxs[2][i] != 0 {
+			t.Fatalf("future input has gradient: %v", dxs[2])
+		}
+	}
+}

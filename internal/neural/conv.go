@@ -1,0 +1,90 @@
+package neural
+
+import "math/rand"
+
+// Conv1D is a 1-D convolution with "same" zero padding: output length
+// equals input length regardless of kernel size.
+type Conv1D struct {
+	InChannels, OutChannels, Kernel int
+
+	weight *Param // [out][in][k] flattened
+	bias   *Param // [out]
+
+	inCache [][]float64
+}
+
+// NewConv1D creates a Glorot-initialized convolution layer.
+func NewConv1D(inChannels, outChannels, kernel int, rng *rand.Rand) *Conv1D {
+	c := &Conv1D{InChannels: inChannels, OutChannels: outChannels, Kernel: kernel}
+	c.weight = newParam(outChannels * inChannels * kernel)
+	glorotInit(c.weight.Val, inChannels*kernel, outChannels*kernel, rng)
+	c.bias = newParam(outChannels)
+	return c
+}
+
+func (c *Conv1D) w(out, in, k int) int { return (out*c.InChannels+in)*c.Kernel + k }
+
+// Forward computes the convolution of x ([in][time]).
+func (c *Conv1D) Forward(x [][]float64, train bool) [][]float64 {
+	if train {
+		c.inCache = x
+	}
+	T := len(x[0])
+	left := (c.Kernel - 1) / 2
+	y := matrix(c.OutChannels, T)
+	for o := 0; o < c.OutChannels; o++ {
+		b := c.bias.Val[o]
+		row := y[o]
+		for t := 0; t < T; t++ {
+			sum := b
+			for in := 0; in < c.InChannels; in++ {
+				xin := x[in]
+				base := c.w(o, in, 0)
+				for k := 0; k < c.Kernel; k++ {
+					src := t + k - left
+					if src < 0 || src >= T {
+						continue
+					}
+					sum += c.weight.Val[base+k] * xin[src]
+				}
+			}
+			row[t] = sum
+		}
+	}
+	return y
+}
+
+// Backward accumulates parameter gradients and returns dL/dx.
+func (c *Conv1D) Backward(grad [][]float64) [][]float64 {
+	x := c.inCache
+	T := len(x[0])
+	left := (c.Kernel - 1) / 2
+	dx := matrix(c.InChannels, T)
+	for o := 0; o < c.OutChannels; o++ {
+		gRow := grad[o]
+		for t := 0; t < T; t++ {
+			g := gRow[t]
+			if g == 0 {
+				continue
+			}
+			c.bias.Grad[o] += g
+			for in := 0; in < c.InChannels; in++ {
+				xin := x[in]
+				dxin := dx[in]
+				base := c.w(o, in, 0)
+				for k := 0; k < c.Kernel; k++ {
+					src := t + k - left
+					if src < 0 || src >= T {
+						continue
+					}
+					c.weight.Grad[base+k] += g * xin[src]
+					dxin[src] += g * c.weight.Val[base+k]
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Params returns the learnable parameters.
+func (c *Conv1D) Params() []*Param { return []*Param{c.weight, c.bias} }

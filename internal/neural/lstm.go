@@ -1,0 +1,188 @@
+package neural
+
+import "math/rand"
+
+// LSTM is a standard long short-term memory layer processing a sequence of
+// input vectors and returning the final hidden state. Gradients flow via
+// full backpropagation through time.
+type LSTM struct {
+	In, Hidden int
+
+	// Gate order in the stacked weight matrices: input, forget, cell, output.
+	wx *Param // [4H][in]
+	wh *Param // [4H][H]
+	b  *Param // [4H]
+
+	// caches per time step for BPTT
+	xs            [][]float64
+	hs, cs        [][]float64 // h[0], c[0] are the initial zero states
+	gi, gf, gg, o [][]float64
+}
+
+// NewLSTM creates an LSTM with Glorot weights and forget-gate bias 1.
+func NewLSTM(in, hidden int, rng *rand.Rand) *LSTM {
+	l := &LSTM{In: in, Hidden: hidden}
+	l.wx = newParam(4 * hidden * in)
+	glorotInit(l.wx.Val, in, hidden, rng)
+	l.wh = newParam(4 * hidden * hidden)
+	glorotInit(l.wh.Val, hidden, hidden, rng)
+	l.b = newParam(4 * hidden)
+	// Standard trick: bias the forget gate open at initialization.
+	for h := 0; h < hidden; h++ {
+		l.b.Val[hidden+h] = 1
+	}
+	return l
+}
+
+// ForwardSeq consumes the sequence (steps × in) and returns the final
+// hidden state.
+func (l *LSTM) ForwardSeq(seq [][]float64, train bool) []float64 {
+	hs := l.ForwardSeqAll(seq, train)
+	return hs[len(hs)-1]
+}
+
+// ForwardSeqAll consumes the sequence and returns every hidden state
+// h_1..h_steps (needed by attention pooling).
+func (l *LSTM) ForwardSeqAll(seq [][]float64, train bool) [][]float64 {
+	H := l.Hidden
+	steps := len(seq)
+	h := make([]float64, H)
+	c := make([]float64, H)
+	all := make([][]float64, 0, steps)
+	if train {
+		l.xs = seq
+		l.hs = [][]float64{append([]float64(nil), h...)}
+		l.cs = [][]float64{append([]float64(nil), c...)}
+		l.gi = make([][]float64, steps)
+		l.gf = make([][]float64, steps)
+		l.gg = make([][]float64, steps)
+		l.o = make([][]float64, steps)
+	}
+	for t := 0; t < steps; t++ {
+		x := seq[t]
+		gi := make([]float64, H)
+		gf := make([]float64, H)
+		gg := make([]float64, H)
+		o := make([]float64, H)
+		newC := make([]float64, H)
+		newH := make([]float64, H)
+		for j := 0; j < H; j++ {
+			zi := l.gatePre(0, j, x, h)
+			zf := l.gatePre(1, j, x, h)
+			zg := l.gatePre(2, j, x, h)
+			zo := l.gatePre(3, j, x, h)
+			gi[j] = sigmoid(zi)
+			gf[j] = sigmoid(zf)
+			gg[j] = tanh(zg)
+			o[j] = sigmoid(zo)
+			newC[j] = gf[j]*c[j] + gi[j]*gg[j]
+			newH[j] = o[j] * tanh(newC[j])
+		}
+		h, c = newH, newC
+		all = append(all, h)
+		if train {
+			l.gi[t], l.gf[t], l.gg[t], l.o[t] = gi, gf, gg, o
+			l.hs = append(l.hs, append([]float64(nil), h...))
+			l.cs = append(l.cs, append([]float64(nil), c...))
+		}
+	}
+	return all
+}
+
+// gatePre computes the pre-activation of gate g (0..3) unit j.
+func (l *LSTM) gatePre(g, j int, x, h []float64) float64 {
+	H := l.Hidden
+	row := (g*H + j)
+	sum := l.b.Val[row]
+	wx := l.wx.Val[row*l.In : (row+1)*l.In]
+	for i, v := range x {
+		if i >= l.In {
+			break
+		}
+		sum += wx[i] * v
+	}
+	wh := l.wh.Val[row*H : (row+1)*H]
+	for i, v := range h {
+		sum += wh[i] * v
+	}
+	return sum
+}
+
+// BackwardSeq backpropagates dL/dh_final through time, accumulating
+// parameter gradients, and returns dL/dx per step.
+func (l *LSTM) BackwardSeq(gradH []float64) [][]float64 {
+	grads := make([][]float64, len(l.xs))
+	grads[len(grads)-1] = gradH
+	return l.BackwardSeqAll(grads)
+}
+
+// BackwardSeqAll backpropagates per-step gradients dL/dh_t (nil entries
+// mean zero) through time, accumulating parameter gradients, and returns
+// dL/dx per step.
+func (l *LSTM) BackwardSeqAll(gradHs [][]float64) [][]float64 {
+	H := l.Hidden
+	steps := len(l.xs)
+	dh := make([]float64, H)
+	if g := gradHs[steps-1]; g != nil {
+		copy(dh, g)
+	}
+	dc := make([]float64, H)
+	dxs := make([][]float64, steps)
+	for t := steps - 1; t >= 0; t-- {
+		x := l.xs[t]
+		hPrev := l.hs[t]
+		cPrev := l.cs[t]
+		cCur := l.cs[t+1]
+		gi, gf, gg, o := l.gi[t], l.gf[t], l.gg[t], l.o[t]
+		dx := make([]float64, len(x))
+		dhPrev := make([]float64, H)
+		dcPrev := make([]float64, H)
+		for j := 0; j < H; j++ {
+			tc := tanh(cCur[j])
+			dO := dh[j] * tc
+			dC := dh[j]*o[j]*(1-tc*tc) + dc[j]
+			dGi := dC * gg[j]
+			dGf := dC * cPrev[j]
+			dGg := dC * gi[j]
+			dcPrev[j] = dC * gf[j]
+			// Through the gate nonlinearities.
+			dzi := dGi * gi[j] * (1 - gi[j])
+			dzf := dGf * gf[j] * (1 - gf[j])
+			dzg := dGg * (1 - gg[j]*gg[j])
+			dzo := dO * o[j] * (1 - o[j])
+			for g, dz := range []float64{dzi, dzf, dzg, dzo} {
+				if dz == 0 {
+					continue
+				}
+				row := g*H + j
+				l.b.Grad[row] += dz
+				wxRow := l.wx.Val[row*l.In : (row+1)*l.In]
+				wxGrad := l.wx.Grad[row*l.In : (row+1)*l.In]
+				for i := 0; i < l.In && i < len(x); i++ {
+					wxGrad[i] += dz * x[i]
+					dx[i] += dz * wxRow[i]
+				}
+				whRow := l.wh.Val[row*H : (row+1)*H]
+				whGrad := l.wh.Grad[row*H : (row+1)*H]
+				for i := 0; i < H; i++ {
+					whGrad[i] += dz * hPrev[i]
+					dhPrev[i] += dz * whRow[i]
+				}
+			}
+		}
+		dxs[t] = dx
+		dh = dhPrev
+		if t > 0 {
+			if g := gradHs[t-1]; g != nil {
+				for j := range dh {
+					dh[j] += g[j]
+				}
+			}
+		}
+		dc = dcPrev
+	}
+	return dxs
+}
+
+// Params returns the learnable parameters.
+func (l *LSTM) Params() []*Param { return []*Param{l.wx, l.wh, l.b} }

@@ -1,0 +1,99 @@
+// Package neural is a small neural-network layer library with manual
+// backpropagation, sufficient to assemble the MLSTM-FCN classifier of
+// Karim et al. (Neural Networks 2019): 1-D convolutions, per-channel
+// normalization, ReLU, dropout, squeeze-and-excite blocks, global average
+// pooling, an LSTM with backpropagation through time, dense layers and a
+// softmax cross-entropy loss, trained with Adam.
+//
+// Activations flow through layers as [channels][time] matrices for the
+// convolutional path and as flat vectors for the fully-connected path.
+// Layers process one sample at a time; mini-batching is achieved by
+// accumulating gradients across samples before an optimizer step.
+package neural
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Param is one learnable tensor with its gradient accumulator.
+type Param struct {
+	Val  []float64
+	Grad []float64
+}
+
+// newParam allocates a parameter of length n.
+func newParam(n int) *Param {
+	return &Param{Val: make([]float64, n), Grad: make([]float64, n)}
+}
+
+// ZeroGrad clears the gradient accumulator.
+func (p *Param) ZeroGrad() {
+	for i := range p.Grad {
+		p.Grad[i] = 0
+	}
+}
+
+// glorotInit fills vals with Glorot-uniform noise for a layer with the
+// given fan-in and fan-out.
+func glorotInit(vals []float64, fanIn, fanOut int, rng *rand.Rand) {
+	limit := math.Sqrt(6 / float64(fanIn+fanOut))
+	for i := range vals {
+		vals[i] = (rng.Float64()*2 - 1) * limit
+	}
+}
+
+// Adam is the Adam optimizer over a set of parameters.
+type Adam struct {
+	LR      float64
+	Beta1   float64
+	Beta2   float64
+	Epsilon float64
+
+	params []*Param
+	m, v   [][]float64
+	step   int
+}
+
+// NewAdam creates an optimizer for the given parameters. lr <= 0 selects
+// 1e-3.
+func NewAdam(params []*Param, lr float64) *Adam {
+	if lr <= 0 {
+		lr = 1e-3
+	}
+	a := &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Epsilon: 1e-8, params: params}
+	a.m = make([][]float64, len(params))
+	a.v = make([][]float64, len(params))
+	for i, p := range params {
+		a.m[i] = make([]float64, len(p.Val))
+		a.v[i] = make([]float64, len(p.Val))
+	}
+	return a
+}
+
+// Step applies one Adam update using the accumulated gradients scaled by
+// 1/batchSize, then clears them.
+func (a *Adam) Step(batchSize int) {
+	a.step++
+	corr1 := 1 - math.Pow(a.Beta1, float64(a.step))
+	corr2 := 1 - math.Pow(a.Beta2, float64(a.step))
+	scale := 1 / float64(batchSize)
+	for i, p := range a.params {
+		for j := range p.Val {
+			g := p.Grad[j] * scale
+			a.m[i][j] = a.Beta1*a.m[i][j] + (1-a.Beta1)*g
+			a.v[i][j] = a.Beta2*a.v[i][j] + (1-a.Beta2)*g*g
+			p.Val[j] -= a.LR * (a.m[i][j] / corr1) / (math.Sqrt(a.v[i][j]/corr2) + a.Epsilon)
+		}
+		p.ZeroGrad()
+	}
+}
+
+// matrix allocates a channels × time activation.
+func matrix(channels, time int) [][]float64 {
+	out := make([][]float64, channels)
+	for c := range out {
+		out[c] = make([]float64, time)
+	}
+	return out
+}

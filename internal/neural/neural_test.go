@@ -1,0 +1,393 @@
+package neural
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+const (
+	gcEps = 1e-5
+	gcTol = 1e-4
+)
+
+// relErr computes |a-b| / max(1, |a|, |b|).
+func relErr(a, b float64) float64 {
+	denom := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) / denom
+}
+
+func randMatrix(rng *rand.Rand, c, t int) [][]float64 {
+	m := matrix(c, t)
+	for i := range m {
+		for j := range m[i] {
+			m[i][j] = rng.NormFloat64()
+		}
+	}
+	return m
+}
+
+// scalarLoss reduces a [channels][time] activation to a scalar with fixed
+// random coefficients so that gradients are non-trivial.
+type scalarLoss struct{ coeff [][]float64 }
+
+func newScalarLoss(rng *rand.Rand, c, t int) *scalarLoss {
+	return &scalarLoss{coeff: randMatrix(rng, c, t)}
+}
+
+func (s *scalarLoss) value(y [][]float64) float64 {
+	var sum float64
+	for c := range y {
+		for t := range y[c] {
+			sum += s.coeff[c][t] * y[c][t]
+		}
+	}
+	return sum
+}
+
+func (s *scalarLoss) grad() [][]float64 {
+	out := matrix(len(s.coeff), len(s.coeff[0]))
+	for c := range s.coeff {
+		copy(out[c], s.coeff[c])
+	}
+	return out
+}
+
+type vecLoss struct{ coeff []float64 }
+
+func newVecLoss(rng *rand.Rand, n int) *vecLoss {
+	c := make([]float64, n)
+	for i := range c {
+		c[i] = rng.NormFloat64()
+	}
+	return &vecLoss{coeff: c}
+}
+
+func (v *vecLoss) value(y []float64) float64 {
+	var sum float64
+	for i := range y {
+		sum += v.coeff[i] * y[i]
+	}
+	return sum
+}
+
+func (v *vecLoss) grad() []float64 { return append([]float64(nil), v.coeff...) }
+
+// checkParamGrads verifies each parameter's analytic gradient numerically,
+// given forward (recomputing the loss) and the already-accumulated grads.
+func checkParamGrads(t *testing.T, name string, params []*Param, forward func() float64) {
+	t.Helper()
+	for pi, p := range params {
+		for i := range p.Val {
+			orig := p.Val[i]
+			p.Val[i] = orig + gcEps
+			up := forward()
+			p.Val[i] = orig - gcEps
+			down := forward()
+			p.Val[i] = orig
+			numeric := (up - down) / (2 * gcEps)
+			if relErr(numeric, p.Grad[i]) > gcTol {
+				t.Fatalf("%s: param %d[%d]: analytic %v vs numeric %v", name, pi, i, p.Grad[i], numeric)
+			}
+		}
+	}
+}
+
+func TestConv1DGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	layer := NewConv1D(2, 3, 5, rng)
+	x := randMatrix(rng, 2, 7)
+	loss := newScalarLoss(rng, 3, 7)
+	forward := func() float64 { return loss.value(layer.Forward(x, false)) }
+
+	layer.Forward(x, true)
+	dx := layer.Backward(loss.grad())
+	checkParamGrads(t, "conv", layer.Params(), forward)
+
+	// Input gradient check.
+	for c := range x {
+		for i := range x[c] {
+			orig := x[c][i]
+			x[c][i] = orig + gcEps
+			up := forward()
+			x[c][i] = orig - gcEps
+			down := forward()
+			x[c][i] = orig
+			numeric := (up - down) / (2 * gcEps)
+			if relErr(numeric, dx[c][i]) > gcTol {
+				t.Fatalf("conv input grad [%d][%d]: analytic %v vs numeric %v", c, i, dx[c][i], numeric)
+			}
+		}
+	}
+}
+
+func TestChannelNormGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	layer := NewChannelNorm(3)
+	x := randMatrix(rng, 3, 6)
+	loss := newScalarLoss(rng, 3, 6)
+	// Training-mode forward uses per-sample statistics, so the numeric
+	// check must also run in training mode; running averages drift but do
+	// not affect the output in training mode.
+	forward := func() float64 { return loss.value(layer.Forward(x, true)) }
+
+	layer.Forward(x, true)
+	layer.gamma.ZeroGrad()
+	layer.beta.ZeroGrad()
+	dx := layer.Backward(loss.grad())
+	checkParamGrads(t, "norm", layer.Params(), forward)
+
+	for c := range x {
+		for i := range x[c] {
+			orig := x[c][i]
+			x[c][i] = orig + gcEps
+			up := forward()
+			x[c][i] = orig - gcEps
+			down := forward()
+			x[c][i] = orig
+			numeric := (up - down) / (2 * gcEps)
+			if relErr(numeric, dx[c][i]) > gcTol {
+				t.Fatalf("norm input grad [%d][%d]: analytic %v vs numeric %v", c, i, dx[c][i], numeric)
+			}
+		}
+	}
+}
+
+func TestChannelNormInference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	layer := NewChannelNorm(2)
+	// Train on several samples to populate running stats.
+	for i := 0; i < 50; i++ {
+		layer.Forward(randMatrix(rng, 2, 8), true)
+	}
+	x := randMatrix(rng, 2, 8)
+	y1 := layer.Forward(x, false)
+	y2 := layer.Forward(x, false)
+	for c := range y1 {
+		for t2 := range y1[c] {
+			if y1[c][t2] != y2[c][t2] {
+				t.Fatal("inference not deterministic")
+			}
+		}
+	}
+}
+
+func TestReLUGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	layer := &ReLU{}
+	x := randMatrix(rng, 2, 5)
+	loss := newScalarLoss(rng, 2, 5)
+	forward := func() float64 { return loss.value(layer.Forward(x, false)) }
+	layer.Forward(x, true)
+	dx := layer.Backward(loss.grad())
+	for c := range x {
+		for i := range x[c] {
+			if math.Abs(x[c][i]) < 0.05 {
+				continue // numeric check unstable at the kink
+			}
+			orig := x[c][i]
+			x[c][i] = orig + gcEps
+			up := forward()
+			x[c][i] = orig - gcEps
+			down := forward()
+			x[c][i] = orig
+			numeric := (up - down) / (2 * gcEps)
+			if relErr(numeric, dx[c][i]) > gcTol {
+				t.Fatalf("relu input grad [%d][%d]: analytic %v vs numeric %v", c, i, dx[c][i], numeric)
+			}
+		}
+	}
+}
+
+func TestDenseGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	layer := NewDense(4, 3, rng)
+	x := make([]float64, 4)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	loss := newVecLoss(rng, 3)
+	forward := func() float64 { return loss.value(layer.ForwardVec(x, false)) }
+	layer.ForwardVec(x, true)
+	dx := layer.BackwardVec(loss.grad())
+	checkParamGrads(t, "dense", layer.Params(), forward)
+	for i := range x {
+		orig := x[i]
+		x[i] = orig + gcEps
+		up := forward()
+		x[i] = orig - gcEps
+		down := forward()
+		x[i] = orig
+		numeric := (up - down) / (2 * gcEps)
+		if relErr(numeric, dx[i]) > gcTol {
+			t.Fatalf("dense input grad [%d]: analytic %v vs numeric %v", i, dx[i], numeric)
+		}
+	}
+}
+
+func TestGlobalAvgPoolGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	layer := &GlobalAvgPool{}
+	x := randMatrix(rng, 3, 4)
+	loss := newVecLoss(rng, 3)
+	forward := func() float64 { return loss.value(layer.Forward(x, false)) }
+	layer.Forward(x, true)
+	dx := layer.Backward(loss.grad())
+	for c := range x {
+		for i := range x[c] {
+			orig := x[c][i]
+			x[c][i] = orig + gcEps
+			up := forward()
+			x[c][i] = orig - gcEps
+			down := forward()
+			x[c][i] = orig
+			numeric := (up - down) / (2 * gcEps)
+			if relErr(numeric, dx[c][i]) > gcTol {
+				t.Fatalf("gap input grad [%d][%d]: analytic %v vs numeric %v", c, i, dx[c][i], numeric)
+			}
+		}
+	}
+}
+
+func TestSqueezeExciteGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	layer := NewSqueezeExcite(4, 2, rng)
+	x := randMatrix(rng, 4, 5)
+	loss := newScalarLoss(rng, 4, 5)
+	forward := func() float64 { return loss.value(layer.Forward(x, false)) }
+	layer.Forward(x, true)
+	dx := layer.Backward(loss.grad())
+	checkParamGrads(t, "se", layer.Params(), forward)
+	for c := range x {
+		for i := range x[c] {
+			orig := x[c][i]
+			x[c][i] = orig + gcEps
+			up := forward()
+			x[c][i] = orig - gcEps
+			down := forward()
+			x[c][i] = orig
+			numeric := (up - down) / (2 * gcEps)
+			if relErr(numeric, dx[c][i]) > gcTol {
+				t.Fatalf("se input grad [%d][%d]: analytic %v vs numeric %v", c, i, dx[c][i], numeric)
+			}
+		}
+	}
+}
+
+func TestLSTMGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	layer := NewLSTM(3, 4, rng)
+	seq := [][]float64{
+		{0.5, -0.2, 0.1},
+		{-0.3, 0.8, 0.4},
+		{0.2, 0.1, -0.6},
+	}
+	loss := newVecLoss(rng, 4)
+	forward := func() float64 { return loss.value(layer.ForwardSeq(seq, false)) }
+	layer.ForwardSeq(seq, true)
+	dxs := layer.BackwardSeq(loss.grad())
+	checkParamGrads(t, "lstm", layer.Params(), forward)
+	for s := range seq {
+		for i := range seq[s] {
+			orig := seq[s][i]
+			seq[s][i] = orig + gcEps
+			up := forward()
+			seq[s][i] = orig - gcEps
+			down := forward()
+			seq[s][i] = orig
+			numeric := (up - down) / (2 * gcEps)
+			if relErr(numeric, dxs[s][i]) > gcTol {
+				t.Fatalf("lstm input grad [%d][%d]: analytic %v vs numeric %v", s, i, dxs[s][i], numeric)
+			}
+		}
+	}
+}
+
+func TestSoftmaxCrossEntropyGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	logits := []float64{0.3, -0.5, 1.2}
+	label := 1
+	loss := &SoftmaxCrossEntropy{}
+	loss.Forward(logits, label)
+	grad := loss.Backward()
+	for i := range logits {
+		orig := logits[i]
+		logits[i] = orig + gcEps
+		up := loss.Forward(logits, label)
+		logits[i] = orig - gcEps
+		down := loss.Forward(logits, label)
+		logits[i] = orig
+		numeric := (up - down) / (2 * gcEps)
+		if relErr(numeric, grad[i]) > gcTol {
+			t.Fatalf("loss grad [%d]: analytic %v vs numeric %v", i, grad[i], numeric)
+		}
+	}
+	_ = rng
+}
+
+func TestDropout(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	d := NewDropout(0.5, rng)
+	x := make([]float64, 1000)
+	for i := range x {
+		x[i] = 1
+	}
+	// Inference: identity.
+	y := d.ForwardVec(x, false)
+	for i := range y {
+		if y[i] != 1 {
+			t.Fatal("inference dropout not identity")
+		}
+	}
+	// Training: roughly half dropped, survivors scaled by 2.
+	y = d.ForwardVec(x, true)
+	zeros, twos := 0, 0
+	for _, v := range y {
+		switch v {
+		case 0:
+			zeros++
+		case 2:
+			twos++
+		default:
+			t.Fatalf("unexpected dropout output %v", v)
+		}
+	}
+	if zeros < 400 || zeros > 600 {
+		t.Fatalf("dropped %d/1000, want ~500", zeros)
+	}
+	// Backward respects the same mask.
+	g := make([]float64, 1000)
+	for i := range g {
+		g[i] = 1
+	}
+	dg := d.BackwardVec(g)
+	for i := range dg {
+		if (y[i] == 0) != (dg[i] == 0) {
+			t.Fatal("backward mask mismatch")
+		}
+	}
+}
+
+func TestAdamReducesLoss(t *testing.T) {
+	// Minimize ||w - target||² with Adam via a Dense layer.
+	rng := rand.New(rand.NewSource(11))
+	layer := NewDense(2, 1, rng)
+	opt := NewAdam(layer.Params(), 0.05)
+	x := []float64{1, 2}
+	target := 5.0
+	var first, last float64
+	for iter := 0; iter < 300; iter++ {
+		y := layer.ForwardVec(x, true)
+		diff := y[0] - target
+		lossVal := diff * diff
+		if iter == 0 {
+			first = lossVal
+		}
+		last = lossVal
+		layer.BackwardVec([]float64{2 * diff})
+		opt.Step(1)
+	}
+	if last > first/100 || last > 1e-3 {
+		t.Fatalf("Adam failed to minimize: first=%v last=%v", first, last)
+	}
+}

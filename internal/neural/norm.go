@@ -1,0 +1,109 @@
+package neural
+
+import "math"
+
+// ChannelNorm normalizes each channel over the time axis with learned scale
+// and shift. It plays the role of MLSTM-FCN's batch normalization in this
+// one-sample-at-a-time training regime (an instance-normalization variant;
+// running statistics are kept for inference).
+type ChannelNorm struct {
+	Channels int
+	Momentum float64
+	Eps      float64
+
+	gamma, beta *Param
+
+	runMean, runVar []float64
+
+	// caches for backward
+	xHat       [][]float64
+	invStd     []float64
+	timePoints int
+}
+
+// NewChannelNorm creates a norm layer with unit scale and zero shift.
+func NewChannelNorm(channels int) *ChannelNorm {
+	n := &ChannelNorm{Channels: channels, Momentum: 0.9, Eps: 1e-5}
+	n.gamma = newParam(channels)
+	for i := range n.gamma.Val {
+		n.gamma.Val[i] = 1
+	}
+	n.beta = newParam(channels)
+	n.runMean = make([]float64, channels)
+	n.runVar = make([]float64, channels)
+	for i := range n.runVar {
+		n.runVar[i] = 1
+	}
+	return n
+}
+
+// Forward normalizes x ([channels][time]). In training mode statistics are
+// computed from x and folded into the running averages; in inference mode
+// the running averages are used.
+func (n *ChannelNorm) Forward(x [][]float64, train bool) [][]float64 {
+	T := len(x[0])
+	y := matrix(n.Channels, T)
+	if train {
+		n.xHat = matrix(n.Channels, T)
+		n.invStd = make([]float64, n.Channels)
+		n.timePoints = T
+	}
+	for c := 0; c < n.Channels; c++ {
+		var mean, variance float64
+		if train {
+			var sum, ss float64
+			for _, v := range x[c] {
+				sum += v
+				ss += v * v
+			}
+			mean = sum / float64(T)
+			variance = ss/float64(T) - mean*mean
+			if variance < 0 {
+				variance = 0
+			}
+			n.runMean[c] = n.Momentum*n.runMean[c] + (1-n.Momentum)*mean
+			n.runVar[c] = n.Momentum*n.runVar[c] + (1-n.Momentum)*variance
+		} else {
+			mean, variance = n.runMean[c], n.runVar[c]
+		}
+		invStd := 1 / math.Sqrt(variance+n.Eps)
+		g, b := n.gamma.Val[c], n.beta.Val[c]
+		for t := 0; t < T; t++ {
+			xh := (x[c][t] - mean) * invStd
+			if train {
+				n.xHat[c][t] = xh
+			}
+			y[c][t] = g*xh + b
+		}
+		if train {
+			n.invStd[c] = invStd
+		}
+	}
+	return y
+}
+
+// Backward propagates gradients through the normalization.
+func (n *ChannelNorm) Backward(grad [][]float64) [][]float64 {
+	T := n.timePoints
+	dx := matrix(n.Channels, T)
+	for c := 0; c < n.Channels; c++ {
+		g := n.gamma.Val[c]
+		var sumDy, sumDyXhat float64
+		for t := 0; t < T; t++ {
+			dy := grad[c][t]
+			n.gamma.Grad[c] += dy * n.xHat[c][t]
+			n.beta.Grad[c] += dy
+			sumDy += dy
+			sumDyXhat += dy * n.xHat[c][t]
+		}
+		// dL/dx for normalization over the time axis.
+		for t := 0; t < T; t++ {
+			dy := grad[c][t]
+			dx[c][t] = g * n.invStd[c] * (dy - sumDy/float64(T) - n.xHat[c][t]*sumDyXhat/float64(T))
+		}
+	}
+	return dx
+}
+
+// Params returns the learnable scale and shift.
+func (n *ChannelNorm) Params() []*Param { return []*Param{n.gamma, n.beta} }

@@ -1,0 +1,115 @@
+package neural
+
+import "math/rand"
+
+// SqueezeExcite is the channel-attention block of Hu et al. (CVPR 2018)
+// used by MLSTM-FCN: global average pooling followed by a bottleneck MLP
+// with a sigmoid gate that rescales each channel.
+type SqueezeExcite struct {
+	Channels int
+
+	fc1, fc2 *Dense
+
+	// caches
+	x     [][]float64
+	gate  []float64
+	hid   []float64
+	preS  []float64
+	timeN int
+}
+
+// NewSqueezeExcite creates a block with the given reduction ratio
+// (bottleneck width = channels/ratio, at least 1).
+func NewSqueezeExcite(channels, ratio int, rng *rand.Rand) *SqueezeExcite {
+	mid := channels / ratio
+	if mid < 1 {
+		mid = 1
+	}
+	return &SqueezeExcite{
+		Channels: channels,
+		fc1:      NewDense(channels, mid, rng),
+		fc2:      NewDense(mid, channels, rng),
+	}
+}
+
+// Forward rescales channels by the learned gate.
+func (s *SqueezeExcite) Forward(x [][]float64, train bool) [][]float64 {
+	T := len(x[0])
+	squeeze := make([]float64, s.Channels)
+	for c := range x {
+		var sum float64
+		for _, v := range x[c] {
+			sum += v
+		}
+		squeeze[c] = sum / float64(T)
+	}
+	pre := s.fc1.ForwardVec(squeeze, train)
+	hid := make([]float64, len(pre))
+	for i, v := range pre {
+		if v > 0 {
+			hid[i] = v
+		}
+	}
+	preGate := s.fc2.ForwardVec(hid, train)
+	gate := make([]float64, len(preGate))
+	for i, v := range preGate {
+		gate[i] = sigmoid(v)
+	}
+	y := matrix(s.Channels, T)
+	for c := range x {
+		g := gate[c]
+		for t, v := range x[c] {
+			y[c][t] = v * g
+		}
+	}
+	if train {
+		s.x = x
+		s.gate = gate
+		s.hid = hid
+		s.preS = pre
+		s.timeN = T
+	}
+	return y
+}
+
+// Backward propagates through the gate and both dense layers.
+func (s *SqueezeExcite) Backward(grad [][]float64) [][]float64 {
+	T := s.timeN
+	dx := matrix(s.Channels, T)
+	dGate := make([]float64, s.Channels)
+	for c := 0; c < s.Channels; c++ {
+		g := s.gate[c]
+		for t := 0; t < T; t++ {
+			dy := grad[c][t]
+			dx[c][t] = dy * g
+			dGate[c] += dy * s.x[c][t]
+		}
+	}
+	// Through the sigmoid.
+	dPreGate := make([]float64, s.Channels)
+	for c := range dGate {
+		dPreGate[c] = dGate[c] * s.gate[c] * (1 - s.gate[c])
+	}
+	dHid := s.fc2.BackwardVec(dPreGate)
+	// Through the bottleneck ReLU.
+	dPre := make([]float64, len(dHid))
+	for i := range dHid {
+		if s.preS[i] > 0 {
+			dPre[i] = dHid[i]
+		}
+	}
+	dSqueeze := s.fc1.BackwardVec(dPre)
+	// Through the global average pool.
+	for c := 0; c < s.Channels; c++ {
+		share := dSqueeze[c] / float64(T)
+		for t := 0; t < T; t++ {
+			dx[c][t] += share
+		}
+	}
+	return dx
+}
+
+// Params returns the learnable parameters of both dense layers.
+func (s *SqueezeExcite) Params() []*Param {
+	return append(s.fc1.Params(), s.fc2.Params()...)
+}

@@ -1,0 +1,208 @@
+// Package ocsvm implements the ν one-class SVM of Schölkopf et al. with an
+// RBF kernel, solved by SMO-style most-violating-pair coordinate descent.
+// TEASER trains one per prefix length to decide whether a probabilistic
+// prediction looks like the correct-prediction population seen in training.
+package ocsvm
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/goetsc/goetsc/internal/stats"
+)
+
+// Config holds the ν-OCSVM hyper-parameters.
+type Config struct {
+	// Nu in (0, 1] upper-bounds the fraction of training outliers and
+	// lower-bounds the fraction of support vectors. Default 0.05, the value
+	// used by TEASER's reference implementation.
+	Nu float64
+	// Gamma is the RBF kernel width; 0 selects 1/(dim·var(X)) ("scale").
+	Gamma float64
+	// MaxIter bounds SMO iterations. Default 1000·n.
+	MaxIter int
+	// Tol is the duality-gap tolerance. Default 1e-4.
+	Tol float64
+}
+
+// Model is a trained one-class SVM.
+type Model struct {
+	Cfg Config
+
+	supportVecs [][]float64
+	alphas      []float64
+	rho         float64
+	gamma       float64
+}
+
+// New returns an untrained model.
+func New(cfg Config) *Model { return &Model{Cfg: cfg} }
+
+// Fit estimates the support of the training distribution.
+func (m *Model) Fit(X [][]float64) error {
+	n := len(X)
+	if n == 0 {
+		return fmt.Errorf("ocsvm: no samples")
+	}
+	dim := len(X[0])
+	for i, x := range X {
+		if len(x) != dim {
+			return fmt.Errorf("ocsvm: row %d has %d features, want %d", i, len(x), dim)
+		}
+	}
+	cfg := m.Cfg
+	if cfg.Nu <= 0 || cfg.Nu > 1 {
+		cfg.Nu = 0.05
+	}
+	if cfg.MaxIter <= 0 {
+		cfg.MaxIter = 1000 * n
+	}
+	if cfg.Tol <= 0 {
+		cfg.Tol = 1e-4
+	}
+	m.gamma = cfg.Gamma
+	if m.gamma <= 0 {
+		// "scale" heuristic: 1 / (dim * var of all feature values).
+		var all []float64
+		for _, x := range X {
+			all = append(all, x...)
+		}
+		v := stats.Variance(all)
+		if v < 1e-12 {
+			v = 1
+		}
+		m.gamma = 1 / (float64(dim) * v)
+	}
+
+	// Kernel matrix (n is small in our use: correct train predictions).
+	K := make([][]float64, n)
+	for i := range K {
+		K[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			k := rbf(X[i], X[j], m.gamma)
+			K[i][j] = k
+			K[j][i] = k
+		}
+	}
+
+	// Initialize alphas feasibly: sum = 1, 0 <= alpha <= C = 1/(nu n).
+	C := 1 / (cfg.Nu * float64(n))
+	alphas := make([]float64, n)
+	remaining := 1.0
+	for i := 0; i < n && remaining > 0; i++ {
+		a := math.Min(C, remaining)
+		alphas[i] = a
+		remaining -= a
+	}
+	// Gradient of ½αᵀKα is Kα.
+	grad := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			grad[i] += K[i][j] * alphas[j]
+		}
+	}
+
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		// Most-violating pair: i = argmin grad among alphas < C (can grow),
+		// j = argmax grad among alphas > 0 (can shrink).
+		i, j := -1, -1
+		gMin, gMax := math.Inf(1), math.Inf(-1)
+		for k := 0; k < n; k++ {
+			if alphas[k] < C-1e-12 && grad[k] < gMin {
+				gMin, i = grad[k], k
+			}
+			if alphas[k] > 1e-12 && grad[k] > gMax {
+				gMax, j = grad[k], k
+			}
+		}
+		if i < 0 || j < 0 || gMax-gMin < cfg.Tol {
+			break
+		}
+		// Optimal unconstrained step moving t mass from j to i.
+		quad := K[i][i] + K[j][j] - 2*K[i][j]
+		if quad < 1e-12 {
+			quad = 1e-12
+		}
+		t := (gMax - gMin) / quad
+		// Clip to the box.
+		if t > alphas[j] {
+			t = alphas[j]
+		}
+		if t > C-alphas[i] {
+			t = C - alphas[i]
+		}
+		if t <= 0 {
+			break
+		}
+		alphas[i] += t
+		alphas[j] -= t
+		for k := 0; k < n; k++ {
+			grad[k] += t * (K[i][k] - K[j][k])
+		}
+	}
+
+	// rho is set to the KKT lower bound: the minimum decision value
+	// grad[i] = Σ_j α_j K(x_i, x_j) over points below the box ceiling
+	// (α_i < C). At the exact optimum every free SV shares this value; with
+	// a finite duality gap this choice keeps all non-outlier training
+	// points (α_i < C) at Score >= 0, preserving the ν-fraction semantics.
+	// Bounded SVs (α_i = C), the designated outliers, fall below it.
+	m.rho = math.Inf(1)
+	for i := 0; i < n; i++ {
+		if alphas[i] < C-1e-9 && grad[i] < m.rho {
+			m.rho = grad[i]
+		}
+	}
+	if math.IsInf(m.rho, 1) {
+		// Every α is at the ceiling (ν ≈ 1): use the largest SV value so
+		// only the outermost points stay inside.
+		m.rho = math.Inf(-1)
+		for i := 0; i < n; i++ {
+			if grad[i] > m.rho {
+				m.rho = grad[i]
+			}
+		}
+	}
+
+	// Keep only support vectors.
+	m.supportVecs = nil
+	m.alphas = nil
+	for i := 0; i < n; i++ {
+		if alphas[i] > 1e-9 {
+			m.supportVecs = append(m.supportVecs, X[i])
+			m.alphas = append(m.alphas, alphas[i])
+		}
+	}
+	return nil
+}
+
+// Score returns the decision value f(x) = Σ αᵢ K(xᵢ, x) − ρ. Positive or
+// zero scores indicate x lies inside the estimated support.
+func (m *Model) Score(x []float64) float64 {
+	var sum float64
+	for i, sv := range m.supportVecs {
+		sum += m.alphas[i] * rbf(sv, x, m.gamma)
+	}
+	return sum - m.rho
+}
+
+// Accept reports whether x is accepted as an inlier.
+func (m *Model) Accept(x []float64) bool { return m.Score(x) >= 0 }
+
+// NumSupportVectors returns the number of retained support vectors.
+func (m *Model) NumSupportVectors() int { return len(m.supportVecs) }
+
+func rbf(a, b []float64, gamma float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return math.Exp(-gamma * sum)
+}

@@ -1,0 +1,161 @@
+package ocsvm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func gaussianCloud(rng *rand.Rand, n int, center []float64, spread float64) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		x := make([]float64, len(center))
+		for j := range x {
+			x[j] = center[j] + rng.NormFloat64()*spread
+		}
+		out[i] = x
+	}
+	return out
+}
+
+func TestAcceptsInliersRejectsOutliers(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	train := gaussianCloud(rng, 150, []float64{0, 0}, 1)
+	m := New(Config{Nu: 0.05})
+	if err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	// Fresh inliers from the same distribution.
+	inliers := gaussianCloud(rng, 100, []float64{0, 0}, 0.8)
+	acceptedIn := 0
+	for _, x := range inliers {
+		if m.Accept(x) {
+			acceptedIn++
+		}
+	}
+	if acceptedIn < 80 {
+		t.Fatalf("inliers accepted = %d/100", acceptedIn)
+	}
+	// Far-away outliers.
+	outliers := gaussianCloud(rng, 100, []float64{10, 10}, 0.5)
+	acceptedOut := 0
+	for _, x := range outliers {
+		if m.Accept(x) {
+			acceptedOut++
+		}
+	}
+	if acceptedOut > 5 {
+		t.Fatalf("outliers accepted = %d/100", acceptedOut)
+	}
+}
+
+func TestNuControlsTrainingRejectionRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	train := gaussianCloud(rng, 200, []float64{0}, 1)
+	strict := New(Config{Nu: 0.5})
+	loose := New(Config{Nu: 0.01})
+	if err := strict.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if err := loose.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	rejected := func(m *Model) int {
+		n := 0
+		for _, x := range train {
+			if !m.Accept(x) {
+				n++
+			}
+		}
+		return n
+	}
+	rStrict, rLoose := rejected(strict), rejected(loose)
+	if rStrict <= rLoose {
+		t.Fatalf("nu=0.5 rejected %d but nu=0.01 rejected %d", rStrict, rLoose)
+	}
+	// ν upper-bounds the training outlier fraction (approximately, given
+	// early stopping): allow slack.
+	if rLoose > 200*15/100 {
+		t.Fatalf("nu=0.01 rejected too many: %d/200", rLoose)
+	}
+}
+
+func TestScoreDecreasesWithDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	train := gaussianCloud(rng, 100, []float64{0, 0}, 1)
+	m := New(Config{})
+	if err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	near := m.Score([]float64{0, 0})
+	mid := m.Score([]float64{3, 3})
+	far := m.Score([]float64{8, 8})
+	if !(near > mid && mid > far) {
+		t.Fatalf("scores not monotone with distance: %v, %v, %v", near, mid, far)
+	}
+}
+
+func TestSupportVectorsSparse(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	train := gaussianCloud(rng, 200, []float64{0, 0}, 1)
+	m := New(Config{Nu: 0.1})
+	if err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumSupportVectors() == 0 {
+		t.Fatal("no support vectors retained")
+	}
+	if m.NumSupportVectors() == len(train) {
+		t.Fatal("every point became a support vector (no sparsity)")
+	}
+}
+
+func TestFixedGamma(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	train := gaussianCloud(rng, 80, []float64{0}, 1)
+	m := New(Config{Gamma: 0.5})
+	if err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if m.gamma != 0.5 {
+		t.Fatalf("gamma = %v, want 0.5", m.gamma)
+	}
+}
+
+func TestDegenerateConstantData(t *testing.T) {
+	train := [][]float64{{1, 1}, {1, 1}, {1, 1}, {1, 1}}
+	m := New(Config{})
+	if err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Accept([]float64{1, 1}) {
+		t.Fatal("training point rejected on constant data")
+	}
+	if m.Accept([]float64{100, 100}) {
+		t.Fatal("distant point accepted on constant data")
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	m := New(Config{})
+	if err := m.Fit(nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if err := m.Fit([][]float64{{1, 2}, {1}}); err == nil {
+		t.Fatal("ragged accepted")
+	}
+}
+
+func TestTinyTrainingSet(t *testing.T) {
+	// TEASER can hit prefixes with very few correct predictions.
+	m := New(Config{Nu: 0.05})
+	if err := m.Fit([][]float64{{0.9, 0.1}, {0.8, 0.2}}); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Accept([]float64{0.85, 0.15}) {
+		t.Fatal("point between the two training points rejected")
+	}
+	if s := m.Score([]float64{0.1, 0.9}); math.IsNaN(s) {
+		t.Fatal("NaN score")
+	}
+}

@@ -1,0 +1,167 @@
+// Package oversample implements a temporal-oriented synthetic minority
+// oversampling technique in the spirit of T-SMOTE (Zhao et al., IJCAI
+// 2022), which the paper lists among the methods to add to the framework.
+// Synthetic minority series are built by interpolating a minority instance
+// toward one of its minority-class nearest neighbours, with a small random
+// temporal shift, so oversampled data stays plausible both in value and in
+// phase. It is a preprocessing step: balance the training split, then fit
+// any EarlyClassifier as usual.
+package oversample
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/goetsc/goetsc/internal/stats"
+	ts "github.com/goetsc/goetsc/internal/timeseries"
+)
+
+// Config controls the oversampler.
+type Config struct {
+	// TargetRatio is the desired (largest class)/(each class) ratio after
+	// oversampling; 1 fully balances. Default 1.
+	TargetRatio float64
+	// K is the number of nearest minority neighbours to interpolate
+	// toward. Default 3.
+	K int
+	// MaxShift is the largest temporal shift (time points) applied to the
+	// synthetic series. Default 2.
+	MaxShift int
+	// Seed drives neighbour choice, interpolation weights and shifts.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.TargetRatio < 1 {
+		c.TargetRatio = 1
+	}
+	if c.K <= 0 {
+		c.K = 3
+	}
+	if c.MaxShift < 0 {
+		c.MaxShift = 0
+	} else if c.MaxShift == 0 {
+		c.MaxShift = 2
+	}
+	return c
+}
+
+// Balance returns a new dataset containing the original instances plus
+// synthetic minority instances, generated until every class reaches
+// size(largest)/TargetRatio. Equal-length instances are required within a
+// class (varying lengths across classes are fine).
+func Balance(d *ts.Dataset, cfg Config) (*ts.Dataset, error) {
+	cfg = cfg.withDefaults()
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("oversample: %w", err)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	counts := d.ClassCounts()
+	largest := 0
+	for _, c := range counts {
+		if c > largest {
+			largest = c
+		}
+	}
+	target := int(float64(largest) / cfg.TargetRatio)
+
+	out := &ts.Dataset{
+		Name:       d.Name + "+tsmote",
+		ClassNames: d.ClassNames,
+		VarNames:   d.VarNames,
+		Freq:       d.Freq,
+	}
+	out.Instances = append(out.Instances, d.Instances...)
+
+	byClass := make([][]int, d.NumClasses())
+	for i, in := range d.Instances {
+		byClass[in.Label] = append(byClass[in.Label], i)
+	}
+	for class, members := range byClass {
+		need := target - len(members)
+		if need <= 0 || len(members) < 2 {
+			continue
+		}
+		for s := 0; s < need; s++ {
+			a := d.Instances[members[rng.Intn(len(members))]]
+			b := d.Instances[nearestOf(d, members, a, cfg.K, rng)]
+			out.Instances = append(out.Instances, synthesize(a, b, class, cfg.MaxShift, rng))
+		}
+	}
+	return out, nil
+}
+
+// nearestOf picks one of the K nearest same-class neighbours of instance a
+// (uniformly), by flattened Euclidean distance.
+func nearestOf(d *ts.Dataset, members []int, a ts.Instance, k int, rng *rand.Rand) int {
+	type scored struct {
+		idx  int
+		dist float64
+	}
+	var all []scored
+	for _, idx := range members {
+		other := d.Instances[idx]
+		if &other.Values == &a.Values {
+			continue
+		}
+		var dist float64
+		same := true
+		for v := range a.Values {
+			if len(other.Values[v]) != len(a.Values[v]) {
+				same = false
+				break
+			}
+			dist += stats.SquaredEuclidean(a.Values[v], other.Values[v])
+		}
+		if !same || dist == 0 {
+			continue
+		}
+		all = append(all, scored{idx: idx, dist: dist})
+	}
+	if len(all) == 0 {
+		return members[rng.Intn(len(members))]
+	}
+	// Partial selection of the k smallest.
+	for i := 0; i < len(all) && i < k; i++ {
+		min := i
+		for j := i + 1; j < len(all); j++ {
+			if all[j].dist < all[min].dist {
+				min = j
+			}
+		}
+		all[i], all[min] = all[min], all[i]
+	}
+	if k > len(all) {
+		k = len(all)
+	}
+	return all[rng.Intn(k)].idx
+}
+
+// synthesize interpolates a toward b with a random weight and applies a
+// small circular temporal shift.
+func synthesize(a, b ts.Instance, label, maxShift int, rng *rand.Rand) ts.Instance {
+	w := rng.Float64()
+	shift := 0
+	if maxShift > 0 {
+		shift = rng.Intn(2*maxShift+1) - maxShift
+	}
+	values := make([][]float64, len(a.Values))
+	for v := range a.Values {
+		n := len(a.Values[v])
+		row := make([]float64, n)
+		for t := 0; t < n; t++ {
+			tb := t
+			if len(b.Values[v]) == n {
+				tb = ((t+shift)%n + n) % n
+			}
+			av := a.Values[v][t]
+			bv := av
+			if tb < len(b.Values[v]) {
+				bv = b.Values[v][tb]
+			}
+			row[t] = av + w*(bv-av)
+		}
+		values[v] = row
+	}
+	return ts.Instance{Values: values, Label: label}
+}

@@ -1,0 +1,175 @@
+package oversample
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	ts "github.com/goetsc/goetsc/internal/timeseries"
+)
+
+func imbalanced(rng *rand.Rand, major, minor, length int) *ts.Dataset {
+	d := &ts.Dataset{Name: "imb"}
+	for i := 0; i < major; i++ {
+		row := make([]float64, length)
+		for t := range row {
+			row[t] = rng.NormFloat64()
+		}
+		d.Instances = append(d.Instances, ts.Instance{Values: [][]float64{row}, Label: 0})
+	}
+	for i := 0; i < minor; i++ {
+		row := make([]float64, length)
+		for t := range row {
+			row[t] = 5 + rng.NormFloat64()
+		}
+		d.Instances = append(d.Instances, ts.Instance{Values: [][]float64{row}, Label: 1})
+	}
+	return d
+}
+
+func TestBalanceEqualizesClassCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := imbalanced(rng, 80, 10, 20)
+	out, err := Balance(d, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := out.ClassCounts()
+	if counts[0] != 80 || counts[1] != 80 {
+		t.Fatalf("counts = %v, want 80/80", counts)
+	}
+	// Original instances preserved.
+	if out.Len() != 160 {
+		t.Fatalf("len = %d", out.Len())
+	}
+	for i := 0; i < d.Len(); i++ {
+		if out.Instances[i].Label != d.Instances[i].Label {
+			t.Fatal("original instances reordered")
+		}
+	}
+}
+
+func TestTargetRatio(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := imbalanced(rng, 90, 10, 12)
+	out, err := Balance(d, Config{TargetRatio: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := out.ClassCounts()
+	if counts[1] != 45 {
+		t.Fatalf("minority count = %d, want 45 (90/2)", counts[1])
+	}
+}
+
+func TestSyntheticInstancesPlausible(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := imbalanced(rng, 60, 12, 16)
+	out, err := Balance(d, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Synthetic minority series must stay near the minority distribution
+	// (mean ~5), far from the majority's (~0).
+	for _, in := range out.Instances[d.Len():] {
+		if in.Label != 1 {
+			t.Fatalf("synthetic instance with majority label %d", in.Label)
+		}
+		var sum float64
+		for _, v := range in.Values[0] {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatal("invalid synthetic value")
+			}
+			sum += v
+		}
+		mean := sum / float64(len(in.Values[0]))
+		if mean < 3 || mean > 7 {
+			t.Fatalf("synthetic mean %v outside the minority distribution", mean)
+		}
+	}
+}
+
+func TestBalancedAlready(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	d := imbalanced(rng, 30, 30, 10)
+	out, err := Balance(d, Config{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != d.Len() {
+		t.Fatalf("balanced dataset grew: %d -> %d", d.Len(), out.Len())
+	}
+}
+
+func TestSingleMinorityMemberSkipped(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := imbalanced(rng, 20, 1, 10)
+	out, err := Balance(d, Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cannot interpolate with one member; class stays as is.
+	if out.ClassCounts()[1] != 1 {
+		t.Fatalf("singleton class oversampled: %v", out.ClassCounts())
+	}
+}
+
+func TestMultivariateSynthesis(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	d := &ts.Dataset{Name: "mv"}
+	for i := 0; i < 20; i++ {
+		a := make([]float64, 8)
+		b := make([]float64, 8)
+		for t := range a {
+			a[t] = rng.NormFloat64()
+			b[t] = rng.NormFloat64()
+		}
+		d.Instances = append(d.Instances, ts.Instance{Values: [][]float64{a, b}, Label: 0})
+	}
+	for i := 0; i < 4; i++ {
+		a := make([]float64, 8)
+		b := make([]float64, 8)
+		for t := range a {
+			a[t] = 4 + rng.NormFloat64()
+			b[t] = -4 + rng.NormFloat64()
+		}
+		d.Instances = append(d.Instances, ts.Instance{Values: [][]float64{a, b}, Label: 1})
+	}
+	out, err := Balance(d, Config{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if out.ClassCounts()[1] != 20 {
+		t.Fatalf("counts = %v", out.ClassCounts())
+	}
+}
+
+func TestInvalidDataset(t *testing.T) {
+	if _, err := Balance(&ts.Dataset{Name: "empty"}, Config{}); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d := imbalanced(rng, 40, 8, 10)
+	a, err := Balance(d, Config{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Balance(d, Config{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatal("sizes differ")
+	}
+	for i := range a.Instances {
+		if a.Instances[i].Values[0][0] != b.Instances[i].Values[0][0] {
+			t.Fatal("same seed, different synthesis")
+		}
+	}
+}

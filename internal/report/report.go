@@ -1,0 +1,190 @@
+// Package report renders the framework's evaluation output: aligned text
+// tables, CSV, simple horizontal bar charts for the per-category figures,
+// and the online-feasibility heatmap of Figure 13.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a simple header + rows text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// WriteText renders the table with aligned columns.
+func (t *Table) WriteText(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	line := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			parts[i] = pad(cell, widths[i])
+		}
+		_, err := fmt.Fprintf(w, "| %s |\n", strings.Join(parts, " | "))
+		return err
+	}
+	if err := line(t.Headers); err != nil {
+		return err
+	}
+	seps := make([]string, len(t.Headers))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", widths[i])
+	}
+	if err := line(seps); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := line(row); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// WriteCSV renders the table as CSV (no quoting: callers use plain cells).
+func (t *Table) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, strings.Join(t.Headers, ",")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pad(s string, width int) string {
+	if len(s) >= width {
+		return s
+	}
+	return s + strings.Repeat(" ", width-len(s))
+}
+
+// Cell formats a float value for a table; NaN renders as the hatch marker
+// (an algorithm that failed to train, as in Figure 13).
+func Cell(v float64) string {
+	if math.IsNaN(v) {
+		return "####"
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+// BarChart renders grouped horizontal bars: one group per row label, one
+// bar per series (column), scaled to maxWidth characters.
+type BarChart struct {
+	Title     string
+	RowLabels []string
+	Series    []string
+	// Values[row][series]; NaN bars render as the hatch marker.
+	Values   [][]float64
+	MaxWidth int
+}
+
+// WriteText renders the chart.
+func (b *BarChart) WriteText(w io.Writer) error {
+	if b.MaxWidth <= 0 {
+		b.MaxWidth = 40
+	}
+	max := 0.0
+	for _, row := range b.Values {
+		for _, v := range row {
+			if !math.IsNaN(v) && v > max {
+				max = v
+			}
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	labelWidth := 0
+	for _, s := range b.Series {
+		if len(s) > labelWidth {
+			labelWidth = len(s)
+		}
+	}
+	if b.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", b.Title); err != nil {
+			return err
+		}
+	}
+	for r, rowLabel := range b.RowLabels {
+		if _, err := fmt.Fprintf(w, "%s\n", rowLabel); err != nil {
+			return err
+		}
+		for s, series := range b.Series {
+			v := b.Values[r][s]
+			var bar string
+			var value string
+			if math.IsNaN(v) {
+				bar = "####"
+				value = "n/a"
+			} else {
+				n := int(v / max * float64(b.MaxWidth))
+				bar = strings.Repeat("#", n)
+				value = fmt.Sprintf("%.3f", v)
+			}
+			if _, err := fmt.Fprintf(w, "  %s %s %s\n", pad(series, labelWidth), pad(bar, b.MaxWidth), value); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// Heatmap renders a dataset × algorithm grid of feasibility ratios
+// (Figure 13): values < 1 are feasible ("+"), >= 1 infeasible ("-"),
+// NaN cells are hatched (failed to train).
+type Heatmap struct {
+	Title     string
+	RowLabels []string
+	Cols      []string
+	Values    [][]float64
+}
+
+// WriteText renders the heatmap with one annotated cell per value.
+func (h *Heatmap) WriteText(w io.Writer) error {
+	if h.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", h.Title); err != nil {
+			return err
+		}
+	}
+	table := &Table{Headers: append([]string{"dataset"}, h.Cols...)}
+	for r, label := range h.RowLabels {
+		row := []string{label}
+		for _, v := range h.Values[r] {
+			switch {
+			case math.IsNaN(v):
+				row = append(row, "####")
+			case v < 1:
+				row = append(row, fmt.Sprintf("+%.2g", v))
+			default:
+				row = append(row, fmt.Sprintf("-%.3g", v))
+			}
+		}
+		table.Rows = append(table.Rows, row)
+	}
+	return table.WriteText(w)
+}

@@ -1,0 +1,115 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableWriteText(t *testing.T) {
+	table := &Table{
+		Title:   "Demo",
+		Headers: []string{"name", "value"},
+		Rows:    [][]string{{"alpha", "1"}, {"bb", "22"}},
+	}
+	var buf bytes.Buffer
+	if err := table.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Demo") || !strings.Contains(out, "alpha") {
+		t.Fatalf("output missing content:\n%s", out)
+	}
+	// Columns aligned: every data line has the same width.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	width := len(lines[1])
+	for _, l := range lines[1:] {
+		if len(l) != width {
+			t.Fatalf("misaligned line %q", l)
+		}
+	}
+}
+
+func TestTableWriteCSV(t *testing.T) {
+	table := &Table{Headers: []string{"a", "b"}, Rows: [][]string{{"1", "2"}}}
+	var buf bytes.Buffer
+	if err := table.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "a,b\n1,2\n" {
+		t.Fatalf("csv = %q", buf.String())
+	}
+}
+
+func TestCell(t *testing.T) {
+	if Cell(0.12345) != "0.123" {
+		t.Fatalf("cell = %q", Cell(0.12345))
+	}
+	if Cell(math.NaN()) != "####" {
+		t.Fatalf("NaN cell = %q", Cell(math.NaN()))
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	chart := &BarChart{
+		Title:     "Accuracy",
+		RowLabels: []string{"Common"},
+		Series:    []string{"ECEC", "EDSC"},
+		Values:    [][]float64{{0.9, math.NaN()}},
+		MaxWidth:  10,
+	}
+	var buf bytes.Buffer
+	if err := chart.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "ECEC") || !strings.Contains(out, "0.900") {
+		t.Fatalf("chart missing content:\n%s", out)
+	}
+	if !strings.Contains(out, "n/a") {
+		t.Fatalf("NaN bar not hatched:\n%s", out)
+	}
+	// The 0.9 bar should be the widest (10 chars at max scale).
+	if !strings.Contains(out, strings.Repeat("#", 10)) {
+		t.Fatalf("max bar not full width:\n%s", out)
+	}
+}
+
+func TestBarChartAllZero(t *testing.T) {
+	chart := &BarChart{
+		RowLabels: []string{"r"},
+		Series:    []string{"s"},
+		Values:    [][]float64{{0}},
+	}
+	var buf bytes.Buffer
+	if err := chart.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	h := &Heatmap{
+		Title:     "Fig 13",
+		RowLabels: []string{"PowerCons", "PLAID"},
+		Cols:      []string{"ECEC", "EDSC"},
+		Values: [][]float64{
+			{0.5, 2.0},
+			{3.0, math.NaN()},
+		},
+	}
+	var buf bytes.Buffer
+	if err := h.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "+0.5") {
+		t.Fatalf("feasible cell missing:\n%s", out)
+	}
+	if !strings.Contains(out, "-2") {
+		t.Fatalf("infeasible cell missing:\n%s", out)
+	}
+	if !strings.Contains(out, "####") {
+		t.Fatalf("hatched cell missing:\n%s", out)
+	}
+}

@@ -1,0 +1,167 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// SVG rendering of the paper's figures: grouped vertical bars per dataset
+// category (Figures 9-12) and the online-feasibility heatmap (Figure 13).
+// Pure stdlib; output is self-contained SVG 1.1.
+
+// barPalette cycles over algorithm series.
+var barPalette = []string{
+	"#4e79a7", "#f28e2b", "#e15759", "#76b7b2",
+	"#59a14f", "#edc948", "#b07aa1", "#ff9da7",
+}
+
+// WriteSVG renders the grouped bar chart as SVG.
+func (b *BarChart) WriteSVG(w io.Writer) error {
+	const (
+		barW       = 14
+		groupPad   = 30
+		leftAxis   = 60
+		topPad     = 50
+		plotH      = 240
+		bottomPad  = 60
+		legendRowH = 16
+	)
+	nSeries := len(b.Series)
+	groupW := nSeries*barW + groupPad
+	width := leftAxis + len(b.RowLabels)*groupW + 180
+	height := topPad + plotH + bottomPad + legendRowH*((nSeries+1)/2)
+
+	max := 0.0
+	for _, row := range b.Values {
+		for _, v := range row {
+			if !math.IsNaN(v) && v > max {
+				max = v
+			}
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="11">`+"\n", width, height)
+	fmt.Fprintf(&sb, `<text x="%d" y="20" font-size="14" font-weight="bold">%s</text>`+"\n", leftAxis, escape(b.Title))
+
+	// Y axis with 5 ticks.
+	baseY := topPad + plotH
+	for i := 0; i <= 5; i++ {
+		v := max * float64(i) / 5
+		y := float64(baseY) - float64(plotH)*float64(i)/5
+		fmt.Fprintf(&sb, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n", leftAxis, y, width-20, y)
+		fmt.Fprintf(&sb, `<text x="%d" y="%.1f" text-anchor="end">%.2g</text>`+"\n", leftAxis-6, y+4, v)
+	}
+
+	// Bars.
+	for g, rowLabel := range b.RowLabels {
+		gx := leftAxis + g*groupW + groupPad/2
+		for s := range b.Series {
+			v := b.Values[g][s]
+			x := gx + s*barW
+			color := barPalette[s%len(barPalette)]
+			if math.IsNaN(v) {
+				// Hatched placeholder for failed-to-train cells.
+				fmt.Fprintf(&sb, `<rect x="%d" y="%d" width="%d" height="12" fill="none" stroke="%s" stroke-dasharray="2,2"/>`+"\n",
+					x, baseY-12, barW-3, color)
+				continue
+			}
+			h := float64(plotH) * v / max
+			fmt.Fprintf(&sb, `<rect x="%d" y="%.1f" width="%d" height="%.1f" fill="%s"><title>%s / %s: %.3f</title></rect>`+"\n",
+				x, float64(baseY)-h, barW-3, h, color, escape(rowLabel), escape(b.Series[s]), v)
+		}
+		fmt.Fprintf(&sb, `<text x="%d" y="%d" text-anchor="middle">%s</text>`+"\n",
+			gx+nSeries*barW/2, baseY+16, escape(rowLabel))
+	}
+
+	// Legend.
+	for s, name := range b.Series {
+		lx := leftAxis + (s%2)*150
+		ly := baseY + 34 + (s/2)*legendRowH
+		fmt.Fprintf(&sb, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`+"\n", lx, ly, barPalette[s%len(barPalette)])
+		fmt.Fprintf(&sb, `<text x="%d" y="%d">%s</text>`+"\n", lx+14, ly+9, escape(name))
+	}
+	sb.WriteString("</svg>\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// WriteSVG renders the heatmap as SVG: green cells are feasible (< 1),
+// red infeasible, gray hatch marks failed-to-train.
+func (h *Heatmap) WriteSVG(w io.Writer) error {
+	const (
+		cellW, cellH = 64, 22
+		leftPad      = 200
+		topPad       = 60
+	)
+	width := leftPad + len(h.Cols)*cellW + 20
+	height := topPad + len(h.RowLabels)*cellH + 30
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="11">`+"\n", width, height)
+	fmt.Fprintf(&sb, `<text x="10" y="20" font-size="14" font-weight="bold">%s</text>`+"\n", escape(h.Title))
+	for c, col := range h.Cols {
+		fmt.Fprintf(&sb, `<text x="%d" y="%d" text-anchor="middle">%s</text>`+"\n",
+			leftPad+c*cellW+cellW/2, topPad-8, escape(col))
+	}
+	for r, label := range h.RowLabels {
+		y := topPad + r*cellH
+		fmt.Fprintf(&sb, `<text x="%d" y="%d" text-anchor="end">%s</text>`+"\n", leftPad-8, y+15, escape(label))
+		for c := range h.Cols {
+			v := h.Values[r][c]
+			x := leftPad + c*cellW
+			switch {
+			case math.IsNaN(v):
+				fmt.Fprintf(&sb, `<rect x="%d" y="%d" width="%d" height="%d" fill="#eee" stroke="#999" stroke-dasharray="3,3"/>`+"\n",
+					x, y, cellW-2, cellH-2)
+				fmt.Fprintf(&sb, `<text x="%d" y="%d" text-anchor="middle" fill="#999">n/a</text>`+"\n", x+cellW/2, y+15)
+			case v < 1:
+				fmt.Fprintf(&sb, `<rect x="%d" y="%d" width="%d" height="%d" fill="#b7e4c7"/>`+"\n", x, y, cellW-2, cellH-2)
+				fmt.Fprintf(&sb, `<text x="%d" y="%d" text-anchor="middle">%.2g</text>`+"\n", x+cellW/2, y+15, v)
+			default:
+				fmt.Fprintf(&sb, `<rect x="%d" y="%d" width="%d" height="%d" fill="#f8b4b4"/>`+"\n", x, y, cellW-2, cellH-2)
+				fmt.Fprintf(&sb, `<text x="%d" y="%d" text-anchor="middle">%.3g</text>`+"\n", x+cellW/2, y+15, v)
+			}
+		}
+	}
+	sb.WriteString("</svg>\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// TableToBarChart converts a category × algorithm metric table (first
+// column = row label, remaining columns = numeric cells, "####" = NaN)
+// into a BarChart for SVG rendering.
+func TableToBarChart(t *Table) *BarChart {
+	chart := &BarChart{Title: t.Title, Series: append([]string(nil), t.Headers[1:]...)}
+	for _, row := range t.Rows {
+		chart.RowLabels = append(chart.RowLabels, row[0])
+		values := make([]float64, len(row)-1)
+		for i, cell := range row[1:] {
+			if cell == "####" || cell == "NaN" {
+				values[i] = math.NaN()
+				continue
+			}
+			var v float64
+			if _, err := fmt.Sscanf(cell, "%g", &v); err != nil {
+				values[i] = math.NaN()
+				continue
+			}
+			values[i] = v
+		}
+		chart.Values = append(chart.Values, values)
+	}
+	return chart
+}
+
+func escape(s string) string {
+	s = strings.ReplaceAll(s, "&", "&amp;")
+	s = strings.ReplaceAll(s, "<", "&lt;")
+	s = strings.ReplaceAll(s, ">", "&gt;")
+	return s
+}

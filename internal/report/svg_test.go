@@ -1,0 +1,91 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestBarChartWriteSVG(t *testing.T) {
+	chart := &BarChart{
+		Title:     "Accuracy & friends",
+		RowLabels: []string{"Common", "Wide"},
+		Series:    []string{"ECEC", "EDSC"},
+		Values: [][]float64{
+			{0.9, 0.5},
+			{0.8, math.NaN()},
+		},
+	}
+	var buf bytes.Buffer
+	if err := chart.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<svg", "</svg>", "Accuracy &amp; friends", "ECEC", "Common", "stroke-dasharray"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("svg missing %q:\n%s", want, out[:200])
+		}
+	}
+	// Exactly 3 solid bars (one NaN replaced by a hatch outline).
+	if n := strings.Count(out, "<title>"); n != 3 {
+		t.Fatalf("solid bars = %d, want 3", n)
+	}
+}
+
+func TestHeatmapWriteSVG(t *testing.T) {
+	h := &Heatmap{
+		Title:     "Fig 13",
+		RowLabels: []string{"PowerCons"},
+		Cols:      []string{"ECEC", "EDSC", "ECTS"},
+		Values:    [][]float64{{0.5, 2.0, math.NaN()}},
+	}
+	var buf bytes.Buffer
+	if err := h.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "#b7e4c7") {
+		t.Fatal("feasible cell color missing")
+	}
+	if !strings.Contains(out, "#f8b4b4") {
+		t.Fatal("infeasible cell color missing")
+	}
+	if !strings.Contains(out, "n/a") {
+		t.Fatal("hatched cell missing")
+	}
+}
+
+func TestTableToBarChart(t *testing.T) {
+	table := &Table{
+		Title:   "Figure 10",
+		Headers: []string{"category", "A", "B"},
+		Rows: [][]string{
+			{"Common", "0.500", "####"},
+			{"Wide", "0.250", "0.125"},
+		},
+	}
+	chart := TableToBarChart(table)
+	if chart.Title != "Figure 10" || len(chart.Series) != 2 {
+		t.Fatalf("chart meta wrong: %+v", chart)
+	}
+	if chart.Values[0][0] != 0.5 {
+		t.Fatalf("value = %v", chart.Values[0][0])
+	}
+	if !math.IsNaN(chart.Values[0][1]) {
+		t.Fatal("#### not mapped to NaN")
+	}
+	if chart.Values[1][1] != 0.125 {
+		t.Fatalf("value = %v", chart.Values[1][1])
+	}
+	// Round trip to SVG must not error.
+	if err := chart.WriteSVG(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEscape(t *testing.T) {
+	if escape("a<b>&c") != "a&lt;b&gt;&amp;c" {
+		t.Fatalf("escape = %q", escape("a<b>&c"))
+	}
+}

@@ -1,0 +1,229 @@
+// Package ridge implements a ridge-regression classifier (one-vs-rest
+// regression onto ±1 targets), the classification head MiniROCKET uses.
+// The solver picks the cheaper formulation automatically: the dual (Gram)
+// system when samples ≤ features — the usual regime for MiniROCKET's
+// ~10k-dimensional features — and a conjugate-gradient primal solve
+// otherwise.
+package ridge
+
+import (
+	"fmt"
+
+	"github.com/goetsc/goetsc/internal/linalg"
+	"github.com/goetsc/goetsc/internal/ml"
+	"github.com/goetsc/goetsc/internal/stats"
+)
+
+// Config holds the hyper-parameters of the classifier.
+type Config struct {
+	// Lambda is the L2 penalty; default 1.0.
+	Lambda float64
+	// Standardize centers and scales features using training statistics
+	// before solving. Recommended for PPV features. Default off.
+	Standardize bool
+}
+
+// Model is a fitted ridge classifier implementing ml.Classifier.
+type Model struct {
+	Cfg Config
+
+	numClasses int
+	dim        int
+	weights    [][]float64 // [class][feature]
+	intercept  []float64
+	mean, std  []float64 // standardization parameters (when enabled)
+}
+
+var _ ml.Classifier = (*Model)(nil)
+
+// New returns an untrained ridge classifier.
+func New(cfg Config) *Model { return &Model{Cfg: cfg} }
+
+// Fit trains one-vs-rest ridge regressions onto ±1 targets.
+func (m *Model) Fit(X [][]float64, y []int, numClasses int) error {
+	n := len(X)
+	if n == 0 {
+		return fmt.Errorf("ridge: no samples")
+	}
+	if n != len(y) {
+		return fmt.Errorf("ridge: %d samples but %d labels", n, len(y))
+	}
+	if numClasses < 2 {
+		return fmt.Errorf("ridge: need at least 2 classes, got %d", numClasses)
+	}
+	dim := len(X[0])
+	for i, x := range X {
+		if len(x) != dim {
+			return fmt.Errorf("ridge: row %d has %d features, want %d", i, len(x), dim)
+		}
+	}
+	lambda := m.Cfg.Lambda
+	if lambda <= 0 {
+		lambda = 1.0
+	}
+	m.numClasses = numClasses
+	m.dim = dim
+
+	// Copy features into a matrix, standardizing if requested.
+	mat := linalg.NewMatrix(n, dim)
+	for i, x := range X {
+		copy(mat.Row(i), x)
+	}
+	if m.Cfg.Standardize {
+		m.mean = make([]float64, dim)
+		m.std = make([]float64, dim)
+		col := make([]float64, n)
+		for j := 0; j < dim; j++ {
+			for i := 0; i < n; i++ {
+				col[i] = mat.At(i, j)
+			}
+			mu, sd := stats.MeanStd(col)
+			if sd < 1e-12 {
+				sd = 1
+			}
+			m.mean[j], m.std[j] = mu, sd
+			for i := 0; i < n; i++ {
+				mat.Set(i, j, (mat.At(i, j)-mu)/sd)
+			}
+		}
+	} else {
+		m.mean, m.std = nil, nil
+	}
+
+	// ±1 targets per class.
+	targets := make([][]float64, numClasses)
+	for c := range targets {
+		targets[c] = make([]float64, n)
+		for i, label := range y {
+			if label == c {
+				targets[c][i] = 1
+			} else {
+				targets[c][i] = -1
+			}
+		}
+	}
+
+	m.weights = make([][]float64, numClasses)
+	m.intercept = make([]float64, numClasses)
+
+	if n <= dim {
+		// Dual: w = Xᵀ (XXᵀ + λI)⁻¹ y, one solve per class sharing the factor.
+		gram := mat.Gram()
+		for i := 0; i < n; i++ {
+			gram.Set(i, i, gram.At(i, i)+lambda)
+		}
+		if err := linalg.Cholesky(gram); err != nil {
+			// Jittered retry.
+			gram = mat.Gram()
+			for i := 0; i < n; i++ {
+				gram.Set(i, i, gram.At(i, i)+lambda+1e-6)
+			}
+			if err := linalg.Cholesky(gram); err != nil {
+				return fmt.Errorf("ridge: dual factorization failed: %w", err)
+			}
+		}
+		for c := 0; c < numClasses; c++ {
+			alpha := linalg.CholeskySolve(gram, targets[c])
+			m.weights[c] = mat.MulVecT(alpha, nil)
+		}
+	} else {
+		// Primal via CG on (XᵀX + λI) w = Xᵀ y without forming XᵀX.
+		tmpN := make([]float64, n)
+		op := func(x, out []float64) []float64 {
+			mat.MulVec(x, tmpN)
+			mat.MulVecT(tmpN, out)
+			linalg.AddScaled(out, lambda, x)
+			return out
+		}
+		for c := 0; c < numClasses; c++ {
+			rhs := mat.MulVecT(targets[c], nil)
+			m.weights[c] = linalg.ConjugateGradient(op, rhs, 1e-8, 4*dim)
+		}
+	}
+	// Intercepts: mean residual of the targets.
+	for c := 0; c < numClasses; c++ {
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += targets[c][i] - linalg.Dot(mat.Row(i), m.weights[c])
+		}
+		m.intercept[c] = sum / float64(n)
+	}
+	return nil
+}
+
+// DecisionScores returns the raw one-vs-rest regression scores for x.
+func (m *Model) DecisionScores(x []float64) []float64 {
+	z := x
+	if len(z) > m.dim {
+		z = z[:m.dim]
+	}
+	if m.mean != nil {
+		zz := make([]float64, len(z))
+		for j := range z {
+			zz[j] = (z[j] - m.mean[j]) / m.std[j]
+		}
+		z = zz
+	}
+	scores := make([]float64, m.numClasses)
+	for c := 0; c < m.numClasses; c++ {
+		w := m.weights[c]
+		sum := m.intercept[c]
+		for j, v := range z {
+			sum += w[j] * v
+		}
+		scores[c] = sum
+	}
+	return scores
+}
+
+// PredictProba maps decision scores through a softmax. Ridge regression is
+// not inherently probabilistic; this calibration-free mapping is adequate
+// for argmax prediction and confidence ordering.
+func (m *Model) PredictProba(x []float64) []float64 {
+	return stats.Softmax(m.DecisionScores(x), nil)
+}
+
+// Predict returns the class with the highest decision score.
+func (m *Model) Predict(x []float64) int { return stats.ArgMax(m.DecisionScores(x)) }
+
+// FitRegression solves a single ridge regression onto arbitrary real
+// targets and returns the weight vector (no intercept). It is exposed for
+// substrates that need plain ridge regression rather than classification.
+func FitRegression(X [][]float64, targets []float64, lambda float64) ([]float64, error) {
+	n := len(X)
+	if n == 0 || n != len(targets) {
+		return nil, fmt.Errorf("ridge regression: bad shapes (%d samples, %d targets)", n, len(targets))
+	}
+	dim := len(X[0])
+	mat := linalg.NewMatrix(n, dim)
+	for i, x := range X {
+		copy(mat.Row(i), x)
+	}
+	if lambda <= 0 {
+		lambda = 1.0
+	}
+	if n <= dim {
+		gram := mat.Gram()
+		for i := 0; i < n; i++ {
+			gram.Set(i, i, gram.At(i, i)+lambda)
+		}
+		alpha, err := linalg.SolveSPD(gram, targets)
+		if err != nil {
+			return nil, err
+		}
+		return mat.MulVecT(alpha, nil), nil
+	}
+	tmpN := make([]float64, n)
+	op := func(x, out []float64) []float64 {
+		mat.MulVec(x, tmpN)
+		mat.MulVecT(tmpN, out)
+		linalg.AddScaled(out, lambda, x)
+		return out
+	}
+	rhs := mat.MulVecT(targets, nil)
+	w := linalg.ConjugateGradient(op, rhs, 1e-8, 4*dim)
+	if w == nil {
+		return nil, fmt.Errorf("ridge regression: CG failed")
+	}
+	return w, nil
+}

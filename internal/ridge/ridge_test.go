@@ -1,0 +1,209 @@
+package ridge
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func blobs(rng *rand.Rand, nPerClass, dim int, spread float64) ([][]float64, []int) {
+	centers := [][]float64{make([]float64, dim), make([]float64, dim)}
+	for j := 0; j < dim; j++ {
+		centers[1][j] = 4
+	}
+	var X [][]float64
+	var y []int
+	for c, center := range centers {
+		for i := 0; i < nPerClass; i++ {
+			x := make([]float64, dim)
+			for j := range x {
+				x[j] = center[j] + rng.NormFloat64()*spread
+			}
+			X = append(X, x)
+			y = append(y, c)
+		}
+	}
+	return X, y
+}
+
+func accuracy(m *Model, X [][]float64, y []int) float64 {
+	correct := 0
+	for i, x := range X {
+		if m.Predict(x) == y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(y))
+}
+
+func TestDualRegimeSeparable(t *testing.T) {
+	// n (20) < dim (50): dual path.
+	rng := rand.New(rand.NewSource(1))
+	X, y := blobs(rng, 10, 50, 1)
+	m := New(Config{Lambda: 1})
+	if err := m.Fit(X, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(m, X, y); acc < 0.95 {
+		t.Fatalf("dual accuracy = %v", acc)
+	}
+}
+
+func TestPrimalRegimeSeparable(t *testing.T) {
+	// n (200) > dim (5): primal CG path.
+	rng := rand.New(rand.NewSource(2))
+	X, y := blobs(rng, 100, 5, 1)
+	m := New(Config{Lambda: 1})
+	if err := m.Fit(X, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(m, X, y); acc < 0.95 {
+		t.Fatalf("primal accuracy = %v", acc)
+	}
+}
+
+func TestDualPrimalAgree(t *testing.T) {
+	// With dim == n both formulations solve the same problem; predictions
+	// should agree on clear points. Force each path by transposing shapes.
+	rng := rand.New(rand.NewSource(3))
+	Xd, yd := blobs(rng, 8, 20, 0.5) // 16 samples, 20 features -> dual
+	md := New(Config{Lambda: 1})
+	if err := md.Fit(Xd, yd, 2); err != nil {
+		t.Fatal(err)
+	}
+	Xp, yp := blobs(rng, 30, 4, 0.5) // 60 samples, 4 features -> primal
+	mp := New(Config{Lambda: 1})
+	if err := mp.Fit(Xp, yp, 2); err != nil {
+		t.Fatal(err)
+	}
+	if accuracy(md, Xd, yd) < 0.95 || accuracy(mp, Xp, yp) < 0.95 {
+		t.Fatal("one of the regimes underperforms")
+	}
+}
+
+func TestMulticlass(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	// Non-collinear centers: linear one-vs-rest cannot carve out a middle
+	// class that sits between the others on a line.
+	centers := [][]float64{{0, 0}, {6, 0}, {0, 6}}
+	var X [][]float64
+	var y []int
+	for c, center := range centers {
+		for i := 0; i < 25; i++ {
+			X = append(X, []float64{center[0] + rng.NormFloat64()*0.6, center[1] + rng.NormFloat64()*0.6})
+			y = append(y, c)
+		}
+	}
+	m := New(Config{Lambda: 0.5})
+	if err := m.Fit(X, y, 3); err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(m, X, y); acc < 0.95 {
+		t.Fatalf("multiclass accuracy = %v", acc)
+	}
+}
+
+func TestStandardizeHandlesScaleDifferences(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	// Feature 0 discriminative but tiny scale; feature 1 huge noise.
+	var X [][]float64
+	var y []int
+	for i := 0; i < 60; i++ {
+		c := i % 2
+		X = append(X, []float64{float64(c)*0.001 + rng.NormFloat64()*0.0001, rng.NormFloat64() * 1000})
+		y = append(y, c)
+	}
+	m := New(Config{Lambda: 1e-4, Standardize: true})
+	if err := m.Fit(X, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(m, X, y); acc < 0.9 {
+		t.Fatalf("standardized accuracy = %v", acc)
+	}
+}
+
+func TestPredictProbaValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	X, y := blobs(rng, 10, 6, 1)
+	m := New(Config{})
+	if err := m.Fit(X, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	p := m.PredictProba(X[0])
+	var sum float64
+	for _, v := range p {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("proba sum = %v", sum)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	m := New(Config{})
+	if err := m.Fit(nil, nil, 2); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if err := m.Fit([][]float64{{1}}, []int{0}, 1); err == nil {
+		t.Fatal("single class accepted")
+	}
+	if err := m.Fit([][]float64{{1}, {2}}, []int{0}, 2); err == nil {
+		t.Fatal("mismatched labels accepted")
+	}
+	if err := m.Fit([][]float64{{1, 2}, {3}}, []int{0, 1}, 2); err == nil {
+		t.Fatal("ragged rows accepted")
+	}
+}
+
+func TestConstantFeaturesDoNotCrash(t *testing.T) {
+	X := [][]float64{{1, 5}, {1, 5}, {1, 6}, {1, 6}}
+	y := []int{0, 0, 1, 1}
+	m := New(Config{Standardize: true})
+	if err := m.Fit(X, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	if m.Predict([]float64{1, 6.1}) != 1 {
+		t.Fatal("constant feature confused the classifier")
+	}
+}
+
+func TestFitRegressionRecoversLinearModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n, dim := 80, 3
+	wTrue := []float64{2, -1, 0.5}
+	X := make([][]float64, n)
+	targets := make([]float64, n)
+	for i := range X {
+		X[i] = make([]float64, dim)
+		for j := range X[i] {
+			X[i][j] = rng.NormFloat64()
+		}
+		for j := range wTrue {
+			targets[i] += wTrue[j] * X[i][j]
+		}
+	}
+	w, err := FitRegression(X, targets, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range wTrue {
+		if math.Abs(w[j]-wTrue[j]) > 0.05 {
+			t.Fatalf("w[%d] = %v, want %v", j, w[j], wTrue[j])
+		}
+	}
+	if _, err := FitRegression(nil, nil, 1); err == nil {
+		t.Fatal("empty regression accepted")
+	}
+}
+
+func TestDecisionScoresLengthTolerance(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	X, y := blobs(rng, 10, 4, 1)
+	m := New(Config{})
+	if err := m.Fit(X, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	if s := m.DecisionScores([]float64{1, 2, 3, 4, 5, 6}); len(s) != 2 {
+		t.Fatal("long input mishandled")
+	}
+}

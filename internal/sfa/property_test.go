@@ -1,0 +1,80 @@
+package sfa
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: words always fit in WordLength × bits(alphabet) bits and are
+// total over arbitrary (finite) inputs.
+func TestWordBoundsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	windows := make([][]float64, 40)
+	labels := make([]int, 40)
+	for i := range windows {
+		w := make([]float64, 12)
+		for j := range w {
+			w[j] = rng.NormFloat64() * 5
+		}
+		windows[i] = w
+		labels[i] = i % 2
+	}
+	tr, err := Fit(windows, labels, 2, Config{WordLength: 4, Alphabet: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := uint64(1) << uint(tr.WordLength()*3) // 3 bits per symbol
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		w := make([]float64, len(raw))
+		for i, v := range raw {
+			w[i] = math.Mod(v, 1e4)
+			if math.IsNaN(w[i]) || math.IsInf(w[i], 0) {
+				w[i] = 0
+			}
+		}
+		return tr.Word(w) < bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: boundaries are strictly ascending and within the value range.
+func TestBoundariesOrderedProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		n := 8 + rng.Intn(60)
+		values := make([]float64, n)
+		labels := make([]int, n)
+		for i := range values {
+			values[i] = rng.NormFloat64() * 10
+			labels[i] = rng.Intn(3)
+		}
+		// chooseBoundaries requires sorted values with aligned labels.
+		for i := 1; i < n; i++ {
+			for j := i; j > 0 && values[j] < values[j-1]; j-- {
+				values[j], values[j-1] = values[j-1], values[j]
+				labels[j], labels[j-1] = labels[j-1], labels[j]
+			}
+		}
+		b := chooseBoundaries(values, labels, 3, 8)
+		for i := 1; i < len(b); i++ {
+			if b[i] <= b[i-1] {
+				t.Fatalf("trial %d: boundaries not strictly ascending: %v", trial, b)
+			}
+		}
+		if len(b) > 7 {
+			t.Fatalf("trial %d: %d boundaries for 8 bins", trial, len(b))
+		}
+		for _, x := range b {
+			if x < values[0] || x > values[n-1] {
+				t.Fatalf("trial %d: boundary %v outside value range [%v, %v]", trial, x, values[0], values[n-1])
+			}
+		}
+	}
+}

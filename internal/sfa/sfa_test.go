@@ -1,0 +1,243 @@
+package sfa
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// sineWindows builds labeled windows of two classes: low-frequency vs
+// high-frequency sines, trivially separable in Fourier space.
+func sineWindows(rng *rand.Rand, nPerClass, size int) ([][]float64, []int) {
+	var windows [][]float64
+	var labels []int
+	for i := 0; i < nPerClass; i++ {
+		for c, freq := range []float64{1, 4} {
+			w := make([]float64, size)
+			phase := rng.Float64() * 2 * math.Pi
+			for t := range w {
+				w[t] = math.Sin(2*math.Pi*freq*float64(t)/float64(size)+phase) + rng.NormFloat64()*0.05
+			}
+			windows = append(windows, w)
+			labels = append(labels, c)
+		}
+	}
+	return windows, labels
+}
+
+func TestFitAndWordSeparatesClasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	windows, labels := sineWindows(rng, 30, 16)
+	tr, err := Fit(windows, labels, 2, Config{WordLength: 4, Alphabet: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count distinct words per class; the dominant word of each class
+	// should differ.
+	wordCount := map[int]map[uint64]int{0: {}, 1: {}}
+	for i, w := range windows {
+		wordCount[labels[i]][tr.Word(w)]++
+	}
+	top := func(m map[uint64]int) uint64 {
+		var best uint64
+		bestN := -1
+		for w, n := range m {
+			if n > bestN {
+				best, bestN = w, n
+			}
+		}
+		return best
+	}
+	if top(wordCount[0]) == top(wordCount[1]) {
+		t.Fatal("dominant words identical across classes")
+	}
+}
+
+func TestWordDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	windows, labels := sineWindows(rng, 10, 8)
+	tr, err := Fit(windows, labels, 2, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := windows[0]
+	if tr.Word(w) != tr.Word(w) {
+		t.Fatal("same window produced different words")
+	}
+}
+
+func TestWordRangeFitsAlphabet(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	windows, labels := sineWindows(rng, 10, 8)
+	cfg := Config{WordLength: 4, Alphabet: 4}
+	tr, err := Fit(windows, labels, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxWord := uint64(1) << (2 * 4) // 2 bits per symbol, 4 symbols
+	for _, w := range windows {
+		if tr.Word(w) >= maxWord {
+			t.Fatalf("word %d exceeds packing bound %d", tr.Word(w), maxWord)
+		}
+	}
+}
+
+func TestShortWindowAtPredictTime(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	windows, labels := sineWindows(rng, 10, 16)
+	tr, err := Fit(windows, labels, 2, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 3-point window at predict time must not panic.
+	_ = tr.Word([]float64{1, 2, 3})
+	_ = tr.Word([]float64{1})
+}
+
+func TestNormDropsOffset(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	windows, labels := sineWindows(rng, 20, 16)
+	tr, err := Fit(windows, labels, 2, Config{Norm: true, WordLength: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Adding a constant offset must not change the word when Norm is on.
+	w := windows[0]
+	shifted := make([]float64, len(w))
+	for i := range w {
+		shifted[i] = w[i] + 100
+	}
+	if tr.Word(w) != tr.Word(shifted) {
+		t.Fatal("norm=true word changed under constant offset")
+	}
+}
+
+func TestNoNormKeepsOffset(t *testing.T) {
+	// Without norm, two classes differing only by offset must be separable.
+	var windows [][]float64
+	var labels []int
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 30; i++ {
+		base := make([]float64, 8)
+		for t := range base {
+			base[t] = rng.NormFloat64() * 0.1
+		}
+		lowered := make([]float64, 8)
+		raised := make([]float64, 8)
+		for t := range base {
+			lowered[t] = base[t]
+			raised[t] = base[t] + 50
+		}
+		windows = append(windows, lowered, raised)
+		labels = append(labels, 0, 1)
+	}
+	tr, err := Fit(windows, labels, 2, Config{Norm: false, WordLength: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree := 0
+	for i := 0; i < len(windows); i += 2 {
+		if tr.Word(windows[i]) != tr.Word(windows[i+1]) {
+			agree++
+		}
+	}
+	if agree < 25 {
+		t.Fatalf("offset classes indistinguishable without norm: %d/30 pairs differ", agree)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil, nil, 2, Config{}); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := Fit([][]float64{{1, 2}}, []int{0, 1}, 2, Config{}); err == nil {
+		t.Fatal("mismatch accepted")
+	}
+	if _, err := Fit([][]float64{{1, 2}}, []int{0}, 2, Config{Alphabet: 3}); err == nil {
+		t.Fatal("non power-of-two alphabet accepted")
+	}
+	if _, err := Fit([][]float64{{1, 2}}, []int{0}, 2, Config{Alphabet: 32}); err == nil {
+		t.Fatal("oversized alphabet accepted")
+	}
+}
+
+func TestSingleClassFallsBackToQuantiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var windows [][]float64
+	var labels []int
+	for i := 0; i < 40; i++ {
+		w := make([]float64, 8)
+		for t := range w {
+			w[t] = rng.NormFloat64()
+		}
+		windows = append(windows, w)
+		labels = append(labels, 0)
+	}
+	tr, err := Fit(windows, labels, 1, Config{WordLength: 2, Alphabet: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Equi-depth boundaries should still spread words across several bins.
+	distinct := map[uint64]bool{}
+	for _, w := range windows {
+		distinct[tr.Word(w)] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatalf("only %d distinct words for diverse single-class data", len(distinct))
+	}
+}
+
+func TestChooseBoundariesAscending(t *testing.T) {
+	values := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	labels := []int{0, 0, 1, 1, 0, 0, 1, 1}
+	b := chooseBoundaries(values, labels, 2, 4)
+	for i := 1; i < len(b); i++ {
+		if b[i] < b[i-1] {
+			t.Fatalf("boundaries not ascending: %v", b)
+		}
+	}
+	if len(b) > 3 {
+		t.Fatalf("too many boundaries: %v", b)
+	}
+}
+
+func TestConstantValuesNoBoundaries(t *testing.T) {
+	values := []float64{5, 5, 5, 5}
+	labels := []int{0, 1, 0, 1}
+	b := chooseBoundaries(values, labels, 2, 4)
+	if len(b) != 0 {
+		t.Fatalf("constant values produced boundaries: %v", b)
+	}
+}
+
+func TestWindowsExtraction(t *testing.T) {
+	s := []float64{1, 2, 3, 4, 5}
+	w := Windows(s, 3)
+	if len(w) != 3 {
+		t.Fatalf("windows = %d, want 3", len(w))
+	}
+	if w[2][0] != 3 {
+		t.Fatalf("last window = %v", w[2])
+	}
+	// Short series: one truncated window.
+	w = Windows(s, 10)
+	if len(w) != 1 || len(w[0]) != 5 {
+		t.Fatalf("short series windows = %v", w)
+	}
+	if Windows(s, 0) != nil {
+		t.Fatal("size 0 should yield nil")
+	}
+}
+
+func TestBinOf(t *testing.T) {
+	b := []float64{0, 1, 2}
+	cases := []struct {
+		v    float64
+		want int
+	}{{-1, 0}, {0, 1}, {0.5, 1}, {1, 2}, {5, 3}}
+	for _, tc := range cases {
+		if got := binOf(b, tc.v); got != tc.want {
+			t.Fatalf("binOf(%v) = %d, want %d", tc.v, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package sfa
+
+import (
+	"math"
+
+	"github.com/goetsc/goetsc/internal/fft"
+)
+
+// SlidingCoefficients computes the first nValues Fourier values (re/im
+// interleaved, optionally dropping the DC pair) for EVERY sliding window
+// of size w over the series, using the incremental ("momentary") DFT
+// update the original WEASEL relies on:
+//
+//	X_k(s+1) = e^{2πik/w} · (X_k(s) − x[s] + x[s+w])
+//
+// Each slide costs O(nValues) instead of O(w log w), which makes wide
+// datasets tractable. The recursion is re-anchored with a direct DFT every
+// resyncInterval slides to stop floating-point drift. A series shorter
+// than w yields a single (truncated) coefficient vector, mirroring
+// Windows.
+func SlidingCoefficients(series []float64, w, nValues int, drop bool) [][]float64 {
+	if w <= 0 {
+		return nil
+	}
+	if len(series) <= w {
+		return [][]float64{fft.Coefficients(series, (nValues+1)/2+1, drop)}
+	}
+	const resyncInterval = 512
+	// Number of complex bins needed to produce nValues real values after
+	// the optional DC drop.
+	bins := (nValues+1)/2 + 1
+	if bins > w/2+1 {
+		bins = w/2 + 1
+	}
+	nWindows := len(series) - w + 1
+	out := make([][]float64, nWindows)
+
+	// Twiddle factors e^{2πik/w}.
+	twRe := make([]float64, bins)
+	twIm := make([]float64, bins)
+	for k := 0; k < bins; k++ {
+		angle := 2 * math.Pi * float64(k) / float64(w)
+		twRe[k] = math.Cos(angle)
+		twIm[k] = math.Sin(angle)
+	}
+
+	re := make([]float64, bins)
+	im := make([]float64, bins)
+	anchor := func(start int) {
+		full := fft.Transform(series[start : start+w])
+		for k := 0; k < bins; k++ {
+			re[k] = full[2*k]
+			im[k] = full[2*k+1]
+		}
+	}
+	anchor(0)
+	for s := 0; ; s++ {
+		out[s] = extract(re, im, bins, nValues, drop)
+		if s == nWindows-1 {
+			break
+		}
+		if (s+1)%resyncInterval == 0 {
+			anchor(s + 1)
+			continue
+		}
+		delta := series[s+w] - series[s]
+		for k := 0; k < bins; k++ {
+			r := re[k] + delta
+			i := im[k]
+			re[k] = r*twRe[k] - i*twIm[k]
+			im[k] = r*twIm[k] + i*twRe[k]
+		}
+	}
+	return out
+}
+
+// extract converts the bin arrays into the interleaved value slice,
+// honouring the DC drop and value count.
+func extract(re, im []float64, bins, nValues int, drop bool) []float64 {
+	start := 0
+	if drop {
+		start = 1
+	}
+	out := make([]float64, 0, nValues)
+	for k := start; k < bins && len(out) < nValues; k++ {
+		out = append(out, re[k])
+		if len(out) < nValues {
+			out = append(out, im[k])
+		}
+	}
+	return out
+}
+
+// WordsSliding symbolizes every sliding window of size w of the series,
+// using the incremental DFT. It is equivalent to calling Word on each
+// window of Windows(series, w) but asymptotically cheaper.
+func (t *Transform) WordsSliding(series []float64, w int) []uint64 {
+	coeffs := SlidingCoefficients(series, w, t.cfg.WordLength, t.cfg.Norm)
+	out := make([]uint64, len(coeffs))
+	for i, c := range coeffs {
+		out[i] = t.WordFromCoefficients(c)
+	}
+	return out
+}
+
+// WordFromCoefficients discretizes a precomputed coefficient vector.
+func (t *Transform) WordFromCoefficients(c []float64) uint64 {
+	var word uint64
+	for pos := 0; pos < t.cfg.WordLength; pos++ {
+		var v float64
+		if pos < len(c) {
+			v = c[pos]
+		}
+		sym := uint64(binOf(t.boundaries[pos], v))
+		word = word<<t.bitsPerSym | sym
+	}
+	return word
+}
+
+// FitFromCoefficients learns discretization boundaries directly from
+// precomputed coefficient vectors (as produced by SlidingCoefficients),
+// avoiding a second pass over the raw windows.
+func FitFromCoefficients(coeffs [][]float64, labels []int, numClasses int, cfg Config) (*Transform, error) {
+	cfg = cfg.withDefaults()
+	if len(coeffs) == 0 {
+		return nil, errNoWindows
+	}
+	if len(coeffs) != len(labels) {
+		return nil, errLabelMismatch
+	}
+	if cfg.Alphabet&(cfg.Alphabet-1) != 0 || cfg.Alphabet > 16 {
+		return nil, errBadAlphabet
+	}
+	actual := cfg.WordLength
+	for _, c := range coeffs {
+		if len(c) < actual {
+			actual = len(c)
+		}
+	}
+	if actual <= 0 {
+		return nil, errNoWindows
+	}
+	t := &Transform{cfg: cfg}
+	t.cfg.WordLength = actual
+	t.bitsPerSym = uint(bits(cfg.Alphabet))
+	t.boundaries = make([][]float64, actual)
+	for pos := 0; pos < actual; pos++ {
+		t.boundaries[pos] = fitBoundariesAt(coeffs, labels, numClasses, cfg.Alphabet, pos)
+	}
+	return t, nil
+}

@@ -1,0 +1,319 @@
+// Package strut implements the paper's proposed baseline: Selective
+// TRUncation of Time-series (STRUT, Section 4). A full time-series
+// classification algorithm is trained repeatedly on gradually truncated
+// prefixes of the training data; the prefix length with the best validation
+// score (accuracy, macro-F1 or the harmonic mean of accuracy and earliness)
+// becomes the fixed decision point at test time. A coarse truncation grid
+// plus an iterative binary-search refinement keeps the number of training
+// iterations low — the "faster approximation variant" evaluated in the
+// paper. The three paper variants S-MINI, S-WEASEL and S-MLSTM wrap
+// MiniROCKET, WEASEL+MUSE and MLSTM-FCN respectively.
+package strut
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/goetsc/goetsc/internal/metrics"
+	"github.com/goetsc/goetsc/internal/stats"
+	ts "github.com/goetsc/goetsc/internal/timeseries"
+)
+
+// FullTSC is the contract a wrapped full time-series classifier must
+// satisfy; WEASEL(+MUSE), MiniROCKET and MLSTM-FCN all do.
+type FullTSC interface {
+	Fit(instances [][][]float64, labels []int, numClasses int) error
+	PredictProba(instance [][]float64) []float64
+}
+
+// Metric selects what STRUT optimizes when choosing the truncation point.
+type Metric int
+
+// Supported optimization targets (Section 4: "a user-defined metric").
+const (
+	// HarmonicMean of accuracy and (1 - earliness); the default, and the
+	// paper's headline score.
+	HarmonicMean Metric = iota
+	// Accuracy alone (always prefers more data; ties break early).
+	Accuracy
+	// MacroF1 alone.
+	MacroF1
+)
+
+// Variant is one candidate base configuration (e.g. an LSTM cell count in
+// S-MLSTM's {8, 64, 128} grid).
+type Variant struct {
+	Label string
+	New   func() FullTSC
+}
+
+// Config controls the truncation search.
+type Config struct {
+	// Name is the reported algorithm name (e.g. "S-MINI").
+	Name string
+	// Variants are the candidate base configurations; the best on the
+	// validation split (at full length) wins before the truncation search.
+	// At least one is required.
+	Variants []Variant
+	// Metric is the optimization target; default HarmonicMean.
+	Metric Metric
+	// ValFrac is the stratified validation fraction; default 0.25.
+	ValFrac float64
+	// Grid lists truncation fractions of the series length to evaluate.
+	// Default {0.05, 0.2, 0.4, 0.6, 0.8, 1} (the S-MLSTM grid); when
+	// Refine is true, a binary-search refinement between the best grid
+	// point and its left neighbour follows.
+	Grid []float64
+	// Refine enables the binary-search refinement pass.
+	Refine bool
+	// Tolerance is the score slack when preferring earlier truncation
+	// points during refinement; default 0.02.
+	Tolerance float64
+	// MinLength is the smallest admissible truncation; default 3.
+	MinLength int
+	// Seed drives the validation split.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Metric != HarmonicMean && c.Metric != Accuracy && c.Metric != MacroF1 {
+		c.Metric = HarmonicMean
+	}
+	if c.ValFrac <= 0 || c.ValFrac >= 1 {
+		c.ValFrac = 0.25
+	}
+	if len(c.Grid) == 0 {
+		c.Grid = []float64{0.05, 0.2, 0.4, 0.6, 0.8, 1}
+	}
+	if c.Tolerance <= 0 {
+		c.Tolerance = 0.02
+	}
+	if c.MinLength <= 0 {
+		c.MinLength = 3
+	}
+	return c
+}
+
+// Classifier is a fitted STRUT model implementing core.EarlyClassifier.
+type Classifier struct {
+	Cfg Config
+
+	cfg      Config
+	length   int
+	truncAt  int
+	base     FullTSC
+	chosen   string
+	evalLog  []EvalPoint
+	numClass int
+}
+
+// EvalPoint records one truncation evaluation (for diagnostics and the
+// ablation benchmarks).
+type EvalPoint struct {
+	Length int
+	Score  float64
+}
+
+// New returns an untrained STRUT classifier.
+func New(cfg Config) *Classifier { return &Classifier{Cfg: cfg} }
+
+// Name implements core.EarlyClassifier.
+func (c *Classifier) Name() string {
+	if c.Cfg.Name != "" {
+		return c.Cfg.Name
+	}
+	return "STRUT"
+}
+
+// Multivariate marks STRUT as natively multivariate (its bases are).
+func (c *Classifier) Multivariate() bool { return true }
+
+// TruncationPoint exposes the selected decision time point.
+func (c *Classifier) TruncationPoint() int { return c.truncAt }
+
+// ChosenVariant exposes which base variant won the grid search.
+func (c *Classifier) ChosenVariant() string { return c.chosen }
+
+// Evaluations exposes the (length, score) pairs probed during the search.
+func (c *Classifier) Evaluations() []EvalPoint { return append([]EvalPoint(nil), c.evalLog...) }
+
+// Fit implements core.EarlyClassifier.
+func (c *Classifier) Fit(train *ts.Dataset) error {
+	cfg := c.Cfg.withDefaults()
+	c.cfg = cfg
+	if len(cfg.Variants) == 0 {
+		return fmt.Errorf("strut: at least one base variant is required")
+	}
+	c.numClass = train.NumClasses()
+	if c.numClass < 2 {
+		return fmt.Errorf("strut: need at least 2 classes")
+	}
+	c.length = train.MaxLength()
+	c.evalLog = nil
+
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	trainIdx, valIdx, err := ts.StratifiedSplit(train, 1-cfg.ValFrac, rng)
+	if err != nil {
+		return fmt.Errorf("strut: %w", err)
+	}
+	trainX, trainY := toInstances(train, trainIdx)
+	valX, valY := toInstances(train, valIdx)
+
+	// Pick the base variant by validation accuracy at full length (the
+	// harmonic mean is identically zero at t = L and cannot rank
+	// variants).
+	variant := cfg.Variants[0]
+	if len(cfg.Variants) > 1 {
+		bestScore := -1.0
+		for _, v := range cfg.Variants {
+			score, err := c.scoreWith(v.New, trainX, trainY, valX, valY, c.length, Accuracy)
+			if err != nil {
+				return fmt.Errorf("strut: variant %s: %w", v.Label, err)
+			}
+			if score > bestScore {
+				bestScore = score
+				variant = v
+			}
+		}
+	}
+	c.chosen = variant.Label
+
+	// Candidate truncation lengths from the grid.
+	candidates := make([]int, 0, len(cfg.Grid))
+	seen := map[int]bool{}
+	for _, frac := range cfg.Grid {
+		t := int(frac * float64(c.length))
+		if t < cfg.MinLength {
+			t = cfg.MinLength
+		}
+		if t > c.length {
+			t = c.length
+		}
+		if !seen[t] {
+			seen[t] = true
+			candidates = append(candidates, t)
+		}
+	}
+	sort.Ints(candidates)
+
+	scores := make(map[int]float64, len(candidates))
+	for _, t := range candidates {
+		s, err := c.scoreAt(variant.New, trainX, trainY, valX, valY, t)
+		if err != nil {
+			return fmt.Errorf("strut: truncation %d: %w", t, err)
+		}
+		scores[t] = s
+		c.evalLog = append(c.evalLog, EvalPoint{Length: t, Score: s})
+	}
+	best := candidates[0]
+	for _, t := range candidates {
+		if scores[t] > scores[best]+1e-12 {
+			best = t
+		}
+	}
+
+	// Binary-search refinement: probe between the best point and its left
+	// neighbour for an earlier length whose score stays within Tolerance.
+	if cfg.Refine {
+		lo := cfg.MinLength
+		for _, t := range candidates {
+			if t < best {
+				lo = t
+			}
+		}
+		hi := best
+		for hi-lo > 1 {
+			mid := (lo + hi) / 2
+			s, err := c.scoreAt(variant.New, trainX, trainY, valX, valY, mid)
+			if err != nil {
+				return fmt.Errorf("strut: refine %d: %w", mid, err)
+			}
+			c.evalLog = append(c.evalLog, EvalPoint{Length: mid, Score: s})
+			if s >= scores[best]-cfg.Tolerance {
+				hi = mid
+			} else {
+				lo = mid
+			}
+		}
+		best = hi
+	}
+	c.truncAt = best
+
+	// Retrain the chosen variant on the whole training set at t*.
+	c.base = variant.New()
+	allX, allY := toInstances(train, nil)
+	return c.base.Fit(truncateAll(allX, best), allY, c.numClass)
+}
+
+// scoreAt trains a fresh base on the truncated training split and scores
+// the truncated validation split with the configured metric.
+func (c *Classifier) scoreAt(newBase func() FullTSC, trainX [][][]float64, trainY []int, valX [][][]float64, valY []int, t int) (float64, error) {
+	return c.scoreWith(newBase, trainX, trainY, valX, valY, t, c.cfg.Metric)
+}
+
+func (c *Classifier) scoreWith(newBase func() FullTSC, trainX [][][]float64, trainY []int, valX [][][]float64, valY []int, t int, metric Metric) (float64, error) {
+	base := newBase()
+	if err := base.Fit(truncateAll(trainX, t), trainY, c.numClass); err != nil {
+		return 0, err
+	}
+	cm := metrics.NewConfusionMatrix(c.numClass)
+	for i, inst := range truncateAll(valX, t) {
+		cm.Add(valY[i], stats.ArgMax(base.PredictProba(inst)))
+	}
+	switch metric {
+	case Accuracy:
+		return cm.Accuracy(), nil
+	case MacroF1:
+		return cm.MacroF1(), nil
+	default:
+		earl := float64(t) / float64(c.length)
+		return metrics.HarmonicMean(cm.Accuracy(), earl), nil
+	}
+}
+
+// Classify implements core.EarlyClassifier: STRUT always predicts at its
+// fixed truncation point (clamped to the instance length).
+func (c *Classifier) Classify(in ts.Instance) (int, int) {
+	t := c.truncAt
+	if t > in.Length() {
+		t = in.Length()
+	}
+	prefix := make([][]float64, in.NumVars())
+	for v := range prefix {
+		prefix[v] = in.Values[v][:t]
+	}
+	return stats.ArgMax(c.base.PredictProba(prefix)), t
+}
+
+func toInstances(d *ts.Dataset, indices []int) ([][][]float64, []int) {
+	if indices == nil {
+		indices = make([]int, d.Len())
+		for i := range indices {
+			indices[i] = i
+		}
+	}
+	X := make([][][]float64, len(indices))
+	y := make([]int, len(indices))
+	for i, idx := range indices {
+		X[i] = d.Instances[idx].Values
+		y[i] = d.Instances[idx].Label
+	}
+	return X, y
+}
+
+func truncateAll(X [][][]float64, t int) [][][]float64 {
+	out := make([][][]float64, len(X))
+	for i, inst := range X {
+		trunc := make([][]float64, len(inst))
+		for v, row := range inst {
+			if len(row) > t {
+				trunc[v] = row[:t]
+			} else {
+				trunc[v] = row
+			}
+		}
+		out[i] = trunc
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+package strut
+
+import (
+	"fmt"
+
+	"github.com/goetsc/goetsc/internal/minirocket"
+	"github.com/goetsc/goetsc/internal/mlstm"
+	"github.com/goetsc/goetsc/internal/weasel"
+)
+
+// Options tunes the common STRUT knobs of the prebuilt variants.
+type Options struct {
+	// Metric selects the optimization target; default HarmonicMean.
+	Metric Metric
+	// Refine enables the binary-search refinement.
+	Refine bool
+	// Seed drives splits and base training.
+	Seed int64
+}
+
+// NewSMini builds the S-MINI variant: STRUT over MiniROCKET.
+func NewSMini(base minirocket.Config, opts Options) *Classifier {
+	return New(Config{
+		Name:   "S-MINI",
+		Metric: opts.Metric,
+		Refine: opts.Refine,
+		Seed:   opts.Seed,
+		Variants: []Variant{{
+			Label: "minirocket",
+			New: func() FullTSC {
+				cfg := base
+				cfg.Seed = opts.Seed
+				return minirocket.New(cfg)
+			},
+		}},
+	})
+}
+
+// NewSWeasel builds the S-WEASEL variant: STRUT over WEASEL (univariate)
+// or WEASEL+MUSE (multivariate — derivatives are enabled unconditionally,
+// which is also harmless for univariate input).
+func NewSWeasel(base weasel.Config, opts Options) *Classifier {
+	return New(Config{
+		Name:   "S-WEASEL",
+		Metric: opts.Metric,
+		Refine: opts.Refine,
+		Seed:   opts.Seed,
+		Variants: []Variant{{
+			Label: "weasel-muse",
+			New: func() FullTSC {
+				cfg := base
+				cfg.Derivatives = true
+				cfg.LogReg.Seed = opts.Seed
+				return weasel.New(cfg)
+			},
+		}},
+	})
+}
+
+// NewSMLSTM builds the S-MLSTM variant: STRUT over MLSTM-FCN with the
+// paper's LSTM-cell grid search (Section 6.1; the paper uses {8, 64, 128},
+// scaled down by default for pure-Go runtimes) and the fixed truncation
+// grid {0.05, 0.2, 0.4, 0.6, 0.8, 1}.
+func NewSMLSTM(base mlstm.Config, cellGrid []int, opts Options) *Classifier {
+	if len(cellGrid) == 0 {
+		cellGrid = []int{4, 8}
+	}
+	variants := make([]Variant, 0, len(cellGrid))
+	for _, cells := range cellGrid {
+		cells := cells
+		variants = append(variants, Variant{
+			Label: fmt.Sprintf("mlstm-%dcells", cells),
+			New: func() FullTSC {
+				cfg := base
+				cfg.Cells = cells
+				cfg.Seed = opts.Seed
+				return mlstm.New(cfg)
+			},
+		})
+	}
+	return New(Config{
+		Name:     "S-MLSTM",
+		Metric:   opts.Metric,
+		Refine:   false, // fixed-iteration grid, as in the paper
+		Seed:     opts.Seed,
+		Variants: variants,
+	})
+}

@@ -1,0 +1,234 @@
+package timeseries
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// CSV layout (the framework's native format, paper Section 5.5): each row is
+// one variable of one time-series example; the first value of each row is
+// the class label. For multivariate datasets with V variables, every V
+// consecutive rows form one instance and must carry the same label.
+// Missing values may be written as "NaN", "?" or an empty field and are
+// loaded as NaN. Rows may have different lengths (varying-length series).
+
+// LoadCSV reads a dataset in the framework's CSV layout. numVars is the
+// number of variables per instance (1 for univariate data).
+func LoadCSV(r io.Reader, name string, numVars int) (*Dataset, error) {
+	if numVars < 1 {
+		return nil, fmt.Errorf("load csv: numVars must be >= 1, got %d", numVars)
+	}
+	type row struct {
+		label  int
+		values []float64
+	}
+	var rows []row
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("load csv %q line %d: need a label and at least one value", name, lineNo)
+		}
+		label, err := parseLabel(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("load csv %q line %d: %v", name, lineNo, err)
+		}
+		values := make([]float64, 0, len(fields)-1)
+		for _, f := range fields[1:] {
+			values = append(values, parseValue(f))
+		}
+		rows = append(rows, row{label: label, values: values})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("load csv %q: %v", name, err)
+	}
+	if len(rows)%numVars != 0 {
+		return nil, fmt.Errorf("load csv %q: %d rows is not a multiple of %d variables", name, len(rows), numVars)
+	}
+	d := &Dataset{Name: name}
+	for i := 0; i < len(rows); i += numVars {
+		in := Instance{Label: rows[i].label, Values: make([][]float64, numVars)}
+		for v := 0; v < numVars; v++ {
+			if rows[i+v].label != in.Label {
+				return nil, fmt.Errorf("load csv %q: instance starting at row %d has inconsistent labels", name, i+1)
+			}
+			in.Values[v] = rows[i+v].values
+		}
+		d.Instances = append(d.Instances, in)
+	}
+	return d, d.Validate()
+}
+
+// WriteCSV writes the dataset in the framework's CSV layout.
+func WriteCSV(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	for _, in := range d.Instances {
+		for _, row := range in.Values {
+			if _, err := fmt.Fprintf(bw, "%d", in.Label); err != nil {
+				return err
+			}
+			for _, v := range row {
+				if math.IsNaN(v) {
+					if _, err := bw.WriteString(",NaN"); err != nil {
+						return err
+					}
+					continue
+				}
+				if _, err := fmt.Fprintf(bw, ",%g", v); err != nil {
+					return err
+				}
+			}
+			if err := bw.WriteByte('\n'); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func parseLabel(s string) (int, error) {
+	s = strings.TrimSpace(s)
+	// Labels may be written as integers or as floats (UCR style "1.0").
+	if v, err := strconv.Atoi(s); err == nil {
+		return v, nil
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad label %q", s)
+	}
+	return int(f), nil
+}
+
+func parseValue(s string) float64 {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "?" || strings.EqualFold(s, "nan") {
+		return math.NaN()
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return math.NaN()
+	}
+	return v
+}
+
+// LoadARFF reads a univariate dataset from an ARFF file (the secondary
+// format the framework accepts). Every numeric attribute is one time point;
+// the final attribute must be the nominal class attribute. Class values are
+// mapped to indices in declaration order.
+func LoadARFF(r io.Reader, name string) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	var classNames []string
+	numAttrs := 0
+	inData := false
+	d := &Dataset{Name: name}
+	classIndex := make(map[string]int)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		lower := strings.ToLower(line)
+		switch {
+		case strings.HasPrefix(lower, "@relation"):
+			// Relation name is informational only.
+		case strings.HasPrefix(lower, "@attribute"):
+			if inData {
+				return nil, fmt.Errorf("load arff %q line %d: @attribute after @data", name, lineNo)
+			}
+			if open := strings.Index(line, "{"); open >= 0 {
+				closeIdx := strings.LastIndex(line, "}")
+				if closeIdx < open {
+					return nil, fmt.Errorf("load arff %q line %d: malformed nominal attribute", name, lineNo)
+				}
+				for i, c := range strings.Split(line[open+1:closeIdx], ",") {
+					c = strings.Trim(strings.TrimSpace(c), "'\"")
+					classNames = append(classNames, c)
+					classIndex[c] = i
+				}
+			} else {
+				numAttrs++
+			}
+		case strings.HasPrefix(lower, "@data"):
+			inData = true
+			if numAttrs == 0 {
+				return nil, fmt.Errorf("load arff %q: no numeric attributes declared", name)
+			}
+			if len(classNames) == 0 {
+				return nil, fmt.Errorf("load arff %q: no nominal class attribute declared", name)
+			}
+		default:
+			if !inData {
+				return nil, fmt.Errorf("load arff %q line %d: unexpected content before @data", name, lineNo)
+			}
+			fields := strings.Split(line, ",")
+			if len(fields) != numAttrs+1 {
+				return nil, fmt.Errorf("load arff %q line %d: got %d fields, want %d", name, lineNo, len(fields), numAttrs+1)
+			}
+			values := make([]float64, numAttrs)
+			for i := 0; i < numAttrs; i++ {
+				values[i] = parseValue(fields[i])
+			}
+			cls := strings.Trim(strings.TrimSpace(fields[numAttrs]), "'\"")
+			label, ok := classIndex[cls]
+			if !ok {
+				return nil, fmt.Errorf("load arff %q line %d: unknown class %q", name, lineNo, cls)
+			}
+			d.Instances = append(d.Instances, Instance{Values: [][]float64{values}, Label: label})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("load arff %q: %v", name, err)
+	}
+	d.ClassNames = classNames
+	return d, d.Validate()
+}
+
+// WriteARFF writes a univariate dataset as an ARFF file.
+func WriteARFF(w io.Writer, d *Dataset) error {
+	if d.NumVars() != 1 {
+		return fmt.Errorf("write arff: dataset %q is multivariate (%d variables)", d.Name, d.NumVars())
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "@relation %s\n", strings.ReplaceAll(d.Name, " ", "_"))
+	L := d.MaxLength()
+	for t := 0; t < L; t++ {
+		fmt.Fprintf(bw, "@attribute t%d numeric\n", t)
+	}
+	names := d.ClassNames
+	if len(names) == 0 {
+		for c := 0; c < d.NumClasses(); c++ {
+			names = append(names, strconv.Itoa(c))
+		}
+	}
+	fmt.Fprintf(bw, "@attribute class {%s}\n@data\n", strings.Join(names, ","))
+	for _, in := range d.Instances {
+		row := in.Values[0]
+		for t := 0; t < L; t++ {
+			v := math.NaN()
+			if t < len(row) {
+				v = row[t]
+			}
+			if math.IsNaN(v) {
+				bw.WriteString("?,")
+			} else {
+				fmt.Fprintf(bw, "%g,", v)
+			}
+		}
+		fmt.Fprintf(bw, "%s\n", names[in.Label])
+	}
+	return bw.Flush()
+}

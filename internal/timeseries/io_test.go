@@ -1,0 +1,164 @@
+package timeseries
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTripUnivariate(t *testing.T) {
+	d := mkDataset("uni",
+		mkInstance(0, []float64{1, 2, 3}),
+		mkInstance(1, []float64{4, 5, 6}),
+	)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCSV(&buf, "uni", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 || got.Instances[1].Label != 1 || got.Instances[1].Values[0][2] != 6 {
+		t.Fatalf("round trip mismatch: %+v", got.Instances)
+	}
+}
+
+func TestCSVRoundTripMultivariate(t *testing.T) {
+	d := mkDataset("multi",
+		mkInstance(0, []float64{1, 2}, []float64{3, 4}, []float64{5, 6}),
+		mkInstance(1, []float64{7, 8}, []float64{9, 10}, []float64{11, 12}),
+	)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCSV(&buf, "multi", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumVars() != 3 {
+		t.Fatalf("vars = %d", got.NumVars())
+	}
+	if got.Instances[1].Values[2][1] != 12 {
+		t.Fatalf("value mismatch: %+v", got.Instances[1].Values)
+	}
+}
+
+func TestCSVMissingValues(t *testing.T) {
+	in := "0,1.5,NaN,?,,2.5\n"
+	d, err := LoadCSV(strings.NewReader(in), "m", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := d.Instances[0].Values[0]
+	if !math.IsNaN(row[1]) || !math.IsNaN(row[2]) || !math.IsNaN(row[3]) {
+		t.Fatalf("missing markers not parsed as NaN: %v", row)
+	}
+	if row[4] != 2.5 {
+		t.Fatalf("trailing value lost: %v", row)
+	}
+}
+
+func TestCSVFloatLabels(t *testing.T) {
+	in := "2.0,1,2\n"
+	d, err := LoadCSV(strings.NewReader(in), "f", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Instances[0].Label != 2 {
+		t.Fatalf("label = %d, want 2", d.Instances[0].Label)
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	cases := map[string]struct {
+		in      string
+		numVars int
+	}{
+		"row count not multiple of vars": {"0,1,2\n", 2},
+		"inconsistent labels":            {"0,1,2\n1,3,4\n", 2},
+		"label only":                     {"0\n", 1},
+		"bad numVars":                    {"0,1\n", 0},
+	}
+	for name, tc := range cases {
+		if _, err := LoadCSV(strings.NewReader(tc.in), "x", tc.numVars); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestCSVSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# comment\n\n0,1,2\n"
+	d, err := LoadCSV(strings.NewReader(in), "c", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 1 {
+		t.Fatalf("len = %d", d.Len())
+	}
+}
+
+func TestARFFRoundTrip(t *testing.T) {
+	d := mkDataset("arff",
+		mkInstance(0, []float64{1, 2, 3}),
+		mkInstance(1, []float64{4, 5, 6}),
+	)
+	d.ClassNames = []string{"neg", "pos"}
+	var buf bytes.Buffer
+	if err := WriteARFF(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadARFF(&buf, "arff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 || got.Instances[1].Label != 1 {
+		t.Fatalf("round trip mismatch: %+v", got.Instances)
+	}
+	if len(got.ClassNames) != 2 || got.ClassNames[1] != "pos" {
+		t.Fatalf("class names = %v", got.ClassNames)
+	}
+	if got.Instances[0].Values[0][2] != 3 {
+		t.Fatalf("values = %v", got.Instances[0].Values[0])
+	}
+}
+
+func TestARFFMissingValues(t *testing.T) {
+	in := `@relation r
+@attribute t0 numeric
+@attribute t1 numeric
+@attribute class {a,b}
+@data
+1,?,a
+`
+	d, err := LoadARFF(strings.NewReader(in), "r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(d.Instances[0].Values[0][1]) {
+		t.Fatalf("? not parsed as NaN: %v", d.Instances[0].Values[0])
+	}
+}
+
+func TestARFFErrors(t *testing.T) {
+	cases := map[string]string{
+		"no class attr":   "@relation r\n@attribute t0 numeric\n@data\n1\n",
+		"unknown class":   "@relation r\n@attribute t0 numeric\n@attribute class {a}\n@data\n1,zzz\n",
+		"field mismatch":  "@relation r\n@attribute t0 numeric\n@attribute class {a}\n@data\n1,2,a\n",
+		"data before any": "1,2,a\n",
+	}
+	for name, in := range cases {
+		if _, err := LoadARFF(strings.NewReader(in), "x"); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestWriteARFFRejectsMultivariate(t *testing.T) {
+	d := mkDataset("m", mkInstance(0, []float64{1}, []float64{2}))
+	if err := WriteARFF(&bytes.Buffer{}, d); err == nil {
+		t.Fatal("multivariate ARFF write accepted")
+	}
+}

@@ -1,0 +1,140 @@
+package timeseries
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: Interpolate leaves no NaN behind and never touches observed
+// values.
+func TestInterpolateInvariants(t *testing.T) {
+	f := func(raw []float64, mask []bool) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		row := make([]float64, len(raw))
+		observed := map[int]float64{}
+		for i, v := range raw {
+			v = math.Mod(v, 1e6)
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			if i < len(mask) && mask[i] {
+				row[i] = math.NaN()
+			} else {
+				row[i] = v
+				observed[i] = v
+			}
+		}
+		d := &Dataset{Name: "p", Instances: []Instance{{Values: [][]float64{row}}}}
+		d.Interpolate()
+		for i, v := range row {
+			if math.IsNaN(v) {
+				return false
+			}
+			if want, ok := observed[i]; ok && v != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: interpolated gap values lie within the range of the
+// surrounding observed values.
+func TestInterpolateBoundedByNeighbours(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := 3 + rng.Intn(20)
+		row := make([]float64, n)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := range row {
+			if rng.Float64() < 0.4 && i > 0 && i < n-1 {
+				row[i] = math.NaN()
+			} else {
+				row[i] = rng.NormFloat64() * 10
+				if row[i] < lo {
+					lo = row[i]
+				}
+				if row[i] > hi {
+					hi = row[i]
+				}
+			}
+		}
+		if math.IsInf(lo, 1) {
+			continue // nothing observed
+		}
+		d := &Dataset{Name: "p", Instances: []Instance{{Values: [][]float64{row}}}}
+		d.Interpolate()
+		for i, v := range row {
+			if v < lo-1e-9 || v > hi+1e-9 {
+				t.Fatalf("trial %d: filled value row[%d]=%v outside observed range [%v,%v]", trial, i, v, lo, hi)
+			}
+		}
+	}
+}
+
+// Property: Prefix never allocates new values and always returns consistent
+// shapes.
+func TestPrefixProperties(t *testing.T) {
+	f := func(lengthSeed, cut uint8) bool {
+		length := int(lengthSeed%40) + 1
+		row := make([]float64, length)
+		for i := range row {
+			row[i] = float64(i)
+		}
+		in := Instance{Values: [][]float64{row, row}, Label: 1}
+		c := int(cut%60) + 1
+		p := in.Prefix(c)
+		wantLen := c
+		if wantLen > length {
+			wantLen = length
+		}
+		if p.Length() != wantLen || p.NumVars() != 2 || p.Label != 1 {
+			return false
+		}
+		// Values are shared, not copied.
+		return p.Values[0][0] == row[0]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: StratifiedKFold assigns every index to exactly one test fold
+// for arbitrary class distributions.
+func TestStratifiedKFoldPartitionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		n := 10 + rng.Intn(60)
+		classes := 1 + rng.Intn(4)
+		d := &Dataset{Name: "p"}
+		for i := 0; i < n; i++ {
+			d.Instances = append(d.Instances, Instance{Values: [][]float64{{1}}, Label: rng.Intn(classes)})
+		}
+		k := 2 + rng.Intn(4)
+		if n < k {
+			continue
+		}
+		folds, err := StratifiedKFold(d, k, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make([]int, n)
+		for _, f := range folds {
+			for _, idx := range f.Test {
+				seen[idx]++
+			}
+		}
+		for idx, c := range seen {
+			if c != 1 {
+				t.Fatalf("trial %d: index %d in %d test folds", trial, idx, c)
+			}
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package timeseries
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Fold is one train/test partition produced by cross-validation.
+type Fold struct {
+	// Train and Test index into the originating dataset's Instances.
+	Train, Test []int
+}
+
+// StratifiedKFold partitions the dataset's instance indices into k folds
+// preserving class proportions, matching the paper's "stratified random
+// sampling 5-fold cross-validation" protocol. The rng drives the shuffle;
+// the same seed yields the same folds.
+//
+// It returns an error when k < 2 or when any class has fewer instances
+// than k would require to place at least one test instance per fold is NOT
+// enforced — classes smaller than k simply appear in fewer folds, as in the
+// reference implementation.
+func StratifiedKFold(d *Dataset, k int, rng *rand.Rand) ([]Fold, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("stratified k-fold: k must be >= 2, got %d", k)
+	}
+	if d.Len() < k {
+		return nil, fmt.Errorf("stratified k-fold: dataset %q has %d instances, need at least %d", d.Name, d.Len(), k)
+	}
+	// Group indices per class and shuffle within each class.
+	byClass := make([][]int, d.NumClasses())
+	for i, in := range d.Instances {
+		byClass[in.Label] = append(byClass[in.Label], i)
+	}
+	testSets := make([][]int, k)
+	for _, idxs := range byClass {
+		rng.Shuffle(len(idxs), func(i, j int) { idxs[i], idxs[j] = idxs[j], idxs[i] })
+		for pos, idx := range idxs {
+			f := pos % k
+			testSets[f] = append(testSets[f], idx)
+		}
+	}
+	folds := make([]Fold, k)
+	for f := 0; f < k; f++ {
+		inTest := make(map[int]bool, len(testSets[f]))
+		for _, idx := range testSets[f] {
+			inTest[idx] = true
+		}
+		train := make([]int, 0, d.Len()-len(testSets[f]))
+		for i := range d.Instances {
+			if !inTest[i] {
+				train = append(train, i)
+			}
+		}
+		folds[f] = Fold{Train: train, Test: testSets[f]}
+	}
+	return folds, nil
+}
+
+// StratifiedSplit splits the dataset indices into a train and a validation
+// part, where trainFrac in (0,1) is the fraction of each class assigned to
+// the training part (at least one instance per class stays in training).
+func StratifiedSplit(d *Dataset, trainFrac float64, rng *rand.Rand) (train, val []int, err error) {
+	if trainFrac <= 0 || trainFrac >= 1 {
+		return nil, nil, fmt.Errorf("stratified split: trainFrac must be in (0,1), got %g", trainFrac)
+	}
+	byClass := make([][]int, d.NumClasses())
+	for i, in := range d.Instances {
+		byClass[in.Label] = append(byClass[in.Label], i)
+	}
+	for _, idxs := range byClass {
+		if len(idxs) == 0 {
+			continue
+		}
+		rng.Shuffle(len(idxs), func(i, j int) { idxs[i], idxs[j] = idxs[j], idxs[i] })
+		nTrain := int(float64(len(idxs)) * trainFrac)
+		if nTrain < 1 {
+			nTrain = 1
+		}
+		if nTrain == len(idxs) && len(idxs) > 1 {
+			nTrain--
+		}
+		train = append(train, idxs[:nTrain]...)
+		val = append(val, idxs[nTrain:]...)
+	}
+	if len(val) == 0 {
+		return nil, nil, fmt.Errorf("stratified split: validation part is empty (dataset too small)")
+	}
+	return train, val, nil
+}
+
+// Shuffle permutes the dataset's instances in place using rng.
+func (d *Dataset) Shuffle(rng *rand.Rand) {
+	rng.Shuffle(len(d.Instances), func(i, j int) {
+		d.Instances[i], d.Instances[j] = d.Instances[j], d.Instances[i]
+	})
+}

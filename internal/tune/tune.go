@@ -1,0 +1,129 @@
+// Package tune adds MultiETSC-style hyper-parameter selection to the
+// framework — the paper's stated future work ("incorporate hyper parameter
+// tuning techniques as in [31]"). A candidate grid of configurations is
+// scored by internal cross validation on a user metric (the harmonic mean
+// by default) and the winner is refitted on the full training data.
+package tune
+
+import (
+	"fmt"
+
+	"github.com/goetsc/goetsc/internal/core"
+	"github.com/goetsc/goetsc/internal/metrics"
+	ts "github.com/goetsc/goetsc/internal/timeseries"
+)
+
+// Candidate is one configuration under consideration.
+type Candidate struct {
+	// Label names the configuration in reports (e.g. "TEASER S=10").
+	Label string
+	// New builds an untrained classifier with this configuration.
+	New core.Factory
+}
+
+// Config controls the selection procedure.
+type Config struct {
+	// Folds is the internal cross-validation fold count; default 2 (cheap
+	// but unbiased enough for ranking configurations).
+	Folds int
+	// Seed drives fold assignment.
+	Seed int64
+	// Metric scores a cross-validated result; higher is better. Default:
+	// the harmonic mean of accuracy and earliness.
+	Metric func(metrics.Result) float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Folds <= 0 {
+		c.Folds = 2
+	}
+	if c.Metric == nil {
+		c.Metric = func(m metrics.Result) float64 { return m.HarmonicMean }
+	}
+	return c
+}
+
+// Score is one candidate's cross-validated outcome.
+type Score struct {
+	Label  string
+	Value  float64
+	Result metrics.Result
+}
+
+// Select cross-validates every candidate on the training data and returns
+// the winner plus all scores (in candidate order).
+func Select(candidates []Candidate, train *ts.Dataset, cfg Config) (Candidate, []Score, error) {
+	if len(candidates) == 0 {
+		return Candidate{}, nil, fmt.Errorf("tune: no candidates")
+	}
+	cfg = cfg.withDefaults()
+	scores := make([]Score, len(candidates))
+	bestIdx := -1
+	for i, cand := range candidates {
+		avg, _, err := core.Evaluate(cand.New, train, core.EvalConfig{Folds: cfg.Folds, Seed: cfg.Seed})
+		if err != nil {
+			return Candidate{}, nil, fmt.Errorf("tune: candidate %q: %w", cand.Label, err)
+		}
+		value := cfg.Metric(avg)
+		scores[i] = Score{Label: cand.Label, Value: value, Result: avg}
+		if bestIdx < 0 || value > scores[bestIdx].Value {
+			bestIdx = i
+		}
+	}
+	return candidates[bestIdx], scores, nil
+}
+
+// Tuned is an EarlyClassifier that selects among candidate configurations
+// at Fit time and then behaves as the winner. It reports the winner's name
+// suffixed with "(tuned)" until fitted.
+type Tuned struct {
+	// Candidates is the configuration grid (required, non-empty).
+	Candidates []Candidate
+	// Cfg controls the internal selection.
+	Cfg Config
+
+	chosen      core.EarlyClassifier
+	chosenLabel string
+}
+
+// NewTuned wraps a candidate grid.
+func NewTuned(candidates []Candidate, cfg Config) *Tuned {
+	return &Tuned{Candidates: candidates, Cfg: cfg}
+}
+
+// Name implements core.EarlyClassifier.
+func (t *Tuned) Name() string {
+	if t.chosen != nil {
+		return t.chosen.Name()
+	}
+	return "TUNED"
+}
+
+// ChosenLabel reports which candidate won (empty before Fit).
+func (t *Tuned) ChosenLabel() string { return t.chosenLabel }
+
+// Multivariate reports the capability of the first candidate (grids are
+// expected to be homogeneous in this respect).
+func (t *Tuned) Multivariate() bool {
+	if len(t.Candidates) == 0 {
+		return false
+	}
+	return core.IsMultivariate(t.Candidates[0].New())
+}
+
+// Fit selects the best candidate by internal cross validation and refits
+// it on the full training data.
+func (t *Tuned) Fit(train *ts.Dataset) error {
+	best, _, err := Select(t.Candidates, train, t.Cfg)
+	if err != nil {
+		return err
+	}
+	t.chosen = best.New()
+	t.chosenLabel = best.Label
+	return t.chosen.Fit(train)
+}
+
+// Classify delegates to the selected configuration.
+func (t *Tuned) Classify(in ts.Instance) (int, int) {
+	return t.chosen.Classify(in)
+}

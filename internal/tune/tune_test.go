@@ -1,0 +1,170 @@
+package tune
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/goetsc/goetsc/internal/core"
+	"github.com/goetsc/goetsc/internal/metrics"
+	ts "github.com/goetsc/goetsc/internal/timeseries"
+)
+
+// stubAlgo is a test classifier with a controllable decision point: it
+// predicts via the running mean threshold but always consumes `at` points.
+type stubAlgo struct {
+	at  int
+	mid float64
+	bad bool // when set, predictions are inverted (a bad configuration)
+}
+
+func (s *stubAlgo) Name() string { return "STUB" }
+
+func (s *stubAlgo) Fit(train *ts.Dataset) error {
+	var sum0, sum1 float64
+	var n0, n1 int
+	for _, in := range train.Instances {
+		for _, v := range in.Values[0] {
+			if in.Label == 0 {
+				sum0 += v
+				n0++
+			} else {
+				sum1 += v
+				n1++
+			}
+		}
+	}
+	s.mid = (sum0/float64(n0) + sum1/float64(n1)) / 2
+	return nil
+}
+
+func (s *stubAlgo) Classify(in ts.Instance) (int, int) {
+	at := s.at
+	if at > in.Length() {
+		at = in.Length()
+	}
+	var sum float64
+	for _, v := range in.Values[0][:at] {
+		sum += v
+	}
+	label := 0
+	if sum/float64(at) > s.mid {
+		label = 1
+	}
+	if s.bad {
+		label = 1 - label
+	}
+	return label, at
+}
+
+func offsetDataset(rng *rand.Rand, n, length int) *ts.Dataset {
+	d := &ts.Dataset{Name: "d"}
+	for i := 0; i < n; i++ {
+		c := i % 2
+		row := make([]float64, length)
+		for t := range row {
+			row[t] = float64(c)*4 + rng.NormFloat64()*0.3
+		}
+		d.Instances = append(d.Instances, ts.Instance{Values: [][]float64{row}, Label: c})
+	}
+	return d
+}
+
+func TestSelectPrefersEarlyAccurateCandidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := offsetDataset(rng, 60, 20)
+	candidates := []Candidate{
+		{Label: "late", New: func() core.EarlyClassifier { return &stubAlgo{at: 20} }},
+		{Label: "early", New: func() core.EarlyClassifier { return &stubAlgo{at: 4} }},
+		{Label: "broken", New: func() core.EarlyClassifier { return &stubAlgo{at: 4, bad: true} }},
+	}
+	best, scores, err := Select(candidates, d, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Label != "early" {
+		t.Fatalf("selected %q, want early (scores: %+v)", best.Label, scores)
+	}
+	if len(scores) != 3 {
+		t.Fatalf("scores = %d", len(scores))
+	}
+	// Early accurate wins on harmonic mean; the late candidate's HM is 0
+	// (earliness 1) just like the broken one's (accuracy 0).
+	if !(scores[1].Value > scores[0].Value && scores[1].Value > scores[2].Value) {
+		t.Fatalf("score ordering wrong: %+v", scores)
+	}
+}
+
+func TestSelectCustomMetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := offsetDataset(rng, 40, 20)
+	candidates := []Candidate{
+		{Label: "late", New: func() core.EarlyClassifier { return &stubAlgo{at: 20} }},
+		{Label: "early-bad", New: func() core.EarlyClassifier { return &stubAlgo{at: 2, bad: true} }},
+	}
+	// Pure accuracy must prefer the late accurate candidate.
+	best, _, err := Select(candidates, d, Config{
+		Seed:   2,
+		Metric: func(m metrics.Result) float64 { return m.Accuracy },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Label != "late" {
+		t.Fatalf("accuracy metric selected %q", best.Label)
+	}
+}
+
+func TestTunedLifecycle(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := offsetDataset(rng, 60, 20)
+	tuned := NewTuned([]Candidate{
+		{Label: "late", New: func() core.EarlyClassifier { return &stubAlgo{at: 20} }},
+		{Label: "early", New: func() core.EarlyClassifier { return &stubAlgo{at: 4} }},
+	}, Config{Seed: 3})
+	if tuned.Name() != "TUNED" {
+		t.Fatalf("pre-fit name = %q", tuned.Name())
+	}
+	if err := tuned.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	if tuned.ChosenLabel() != "early" {
+		t.Fatalf("chosen = %q", tuned.ChosenLabel())
+	}
+	if tuned.Name() != "STUB" {
+		t.Fatalf("post-fit name = %q", tuned.Name())
+	}
+	correct := 0
+	for _, in := range d.Instances {
+		label, consumed := tuned.Classify(in)
+		if consumed != 4 {
+			t.Fatalf("consumed = %d, want the early candidate's 4", consumed)
+		}
+		if label == in.Label {
+			correct++
+		}
+	}
+	if correct < 55 {
+		t.Fatalf("tuned accuracy = %d/60", correct)
+	}
+}
+
+func TestSelectErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	d := offsetDataset(rng, 20, 10)
+	if _, _, err := Select(nil, d, Config{}); err == nil {
+		t.Fatal("empty candidates accepted")
+	}
+}
+
+func TestTunedMultivariateCapability(t *testing.T) {
+	tuned := NewTuned([]Candidate{
+		{Label: "uni", New: func() core.EarlyClassifier { return &stubAlgo{at: 3} }},
+	}, Config{})
+	if tuned.Multivariate() {
+		t.Fatal("univariate candidate reported as multivariate")
+	}
+	empty := NewTuned(nil, Config{})
+	if empty.Multivariate() {
+		t.Fatal("empty grid reported as multivariate")
+	}
+}
