@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test bench figures data tune clean
+.PHONY: all build vet race test bench figures data tune clean
 
 all: build vet test
 
@@ -12,7 +12,12 @@ build:
 vet:
 	$(GO) vet ./...
 
-test:
+# Race-check the concurrent paths: the obs collector (journal/metrics are
+# written from many goroutines) and the budget-bounded evaluation runner.
+race:
+	$(GO) test -race ./internal/obs/... ./internal/core/...
+
+test: vet race
 	$(GO) test ./...
 
 # One benchmark per paper table/figure + per-algorithm and ablation benches.

@@ -7,6 +7,7 @@
 //	etsc-bench -preset paper -scale 1      # Table 4 parameters on full-size data
 //	etsc-bench -fig 11,13 -datasets PowerCons,Biological -algorithms ECEC,TEASER
 //	etsc-bench -per-dataset                # supplementary per-dataset tables
+//	etsc-bench -journal run.jsonl -metrics-out metrics.prom -pprof-addr localhost:6060
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 
 	"github.com/goetsc/goetsc/internal/bench"
 	"github.com/goetsc/goetsc/internal/metrics"
+	"github.com/goetsc/goetsc/internal/obs"
 	"github.com/goetsc/goetsc/internal/report"
 )
 
@@ -37,7 +39,16 @@ func main() {
 		svgDir       = flag.String("svg", "", "when set, also write figure9a..figure13 as SVG files into this directory")
 		claims       = flag.Bool("claims", false, "check the paper's qualitative findings against this run")
 	)
+	var obsFlags obs.Flags
+	obsFlags.Register(flag.CommandLine)
 	flag.Parse()
+
+	col, obsCleanup, err := obsFlags.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "etsc-bench: %v\n", err)
+		os.Exit(1)
+	}
+	defer obsCleanup()
 
 	preset := bench.Fast
 	switch strings.ToLower(*presetFlag) {
@@ -57,6 +68,7 @@ func main() {
 		Seed:        *seed,
 		TrainBudget: *budget,
 		Preset:      preset,
+		Obs:         col,
 	}
 	if !*quiet {
 		cfg.Progress = os.Stderr
@@ -72,6 +84,7 @@ func main() {
 	check := func(err error) {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "etsc-bench: %v\n", err)
+			obsCleanup() // flush journal/metrics/profiles before exiting
 			os.Exit(1)
 		}
 	}

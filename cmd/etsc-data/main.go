@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"github.com/goetsc/goetsc/internal/datasets"
+	"github.com/goetsc/goetsc/internal/obs"
 	ts "github.com/goetsc/goetsc/internal/timeseries"
 )
 
@@ -28,7 +29,16 @@ func main() {
 		outDir      = flag.String("out", "data", "output directory")
 		format      = flag.String("format", "csv", "output format: csv or arff (arff: univariate only)")
 	)
+	var obsFlags obs.Flags
+	obsFlags.RegisterProfile(flag.CommandLine)
 	flag.Parse()
+
+	_, obsCleanup, err := obsFlags.Start()
+	if err != nil {
+		fail(err)
+	}
+	defer obsCleanup()
+	cleanup = obsCleanup
 
 	specs := datasets.All()
 	if *datasetFlag != "" {
@@ -79,7 +89,12 @@ func writeFile(path string, write func(*os.File) error) error {
 	return f.Close()
 }
 
+// cleanup flushes profiling output; fail routes through it so -cpuprofile
+// files stay valid even when generation aborts.
+var cleanup = func() {}
+
 func fail(err error) {
 	fmt.Fprintf(os.Stderr, "etsc-data: %v\n", err)
+	cleanup()
 	os.Exit(1)
 }

@@ -18,6 +18,7 @@ import (
 	"github.com/goetsc/goetsc/internal/bench"
 	"github.com/goetsc/goetsc/internal/core"
 	"github.com/goetsc/goetsc/internal/datasets"
+	"github.com/goetsc/goetsc/internal/obs"
 	"github.com/goetsc/goetsc/internal/report"
 )
 
@@ -28,7 +29,16 @@ func main() {
 		seed       = flag.Int64("seed", 42, "random seed for Table 3 data")
 		presetFlag = flag.String("preset", "paper", "preset shown in Table 4: paper or fast")
 	)
+	var obsFlags obs.Flags
+	obsFlags.RegisterProfile(flag.CommandLine)
 	flag.Parse()
+
+	_, obsCleanup, err := obsFlags.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "etsc-info: %v\n", err)
+		os.Exit(1)
+	}
+	defer obsCleanup()
 
 	preset := bench.Paper
 	if strings.EqualFold(*presetFlag, "fast") {
@@ -38,6 +48,7 @@ func main() {
 	check := func(err error) {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "etsc-info: %v\n", err)
+			obsCleanup()
 			os.Exit(1)
 		}
 	}

@@ -1,9 +1,10 @@
 // Command etsc-run evaluates one ETSC algorithm on one dataset and prints
 // a detailed per-fold report — the fine-grained companion to etsc-bench.
 //
-// Usage example:
+// Usage examples:
 //
 //	etsc-run -algorithm TEASER -dataset PowerCons -scale 0.5 -preset paper
+//	etsc-run -algorithm ECEC -dataset Biological -journal run.jsonl -cpuprofile cpu.out
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"github.com/goetsc/goetsc/internal/bench"
 	"github.com/goetsc/goetsc/internal/core"
 	"github.com/goetsc/goetsc/internal/datasets"
+	"github.com/goetsc/goetsc/internal/obs"
 )
 
 func main() {
@@ -27,7 +29,15 @@ func main() {
 		presetFlag  = flag.String("preset", "fast", "parameter preset: paper or fast")
 		budget      = flag.Duration("budget", 0, "per-fold training budget (0 = unlimited)")
 	)
+	var obsFlags obs.Flags
+	obsFlags.Register(flag.CommandLine)
 	flag.Parse()
+
+	col, obsCleanup, err := obsFlags.Start()
+	if err != nil {
+		fail(err)
+	}
+	defer obsCleanup()
 
 	preset := bench.Fast
 	if strings.EqualFold(*presetFlag, "paper") {
@@ -36,10 +46,19 @@ func main() {
 
 	spec, err := datasets.ByName(*datasetName)
 	if err != nil {
-		fail(err)
+		failWith(obsCleanup, err)
 	}
+	run := col.Start("run",
+		obs.String("dataset", *datasetName), obs.String("algorithm", *algoName),
+		obs.Float("scale", *scale), obs.Int("folds", *folds))
+	dspan := run.Start("dataset", obs.String("name", spec.Name))
+	gspan := dspan.Start("generate")
 	d := spec.Generate(*scale, *seed)
+	gspan.End()
+	ispan := dspan.Start("interpolate")
 	d.Interpolate()
+	ispan.End()
+	dspan.End()
 	profile := core.Categorize(d)
 	fmt.Printf("dataset %s: N=%d L=%d vars=%d classes=%d CoV=%.3f CIR=%.2f categories=%v\n",
 		d.Name, profile.Height, profile.Length, profile.NumVars, profile.NumClasses,
@@ -47,17 +66,22 @@ func main() {
 
 	factories := bench.AlgorithmsByName(spec.Name, preset, *seed, []string{*algoName})
 	if len(factories) == 0 {
-		fail(fmt.Errorf("unknown algorithm %q (want one of %v)", *algoName, bench.AlgorithmNames()))
+		run.End()
+		failWith(obsCleanup, fmt.Errorf("unknown algorithm %q (want one of %v)", *algoName, bench.AlgorithmNames()))
 	}
 	factory := factories[0]
 
+	aspan := run.Start("algorithm", obs.String("name", factory.Name))
 	avg, foldResults, err := core.Evaluate(factory.New, d, core.EvalConfig{
 		Folds:       *folds,
 		Seed:        *seed,
 		TrainBudget: *budget,
+		Obs:         aspan,
 	})
+	aspan.End()
+	run.End()
 	if err != nil {
-		fail(err)
+		failWith(obsCleanup, err)
 	}
 	for i, r := range foldResults {
 		fmt.Printf("fold %d: %s\n", i+1, r)
@@ -67,5 +91,13 @@ func main() {
 
 func fail(err error) {
 	fmt.Fprintf(os.Stderr, "etsc-run: %v\n", err)
+	os.Exit(1)
+}
+
+// failWith flushes the observability sinks before exiting, so a failed
+// run still leaves a complete journal prefix and profile files.
+func failWith(cleanup func(), err error) {
+	fmt.Fprintf(os.Stderr, "etsc-run: %v\n", err)
+	cleanup()
 	os.Exit(1)
 }

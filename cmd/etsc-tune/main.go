@@ -22,6 +22,7 @@ import (
 	"github.com/goetsc/goetsc/internal/core"
 	"github.com/goetsc/goetsc/internal/datasets"
 	"github.com/goetsc/goetsc/internal/metrics"
+	"github.com/goetsc/goetsc/internal/obs"
 	ts "github.com/goetsc/goetsc/internal/timeseries"
 	"github.com/goetsc/goetsc/internal/tune"
 	"github.com/goetsc/goetsc/internal/weasel"
@@ -35,7 +36,16 @@ func main() {
 		seed        = flag.Int64("seed", 42, "random seed")
 		metricName  = flag.String("metric", "hm", "selection metric: hm, accuracy or f1")
 	)
+	var obsFlags obs.Flags
+	obsFlags.Register(flag.CommandLine)
 	flag.Parse()
+
+	col, obsCleanup, err := obsFlags.Start()
+	if err != nil {
+		fail(err)
+	}
+	defer obsCleanup()
+	cleanup = obsCleanup
 
 	spec, err := datasets.ByName(*datasetName)
 	if err != nil {
@@ -64,9 +74,13 @@ func main() {
 		}
 	}
 
-	cfg := tune.Config{Seed: *seed, Metric: metric(*metricName)}
+	root := col.Start("tune",
+		obs.String("algorithm", *algoName), obs.String("dataset", *datasetName),
+		obs.Int("candidates", len(candidates)))
+	cfg := tune.Config{Seed: *seed, Metric: metric(*metricName), Obs: root}
 	best, scores, err := tune.Select(candidates, train, cfg)
 	if err != nil {
+		root.End()
 		fail(err)
 	}
 	fmt.Printf("tuning %s on %s (%d candidates, metric %s):\n\n", *algoName, d.Name, len(candidates), *metricName)
@@ -79,10 +93,15 @@ func main() {
 	}
 
 	// Refit the winner on the full training part and score held-out data.
+	refit := root.Start("refit", obs.String("label", best.Label))
 	winner := best.New()
 	if err := winner.Fit(train); err != nil {
+		refit.End()
+		root.End()
 		fail(err)
 	}
+	refit.End()
+	root.End()
 	cm := metrics.NewConfusionMatrix(d.NumClasses())
 	var consumed, lengths []int
 	for _, in := range test.Instances {
@@ -153,7 +172,12 @@ func metric(name string) func(metrics.Result) float64 {
 	}
 }
 
+// cleanup flushes the observability sinks; fail routes through it so an
+// aborted tuning run still leaves a complete journal prefix.
+var cleanup = func() {}
+
 func fail(err error) {
 	fmt.Fprintf(os.Stderr, "etsc-tune: %v\n", err)
+	cleanup()
 	os.Exit(1)
 }

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
 	"math"
 	"strings"
 	"sync"
@@ -10,6 +11,7 @@ import (
 
 	"github.com/goetsc/goetsc/internal/core"
 	"github.com/goetsc/goetsc/internal/metrics"
+	"github.com/goetsc/goetsc/internal/obs"
 )
 
 var (
@@ -232,5 +234,104 @@ func TestExtensionAlgorithmsByExplicitNameOnly(t *testing.T) {
 	}
 	if sr[0].BatchLen(60) != 10 {
 		t.Fatalf("SR batch = %d, want 10 (ceil(60/6))", sr[0].BatchLen(60))
+	}
+}
+
+func TestRunObservabilityAndProgress(t *testing.T) {
+	var progress, journal bytes.Buffer
+	reg := obs.NewRegistry()
+	col := obs.New(obs.Options{Journal: obs.NewJournal(&journal), Metrics: reg})
+	res, err := Run(RunConfig{
+		Datasets:   []string{"PowerCons"},
+		Algorithms: []string{"ECTS", "TEASER"},
+		Scale:      0.12,
+		Folds:      2,
+		Seed:       3,
+		Preset:     Fast,
+		Progress:   &progress,
+		Obs:        col,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Algorithm run order is collected once, in paper order.
+	if len(res.Algos) != 2 || res.Algos[0] != "ECTS" || res.Algos[1] != "TEASER" {
+		t.Fatalf("Algos = %v", res.Algos)
+	}
+	// Progress lines report completion count, per-cell duration and ETA.
+	lines := strings.Split(strings.TrimSpace(progress.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("progress lines = %d:\n%s", len(lines), progress.String())
+	}
+	if !strings.HasPrefix(lines[0], "[1/2] ") || !strings.HasPrefix(lines[1], "[2/2] ") {
+		t.Fatalf("progress counters wrong:\n%s", progress.String())
+	}
+	for _, l := range lines {
+		if !strings.Contains(l, "cell ") || !strings.Contains(l, "ETA ") {
+			t.Fatalf("progress line missing duration/ETA: %q", l)
+		}
+	}
+	// The journal carries the span hierarchy and one record per cell.
+	types := map[string]int{}
+	paths := map[string]int{}
+	for _, line := range strings.Split(strings.TrimSpace(journal.String()), "\n") {
+		var rec struct {
+			Type string `json:"type"`
+			Path string `json:"path"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("journal line %q: %v", line, err)
+		}
+		types[rec.Type]++
+		if rec.Type == "span" {
+			paths[rec.Path]++
+		}
+	}
+	if types["cell"] != 2 {
+		t.Fatalf("cell records = %d, want 2", types["cell"])
+	}
+	for _, want := range []string{
+		"run",
+		"run/dataset",
+		"run/dataset/generate",
+		"run/dataset/interpolate",
+		"run/dataset/algorithm",
+		"run/dataset/algorithm/fold",
+		"run/dataset/algorithm/fold/fit",
+		"run/dataset/algorithm/fold/classify",
+	} {
+		if paths[want] == 0 {
+			t.Fatalf("journal missing span path %q; have %v", want, paths)
+		}
+	}
+	// Metrics counted every cell and fed the latency histograms.
+	if got := reg.Counter("etsc_cells_total", "").Value(); got != 2 {
+		t.Fatalf("etsc_cells_total = %d", got)
+	}
+	if got := reg.Histogram("etsc_fit_duration_seconds", "", obs.DurationBuckets).Count(); got != 4 {
+		t.Fatalf("fit observations = %d, want 4 (2 cells x 2 folds)", got)
+	}
+}
+
+func TestRunAlgosStableAcrossDatasetOrder(t *testing.T) {
+	// Restricting algorithms must yield the same deterministic run-order
+	// list regardless of which datasets participate.
+	a, err := Run(RunConfig{Datasets: []string{"PowerCons"}, Algorithms: []string{"TEASER", "ECTS"},
+		Scale: 0.1, Folds: 2, Seed: 4, Preset: Fast})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(RunConfig{Datasets: []string{"Biological", "PowerCons"}, Algorithms: []string{"TEASER", "ECTS"},
+		Scale: 0.1, Folds: 2, Seed: 4, Preset: Fast})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Algos) != 2 || len(b.Algos) != 2 {
+		t.Fatalf("Algos = %v / %v", a.Algos, b.Algos)
+	}
+	for i := range a.Algos {
+		if a.Algos[i] != b.Algos[i] {
+			t.Fatalf("run order differs: %v vs %v", a.Algos, b.Algos)
+		}
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"github.com/goetsc/goetsc/internal/core"
 	"github.com/goetsc/goetsc/internal/datasets"
 	"github.com/goetsc/goetsc/internal/metrics"
+	"github.com/goetsc/goetsc/internal/obs"
 	ts "github.com/goetsc/goetsc/internal/timeseries"
 )
 
@@ -29,8 +30,13 @@ type RunConfig struct {
 	TrainBudget time.Duration
 	// Preset selects Paper (Table 4) or Fast parameters.
 	Preset Preset
-	// Progress, when non-nil, receives one line per completed cell.
+	// Progress, when non-nil, receives one line per completed cell with
+	// completion count, per-cell duration and a running ETA.
 	Progress io.Writer
+	// Obs, when non-nil, receives the run's span hierarchy (run →
+	// dataset → algorithm → fold → fit/classify), one journal record per
+	// completed cell, and latency metrics. The zero value is a no-op.
+	Obs *obs.Collector
 }
 
 // Cell is one dataset × algorithm evaluation outcome.
@@ -82,12 +88,44 @@ func Run(cfg RunConfig) (*Results, error) {
 		Freq:     map[string]time.Duration{},
 		Length:   map[string]int{},
 	}
-	for _, spec := range specs {
+
+	// Plan the whole matrix up front: the factory lists give the total
+	// cell count for progress/ETA reporting, and the run-order algorithm
+	// list is collected once, deterministically, instead of being grown
+	// per-dataset (which could interleave names when datasets yield
+	// different factory sets).
+	plans := make([][]NamedFactory, len(specs))
+	totalCells := 0
+	seen := map[string]bool{}
+	for i, spec := range specs {
+		plans[i] = AlgorithmsByName(spec.Name, cfg.Preset, cfg.Seed, cfg.Algorithms)
+		totalCells += len(plans[i])
+		for _, f := range plans[i] {
+			if !seen[f.Name] {
+				seen[f.Name] = true
+				res.Algos = append(res.Algos, f.Name)
+			}
+		}
+	}
+
+	run := cfg.Obs.Start("run",
+		obs.Float("scale", cfg.Scale), obs.Int("folds", cfg.Folds),
+		obs.Int("datasets", len(specs)), obs.Int("cells", totalCells))
+	defer run.End()
+
+	runStart := time.Now()
+	completed := 0
+	for i, spec := range specs {
+		dspan := run.Start("dataset", obs.String("name", spec.Name))
+		gspan := dspan.Start("generate")
 		d := spec.Generate(cfg.Scale, cfg.Seed)
+		gspan.End()
 		// Repair any missing values (the framework's Section 5.1 rule);
 		// varying-length instances are handled by the algorithms
 		// themselves.
+		ispan := dspan.Start("interpolate")
 		d.Interpolate()
+		ispan.End()
 		// Category flags always come from the paper-size characteristics:
 		// a scaled run must still aggregate LSST under "Large" even when
 		// only a fraction of its instances are evaluated. Generation is
@@ -101,19 +139,24 @@ func Run(cfg RunConfig) (*Results, error) {
 		res.Freq[spec.Name] = d.Freq
 		res.Length[spec.Name] = d.MaxLength()
 
-		factories := AlgorithmsByName(spec.Name, cfg.Preset, cfg.Seed, cfg.Algorithms)
-		for _, f := range factories {
-			if len(res.Algos) < len(factories) {
-				res.Algos = append(res.Algos, f.Name)
-			}
+		for _, f := range plans[i] {
+			aspan := dspan.Start("algorithm",
+				obs.String("name", f.Name), obs.String("dataset", spec.Name))
+			cellStart := time.Now()
 			avg, _, err := core.Evaluate(f.New, d, core.EvalConfig{
 				Folds:       cfg.Folds,
 				Seed:        cfg.Seed,
 				TrainBudget: cfg.TrainBudget,
+				Obs:         aspan,
 			})
 			if err != nil {
+				aspan.Event("error", obs.String("error", err.Error()))
+				aspan.End()
 				return nil, fmt.Errorf("bench: %s on %s: %w", f.Name, spec.Name, err)
 			}
+			cellDur := time.Since(cellStart)
+			aspan.SetAttr(obs.Bool("timed_out", avg.TimedOut))
+			aspan.End()
 			cell := Cell{
 				Dataset:   spec.Name,
 				Algorithm: f.Name,
@@ -121,12 +164,59 @@ func Run(cfg RunConfig) (*Results, error) {
 				BatchLen:  f.BatchLen(d.MaxLength()),
 			}
 			res.Cells = append(res.Cells, cell)
+			completed++
+			cfg.Obs.Emit("cell", map[string]any{
+				"dataset":     cell.Dataset,
+				"algorithm":   cell.Algorithm,
+				"accuracy":    avg.Accuracy,
+				"macro_f1":    avg.MacroF1,
+				"earliness":   avg.Earliness,
+				"harmonic":    avg.HarmonicMean,
+				"train_ms":    float64(avg.TrainTime) / float64(time.Millisecond),
+				"test_ms":     float64(avg.TestTime) / float64(time.Millisecond),
+				"num_test":    avg.NumTest,
+				"timed_out":   avg.TimedOut,
+				"batch_len":   cell.BatchLen,
+				"cell_ms":     float64(cellDur) / float64(time.Millisecond),
+				"completed":   completed,
+				"total_cells": totalCells,
+			})
+			cfg.Obs.Registry().Counter("etsc_cells_total",
+				"Completed dataset × algorithm cells.").Inc()
+			if avg.TimedOut {
+				cfg.Obs.Registry().Counter("etsc_train_timeouts_total",
+					"Cells disqualified by the training budget.").Inc()
+			}
 			if cfg.Progress != nil {
-				fmt.Fprintf(cfg.Progress, "%s\n", avg.String())
+				fmt.Fprintf(cfg.Progress, "[%d/%d] %s (cell %s, ETA %s)\n",
+					completed, totalCells, avg.String(),
+					roundDuration(cellDur), eta(runStart, completed, totalCells))
 			}
 		}
+		dspan.End()
 	}
 	return res, nil
+}
+
+// eta projects the remaining wall time from the average completed-cell
+// duration — the same data the journal's cell records carry.
+func eta(start time.Time, completed, total int) string {
+	if completed <= 0 || completed >= total {
+		return "0s"
+	}
+	perCell := time.Since(start) / time.Duration(completed)
+	return roundDuration(perCell * time.Duration(total-completed)).String()
+}
+
+func roundDuration(d time.Duration) time.Duration {
+	switch {
+	case d >= time.Minute:
+		return d.Round(time.Second)
+	case d >= time.Second:
+		return d.Round(10 * time.Millisecond)
+	default:
+		return d.Round(time.Millisecond)
+	}
 }
 
 // Get returns the cell for one dataset × algorithm pair.

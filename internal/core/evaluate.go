@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/goetsc/goetsc/internal/metrics"
+	"github.com/goetsc/goetsc/internal/obs"
 	ts "github.com/goetsc/goetsc/internal/timeseries"
 )
 
@@ -21,6 +22,9 @@ type EvalConfig struct {
 	// Wide datasets). A fold that exceeds the budget is marked TimedOut;
 	// its training goroutine is abandoned.
 	TrainBudget time.Duration
+	// Obs, when non-nil, receives one child span per fold (with nested
+	// fit/classify spans and timeout events). The zero value is a no-op.
+	Obs *obs.Span
 }
 
 func (c EvalConfig) withDefaults() EvalConfig {
@@ -46,7 +50,10 @@ func Evaluate(factory Factory, d *ts.Dataset, cfg EvalConfig) (metrics.Result, [
 	}
 	var results []metrics.Result
 	for f, fold := range folds {
-		r, err := EvaluateFold(factory, d, fold, cfg.TrainBudget)
+		span := cfg.Obs.Start("fold", obs.Int("index", f),
+			obs.Int("train_size", len(fold.Train)), obs.Int("test_size", len(fold.Test)))
+		r, err := EvaluateFold(factory, d, fold, cfg.TrainBudget, span)
+		span.End()
 		if err != nil {
 			return metrics.Result{}, nil, fmt.Errorf("evaluate: fold %d: %w", f, err)
 		}
@@ -62,8 +69,10 @@ func Evaluate(factory Factory, d *ts.Dataset, cfg EvalConfig) (metrics.Result, [
 }
 
 // EvaluateFold trains on the fold's training indices and scores the test
-// indices, measuring wall-clock training and testing time.
-func EvaluateFold(factory Factory, d *ts.Dataset, fold ts.Fold, budget time.Duration) (metrics.Result, error) {
+// indices, measuring wall-clock training and testing time. The span (nil
+// for no instrumentation) receives nested fit/classify spans plus
+// train_timeout / goroutine_abandoned events when the budget expires.
+func EvaluateFold(factory Factory, d *ts.Dataset, fold ts.Fold, budget time.Duration, span *obs.Span) (metrics.Result, error) {
 	algo := factory()
 	if d.NumVars() > 1 && !IsMultivariate(algo) {
 		base := factory
@@ -74,31 +83,50 @@ func EvaluateFold(factory Factory, d *ts.Dataset, fold ts.Fold, budget time.Dura
 	train := d.Subset(fold.Train)
 	test := d.Subset(fold.Test)
 
+	fit := span.Start("fit", obs.String("algorithm", result.Algorithm))
 	start := time.Now()
 	if budget > 0 {
 		done := make(chan error, 1)
 		go func() { done <- algo.Fit(train) }()
+		// A stopped timer (unlike time.After) releases its runtime
+		// resources immediately, so the happy path leaks nothing.
+		timer := time.NewTimer(budget)
 		select {
 		case err := <-done:
+			timer.Stop()
 			if err != nil {
+				fit.End()
 				return result, err
 			}
-		case <-time.After(budget):
+		case <-timer.C:
 			// Ask cooperative algorithms to abandon the training loop so
 			// the leaked goroutine stops consuming CPU; others finish in
-			// the background and are discarded.
-			if s, ok := algo.(Stoppable); ok {
+			// the background and are discarded. Either way the goroutine
+			// is abandoned — journal it so leaked trainers are visible.
+			s, stoppable := algo.(Stoppable)
+			if stoppable {
 				s.Stop()
 			}
+			fit.Event("train_timeout",
+				obs.Float("budget_ms", float64(budget)/float64(time.Millisecond)),
+				obs.String("algorithm", result.Algorithm))
+			fit.Event("goroutine_abandoned",
+				obs.String("algorithm", result.Algorithm),
+				obs.Bool("stop_requested", stoppable))
 			result.TimedOut = true
 			result.TrainTime = budget
+			fit.SetAttr(obs.Bool("timed_out", true))
+			fit.End()
 			return result, nil
 		}
 	} else if err := algo.Fit(train); err != nil {
+		fit.End()
 		return result, err
 	}
 	result.TrainTime = time.Since(start)
+	fit.End()
 
+	classify := span.Start("classify", obs.String("algorithm", result.Algorithm))
 	cm := metrics.NewConfusionMatrix(d.NumClasses())
 	consumed := make([]int, 0, test.Len())
 	lengths := make([]int, 0, test.Len())
@@ -113,6 +141,8 @@ func EvaluateFold(factory Factory, d *ts.Dataset, fold ts.Fold, budget time.Dura
 		lengths = append(lengths, in.Length())
 	}
 	result.TestTime = time.Since(testStart)
+	classify.SetAttr(obs.Int("instances", test.Len()))
+	classify.End()
 	result.NumTest = test.Len()
 	result.Accuracy = cm.Accuracy()
 	result.MacroF1 = cm.MacroF1()

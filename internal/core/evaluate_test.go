@@ -1,0 +1,155 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/goetsc/goetsc/internal/obs"
+	ts "github.com/goetsc/goetsc/internal/timeseries"
+)
+
+// budgetHog is a deliberately slow Stoppable fake: Fit blocks until Stop
+// is called (or a long safety timeout) and records whether Stop arrived.
+type budgetHog struct {
+	meanThreshold
+	stop    chan struct{}
+	stopped atomic.Bool
+}
+
+func newBudgetHog() *budgetHog { return &budgetHog{stop: make(chan struct{})} }
+
+func (b *budgetHog) Fit(train *ts.Dataset) error {
+	select {
+	case <-b.stop:
+	case <-time.After(10 * time.Second):
+	}
+	return nil
+}
+
+func (b *budgetHog) Stop() {
+	b.stopped.Store(true)
+	close(b.stop)
+}
+
+func TestTrainBudgetTimeoutPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	d := offsetDataset("budget", 24, 10, 1, rng)
+	var created []*budgetHog
+	factory := func() EarlyClassifier {
+		h := newBudgetHog()
+		created = append(created, h)
+		return h
+	}
+	const budget = 30 * time.Millisecond
+	avg, folds, err := Evaluate(factory, d, EvalConfig{Folds: 4, Seed: 5, TrainBudget: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !avg.TimedOut {
+		t.Fatal("average not marked TimedOut")
+	}
+	// One cutoff disqualifies the run: the fold loop must break after the
+	// first timed-out fold rather than burn the budget three more times.
+	if len(folds) != 1 {
+		t.Fatalf("fold loop ran %d folds after a timeout, want early break at 1", len(folds))
+	}
+	if folds[0].TrainTime != budget {
+		t.Fatalf("TrainTime = %v, want the budget %v", folds[0].TrainTime, budget)
+	}
+	if len(created) != 1 {
+		t.Fatalf("factory invoked %d times, want 1", len(created))
+	}
+	if !created[0].stopped.Load() {
+		t.Fatal("Stop() was never called on the abandoned trainer")
+	}
+}
+
+func TestTimeoutEventsReachJournal(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	d := offsetDataset("journal", 24, 10, 1, rng)
+	var buf bytes.Buffer
+	col := obs.New(obs.Options{Journal: obs.NewJournal(&buf)})
+	root := col.Start("algorithm")
+	_, _, err := Evaluate(func() EarlyClassifier { return newBudgetHog() }, d,
+		EvalConfig{Folds: 2, Seed: 6, TrainBudget: 20 * time.Millisecond, Obs: root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	var timeouts, abandoned, foldSpans, fitSpans int
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var rec struct {
+			Type  string         `json:"type"`
+			Name  string         `json:"name"`
+			Path  string         `json:"path"`
+			Attrs map[string]any `json:"attrs"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("journal line %q: %v", line, err)
+		}
+		switch {
+		case rec.Type == "event" && rec.Name == "train_timeout":
+			timeouts++
+			if rec.Path != "algorithm/fold/fit" {
+				t.Fatalf("timeout event path = %q", rec.Path)
+			}
+		case rec.Type == "event" && rec.Name == "goroutine_abandoned":
+			abandoned++
+			if rec.Attrs["stop_requested"] != true {
+				t.Fatalf("goroutine_abandoned attrs = %v", rec.Attrs)
+			}
+		case rec.Type == "span" && rec.Name == "fold":
+			foldSpans++
+		case rec.Type == "span" && rec.Name == "fit":
+			fitSpans++
+			if rec.Attrs["timed_out"] != true {
+				t.Fatalf("fit span not marked timed_out: %v", rec.Attrs)
+			}
+		}
+	}
+	if timeouts != 1 || abandoned != 1 {
+		t.Fatalf("events: %d train_timeout, %d goroutine_abandoned; want 1 each", timeouts, abandoned)
+	}
+	if foldSpans != 1 || fitSpans != 1 {
+		t.Fatalf("spans: %d fold, %d fit; want 1 each (early break)", foldSpans, fitSpans)
+	}
+}
+
+func TestEvaluateFoldSpansNest(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	d := offsetDataset("spans", 30, 10, 1, rng)
+	var buf bytes.Buffer
+	col := obs.New(obs.Options{Journal: obs.NewJournal(&buf)})
+	root := col.Start("algorithm", obs.String("name", "MEANTH"))
+	_, folds, err := Evaluate(func() EarlyClassifier { return &meanThreshold{} }, d,
+		EvalConfig{Folds: 3, Seed: 7, Obs: root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	if len(folds) != 3 {
+		t.Fatalf("folds = %d", len(folds))
+	}
+	paths := map[string]int{}
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var rec struct {
+			Type string `json:"type"`
+			Path string `json:"path"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatal(err)
+		}
+		if rec.Type == "span" {
+			paths[rec.Path]++
+		}
+	}
+	if paths["algorithm/fold"] != 3 || paths["algorithm/fold/fit"] != 3 || paths["algorithm/fold/classify"] != 3 {
+		t.Fatalf("span paths = %v", paths)
+	}
+}

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Flags bundles the standard observability CLI flags so every command
+// wires them identically. Register the wanted subset, then call Start
+// after flag.Parse and defer the returned cleanup.
+type Flags struct {
+	Journal    string
+	MetricsOut string
+	CPUProfile string
+	MemProfile string
+	PprofAddr  string
+}
+
+// Register adds the full flag set: journal, metrics export and profiling.
+func (f *Flags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.Journal, "journal", "", "stream a JSONL run journal (spans, events, cells) to this file")
+	fs.StringVar(&f.MetricsOut, "metrics-out", "", "write metrics on exit: Prometheus text, or JSON when the path ends in .json")
+	f.RegisterProfile(fs)
+}
+
+// RegisterProfile adds only the pprof hooks, for commands (etsc-info,
+// etsc-data) where a run journal has nothing to record.
+func (f *Flags) RegisterProfile(fs *flag.FlagSet) {
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to this file on exit")
+	fs.StringVar(&f.PprofAddr, "pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the whole run")
+}
+
+// Start opens the requested sinks and starts profiling. It returns the
+// collector (Noop when neither -journal nor -metrics-out was given) and
+// an idempotent cleanup that stops profiles, writes the metrics file and
+// closes the journal. Cleanup errors go to stderr: a failed flush should
+// not turn a finished run into a failure.
+func (f *Flags) Start() (*Collector, func(), error) {
+	var (
+		journal     *Journal
+		journalFile *os.File
+		registry    *Registry
+	)
+	if f.Journal != "" {
+		file, err := os.Create(f.Journal)
+		if err != nil {
+			return nil, nil, fmt.Errorf("obs: journal: %w", err)
+		}
+		journalFile = file
+		journal = NewJournal(file)
+	}
+	if f.MetricsOut != "" {
+		registry = NewRegistry()
+	}
+	prof, err := StartProfiling(f.CPUProfile, f.MemProfile, f.PprofAddr)
+	if err != nil {
+		if journalFile != nil {
+			journalFile.Close()
+		}
+		return nil, nil, err
+	}
+	col := New(Options{Journal: journal, Metrics: registry})
+
+	done := false
+	cleanup := func() {
+		if done {
+			return
+		}
+		done = true
+		warn := func(err error) {
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "obs: %v\n", err)
+			}
+		}
+		warn(prof.Stop())
+		if registry != nil {
+			warn(writeMetricsFile(f.MetricsOut, registry))
+		}
+		if journalFile != nil {
+			warn(journal.Err())
+			warn(journalFile.Close())
+		}
+	}
+	return col, cleanup, nil
+}
+
+func writeMetricsFile(path string, r *Registry) error {
+	file, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	if strings.HasSuffix(path, ".json") {
+		err = r.WriteJSON(file)
+	} else {
+		err = r.WritePrometheus(file)
+	}
+	if err != nil {
+		file.Close()
+		return fmt.Errorf("metrics: %w", err)
+	}
+	if err := file.Close(); err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	return nil
+}

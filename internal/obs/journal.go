@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Journal streams newline-delimited JSON records to a writer. It is safe
+// for concurrent use; a nil *Journal discards everything.
+//
+// Record shapes (one object per line):
+//
+//	{"type":"span","name":"fit","path":"run/dataset/algorithm/fold/fit",
+//	 "start":"…","dur_ms":12.3,"alloc_bytes":4096,"mallocs":17,
+//	 "heap_delta_bytes":-512,"goroutines":8,"attrs":{…}}
+//	{"type":"event","name":"train_timeout","path":"…","time":"…","attrs":{…}}
+//	{"type":"cell","time":"…", …cell fields…}
+type Journal struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+}
+
+// NewJournal wraps w; records are written as they arrive so a killed run
+// leaves a complete prefix of the trace.
+func NewJournal(w io.Writer) *Journal {
+	return &Journal{enc: json.NewEncoder(w)}
+}
+
+// Err reports the first write error, if any (a full disk should not kill
+// a multi-hour evaluation run, so writes degrade to no-ops instead).
+func (j *Journal) Err() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+func (j *Journal) write(rec any) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	j.err = j.enc.Encode(rec)
+}
+
+type spanRecord struct {
+	Type       string         `json:"type"`
+	Name       string         `json:"name"`
+	Path       string         `json:"path"`
+	Start      time.Time      `json:"start"`
+	DurMS      float64        `json:"dur_ms"`
+	AllocBytes uint64         `json:"alloc_bytes"`
+	Mallocs    uint64         `json:"mallocs"`
+	HeapDelta  int64          `json:"heap_delta_bytes"`
+	Goroutines int            `json:"goroutines"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+}
+
+type eventRecord struct {
+	Type  string         `json:"type"`
+	Name  string         `json:"name"`
+	Path  string         `json:"path"`
+	Time  time.Time      `json:"time"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+type customRecord struct {
+	Type   string
+	Time   time.Time
+	Fields map[string]any
+}
+
+// MarshalJSON flattens Fields next to type/time so cell records read as
+// one flat object per line.
+func (r customRecord) MarshalJSON() ([]byte, error) {
+	m := make(map[string]any, len(r.Fields)+2)
+	for k, v := range r.Fields {
+		m[k] = v
+	}
+	m["type"] = r.Type
+	m["time"] = r.Time
+	return json.Marshal(m)
+}

@@ -1,0 +1,381 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one constant Prometheus label on a metric instrument.
+type Label struct {
+	Key, Value string
+}
+
+// Registry holds counters, gauges and histograms and renders them in
+// Prometheus text exposition format or JSON. All methods are safe for
+// concurrent use; a nil *Registry hands out nil instruments whose methods
+// are no-ops.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string
+}
+
+type family struct {
+	name, help, typ string
+	instruments     map[string]instrument
+	order           []string
+}
+
+type instrument interface {
+	labels() []Label
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+func (r *Registry) instrument(name, help, typ string, labels []Label, build func() instrument) instrument {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, instruments: map[string]instrument{}}
+		r.families[name] = f
+		r.order = append(r.order, name)
+	}
+	key := labelKey(labels)
+	inst, ok := f.instruments[key]
+	if !ok {
+		inst = build()
+		f.instruments[key] = inst
+		f.order = append(f.order, key)
+	}
+	return inst
+}
+
+// Counter returns the monotonically increasing counter registered under
+// name and labels, creating it on first use.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	inst := r.instrument(name, help, "counter", labels, func() instrument {
+		return &Counter{lbls: copyLabels(labels)}
+	})
+	if inst == nil {
+		return nil
+	}
+	return inst.(*Counter)
+}
+
+// Gauge returns the gauge registered under name and labels, creating it
+// on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	inst := r.instrument(name, help, "gauge", labels, func() instrument {
+		return &Gauge{lbls: copyLabels(labels)}
+	})
+	if inst == nil {
+		return nil
+	}
+	return inst.(*Gauge)
+}
+
+// Histogram returns the fixed-bucket histogram registered under name and
+// labels, creating it on first use. Buckets are upper bounds in ascending
+// order; an implicit +Inf bucket is always present.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	inst := r.instrument(name, help, "histogram", labels, func() instrument {
+		h := &Histogram{lbls: copyLabels(labels), bounds: append([]float64(nil), buckets...)}
+		h.counts = make([]uint64, len(h.bounds)+1)
+		return h
+	})
+	if inst == nil {
+		return nil
+	}
+	return inst.(*Histogram)
+}
+
+// Counter is a monotonically increasing count.
+type Counter struct {
+	lbls []Label
+	v    atomic.Int64
+}
+
+func (c *Counter) labels() []Label { return c.lbls }
+
+// Inc adds one. No-op on nil.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds delta (must be non-negative). No-op on nil.
+func (c *Counter) Add(delta int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(delta)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous value.
+type Gauge struct {
+	lbls []Label
+	bits atomic.Uint64
+}
+
+func (g *Gauge) labels() []Label { return g.lbls }
+
+// Set stores v. No-op on nil.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the stored value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets.
+type Histogram struct {
+	lbls   []Label
+	bounds []float64
+
+	mu     sync.Mutex
+	counts []uint64
+	sum    float64
+	total  uint64
+}
+
+func (h *Histogram) labels() []Label { return h.lbls }
+
+// Observe records one value. No-op on nil.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i]++
+	h.sum += v
+	h.total++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+func (h *Histogram) snapshot() (bounds []float64, cumulative []uint64, sum float64, total uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cumulative = make([]uint64, len(h.counts))
+	var running uint64
+	for i, c := range h.counts {
+		running += c
+		cumulative[i] = running
+	}
+	return h.bounds, cumulative, h.sum, h.total
+}
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format (version 0.0.4), in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, name := range r.order {
+		f := r.families[name]
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ); err != nil {
+			return err
+		}
+		for _, key := range f.order {
+			if err := writePromInstrument(w, f, f.instruments[key]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writePromInstrument(w io.Writer, f *family, inst instrument) error {
+	switch m := inst.(type) {
+	case *Counter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, renderLabels(m.lbls, "", ""), m.Value())
+		return err
+	case *Gauge:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, renderLabels(m.lbls, "", ""), formatFloat(m.Value()))
+		return err
+	case *Histogram:
+		bounds, cumulative, sum, total := m.snapshot()
+		for i, b := range bounds {
+			le := formatFloat(b)
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, renderLabels(m.lbls, "le", le), cumulative[i]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, renderLabels(m.lbls, "le", "+Inf"), cumulative[len(cumulative)-1]); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, renderLabels(m.lbls, "", ""), formatFloat(sum)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, renderLabels(m.lbls, "", ""), total)
+		return err
+	}
+	return nil
+}
+
+// WriteJSON renders every metric as one JSON document, for consumers that
+// prefer structure over the Prometheus line format.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	// le is a string because encoding/json refuses +Inf as a number.
+	type jsonBucket struct {
+		LE    string `json:"le"`
+		Count uint64 `json:"cumulative_count"`
+	}
+	type jsonMetric struct {
+		Name    string            `json:"name"`
+		Type    string            `json:"type"`
+		Help    string            `json:"help,omitempty"`
+		Labels  map[string]string `json:"labels,omitempty"`
+		Value   *float64          `json:"value,omitempty"`
+		Buckets []jsonBucket      `json:"buckets,omitempty"`
+		Sum     *float64          `json:"sum,omitempty"`
+		Count   *uint64           `json:"count,omitempty"`
+	}
+	r.mu.Lock()
+	var out []jsonMetric
+	for _, name := range r.order {
+		f := r.families[name]
+		for _, key := range f.order {
+			jm := jsonMetric{Name: f.name, Type: f.typ, Help: f.help}
+			switch m := f.instruments[key].(type) {
+			case *Counter:
+				v := float64(m.Value())
+				jm.Labels, jm.Value = labelMap(m.lbls), &v
+			case *Gauge:
+				v := m.Value()
+				jm.Labels, jm.Value = labelMap(m.lbls), &v
+			case *Histogram:
+				bounds, cumulative, sum, total := m.snapshot()
+				jm.Labels = labelMap(m.lbls)
+				for i, b := range bounds {
+					jm.Buckets = append(jm.Buckets, jsonBucket{LE: formatFloat(b), Count: cumulative[i]})
+				}
+				jm.Buckets = append(jm.Buckets, jsonBucket{LE: "+Inf", Count: cumulative[len(cumulative)-1]})
+				jm.Sum, jm.Count = &sum, &total
+			}
+			out = append(out, jm)
+		}
+	}
+	r.mu.Unlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(map[string]any{"metrics": out})
+}
+
+func copyLabels(labels []Label) []Label {
+	if len(labels) == 0 {
+		return nil
+	}
+	return append([]Label(nil), labels...)
+}
+
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		parts[i] = l.Key + "=" + l.Value
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+func labelMap(labels []Label) map[string]string {
+	if len(labels) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(labels))
+	for _, l := range labels {
+		m[l.Key] = l.Value
+	}
+	return m
+}
+
+// renderLabels renders {k="v",…}, appending one extra label (used for
+// le) when extraKey is non-empty. JSON escaping covers Prometheus's
+// quoting rules for label values.
+func renderLabels(labels []Label, extraKey, extraValue string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(strconv.Quote(l.Value))
+	}
+	if extraKey != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraKey)
+		b.WriteByte('=')
+		b.WriteString(strconv.Quote(extraValue))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,121 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/goetsc/goetsc/internal/obs"
+)
+
+func TestPrometheusTextFormat(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("etsc_cells_total", "Completed cells.").Add(3)
+	reg.Counter("etsc_spans_total", "Spans.", obs.Label{Key: "span", Value: "fit"}).Inc()
+	reg.Gauge("etsc_goroutines", "Goroutines.").Set(7)
+	h := reg.Histogram("etsc_fit_duration_seconds", "Fit latency.", []float64{0.1, 1, 10})
+	h.Observe(0.0625) // exactly representable, so the _sum line is stable
+	h.Observe(0.5)
+	h.Observe(100)
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP etsc_cells_total Completed cells.",
+		"# TYPE etsc_cells_total counter",
+		"etsc_cells_total 3",
+		`etsc_spans_total{span="fit"} 1`,
+		"# TYPE etsc_goroutines gauge",
+		"etsc_goroutines 7",
+		"# TYPE etsc_fit_duration_seconds histogram",
+		`etsc_fit_duration_seconds_bucket{le="0.1"} 1`,
+		`etsc_fit_duration_seconds_bucket{le="1"} 2`,
+		`etsc_fit_duration_seconds_bucket{le="10"} 2`,
+		`etsc_fit_duration_seconds_bucket{le="+Inf"} 3`,
+		"etsc_fit_duration_seconds_sum 100.5625",
+		"etsc_fit_duration_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramBucketBoundaryInclusive(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := reg.Histogram("h", "", []float64{1, 2})
+	h.Observe(1) // le="1" is inclusive, per Prometheus convention
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `h_bucket{le="1"} 1`) {
+		t.Fatalf("boundary observation landed in the wrong bucket:\n%s", buf.String())
+	}
+}
+
+func TestJSONExport(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("c", "a counter", obs.Label{Key: "k", Value: "v"}).Add(2)
+	h := reg.Histogram("h", "a histogram", []float64{1})
+	h.Observe(0.5)
+
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Metrics []struct {
+			Name    string            `json:"name"`
+			Type    string            `json:"type"`
+			Labels  map[string]string `json:"labels"`
+			Value   *float64          `json:"value"`
+			Buckets []struct {
+				Count uint64 `json:"cumulative_count"`
+			} `json:"buckets"`
+			Count *uint64 `json:"count"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("JSON export does not parse: %v\n%s", err, buf.String())
+	}
+	if len(doc.Metrics) != 2 {
+		t.Fatalf("metrics = %d, want 2", len(doc.Metrics))
+	}
+	c := doc.Metrics[0]
+	if c.Name != "c" || c.Type != "counter" || *c.Value != 2 || c.Labels["k"] != "v" {
+		t.Fatalf("counter = %+v", c)
+	}
+	hm := doc.Metrics[1]
+	if hm.Type != "histogram" || *hm.Count != 1 || len(hm.Buckets) != 2 || hm.Buckets[0].Count != 1 {
+		t.Fatalf("histogram = %+v", hm)
+	}
+}
+
+func TestInstrumentsAreIdempotentAndNilSafe(t *testing.T) {
+	reg := obs.NewRegistry()
+	a := reg.Counter("x", "")
+	b := reg.Counter("x", "")
+	if a != b {
+		t.Fatal("same name+labels should return the same counter")
+	}
+	l1 := reg.Counter("x", "", obs.Label{Key: "k", Value: "1"})
+	if l1 == a {
+		t.Fatal("different labels should return a distinct instrument")
+	}
+
+	var nilReg *obs.Registry
+	nilReg.Counter("x", "").Inc()
+	nilReg.Gauge("g", "").Set(1)
+	nilReg.Histogram("h", "", []float64{1}).Observe(1)
+	if err := nilReg.WritePrometheus(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := nilReg.WriteJSON(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,278 @@
+// Package obs is the framework's instrumentation layer: hierarchical
+// span tracing with wall-clock and memory deltas, a streaming JSONL run
+// journal, a metrics registry exported in Prometheus text and JSON
+// formats, and pprof helpers for the CLIs. It is stdlib-only.
+//
+// The zero value — a nil *Collector, also exported as Noop — is a fully
+// functional no-op: every method is nil-receiver-safe and the span hot
+// path performs no allocations, so library code can instrument
+// unconditionally and pay nothing when observability is off.
+//
+// Spans nest run → dataset → algorithm → fold → {generate, interpolate,
+// fit, classify}; each close streams one journal record, so a killed or
+// budget-exceeded run still leaves a complete machine-readable trace.
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// Attr is one key/value annotation on a span or event. Values are kept
+// unboxed (string, int64, float64 or bool) so that building attributes on
+// the no-op path does not allocate.
+type Attr struct {
+	Key  string
+	kind attrKind
+	str  string
+	num  float64
+}
+
+type attrKind uint8
+
+const (
+	kindString attrKind = iota
+	kindInt
+	kindFloat
+	kindBool
+)
+
+// String builds a string-valued attribute.
+func String(key, value string) Attr { return Attr{Key: key, kind: kindString, str: value} }
+
+// Int builds an integer-valued attribute.
+func Int(key string, value int) Attr { return Attr{Key: key, kind: kindInt, num: float64(value)} }
+
+// Float builds a float-valued attribute.
+func Float(key string, value float64) Attr { return Attr{Key: key, kind: kindFloat, num: value} }
+
+// Bool builds a boolean-valued attribute.
+func Bool(key string, value bool) Attr {
+	a := Attr{Key: key, kind: kindBool}
+	if value {
+		a.num = 1
+	}
+	return a
+}
+
+// Value returns the attribute's value boxed for JSON encoding.
+func (a Attr) Value() any {
+	switch a.kind {
+	case kindInt:
+		return int64(a.num)
+	case kindFloat:
+		return a.num
+	case kindBool:
+		return a.num != 0
+	default:
+		return a.str
+	}
+}
+
+// Options configures a Collector. Both sinks are optional.
+type Options struct {
+	// Journal receives one JSONL record per span close and per event.
+	Journal *Journal
+	// Metrics receives span counters and fit/classify latency histograms.
+	Metrics *Registry
+}
+
+// Collector is the instrumentation sink behind a tree of spans. A nil
+// Collector (obs.Noop) is valid and free of overhead.
+type Collector struct {
+	journal *Journal
+	metrics *Registry
+
+	fitHist      *Histogram
+	classifyHist *Histogram
+	goroutines   *Gauge
+}
+
+// Noop is the do-nothing collector: the zero value of *Collector.
+var Noop *Collector
+
+// DurationBuckets are the fixed histogram bucket bounds (seconds) used
+// for the fit/classify latency histograms — spanning sub-millisecond
+// classification up to the paper's multi-hour training runs.
+var DurationBuckets = []float64{
+	0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+	1, 2.5, 5, 10, 30, 60, 300, 1800, 7200,
+}
+
+// New builds a Collector writing to the given sinks. It returns Noop when
+// both sinks are nil, so callers can pass it straight into the harness.
+func New(opts Options) *Collector {
+	if opts.Journal == nil && opts.Metrics == nil {
+		return Noop
+	}
+	c := &Collector{journal: opts.Journal, metrics: opts.Metrics}
+	if opts.Metrics != nil {
+		c.fitHist = opts.Metrics.Histogram("etsc_fit_duration_seconds",
+			"Per-fold training wall-clock latency.", DurationBuckets)
+		c.classifyHist = opts.Metrics.Histogram("etsc_classify_duration_seconds",
+			"Per-fold test-set classification wall-clock latency.", DurationBuckets)
+		c.goroutines = opts.Metrics.Gauge("etsc_goroutines",
+			"Goroutine count observed at the last span close.")
+	}
+	return c
+}
+
+// Registry returns the metrics registry (nil on the no-op collector).
+func (c *Collector) Registry() *Registry {
+	if c == nil {
+		return nil
+	}
+	return c.metrics
+}
+
+// Journal returns the journal sink (nil on the no-op collector).
+func (c *Collector) Journal() *Journal {
+	if c == nil {
+		return nil
+	}
+	return c.journal
+}
+
+// Span is one timed region of the run hierarchy. A nil Span is valid:
+// every method is a no-op, so instrumented code needs no nil checks.
+type Span struct {
+	c                         *Collector
+	path                      string
+	name                      string
+	attrs                     []Attr
+	start                     time.Time
+	mallocs, totalAlloc, heap uint64
+	ended                     bool
+}
+
+// Start opens a root span. On the no-op collector it returns nil and does
+// not allocate.
+func (c *Collector) Start(name string, attrs ...Attr) *Span {
+	if c == nil {
+		return nil
+	}
+	return c.startSpan(nil, name, attrs)
+}
+
+// Start opens a child span nested under s. On a nil span it returns nil
+// and does not allocate.
+func (s *Span) Start(name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.c.startSpan(s, name, attrs)
+}
+
+func (c *Collector) startSpan(parent *Span, name string, attrs []Attr) *Span {
+	path := name
+	if parent != nil {
+		path = parent.path + "/" + name
+	}
+	sp := &Span{c: c, path: path, name: name, start: time.Now()}
+	if len(attrs) > 0 {
+		sp.attrs = make([]Attr, len(attrs))
+		copy(sp.attrs, attrs)
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	sp.mallocs = ms.Mallocs
+	sp.totalAlloc = ms.TotalAlloc
+	sp.heap = ms.HeapAlloc
+	return sp
+}
+
+// SetAttr adds an annotation to the span after creation (e.g. a result
+// computed mid-span). No-op on a nil span.
+func (s *Span) SetAttr(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, attrs...)
+}
+
+// Event records a point-in-time occurrence (e.g. train_timeout,
+// goroutine_abandoned) under the span's path. The record is written to
+// the journal immediately, so it survives a later kill. No-op on a nil
+// span; performs no allocations in that case.
+func (s *Span) Event(name string, attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	c := s.c
+	if c.metrics != nil {
+		c.metrics.Counter("etsc_events_total", "Instrumentation events by name.",
+			Label{"event", name}).Inc()
+	}
+	c.journal.write(eventRecord{
+		Type:  "event",
+		Name:  name,
+		Path:  s.path,
+		Time:  time.Now(),
+		Attrs: attrMap(attrs),
+	})
+}
+
+// End closes the span: it computes wall time, allocation deltas and the
+// goroutine count, streams a journal record, and feeds the fit/classify
+// latency histograms. Ending a span twice or ending a nil span is a
+// no-op.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	dur := time.Since(s.start)
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	goroutines := runtime.NumGoroutine()
+
+	c := s.c
+	if c.metrics != nil {
+		c.metrics.Counter("etsc_spans_total", "Closed spans by name.",
+			Label{"span", s.name}).Inc()
+		c.goroutines.Set(float64(goroutines))
+		switch s.name {
+		case "fit":
+			c.fitHist.Observe(dur.Seconds())
+		case "classify":
+			c.classifyHist.Observe(dur.Seconds())
+		}
+	}
+	c.journal.write(spanRecord{
+		Type:       "span",
+		Name:       s.name,
+		Path:       s.path,
+		Start:      s.start,
+		DurMS:      float64(dur) / float64(time.Millisecond),
+		AllocBytes: ms.TotalAlloc - s.totalAlloc,
+		Mallocs:    ms.Mallocs - s.mallocs,
+		HeapDelta:  int64(ms.HeapAlloc) - int64(s.heap),
+		Goroutines: goroutines,
+		Attrs:      attrMap(s.attrs),
+	})
+}
+
+// Emit streams one free-form journal record (e.g. a completed evaluation
+// cell) and counts it under etsc_records_total. No-op on the no-op
+// collector.
+func (c *Collector) Emit(typ string, fields map[string]any) {
+	if c == nil {
+		return
+	}
+	if c.metrics != nil {
+		c.metrics.Counter("etsc_records_total", "Free-form journal records by type.",
+			Label{"record", typ}).Inc()
+	}
+	c.journal.write(customRecord{Type: typ, Time: time.Now(), Fields: fields})
+}
+
+func attrMap(attrs []Attr) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Value()
+	}
+	return m
+}

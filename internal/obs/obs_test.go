@@ -1,0 +1,197 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/goetsc/goetsc/internal/obs"
+)
+
+func decodeLines(t *testing.T, buf *bytes.Buffer) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("journal line %q: %v", line, err)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func TestSpanNestingAndJournalRecords(t *testing.T) {
+	var buf bytes.Buffer
+	col := obs.New(obs.Options{Journal: obs.NewJournal(&buf)})
+
+	run := col.Start("run", obs.Int("folds", 5))
+	dataset := run.Start("dataset", obs.String("name", "PowerCons"))
+	algo := dataset.Start("algorithm", obs.String("name", "ECEC"))
+	fold := algo.Start("fold", obs.Int("index", 0))
+	fit := fold.Start("fit")
+	fit.Event("train_timeout", obs.Float("budget_ms", 125), obs.Bool("stopped", true))
+	fit.End()
+	fold.End()
+	algo.End()
+	dataset.End()
+	run.End()
+
+	records := decodeLines(t, &buf)
+	if len(records) != 6 {
+		t.Fatalf("got %d records, want 6 (1 event + 5 spans)", len(records))
+	}
+	// The event is written immediately, before any span closes.
+	ev := records[0]
+	if ev["type"] != "event" || ev["name"] != "train_timeout" {
+		t.Fatalf("first record = %v", ev)
+	}
+	if ev["path"] != "run/dataset/algorithm/fold/fit" {
+		t.Fatalf("event path = %v", ev["path"])
+	}
+	attrs := ev["attrs"].(map[string]any)
+	if attrs["budget_ms"] != 125.0 || attrs["stopped"] != true {
+		t.Fatalf("event attrs = %v", attrs)
+	}
+	// Spans close innermost-first.
+	wantPaths := []string{
+		"run/dataset/algorithm/fold/fit",
+		"run/dataset/algorithm/fold",
+		"run/dataset/algorithm",
+		"run/dataset",
+		"run",
+	}
+	for i, want := range wantPaths {
+		rec := records[i+1]
+		if rec["type"] != "span" || rec["path"] != want {
+			t.Fatalf("record %d = %v, want span %s", i+1, rec, want)
+		}
+		if _, ok := rec["dur_ms"].(float64); !ok {
+			t.Fatalf("span %s missing dur_ms: %v", want, rec)
+		}
+		if _, ok := rec["alloc_bytes"].(float64); !ok {
+			t.Fatalf("span %s missing alloc_bytes: %v", want, rec)
+		}
+		if _, ok := rec["goroutines"].(float64); !ok {
+			t.Fatalf("span %s missing goroutines: %v", want, rec)
+		}
+	}
+	// Attribute round-trip on the dataset span.
+	ds := records[4]
+	if ds["attrs"].(map[string]any)["name"] != "PowerCons" {
+		t.Fatalf("dataset attrs = %v", ds["attrs"])
+	}
+}
+
+func TestEmitFlattensFields(t *testing.T) {
+	var buf bytes.Buffer
+	col := obs.New(obs.Options{Journal: obs.NewJournal(&buf)})
+	col.Emit("cell", map[string]any{"dataset": "PowerCons", "accuracy": 0.9})
+	records := decodeLines(t, &buf)
+	if len(records) != 1 {
+		t.Fatalf("records = %d", len(records))
+	}
+	rec := records[0]
+	if rec["type"] != "cell" || rec["dataset"] != "PowerCons" || rec["accuracy"] != 0.9 {
+		t.Fatalf("cell record = %v", rec)
+	}
+	if _, ok := rec["time"]; !ok {
+		t.Fatal("cell record missing time")
+	}
+}
+
+func TestDoubleEndWritesOnce(t *testing.T) {
+	var buf bytes.Buffer
+	col := obs.New(obs.Options{Journal: obs.NewJournal(&buf)})
+	s := col.Start("run")
+	s.End()
+	s.End()
+	if n := len(decodeLines(t, &buf)); n != 1 {
+		t.Fatalf("double End wrote %d records", n)
+	}
+}
+
+func TestSpanFeedsMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	col := obs.New(obs.Options{Metrics: reg})
+	run := col.Start("run")
+	run.Start("fit").End()
+	run.Start("classify").End()
+	run.Start("classify").End()
+	run.End()
+
+	if got := reg.Histogram("etsc_fit_duration_seconds", "", obs.DurationBuckets).Count(); got != 1 {
+		t.Fatalf("fit observations = %d", got)
+	}
+	if got := reg.Histogram("etsc_classify_duration_seconds", "", obs.DurationBuckets).Count(); got != 2 {
+		t.Fatalf("classify observations = %d", got)
+	}
+	spans := reg.Counter("etsc_spans_total", "", obs.Label{Key: "span", Value: "classify"})
+	if spans.Value() != 2 {
+		t.Fatalf("classify span counter = %d", spans.Value())
+	}
+}
+
+// TestNoopSpanHotPathZeroAllocs is the overhead guarantee the harness
+// relies on: with observability off (the nil collector), starting and
+// ending spans, recording events and emitting records must not allocate.
+func TestNoopSpanHotPathZeroAllocs(t *testing.T) {
+	col := obs.Noop
+	if allocs := testing.AllocsPerRun(1000, func() {
+		s := col.Start("fit")
+		child := s.Start("classify")
+		child.Event("train_timeout")
+		child.End()
+		s.End()
+	}); allocs != 0 {
+		t.Fatalf("noop span path allocates %v per run, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		s := col.Start("fit", obs.String("algorithm", "ECEC"), obs.Int("fold", 3))
+		s.SetAttr(obs.Bool("stopped", true))
+		s.End()
+	}); allocs != 0 {
+		t.Fatalf("noop span path with attrs allocates %v per run, want 0", allocs)
+	}
+}
+
+func TestNewWithoutSinksIsNoop(t *testing.T) {
+	if col := obs.New(obs.Options{}); col != obs.Noop {
+		t.Fatal("collector without sinks should be Noop")
+	}
+	if obs.Noop.Registry() != nil || obs.Noop.Journal() != nil {
+		t.Fatal("noop accessors should return nil")
+	}
+}
+
+// TestConcurrentSpans exercises the collector from many goroutines; run
+// under -race this validates the locking in the journal and registry.
+func TestConcurrentSpans(t *testing.T) {
+	reg := obs.NewRegistry()
+	col := obs.New(obs.Options{Journal: obs.NewJournal(io.Discard), Metrics: reg})
+	root := col.Start("run")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				s := root.Start("fit", obs.Int("goroutine", g))
+				s.Event("tick", obs.Int("i", i))
+				s.End()
+				col.Emit("cell", map[string]any{"g": g, "i": i})
+			}
+		}(g)
+	}
+	wg.Wait()
+	root.End()
+	if got := reg.Histogram("etsc_fit_duration_seconds", "", obs.DurationBuckets).Count(); got != 400 {
+		t.Fatalf("fit observations = %d, want 400", got)
+	}
+}

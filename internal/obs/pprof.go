@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profiling captures CPU/heap profiles and optionally serves live pprof
+// data over HTTP during long runs. Obtain one via StartProfiling and
+// Stop it before exiting so the profile files are complete.
+type Profiling struct {
+	cpuFile *os.File
+	memPath string
+}
+
+// StartProfiling wires the standard profiling hooks behind the CLIs'
+// -cpuprofile/-memprofile/-pprof-addr flags. Empty strings disable the
+// corresponding hook; pprofAddr (e.g. "localhost:6060") serves
+// net/http/pprof in the background for the lifetime of the process.
+func StartProfiling(cpuProfile, memProfile, pprofAddr string) (*Profiling, error) {
+	p := &Profiling{memPath: memProfile}
+	if cpuProfile != "" {
+		f, err := os.Create(cpuProfile)
+		if err != nil {
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+		p.cpuFile = f
+	}
+	if pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "obs: pprof server: %v\n", err)
+			}
+		}()
+	}
+	return p, nil
+}
+
+// Stop finalizes profiling: it stops the CPU profile and writes the heap
+// profile (after a GC, so the snapshot reflects live memory). Safe to
+// call more than once and on a nil receiver.
+func (p *Profiling) Stop() error {
+	if p == nil {
+		return nil
+	}
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpuFile.Close(); err != nil {
+			return fmt.Errorf("obs: cpu profile: %w", err)
+		}
+		p.cpuFile = nil
+	}
+	if p.memPath != "" {
+		f, err := os.Create(p.memPath)
+		if err != nil {
+			return fmt.Errorf("obs: mem profile: %w", err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("obs: mem profile: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("obs: mem profile: %w", err)
+		}
+		p.memPath = ""
+	}
+	return nil
+}

@@ -10,6 +10,7 @@ import (
 
 	"github.com/goetsc/goetsc/internal/core"
 	"github.com/goetsc/goetsc/internal/metrics"
+	"github.com/goetsc/goetsc/internal/obs"
 	ts "github.com/goetsc/goetsc/internal/timeseries"
 )
 
@@ -31,6 +32,9 @@ type Config struct {
 	// Metric scores a cross-validated result; higher is better. Default:
 	// the harmonic mean of accuracy and earliness.
 	Metric func(metrics.Result) float64
+	// Obs, when non-nil, receives one child span per candidate (with the
+	// nested fold/fit/classify spans). The zero value is a no-op.
+	Obs *obs.Span
 }
 
 func (c Config) withDefaults() Config {
@@ -60,11 +64,15 @@ func Select(candidates []Candidate, train *ts.Dataset, cfg Config) (Candidate, [
 	scores := make([]Score, len(candidates))
 	bestIdx := -1
 	for i, cand := range candidates {
-		avg, _, err := core.Evaluate(cand.New, train, core.EvalConfig{Folds: cfg.Folds, Seed: cfg.Seed})
+		span := cfg.Obs.Start("candidate", obs.String("label", cand.Label), obs.Int("index", i))
+		avg, _, err := core.Evaluate(cand.New, train, core.EvalConfig{Folds: cfg.Folds, Seed: cfg.Seed, Obs: span})
 		if err != nil {
+			span.End()
 			return Candidate{}, nil, fmt.Errorf("tune: candidate %q: %w", cand.Label, err)
 		}
 		value := cfg.Metric(avg)
+		span.SetAttr(obs.Float("score", value))
+		span.End()
 		scores[i] = Score{Label: cand.Label, Value: value, Result: avg}
 		if bestIdx < 0 || value > scores[bestIdx].Value {
 			bestIdx = i
