@@ -13,16 +13,25 @@ vet:
 	$(GO) vet ./...
 
 # Race-check the concurrent paths: the obs collector (journal/metrics are
-# written from many goroutines) and the budget-bounded evaluation runner.
+# written from many goroutines), the budget-bounded evaluation runner, the
+# worker pool, the parallel matrix engine, candidate tuning, and the
+# parallel MiniROCKET fit. The bench package is filtered to its parallel
+# tests — the full matrix under -race takes minutes.
 race:
-	$(GO) test -race ./internal/obs/... ./internal/core/...
+	$(GO) test -race ./internal/obs/... ./internal/core/... ./internal/sched/... \
+		./internal/tune/... ./internal/minirocket/...
+	$(GO) test -race -run 'Parallel|Deterministic' ./internal/bench/...
 
 test: vet race
 	$(GO) test ./...
 
-# One benchmark per paper table/figure + per-algorithm and ablation benches.
+# One benchmark per paper table/figure + per-algorithm and ablation
+# benches, then the optimization benchmarks (MiniROCKET transform fast
+# path, parallel matrix engine) parsed into BENCH_PR2.json — ns/op,
+# allocs/op and derived speedup ratios in machine-readable form.
 bench:
 	$(GO) test -bench=. -benchmem .
+	$(GO) run ./tools/benchjson -out BENCH_PR2.json
 
 # Scaled-down evaluation matrix with text figures, SVG files and the
 # qualitative-claims check.

@@ -22,6 +22,7 @@ import (
 	"github.com/goetsc/goetsc/internal/metrics"
 	"github.com/goetsc/goetsc/internal/obs"
 	"github.com/goetsc/goetsc/internal/report"
+	"github.com/goetsc/goetsc/internal/sched"
 )
 
 func main() {
@@ -38,6 +39,7 @@ func main() {
 		quiet        = flag.Bool("quiet", false, "suppress per-cell progress lines")
 		svgDir       = flag.String("svg", "", "when set, also write figure9a..figure13 as SVG files into this directory")
 		claims       = flag.Bool("claims", false, "check the paper's qualitative findings against this run")
+		workers      = flag.Int("workers", 0, "worker goroutines for cells/folds (0 = NumCPU, 1 = serial); results are identical at any count")
 	)
 	var obsFlags obs.Flags
 	obsFlags.Register(flag.CommandLine)
@@ -60,6 +62,7 @@ func main() {
 		os.Exit(2)
 	}
 
+	sched.SetSharedWorkers(*workers)
 	cfg := bench.RunConfig{
 		Datasets:    splitList(*datasetsFlag),
 		Algorithms:  splitList(*algosFlag),
@@ -68,6 +71,7 @@ func main() {
 		Seed:        *seed,
 		TrainBudget: *budget,
 		Preset:      preset,
+		Workers:     *workers,
 		Obs:         col,
 	}
 	if !*quiet {

@@ -17,6 +17,7 @@ import (
 	"github.com/goetsc/goetsc/internal/core"
 	"github.com/goetsc/goetsc/internal/datasets"
 	"github.com/goetsc/goetsc/internal/obs"
+	"github.com/goetsc/goetsc/internal/sched"
 )
 
 func main() {
@@ -28,6 +29,7 @@ func main() {
 		seed        = flag.Int64("seed", 42, "random seed")
 		presetFlag  = flag.String("preset", "fast", "parameter preset: paper or fast")
 		budget      = flag.Duration("budget", 0, "per-fold training budget (0 = unlimited)")
+		workers     = flag.Int("workers", 0, "worker goroutines for folds (0 = NumCPU, 1 = serial); results are identical at any count")
 	)
 	var obsFlags obs.Flags
 	obsFlags.Register(flag.CommandLine)
@@ -38,6 +40,7 @@ func main() {
 		fail(err)
 	}
 	defer obsCleanup()
+	sched.SetSharedWorkers(*workers)
 
 	preset := bench.Fast
 	if strings.EqualFold(*presetFlag, "paper") {
@@ -77,6 +80,7 @@ func main() {
 		Seed:        *seed,
 		TrainBudget: *budget,
 		Obs:         aspan,
+		Pool:        sched.New(*workers),
 	})
 	aspan.End()
 	run.End()

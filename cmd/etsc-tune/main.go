@@ -23,6 +23,7 @@ import (
 	"github.com/goetsc/goetsc/internal/datasets"
 	"github.com/goetsc/goetsc/internal/metrics"
 	"github.com/goetsc/goetsc/internal/obs"
+	"github.com/goetsc/goetsc/internal/sched"
 	ts "github.com/goetsc/goetsc/internal/timeseries"
 	"github.com/goetsc/goetsc/internal/tune"
 	"github.com/goetsc/goetsc/internal/weasel"
@@ -35,6 +36,7 @@ func main() {
 		scale       = flag.Float64("scale", 0.25, "dataset height scale in (0,1]")
 		seed        = flag.Int64("seed", 42, "random seed")
 		metricName  = flag.String("metric", "hm", "selection metric: hm, accuracy or f1")
+		workers     = flag.Int("workers", 0, "worker goroutines for candidates/folds (0 = NumCPU, 1 = serial); the winner is identical at any count")
 	)
 	var obsFlags obs.Flags
 	obsFlags.Register(flag.CommandLine)
@@ -46,6 +48,7 @@ func main() {
 	}
 	defer obsCleanup()
 	cleanup = obsCleanup
+	sched.SetSharedWorkers(*workers)
 
 	spec, err := datasets.ByName(*datasetName)
 	if err != nil {
@@ -77,7 +80,7 @@ func main() {
 	root := col.Start("tune",
 		obs.String("algorithm", *algoName), obs.String("dataset", *datasetName),
 		obs.Int("candidates", len(candidates)))
-	cfg := tune.Config{Seed: *seed, Metric: metric(*metricName), Obs: root}
+	cfg := tune.Config{Seed: *seed, Metric: metric(*metricName), Obs: root, Pool: sched.New(*workers)}
 	best, scores, err := tune.Select(candidates, train, cfg)
 	if err != nil {
 		root.End()

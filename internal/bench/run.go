@@ -4,12 +4,15 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/goetsc/goetsc/internal/core"
 	"github.com/goetsc/goetsc/internal/datasets"
 	"github.com/goetsc/goetsc/internal/metrics"
 	"github.com/goetsc/goetsc/internal/obs"
+	"github.com/goetsc/goetsc/internal/sched"
 	ts "github.com/goetsc/goetsc/internal/timeseries"
 )
 
@@ -37,6 +40,13 @@ type RunConfig struct {
 	// dataset → algorithm → fold → fit/classify), one journal record per
 	// completed cell, and latency metrics. The zero value is a no-op.
 	Obs *obs.Collector
+	// Workers bounds the evaluation engine's concurrency: datasets,
+	// (dataset, algorithm) cells, and the folds inside a cell all share
+	// one worker pool of this size. 0 selects runtime.NumCPU(); 1
+	// reproduces the serial engine. Results are identical at any worker
+	// count (wall-clock measurements aside): every cell writes into an
+	// index-addressed slot planned before the run starts.
+	Workers int
 }
 
 // Cell is one dataset × algorithm evaluation outcome.
@@ -56,6 +66,24 @@ type Results struct {
 	Algos    []string // paper order
 	Freq     map[string]time.Duration
 	Length   map[string]int
+
+	// index maps (dataset, algorithm) to a Cells position; Run builds it
+	// once after the matrix completes so Get is O(1) instead of a linear
+	// scan. Hand-assembled Results (tests) leave it nil and fall back.
+	index map[cellKey]int
+}
+
+// cellKey addresses one cell in the Results index.
+type cellKey struct {
+	dataset, algorithm string
+}
+
+// buildIndex (re)builds the O(1) Get index from Cells.
+func (r *Results) buildIndex() {
+	r.index = make(map[cellKey]int, len(r.Cells))
+	for i, c := range r.Cells {
+		r.index[cellKey{c.Dataset, c.Algorithm}] = i
+	}
 }
 
 // Run executes the matrix.
@@ -108,15 +136,50 @@ func Run(cfg RunConfig) (*Results, error) {
 		}
 	}
 
+	pool := sched.New(cfg.Workers)
 	run := cfg.Obs.Start("run",
 		obs.Float("scale", cfg.Scale), obs.Int("folds", cfg.Folds),
-		obs.Int("datasets", len(specs)), obs.Int("cells", totalCells))
+		obs.Int("datasets", len(specs)), obs.Int("cells", totalCells),
+		obs.Int("workers", pool.Workers()))
 	defer run.End()
 
+	// The run order is fixed before any evaluation starts: dataset i fills
+	// results[i] and its cells land in pre-assigned Cells slots, so the
+	// output ordering is identical to the serial engine at any worker
+	// count. Each dataset is generated exactly once and shared read-only
+	// by all of its cells (algorithms never mutate instance storage).
+	type dsResult struct {
+		profile core.Profile
+		freq    time.Duration
+		length  int
+	}
+	slotBase := make([]int, len(specs))
+	for i := range specs {
+		if i > 0 {
+			slotBase[i] = slotBase[i-1] + len(plans[i-1])
+		}
+		res.Datasets = append(res.Datasets, specs[i].Name)
+	}
+	cells := make([]Cell, totalCells)
+	dsResults := make([]dsResult, len(specs))
+
 	runStart := time.Now()
-	completed := 0
-	for i, spec := range specs {
+	var completed atomic.Int64
+	var progressMu sync.Mutex // orders progress lines and cell records
+	var abort atomic.Bool
+	var errMu sync.Mutex
+	firstErr := struct {
+		slot int
+		err  error
+	}{slot: totalCells}
+
+	pool.ForEach(len(specs), func(i int) {
+		if abort.Load() {
+			return
+		}
+		spec := specs[i]
 		dspan := run.Start("dataset", obs.String("name", spec.Name))
+		defer dspan.End()
 		gspan := dspan.Start("generate")
 		d := spec.Generate(cfg.Scale, cfg.Seed)
 		gspan.End()
@@ -131,15 +194,19 @@ func Run(cfg RunConfig) (*Results, error) {
 		// only a fraction of its instances are evaluated. Generation is
 		// cheap relative to evaluation.
 		if cfg.Scale < 1 {
-			res.Profiles[spec.Name] = core.Categorize(spec.Generate(1, cfg.Seed))
+			dsResults[i].profile = core.Categorize(spec.Generate(1, cfg.Seed))
 		} else {
-			res.Profiles[spec.Name] = core.Categorize(d)
+			dsResults[i].profile = core.Categorize(d)
 		}
-		res.Datasets = append(res.Datasets, spec.Name)
-		res.Freq[spec.Name] = d.Freq
-		res.Length[spec.Name] = d.MaxLength()
+		dsResults[i].freq = d.Freq
+		dsResults[i].length = d.MaxLength()
 
-		for _, f := range plans[i] {
+		pool.ForEach(len(plans[i]), func(j int) {
+			if abort.Load() {
+				return
+			}
+			f := plans[i][j]
+			slot := slotBase[i] + j
 			aspan := dspan.Start("algorithm",
 				obs.String("name", f.Name), obs.String("dataset", spec.Name))
 			cellStart := time.Now()
@@ -148,11 +215,22 @@ func Run(cfg RunConfig) (*Results, error) {
 				Seed:        cfg.Seed,
 				TrainBudget: cfg.TrainBudget,
 				Obs:         aspan,
+				Pool:        pool,
 			})
 			if err != nil {
 				aspan.Event("error", obs.String("error", err.Error()))
 				aspan.End()
-				return nil, fmt.Errorf("bench: %s on %s: %w", f.Name, spec.Name, err)
+				// Keep the error of the lowest-numbered failing cell (the
+				// one the serial engine would have hit first) and stop
+				// scheduling new work.
+				errMu.Lock()
+				if slot < firstErr.slot {
+					firstErr.slot = slot
+					firstErr.err = fmt.Errorf("bench: %s on %s: %w", f.Name, spec.Name, err)
+				}
+				errMu.Unlock()
+				abort.Store(true)
+				return
 			}
 			cellDur := time.Since(cellStart)
 			aspan.SetAttr(obs.Bool("timed_out", avg.TimedOut))
@@ -163,8 +241,14 @@ func Run(cfg RunConfig) (*Results, error) {
 				Result:    avg,
 				BatchLen:  f.BatchLen(d.MaxLength()),
 			}
-			res.Cells = append(res.Cells, cell)
-			completed++
+			cells[slot] = cell
+
+			// Completion accounting: the counter is atomic (eta reads it
+			// via its argument; the journal carries it per record) and the
+			// mutex keeps progress lines whole and monotonically numbered
+			// when many cells finish at once.
+			progressMu.Lock()
+			n := int(completed.Add(1))
 			cfg.Obs.Emit("cell", map[string]any{
 				"dataset":     cell.Dataset,
 				"algorithm":   cell.Algorithm,
@@ -178,23 +262,34 @@ func Run(cfg RunConfig) (*Results, error) {
 				"timed_out":   avg.TimedOut,
 				"batch_len":   cell.BatchLen,
 				"cell_ms":     float64(cellDur) / float64(time.Millisecond),
-				"completed":   completed,
+				"completed":   n,
 				"total_cells": totalCells,
 			})
+			if cfg.Progress != nil {
+				fmt.Fprintf(cfg.Progress, "[%d/%d] %s (cell %s, ETA %s)\n",
+					n, totalCells, avg.String(),
+					roundDuration(cellDur), eta(runStart, n, totalCells))
+			}
+			progressMu.Unlock()
 			cfg.Obs.Registry().Counter("etsc_cells_total",
 				"Completed dataset × algorithm cells.").Inc()
 			if avg.TimedOut {
 				cfg.Obs.Registry().Counter("etsc_train_timeouts_total",
 					"Cells disqualified by the training budget.").Inc()
 			}
-			if cfg.Progress != nil {
-				fmt.Fprintf(cfg.Progress, "[%d/%d] %s (cell %s, ETA %s)\n",
-					completed, totalCells, avg.String(),
-					roundDuration(cellDur), eta(runStart, completed, totalCells))
-			}
-		}
-		dspan.End()
+		})
+	})
+
+	if firstErr.err != nil {
+		return nil, firstErr.err
 	}
+	res.Cells = cells
+	for i := range specs {
+		res.Profiles[specs[i].Name] = dsResults[i].profile
+		res.Freq[specs[i].Name] = dsResults[i].freq
+		res.Length[specs[i].Name] = dsResults[i].length
+	}
+	res.buildIndex()
 	return res, nil
 }
 
@@ -219,8 +314,17 @@ func roundDuration(d time.Duration) time.Duration {
 	}
 }
 
-// Get returns the cell for one dataset × algorithm pair.
+// Get returns the cell for one dataset × algorithm pair. Results produced
+// by Run answer from the prebuilt index in O(1); hand-assembled Results
+// fall back to a linear scan.
 func (r *Results) Get(dataset, algorithm string) (Cell, bool) {
+	if r.index != nil {
+		i, ok := r.index[cellKey{dataset, algorithm}]
+		if !ok {
+			return Cell{}, false
+		}
+		return r.Cells[i], true
+	}
 	for _, c := range r.Cells {
 		if c.Dataset == dataset && c.Algorithm == algorithm {
 			return c, true

@@ -3,10 +3,12 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"github.com/goetsc/goetsc/internal/metrics"
 	"github.com/goetsc/goetsc/internal/obs"
+	"github.com/goetsc/goetsc/internal/sched"
 	ts "github.com/goetsc/goetsc/internal/timeseries"
 )
 
@@ -25,6 +27,11 @@ type EvalConfig struct {
 	// Obs, when non-nil, receives one child span per fold (with nested
 	// fit/classify spans and timeout events). The zero value is a no-op.
 	Obs *obs.Span
+	// Pool, when non-nil, evaluates folds concurrently. Fold results land
+	// in index-addressed slots and are reduced in fold order, so metrics
+	// (wall-clock measurements aside) are identical at any worker count.
+	// A nil pool evaluates folds serially, as does a one-worker pool.
+	Pool *sched.Pool
 }
 
 func (c EvalConfig) withDefaults() EvalConfig {
@@ -48,20 +55,50 @@ func Evaluate(factory Factory, d *ts.Dataset, cfg EvalConfig) (metrics.Result, [
 	if err != nil {
 		return metrics.Result{}, nil, fmt.Errorf("evaluate: %w", err)
 	}
-	var results []metrics.Result
-	for f, fold := range folds {
+	// Folds run concurrently (the dataset is shared read-only; every fold
+	// trains a fresh classifier instance) into index-addressed slots; the
+	// reduction below walks the slots in fold order so the outcome matches
+	// the serial loop exactly. stopAt holds the lowest fold index that
+	// timed out or errored: higher-numbered folds are skipped — the serial
+	// engine would never have run them — while lower-numbered folds always
+	// run, so the reduction sees the same prefix at any worker count.
+	type foldOut struct {
+		r   metrics.Result
+		err error
+	}
+	outs := make([]foldOut, len(folds))
+	var stopAt atomic.Int64
+	stopAt.Store(int64(len(folds)))
+	cfg.Pool.ForEach(len(folds), func(f int) {
+		if int64(f) > stopAt.Load() {
+			return
+		}
+		fold := folds[f]
 		span := cfg.Obs.Start("fold", obs.Int("index", f),
 			obs.Int("train_size", len(fold.Train)), obs.Int("test_size", len(fold.Test)))
 		r, err := EvaluateFold(factory, d, fold, cfg.TrainBudget, span)
 		span.End()
-		if err != nil {
-			return metrics.Result{}, nil, fmt.Errorf("evaluate: fold %d: %w", f, err)
+		outs[f] = foldOut{r: r, err: err}
+		if err != nil || r.TimedOut {
+			for {
+				cur := stopAt.Load()
+				if int64(f) >= cur || stopAt.CompareAndSwap(cur, int64(f)) {
+					break
+				}
+			}
 		}
-		results = append(results, r)
-		if r.TimedOut {
+	})
+	var results []metrics.Result
+	for f, out := range outs {
+		if out.err != nil {
+			return metrics.Result{}, nil, fmt.Errorf("evaluate: fold %d: %w", f, out.err)
+		}
+		results = append(results, out.r)
+		if out.r.TimedOut {
 			// Remaining folds would exhaust the same budget on the same
 			// data size; one cutoff disqualifies the whole run, as with
-			// the paper's 48-hour rule.
+			// the paper's 48-hour rule. Later folds a parallel schedule
+			// already computed are discarded to match the serial engine.
 			break
 		}
 	}

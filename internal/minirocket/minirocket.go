@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"github.com/goetsc/goetsc/internal/ridge"
+	"github.com/goetsc/goetsc/internal/sched"
 	"github.com/goetsc/goetsc/internal/stats"
 )
 
@@ -158,11 +159,13 @@ func (m *Model) Fit(instances [][][]float64, labels []int, numClasses int) error
 		}
 	}
 
-	// Transform the training set and fit the head.
+	// Transform the training set — the dominant cost of Fit — in parallel
+	// over instances. Each row is independent and lands in its own slot,
+	// so the feature matrix is identical at any worker count.
 	X := make([][]float64, len(instances))
-	for i, inst := range instances {
-		X[i] = m.Transform(inst)
-	}
+	sched.Shared().ForEach(len(instances), func(i int) {
+		X[i] = m.Transform(instances[i])
+	})
 	m.head = ridge.New(ridge.Config{Lambda: cfg.RidgeLambda, Standardize: true})
 	return m.head.Fit(X, labels, numClasses)
 }
@@ -185,10 +188,17 @@ func (m *Model) pickChannels(rng *rand.Rand) []int {
 }
 
 // convolve computes the dilated convolution of one instance with a combo's
-// kernel, summed over its channel subset. With padding, every time point
-// produces an output (missing taps read as zero); without, only fully
-// covered positions do.
+// kernel, allocating a fresh output slice.
 func (m *Model) convolve(instance [][]float64, cb combo) []float64 {
+	return m.convolveInto(nil, instance, cb)
+}
+
+// convolveInto computes the dilated convolution of one instance with a
+// combo's kernel, summed over its channel subset, appending into dst[:0]
+// so one scratch buffer can be reused across all combos. With padding,
+// every time point produces an output (missing taps read as zero);
+// without, only fully covered positions do.
+func (m *Model) convolveInto(dst []float64, instance [][]float64, cb combo) []float64 {
 	length := len(instance[0])
 	span := (kernelLength - 1) / 2 * cb.dilation // 4d
 	var start, end int
@@ -200,8 +210,40 @@ func (m *Model) convolve(instance [][]float64, cb combo) []float64 {
 	if end <= start {
 		start, end = 0, length // series too short: fall back to padded
 	}
-	out := make([]float64, 0, end-start)
+	out := dst[:0]
 	pos := m.kernels[cb.kernel]
+	// Single-channel combos (every univariate dataset, and most
+	// multivariate ones: subset sizes are log-uniform) take a branch-free
+	// interior loop; tap order and the final expression are unchanged, so
+	// outputs stay bit-identical to the generic path.
+	if len(cb.channels) == 1 && cb.channels[0] < len(instance) {
+		s := instance[cb.channels[0]]
+		dil := cb.dilation
+		for t := start; t < end; t++ {
+			base := t - 4*dil
+			if base >= 0 && base+8*dil < length {
+				sumAll := s[base] + s[base+dil] + s[base+2*dil] + s[base+3*dil] +
+					s[base+4*dil] + s[base+5*dil] + s[base+6*dil] + s[base+7*dil] +
+					s[base+8*dil]
+				sumPos := s[base+pos[0]*dil] + s[base+pos[1]*dil] + s[base+pos[2]*dil]
+				out = append(out, 3*sumPos-sumAll)
+				continue
+			}
+			var sumAll, sumPos float64
+			for j := 0; j < kernelLength; j++ {
+				off := base + j*dil
+				if off < 0 || off >= length {
+					continue
+				}
+				sumAll += s[off]
+				if j == pos[0] || j == pos[1] || j == pos[2] {
+					sumPos += s[off]
+				}
+			}
+			out = append(out, 3*sumPos-sumAll)
+		}
+		return out
+	}
 	for t := start; t < end; t++ {
 		var sumAll, sumPos float64
 		for j := 0; j < kernelLength; j++ {
@@ -227,22 +269,77 @@ func (m *Model) convolve(instance [][]float64, cb combo) []float64 {
 }
 
 // Transform maps one instance to its PPV feature vector.
+//
+// Fast path: a combo's biases come from quantile positions of a sorted
+// pool, so they are non-decreasing — each convolution output v can be
+// located among the b biases with one binary search (v exceeds exactly
+// the first idx biases), and every per-bias positive count falls out of
+// one histogram prefix sum. That is O(n log b + b) per combo against the
+// naive O(n·b) loop, with identical integer counts and therefore
+// bit-identical features. The feature vector is preallocated via
+// NumFeatures and one convolution scratch buffer is reused across all
+// combos.
 func (m *Model) Transform(instance [][]float64) []float64 {
-	var features []float64
-	for _, cb := range m.combos {
-		conv := m.convolve(instance, cb)
-		for _, bias := range cb.biases {
-			positive := 0
-			for _, v := range conv {
-				if v > bias {
-					positive++
+	features := make([]float64, 0, m.NumFeatures())
+	var conv []float64
+	var hist []int // hist[k]: conv values exceeding exactly the first k biases
+	for ci := range m.combos {
+		cb := &m.combos[ci]
+		conv = m.convolveInto(conv, instance, *cb)
+		n := len(conv)
+		b := len(cb.biases)
+		if n == 0 {
+			for i := 0; i < b; i++ {
+				features = append(features, 0)
+			}
+			continue
+		}
+		if !sort.Float64sAreSorted(cb.biases) {
+			// Defensive: a model with hand-edited biases keeps the exact
+			// naive semantics.
+			for _, bias := range cb.biases {
+				positive := 0
+				for _, v := range conv {
+					if v > bias {
+						positive++
+					}
 				}
+				features = append(features, float64(positive)/float64(n))
 			}
-			ppv := 0.0
-			if len(conv) > 0 {
-				ppv = float64(positive) / float64(len(conv))
+			continue
+		}
+		if cap(hist) < b+1 {
+			hist = make([]int, b+1)
+		}
+		hist = hist[:b+1]
+		for i := range hist {
+			hist[i] = 0
+		}
+		// Histogram pass: bucket every conv value by the count of biases
+		// strictly below it, so one sweep replaces all b positive-count
+		// loops. Consecutive convolution outputs are highly correlated
+		// (dilated sums of a smooth series), so instead of a binary search
+		// — whose quantile-placed pivots make every branch a coin flip —
+		// each lookup walks from the previous value's bucket: ~O(1)
+		// predictable steps per value, b steps worst case.
+		biases := cb.biases
+		idx := 0
+		for _, v := range conv {
+			for idx < b && biases[idx] < v {
+				idx++
 			}
-			features = append(features, ppv)
+			for idx > 0 && biases[idx-1] >= v {
+				idx--
+			}
+			hist[idx]++
+		}
+		// prefix(hist[0..i]) counts values at or below biases[i], so the
+		// positive count for bias i is n - prefix — the same integers the
+		// naive v > bias loop produces, divided identically.
+		prefix := 0
+		for i := 0; i < b; i++ {
+			prefix += hist[i]
+			features = append(features, float64(n-prefix)/float64(n))
 		}
 	}
 	return features

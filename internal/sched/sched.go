@@ -1,0 +1,102 @@
+// Package sched is the bounded worker pool behind the parallel
+// evaluation engine: the same pool instance drives dataset × algorithm
+// cells, the folds inside a cell, and library-level loops such as
+// MiniROCKET's training-set transform, so total CPU oversubscription
+// stays bounded no matter how deeply the loops nest.
+//
+// Scheduling never influences results: every parallel loop in the
+// framework writes into index-addressed slots, so a run is byte-identical
+// at any worker count (wall-clock measurements aside). A nil *Pool — or a
+// one-worker pool — degrades to a plain serial loop in index order, which
+// doubles as the reference behaviour for determinism tests.
+package sched
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool bounds the number of tasks running in spawned goroutines. The
+// zero-cost degenerate cases (nil pool, one worker) run every task on the
+// calling goroutine.
+type Pool struct {
+	workers int
+	sem     chan struct{}
+}
+
+// New returns a pool with the given worker bound; workers <= 0 selects
+// runtime.NumCPU(), the engine default.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	p := &Pool{workers: workers}
+	if workers > 1 {
+		p.sem = make(chan struct{}, workers)
+	}
+	return p
+}
+
+// Workers reports the concurrency bound (1 for a nil pool).
+func (p *Pool) Workers() int {
+	if p == nil || p.workers < 1 {
+		return 1
+	}
+	return p.workers
+}
+
+// ForEach runs task(i) for every i in [0, n) and returns when all have
+// completed. At most Workers tasks occupy spawned goroutines; when no
+// slot is free the submitting goroutine runs the task inline instead of
+// blocking, so nested ForEach calls (cells → folds → transforms) share
+// one bound and can never deadlock. A nil pool or a one-worker pool runs
+// every task inline in index order.
+func (p *Pool) ForEach(n int, task func(int)) {
+	if p == nil || p.workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			task(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		select {
+		case p.sem <- struct{}{}:
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-p.sem }()
+				task(i)
+			}(i)
+		default:
+			task(i)
+		}
+	}
+	wg.Wait()
+}
+
+var (
+	sharedMu sync.Mutex
+	shared   *Pool
+)
+
+// Shared returns the process-wide pool used by library code with no pool
+// plumbed through (MiniROCKET's training transform). It defaults to
+// runtime.NumCPU() workers; SetSharedWorkers resizes it.
+func Shared() *Pool {
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	if shared == nil {
+		shared = New(0)
+	}
+	return shared
+}
+
+// SetSharedWorkers rebuilds the shared pool with the given bound — the
+// CLIs call this from their -workers flag so one knob governs every
+// parallel loop in the process. n <= 0 restores the NumCPU default.
+func SetSharedWorkers(n int) {
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	shared = New(n)
+}

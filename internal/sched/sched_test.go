@@ -1,0 +1,141 @@
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestNilPoolRunsSeriallyInOrder(t *testing.T) {
+	var p *Pool
+	if p.Workers() != 1 {
+		t.Fatalf("nil pool workers = %d", p.Workers())
+	}
+	var order []int
+	p.ForEach(5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v", order)
+		}
+	}
+	if len(order) != 5 {
+		t.Fatalf("ran %d tasks", len(order))
+	}
+}
+
+func TestOneWorkerIsSerial(t *testing.T) {
+	p := New(1)
+	var order []int // appended without locking: fails under -race if parallel
+	p.ForEach(100, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("one-worker pool ran out of order at %d: %v", i, v)
+		}
+	}
+}
+
+func TestAllTasksRunExactlyOnce(t *testing.T) {
+	p := New(4)
+	const n = 1000
+	counts := make([]atomic.Int64, n)
+	p.ForEach(n, func(i int) { counts[i].Add(1) })
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Fatalf("task %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestConcurrencyBound(t *testing.T) {
+	const workers = 3
+	p := New(workers)
+	var running, peak atomic.Int64
+	var mu sync.Mutex
+	p.ForEach(200, func(i int) {
+		cur := running.Add(1)
+		mu.Lock()
+		if cur > peak.Load() {
+			peak.Store(cur)
+		}
+		mu.Unlock()
+		for j := 0; j < 1000; j++ {
+			_ = j * j
+		}
+		running.Add(-1)
+	})
+	// Spawned goroutines are capped at workers; the submitting goroutine
+	// may run one overflow task inline.
+	if got := peak.Load(); got > workers+1 {
+		t.Fatalf("peak concurrency %d exceeds bound %d", got, workers+1)
+	}
+}
+
+func TestNestedForEachDoesNotDeadlock(t *testing.T) {
+	p := New(2)
+	var total atomic.Int64
+	// 8×8×8 nested tasks through a 2-worker pool: saturated slots must
+	// fall back to inline execution rather than blocking.
+	p.ForEach(8, func(i int) {
+		p.ForEach(8, func(j int) {
+			p.ForEach(8, func(k int) { total.Add(1) })
+		})
+	})
+	if total.Load() != 512 {
+		t.Fatalf("total = %d, want 512", total.Load())
+	}
+}
+
+func TestIndexAddressedSlotsDeterministic(t *testing.T) {
+	// The engine contract: identical output at any worker count when
+	// results land in index-addressed slots.
+	compute := func(workers int) []int {
+		out := make([]int, 64)
+		New(workers).ForEach(64, func(i int) { out[i] = i * i })
+		return out
+	}
+	want := compute(1)
+	for _, w := range []int{2, 4, 8} {
+		got := compute(w)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d slot %d = %d, want %d", w, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestNewDefaultsToNumCPU(t *testing.T) {
+	if got := New(0).Workers(); got != runtime.NumCPU() {
+		t.Fatalf("New(0).Workers() = %d, want %d", got, runtime.NumCPU())
+	}
+	if got := New(-3).Workers(); got != runtime.NumCPU() {
+		t.Fatalf("New(-3).Workers() = %d, want %d", got, runtime.NumCPU())
+	}
+}
+
+func TestSharedPoolResize(t *testing.T) {
+	defer SetSharedWorkers(0) // restore the default for other tests
+	if Shared() == nil {
+		t.Fatal("Shared() returned nil")
+	}
+	SetSharedWorkers(3)
+	if got := Shared().Workers(); got != 3 {
+		t.Fatalf("shared workers = %d, want 3", got)
+	}
+	var n atomic.Int64
+	Shared().ForEach(10, func(int) { n.Add(1) })
+	if n.Load() != 10 {
+		t.Fatalf("shared pool ran %d tasks", n.Load())
+	}
+}
+
+func TestZeroAndSingleTaskFastPath(t *testing.T) {
+	p := New(8)
+	ran := false
+	p.ForEach(0, func(int) { t.Fatal("task ran for n=0") })
+	p.ForEach(1, func(i int) { ran = i == 0 })
+	if !ran {
+		t.Fatal("single task did not run inline")
+	}
+}

@@ -1,0 +1,67 @@
+package tune
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/goetsc/goetsc/internal/core"
+	"github.com/goetsc/goetsc/internal/sched"
+	ts "github.com/goetsc/goetsc/internal/timeseries"
+)
+
+func stripScoreTimes(scores []Score) {
+	for i := range scores {
+		scores[i].Result.TrainTime = 0
+		scores[i].Result.TestTime = 0
+	}
+}
+
+func TestSelectDeterministicAcrossWorkerCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := offsetDataset(rng, 60, 20)
+	candidates := []Candidate{
+		{Label: "late", New: func() core.EarlyClassifier { return &stubAlgo{at: 20} }},
+		{Label: "early", New: func() core.EarlyClassifier { return &stubAlgo{at: 4} }},
+		{Label: "mid", New: func() core.EarlyClassifier { return &stubAlgo{at: 10} }},
+		{Label: "broken", New: func() core.EarlyClassifier { return &stubAlgo{at: 4, bad: true} }},
+	}
+	sel := func(pool *sched.Pool) (Candidate, []Score) {
+		best, scores, err := Select(candidates, d, Config{Seed: 5, Pool: pool})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stripScoreTimes(scores)
+		return best, scores
+	}
+	serialBest, serialScores := sel(nil)
+	for _, workers := range []int{4, 8} {
+		best, scores := sel(sched.New(workers))
+		if best.Label != serialBest.Label {
+			t.Fatalf("workers=%d selected %q, serial selected %q", workers, best.Label, serialBest.Label)
+		}
+		if !reflect.DeepEqual(scores, serialScores) {
+			t.Fatalf("workers=%d scores differ:\n%+v\nvs\n%+v", workers, scores, serialScores)
+		}
+	}
+}
+
+type failingAlgo struct{ stubAlgo }
+
+var errFit = errors.New("fit exploded")
+
+func (f *failingAlgo) Fit(*ts.Dataset) error { return errFit }
+
+func TestSelectParallelPropagatesError(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	d := offsetDataset(rng, 40, 20)
+	candidates := []Candidate{
+		{Label: "ok", New: func() core.EarlyClassifier { return &stubAlgo{at: 4} }},
+		{Label: "boom", New: func() core.EarlyClassifier { return &failingAlgo{} }},
+	}
+	_, _, err := Select(candidates, d, Config{Seed: 6, Pool: sched.New(8)})
+	if !errors.Is(err, errFit) {
+		t.Fatalf("err = %v, want wrapped errFit", err)
+	}
+}

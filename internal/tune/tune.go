@@ -7,10 +7,12 @@ package tune
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"github.com/goetsc/goetsc/internal/core"
 	"github.com/goetsc/goetsc/internal/metrics"
 	"github.com/goetsc/goetsc/internal/obs"
+	"github.com/goetsc/goetsc/internal/sched"
 	ts "github.com/goetsc/goetsc/internal/timeseries"
 )
 
@@ -35,6 +37,11 @@ type Config struct {
 	// Obs, when non-nil, receives one child span per candidate (with the
 	// nested fold/fit/classify spans). The zero value is a no-op.
 	Obs *obs.Span
+	// Pool, when non-nil, cross-validates candidates (and the folds
+	// within each) concurrently. Scores land in candidate-indexed slots
+	// and ties break on the lower index, so the selected winner is
+	// identical at any worker count. A nil pool evaluates serially.
+	Pool *sched.Pool
 }
 
 func (c Config) withDefaults() Config {
@@ -61,20 +68,37 @@ func Select(candidates []Candidate, train *ts.Dataset, cfg Config) (Candidate, [
 		return Candidate{}, nil, fmt.Errorf("tune: no candidates")
 	}
 	cfg = cfg.withDefaults()
+	// Candidates are independent, so they cross-validate concurrently into
+	// index-addressed slots; the winner scan below runs serially in
+	// candidate order, so the selection matches the serial loop exactly.
 	scores := make([]Score, len(candidates))
-	bestIdx := -1
-	for i, cand := range candidates {
+	errs := make([]error, len(candidates))
+	var abort atomic.Bool
+	cfg.Pool.ForEach(len(candidates), func(i int) {
+		if abort.Load() {
+			return
+		}
+		cand := candidates[i]
 		span := cfg.Obs.Start("candidate", obs.String("label", cand.Label), obs.Int("index", i))
-		avg, _, err := core.Evaluate(cand.New, train, core.EvalConfig{Folds: cfg.Folds, Seed: cfg.Seed, Obs: span})
+		avg, _, err := core.Evaluate(cand.New, train, core.EvalConfig{
+			Folds: cfg.Folds, Seed: cfg.Seed, Obs: span, Pool: cfg.Pool})
 		if err != nil {
 			span.End()
-			return Candidate{}, nil, fmt.Errorf("tune: candidate %q: %w", cand.Label, err)
+			errs[i] = err
+			abort.Store(true)
+			return
 		}
 		value := cfg.Metric(avg)
 		span.SetAttr(obs.Float("score", value))
 		span.End()
 		scores[i] = Score{Label: cand.Label, Value: value, Result: avg}
-		if bestIdx < 0 || value > scores[bestIdx].Value {
+	})
+	bestIdx := -1
+	for i := range candidates {
+		if errs[i] != nil {
+			return Candidate{}, nil, fmt.Errorf("tune: candidate %q: %w", candidates[i].Label, errs[i])
+		}
+		if bestIdx < 0 || scores[i].Value > scores[bestIdx].Value {
 			bestIdx = i
 		}
 	}

@@ -1,0 +1,141 @@
+// Command benchjson runs the performance benchmarks that back this
+// repository's optimization claims (the MiniROCKET transform fast path and
+// the parallel evaluation engine) and writes the parsed results, plus the
+// derived speedup ratios, as one JSON document. `make bench` uses it to
+// produce BENCH_PR2.json so measurements are committed in a comparable,
+// machine-readable form.
+//
+//	go run ./tools/benchjson -out BENCH_PR2.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// result is one parsed `testing.B` line.
+type result struct {
+	Name        string  `json:"name"`
+	Package     string  `json:"package"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+type document struct {
+	NumCPU      int                `json:"num_cpu"`
+	GoMaxProcs  int                `json:"go_max_procs"`
+	GoVersion   string             `json:"go_version"`
+	Benchmarks  []result           `json:"benchmarks"`
+	Speedups    map[string]float64 `json:"speedups"`
+	AllocRatios map[string]float64 `json:"alloc_ratios"`
+	Note        string             `json:"note"`
+}
+
+// benchLine matches e.g.
+// BenchmarkTransform-8   1946   600123 ns/op   21392 B/op   10 allocs/op
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
+
+func main() {
+	out := flag.String("out", "BENCH_PR2.json", "output JSON path")
+	benchtime := flag.String("benchtime", "1s", "passed to -benchtime")
+	flag.Parse()
+
+	suites := []struct{ pkg, pattern string }{
+		{"./internal/minirocket", "BenchmarkTransform$|BenchmarkTransformNaive$|BenchmarkTransformSeedBaseline$|BenchmarkFit$"},
+		{"./internal/bench", "BenchmarkRunMatrixSerial$|BenchmarkRunMatrixParallel$"},
+	}
+	var results []result
+	for _, s := range suites {
+		rs, err := runSuite(s.pkg, s.pattern, *benchtime)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", s.pkg, err)
+			os.Exit(1)
+		}
+		results = append(results, rs...)
+	}
+
+	byName := map[string]result{}
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+	ratio := func(m map[string]float64, key, num, den string, pick func(result) float64) {
+		a, okA := byName[num]
+		b, okB := byName[den]
+		if okA && okB && pick(b) > 0 {
+			m[key] = pick(a) / pick(b)
+		}
+	}
+	doc := document{
+		NumCPU:      runtime.NumCPU(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		GoVersion:   runtime.Version(),
+		Benchmarks:  results,
+		Speedups:    map[string]float64{},
+		AllocRatios: map[string]float64{},
+		Note: "speedups are baseline/optimized wall time; the matrix parallel/serial " +
+			"ratio is bounded by num_cpu and approaches 1 on a single-core machine",
+	}
+	nsOp := func(r result) float64 { return r.NsPerOp }
+	allocs := func(r result) float64 { return float64(r.AllocsPerOp) }
+	ratio(doc.Speedups, "transform_vs_seed_baseline", "BenchmarkTransformSeedBaseline", "BenchmarkTransform", nsOp)
+	ratio(doc.Speedups, "transform_vs_naive_ppv", "BenchmarkTransformNaive", "BenchmarkTransform", nsOp)
+	ratio(doc.Speedups, "matrix_parallel_vs_serial", "BenchmarkRunMatrixSerial", "BenchmarkRunMatrixParallel", nsOp)
+	ratio(doc.AllocRatios, "transform_vs_naive_ppv", "BenchmarkTransformNaive", "BenchmarkTransform", allocs)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d benchmarks, %d CPU)\n", *out, len(results), doc.NumCPU)
+}
+
+// runSuite executes one package's benchmarks (skipping its tests) and
+// parses the standard testing.B output.
+func runSuite(pkg, pattern, benchtime string) ([]result, error) {
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", pattern,
+		"-benchmem", "-benchtime", benchtime, pkg)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("%v\n%s", err, out)
+	}
+	var results []result
+	for _, line := range strings.Split(string(out), "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		r := result{Name: m[1], Package: pkg}
+		r.Iterations, _ = strconv.Atoi(m[2])
+		r.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			r.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+			r.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		results = append(results, r)
+	}
+	if len(results) == 0 {
+		return nil, fmt.Errorf("no benchmark lines parsed from:\n%s", out)
+	}
+	return results, nil
+}
