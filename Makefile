@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet race test bench figures data tune clean
+.PHONY: all build vet race chaos test bench figures data tune clean
 
 all: build vet test
 
@@ -22,7 +22,16 @@ race:
 		./internal/tune/... ./internal/minirocket/...
 	$(GO) test -race -run 'Parallel|Deterministic' ./internal/bench/...
 
-test: vet race
+# Chaos suite under the race detector: the deterministic fault-injection
+# harness (internal/faults) plants panics, errors and latency spikes by
+# seed, and the tests assert that surviving cells are byte-identical to a
+# fault-free run, that retries recover transient faults, and that a
+# killed run resumes to the exact uninterrupted matrix.
+chaos:
+	$(GO) test -race ./internal/faults/...
+	$(GO) test -race -run 'Chaos|Fault|Retry|Resume|Checkpoint|FailFast|Panic' ./internal/bench/...
+
+test: vet race chaos
 	$(GO) test ./...
 
 # One benchmark per paper table/figure + per-algorithm and ablation

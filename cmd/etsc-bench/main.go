@@ -8,6 +8,7 @@
 //	etsc-bench -fig 11,13 -datasets PowerCons,Biological -algorithms ECEC,TEASER
 //	etsc-bench -per-dataset                # supplementary per-dataset tables
 //	etsc-bench -journal run.jsonl -metrics-out metrics.prom -pprof-addr localhost:6060
+//	etsc-bench -checkpoint run.ckpt -resume run.ckpt -retries 3   # fault-tolerant long run
 package main
 
 import (
@@ -40,6 +41,12 @@ func main() {
 		svgDir       = flag.String("svg", "", "when set, also write figure9a..figure13 as SVG files into this directory")
 		claims       = flag.Bool("claims", false, "check the paper's qualitative findings against this run")
 		workers      = flag.Int("workers", 0, "worker goroutines for cells/folds (0 = NumCPU, 1 = serial); results are identical at any count")
+		failfast     = flag.Bool("failfast", false, "abort on the first cell failure instead of completing the matrix with DNF cells")
+		retries      = flag.Int("retries", 1, "total evaluation attempts per cell (same seed each attempt; 1 = no retry; timed-out cells never retry)")
+		retryBase    = flag.Duration("retry-base", 100*time.Millisecond, "backoff before the first retry; doubles per further retry")
+		retryMax     = flag.Duration("retry-max", 5*time.Second, "backoff cap (0 = uncapped)")
+		checkpoint   = flag.String("checkpoint", "", "append one JSONL record per completed cell to this file (safe to kill and -resume)")
+		resume       = flag.String("resume", "", "reuse completed cells from this checkpoint file; failed and missing cells re-run")
 	)
 	var obsFlags obs.Flags
 	obsFlags.Register(flag.CommandLine)
@@ -73,6 +80,8 @@ func main() {
 		Preset:      preset,
 		Workers:     *workers,
 		Obs:         col,
+		FailFast:    *failfast,
+		Retry:       bench.RetryPolicy{Attempts: *retries, BaseDelay: *retryBase, MaxDelay: *retryMax},
 	}
 	if !*quiet {
 		cfg.Progress = os.Stderr
@@ -107,10 +116,39 @@ func main() {
 	if !needRun && !*perDataset {
 		return
 	}
+	if *resume != "" {
+		records, err := bench.LoadCheckpointFile(*resume)
+		check(err)
+		cfg.Resume = records
+	}
+	if *checkpoint != "" {
+		f, err := os.OpenFile(*checkpoint, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		check(err)
+		defer f.Close()
+		cfg.Checkpoint = f
+	}
 	start := time.Now()
 	res, err := bench.Run(cfg)
 	check(err)
 	fmt.Fprintf(os.Stderr, "matrix completed in %s\n", time.Since(start).Round(time.Second))
+	if dnf := res.DNFCells(); len(dnf) > 0 {
+		counts := res.StatusCounts()
+		fmt.Fprintf(os.Stderr, "matrix: %d/%d cells DNF (%d failed, %d panicked, %d timed out, %d skipped)\n",
+			len(dnf), len(res.Cells),
+			counts[bench.StatusFailed], counts[bench.StatusPanicked],
+			counts[bench.StatusTimedOut], counts[bench.StatusSkipped])
+		for _, c := range dnf {
+			line := fmt.Sprintf("  DNF %s/%s (%s", c.Dataset, c.Algorithm, c.Status)
+			if c.Attempts > 1 {
+				line += fmt.Sprintf(", %d attempts", c.Attempts)
+			}
+			line += ")"
+			if c.Err != "" {
+				line += ": " + c.Err
+			}
+			fmt.Fprintln(os.Stderr, line)
+		}
+	}
 
 	if all || want["3"] {
 		check(res.Table3().WriteText(out))

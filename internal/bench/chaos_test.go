@@ -1,0 +1,351 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/goetsc/goetsc/internal/core"
+	"github.com/goetsc/goetsc/internal/faults"
+	"github.com/goetsc/goetsc/internal/metrics"
+	"github.com/goetsc/goetsc/internal/obs"
+)
+
+// chaosCfg is the determinism matrix with a seeded fault plan wrapped
+// around every (cell, attempt, fold) work unit and one retry per cell.
+func chaosCfg(workers int) (RunConfig, *faults.Plan) {
+	plan := faults.NewPlan(faults.Config{
+		Seed:        13,
+		PanicProb:   0.25,
+		ErrorProb:   0.25,
+		LatencyProb: 0.2,
+		MaxLatency:  2 * time.Millisecond,
+	})
+	cfg := detCfg(workers)
+	cfg.Retry = RetryPolicy{Attempts: 2}
+	cfg.WrapFoldFactory = plan.Wrapper()
+	return cfg, plan
+}
+
+// expectation is the cell outcome the fault plan implies: the engine
+// fails an attempt at the first fold (in fold order) whose fault panics
+// or errors, retries up to maxAttempts with the same seed, and keys
+// faults by attempt number — all pure functions of the plan, so the test
+// can derive the whole matrix outcome without running it.
+type expectation struct {
+	status   CellStatus
+	attempts int
+}
+
+func expectCell(plan *faults.Plan, dataset, algo string, folds, maxAttempts int) expectation {
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		failure := faults.None
+		for f := 0; f < folds; f++ {
+			if k := plan.For(dataset, algo, f, attempt).Kind; k == faults.Panic || k == faults.Error {
+				failure = k
+				break
+			}
+		}
+		if failure == faults.None {
+			return expectation{status: StatusOK, attempts: attempt + 1}
+		}
+		if attempt == maxAttempts-1 {
+			if failure == faults.Panic {
+				return expectation{status: StatusPanicked, attempts: maxAttempts}
+			}
+			return expectation{status: StatusFailed, attempts: maxAttempts}
+		}
+	}
+	return expectation{}
+}
+
+func TestChaosSurvivorsMatchFaultFreeRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix run in -short mode")
+	}
+	baseline, err := Run(detCfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripWallClock(baseline)
+
+	cfg, plan := chaosCfg(4)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("chaos run must complete despite faults: %v", err)
+	}
+	stripWallClock(res)
+
+	ok, dnf := 0, 0
+	for _, c := range res.Cells {
+		want := expectCell(plan, c.Dataset, c.Algorithm, cfg.Folds, cfg.Retry.Attempts)
+		if c.Status != want.status || c.Attempts != want.attempts {
+			t.Fatalf("%s/%s: status %s after %d attempts, plan implies %s after %d",
+				c.Dataset, c.Algorithm, c.Status, c.Attempts, want.status, want.attempts)
+		}
+		if c.Status == StatusOK {
+			ok++
+			base, found := baseline.Get(c.Dataset, c.Algorithm)
+			if !found {
+				t.Fatalf("%s/%s missing from baseline", c.Dataset, c.Algorithm)
+			}
+			bj, _ := json.Marshal(base.Result)
+			cj, _ := json.Marshal(c.Result)
+			if !bytes.Equal(bj, cj) {
+				t.Fatalf("%s/%s surviving cell differs from fault-free run:\n%s\nvs\n%s",
+					c.Dataset, c.Algorithm, cj, bj)
+			}
+			if c.BatchLen != base.BatchLen {
+				t.Fatalf("%s/%s BatchLen %d vs baseline %d", c.Dataset, c.Algorithm, c.BatchLen, base.BatchLen)
+			}
+		} else {
+			dnf++
+			if !c.DNF() {
+				t.Fatalf("%s/%s status %s not reported as DNF", c.Dataset, c.Algorithm, c.Status)
+			}
+			if !strings.Contains(c.Err, "faults: injected") {
+				t.Fatalf("%s/%s error does not carry the injected fault: %q", c.Dataset, c.Algorithm, c.Err)
+			}
+		}
+	}
+	if ok == 0 || dnf == 0 {
+		t.Fatalf("plan seed produced no status mixture (%d ok, %d dnf): pick another seed", ok, dnf)
+	}
+	// The DNF helpers agree with the per-cell walk.
+	if got := len(res.DNFCells()); got != dnf {
+		t.Fatalf("DNFCells = %d, want %d", got, dnf)
+	}
+	counts := res.StatusCounts()
+	if counts[StatusOK] != ok || counts[StatusFailed]+counts[StatusPanicked] != dnf {
+		t.Fatalf("StatusCounts = %v, want %d ok and %d failed+panicked", counts, ok, dnf)
+	}
+	// DNF cells render hatched in the per-dataset tables.
+	table := res.PerDatasetTable("t", func(m metrics.Result) float64 { return m.Accuracy })
+	hatched := 0
+	for _, row := range table.Rows {
+		for _, cell := range row {
+			if cell == "####" {
+				hatched++
+			}
+		}
+	}
+	if hatched != dnf {
+		t.Fatalf("per-dataset table hatches %d cells, want %d", hatched, dnf)
+	}
+}
+
+func TestChaosDeterministicAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix run in -short mode")
+	}
+	run := func(workers int) *Results {
+		cfg, _ := chaosCfg(workers)
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		stripWallClock(res)
+		return res
+	}
+	serial := run(1)
+	parallel := run(8)
+	// Statuses, error strings, attempt counts and DNF cells included:
+	// faults are keyed by (dataset, algorithm, fold, attempt), never by
+	// scheduling order, so the whole structure is worker-count invariant.
+	if !reflect.DeepEqual(serial, parallel) {
+		sj, _ := json.Marshal(serial)
+		pj, _ := json.Marshal(parallel)
+		t.Fatalf("chaos results differ across worker counts:\n%s\nvs\n%s", sj, pj)
+	}
+}
+
+func TestRetryRecoversTransientFault(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix run in -short mode")
+	}
+	baseline, err := Run(detCfg(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripWallClock(baseline)
+
+	reg := obs.NewRegistry()
+	cfg := detCfg(2)
+	cfg.Obs = obs.New(obs.Options{Metrics: reg})
+	cfg.Retry = RetryPolicy{Attempts: 3, BaseDelay: time.Millisecond}
+	// The fault exists only at attempt 0: the first execution of the
+	// PowerCons/ECTS cell fails, the retry (same seed) succeeds.
+	cfg.WrapFoldFactory = func(ds, algo string, attempt, fold int, f core.Factory) core.Factory {
+		if ds == "PowerCons" && algo == "ECTS" && attempt == 0 && fold == 0 {
+			return faults.Wrap(f, faults.Fault{Kind: faults.Error}, "transient")
+		}
+		return f
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripWallClock(res)
+	cell, _ := res.Get("PowerCons", "ECTS")
+	if cell.Status != StatusOK || cell.Attempts != 2 {
+		t.Fatalf("transient cell: status %s after %d attempts, want ok after 2 (err %q)",
+			cell.Status, cell.Attempts, cell.Err)
+	}
+	base, _ := baseline.Get("PowerCons", "ECTS")
+	if !reflect.DeepEqual(cell.Result, base.Result) {
+		t.Fatalf("retried result differs from fault-free run: %+v vs %+v", cell.Result, base.Result)
+	}
+	if got := reg.Counter("etsc_cell_retries_total", "").Value(); got != 1 {
+		t.Fatalf("etsc_cell_retries_total = %d, want 1", got)
+	}
+}
+
+func TestRunFailFastAborts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix run in -short mode")
+	}
+	var mu sync.Mutex
+	touched := map[string]bool{}
+	cfg := detCfg(1)
+	cfg.FailFast = true
+	cfg.Retry = RetryPolicy{Attempts: 3} // must be ignored under fail-fast
+	cfg.WrapFoldFactory = func(ds, algo string, attempt, fold int, f core.Factory) core.Factory {
+		mu.Lock()
+		touched[ds+"/"+algo] = true
+		mu.Unlock()
+		if attempt > 0 {
+			t.Errorf("fail-fast retried %s/%s (attempt %d)", ds, algo, attempt)
+		}
+		// Biological is first in Table 3 order, ECTS first in algorithm
+		// order: the very first cell fails.
+		if ds == "Biological" && algo == "ECTS" {
+			return faults.Wrap(f, faults.Fault{Kind: faults.Error}, "fatal")
+		}
+		return f
+	}
+	res, err := Run(cfg)
+	if res != nil || err == nil {
+		t.Fatalf("fail-fast returned res=%v err=%v, want nil results and an error", res, err)
+	}
+	if !strings.Contains(err.Error(), "injected error") ||
+		!strings.Contains(err.Error(), "ECTS on Biological") {
+		t.Fatalf("fail-fast error = %v", err)
+	}
+	// With one worker, the abort must prevent every later cell from even
+	// building a fold factory.
+	mu.Lock()
+	defer mu.Unlock()
+	if len(touched) != 1 || !touched["Biological/ECTS"] {
+		t.Fatalf("fail-fast still scheduled cells after the failure: %v", touched)
+	}
+}
+
+func TestFailFastReportsRealFailureNotCancellation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix run in -short mode")
+	}
+	cfg := detCfg(8)
+	cfg.FailFast = true
+	cfg.WrapFoldFactory = func(ds, algo string, attempt, fold int, f core.Factory) core.Factory {
+		if ds == "PowerCons" && algo == "TEASER" {
+			return faults.Wrap(f, faults.Fault{Kind: faults.Error}, "fatal")
+		}
+		return f
+	}
+	_, err := Run(cfg)
+	if err == nil {
+		t.Fatal("fail-fast run completed despite the injected failure")
+	}
+	// In-flight cells cut short at fold granularity surface
+	// core.ErrCancelled; the run must report the triggering failure, not
+	// one of its victims.
+	if !strings.Contains(err.Error(), "injected error") || strings.Contains(err.Error(), "cancelled") {
+		t.Fatalf("fail-fast error = %v, want the injected failure", err)
+	}
+}
+
+func TestResumeAfterKillReproducesMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix run in -short mode")
+	}
+	full, err := Run(detCfg(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripWallClock(full)
+
+	// First run, checkpointing every cell.
+	var ckpt bytes.Buffer
+	cfg := detCfg(2)
+	cfg.Checkpoint = &ckpt
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(ckpt.String()), "\n")
+	if len(lines) != len(full.Cells) {
+		t.Fatalf("checkpoint records = %d, want %d", len(lines), len(full.Cells))
+	}
+
+	// Simulate a kill mid-write: one whole record survives plus a
+	// truncated second line. The loader must keep the complete prefix.
+	killed := lines[0] + "\n" + lines[1][:len(lines[1])/2]
+	records, err := LoadCheckpoints(strings.NewReader(killed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 1 {
+		t.Fatalf("loaded %d records from the killed prefix, want 1", len(records))
+	}
+
+	// Resume: the surviving cell is reused, the rest re-run, and the final
+	// matrix is indistinguishable from the uninterrupted one.
+	var ckpt2 bytes.Buffer
+	reg := obs.NewRegistry()
+	cfg2 := detCfg(2)
+	cfg2.Obs = obs.New(obs.Options{Metrics: reg})
+	cfg2.Resume = records
+	cfg2.Checkpoint = &ckpt2
+	resumed, err := Run(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripWallClock(resumed)
+	if !reflect.DeepEqual(full, resumed) {
+		fj, _ := json.Marshal(full)
+		rj, _ := json.Marshal(resumed)
+		t.Fatalf("resumed matrix differs from uninterrupted run:\n%s\nvs\n%s", fj, rj)
+	}
+	if got := reg.Counter("etsc_cells_resumed_total", "").Value(); got != 1 {
+		t.Fatalf("etsc_cells_resumed_total = %d, want 1", got)
+	}
+	// The resumed run's checkpoint is self-contained: resumed cells are
+	// re-recorded, so it loads without the parent file.
+	reloaded, err := LoadCheckpoints(strings.NewReader(ckpt2.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reloaded) != len(full.Cells) {
+		t.Fatalf("resumed checkpoint holds %d records, want %d", len(reloaded), len(full.Cells))
+	}
+
+	// A fully resumed run re-executes nothing and still reproduces the
+	// matrix (profiles and dataset characteristics are regenerated).
+	cfg3 := detCfg(2)
+	cfg3.Resume = reloaded
+	cfg3.WrapFoldFactory = func(ds, algo string, attempt, fold int, f core.Factory) core.Factory {
+		t.Errorf("fully resumed run evaluated %s/%s", ds, algo)
+		return f
+	}
+	all, err := Run(cfg3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripWallClock(all)
+	if !reflect.DeepEqual(full, all) {
+		t.Fatal("fully resumed matrix differs from uninterrupted run")
+	}
+}

@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+
+	"github.com/goetsc/goetsc/internal/metrics"
+)
+
+// CheckpointRecord is one line of the JSONL checkpoint stream: a
+// completed cell, keyed by a hash of everything its result depends on
+// (dataset, algorithm, fold count, seed, scale, preset and training
+// budget). Run streams one record per completed cell, so a killed run
+// leaves a loadable prefix; Resume skips cells whose key matches a
+// record that finished deterministically (ok or timed_out) and
+// re-executes only failed, panicked, skipped or missing cells.
+type CheckpointRecord struct {
+	Type      string         `json:"type"` // always "cell"
+	Key       string         `json:"key"`
+	Dataset   string         `json:"dataset"`
+	Algorithm string         `json:"algorithm"`
+	Status    CellStatus     `json:"status"`
+	Err       string         `json:"err,omitempty"`
+	Attempts  int            `json:"attempts,omitempty"`
+	BatchLen  int            `json:"batch_len"`
+	Result    metrics.Result `json:"result"`
+}
+
+// Resumable reports whether the recorded outcome can be reused instead
+// of re-running the cell: completed cells and deterministic budget
+// timeouts qualify; failed, panicked and skipped cells are re-executed
+// so a resume finishes the tail instead of freezing old failures.
+func (r CheckpointRecord) Resumable() bool {
+	return r.Status == StatusOK || r.Status == StatusTimedOut
+}
+
+// cell rebuilds the evaluation cell the record was taken from.
+func (r CheckpointRecord) cell() Cell {
+	return Cell{
+		Dataset:   r.Dataset,
+		Algorithm: r.Algorithm,
+		Result:    r.Result,
+		BatchLen:  r.BatchLen,
+		Status:    r.Status,
+		Err:       r.Err,
+		Attempts:  r.Attempts,
+	}
+}
+
+// CheckpointKey fingerprints one cell of the run configuration. Two runs
+// produce the same key for a cell exactly when the cell's result is
+// reproducible across them: same dataset, algorithm, fold count, seed,
+// scale, preset and training budget. Worker count and retry policy are
+// deliberately excluded — they never change results.
+func CheckpointKey(cfg RunConfig, dataset, algorithm string) string {
+	folds := cfg.Folds
+	if folds <= 0 {
+		folds = 5
+	}
+	scale := cfg.Scale
+	if scale <= 0 || scale > 1 {
+		scale = 1
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|folds=%d|seed=%d|scale=%g|preset=%d|budget=%d",
+		dataset, algorithm, folds, cfg.Seed, scale, cfg.Preset, cfg.TrainBudget)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// LoadCheckpoints parses a JSONL checkpoint stream into a key-indexed
+// map. Later records win (a re-run cell appends a fresh record), and an
+// unparseable final line — the signature of a killed run — is tolerated:
+// every complete record before it still loads. Malformed lines earlier
+// in the stream are reported.
+func LoadCheckpoints(r io.Reader) (map[string]CheckpointRecord, error) {
+	out := map[string]CheckpointRecord{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	lineNo := 0
+	badLine := 0 // most recent unparseable line (only fatal when not last)
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if badLine != 0 {
+			return nil, fmt.Errorf("checkpoint: malformed record at line %d", badLine)
+		}
+		var rec CheckpointRecord
+		if err := json.Unmarshal(line, &rec); err != nil || rec.Type != "cell" || rec.Key == "" {
+			badLine = lineNo
+			continue
+		}
+		out[rec.Key] = rec
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	return out, nil
+}
+
+// LoadCheckpointFile reads a checkpoint file; a missing file yields an
+// empty map so `-resume` composes with a first run.
+func LoadCheckpointFile(path string) (map[string]CheckpointRecord, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return map[string]CheckpointRecord{}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	defer f.Close()
+	return LoadCheckpoints(f)
+}

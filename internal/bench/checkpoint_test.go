@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/goetsc/goetsc/internal/metrics"
+)
+
+func ckptRecord(key, dataset, algorithm string, status CellStatus) CheckpointRecord {
+	return CheckpointRecord{
+		Type: "cell", Key: key,
+		Dataset: dataset, Algorithm: algorithm, Status: status,
+		BatchLen: 3,
+		Result: metrics.Result{
+			Algorithm: algorithm, Dataset: dataset,
+			Accuracy: 0.875, MacroF1: 0.8, Earliness: 0.25, HarmonicMean: 0.8076923,
+			TrainTime: 123 * time.Millisecond, NumTest: 17,
+		},
+	}
+}
+
+func marshalLines(t *testing.T, recs ...CheckpointRecord) string {
+	t.Helper()
+	var sb strings.Builder
+	for _, r := range recs {
+		b, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb.Write(b)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func TestLoadCheckpointsRoundtrip(t *testing.T) {
+	a := ckptRecord("aaaa", "PowerCons", "ECTS", StatusOK)
+	b := ckptRecord("bbbb", "PowerCons", "TEASER", StatusTimedOut)
+	got, err := LoadCheckpoints(strings.NewReader(marshalLines(t, a, b)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got["aaaa"] != a || got["bbbb"] != b {
+		t.Fatalf("roundtrip = %+v", got)
+	}
+	// The rebuilt cell carries everything the matrix needs.
+	cell := got["aaaa"].cell()
+	if cell.Dataset != "PowerCons" || cell.Algorithm != "ECTS" ||
+		cell.Status != StatusOK || cell.BatchLen != 3 ||
+		cell.Result.Accuracy != 0.875 {
+		t.Fatalf("cell = %+v", cell)
+	}
+}
+
+func TestLoadCheckpointsLaterRecordsWin(t *testing.T) {
+	failed := ckptRecord("k", "PowerCons", "ECTS", StatusFailed)
+	ok := ckptRecord("k", "PowerCons", "ECTS", StatusOK)
+	got, err := LoadCheckpoints(strings.NewReader(marshalLines(t, failed, ok)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got["k"].Status != StatusOK {
+		t.Fatalf("got = %+v, want the later ok record", got)
+	}
+}
+
+func TestLoadCheckpointsToleratesTruncatedTail(t *testing.T) {
+	whole := marshalLines(t, ckptRecord("k1", "PowerCons", "ECTS", StatusOK))
+	// A killed run's final write stops mid-record; the complete prefix
+	// must still load.
+	truncated := whole + `{"type":"cell","key":"k2","data`
+	got, err := LoadCheckpoints(strings.NewReader(truncated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got["k1"].Key != "k1" {
+		t.Fatalf("got = %+v", got)
+	}
+}
+
+func TestLoadCheckpointsRejectsMalformedMiddle(t *testing.T) {
+	whole := marshalLines(t, ckptRecord("k1", "PowerCons", "ECTS", StatusOK))
+	corrupt := `{"nope` + "\n" + whole
+	if _, err := LoadCheckpoints(strings.NewReader(corrupt)); err == nil {
+		t.Fatal("malformed non-final line accepted")
+	}
+}
+
+func TestLoadCheckpointFileMissing(t *testing.T) {
+	got, err := LoadCheckpointFile("/nonexistent/checkpoint.jsonl")
+	if err != nil || len(got) != 0 {
+		t.Fatalf("missing file: %v, %v (want empty map, nil error)", got, err)
+	}
+}
+
+func TestResumableStatuses(t *testing.T) {
+	want := map[CellStatus]bool{
+		StatusOK:       true,
+		StatusTimedOut: true,
+		StatusFailed:   false,
+		StatusPanicked: false,
+		StatusSkipped:  false,
+	}
+	for status, resumable := range want {
+		if got := (CheckpointRecord{Status: status}).Resumable(); got != resumable {
+			t.Fatalf("Resumable(%s) = %v, want %v", status, got, resumable)
+		}
+	}
+}
+
+func TestCheckpointKeyCoversResultShapingConfig(t *testing.T) {
+	base := RunConfig{Folds: 5, Seed: 42, Scale: 1, Preset: Fast, TrainBudget: time.Hour}
+	key := CheckpointKey(base, "PowerCons", "ECTS")
+
+	// Anything that changes the cell's result changes the key.
+	for name, mutate := range map[string]func(*RunConfig){
+		"folds":  func(c *RunConfig) { c.Folds = 3 },
+		"seed":   func(c *RunConfig) { c.Seed = 7 },
+		"scale":  func(c *RunConfig) { c.Scale = 0.5 },
+		"preset": func(c *RunConfig) { c.Preset = Paper },
+		"budget": func(c *RunConfig) { c.TrainBudget = time.Minute },
+	} {
+		cfg := base
+		mutate(&cfg)
+		if CheckpointKey(cfg, "PowerCons", "ECTS") == key {
+			t.Fatalf("key unchanged after mutating %s", name)
+		}
+	}
+	if CheckpointKey(base, "Biological", "ECTS") == key ||
+		CheckpointKey(base, "PowerCons", "TEASER") == key {
+		t.Fatal("key ignores the cell coordinates")
+	}
+
+	// Worker count and retry policy never change results, so they must
+	// not invalidate checkpoints; default normalization matches Run's.
+	same := base
+	same.Workers = 8
+	same.Retry = RetryPolicy{Attempts: 5}
+	same.FailFast = true
+	if CheckpointKey(same, "PowerCons", "ECTS") != key {
+		t.Fatal("execution-only config leaked into the key")
+	}
+	zero := RunConfig{Seed: 42, Preset: Fast, TrainBudget: time.Hour}
+	norm := RunConfig{Folds: 5, Seed: 42, Scale: 1, Preset: Fast, TrainBudget: time.Hour}
+	if CheckpointKey(zero, "d", "a") != CheckpointKey(norm, "d", "a") {
+		t.Fatal("zero-value folds/scale not normalized like Run's defaults")
+	}
+}

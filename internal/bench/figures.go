@@ -70,7 +70,7 @@ func (r *Results) Figure13() *report.Heatmap {
 		row := make([]float64, len(r.Algos))
 		for i, algo := range r.Algos {
 			cell, ok := r.Get(ds, algo)
-			if !ok || cell.Result.TimedOut || cell.Result.NumTest == 0 {
+			if !ok || cell.DNF() || cell.Result.NumTest == 0 {
 				row[i] = math.NaN()
 				continue
 			}
@@ -95,8 +95,8 @@ func (r *Results) PerDatasetTable(title string, metric func(metrics.Result) floa
 		row := []string{ds}
 		for _, algo := range r.Algos {
 			cell, ok := r.Get(ds, algo)
-			if !ok || cell.Result.TimedOut {
-				row = append(row, "####")
+			if !ok || cell.DNF() {
+				row = append(row, report.DNF)
 				continue
 			}
 			row = append(row, report.Cell(metric(cell.Result)))

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync/atomic"
@@ -11,6 +12,12 @@ import (
 	"github.com/goetsc/goetsc/internal/sched"
 	ts "github.com/goetsc/goetsc/internal/timeseries"
 )
+
+// ErrCancelled reports an evaluation stopped by EvalConfig.Cancelled
+// before completing. The matrix engine's fail-fast mode uses it to tell
+// "this cell was cut short by another cell's failure" apart from a
+// genuine failure of this cell.
+var ErrCancelled = errors.New("evaluation cancelled")
 
 // EvalConfig controls one evaluation run.
 type EvalConfig struct {
@@ -32,6 +39,17 @@ type EvalConfig struct {
 	// (wall-clock measurements aside) are identical at any worker count.
 	// A nil pool evaluates folds serially, as does a one-worker pool.
 	Pool *sched.Pool
+	// Cancelled, when non-nil, is polled before each fold starts; a true
+	// return stops scheduling further folds and Evaluate returns
+	// ErrCancelled. The matrix engine's fail-fast mode plumbs its abort
+	// flag through here so an in-flight cell stops at fold granularity
+	// instead of running every remaining fold to completion.
+	Cancelled func() bool
+	// WrapFoldFactory, when non-nil, replaces the factory used for one
+	// fold — the deterministic fault-injection hook (internal/faults).
+	// Production runs leave it nil; the chaos suite uses it to place
+	// panics, errors and latency spikes at exact (fold, attempt) keys.
+	WrapFoldFactory func(fold int, f Factory) Factory
 }
 
 func (c EvalConfig) withDefaults() EvalConfig {
@@ -73,13 +91,36 @@ func Evaluate(factory Factory, d *ts.Dataset, cfg EvalConfig) (metrics.Result, [
 		if int64(f) > stopAt.Load() {
 			return
 		}
-		fold := folds[f]
-		span := cfg.Obs.Start("fold", obs.Int("index", f),
-			obs.Int("train_size", len(fold.Train)), obs.Int("test_size", len(fold.Test)))
-		r, err := EvaluateFold(factory, d, fold, cfg.TrainBudget, span)
-		span.End()
-		outs[f] = foldOut{r: r, err: err}
-		if err != nil || r.TimedOut {
+		if cfg.Cancelled != nil && cfg.Cancelled() {
+			outs[f] = foldOut{err: ErrCancelled}
+		} else {
+			fold := folds[f]
+			foldFactory := factory
+			if cfg.WrapFoldFactory != nil {
+				foldFactory = cfg.WrapFoldFactory(f, factory)
+			}
+			span := cfg.Obs.Start("fold", obs.Int("index", f),
+				obs.Int("train_size", len(fold.Train)), obs.Int("test_size", len(fold.Test)))
+			// The fold is a pool work unit: it runs under recover so a
+			// panicking algorithm becomes this fold's error — with its
+			// stack journaled — instead of a process crash that takes the
+			// neighbouring cells down with it.
+			var r metrics.Result
+			err := sched.Protect(func() error {
+				var ferr error
+				r, ferr = EvaluateFold(foldFactory, d, fold, cfg.TrainBudget, span)
+				return ferr
+			})
+			var pe *sched.PanicError
+			if errors.As(err, &pe) {
+				span.Event("panic",
+					obs.String("value", fmt.Sprint(pe.Value)),
+					obs.String("stack", string(pe.Stack)))
+			}
+			span.End()
+			outs[f] = foldOut{r: r, err: err}
+		}
+		if outs[f].err != nil || outs[f].r.TimedOut {
 			for {
 				cur := stopAt.Load()
 				if int64(f) >= cur || stopAt.CompareAndSwap(cur, int64(f)) {
@@ -124,7 +165,10 @@ func EvaluateFold(factory Factory, d *ts.Dataset, fold ts.Fold, budget time.Dura
 	start := time.Now()
 	if budget > 0 {
 		done := make(chan error, 1)
-		go func() { done <- algo.Fit(train) }()
+		// The trainer runs on its own goroutine, outside the fold's
+		// recover, so it carries its own: a panicking Fit surfaces as this
+		// fold's *sched.PanicError instead of crashing the process.
+		go func() { done <- sched.Protect(func() error { return algo.Fit(train) }) }()
 		// A stopped timer (unlike time.After) releases its runtime
 		// resources immediately, so the happy path leaks nothing.
 		timer := time.NewTimer(budget)
@@ -150,6 +194,22 @@ func EvaluateFold(factory Factory, d *ts.Dataset, fold ts.Fold, budget time.Dura
 			fit.Event("goroutine_abandoned",
 				obs.String("algorithm", result.Algorithm),
 				obs.Bool("stop_requested", stoppable))
+			// Track the leak until it resolves: the gauge counts trainers
+			// still running past their budget, and the journal records when
+			// one eventually returns — so a long chaos run can prove that
+			// abandoned goroutines drain instead of accumulating unboundedly.
+			gauge := span.Collector().Registry().Gauge("etsc_abandoned_trainers",
+				"Live abandoned training goroutines (budget timeouts whose Fit has not yet returned).")
+			gauge.Add(1)
+			abandonedAt := time.Now()
+			go func() {
+				trainErr := <-done
+				gauge.Add(-1)
+				fit.Event("abandoned_trainer_finished",
+					obs.String("algorithm", result.Algorithm),
+					obs.Float("overrun_ms", float64(time.Since(abandonedAt))/float64(time.Millisecond)),
+					obs.Bool("errored", trainErr != nil))
+			}()
 			result.TimedOut = true
 			result.TrainTime = budget
 			fit.SetAttr(obs.Bool("timed_out", true))

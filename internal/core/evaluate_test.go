@@ -3,15 +3,38 @@ package core
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"math/rand"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"github.com/goetsc/goetsc/internal/obs"
+	"github.com/goetsc/goetsc/internal/sched"
 	ts "github.com/goetsc/goetsc/internal/timeseries"
 )
+
+// syncBuffer is a mutex-guarded bytes.Buffer: the abandoned-trainer
+// watcher journals from its own goroutine, possibly after Evaluate
+// returns, so test reads must synchronize with journal writes.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
 
 // budgetHog is a deliberately slow Stoppable fake: Fit blocks until Stop
 // is called (or a long safety timeout) and records whether Stop arrived.
@@ -72,7 +95,7 @@ func TestTrainBudgetTimeoutPath(t *testing.T) {
 func TestTimeoutEventsReachJournal(t *testing.T) {
 	rng := rand.New(rand.NewSource(21))
 	d := offsetDataset("journal", 24, 10, 1, rng)
-	var buf bytes.Buffer
+	var buf syncBuffer
 	col := obs.New(obs.Options{Journal: obs.NewJournal(&buf)})
 	root := col.Start("algorithm")
 	_, _, err := Evaluate(func() EarlyClassifier { return newBudgetHog() }, d,
@@ -118,6 +141,89 @@ func TestTimeoutEventsReachJournal(t *testing.T) {
 	}
 	if foldSpans != 1 || fitSpans != 1 {
 		t.Fatalf("spans: %d fold, %d fit; want 1 each (early break)", foldSpans, fitSpans)
+	}
+}
+
+// panicker is a classifier whose Fit panics, for fault-isolation tests.
+type panicker struct{ meanThreshold }
+
+func (p *panicker) Fit(train *ts.Dataset) error { panic("injected training panic") }
+
+func TestEvaluateIsolatesFoldPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	d := offsetDataset("panic", 24, 10, 1, rng)
+	for _, workers := range []int{1, 8} {
+		var buf bytes.Buffer
+		col := obs.New(obs.Options{Journal: obs.NewJournal(&buf)})
+		root := col.Start("algorithm")
+		_, _, err := Evaluate(func() EarlyClassifier { return &panicker{} }, d,
+			EvalConfig{Folds: 3, Seed: 8, Obs: root, Pool: sched.New(workers)})
+		root.End()
+		var pe *sched.PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *sched.PanicError", workers, err)
+		}
+		if pe.Value != "injected training panic" {
+			t.Fatalf("workers=%d: panic value = %v", workers, pe.Value)
+		}
+		// The stack is journaled as a panic event under the fold span.
+		if !strings.Contains(buf.String(), `"name":"panic"`) ||
+			!strings.Contains(buf.String(), "injected training panic") {
+			t.Fatalf("workers=%d: journal missing panic event:\n%s", workers, buf.String())
+		}
+	}
+}
+
+func TestEvaluateIsolatesBudgetPathPanics(t *testing.T) {
+	// With a budget set, Fit runs on its own goroutine; the panic must
+	// still surface as this fold's error, not a process crash.
+	rng := rand.New(rand.NewSource(24))
+	d := offsetDataset("panicbudget", 24, 10, 1, rng)
+	_, _, err := Evaluate(func() EarlyClassifier { return &panicker{} }, d,
+		EvalConfig{Folds: 2, Seed: 9, TrainBudget: 10 * time.Second})
+	var pe *sched.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *sched.PanicError", err)
+	}
+}
+
+func TestEvaluateCancelled(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	d := offsetDataset("cancel", 24, 10, 1, rng)
+	var fits atomic.Int64
+	factory := func() EarlyClassifier { fits.Add(1); return &meanThreshold{} }
+	_, _, err := Evaluate(factory, d, EvalConfig{Folds: 4, Seed: 10,
+		Cancelled: func() bool { return true }})
+	if !errors.Is(err, ErrCancelled) {
+		t.Fatalf("err = %v, want ErrCancelled", err)
+	}
+	if fits.Load() != 0 {
+		t.Fatalf("cancelled run still trained %d folds", fits.Load())
+	}
+}
+
+func TestAbandonedTrainerGaugeDrains(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	d := offsetDataset("gauge", 24, 10, 1, rng)
+	var buf syncBuffer
+	reg := obs.NewRegistry()
+	col := obs.New(obs.Options{Journal: obs.NewJournal(&buf), Metrics: reg})
+	root := col.Start("algorithm")
+	_, _, err := Evaluate(func() EarlyClassifier { return newBudgetHog() }, d,
+		EvalConfig{Folds: 2, Seed: 11, TrainBudget: 20 * time.Millisecond, Obs: root})
+	root.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The hog honors Stop, so the abandoned trainer finishes promptly and
+	// the live gauge must return to zero with a finish record journaled.
+	gauge := reg.Gauge("etsc_abandoned_trainers", "")
+	deadline := time.Now().Add(5 * time.Second)
+	for gauge.Value() != 0 || !strings.Contains(buf.String(), "abandoned_trainer_finished") {
+		if time.Now().After(deadline) {
+			t.Fatalf("gauge = %v, journal:\n%s", gauge.Value(), buf.String())
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }
 

@@ -1,0 +1,168 @@
+// Package faults is the deterministic fault-injection harness behind
+// the chaos test suite: a seeded Plan decides, purely as a function of
+// the (dataset, algorithm, fold, attempt) key, whether that work unit
+// panics, errors, or suffers a latency spike during training. Because
+// the decision is a hash of the key — not of scheduling order — the same
+// plan places the same faults at the same cells at any worker count, so
+// chaos runs can assert that surviving cells are byte-identical to a
+// fault-free run and that retries at later attempt numbers recover.
+//
+// The package is stdlib-only and wraps algorithm factories in tests
+// only; production configurations never reference it.
+package faults
+
+import (
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"github.com/goetsc/goetsc/internal/core"
+	ts "github.com/goetsc/goetsc/internal/timeseries"
+)
+
+// Kind enumerates the injectable fault types.
+type Kind int
+
+// Fault kinds.
+const (
+	// None leaves the work unit untouched.
+	None Kind = iota
+	// Panic makes Fit panic, exercising the engine's recover isolation.
+	Panic
+	// Error makes Fit return an error, exercising retry and DNF paths.
+	Error
+	// Latency delays Fit by Fault.Delay before training normally,
+	// exercising budget interplay without failing the unit.
+	Latency
+)
+
+// String names the kind for journals and error messages.
+func (k Kind) String() string {
+	switch k {
+	case Panic:
+		return "panic"
+	case Error:
+		return "error"
+	case Latency:
+		return "latency"
+	default:
+		return "none"
+	}
+}
+
+// Fault is one injection decision.
+type Fault struct {
+	Kind Kind
+	// Delay is the injected training delay (Latency faults only).
+	Delay time.Duration
+}
+
+// Config sets the plan seed and per-key injection probabilities. The
+// probabilities partition [0, 1): a key draws one uniform value and
+// receives a panic when it lands below PanicProb, an error below
+// PanicProb+ErrorProb, a latency spike below the three-way sum, and no
+// fault otherwise.
+type Config struct {
+	Seed        int64
+	PanicProb   float64
+	ErrorProb   float64
+	LatencyProb float64
+	// MaxLatency bounds injected delays; Latency faults draw uniformly
+	// from (0, MaxLatency]. Zero disables delay (the fault still fires,
+	// with Delay 0).
+	MaxLatency time.Duration
+}
+
+// Plan deterministically maps work-unit keys to faults.
+type Plan struct {
+	cfg Config
+}
+
+// NewPlan builds a plan from the config.
+func NewPlan(cfg Config) *Plan { return &Plan{cfg: cfg} }
+
+// uniform hashes the key (plus a purpose tag, so the kind draw and the
+// delay draw are independent) into a uniform float64 in [0, 1).
+func (p *Plan) uniform(tag, dataset, algorithm string, fold, attempt int) float64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%s|%s|%d|%d", p.cfg.Seed, tag, dataset, algorithm, fold, attempt)
+	return float64(h.Sum64()>>11) / float64(uint64(1)<<53)
+}
+
+// For returns the fault assigned to one (dataset, algorithm, fold,
+// attempt) key. A nil plan injects nothing.
+func (p *Plan) For(dataset, algorithm string, fold, attempt int) Fault {
+	if p == nil {
+		return Fault{}
+	}
+	u := p.uniform("kind", dataset, algorithm, fold, attempt)
+	switch {
+	case u < p.cfg.PanicProb:
+		return Fault{Kind: Panic}
+	case u < p.cfg.PanicProb+p.cfg.ErrorProb:
+		return Fault{Kind: Error}
+	case u < p.cfg.PanicProb+p.cfg.ErrorProb+p.cfg.LatencyProb:
+		d := time.Duration(p.uniform("delay", dataset, algorithm, fold, attempt) *
+			float64(p.cfg.MaxLatency))
+		return Fault{Kind: Latency, Delay: d}
+	default:
+		return Fault{}
+	}
+}
+
+// Wrapper adapts the plan to the evaluation engine's fold-factory hook
+// (bench.RunConfig.WrapFoldFactory): each fold's factory is replaced by
+// one that applies the fault assigned to its full key. A nil plan
+// returns a pass-through wrapper.
+func (p *Plan) Wrapper() func(dataset, algorithm string, attempt, fold int, f core.Factory) core.Factory {
+	return func(dataset, algorithm string, attempt, fold int, f core.Factory) core.Factory {
+		fault := p.For(dataset, algorithm, fold, attempt)
+		if fault.Kind == None {
+			return f
+		}
+		key := fmt.Sprintf("%s/%s/fold%d/attempt%d", dataset, algorithm, fold, attempt)
+		return Wrap(f, fault, key)
+	}
+}
+
+// Wrap returns a factory whose classifiers apply the fault when Fit is
+// called, then (for Latency, or None) behave exactly as the inner
+// classifier. Multivariate capability and Stop propagation are
+// delegated, so wrapping never changes how the harness treats the
+// algorithm.
+func Wrap(f core.Factory, fault Fault, key string) core.Factory {
+	return func() core.EarlyClassifier {
+		return &faulty{inner: f(), fault: fault, key: key}
+	}
+}
+
+type faulty struct {
+	inner core.EarlyClassifier
+	fault Fault
+	key   string
+}
+
+func (c *faulty) Name() string { return c.inner.Name() }
+
+func (c *faulty) Multivariate() bool { return core.IsMultivariate(c.inner) }
+
+// Stop propagates to the inner classifier when it is Stoppable.
+func (c *faulty) Stop() {
+	if s, ok := c.inner.(core.Stoppable); ok {
+		s.Stop()
+	}
+}
+
+func (c *faulty) Fit(train *ts.Dataset) error {
+	switch c.fault.Kind {
+	case Panic:
+		panic(fmt.Sprintf("faults: injected panic at %s", c.key))
+	case Error:
+		return fmt.Errorf("faults: injected error at %s", c.key)
+	case Latency:
+		time.Sleep(c.fault.Delay)
+	}
+	return c.inner.Fit(train)
+}
+
+func (c *faulty) Classify(in ts.Instance) (int, int) { return c.inner.Classify(in) }

@@ -1,0 +1,128 @@
+package faults
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/goetsc/goetsc/internal/core"
+	"github.com/goetsc/goetsc/internal/sched"
+	ts "github.com/goetsc/goetsc/internal/timeseries"
+)
+
+// noop is a minimal classifier for wrapper tests.
+type noop struct{ fitted bool }
+
+func (n *noop) Name() string                       { return "NOOP" }
+func (n *noop) Fit(train *ts.Dataset) error        { n.fitted = true; return nil }
+func (n *noop) Classify(in ts.Instance) (int, int) { return 0, 1 }
+
+// stoppableNoop additionally records Stop propagation.
+type stoppableNoop struct {
+	noop
+	stopped bool
+}
+
+func (s *stoppableNoop) Stop() { s.stopped = true }
+
+func TestPlanIsDeterministic(t *testing.T) {
+	cfg := Config{Seed: 7, PanicProb: 0.1, ErrorProb: 0.1, LatencyProb: 0.1, MaxLatency: time.Second}
+	a, b := NewPlan(cfg), NewPlan(cfg)
+	for fold := 0; fold < 50; fold++ {
+		for attempt := 0; attempt < 3; attempt++ {
+			fa := a.For("PowerCons", "ECTS", fold, attempt)
+			fb := b.For("PowerCons", "ECTS", fold, attempt)
+			if fa != fb {
+				t.Fatalf("fold %d attempt %d: %v vs %v", fold, attempt, fa, fb)
+			}
+		}
+	}
+	// A different seed reshuffles the placement.
+	c := NewPlan(Config{Seed: 8, PanicProb: 0.1, ErrorProb: 0.1, LatencyProb: 0.1, MaxLatency: time.Second})
+	same := 0
+	for fold := 0; fold < 200; fold++ {
+		if a.For("PowerCons", "ECTS", fold, 0) == c.For("PowerCons", "ECTS", fold, 0) {
+			same++
+		}
+	}
+	if same == 200 {
+		t.Fatal("seed change did not move any fault")
+	}
+}
+
+func TestPlanRatesApproximateConfig(t *testing.T) {
+	p := NewPlan(Config{Seed: 1, PanicProb: 0.2, ErrorProb: 0.3, LatencyProb: 0.1, MaxLatency: time.Second})
+	counts := map[Kind]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[p.For("ds", "algo", i, 0).Kind]++
+	}
+	check := func(kind Kind, want float64) {
+		got := float64(counts[kind]) / n
+		if math.Abs(got-want) > 0.02 {
+			t.Fatalf("%v rate = %.3f, want ~%.2f", kind, got, want)
+		}
+	}
+	check(Panic, 0.2)
+	check(Error, 0.3)
+	check(Latency, 0.1)
+	check(None, 0.4)
+}
+
+func TestNilPlanInjectsNothing(t *testing.T) {
+	var p *Plan
+	if f := p.For("ds", "algo", 0, 0); f.Kind != None {
+		t.Fatalf("nil plan fault = %v", f)
+	}
+	inner := &noop{}
+	wrapped := p.Wrapper()("ds", "algo", 0, 0, func() core.EarlyClassifier { return inner })()
+	if wrapped != core.EarlyClassifier(inner) {
+		t.Fatal("nil plan should return the factory's classifier untouched")
+	}
+}
+
+func TestWrapAppliesFaults(t *testing.T) {
+	factory := func() core.EarlyClassifier { return &noop{} }
+
+	err := sched.Protect(func() error {
+		return Wrap(factory, Fault{Kind: Panic}, "k")().Fit(nil)
+	})
+	var pe *sched.PanicError
+	if !errors.As(err, &pe) || !strings.Contains(pe.Error(), "injected panic at k") {
+		t.Fatalf("panic fault: %v", err)
+	}
+
+	if err := Wrap(factory, Fault{Kind: Error}, "k")().Fit(nil); err == nil ||
+		!strings.Contains(err.Error(), "injected error at k") {
+		t.Fatalf("error fault: %v", err)
+	}
+
+	start := time.Now()
+	c := Wrap(factory, Fault{Kind: Latency, Delay: 30 * time.Millisecond}, "k")()
+	if err := c.Fit(&ts.Dataset{Name: "d"}); err != nil {
+		t.Fatalf("latency fault: %v", err)
+	}
+	if time.Since(start) < 30*time.Millisecond {
+		t.Fatal("latency fault did not delay Fit")
+	}
+	if label, consumed := c.Classify(ts.Instance{}); label != 0 || consumed != 1 {
+		t.Fatalf("Classify not delegated: %d, %d", label, consumed)
+	}
+}
+
+func TestWrapDelegatesCapabilities(t *testing.T) {
+	s := &stoppableNoop{}
+	wrapped := Wrap(func() core.EarlyClassifier { return s }, Fault{Kind: Latency}, "k")()
+	if wrapped.Name() != "NOOP" {
+		t.Fatalf("Name = %q", wrapped.Name())
+	}
+	if core.IsMultivariate(wrapped) {
+		t.Fatal("univariate inner reported as multivariate")
+	}
+	wrapped.(core.Stoppable).Stop()
+	if !s.stopped {
+		t.Fatal("Stop not propagated")
+	}
+}

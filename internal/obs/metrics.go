@@ -146,6 +146,21 @@ func (g *Gauge) Set(v float64) {
 	g.bits.Store(math.Float64bits(v))
 }
 
+// Add atomically adds delta (negative to decrement) — the up/down
+// counter form gauges such as live abandoned trainers need. No-op on nil.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
 // Value returns the stored value.
 func (g *Gauge) Value() float64 {
 	if g == nil {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"strings"
+	"sync"
 	"testing"
 
 	"github.com/goetsc/goetsc/internal/obs"
@@ -96,6 +97,28 @@ func TestJSONExport(t *testing.T) {
 	}
 }
 
+func TestGaugeAddIsAnUpDownCounter(t *testing.T) {
+	g := obs.NewRegistry().Gauge("live", "")
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g.Add(1)
+			g.Add(1)
+			g.Add(-1)
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 50 {
+		t.Fatalf("gauge after 50×(+1+1-1) = %v, want 50", got)
+	}
+	g.Add(-50)
+	if got := g.Value(); got != 0 {
+		t.Fatalf("drained gauge = %v, want 0", got)
+	}
+}
+
 func TestInstrumentsAreIdempotentAndNilSafe(t *testing.T) {
 	reg := obs.NewRegistry()
 	a := reg.Counter("x", "")
@@ -111,6 +134,7 @@ func TestInstrumentsAreIdempotentAndNilSafe(t *testing.T) {
 	var nilReg *obs.Registry
 	nilReg.Counter("x", "").Inc()
 	nilReg.Gauge("g", "").Set(1)
+	nilReg.Gauge("g", "").Add(1)
 	nilReg.Histogram("h", "", []float64{1}).Observe(1)
 	if err := nilReg.WritePrometheus(&bytes.Buffer{}); err != nil {
 		t.Fatal(err)

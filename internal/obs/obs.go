@@ -181,6 +181,16 @@ func (c *Collector) startSpan(parent *Span, name string, attrs []Attr) *Span {
 	return sp
 }
 
+// Collector returns the collector behind the span (nil on a nil span),
+// giving instrumented code reached only via a span — the evaluation
+// runner's budget path, for example — access to the registry and journal.
+func (s *Span) Collector() *Collector {
+	if s == nil {
+		return nil
+	}
+	return s.c
+}
+
 // SetAttr adds an annotation to the span after creation (e.g. a result
 // computed mid-span). No-op on a nil span.
 func (s *Span) SetAttr(attrs ...Attr) {

@@ -82,11 +82,16 @@ func pad(s string, width int) string {
 	return s + strings.Repeat(" ", width-len(s))
 }
 
-// Cell formats a float value for a table; NaN renders as the hatch marker
-// (an algorithm that failed to train, as in Figure 13).
+// DNF is the hatch marker for cells that did not finish — budget
+// timeouts, failures, panics and skips all render identically, matching
+// the paper's hatched Figure 13 cells.
+const DNF = "####"
+
+// Cell formats a float value for a table; NaN renders as the DNF hatch
+// marker (an algorithm that failed to train, as in Figure 13).
 func Cell(v float64) string {
 	if math.IsNaN(v) {
-		return "####"
+		return DNF
 	}
 	return fmt.Sprintf("%.3f", v)
 }
@@ -138,7 +143,7 @@ func (b *BarChart) WriteText(w io.Writer) error {
 			var bar string
 			var value string
 			if math.IsNaN(v) {
-				bar = "####"
+				bar = DNF
 				value = "n/a"
 			} else {
 				n := int(v / max * float64(b.MaxWidth))
@@ -177,7 +182,7 @@ func (h *Heatmap) WriteText(w io.Writer) error {
 		for _, v := range h.Values[r] {
 			switch {
 			case math.IsNaN(v):
-				row = append(row, "####")
+				row = append(row, DNF)
 			case v < 1:
 				row = append(row, fmt.Sprintf("+%.2g", v))
 			default:

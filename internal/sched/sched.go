@@ -12,9 +12,39 @@
 package sched
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 )
+
+// PanicError is a recovered panic converted into an error: the work-unit
+// isolation contract of the fault-tolerant engine. It preserves the
+// panicking value and the goroutine stack at the recovery point so the
+// run journal can record where a cell, fold or candidate blew up.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic: %v", e.Value)
+}
+
+// Protect runs fn, converting a panic into a *PanicError return. It is
+// the recovery wrapper every evaluation work unit (cell, fold, tuning
+// candidate) runs under, so a panicking algorithm becomes a per-unit
+// failure instead of a process crash. The recover happens on the calling
+// goroutine, so Protect must wrap the task itself, not its scheduler.
+func Protect(fn func() error) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return fn()
+}
 
 // Pool bounds the number of tasks running in spawned goroutines. The
 // zero-cost degenerate cases (nil pool, one worker) run every task on the
@@ -51,6 +81,14 @@ func (p *Pool) Workers() int {
 // blocking, so nested ForEach calls (cells → folds → transforms) share
 // one bound and can never deadlock. A nil pool or a one-worker pool runs
 // every task inline in index order.
+//
+// A task panic on the concurrent path is contained: instead of killing
+// the process from an anonymous goroutine, the first panic (by task
+// index) is captured with its stack and re-panicked as a *PanicError on
+// the calling goroutine after the remaining tasks finish. Tasks that
+// must degrade gracefully wrap themselves in Protect; the re-panic is
+// only the safety net for unprotected call sites. The serial path (nil
+// pool, one worker, n <= 1) panics in place, exactly like a plain loop.
 func (p *Pool) ForEach(n int, task func(int)) {
 	if p == nil || p.workers <= 1 || n <= 1 {
 		for i := 0; i < n; i++ {
@@ -58,7 +96,22 @@ func (p *Pool) ForEach(n int, task func(int)) {
 		}
 		return
 	}
-	var wg sync.WaitGroup
+	var (
+		wg         sync.WaitGroup
+		panicMu    sync.Mutex
+		panicAt    = n
+		firstPanic *PanicError
+	)
+	guarded := func(i int) {
+		err := Protect(func() error { task(i); return nil })
+		if pe, ok := err.(*PanicError); ok {
+			panicMu.Lock()
+			if i < panicAt {
+				panicAt, firstPanic = i, pe
+			}
+			panicMu.Unlock()
+		}
+	}
 	for i := 0; i < n; i++ {
 		select {
 		case p.sem <- struct{}{}:
@@ -66,13 +119,16 @@ func (p *Pool) ForEach(n int, task func(int)) {
 			go func(i int) {
 				defer wg.Done()
 				defer func() { <-p.sem }()
-				task(i)
+				guarded(i)
 			}(i)
 		default:
-			task(i)
+			guarded(i)
 		}
 	}
 	wg.Wait()
+	if firstPanic != nil {
+		panic(firstPanic)
+	}
 }
 
 var (

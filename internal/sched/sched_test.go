@@ -1,7 +1,9 @@
 package sched
 
 import (
+	"errors"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -127,6 +129,56 @@ func TestSharedPoolResize(t *testing.T) {
 	Shared().ForEach(10, func(int) { n.Add(1) })
 	if n.Load() != 10 {
 		t.Fatalf("shared pool ran %d tasks", n.Load())
+	}
+}
+
+func TestProtectConvertsPanicToError(t *testing.T) {
+	err := Protect(func() error { panic("boom") })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v (%T), want *PanicError", err, err)
+	}
+	if pe.Value != "boom" || !strings.Contains(pe.Error(), "boom") {
+		t.Fatalf("PanicError = %+v", pe)
+	}
+	if !strings.Contains(string(pe.Stack), "sched.Protect") {
+		t.Fatalf("stack missing recovery frame:\n%s", pe.Stack)
+	}
+	// Plain errors and clean returns pass through untouched.
+	want := errors.New("plain")
+	if got := Protect(func() error { return want }); got != want {
+		t.Fatalf("plain error = %v", got)
+	}
+	if got := Protect(func() error { return nil }); got != nil {
+		t.Fatalf("clean return = %v", got)
+	}
+}
+
+func TestForEachContainsSpawnedPanics(t *testing.T) {
+	// A panic inside a spawned task must not kill the process from an
+	// anonymous goroutine: ForEach re-panics the lowest-index panic on the
+	// calling goroutine after the surviving tasks finish.
+	p := New(4)
+	var ran atomic.Int64
+	var recovered any
+	func() {
+		defer func() { recovered = recover() }()
+		p.ForEach(64, func(i int) {
+			if i == 7 || i == 31 {
+				panic(i)
+			}
+			ran.Add(1)
+		})
+	}()
+	pe, ok := recovered.(*PanicError)
+	if !ok {
+		t.Fatalf("recovered %v (%T), want *PanicError", recovered, recovered)
+	}
+	if pe.Value != 7 {
+		t.Fatalf("first panic value = %v, want 7 (lowest index)", pe.Value)
+	}
+	if got := ran.Load(); got != 62 {
+		t.Fatalf("surviving tasks ran = %d, want 62", got)
 	}
 }
 

@@ -6,6 +6,7 @@
 package tune
 
 import (
+	"errors"
 	"fmt"
 	"sync/atomic"
 
@@ -80,9 +81,23 @@ func Select(candidates []Candidate, train *ts.Dataset, cfg Config) (Candidate, [
 		}
 		cand := candidates[i]
 		span := cfg.Obs.Start("candidate", obs.String("label", cand.Label), obs.Int("index", i))
-		avg, _, err := core.Evaluate(cand.New, train, core.EvalConfig{
-			Folds: cfg.Folds, Seed: cfg.Seed, Obs: span, Pool: cfg.Pool})
+		// A panicking candidate costs only its own slot: the recover runs
+		// here (and inside Evaluate's fold tasks), the stack is journaled,
+		// and selection reports the candidate as errored instead of
+		// crashing the grid.
+		var avg metrics.Result
+		err := sched.Protect(func() error {
+			var evalErr error
+			avg, _, evalErr = core.Evaluate(cand.New, train, core.EvalConfig{
+				Folds: cfg.Folds, Seed: cfg.Seed, Obs: span, Pool: cfg.Pool})
+			return evalErr
+		})
 		if err != nil {
+			var pe *sched.PanicError
+			if errors.As(err, &pe) {
+				span.Event("panic", obs.String("value", fmt.Sprint(pe.Value)),
+					obs.String("stack", string(pe.Stack)))
+			}
 			span.End()
 			errs[i] = err
 			abort.Store(true)

@@ -1,11 +1,14 @@
 package tune
 
 import (
+	"errors"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"github.com/goetsc/goetsc/internal/core"
 	"github.com/goetsc/goetsc/internal/metrics"
+	"github.com/goetsc/goetsc/internal/sched"
 	ts "github.com/goetsc/goetsc/internal/timeseries"
 )
 
@@ -145,6 +148,31 @@ func TestTunedLifecycle(t *testing.T) {
 	}
 	if correct < 55 {
 		t.Fatalf("tuned accuracy = %d/60", correct)
+	}
+}
+
+// panicStub panics during Fit, for candidate isolation tests.
+type panicStub struct{ stubAlgo }
+
+func (p *panicStub) Fit(train *ts.Dataset) error { panic("injected candidate panic") }
+
+func TestSelectIsolatesCandidatePanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := offsetDataset(rng, 40, 20)
+	candidates := []Candidate{
+		{Label: "good", New: func() core.EarlyClassifier { return &stubAlgo{at: 4} }},
+		{Label: "explosive", New: func() core.EarlyClassifier { return &panicStub{} }},
+	}
+	_, _, err := Select(candidates, d, Config{Seed: 5})
+	if err == nil {
+		t.Fatal("panicking candidate did not surface as an error")
+	}
+	var pe *sched.PanicError
+	if !errors.As(err, &pe) || pe.Value != "injected candidate panic" {
+		t.Fatalf("err = %v, want *sched.PanicError with the injected value", err)
+	}
+	if !strings.Contains(err.Error(), `"explosive"`) {
+		t.Fatalf("error does not name the candidate: %v", err)
 	}
 }
 

@@ -37,7 +37,48 @@ type document struct {
 	Benchmarks  []result           `json:"benchmarks"`
 	Speedups    map[string]float64 `json:"speedups"`
 	AllocRatios map[string]float64 `json:"alloc_ratios"`
-	Note        string             `json:"note"`
+	// FaultCounters carries a run's fault-tolerance counters (retries,
+	// isolated panics, resumed cells, failures) when -counters points at
+	// an `etsc-bench -metrics-out *.json` export.
+	FaultCounters map[string]float64 `json:"fault_tolerance_counters,omitempty"`
+	Note          string             `json:"note"`
+}
+
+// faultCounterNames are the evaluation engine's robustness counters,
+// copied into the benchmark document so a matrix run's retry/resume
+// behaviour is committed alongside its timings.
+var faultCounterNames = map[string]bool{
+	"etsc_cells_total":          true,
+	"etsc_train_timeouts_total": true,
+	"etsc_cell_retries_total":   true,
+	"etsc_cell_panics_total":    true,
+	"etsc_cells_failed_total":   true,
+	"etsc_cells_resumed_total":  true,
+}
+
+// loadCounters extracts the fault-tolerance counters from a metrics JSON
+// export (obs.Registry.WriteJSON).
+func loadCounters(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc struct {
+		Metrics []struct {
+			Name  string   `json:"name"`
+			Value *float64 `json:"value"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, err
+	}
+	out := map[string]float64{}
+	for _, m := range doc.Metrics {
+		if faultCounterNames[m.Name] && m.Value != nil {
+			out[m.Name] += *m.Value
+		}
+	}
+	return out, nil
 }
 
 // benchLine matches e.g.
@@ -48,6 +89,7 @@ var benchLine = regexp.MustCompile(
 func main() {
 	out := flag.String("out", "BENCH_PR2.json", "output JSON path")
 	benchtime := flag.String("benchtime", "1s", "passed to -benchtime")
+	counters := flag.String("counters", "", "optional `etsc-bench -metrics-out *.json` export; stamps its fault-tolerance counters into the document")
 	flag.Parse()
 
 	suites := []struct{ pkg, pattern string }{
@@ -84,6 +126,14 @@ func main() {
 		AllocRatios: map[string]float64{},
 		Note: "speedups are baseline/optimized wall time; the matrix parallel/serial " +
 			"ratio is bounded by num_cpu and approaches 1 on a single-core machine",
+	}
+	if *counters != "" {
+		fc, err := loadCounters(*counters)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: counters: %v\n", err)
+			os.Exit(1)
+		}
+		doc.FaultCounters = fc
 	}
 	nsOp := func(r result) float64 { return r.NsPerOp }
 	allocs := func(r result) float64 { return float64(r.AllocsPerOp) }
