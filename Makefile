@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet race chaos test bench figures data tune clean
+.PHONY: all build vet race chaos serve-smoke test bench bench-serve figures data tune clean
 
 all: build vet test
 
@@ -31,7 +31,15 @@ chaos:
 	$(GO) test -race ./internal/faults/...
 	$(GO) test -race -run 'Chaos|Fault|Retry|Resume|Checkpoint|FailFast|Panic' ./internal/bench/...
 
-test: vet race chaos
+# End-to-end serving parity under the race detector: every algorithm is
+# trained on three synthetic datasets (one multivariate), persisted,
+# loaded into an HTTP server, and must reproduce the offline Classify
+# decisions over both the one-shot and streaming session endpoints.
+serve-smoke:
+	$(GO) test -race -run 'ServeSmoke' ./internal/serve/...
+	$(GO) test -race -run 'Run' ./internal/loadgen/...
+
+test: vet race chaos serve-smoke
 	$(GO) test ./...
 
 # One benchmark per paper table/figure + per-algorithm and ablation
@@ -41,6 +49,13 @@ test: vet race chaos
 bench:
 	$(GO) test -bench=. -benchmem .
 	$(GO) run ./tools/benchjson -out BENCH_PR2.json
+
+# Serving-layer latency benchmark: trains a model in-process, serves it
+# over loopback HTTP, replays it through the load generator at three
+# request rates (plus one streaming run) with offline parity checks, and
+# commits the percentiles and request counters to BENCH_PR4.json.
+bench-serve:
+	$(GO) run ./tools/benchjson -serve -skip-suites -out BENCH_PR4.json
 
 # Scaled-down evaluation matrix with text figures, SVG files and the
 # qualitative-claims check.

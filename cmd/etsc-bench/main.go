@@ -12,11 +12,15 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	"github.com/goetsc/goetsc/internal/bench"
@@ -121,12 +125,37 @@ func main() {
 		check(err)
 		cfg.Resume = records
 	}
+	var ckpt *checkpointWriter
 	if *checkpoint != "" {
 		f, err := os.OpenFile(*checkpoint, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		check(err)
-		defer f.Close()
-		cfg.Checkpoint = f
+		ckpt = &checkpointWriter{buf: bufio.NewWriter(f), f: f}
+		defer ckpt.Close()
+		cfg.Checkpoint = ckpt
 	}
+	// A long matrix run killed with ^C must leave a resumable checkpoint:
+	// the handler flushes and fsyncs the buffered records, journals the
+	// interruption, and flushes the observability sinks before exiting
+	// with the conventional 128+signal status.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		s := <-sigCh
+		if ckpt != nil {
+			if err := ckpt.Sync(); err != nil {
+				fmt.Fprintf(os.Stderr, "etsc-bench: checkpoint flush: %v\n", err)
+			}
+		}
+		col.Emit("run_interrupted", map[string]any{
+			"signal": s.String(), "checkpoint": *checkpoint,
+		})
+		obsCleanup()
+		code := 130 // SIGINT
+		if s == syscall.SIGTERM {
+			code = 143
+		}
+		os.Exit(code)
+	}()
 	start := time.Now()
 	res, err := bench.Run(cfg)
 	check(err)
@@ -205,6 +234,40 @@ func main() {
 		check(res.PerDatasetTable("Supplementary: training minutes per dataset",
 			func(m metrics.Result) float64 { return m.TrainTime.Minutes() }).WriteText(out))
 	}
+}
+
+// checkpointWriter buffers checkpoint lines behind a mutex so the signal
+// handler can flush and fsync a consistent record prefix from its own
+// goroutine while the matrix is still writing. LoadCheckpoints tolerates
+// a truncated final line, so any fsynced prefix resumes cleanly.
+type checkpointWriter struct {
+	mu  sync.Mutex
+	buf *bufio.Writer
+	f   *os.File
+}
+
+func (w *checkpointWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}
+
+// Sync flushes buffered records to the file and fsyncs it.
+func (w *checkpointWriter) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.buf.Flush(); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+func (w *checkpointWriter) Close() error {
+	if err := w.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
 }
 
 func writeSVGFile(path string, write func(*os.File) error) error {

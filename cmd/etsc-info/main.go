@@ -7,9 +7,11 @@
 //
 //	etsc-info                  # all four tables
 //	etsc-info -table 3 -scale 1
+//	etsc-info -json -scale 0.25 | jq '.[0]'
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,6 +30,7 @@ func main() {
 		scale      = flag.Float64("scale", 1, "dataset scale used when computing Table 3")
 		seed       = flag.Int64("seed", 42, "random seed for Table 3 data")
 		presetFlag = flag.String("preset", "paper", "preset shown in Table 4: paper or fast")
+		jsonOut    = flag.Bool("json", false, "emit the computed dataset profiles (Table 3's data) as JSON instead of text tables")
 	)
 	var obsFlags obs.Flags
 	obsFlags.RegisterProfile(flag.CommandLine)
@@ -53,6 +56,17 @@ func main() {
 		}
 	}
 	want := func(t string) bool { return *table == "all" || *table == t }
+
+	if *jsonOut {
+		profiles := make([]core.Profile, 0, len(datasets.All()))
+		for _, spec := range datasets.All() {
+			profiles = append(profiles, core.Categorize(spec.Generate(*scale, *seed)))
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		check(enc.Encode(profiles))
+		return
+	}
 
 	if want("2") {
 		check(bench.Table2().WriteText(out))

@@ -1,0 +1,132 @@
+// Command etsc-loadgen replays a dataset's held-out split against a
+// running etsc-serve instance, reporting latency percentiles and
+// throughput, and (given the same model file the server loaded) checking
+// that every served decision matches the offline classifier.
+//
+// Usage examples:
+//
+//	etsc-run -algorithm ECEC -dataset PowerCons -save-model ecec.goetsc
+//	etsc-serve -models ecec.goetsc &
+//	etsc-loadgen -addr http://127.0.0.1:8080 -model ecec -dataset PowerCons \
+//	  -model-file ecec.goetsc -rps 50 -clients 4
+//	etsc-loadgen -addr http://127.0.0.1:8080 -model ecec -dataset PowerCons \
+//	  -mode session -chunk 8 -json latency.json
+//
+// The replayed instances are the same deterministic holdout split
+// etsc-run -save-model evaluated on, so the parity check compares
+// like with like.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"github.com/goetsc/goetsc/internal/datasets"
+	"github.com/goetsc/goetsc/internal/loadgen"
+	"github.com/goetsc/goetsc/internal/persist"
+	ts "github.com/goetsc/goetsc/internal/timeseries"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "http://127.0.0.1:8080", "server base URL")
+		model       = flag.String("model", "", "served model name (required)")
+		datasetName = flag.String("dataset", "PowerCons", "dataset to replay")
+		scale       = flag.Float64("scale", 0.25, "dataset height scale in (0,1]")
+		folds       = flag.Int("folds", 5, "fold count used when the model was saved (fixes the holdout split)")
+		seed        = flag.Int64("seed", 42, "random seed used when the model was saved")
+		rps         = flag.Float64("rps", 0, "target request rate (0 = unpaced)")
+		clients     = flag.Int("clients", 4, "concurrent client workers")
+		total       = flag.Int("n", 0, "requests to send (0 = one per holdout instance)")
+		mode        = flag.String("mode", "classify", "request mode: classify or session")
+		chunk       = flag.Int("chunk", 8, "points per request in session mode")
+		timeout     = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+		modelFile   = flag.String("model-file", "", "saved model file for offline parity checking")
+		jsonOut     = flag.String("json", "", "write the result as JSON to this file")
+	)
+	flag.Parse()
+	if *model == "" {
+		fail(fmt.Errorf("-model is required"))
+	}
+
+	spec, err := datasets.ByName(*datasetName)
+	if err != nil {
+		fail(err)
+	}
+	d := spec.Generate(*scale, *seed)
+	d.Interpolate()
+	test, err := holdoutTest(d, *folds, *seed)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("replaying %d holdout instances of %s\n", test.Len(), d.Name)
+
+	instances := make([][][]float64, 0, test.Len())
+	for _, in := range test.Instances {
+		instances = append(instances, in.Values)
+	}
+
+	var refs []loadgen.Reference
+	if *modelFile != "" {
+		offline, meta, err := persist.LoadFile(*modelFile)
+		if err != nil {
+			fail(err)
+		}
+		if meta.Dataset != "" && meta.Dataset != spec.Name {
+			fail(fmt.Errorf("model %s was trained on dataset %q, not %q", *modelFile, meta.Dataset, spec.Name))
+		}
+		for _, in := range test.Instances {
+			label, consumed := offline.Classify(in)
+			if consumed > in.Length() {
+				consumed = in.Length()
+			}
+			refs = append(refs, loadgen.Reference{Label: label, Consumed: consumed})
+		}
+		fmt.Printf("parity reference: %s from %s\n", offline.Name(), *modelFile)
+	}
+
+	res, err := loadgen.Run(loadgen.Config{
+		BaseURL: *addr, Model: *model,
+		Instances: instances, References: refs,
+		RPS: *rps, Clients: *clients, Total: *total,
+		Mode: loadgen.Mode(*mode), ChunkSize: *chunk, Timeout: *timeout,
+	})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println(res)
+
+	if *jsonOut != "" {
+		b, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*jsonOut, append(b, '\n'), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("result written to %s\n", *jsonOut)
+	}
+	if res.Errors > 0 || res.ParityMismatches > 0 {
+		fail(fmt.Errorf("%d request errors, %d parity mismatches", res.Errors, res.ParityMismatches))
+	}
+}
+
+// holdoutTest rebuilds the deterministic holdout split etsc-run uses for
+// -save-model: fold 0 of the stratified assignment at seed+1.
+func holdoutTest(d *ts.Dataset, folds int, seed int64) (*ts.Dataset, error) {
+	rng := rand.New(rand.NewSource(seed + 1))
+	kfolds, err := ts.StratifiedKFold(d, folds, rng)
+	if err != nil {
+		return nil, err
+	}
+	return d.Subset(kfolds[0].Test), nil
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "etsc-loadgen: %v\n", err)
+	os.Exit(1)
+}

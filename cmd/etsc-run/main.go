@@ -5,19 +5,29 @@
 //
 //	etsc-run -algorithm TEASER -dataset PowerCons -scale 0.5 -preset paper
 //	etsc-run -algorithm ECEC -dataset Biological -journal run.jsonl -cpuprofile cpu.out
+//	etsc-run -algorithm ECEC -dataset PowerCons -save-model ecec.goetsc   # train + save
+//	etsc-run -dataset PowerCons -load-model ecec.goetsc                   # evaluate saved model
+//
+// -save-model trains on a deterministic stratified holdout split and
+// writes the trained model; -load-model rebuilds the identical split in a
+// fresh process and must reproduce the same evaluation metrics.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"strings"
 
 	"github.com/goetsc/goetsc/internal/bench"
 	"github.com/goetsc/goetsc/internal/core"
 	"github.com/goetsc/goetsc/internal/datasets"
+	"github.com/goetsc/goetsc/internal/metrics"
 	"github.com/goetsc/goetsc/internal/obs"
+	"github.com/goetsc/goetsc/internal/persist"
 	"github.com/goetsc/goetsc/internal/sched"
+	ts "github.com/goetsc/goetsc/internal/timeseries"
 )
 
 func main() {
@@ -30,6 +40,8 @@ func main() {
 		presetFlag  = flag.String("preset", "fast", "parameter preset: paper or fast")
 		budget      = flag.Duration("budget", 0, "per-fold training budget (0 = unlimited)")
 		workers     = flag.Int("workers", 0, "worker goroutines for folds (0 = NumCPU, 1 = serial); results are identical at any count")
+		saveModel   = flag.String("save-model", "", "train on a stratified holdout split, evaluate, and save the trained model to this file")
+		loadModel   = flag.String("load-model", "", "skip training: load the model from this file and evaluate it on the same holdout split")
 	)
 	var obsFlags obs.Flags
 	obsFlags.Register(flag.CommandLine)
@@ -67,6 +79,20 @@ func main() {
 		d.Name, profile.Height, profile.Length, profile.NumVars, profile.NumClasses,
 		profile.CoV, profile.CIR, profile.Categories)
 
+	if *saveModel != "" && *loadModel != "" {
+		run.End()
+		failWith(obsCleanup, fmt.Errorf("-save-model and -load-model are mutually exclusive"))
+	}
+	if *saveModel != "" || *loadModel != "" {
+		res, err := holdout(d, spec.Name, preset, *algoName, *folds, *seed, *saveModel, *loadModel, run)
+		run.End()
+		if err != nil {
+			failWith(obsCleanup, err)
+		}
+		fmt.Printf("holdout: %s\n", res)
+		return
+	}
+
 	factories := bench.AlgorithmsByName(spec.Name, preset, *seed, []string{*algoName})
 	if len(factories) == 0 {
 		run.End()
@@ -91,6 +117,57 @@ func main() {
 		fmt.Printf("fold %d: %s\n", i+1, r)
 	}
 	fmt.Printf("average: %s\n", avg)
+}
+
+// holdout evaluates on a deterministic stratified holdout split (fold 0 of
+// the same stratified assignment the cross-validated engine uses). With
+// savePath set it trains the named algorithm, scores the held-out split and
+// persists the model; with loadPath set it loads a saved model and scores
+// it on the identical split — so a second process reproduces the first
+// process's metrics exactly.
+func holdout(d *ts.Dataset, datasetName string, preset bench.Preset, algoName string,
+	folds int, seed int64, savePath, loadPath string, span *obs.Span) (metrics.Result, error) {
+	rng := rand.New(rand.NewSource(seed + 1))
+	kfolds, err := ts.StratifiedKFold(d, folds, rng)
+	if err != nil {
+		return metrics.Result{}, err
+	}
+	fold := kfolds[0]
+	train, test := d.Subset(fold.Train), d.Subset(fold.Test)
+
+	if savePath != "" {
+		factories := bench.AlgorithmsByName(datasetName, preset, seed, []string{algoName})
+		if len(factories) == 0 {
+			return metrics.Result{}, fmt.Errorf("unknown algorithm %q (want one of %v)", algoName, bench.AlgorithmNames())
+		}
+		algo := core.WrapForDataset(factories[0].New, d)
+		fit := span.Start("fit", obs.String("algorithm", algo.Name()))
+		err := algo.Fit(train)
+		fit.End()
+		if err != nil {
+			return metrics.Result{}, err
+		}
+		res := core.Score(algo, test, d.NumClasses())
+		meta := persist.Meta{
+			Dataset: datasetName, Length: d.MaxLength(),
+			NumVars: d.NumVars(), NumClasses: d.NumClasses(),
+		}
+		if err := persist.SaveFile(savePath, algo, meta); err != nil {
+			return metrics.Result{}, err
+		}
+		fmt.Printf("model %s saved to %s (train %d, holdout %d)\n", algo.Name(), savePath, train.Len(), test.Len())
+		return res, nil
+	}
+
+	model, meta, err := persist.LoadFile(loadPath)
+	if err != nil {
+		return metrics.Result{}, err
+	}
+	if meta.Dataset != "" && meta.Dataset != datasetName {
+		return metrics.Result{}, fmt.Errorf("model %s was trained on dataset %q, not %q", loadPath, meta.Dataset, datasetName)
+	}
+	fmt.Printf("model %s loaded from %s (holdout %d)\n", model.Name(), loadPath, test.Len())
+	return core.Score(model, test, d.NumClasses()), nil
 }
 
 func fail(err error) {

@@ -1,0 +1,143 @@
+// Command etsc-serve hosts trained early classifiers over the JSON HTTP
+// API in internal/serve. Models come from files written by
+// etsc-run -save-model.
+//
+// Usage examples:
+//
+//	etsc-run -algorithm ECEC -dataset PowerCons -save-model models/ecec.goetsc
+//	etsc-serve -models models/ -addr :8080
+//	curl -s localhost:8080/v1/models
+//	curl -s -X POST localhost:8080/v1/classify \
+//	  -d '{"model":"ecec","values":[[0.1,0.4,0.9,1.2]]}'
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: in-flight requests
+// finish (bounded by -timeout) before the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/goetsc/goetsc/internal/obs"
+	"github.com/goetsc/goetsc/internal/serve"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8080", "listen address")
+		models     = flag.String("models", "", "comma-separated model files and/or directories of *.goetsc files")
+		maxBody    = flag.Int64("max-body", 1<<20, "maximum request body size in bytes")
+		timeout    = flag.Duration("timeout", 30*time.Second, "per-request handling deadline")
+		sessionTTL = flag.Duration("session-ttl", 10*time.Minute, "idle streaming sessions older than this are evicted")
+	)
+	var obsFlags obs.Flags
+	obsFlags.Register(flag.CommandLine)
+	flag.Parse()
+
+	col, obsCleanup, err := obsFlags.Start()
+	if err != nil {
+		fail(err)
+	}
+	defer obsCleanup()
+
+	srv := serve.New(serve.Config{
+		MaxBodyBytes:   *maxBody,
+		RequestTimeout: *timeout,
+		SessionTTL:     *sessionTTL,
+		Obs:            col,
+	})
+	if *models == "" {
+		failWith(obsCleanup, fmt.Errorf("-models is required (files or directories of *.goetsc)"))
+	}
+	for _, path := range strings.Split(*models, ",") {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		info, err := os.Stat(path)
+		if err != nil {
+			failWith(obsCleanup, err)
+		}
+		if info.IsDir() {
+			names, err := srv.LoadDir(path)
+			if err != nil {
+				failWith(obsCleanup, err)
+			}
+			for _, n := range names {
+				fmt.Printf("loaded model %s from %s\n", n, path)
+			}
+		} else {
+			name, err := srv.LoadFile(path)
+			if err != nil {
+				failWith(obsCleanup, err)
+			}
+			fmt.Printf("loaded model %s from %s\n", name, path)
+		}
+	}
+	if len(srv.Models()) == 0 {
+		failWith(obsCleanup, fmt.Errorf("no models loaded from %q", *models))
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	go func() {
+		ticker := time.NewTicker(*sessionTTL / 2)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				if n := srv.EvictIdleSessions(); n > 0 {
+					col.Emit("sessions_evicted", map[string]any{"count": n})
+				}
+			}
+		}
+	}()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Printf("etsc-serve listening on %s (%d models)\n", *addr, len(srv.Models()))
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			failWith(obsCleanup, err)
+		}
+	case <-ctx.Done():
+		fmt.Println("etsc-serve: shutting down")
+		col.Emit("server_shutdown", map[string]any{"reason": "signal"})
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			failWith(obsCleanup, err)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "etsc-serve: %v\n", err)
+	os.Exit(1)
+}
+
+// failWith flushes observability sinks before exiting so a failed start
+// still leaves a complete journal.
+func failWith(cleanup func(), err error) {
+	fmt.Fprintf(os.Stderr, "etsc-serve: %v\n", err)
+	cleanup()
+	os.Exit(1)
+}

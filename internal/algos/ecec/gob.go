@@ -1,0 +1,50 @@
+package ecec
+
+import (
+	"bytes"
+	"encoding/gob"
+
+	"github.com/goetsc/goetsc/internal/weasel"
+)
+
+// gobClassifier mirrors the unexported trained state for serialization.
+type gobClassifier struct {
+	Cfg         Config
+	ResolvedCfg Config
+	NumClasses  int
+	Length      int
+	Prefixes    []int
+	Models      []*weasel.Model
+	Reliability [][][]float64
+	Theta       float64
+}
+
+// GobEncode serializes the trained classifier.
+func (c *Classifier) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(gobClassifier{
+		Cfg: c.Cfg, ResolvedCfg: c.cfg, NumClasses: c.numClasses, Length: c.length,
+		Prefixes: c.prefixes, Models: c.models, Reliability: c.reliability, Theta: c.theta,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode restores a trained classifier.
+func (c *Classifier) GobDecode(data []byte) error {
+	var g gobClassifier
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&g); err != nil {
+		return err
+	}
+	c.Cfg = g.Cfg
+	c.cfg = g.ResolvedCfg
+	c.numClasses = g.NumClasses
+	c.length = g.Length
+	c.prefixes = g.Prefixes
+	c.models = g.Models
+	c.reliability = g.Reliability
+	c.theta = g.Theta
+	return nil
+}

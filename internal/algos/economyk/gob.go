@@ -1,0 +1,62 @@
+package economyk
+
+import (
+	"bytes"
+	"encoding/gob"
+
+	"github.com/goetsc/goetsc/internal/gbdt"
+	"github.com/goetsc/goetsc/internal/kmeans"
+	"github.com/goetsc/goetsc/internal/ml"
+)
+
+func init() {
+	// The per-checkpoint base classifiers travel through the ml.Classifier
+	// interface; gob needs their concrete types registered on both sides.
+	gob.Register(&gbdt.Model{})
+	gob.Register(&ml.MajorityClassifier{})
+}
+
+// gobClassifier mirrors the unexported trained state for serialization.
+type gobClassifier struct {
+	Cfg         Config
+	ResolvedCfg Config
+	NumClasses  int
+	Length      int
+	Checkpoints []int
+	Classifiers []ml.Classifier
+	Clusters    *kmeans.Model
+	Conf        [][][][]float64
+	Prior       [][]float64
+}
+
+// GobEncode serializes the trained classifier.
+func (c *Classifier) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(gobClassifier{
+		Cfg: c.Cfg, ResolvedCfg: c.cfg, NumClasses: c.numClasses, Length: c.length,
+		Checkpoints: c.checkpoints, Classifiers: c.classifiers,
+		Clusters: c.clusters, Conf: c.conf, Prior: c.prior,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode restores a trained classifier.
+func (c *Classifier) GobDecode(data []byte) error {
+	var g gobClassifier
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&g); err != nil {
+		return err
+	}
+	c.Cfg = g.Cfg
+	c.cfg = g.ResolvedCfg
+	c.numClasses = g.NumClasses
+	c.length = g.Length
+	c.checkpoints = g.Checkpoints
+	c.classifiers = g.Classifiers
+	c.clusters = g.Clusters
+	c.conf = g.Conf
+	c.prior = g.Prior
+	return nil
+}

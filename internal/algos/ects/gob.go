@@ -1,0 +1,50 @@
+package ects
+
+import (
+	"bytes"
+	"encoding/gob"
+
+	"github.com/goetsc/goetsc/internal/knn"
+)
+
+// gobClassifier mirrors the unexported trained state. The 1-NN searcher is
+// a view over the stored series and labels, so it is rebuilt on decode
+// instead of being serialized.
+type gobClassifier struct {
+	Cfg    Config
+	Length int
+	Series [][]float64
+	Labels []int
+	MPL    []int
+}
+
+// GobEncode serializes the trained classifier.
+func (c *Classifier) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(gobClassifier{
+		Cfg: c.Cfg, Length: c.length, Series: c.series, Labels: c.labels, MPL: c.mpl,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode restores a trained classifier.
+func (c *Classifier) GobDecode(data []byte) error {
+	var g gobClassifier
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&g); err != nil {
+		return err
+	}
+	c.Cfg = g.Cfg
+	c.length = g.Length
+	c.series = g.Series
+	c.labels = g.Labels
+	c.mpl = g.MPL
+	searcher, err := knn.NewSearcher(c.series, c.labels)
+	if err != nil {
+		return err
+	}
+	c.searcher = searcher
+	return nil
+}

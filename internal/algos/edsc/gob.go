@@ -1,0 +1,40 @@
+package edsc
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// gobClassifier mirrors the trained state for serialization (the stop flag
+// is training-only and not persisted).
+type gobClassifier struct {
+	Cfg        Config
+	Shapelets  []Shapelet
+	Majority   int
+	NumClasses int
+}
+
+// GobEncode serializes the trained classifier.
+func (c *Classifier) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(gobClassifier{
+		Cfg: c.Cfg, Shapelets: c.shapelets, Majority: c.majority, NumClasses: c.numClasses,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode restores a trained classifier.
+func (c *Classifier) GobDecode(data []byte) error {
+	var g gobClassifier
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&g); err != nil {
+		return err
+	}
+	c.Cfg = g.Cfg
+	c.shapelets = g.Shapelets
+	c.majority = g.Majority
+	c.numClasses = g.NumClasses
+	return nil
+}

@@ -1,0 +1,70 @@
+package teaser
+
+import (
+	"bytes"
+	"encoding/gob"
+
+	"github.com/goetsc/goetsc/internal/ocsvm"
+	"github.com/goetsc/goetsc/internal/weasel"
+)
+
+// gobClassifier mirrors the unexported trained state for serialization.
+// The filter slice may hold nil entries (prefixes whose one-class SVM
+// degenerated, meaning "accept everything"); gob cannot encode nil
+// pointers inside a slice, so filters travel as a presence mask plus the
+// compacted non-nil models.
+type gobClassifier struct {
+	Cfg         Config
+	ResolvedCfg Config
+	NumClasses  int
+	Length      int
+	Prefixes    []int
+	Pipelines   []*weasel.Model
+	FilterMask  []bool
+	Filters     []*ocsvm.Model
+	V           int
+}
+
+// GobEncode serializes the trained classifier.
+func (c *Classifier) GobEncode() ([]byte, error) {
+	g := gobClassifier{
+		Cfg: c.Cfg, ResolvedCfg: c.cfg, NumClasses: c.numClasses, Length: c.length,
+		Prefixes: c.prefixes, Pipelines: c.pipelines, V: c.v,
+	}
+	g.FilterMask = make([]bool, len(c.filters))
+	for i, f := range c.filters {
+		if f != nil {
+			g.FilterMask[i] = true
+			g.Filters = append(g.Filters, f)
+		}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(g); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode restores a trained classifier.
+func (c *Classifier) GobDecode(data []byte) error {
+	var g gobClassifier
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&g); err != nil {
+		return err
+	}
+	c.Cfg = g.Cfg
+	c.cfg = g.ResolvedCfg
+	c.numClasses = g.NumClasses
+	c.length = g.Length
+	c.prefixes = g.Prefixes
+	c.pipelines = g.Pipelines
+	c.v = g.V
+	c.filters = make([]*ocsvm.Model, len(g.FilterMask))
+	next := 0
+	for i, present := range g.FilterMask {
+		if present {
+			c.filters[i] = g.Filters[next]
+			next++
+		}
+	}
+	return nil
+}

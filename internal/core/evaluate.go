@@ -151,11 +151,7 @@ func Evaluate(factory Factory, d *ts.Dataset, cfg EvalConfig) (metrics.Result, [
 // for no instrumentation) receives nested fit/classify spans plus
 // train_timeout / goroutine_abandoned events when the budget expires.
 func EvaluateFold(factory Factory, d *ts.Dataset, fold ts.Fold, budget time.Duration, span *obs.Span) (metrics.Result, error) {
-	algo := factory()
-	if d.NumVars() > 1 && !IsMultivariate(algo) {
-		base := factory
-		algo = NewVoting(func() EarlyClassifier { return base() })
-	}
+	algo := WrapForDataset(factory, d)
 	result := metrics.Result{Algorithm: algo.Name(), Dataset: d.Name}
 
 	train := d.Subset(fold.Train)
@@ -224,7 +220,39 @@ func EvaluateFold(factory Factory, d *ts.Dataset, fold ts.Fold, budget time.Dura
 	fit.End()
 
 	classify := span.Start("classify", obs.String("algorithm", result.Algorithm))
-	cm := metrics.NewConfusionMatrix(d.NumClasses())
+	scored := Score(algo, test, d.NumClasses())
+	classify.SetAttr(obs.Int("instances", test.Len()))
+	classify.End()
+	result.TestTime = scored.TestTime
+	result.NumTest = scored.NumTest
+	result.Accuracy = scored.Accuracy
+	result.MacroF1 = scored.MacroF1
+	result.Earliness = scored.Earliness
+	result.HarmonicMean = scored.HarmonicMean
+	return result, nil
+}
+
+// WrapForDataset instantiates the factory's algorithm, lifting univariate
+// algorithms with the Voting wrapper when the dataset is multivariate —
+// the same adaptation the evaluation runner applies, exposed so other
+// entry points (model saving, the serving smoke tests) train exactly the
+// classifier the matrix would.
+func WrapForDataset(factory Factory, d *ts.Dataset) EarlyClassifier {
+	algo := factory()
+	if d.NumVars() > 1 && !IsMultivariate(algo) {
+		algo = NewVoting(func() EarlyClassifier { return factory() })
+	}
+	return algo
+}
+
+// Score classifies every instance of test with an already-trained
+// classifier and computes the paper's metrics (accuracy, macro F1,
+// earliness, harmonic mean). It is the measurement half of EvaluateFold,
+// shared with the split-process save/load path so a loaded model
+// reproduces the training process's numbers exactly.
+func Score(algo EarlyClassifier, test *ts.Dataset, numClasses int) metrics.Result {
+	result := metrics.Result{Algorithm: algo.Name(), Dataset: test.Name}
+	cm := metrics.NewConfusionMatrix(numClasses)
 	consumed := make([]int, 0, test.Len())
 	lengths := make([]int, 0, test.Len())
 	testStart := time.Now()
@@ -238,12 +266,10 @@ func EvaluateFold(factory Factory, d *ts.Dataset, fold ts.Fold, budget time.Dura
 		lengths = append(lengths, in.Length())
 	}
 	result.TestTime = time.Since(testStart)
-	classify.SetAttr(obs.Int("instances", test.Len()))
-	classify.End()
 	result.NumTest = test.Len()
 	result.Accuracy = cm.Accuracy()
 	result.MacroF1 = cm.MacroF1()
 	result.Earliness = metrics.Earliness(consumed, lengths)
 	result.HarmonicMean = metrics.HarmonicMean(result.Accuracy, result.Earliness)
-	return result, nil
+	return result
 }

@@ -1,0 +1,41 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// gobVoting mirrors the trained state of the Voting wrapper. The voter
+// factory is a closure and cannot be serialized; a decoded wrapper keeps
+// its trained voters, so it classifies but cannot be refitted. The
+// concrete voter types travel through the EarlyClassifier interface and
+// must be gob-registered by the caller (internal/persist registers every
+// framework algorithm).
+type gobVoting struct {
+	Name   string
+	Voters []EarlyClassifier
+}
+
+// GobEncode serializes the trained wrapper.
+func (v *Voting) GobEncode() ([]byte, error) {
+	if len(v.voters) == 0 {
+		return nil, fmt.Errorf("voting: cannot encode an untrained wrapper")
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(gobVoting{Name: v.Name(), Voters: v.voters}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode restores a trained wrapper.
+func (v *Voting) GobDecode(data []byte) error {
+	var g gobVoting
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&g); err != nil {
+		return err
+	}
+	v.name = g.Name
+	v.voters = g.Voters
+	return nil
+}

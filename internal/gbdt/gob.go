@@ -1,0 +1,80 @@
+package gbdt
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// gobNode and gobTree mirror the unexported flat-slice tree representation
+// for serialization.
+type gobNode struct {
+	Feature   int
+	Threshold float64
+	Left      int
+	Right     int
+	Value     float64
+}
+
+type gobTree struct {
+	Nodes []gobNode
+}
+
+// gobModel mirrors the unexported fields of a trained ensemble.
+type gobModel struct {
+	Cfg        Config
+	NumClasses int
+	Trees      [][]gobTree // [round][class]
+	BaseScore  []float64
+	Binary     bool
+}
+
+// GobEncode serializes the trained ensemble.
+func (m *Model) GobEncode() ([]byte, error) {
+	g := gobModel{Cfg: m.Cfg, NumClasses: m.numClasses, BaseScore: m.baseScore, Binary: m.binary}
+	g.Trees = make([][]gobTree, len(m.trees))
+	for r, round := range m.trees {
+		g.Trees[r] = make([]gobTree, len(round))
+		for c, t := range round {
+			nodes := make([]gobNode, len(t.nodes))
+			for i, n := range t.nodes {
+				nodes[i] = gobNode{
+					Feature: n.feature, Threshold: n.threshold,
+					Left: n.left, Right: n.right, Value: n.value,
+				}
+			}
+			g.Trees[r][c] = gobTree{Nodes: nodes}
+		}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(g); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode restores a trained ensemble.
+func (m *Model) GobDecode(data []byte) error {
+	var g gobModel
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&g); err != nil {
+		return err
+	}
+	m.Cfg = g.Cfg
+	m.numClasses = g.NumClasses
+	m.baseScore = g.BaseScore
+	m.binary = g.Binary
+	m.trees = make([][]*tree, len(g.Trees))
+	for r, round := range g.Trees {
+		m.trees[r] = make([]*tree, len(round))
+		for c, t := range round {
+			nodes := make([]node, len(t.Nodes))
+			for i, n := range t.Nodes {
+				nodes[i] = node{
+					feature: n.Feature, threshold: n.Threshold,
+					left: n.Left, right: n.Right, value: n.Value,
+				}
+			}
+			m.trees[r][c] = &tree{nodes: nodes}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,328 @@
+// Package loadgen replays time-series instances against a running
+// etsc-serve instance at a target request rate, measuring client-side
+// latency percentiles and throughput, and optionally checking that every
+// served decision matches an offline reference — the serving layer's
+// answer to the framework's offline reproducibility requirement.
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Mode selects the request shape.
+type Mode string
+
+const (
+	// ModeClassify sends each instance as one POST /v1/classify.
+	ModeClassify Mode = "classify"
+	// ModeSession streams each instance through a session in chunks.
+	ModeSession Mode = "session"
+)
+
+// Reference is an offline decision to compare a served decision against.
+type Reference struct {
+	Label    int
+	Consumed int
+}
+
+// Config describes one load run.
+type Config struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Model is the served model name.
+	Model string
+	// Instances is the replay pool, each [variable][time]. Request i uses
+	// instance i % len(Instances).
+	Instances [][][]float64
+	// RPS is the target request rate (instances per second). <= 0 means
+	// unpaced: clients send as fast as they can.
+	RPS float64
+	// Clients is the number of concurrent workers; default 1.
+	Clients int
+	// Total is the number of instances to send; default len(Instances).
+	Total int
+	// Mode selects one-shot or streaming requests; default ModeClassify.
+	Mode Mode
+	// ChunkSize is the points-per-request batch in session mode; default 8.
+	ChunkSize int
+	// Timeout bounds each HTTP request; default 30s.
+	Timeout time.Duration
+	// References, when non-nil, holds the offline decision for each
+	// instance (parallel to Instances); mismatching served decisions are
+	// counted in Result.ParityMismatches.
+	References []Reference
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.BaseURL == "" || c.Model == "" {
+		return c, fmt.Errorf("loadgen: BaseURL and Model are required")
+	}
+	if len(c.Instances) == 0 {
+		return c, fmt.Errorf("loadgen: at least one instance is required")
+	}
+	if c.References != nil && len(c.References) != len(c.Instances) {
+		return c, fmt.Errorf("loadgen: %d references for %d instances", len(c.References), len(c.Instances))
+	}
+	if c.Clients <= 0 {
+		c.Clients = 1
+	}
+	if c.Total <= 0 {
+		c.Total = len(c.Instances)
+	}
+	if c.Mode == "" {
+		c.Mode = ModeClassify
+	}
+	if c.Mode != ModeClassify && c.Mode != ModeSession {
+		return c, fmt.Errorf("loadgen: unknown mode %q", c.Mode)
+	}
+	if c.ChunkSize <= 0 {
+		c.ChunkSize = 8
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	return c, nil
+}
+
+// Result summarizes one load run. Latencies are per instance: in session
+// mode one sample spans the whole create→decide→close conversation.
+type Result struct {
+	Mode             Mode          `json:"mode"`
+	Sent             int           `json:"sent"`
+	Errors           int           `json:"errors"`
+	ParityChecked    int           `json:"parity_checked"`
+	ParityMismatches int           `json:"parity_mismatches"`
+	P50              time.Duration `json:"p50_ns"`
+	P95              time.Duration `json:"p95_ns"`
+	P99              time.Duration `json:"p99_ns"`
+	Mean             time.Duration `json:"mean_ns"`
+	Max              time.Duration `json:"max_ns"`
+	Throughput       float64       `json:"throughput_rps"`
+	Elapsed          time.Duration `json:"elapsed_ns"`
+}
+
+// String renders the human-readable report line.
+func (r Result) String() string {
+	s := fmt.Sprintf("%s: %d sent, %d errors, p50=%s p95=%s p99=%s mean=%s max=%s, %.1f req/s over %s",
+		r.Mode, r.Sent, r.Errors,
+		r.P50.Round(time.Microsecond), r.P95.Round(time.Microsecond), r.P99.Round(time.Microsecond),
+		r.Mean.Round(time.Microsecond), r.Max.Round(time.Microsecond), r.Throughput, r.Elapsed.Round(time.Millisecond))
+	if r.ParityChecked > 0 {
+		s += fmt.Sprintf(", parity %d/%d", r.ParityChecked-r.ParityMismatches, r.ParityChecked)
+	}
+	return s
+}
+
+// decision is the served answer for one instance.
+type decision struct {
+	Label    int
+	Consumed int
+}
+
+// Run drives the load: Clients workers pull paced jobs and replay
+// instances until Total requests have been sent.
+func Run(cfg Config) (Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return Result{}, err
+	}
+	client := &http.Client{Timeout: cfg.Timeout}
+
+	// The pacer drops one token per request interval; unpaced runs use a
+	// closed channel so receives never block.
+	jobs := make(chan int)
+	go func() {
+		defer close(jobs)
+		if cfg.RPS > 0 {
+			interval := time.Duration(float64(time.Second) / cfg.RPS)
+			ticker := time.NewTicker(interval)
+			defer ticker.Stop()
+			for i := 0; i < cfg.Total; i++ {
+				<-ticker.C
+				jobs <- i
+			}
+		} else {
+			for i := 0; i < cfg.Total; i++ {
+				jobs <- i
+			}
+		}
+	}()
+
+	type sample struct {
+		latency  time.Duration
+		err      error
+		instance int
+		dec      decision
+	}
+	samples := make([]sample, 0, cfg.Total)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Clients; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				idx := i % len(cfg.Instances)
+				t0 := time.Now()
+				var dec decision
+				var err error
+				switch cfg.Mode {
+				case ModeClassify:
+					dec, err = classifyOnce(client, cfg.BaseURL, cfg.Model, cfg.Instances[idx])
+				case ModeSession:
+					dec, err = streamOnce(client, cfg.BaseURL, cfg.Model, cfg.Instances[idx], cfg.ChunkSize)
+				}
+				s := sample{latency: time.Since(t0), err: err, instance: idx, dec: dec}
+				mu.Lock()
+				samples = append(samples, s)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := Result{Mode: cfg.Mode, Sent: len(samples), Elapsed: elapsed}
+	latencies := make([]time.Duration, 0, len(samples))
+	var sum time.Duration
+	for _, s := range samples {
+		if s.err != nil {
+			res.Errors++
+			continue
+		}
+		latencies = append(latencies, s.latency)
+		sum += s.latency
+		if s.latency > res.Max {
+			res.Max = s.latency
+		}
+		if cfg.References != nil {
+			res.ParityChecked++
+			ref := cfg.References[s.instance]
+			if s.dec.Label != ref.Label || s.dec.Consumed != ref.Consumed {
+				res.ParityMismatches++
+			}
+		}
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	res.P50 = percentile(latencies, 0.50)
+	res.P95 = percentile(latencies, 0.95)
+	res.P99 = percentile(latencies, 0.99)
+	if len(latencies) > 0 {
+		res.Mean = sum / time.Duration(len(latencies))
+	}
+	if elapsed > 0 {
+		res.Throughput = float64(len(samples)) / elapsed.Seconds()
+	}
+	return res, nil
+}
+
+// percentile reads the nearest-rank percentile from sorted samples.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// classifyOnce sends one /v1/classify request.
+func classifyOnce(client *http.Client, baseURL, model string, values [][]float64) (decision, error) {
+	var resp struct {
+		Label    int `json:"label"`
+		Consumed int `json:"consumed"`
+	}
+	err := postJSON(client, baseURL+"/v1/classify",
+		map[string]any{"model": model, "values": values}, &resp)
+	return decision{Label: resp.Label, Consumed: resp.Consumed}, err
+}
+
+// sessionState mirrors the server's session JSON.
+type sessionState struct {
+	SessionID string `json:"session_id"`
+	Status    string `json:"status"`
+	Label     *int   `json:"label"`
+	Consumed  *int   `json:"consumed"`
+	Length    int    `json:"length"`
+}
+
+// streamOnce replays one instance through a streaming session and
+// deletes the session afterwards.
+func streamOnce(client *http.Client, baseURL, model string, values [][]float64, chunk int) (decision, error) {
+	var st sessionState
+	if err := postJSON(client, baseURL+"/v1/sessions", map[string]any{"model": model}, &st); err != nil {
+		return decision{}, err
+	}
+	base := baseURL + "/v1/sessions/" + st.SessionID
+	defer func() {
+		req, err := http.NewRequest(http.MethodDelete, base, nil)
+		if err != nil {
+			return
+		}
+		if resp, err := client.Do(req); err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+
+	n := len(values[0])
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		batch := make([][]float64, len(values))
+		for v := range values {
+			batch[v] = values[v][lo:hi]
+		}
+		if err := postJSON(client, base+"/points",
+			map[string]any{"values": batch, "last": hi == n}, &st); err != nil {
+			return decision{}, err
+		}
+		if st.Status == "decided" {
+			break
+		}
+	}
+	if st.Status != "decided" || st.Label == nil || st.Consumed == nil {
+		return decision{}, fmt.Errorf("loadgen: session ended %q without a decision", st.Status)
+	}
+	return decision{Label: *st.Label, Consumed: *st.Consumed}, nil
+}
+
+// postJSON sends one JSON request and decodes the JSON response,
+// treating non-2xx statuses as errors carrying the server's message.
+func postJSON(client *http.Client, url string, body, out any) error {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var apiErr struct {
+			Error string `json:"error"`
+		}
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		if json.Unmarshal(msg, &apiErr) == nil && apiErr.Error != "" {
+			return fmt.Errorf("loadgen: %s: %d: %s", url, resp.StatusCode, apiErr.Error)
+		}
+		return fmt.Errorf("loadgen: %s: status %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

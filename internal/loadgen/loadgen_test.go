@@ -1,0 +1,114 @@
+package loadgen
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"github.com/goetsc/goetsc/internal/bench"
+	"github.com/goetsc/goetsc/internal/persist"
+	"github.com/goetsc/goetsc/internal/serve"
+	"github.com/goetsc/goetsc/internal/synth"
+)
+
+// startServer trains one small ECTS model and serves it from an httptest
+// server, returning the base URL and the offline references.
+func startServer(t *testing.T) (baseURL string, instances [][][]float64, refs []Reference) {
+	t.Helper()
+	d := synth.Dataset("loadgen-uni", 1, 2, 24, 40, 13)
+	f := bench.AlgorithmsByName(d.Name, bench.Fast, 1, []string{"ECTS"})[0]
+	algo := f.New()
+	if err := algo.Fit(d); err != nil {
+		t.Fatalf("fit: %v", err)
+	}
+	srv := serve.New(serve.Config{})
+	meta := persist.Meta{Dataset: d.Name, Length: d.MaxLength(), NumVars: d.NumVars(), NumClasses: d.NumClasses()}
+	if err := srv.AddModel("ects", algo, meta); err != nil {
+		t.Fatalf("add model: %v", err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+
+	for _, in := range d.Instances {
+		instances = append(instances, in.Values)
+		label, consumed := algo.Classify(in)
+		if consumed > in.Length() {
+			consumed = in.Length()
+		}
+		refs = append(refs, Reference{Label: label, Consumed: consumed})
+	}
+	return hs.URL, instances, refs
+}
+
+func TestRunClassifyParity(t *testing.T) {
+	baseURL, instances, refs := startServer(t)
+	res, err := Run(Config{
+		BaseURL: baseURL, Model: "ects",
+		Instances: instances, References: refs,
+		Clients: 4, Total: len(instances),
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Sent != len(instances) || res.Errors != 0 {
+		t.Fatalf("result %+v: want %d sent, 0 errors", res, len(instances))
+	}
+	if res.ParityChecked != len(instances) || res.ParityMismatches != 0 {
+		t.Fatalf("parity %d/%d checked with %d mismatches", res.ParityChecked, len(instances), res.ParityMismatches)
+	}
+	if res.P50 <= 0 || res.P99 < res.P50 || res.Throughput <= 0 {
+		t.Fatalf("implausible latency stats: %+v", res)
+	}
+}
+
+func TestRunSessionParity(t *testing.T) {
+	baseURL, instances, refs := startServer(t)
+	res, err := Run(Config{
+		BaseURL: baseURL, Model: "ects",
+		Instances: instances, References: refs,
+		Clients: 4, Total: len(instances),
+		Mode: ModeSession, ChunkSize: 5,
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Errors != 0 || res.ParityMismatches != 0 {
+		t.Fatalf("session run: %+v", res)
+	}
+}
+
+func TestRunPacing(t *testing.T) {
+	baseURL, instances, _ := startServer(t)
+	// 20 requests at 200 RPS should take roughly 100ms, never finish
+	// instantaneously.
+	res, err := Run(Config{
+		BaseURL: baseURL, Model: "ects",
+		Instances: instances, Clients: 2, Total: 20, RPS: 200,
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Elapsed.Milliseconds() < 80 {
+		t.Fatalf("paced run finished in %s, expected ~100ms at 200 RPS", res.Elapsed)
+	}
+	if res.Throughput > 300 {
+		t.Fatalf("throughput %.1f req/s exceeds the 200 RPS pace", res.Throughput)
+	}
+}
+
+func TestRunConfigErrors(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("empty config should fail")
+	}
+	if _, err := Run(Config{BaseURL: "http://x", Model: "m"}); err == nil {
+		t.Fatal("no instances should fail")
+	}
+	if _, err := Run(Config{BaseURL: "http://x", Model: "m",
+		Instances: [][][]float64{{{1}}}, Mode: "bogus"}); err == nil {
+		t.Fatal("unknown mode should fail")
+	}
+	if _, err := Run(Config{BaseURL: "http://x", Model: "m",
+		Instances:  [][][]float64{{{1}}, {{2}}},
+		References: []Reference{{}}}); err == nil {
+		t.Fatal("reference length mismatch should fail")
+	}
+}

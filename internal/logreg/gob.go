@@ -1,0 +1,43 @@
+package logreg
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// gobModel mirrors the unexported fields of a trained model for
+// serialization.
+type gobModel struct {
+	Cfg        Config
+	NumClasses int
+	Dim        int
+	Weights    [][]float64
+	Bias       []float64
+}
+
+// GobEncode serializes the trained model.
+func (m *Model) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(gobModel{
+		Cfg: m.Cfg, NumClasses: m.numClasses, Dim: m.dim,
+		Weights: m.weights, Bias: m.bias,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode restores a trained model.
+func (m *Model) GobDecode(data []byte) error {
+	var g gobModel
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&g); err != nil {
+		return err
+	}
+	m.Cfg = g.Cfg
+	m.numClasses = g.NumClasses
+	m.dim = g.Dim
+	m.weights = g.Weights
+	m.bias = g.Bias
+	return nil
+}

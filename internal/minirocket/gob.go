@@ -1,0 +1,63 @@
+package minirocket
+
+import (
+	"bytes"
+	"encoding/gob"
+
+	"github.com/goetsc/goetsc/internal/ridge"
+)
+
+// gobCombo mirrors one unexported kernel/dilation combination.
+type gobCombo struct {
+	Kernel   int
+	Dilation int
+	Padding  bool
+	Channels []int
+	Biases   []float64
+}
+
+// gobModel mirrors the unexported fields of a fitted model. The 84-kernel
+// table is deterministic and recomputed on decode.
+type gobModel struct {
+	Cfg     Config
+	Combos  []gobCombo
+	Head    *ridge.Model
+	NumVars int
+}
+
+// GobEncode serializes the fitted model.
+func (m *Model) GobEncode() ([]byte, error) {
+	g := gobModel{Cfg: m.Cfg, Head: m.head, NumVars: m.numVars}
+	g.Combos = make([]gobCombo, len(m.combos))
+	for i, cb := range m.combos {
+		g.Combos[i] = gobCombo{
+			Kernel: cb.kernel, Dilation: cb.dilation, Padding: cb.padding,
+			Channels: cb.channels, Biases: cb.biases,
+		}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(g); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode restores a fitted model.
+func (m *Model) GobDecode(data []byte) error {
+	var g gobModel
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&g); err != nil {
+		return err
+	}
+	m.Cfg = g.Cfg
+	m.head = g.Head
+	m.numVars = g.NumVars
+	m.combos = make([]combo, len(g.Combos))
+	for i, cb := range g.Combos {
+		m.combos[i] = combo{
+			kernel: cb.Kernel, dilation: cb.Dilation, padding: cb.Padding,
+			channels: cb.Channels, biases: cb.Biases,
+		}
+	}
+	m.initKernels()
+	return nil
+}

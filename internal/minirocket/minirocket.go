@@ -69,7 +69,14 @@ type Model struct {
 // New returns an untrained model.
 func New(cfg Config) *Model {
 	m := &Model{Cfg: cfg}
-	// Enumerate the 84 kernels: positions of the three weight-2 taps.
+	m.initKernels()
+	return m
+}
+
+// initKernels enumerates the 84 kernels: positions of the three weight-2
+// taps. The enumeration is deterministic, so deserialization recomputes it
+// instead of storing it.
+func (m *Model) initKernels() {
 	idx := 0
 	for a := 0; a < kernelLength; a++ {
 		for b := a + 1; b < kernelLength; b++ {
@@ -79,7 +86,6 @@ func New(cfg Config) *Model {
 			}
 		}
 	}
-	return m
 }
 
 // Fit learns bias quantiles from the training instances and trains the

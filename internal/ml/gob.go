@@ -1,0 +1,31 @@
+package ml
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// gobMajority mirrors the unexported class distribution of a fitted
+// MajorityClassifier for serialization.
+type gobMajority struct {
+	Probs []float64
+}
+
+// GobEncode serializes the fitted distribution.
+func (m *MajorityClassifier) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(gobMajority{Probs: m.dist.probs}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode restores the fitted distribution.
+func (m *MajorityClassifier) GobDecode(data []byte) error {
+	var g gobMajority
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&g); err != nil {
+		return err
+	}
+	m.dist = trivialDist{probs: g.Probs}
+	return nil
+}

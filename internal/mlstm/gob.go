@@ -1,0 +1,87 @@
+package mlstm
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math/rand"
+
+	"github.com/goetsc/goetsc/internal/neural"
+)
+
+// gobModel is the exported mirror of a trained model. The network
+// structure itself is not serialized: it is fully determined by the
+// resolved configuration and the architectural dimensions, so decoding
+// rebuilds the layers and installs the captured weights and running
+// normalization statistics on top.
+type gobModel struct {
+	Cfg         Config
+	ResolvedCfg Config
+	NumClasses  int
+	NumVars     int
+	TrainLen    int
+	Params      [][]float64 // Param.Val slices in the fixed params() order
+	NormMeans   [][]float64 // running means of norm1..norm3
+	NormVars    [][]float64 // running variances of norm1..norm3
+}
+
+// GobEncode serializes the trained model.
+func (m *Model) GobEncode() ([]byte, error) {
+	if m.head == nil {
+		return nil, fmt.Errorf("mlstm: cannot encode an untrained model")
+	}
+	g := gobModel{
+		Cfg:         m.Cfg,
+		ResolvedCfg: m.cfg,
+		NumClasses:  m.numClasses,
+		NumVars:     m.numVars,
+		TrainLen:    m.trainLen,
+	}
+	for _, p := range m.params() {
+		g.Params = append(g.Params, append([]float64(nil), p.Val...))
+	}
+	for _, n := range []*neural.ChannelNorm{m.norm1, m.norm2, m.norm3} {
+		mean, variance := n.RunningStats()
+		g.NormMeans = append(g.NormMeans, mean)
+		g.NormVars = append(g.NormVars, variance)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(g); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode rebuilds the network from the stored configuration and
+// restores the trained weights.
+func (m *Model) GobDecode(data []byte) error {
+	var g gobModel
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&g); err != nil {
+		return err
+	}
+	m.Cfg = g.Cfg
+	m.cfg = g.ResolvedCfg
+	m.numClasses = g.NumClasses
+	m.numVars = g.NumVars
+	m.trainLen = g.TrainLen
+	// The rng only seeds weights that are overwritten immediately below.
+	m.build(rand.New(rand.NewSource(1)))
+	params := m.params()
+	if len(params) != len(g.Params) {
+		return fmt.Errorf("mlstm: decoded %d parameter tensors, network has %d", len(g.Params), len(params))
+	}
+	for i, p := range params {
+		if len(p.Val) != len(g.Params[i]) {
+			return fmt.Errorf("mlstm: parameter %d has %d values, expected %d", i, len(g.Params[i]), len(p.Val))
+		}
+		copy(p.Val, g.Params[i])
+	}
+	norms := []*neural.ChannelNorm{m.norm1, m.norm2, m.norm3}
+	if len(g.NormMeans) != len(norms) || len(g.NormVars) != len(norms) {
+		return fmt.Errorf("mlstm: decoded %d norm statistics, expected %d", len(g.NormMeans), len(norms))
+	}
+	for i, n := range norms {
+		n.SetRunningStats(g.NormMeans[i], g.NormVars[i])
+	}
+	return nil
+}

@@ -116,39 +116,8 @@ func (m *Model) Fit(instances [][][]float64, labels []int, numClasses int) error
 		}
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed + 1))
-
-	f := cfg.Filters
-	m.conv1 = neural.NewConv1D(m.numVars, f[0], 8, rng)
-	m.norm1 = neural.NewChannelNorm(f[0])
-	m.relu1 = &neural.ReLU{}
-	m.se1 = neural.NewSqueezeExcite(f[0], 4, rng)
-	m.conv2 = neural.NewConv1D(f[0], f[1], 5, rng)
-	m.norm2 = neural.NewChannelNorm(f[1])
-	m.relu2 = &neural.ReLU{}
-	m.se2 = neural.NewSqueezeExcite(f[1], 4, rng)
-	m.conv3 = neural.NewConv1D(f[1], f[2], 3, rng)
-	m.norm3 = neural.NewChannelNorm(f[2])
-	m.relu3 = &neural.ReLU{}
-	m.gap = &neural.GlobalAvgPool{}
-	m.lstm = neural.NewLSTM(m.trainLen, cfg.Cells, rng)
-	if cfg.Attention {
-		m.attn = neural.NewAttention(cfg.Cells, cfg.Cells, rng)
-	}
-	m.drop = neural.NewDropout(cfg.DropoutRate, rng)
-	m.head = neural.NewDense(f[2]+cfg.Cells, numClasses, rng)
-	m.loss = &neural.SoftmaxCrossEntropy{}
-
-	layers := []interface{ Params() []*neural.Param }{
-		m.conv1, m.norm1, m.se1, m.conv2, m.norm2, m.se2, m.conv3, m.norm3, m.lstm, m.head,
-	}
-	if m.attn != nil {
-		layers = append(layers, m.attn)
-	}
-	var params []*neural.Param
-	for _, l := range layers {
-		params = append(params, l.Params()...)
-	}
-	m.opt = neural.NewAdam(params, cfg.LearningRate)
+	m.build(rng)
+	m.opt = neural.NewAdam(m.params(), cfg.LearningRate)
 
 	order := make([]int, len(instances))
 	for i := range order {
@@ -170,6 +139,49 @@ func (m *Model) Fit(instances [][][]float64, labels []int, numClasses int) error
 		}
 	}
 	return nil
+}
+
+// build constructs the network layers from the resolved configuration and
+// the architectural dimensions (numClasses, numVars, trainLen), which must
+// already be set. It is shared by Fit and by gob decoding, which rebuilds
+// the same structure and then overwrites the freshly initialized weights.
+func (m *Model) build(rng *rand.Rand) {
+	f := m.cfg.Filters
+	m.conv1 = neural.NewConv1D(m.numVars, f[0], 8, rng)
+	m.norm1 = neural.NewChannelNorm(f[0])
+	m.relu1 = &neural.ReLU{}
+	m.se1 = neural.NewSqueezeExcite(f[0], 4, rng)
+	m.conv2 = neural.NewConv1D(f[0], f[1], 5, rng)
+	m.norm2 = neural.NewChannelNorm(f[1])
+	m.relu2 = &neural.ReLU{}
+	m.se2 = neural.NewSqueezeExcite(f[1], 4, rng)
+	m.conv3 = neural.NewConv1D(f[1], f[2], 3, rng)
+	m.norm3 = neural.NewChannelNorm(f[2])
+	m.relu3 = &neural.ReLU{}
+	m.gap = &neural.GlobalAvgPool{}
+	m.lstm = neural.NewLSTM(m.trainLen, m.cfg.Cells, rng)
+	if m.cfg.Attention {
+		m.attn = neural.NewAttention(m.cfg.Cells, m.cfg.Cells, rng)
+	}
+	m.drop = neural.NewDropout(m.cfg.DropoutRate, rng)
+	m.head = neural.NewDense(f[2]+m.cfg.Cells, m.numClasses, rng)
+	m.loss = &neural.SoftmaxCrossEntropy{}
+}
+
+// params collects every learnable parameter in a fixed layer order, shared
+// by the optimizer and by serialization.
+func (m *Model) params() []*neural.Param {
+	layers := []interface{ Params() []*neural.Param }{
+		m.conv1, m.norm1, m.se1, m.conv2, m.norm2, m.se2, m.conv3, m.norm3, m.lstm, m.head,
+	}
+	if m.attn != nil {
+		layers = append(layers, m.attn)
+	}
+	var params []*neural.Param
+	for _, l := range layers {
+		params = append(params, l.Params()...)
+	}
+	return params
 }
 
 // forwardBackward runs one training sample through the network and

@@ -107,3 +107,16 @@ func (n *ChannelNorm) Backward(grad [][]float64) [][]float64 {
 
 // Params returns the learnable scale and shift.
 func (n *ChannelNorm) Params() []*Param { return []*Param{n.gamma, n.beta} }
+
+// RunningStats returns copies of the inference-time running mean and
+// variance, so a trained layer can be serialized.
+func (n *ChannelNorm) RunningStats() (mean, variance []float64) {
+	return append([]float64(nil), n.runMean...), append([]float64(nil), n.runVar...)
+}
+
+// SetRunningStats installs previously captured running statistics,
+// restoring a deserialized layer's inference behaviour.
+func (n *ChannelNorm) SetRunningStats(mean, variance []float64) {
+	copy(n.runMean, mean)
+	copy(n.runVar, variance)
+}

@@ -1,0 +1,43 @@
+package ocsvm
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// gobModel mirrors the unexported fields of a trained model for
+// serialization.
+type gobModel struct {
+	Cfg         Config
+	SupportVecs [][]float64
+	Alphas      []float64
+	Rho         float64
+	Gamma       float64
+}
+
+// GobEncode serializes the trained model.
+func (m *Model) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(gobModel{
+		Cfg: m.Cfg, SupportVecs: m.supportVecs, Alphas: m.alphas,
+		Rho: m.rho, Gamma: m.gamma,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode restores a trained model.
+func (m *Model) GobDecode(data []byte) error {
+	var g gobModel
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&g); err != nil {
+		return err
+	}
+	m.Cfg = g.Cfg
+	m.supportVecs = g.SupportVecs
+	m.alphas = g.Alphas
+	m.rho = g.Rho
+	m.gamma = g.Gamma
+	return nil
+}

@@ -1,0 +1,260 @@
+// Package persist serializes trained early classifiers to a versioned,
+// checksummed file format, so training and serving can run in different
+// processes. The envelope is:
+//
+//	magic (8 bytes) | version (u32) | algorithm tag (u32 length + bytes) |
+//	meta JSON (u32 length + bytes) | gob payload (u64 length + bytes) |
+//	FNV-1a 64 checksum of everything before it (u64)
+//
+// The payload is the gob encoding of the trained model behind the
+// core.EarlyClassifier interface; every framework algorithm (and the
+// Voting wrapper) implements GobEncode/GobDecode, and this package
+// registers their concrete types. A corrupted, truncated or mismatched
+// file fails loudly with a typed error.
+package persist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+
+	"github.com/goetsc/goetsc/internal/algos/ecec"
+	"github.com/goetsc/goetsc/internal/algos/economyk"
+	"github.com/goetsc/goetsc/internal/algos/ects"
+	"github.com/goetsc/goetsc/internal/algos/edsc"
+	"github.com/goetsc/goetsc/internal/algos/srule"
+	"github.com/goetsc/goetsc/internal/algos/teaser"
+	"github.com/goetsc/goetsc/internal/core"
+	"github.com/goetsc/goetsc/internal/strut"
+)
+
+// magic identifies a goetsc model file.
+var magic = [8]byte{'G', 'O', 'E', 'T', 'S', 'C', 'M', '1'}
+
+// Version is the current format version. Load rejects any other value.
+const Version = 1
+
+// Typed failure modes, so callers and tests can tell a wrong file apart
+// from a damaged one.
+var (
+	ErrBadMagic          = errors.New("persist: not a goetsc model file (bad magic)")
+	ErrVersion           = errors.New("persist: unsupported format version")
+	ErrTruncated         = errors.New("persist: truncated model file")
+	ErrChecksum          = errors.New("persist: checksum mismatch (corrupted model file)")
+	ErrAlgorithmMismatch = errors.New("persist: algorithm tag does not match the stored model")
+)
+
+func init() {
+	// Trained models travel through the core.EarlyClassifier interface;
+	// gob needs every concrete algorithm type registered on both sides.
+	// (internal/strut's init registers the STRUT base-variant types, and
+	// internal/algos/economyk's init registers its base classifiers.)
+	gob.Register(&ecec.Classifier{})
+	gob.Register(&economyk.Classifier{})
+	gob.Register(&ects.Classifier{})
+	gob.Register(&edsc.Classifier{})
+	gob.Register(&srule.Classifier{})
+	gob.Register(&teaser.Classifier{})
+	gob.Register(&strut.Classifier{})
+	gob.Register(&core.Voting{})
+}
+
+// Meta describes the training context of a saved model — enough for a
+// serving process to list the model and validate request shapes without
+// regenerating the dataset.
+type Meta struct {
+	// Algorithm is the model's reported name; Save fills it from the model.
+	Algorithm string `json:"algorithm"`
+	// Dataset names the training dataset.
+	Dataset string `json:"dataset,omitempty"`
+	// Length is the full training series length.
+	Length int `json:"length,omitempty"`
+	// NumVars is the variable count of the training data.
+	NumVars int `json:"num_vars,omitempty"`
+	// NumClasses is the class count of the training data.
+	NumClasses int `json:"num_classes,omitempty"`
+}
+
+// payload wraps the model so the gob stream carries the concrete type.
+type payload struct {
+	Model core.EarlyClassifier
+}
+
+// Save writes the envelope for a trained model. meta.Algorithm is
+// overwritten with model.Name() so the tag always matches the payload.
+func Save(w io.Writer, model core.EarlyClassifier, meta Meta) error {
+	if model == nil {
+		return fmt.Errorf("persist: nil model")
+	}
+	meta.Algorithm = model.Name()
+
+	var body bytes.Buffer
+	body.Write(magic[:])
+	writeU32(&body, Version)
+	name := []byte(meta.Algorithm)
+	writeU32(&body, uint32(len(name)))
+	body.Write(name)
+	metaJSON, err := json.Marshal(meta)
+	if err != nil {
+		return fmt.Errorf("persist: encode meta: %w", err)
+	}
+	writeU32(&body, uint32(len(metaJSON)))
+	body.Write(metaJSON)
+
+	var gobBuf bytes.Buffer
+	if err := gob.NewEncoder(&gobBuf).Encode(payload{Model: model}); err != nil {
+		return fmt.Errorf("persist: encode %s: %w", meta.Algorithm, err)
+	}
+	writeU64(&body, uint64(gobBuf.Len()))
+	body.Write(gobBuf.Bytes())
+
+	writeU64(&body, Checksum(body.Bytes()))
+	if _, err := w.Write(body.Bytes()); err != nil {
+		return fmt.Errorf("persist: write: %w", err)
+	}
+	return nil
+}
+
+// SaveFile writes the model to path, creating or truncating it.
+func SaveFile(path string, model core.EarlyClassifier, meta Meta) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	if err := Save(f, model, meta); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("persist: sync: %w", err)
+	}
+	return f.Close()
+}
+
+// Load reads and verifies an envelope, returning the trained model and
+// its metadata. Structural damage is reported before the checksum so a
+// truncated file yields ErrTruncated rather than a generic corruption
+// error; a bit flip anywhere yields ErrChecksum.
+func Load(r io.Reader) (core.EarlyClassifier, Meta, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, Meta{}, fmt.Errorf("persist: read: %w", err)
+	}
+	cur := data
+	if len(cur) < len(magic)+4 {
+		return nil, Meta{}, ErrTruncated
+	}
+	if !bytes.Equal(cur[:len(magic)], magic[:]) {
+		return nil, Meta{}, ErrBadMagic
+	}
+	cur = cur[len(magic):]
+	version := binary.BigEndian.Uint32(cur)
+	cur = cur[4:]
+	if version != Version {
+		return nil, Meta{}, fmt.Errorf("%w: file has version %d, supported %d", ErrVersion, version, Version)
+	}
+
+	name, cur, err := readBlock32(cur)
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	metaJSON, cur, err := readBlock32(cur)
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	gobBytes, cur, err := readBlock64(cur)
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	if len(cur) < 8 {
+		return nil, Meta{}, ErrTruncated
+	}
+	stored := binary.BigEndian.Uint64(cur)
+	if got := Checksum(data[:len(data)-len(cur)]); got != stored {
+		return nil, Meta{}, ErrChecksum
+	}
+
+	var meta Meta
+	if err := json.Unmarshal(metaJSON, &meta); err != nil {
+		return nil, Meta{}, fmt.Errorf("persist: decode meta: %w", err)
+	}
+	var p payload
+	if err := gob.NewDecoder(bytes.NewReader(gobBytes)).Decode(&p); err != nil {
+		return nil, Meta{}, fmt.Errorf("persist: decode model: %w", err)
+	}
+	if p.Model == nil {
+		return nil, Meta{}, fmt.Errorf("persist: decode model: empty payload")
+	}
+	if got := p.Model.Name(); got != string(name) {
+		return nil, Meta{}, fmt.Errorf("%w: tag %q, model reports %q", ErrAlgorithmMismatch, name, got)
+	}
+	meta.Algorithm = string(name)
+	return p.Model, meta, nil
+}
+
+// LoadFile reads and verifies the model stored at path.
+func LoadFile(path string) (core.EarlyClassifier, Meta, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, Meta{}, fmt.Errorf("persist: %w", err)
+	}
+	defer f.Close()
+	model, meta, err := Load(f)
+	if err != nil {
+		return nil, Meta{}, fmt.Errorf("%w (file %s)", err, path)
+	}
+	return model, meta, nil
+}
+
+// Checksum is the envelope's FNV-1a 64 hash, exported so tests can craft
+// structurally valid files with deliberate header damage.
+func Checksum(b []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64()
+}
+
+func writeU32(buf *bytes.Buffer, v uint32) {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	buf.Write(b[:])
+}
+
+func writeU64(buf *bytes.Buffer, v uint64) {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	buf.Write(b[:])
+}
+
+// readBlock32 consumes a u32 length-prefixed block.
+func readBlock32(cur []byte) (block, rest []byte, err error) {
+	if len(cur) < 4 {
+		return nil, nil, ErrTruncated
+	}
+	n := binary.BigEndian.Uint32(cur)
+	cur = cur[4:]
+	if uint64(len(cur)) < uint64(n) {
+		return nil, nil, ErrTruncated
+	}
+	return cur[:n], cur[n:], nil
+}
+
+// readBlock64 consumes a u64 length-prefixed block.
+func readBlock64(cur []byte) (block, rest []byte, err error) {
+	if len(cur) < 8 {
+		return nil, nil, ErrTruncated
+	}
+	n := binary.BigEndian.Uint64(cur)
+	cur = cur[8:]
+	if uint64(len(cur)) < n {
+		return nil, nil, ErrTruncated
+	}
+	return cur[:n], cur[n:], nil
+}

@@ -1,0 +1,183 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"github.com/goetsc/goetsc/internal/bench"
+	"github.com/goetsc/goetsc/internal/core"
+	"github.com/goetsc/goetsc/internal/synth"
+	ts "github.com/goetsc/goetsc/internal/timeseries"
+)
+
+// trainingData is a tiny two-class univariate dataset every algorithm can
+// fit in well under a second.
+func trainingData(t *testing.T) *ts.Dataset {
+	t.Helper()
+	d := synth.Dataset("synth-uni", 1, 2, 24, 40, 7)
+	if err := d.Validate(); err != nil {
+		t.Fatalf("synthetic dataset invalid: %v", err)
+	}
+	return d
+}
+
+// assertSameDecisions fails unless both classifiers agree on label and
+// consumed for every instance.
+func assertSameDecisions(t *testing.T, want, got core.EarlyClassifier, d *ts.Dataset) {
+	t.Helper()
+	for i, in := range d.Instances {
+		wl, wc := want.Classify(in)
+		gl, gc := got.Classify(in)
+		if wl != gl || wc != gc {
+			t.Fatalf("instance %d: original Classify = (%d, %d), loaded = (%d, %d)", i, wl, wc, gl, gc)
+		}
+	}
+}
+
+// TestRoundTripAllAlgorithms is the table-driven round trip the issue
+// demands: every registered algorithm (the paper's eight plus the SR
+// extension) is fitted, saved, loaded into a fresh value, and must make
+// byte-identical decisions.
+func TestRoundTripAllAlgorithms(t *testing.T) {
+	names := append(bench.AlgorithmNames(), "SR")
+	factories := bench.AlgorithmsByName("synth-uni", bench.Fast, 1, names)
+	if len(factories) != len(names) {
+		t.Fatalf("expected %d factories, got %d", len(names), len(factories))
+	}
+	for _, f := range factories {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			t.Parallel()
+			d := trainingData(t)
+			algo := f.New()
+			if err := algo.Fit(d); err != nil {
+				t.Fatalf("fit: %v", err)
+			}
+
+			path := filepath.Join(t.TempDir(), "model.goetsc")
+			meta := Meta{Dataset: d.Name, Length: d.MaxLength(), NumVars: d.NumVars(), NumClasses: d.NumClasses()}
+			if err := SaveFile(path, algo, meta); err != nil {
+				t.Fatalf("save: %v", err)
+			}
+			loaded, gotMeta, err := LoadFile(path)
+			if err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			if gotMeta.Algorithm != algo.Name() {
+				t.Fatalf("meta algorithm = %q, want %q", gotMeta.Algorithm, algo.Name())
+			}
+			if gotMeta.Length != d.MaxLength() || gotMeta.NumClasses != d.NumClasses() {
+				t.Fatalf("meta = %+v does not match dataset", gotMeta)
+			}
+			if loaded.Name() != algo.Name() {
+				t.Fatalf("loaded model name = %q, want %q", loaded.Name(), algo.Name())
+			}
+			assertSameDecisions(t, algo, loaded, d)
+
+			// Truncated test instances exercise the early-decision paths.
+			trunc := d.Truncate(d.MaxLength() / 2)
+			assertSameDecisions(t, algo, loaded, trunc)
+		})
+	}
+}
+
+// TestRoundTripVoting covers the multivariate path: a univariate
+// algorithm lifted with the Voting wrapper must survive the round trip.
+func TestRoundTripVoting(t *testing.T) {
+	d := synth.Dataset("synth-multi", 2, 2, 24, 40, 11)
+	factories := bench.AlgorithmsByName("synth-multi", bench.Fast, 1, []string{"ECTS"})
+	if len(factories) != 1 {
+		t.Fatalf("expected ECTS factory, got %d", len(factories))
+	}
+	algo := core.WrapForDataset(factories[0].New, d)
+	if _, ok := algo.(*core.Voting); !ok {
+		t.Fatalf("expected a Voting wrapper, got %T", algo)
+	}
+	if err := algo.Fit(d); err != nil {
+		t.Fatalf("fit: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, algo, Meta{Dataset: d.Name}); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	loaded, meta, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if meta.Algorithm != "ECTS" {
+		t.Fatalf("meta algorithm = %q, want ECTS", meta.Algorithm)
+	}
+	assertSameDecisions(t, algo, loaded, d)
+}
+
+// savedECTS returns the serialized bytes of a small trained model, for
+// the corruption cases.
+func savedECTS(t *testing.T) []byte {
+	t.Helper()
+	d := trainingData(t)
+	f := bench.AlgorithmsByName(d.Name, bench.Fast, 1, []string{"ECTS"})[0]
+	algo := f.New()
+	if err := algo.Fit(d); err != nil {
+		t.Fatalf("fit: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, algo, Meta{Dataset: d.Name}); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestCorruptedHeader(t *testing.T) {
+	data := savedECTS(t)
+
+	bad := append([]byte(nil), data...)
+	bad[0] ^= 0xFF // damage the magic
+	if _, _, err := Load(bytes.NewReader(bad)); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("bad magic: got %v, want ErrBadMagic", err)
+	}
+
+	bad = append([]byte(nil), data...)
+	bad[len(bad)/2] ^= 0xFF // flip a payload bit
+	if _, _, err := Load(bytes.NewReader(bad)); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("payload corruption: got %v, want ErrChecksum", err)
+	}
+}
+
+func TestUnsupportedVersion(t *testing.T) {
+	data := savedECTS(t)
+	bad := append([]byte(nil), data...)
+	binary.BigEndian.PutUint32(bad[8:], 99)
+	// Recompute the checksum so only the version is wrong.
+	binary.BigEndian.PutUint64(bad[len(bad)-8:], Checksum(bad[:len(bad)-8]))
+	if _, _, err := Load(bytes.NewReader(bad)); !errors.Is(err, ErrVersion) {
+		t.Fatalf("got %v, want ErrVersion", err)
+	}
+}
+
+func TestWrongAlgorithmTag(t *testing.T) {
+	data := savedECTS(t)
+	bad := append([]byte(nil), data...)
+	// The algorithm tag starts after magic (8) + version (4) + length (4).
+	// "ECTS" and "EDSC" have the same length, so offsets are preserved.
+	tagStart := 16
+	if got := string(bad[tagStart : tagStart+4]); got != "ECTS" {
+		t.Fatalf("expected ECTS tag at offset %d, found %q", tagStart, got)
+	}
+	copy(bad[tagStart:], "EDSC")
+	binary.BigEndian.PutUint64(bad[len(bad)-8:], Checksum(bad[:len(bad)-8]))
+	if _, _, err := Load(bytes.NewReader(bad)); !errors.Is(err, ErrAlgorithmMismatch) {
+		t.Fatalf("got %v, want ErrAlgorithmMismatch", err)
+	}
+}
+
+func TestTruncatedFile(t *testing.T) {
+	data := savedECTS(t)
+	for _, cut := range []int{1, 9, len(data) / 2, len(data) - 9} {
+		if _, _, err := Load(bytes.NewReader(data[:cut])); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut at %d bytes: got %v, want ErrTruncated", cut, err)
+		}
+	}
+}

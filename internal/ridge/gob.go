@@ -1,0 +1,46 @@
+package ridge
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// gobModel mirrors the unexported fields of a fitted model for
+// serialization.
+type gobModel struct {
+	Cfg        Config
+	NumClasses int
+	Dim        int
+	Weights    [][]float64
+	Intercept  []float64
+	Mean, Std  []float64
+}
+
+// GobEncode serializes the fitted model.
+func (m *Model) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(gobModel{
+		Cfg: m.Cfg, NumClasses: m.numClasses, Dim: m.dim,
+		Weights: m.weights, Intercept: m.intercept, Mean: m.mean, Std: m.std,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode restores a fitted model.
+func (m *Model) GobDecode(data []byte) error {
+	var g gobModel
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&g); err != nil {
+		return err
+	}
+	m.Cfg = g.Cfg
+	m.numClasses = g.NumClasses
+	m.dim = g.Dim
+	m.weights = g.Weights
+	m.intercept = g.Intercept
+	m.mean = g.Mean
+	m.std = g.Std
+	return nil
+}

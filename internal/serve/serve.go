@@ -1,0 +1,366 @@
+// Package serve exposes trained early classifiers over a JSON HTTP API —
+// the online half of the ETSC framework. One-shot classification mirrors
+// the batch evaluator; streaming sessions mirror the paper's online
+// semantics: a client feeds time points incrementally and the server
+// answers "pending" until the early classifier commits.
+//
+// A streamed decision is only reported once it is final: the classifier
+// committed strictly inside the data received so far (consumed < length,
+// so no padded or truncated tail influenced it — every framework
+// algorithm's decision at a prefix depends only on that prefix), or the
+// series reached the model's full training length. This makes streamed
+// decisions byte-identical to an offline Classify of the complete
+// instance, which the load generator asserts.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/goetsc/goetsc/internal/core"
+	"github.com/goetsc/goetsc/internal/obs"
+	"github.com/goetsc/goetsc/internal/persist"
+	"github.com/goetsc/goetsc/internal/sched"
+)
+
+// Config controls one server instance. The zero value serves with
+// sensible limits and no instrumentation.
+type Config struct {
+	// MaxBodyBytes caps request bodies; larger requests get 413.
+	// Default 1 MiB.
+	MaxBodyBytes int64
+	// RequestTimeout bounds one request's handling. Default 30s.
+	RequestTimeout time.Duration
+	// SessionTTL evicts idle streaming sessions. Default 10m.
+	SessionTTL time.Duration
+	// MaxSessions bounds live sessions; creation beyond it gets 503.
+	// Default 4096.
+	MaxSessions int
+	// Workers bounds concurrent classification work. 0 uses the shared
+	// scheduler pool's worker count (sched.Shared()).
+	Workers int
+	// Obs receives request metrics and journal events; nil is a no-op.
+	Obs *obs.Collector
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.SessionTTL <= 0 {
+		c.SessionTTL = 10 * time.Minute
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 4096
+	}
+	if c.Workers <= 0 {
+		c.Workers = sched.Shared().Workers()
+	}
+	return c
+}
+
+// ModelInfo is one entry of the /v1/models listing.
+type ModelInfo struct {
+	Name       string `json:"name"`
+	Algorithm  string `json:"algorithm"`
+	Dataset    string `json:"dataset,omitempty"`
+	Length     int    `json:"length,omitempty"`
+	NumVars    int    `json:"num_vars,omitempty"`
+	NumClasses int    `json:"num_classes,omitempty"`
+}
+
+// model pairs a loaded classifier with its metadata. Classify
+// implementations reuse internal scratch buffers, so calls are serialized
+// per model; different models classify concurrently.
+type model struct {
+	info ModelInfo
+	algo core.EarlyClassifier
+	mu   sync.Mutex
+}
+
+// classify serializes access to the underlying algorithm.
+func (m *model) classify(values [][]float64) (label, consumed int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.algo.Classify(tsInstance(values))
+}
+
+// Server routes the JSON API. Create with New, register models with
+// AddModel/LoadFile/LoadDir, then mount Handler.
+type Server struct {
+	cfg Config
+	sem chan struct{} // bounds concurrent classification work
+
+	mu       sync.RWMutex
+	models   map[string]*model
+	sessions map[string]*session
+	ready    atomic.Bool
+
+	requests *obs.Counter
+	inflight *obs.Gauge
+}
+
+// New returns an empty server.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		sem:      make(chan struct{}, cfg.Workers),
+		models:   map[string]*model{},
+		sessions: map[string]*session{},
+	}
+	return s
+}
+
+// AddModel registers a trained classifier under name.
+func (s *Server) AddModel(name string, algo core.EarlyClassifier, meta persist.Meta) error {
+	if name == "" || algo == nil {
+		return fmt.Errorf("serve: model name and classifier are required")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.models[name]; exists {
+		return fmt.Errorf("serve: model %q already loaded", name)
+	}
+	s.models[name] = &model{
+		info: ModelInfo{
+			Name: name, Algorithm: algo.Name(), Dataset: meta.Dataset,
+			Length: meta.Length, NumVars: meta.NumVars, NumClasses: meta.NumClasses,
+		},
+		algo: algo,
+	}
+	s.ready.Store(true)
+	s.cfg.Obs.Emit("model_loaded", map[string]any{
+		"model": name, "algorithm": algo.Name(), "dataset": meta.Dataset,
+	})
+	return nil
+}
+
+// LoadFile loads one persisted model; its name is the file's base name
+// without extension.
+func (s *Server) LoadFile(path string) (string, error) {
+	algo, meta, err := persist.LoadFile(path)
+	if err != nil {
+		return "", err
+	}
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	return name, s.AddModel(name, algo, meta)
+}
+
+// LoadDir loads every *.goetsc file in dir, returning the loaded names.
+func (s *Server) LoadDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".goetsc") {
+			continue
+		}
+		name, err := s.LoadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return names, err
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Models lists the loaded models sorted by name.
+func (s *Server) Models() []ModelInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]ModelInfo, 0, len(s.models))
+	for _, m := range s.models {
+		out = append(out, m.info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func (s *Server) lookup(name string) (*model, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	m, ok := s.models[name]
+	return m, ok
+}
+
+// acquire reserves one classification slot, bounding concurrent CPU work
+// to the scheduler's worker count; it fails when the request is cancelled
+// first (deadline or client disconnect).
+func (s *Server) acquire(r *http.Request) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-r.Context().Done():
+		return r.Context().Err()
+	}
+}
+
+func (s *Server) release() { <-s.sem }
+
+// Handler returns the API handler with per-request deadlines applied.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.wrap("healthz", s.handleHealthz))
+	mux.HandleFunc("GET /readyz", s.wrap("readyz", s.handleReadyz))
+	mux.HandleFunc("GET /v1/models", s.wrap("models", s.handleModels))
+	mux.HandleFunc("POST /v1/classify", s.wrap("classify", s.handleClassify))
+	mux.HandleFunc("POST /v1/sessions", s.wrap("session_create", s.handleSessionCreate))
+	mux.HandleFunc("POST /v1/sessions/{id}/points", s.wrap("session_points", s.handleSessionPoints))
+	mux.HandleFunc("GET /v1/sessions/{id}", s.wrap("session_get", s.handleSessionGet))
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.wrap("session_close", s.handleSessionClose))
+	return http.TimeoutHandler(mux, s.cfg.RequestTimeout, `{"error":"request deadline exceeded"}`)
+}
+
+// apiError carries an HTTP status with its message.
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func errf(status int, format string, args ...any) *apiError {
+	return &apiError{status: status, msg: fmt.Sprintf(format, args...)}
+}
+
+// wrap instruments one route: request/error counters, a latency
+// histogram, the in-flight gauge, and uniform JSON error rendering.
+func (s *Server) wrap(route string, h func(http.ResponseWriter, *http.Request) error) http.HandlerFunc {
+	reg := s.cfg.Obs.Registry()
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		reg.Counter("etsc_serve_requests_total", "Requests by route.", obs.Label{Key: "route", Value: route}).Inc()
+		gauge := reg.Gauge("etsc_serve_inflight", "Requests currently being handled.")
+		gauge.Add(1)
+		defer gauge.Add(-1)
+
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		err := h(w, r)
+		if err != nil {
+			status := http.StatusInternalServerError
+			var ae *apiError
+			var mbe *http.MaxBytesError
+			switch {
+			case errors.As(err, &ae):
+				status = ae.status
+			case errors.As(err, &mbe):
+				status = http.StatusRequestEntityTooLarge
+				err = fmt.Errorf("request body exceeds %d bytes", mbe.Limit)
+			case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+				status = http.StatusServiceUnavailable
+			}
+			reg.Counter("etsc_serve_errors_total", "Request errors by route and status.",
+				obs.Label{Key: "route", Value: route}, obs.Label{Key: "code", Value: fmt.Sprint(status)}).Inc()
+			writeJSON(w, status, map[string]any{"error": err.Error()})
+		}
+		reg.Histogram("etsc_serve_latency_seconds", "Request handling latency by route.",
+			obs.DurationBuckets, obs.Label{Key: "route", Value: route}).Observe(time.Since(start).Seconds())
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) error {
+	return writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) error {
+	if !s.ready.Load() {
+		return errf(http.StatusServiceUnavailable, "no models loaded")
+	}
+	return writeJSON(w, http.StatusOK, map[string]any{"status": "ready", "models": len(s.Models())})
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) error {
+	return writeJSON(w, http.StatusOK, map[string]any{"models": s.Models()})
+}
+
+// classifyRequest is the one-shot request body. Values is indexed
+// [variable][time]; a univariate instance is a single inner array.
+type classifyRequest struct {
+	Model  string      `json:"model"`
+	Values [][]float64 `json:"values"`
+}
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) error {
+	var req classifyRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return err
+	}
+	m, ok := s.lookup(req.Model)
+	if !ok {
+		return errf(http.StatusNotFound, "unknown model %q", req.Model)
+	}
+	if err := validateValues(req.Values, m.info.NumVars); err != nil {
+		return err
+	}
+	if err := s.acquire(r); err != nil {
+		return err
+	}
+	label, consumed := m.classify(req.Values)
+	s.release()
+	return writeJSON(w, http.StatusOK, map[string]any{
+		"model": m.info.Name, "algorithm": m.info.Algorithm,
+		"label": label, "consumed": consumed, "final": true,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) error {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	return json.NewEncoder(w).Encode(v)
+}
+
+// decodeJSON parses one JSON body strictly: unknown fields, trailing
+// garbage and oversized bodies are errors.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return err
+		}
+		return errf(http.StatusBadRequest, "malformed request body: %v", err)
+	}
+	if dec.More() {
+		return errf(http.StatusBadRequest, "malformed request body: trailing data")
+	}
+	return nil
+}
+
+// validateValues rejects ragged or empty instances, and a variable count
+// that contradicts the model's training shape.
+func validateValues(values [][]float64, wantVars int) error {
+	if len(values) == 0 {
+		return errf(http.StatusBadRequest, "values must hold at least one variable")
+	}
+	n := len(values[0])
+	if n == 0 {
+		return errf(http.StatusBadRequest, "values must hold at least one time point")
+	}
+	for i, v := range values {
+		if len(v) != n {
+			return errf(http.StatusBadRequest, "variable %d has %d time points, variable 0 has %d", i, len(v), n)
+		}
+	}
+	if wantVars > 0 && len(values) != wantVars {
+		return errf(http.StatusBadRequest, "model expects %d variables, got %d", wantVars, len(values))
+	}
+	return nil
+}

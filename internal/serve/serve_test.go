@@ -1,0 +1,365 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/goetsc/goetsc/internal/bench"
+	"github.com/goetsc/goetsc/internal/core"
+	"github.com/goetsc/goetsc/internal/persist"
+	"github.com/goetsc/goetsc/internal/synth"
+	ts "github.com/goetsc/goetsc/internal/timeseries"
+)
+
+// trainedECTS fits one small ECTS model for handler tests; the sync.Once
+// keeps the fixture cheap across tests.
+var fixtureOnce sync.Once
+var fixtureModel core.EarlyClassifier
+var fixtureData *ts.Dataset
+
+func fixture(t *testing.T) (core.EarlyClassifier, *ts.Dataset) {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		fixtureData = synth.Dataset("synth-uni", 1, 2, 24, 40, 7)
+		f := bench.AlgorithmsByName(fixtureData.Name, bench.Fast, 1, []string{"ECTS"})[0]
+		fixtureModel = f.New()
+		if err := fixtureModel.Fit(fixtureData); err != nil {
+			panic(err)
+		}
+	})
+	return fixtureModel, fixtureData
+}
+
+// newTestServer returns a started httptest server with the ECTS fixture
+// loaded under the name "ects".
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	algo, d := fixture(t)
+	s := New(cfg)
+	meta := persist.Meta{Dataset: d.Name, Length: d.MaxLength(), NumVars: d.NumVars(), NumClasses: d.NumClasses()}
+	if err := s.AddModel("ects", algo, meta); err != nil {
+		t.Fatalf("add model: %v", err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(hs.Close)
+	return s, hs
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	return resp
+}
+
+func decodeBody(t *testing.T, resp *http.Response, v any) {
+	t.Helper()
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+}
+
+func TestHealthAndReady(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(hs.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d, want 200", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestReadyzBeforeModels(t *testing.T) {
+	s := New(Config{})
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+	resp, err := http.Get(hs.URL + "/readyz")
+	if err != nil {
+		t.Fatalf("GET /readyz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz with no models = %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestModelsListing(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	resp, err := http.Get(hs.URL + "/v1/models")
+	if err != nil {
+		t.Fatalf("GET /v1/models: %v", err)
+	}
+	var got struct {
+		Models []ModelInfo `json:"models"`
+	}
+	decodeBody(t, resp, &got)
+	if len(got.Models) != 1 || got.Models[0].Name != "ects" || got.Models[0].Algorithm != "ECTS" {
+		t.Fatalf("models = %+v, want one ects/ECTS entry", got.Models)
+	}
+}
+
+func TestClassifyOK(t *testing.T) {
+	algo, d := fixture(t)
+	_, hs := newTestServer(t, Config{})
+	in := d.Instances[0]
+	wantLabel, wantConsumed := algo.Classify(in)
+
+	resp := postJSON(t, hs.URL+"/v1/classify", map[string]any{"model": "ects", "values": in.Values})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("classify = %d, want 200", resp.StatusCode)
+	}
+	var got struct {
+		Label    int  `json:"label"`
+		Consumed int  `json:"consumed"`
+		Final    bool `json:"final"`
+	}
+	decodeBody(t, resp, &got)
+	if got.Label != wantLabel || got.Consumed != wantConsumed || !got.Final {
+		t.Fatalf("classify = %+v, want label %d consumed %d final", got, wantLabel, wantConsumed)
+	}
+}
+
+func TestClassifyMalformedJSON(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	cases := []string{
+		`{"model": "ects", "values": [[1,2`,     // unterminated
+		`{"model": "ects", "bogus": true}`,      // unknown field
+		`{"model": "ects", "values": []}{}`,     // trailing data
+		`{"model": "ects", "values": [[1],[]]}`, // ragged
+		`{"model": "ects", "values": []}`,       // empty
+	}
+	for _, body := range cases {
+		resp, err := http.Post(hs.URL+"/v1/classify", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST: %v", err)
+		}
+		var got struct {
+			Error string `json:"error"`
+		}
+		decodeBody(t, resp, &got)
+		if resp.StatusCode != http.StatusBadRequest || got.Error == "" {
+			t.Fatalf("body %q: status %d error %q, want 400 with message", body, resp.StatusCode, got.Error)
+		}
+	}
+}
+
+func TestClassifyUnknownModel(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	resp := postJSON(t, hs.URL+"/v1/classify", map[string]any{"model": "nope", "values": [][]float64{{1, 2, 3}}})
+	var got struct {
+		Error string `json:"error"`
+	}
+	decodeBody(t, resp, &got)
+	if resp.StatusCode != http.StatusNotFound || !strings.Contains(got.Error, "nope") {
+		t.Fatalf("unknown model: status %d error %q, want 404 naming the model", resp.StatusCode, got.Error)
+	}
+}
+
+func TestClassifyOversizedBody(t *testing.T) {
+	_, hs := newTestServer(t, Config{MaxBodyBytes: 256})
+	big := make([]float64, 4096)
+	resp := postJSON(t, hs.URL+"/v1/classify", map[string]any{"model": "ects", "values": [][]float64{big}})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body = %d, want 413", resp.StatusCode)
+	}
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	algo, d := fixture(t)
+	_, hs := newTestServer(t, Config{})
+	in := d.Instances[1]
+	wantLabel, wantConsumed := algo.Classify(in)
+
+	// Create.
+	resp := postJSON(t, hs.URL+"/v1/sessions", map[string]any{"model": "ects"})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create session = %d, want 201", resp.StatusCode)
+	}
+	var created sessionState
+	decodeBody(t, resp, &created)
+	if created.SessionID == "" || created.Status != "pending" {
+		t.Fatalf("created = %+v, want pending with an id", created)
+	}
+	base := hs.URL + "/v1/sessions/" + created.SessionID
+
+	// Stream one point at a time until the decision lands.
+	var final sessionState
+	n := in.Length()
+	for i := 0; i < n; i++ {
+		batch := make([][]float64, len(in.Values))
+		for v := range in.Values {
+			batch[v] = in.Values[v][i : i+1]
+		}
+		resp := postJSON(t, base+"/points", map[string]any{"values": batch, "last": i == n-1})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("points %d = %d, want 200", i, resp.StatusCode)
+		}
+		decodeBody(t, resp, &final)
+		if final.Status == "decided" {
+			break
+		}
+	}
+	if final.Status != "decided" || final.Label == nil || final.Consumed == nil {
+		t.Fatalf("session never decided: %+v", final)
+	}
+	if *final.Label != wantLabel || *final.Consumed != wantConsumed {
+		t.Fatalf("streamed decision (%d, %d) != offline Classify (%d, %d)",
+			*final.Label, *final.Consumed, wantLabel, wantConsumed)
+	}
+
+	// GET reports the frozen decision.
+	getResp, err := http.Get(base)
+	if err != nil {
+		t.Fatalf("GET session: %v", err)
+	}
+	var got sessionState
+	decodeBody(t, getResp, &got)
+	if got.Status != "decided" || *got.Label != wantLabel {
+		t.Fatalf("GET after decision = %+v", got)
+	}
+
+	// DELETE closes it; follow-up requests see 404.
+	req, _ := http.NewRequest(http.MethodDelete, base, nil)
+	delResp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("DELETE: %v", err)
+	}
+	delResp.Body.Close()
+	if delResp.StatusCode != http.StatusNoContent {
+		t.Fatalf("DELETE = %d, want 204", delResp.StatusCode)
+	}
+	for _, probe := range []func() *http.Response{
+		func() *http.Response {
+			r, err := http.Get(base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r
+		},
+		func() *http.Response {
+			return postJSON(t, base+"/points", map[string]any{"values": [][]float64{{1}}})
+		},
+	} {
+		r := probe()
+		r.Body.Close()
+		if r.StatusCode != http.StatusNotFound {
+			t.Fatalf("closed session request = %d, want 404", r.StatusCode)
+		}
+	}
+}
+
+func TestSessionUnknownModel(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	resp := postJSON(t, hs.URL+"/v1/sessions", map[string]any{"model": "missing"})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("create session for unknown model = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestSessionLimit(t *testing.T) {
+	_, hs := newTestServer(t, Config{MaxSessions: 2})
+	for i := 0; i < 2; i++ {
+		resp := postJSON(t, hs.URL+"/v1/sessions", map[string]any{"model": "ects"})
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("session %d = %d, want 201", i, resp.StatusCode)
+		}
+	}
+	resp := postJSON(t, hs.URL+"/v1/sessions", map[string]any{"model": "ects"})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("session past limit = %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestConcurrentSessions streams many sessions at once; run under -race
+// this proves the per-model classify lock and session bookkeeping are
+// sound.
+func TestConcurrentSessions(t *testing.T) {
+	algo, d := fixture(t)
+	_, hs := newTestServer(t, Config{})
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			in := d.Instances[w%d.Len()]
+			wantLabel, wantConsumed := func() (int, int) {
+				// Serialize the reference Classify the same way the server
+				// does: the algorithms are not goroutine-safe.
+				refMu.Lock()
+				defer refMu.Unlock()
+				return algo.Classify(in)
+			}()
+
+			resp := postJSON(t, hs.URL+"/v1/sessions", map[string]any{"model": "ects"})
+			var created sessionState
+			decodeBody(t, resp, &created)
+			base := hs.URL + "/v1/sessions/" + created.SessionID
+
+			var final sessionState
+			half := in.Length() / 2
+			for _, step := range []struct {
+				lo, hi int
+				last   bool
+			}{{0, half, false}, {half, in.Length(), true}} {
+				batch := make([][]float64, len(in.Values))
+				for v := range in.Values {
+					batch[v] = in.Values[v][step.lo:step.hi]
+				}
+				resp := postJSON(t, base+"/points", map[string]any{"values": batch, "last": step.last})
+				decodeBody(t, resp, &final)
+				if final.Status == "decided" {
+					break
+				}
+			}
+			if final.Status != "decided" {
+				errCh <- fmt.Errorf("worker %d: session never decided", w)
+				return
+			}
+			if *final.Label != wantLabel || *final.Consumed > wantConsumed {
+				// Streaming in two chunks can only decide at chunk
+				// boundaries at or after the offline commit point, never
+				// with a different label for these prefix-monotone
+				// algorithms; equality holds when the commit aligns.
+				if *final.Label != wantLabel {
+					errCh <- fmt.Errorf("worker %d: label %d != offline %d", w, *final.Label, wantLabel)
+					return
+				}
+			}
+			errCh <- nil
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+var refMu sync.Mutex

@@ -1,0 +1,241 @@
+package serve
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	ts "github.com/goetsc/goetsc/internal/timeseries"
+)
+
+// session accumulates one streamed time series. The decision is
+// recomputed after every batch of points; once final it is frozen so late
+// points cannot change a reported answer.
+type session struct {
+	id    string
+	model *model
+
+	mu       sync.Mutex
+	values   [][]float64 // [variable][time], grows as points arrive
+	decided  bool
+	label    int
+	consumed int
+	lastSeen time.Time
+}
+
+// sessionState is the JSON view of a session's progress.
+type sessionState struct {
+	SessionID string `json:"session_id"`
+	Model     string `json:"model"`
+	Status    string `json:"status"` // "pending" or "decided"
+	Length    int    `json:"length"`
+	Label     *int   `json:"label,omitempty"`
+	Consumed  *int   `json:"consumed,omitempty"`
+}
+
+func (ss *session) state() sessionState {
+	st := sessionState{SessionID: ss.id, Model: ss.model.info.Name, Status: "pending"}
+	if len(ss.values) > 0 {
+		st.Length = len(ss.values[0])
+	}
+	if ss.decided {
+		st.Status = "decided"
+		label, consumed := ss.label, ss.consumed
+		st.Label, st.Consumed = &label, &consumed
+	}
+	return st
+}
+
+// newSessionID returns a 16-byte random hex token.
+func newSessionID() (string, error) {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("serve: session id: %w", err)
+	}
+	return hex.EncodeToString(b[:]), nil
+}
+
+type sessionCreateRequest struct {
+	Model string `json:"model"`
+}
+
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) error {
+	var req sessionCreateRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return err
+	}
+	m, ok := s.lookup(req.Model)
+	if !ok {
+		return errf(http.StatusNotFound, "unknown model %q", req.Model)
+	}
+	id, err := newSessionID()
+	if err != nil {
+		return err
+	}
+	ss := &session{id: id, model: m, lastSeen: time.Now()}
+
+	s.mu.Lock()
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		s.mu.Unlock()
+		return errf(http.StatusServiceUnavailable, "session limit reached (%d live sessions)", s.cfg.MaxSessions)
+	}
+	s.sessions[id] = ss
+	s.mu.Unlock()
+
+	s.cfg.Obs.Emit("session_created", map[string]any{"session": id, "model": m.info.Name})
+	return writeJSON(w, http.StatusCreated, ss.state())
+}
+
+func (s *Server) session(id string) (*session, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ss, ok := s.sessions[id]
+	return ss, ok
+}
+
+// pointsRequest appends measurements to a streamed series. Values is
+// indexed [variable][new time points]; every variable must contribute the
+// same number of points. Last marks the series complete, forcing a
+// decision on whatever has arrived.
+type pointsRequest struct {
+	Values [][]float64 `json:"values"`
+	Last   bool        `json:"last,omitempty"`
+}
+
+func (s *Server) handleSessionPoints(w http.ResponseWriter, r *http.Request) error {
+	ss, ok := s.session(r.PathValue("id"))
+	if !ok {
+		return errf(http.StatusNotFound, "unknown session %q", r.PathValue("id"))
+	}
+	var req pointsRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return err
+	}
+	if len(req.Values) == 0 && !req.Last {
+		return errf(http.StatusBadRequest, "values must hold at least one variable (or set last)")
+	}
+
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	ss.lastSeen = time.Now()
+	if ss.decided {
+		// The decision is frozen: report it, ignore the extra points.
+		return writeJSON(w, http.StatusOK, ss.state())
+	}
+	if len(req.Values) > 0 {
+		if err := appendPoints(&ss.values, req.Values, ss.model.info.NumVars); err != nil {
+			return err
+		}
+	}
+	n := 0
+	if len(ss.values) > 0 {
+		n = len(ss.values[0])
+	}
+	if n == 0 {
+		return errf(http.StatusBadRequest, "cannot decide an empty series")
+	}
+
+	if err := s.acquire(r); err != nil {
+		return err
+	}
+	label, consumed := ss.model.classify(ss.values)
+	s.release()
+
+	// The decision is final only when it cannot change with more data:
+	// the classifier committed strictly inside the received prefix, the
+	// series reached the model's training length, or the client declared
+	// it complete. Otherwise the answer is "pending" — exactly the online
+	// semantics the framework's earliness metric measures.
+	final := consumed < n || req.Last || (ss.model.info.Length > 0 && n >= ss.model.info.Length)
+	if final {
+		ss.decided = true
+		ss.label = label
+		if consumed > n {
+			consumed = n
+		}
+		ss.consumed = consumed
+		s.cfg.Obs.Emit("session_decided", map[string]any{
+			"session": ss.id, "model": ss.model.info.Name,
+			"label": label, "consumed": consumed, "length": n,
+		})
+	}
+	return writeJSON(w, http.StatusOK, ss.state())
+}
+
+// appendPoints grows dst by the batch in src, validating shape. dst may
+// be empty (first batch fixes the variable count).
+func appendPoints(dst *[][]float64, src [][]float64, wantVars int) error {
+	batch := len(src[0])
+	for i, v := range src {
+		if len(v) != batch {
+			return errf(http.StatusBadRequest, "variable %d has %d new points, variable 0 has %d", i, len(v), batch)
+		}
+	}
+	if batch == 0 {
+		return errf(http.StatusBadRequest, "values must hold at least one time point")
+	}
+	if wantVars > 0 && len(src) != wantVars {
+		return errf(http.StatusBadRequest, "model expects %d variables, got %d", wantVars, len(src))
+	}
+	if len(*dst) == 0 {
+		*dst = make([][]float64, len(src))
+	} else if len(src) != len(*dst) {
+		return errf(http.StatusBadRequest, "session has %d variables, batch has %d", len(*dst), len(src))
+	}
+	for i := range src {
+		(*dst)[i] = append((*dst)[i], src[i]...)
+	}
+	return nil
+}
+
+func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) error {
+	ss, ok := s.session(r.PathValue("id"))
+	if !ok {
+		return errf(http.StatusNotFound, "unknown session %q", r.PathValue("id"))
+	}
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return writeJSON(w, http.StatusOK, ss.state())
+}
+
+func (s *Server) handleSessionClose(w http.ResponseWriter, r *http.Request) error {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	_, ok := s.sessions[id]
+	delete(s.sessions, id)
+	s.mu.Unlock()
+	if !ok {
+		return errf(http.StatusNotFound, "unknown session %q", id)
+	}
+	s.cfg.Obs.Emit("session_closed", map[string]any{"session": id})
+	w.WriteHeader(http.StatusNoContent)
+	return nil
+}
+
+// EvictIdleSessions drops sessions idle longer than the TTL and returns
+// how many were removed. The command binary runs it on a ticker.
+func (s *Server) EvictIdleSessions() int {
+	cutoff := time.Now().Add(-s.cfg.SessionTTL)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for id, ss := range s.sessions {
+		ss.mu.Lock()
+		idle := ss.lastSeen.Before(cutoff)
+		ss.mu.Unlock()
+		if idle {
+			delete(s.sessions, id)
+			n++
+		}
+	}
+	return n
+}
+
+// tsInstance adapts the JSON [variable][time] matrix to a classifier
+// input. Labels are irrelevant at inference time.
+func tsInstance(values [][]float64) ts.Instance {
+	return ts.Instance{Values: values}
+}

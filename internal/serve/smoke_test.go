@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/goetsc/goetsc/internal/bench"
+	"github.com/goetsc/goetsc/internal/core"
+	"github.com/goetsc/goetsc/internal/persist"
+	"github.com/goetsc/goetsc/internal/synth"
+	ts "github.com/goetsc/goetsc/internal/timeseries"
+)
+
+// TestServeSmoke is the end-to-end parity check the Makefile's
+// serve-smoke target runs under the race detector: every algorithm is
+// trained on three synthetic datasets (one multivariate), persisted to
+// disk, loaded into a server, and must reproduce the in-process
+// Classify decisions over both the one-shot endpoint and the streaming
+// session protocol.
+func TestServeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke test trains every algorithm")
+	}
+	datasets := []*ts.Dataset{
+		synth.Dataset("smoke-uni2", 1, 2, 24, 40, 3),
+		synth.Dataset("smoke-uni3", 1, 3, 27, 40, 5),
+		synth.Dataset("smoke-multi", 2, 2, 24, 40, 9),
+	}
+	names := append(bench.AlgorithmNames(), "SR")
+
+	for _, d := range datasets {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			t.Parallel()
+			dir := t.TempDir()
+			srv := New(Config{})
+			reference := map[string]core.EarlyClassifier{}
+
+			// Train, persist, and serve every algorithm from its file.
+			factories := bench.AlgorithmsByName(d.Name, bench.Fast, 1, names)
+			if len(factories) != len(names) {
+				t.Fatalf("expected %d factories, got %d", len(names), len(factories))
+			}
+			for _, f := range factories {
+				algo := core.WrapForDataset(f.New, d)
+				if err := algo.Fit(d); err != nil {
+					t.Fatalf("%s: fit: %v", f.Name, err)
+				}
+				modelName := strings.ToLower(d.Name + "-" + f.Name)
+				path := filepath.Join(dir, modelName+".goetsc")
+				meta := persist.Meta{Dataset: d.Name, Length: d.MaxLength(), NumVars: d.NumVars(), NumClasses: d.NumClasses()}
+				if err := persist.SaveFile(path, algo, meta); err != nil {
+					t.Fatalf("%s: save: %v", f.Name, err)
+				}
+				reference[modelName] = algo
+			}
+			loaded, err := srv.LoadDir(dir)
+			if err != nil {
+				t.Fatalf("load dir: %v", err)
+			}
+			if len(loaded) != len(names) {
+				t.Fatalf("loaded %d models, want %d", len(loaded), len(names))
+			}
+			hs := httptest.NewServer(srv.Handler())
+			defer hs.Close()
+
+			probe := d.Instances
+			if len(probe) > 4 {
+				probe = probe[:4]
+			}
+			for modelName, algo := range reference {
+				for i, in := range probe {
+					wantLabel, wantConsumed := algo.Classify(in)
+					if wantConsumed > in.Length() {
+						wantConsumed = in.Length()
+					}
+
+					gotLabel, gotConsumed := oneShot(t, hs.URL, modelName, in.Values)
+					if gotLabel != wantLabel || gotConsumed != wantConsumed {
+						t.Errorf("%s instance %d one-shot: served (%d, %d) != offline (%d, %d)",
+							modelName, i, gotLabel, gotConsumed, wantLabel, wantConsumed)
+					}
+
+					// Chunked streaming must land on the identical decision:
+					// the classifier's commit point inside a prefix equals
+					// its commit point on the full series.
+					gotLabel, gotConsumed = streamed(t, hs.URL, modelName, in.Values, 7)
+					if gotLabel != wantLabel || gotConsumed != wantConsumed {
+						t.Errorf("%s instance %d streamed: served (%d, %d) != offline (%d, %d)",
+							modelName, i, gotLabel, gotConsumed, wantLabel, wantConsumed)
+					}
+				}
+			}
+		})
+	}
+}
+
+// oneShot classifies a full instance through /v1/classify.
+func oneShot(t *testing.T, baseURL, model string, values [][]float64) (label, consumed int) {
+	t.Helper()
+	resp := postJSON(t, baseURL+"/v1/classify", map[string]any{"model": model, "values": values})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("classify %s = %d", model, resp.StatusCode)
+	}
+	var got struct {
+		Label    int `json:"label"`
+		Consumed int `json:"consumed"`
+	}
+	decodeBody(t, resp, &got)
+	return got.Label, got.Consumed
+}
+
+// streamed feeds values chunk points at a time through a session and
+// returns the final decision.
+func streamed(t *testing.T, baseURL, model string, values [][]float64, chunk int) (label, consumed int) {
+	t.Helper()
+	resp := postJSON(t, baseURL+"/v1/sessions", map[string]any{"model": model})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create session for %s = %d", model, resp.StatusCode)
+	}
+	var st sessionState
+	decodeBody(t, resp, &st)
+	base := baseURL + "/v1/sessions/" + st.SessionID
+	defer func() {
+		req, _ := http.NewRequest(http.MethodDelete, base, nil)
+		if r, err := http.DefaultClient.Do(req); err == nil {
+			r.Body.Close()
+		}
+	}()
+
+	n := len(values[0])
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		batch := make([][]float64, len(values))
+		for v := range values {
+			batch[v] = values[v][lo:hi]
+		}
+		resp := postJSON(t, base+"/points", map[string]any{"values": batch, "last": hi == n})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("points for %s = %d", model, resp.StatusCode)
+		}
+		decodeBody(t, resp, &st)
+		if st.Status == "decided" {
+			break
+		}
+	}
+	if st.Status != "decided" || st.Label == nil || st.Consumed == nil {
+		b, _ := json.Marshal(st)
+		t.Fatalf("session for %s never decided: %s", model, b)
+	}
+	return *st.Label, *st.Consumed
+}

@@ -1,0 +1,38 @@
+package sfa
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// gobTransform mirrors the unexported fields of a fitted Transform for
+// serialization.
+type gobTransform struct {
+	Cfg        Config
+	Boundaries [][]float64
+	BitsPerSym uint
+}
+
+// GobEncode serializes the fitted transform.
+func (t *Transform) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(gobTransform{
+		Cfg: t.cfg, Boundaries: t.boundaries, BitsPerSym: t.bitsPerSym,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode restores a fitted transform.
+func (t *Transform) GobDecode(data []byte) error {
+	var g gobTransform
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&g); err != nil {
+		return err
+	}
+	t.cfg = g.Cfg
+	t.boundaries = g.Boundaries
+	t.bitsPerSym = g.BitsPerSym
+	return nil
+}

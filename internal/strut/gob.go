@@ -1,0 +1,95 @@
+package strut
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"github.com/goetsc/goetsc/internal/minirocket"
+	"github.com/goetsc/goetsc/internal/mlstm"
+	"github.com/goetsc/goetsc/internal/weasel"
+)
+
+func init() {
+	// The winning base classifier travels through the FullTSC interface;
+	// gob needs the concrete variant types registered on both sides.
+	gob.Register(&minirocket.Model{})
+	gob.Register(&weasel.Model{})
+	gob.Register(&mlstm.Model{})
+}
+
+// gobConfig mirrors Config without the Variants slice: variant factories
+// are closures and cannot be serialized. A decoded classifier keeps the
+// already-trained winning base, so the candidate factories are not needed
+// for classification.
+type gobConfig struct {
+	Name      string
+	Metric    Metric
+	ValFrac   float64
+	Grid      []float64
+	Refine    bool
+	Tolerance float64
+	MinLength int
+	Seed      int64
+}
+
+func toGobConfig(c Config) gobConfig {
+	return gobConfig{
+		Name: c.Name, Metric: c.Metric, ValFrac: c.ValFrac, Grid: c.Grid,
+		Refine: c.Refine, Tolerance: c.Tolerance, MinLength: c.MinLength, Seed: c.Seed,
+	}
+}
+
+func fromGobConfig(g gobConfig) Config {
+	return Config{
+		Name: g.Name, Metric: g.Metric, ValFrac: g.ValFrac, Grid: g.Grid,
+		Refine: g.Refine, Tolerance: g.Tolerance, MinLength: g.MinLength, Seed: g.Seed,
+	}
+}
+
+// gobClassifier mirrors the unexported trained state for serialization.
+type gobClassifier struct {
+	Cfg         gobConfig
+	ResolvedCfg gobConfig
+	Length      int
+	TruncAt     int
+	Base        FullTSC
+	Chosen      string
+	EvalLog     []EvalPoint
+	NumClass    int
+}
+
+// GobEncode serializes the trained classifier.
+func (c *Classifier) GobEncode() ([]byte, error) {
+	if c.base == nil {
+		return nil, fmt.Errorf("strut: cannot encode an untrained classifier")
+	}
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(gobClassifier{
+		Cfg: toGobConfig(c.Cfg), ResolvedCfg: toGobConfig(c.cfg),
+		Length: c.length, TruncAt: c.truncAt, Base: c.base,
+		Chosen: c.chosen, EvalLog: c.evalLog, NumClass: c.numClass,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode restores a trained classifier (without variant factories; the
+// decoded value classifies but cannot be refitted).
+func (c *Classifier) GobDecode(data []byte) error {
+	var g gobClassifier
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&g); err != nil {
+		return err
+	}
+	c.Cfg = fromGobConfig(g.Cfg)
+	c.cfg = fromGobConfig(g.ResolvedCfg)
+	c.length = g.Length
+	c.truncAt = g.TruncAt
+	c.base = g.Base
+	c.chosen = g.Chosen
+	c.evalLog = g.EvalLog
+	c.numClass = g.NumClass
+	return nil
+}

@@ -1,0 +1,91 @@
+package weasel
+
+import (
+	"bytes"
+	"encoding/gob"
+	"sort"
+
+	"github.com/goetsc/goetsc/internal/logreg"
+	"github.com/goetsc/goetsc/internal/sfa"
+)
+
+// The transform and vocabulary maps are keyed by unexported structs, so
+// they are serialized as sorted slices of exported mirror entries.
+type gobTransformEntry struct {
+	Channel, Window int
+	Transform       *sfa.Transform
+}
+
+type gobVocabEntry struct {
+	Channel, Window int
+	Bigram          bool
+	W1, W2          uint64
+	Index           int
+}
+
+// gobModel mirrors the unexported fields of a fitted model.
+type gobModel struct {
+	Cfg         Config
+	ResolvedCfg Config
+	NumClasses  int
+	NumVars     int
+	WindowSizes []int
+	Transforms  []gobTransformEntry
+	Vocab       []gobVocabEntry
+	Head        *logreg.Model
+}
+
+// GobEncode serializes the fitted model.
+func (m *Model) GobEncode() ([]byte, error) {
+	g := gobModel{
+		Cfg: m.Cfg, ResolvedCfg: m.cfg, NumClasses: m.numClasses,
+		NumVars: m.numVars, WindowSizes: m.windowSizes, Head: m.head,
+	}
+	for k, t := range m.transforms {
+		g.Transforms = append(g.Transforms, gobTransformEntry{
+			Channel: k.channel, Window: k.window, Transform: t,
+		})
+	}
+	sort.Slice(g.Transforms, func(i, j int) bool {
+		a, b := g.Transforms[i], g.Transforms[j]
+		if a.Channel != b.Channel {
+			return a.Channel < b.Channel
+		}
+		return a.Window < b.Window
+	})
+	for k, idx := range m.vocab {
+		g.Vocab = append(g.Vocab, gobVocabEntry{
+			Channel: k.channel, Window: k.window, Bigram: k.bigram,
+			W1: k.w1, W2: k.w2, Index: idx,
+		})
+	}
+	sort.Slice(g.Vocab, func(i, j int) bool { return g.Vocab[i].Index < g.Vocab[j].Index })
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(g); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode restores a fitted model.
+func (m *Model) GobDecode(data []byte) error {
+	var g gobModel
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&g); err != nil {
+		return err
+	}
+	m.Cfg = g.Cfg
+	m.cfg = g.ResolvedCfg
+	m.numClasses = g.NumClasses
+	m.numVars = g.NumVars
+	m.windowSizes = g.WindowSizes
+	m.head = g.Head
+	m.transforms = make(map[chanWin]*sfa.Transform, len(g.Transforms))
+	for _, e := range g.Transforms {
+		m.transforms[chanWin{channel: e.Channel, window: e.Window}] = e.Transform
+	}
+	m.vocab = make(map[featKey]int, len(g.Vocab))
+	for _, e := range g.Vocab {
+		m.vocab[featKey{channel: e.Channel, window: e.Window, bigram: e.Bigram, w1: e.W1, w2: e.W2}] = e.Index
+	}
+	return nil
+}

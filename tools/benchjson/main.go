@@ -41,7 +41,10 @@ type document struct {
 	// isolated panics, resumed cells, failures) when -counters points at
 	// an `etsc-bench -metrics-out *.json` export.
 	FaultCounters map[string]float64 `json:"fault_tolerance_counters,omitempty"`
-	Note          string             `json:"note"`
+	// Serving carries the serving layer's latency percentiles and request
+	// counters when -serve is set (`make bench-serve`).
+	Serving *servingReport `json:"serving,omitempty"`
+	Note    string         `json:"note"`
 }
 
 // faultCounterNames are the evaluation engine's robustness counters,
@@ -90,20 +93,26 @@ func main() {
 	out := flag.String("out", "BENCH_PR2.json", "output JSON path")
 	benchtime := flag.String("benchtime", "1s", "passed to -benchtime")
 	counters := flag.String("counters", "", "optional `etsc-bench -metrics-out *.json` export; stamps its fault-tolerance counters into the document")
+	serveBench := flag.Bool("serve", false, "also benchmark the HTTP serving layer in-process and stamp its latency percentiles into the document")
+	serveRPS := flag.String("serve-rps", "25,100,400", "comma-separated target request rates for -serve")
+	serveN := flag.Int("serve-requests", 120, "requests per -serve level")
+	noSuites := flag.Bool("skip-suites", false, "skip the go test benchmark suites (useful with -serve alone)")
 	flag.Parse()
 
-	suites := []struct{ pkg, pattern string }{
-		{"./internal/minirocket", "BenchmarkTransform$|BenchmarkTransformNaive$|BenchmarkTransformSeedBaseline$|BenchmarkFit$"},
-		{"./internal/bench", "BenchmarkRunMatrixSerial$|BenchmarkRunMatrixParallel$"},
-	}
 	var results []result
-	for _, s := range suites {
-		rs, err := runSuite(s.pkg, s.pattern, *benchtime)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", s.pkg, err)
-			os.Exit(1)
+	if !*noSuites {
+		suites := []struct{ pkg, pattern string }{
+			{"./internal/minirocket", "BenchmarkTransform$|BenchmarkTransformNaive$|BenchmarkTransformSeedBaseline$|BenchmarkFit$"},
+			{"./internal/bench", "BenchmarkRunMatrixSerial$|BenchmarkRunMatrixParallel$"},
 		}
-		results = append(results, rs...)
+		for _, s := range suites {
+			rs, err := runSuite(s.pkg, s.pattern, *benchtime)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", s.pkg, err)
+				os.Exit(1)
+			}
+			results = append(results, rs...)
+		}
 	}
 
 	byName := map[string]result{}
@@ -135,6 +144,19 @@ func main() {
 		}
 		doc.FaultCounters = fc
 	}
+	if *serveBench {
+		levels, err := parseRPSLevels(*serveRPS)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		sr, err := runServing(levels, *serveN)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		doc.Serving = sr
+	}
 	nsOp := func(r result) float64 { return r.NsPerOp }
 	allocs := func(r result) float64 { return float64(r.AllocsPerOp) }
 	ratio(doc.Speedups, "transform_vs_seed_baseline", "BenchmarkTransformSeedBaseline", "BenchmarkTransform", nsOp)
@@ -158,6 +180,26 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s (%d benchmarks, %d CPU)\n", *out, len(results), doc.NumCPU)
+}
+
+// parseRPSLevels parses the -serve-rps list.
+func parseRPSLevels(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad -serve-rps level %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-serve-rps is empty")
+	}
+	return out, nil
 }
 
 // runSuite executes one package's benchmarks (skipping its tests) and

@@ -1,0 +1,161 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"sort"
+	"strings"
+
+	"github.com/goetsc/goetsc/internal/bench"
+	"github.com/goetsc/goetsc/internal/core"
+	"github.com/goetsc/goetsc/internal/loadgen"
+	"github.com/goetsc/goetsc/internal/obs"
+	"github.com/goetsc/goetsc/internal/persist"
+	"github.com/goetsc/goetsc/internal/serve"
+	"github.com/goetsc/goetsc/internal/synth"
+)
+
+// servingLevel is one load-generator run against the in-process server.
+type servingLevel struct {
+	Mode      string  `json:"mode"`
+	TargetRPS float64 `json:"target_rps"` // 0 = unpaced
+	Sent      int     `json:"sent"`
+	Errors    int     `json:"errors"`
+	P50Ms     float64 `json:"p50_ms"`
+	P95Ms     float64 `json:"p95_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+	MeanMs    float64 `json:"mean_ms"`
+	Achieved  float64 `json:"achieved_rps"`
+	Parity    string  `json:"parity"`
+}
+
+// servingReport is the document section committed to BENCH_PR4.json: the
+// serving layer's latency percentiles at several request rates plus the
+// server's own request counters, proving the numbers describe a run that
+// really happened.
+type servingReport struct {
+	Algorithm       string             `json:"algorithm"`
+	Dataset         string             `json:"dataset"`
+	Instances       int                `json:"instances"`
+	Levels          []servingLevel     `json:"levels"`
+	RequestCounters map[string]float64 `json:"request_counters"`
+}
+
+// runServing trains one model in-process, serves it over a loopback HTTP
+// listener, and replays the training instances through the load generator
+// at each target rate (plus one streaming run), asserting offline parity
+// throughout.
+func runServing(rpsLevels []float64, requests int) (*servingReport, error) {
+	d := synth.Dataset("bench-serve", 1, 2, 30, 60, 17)
+	factories := bench.AlgorithmsByName(d.Name, bench.Fast, 1, []string{"ECEC"})
+	if len(factories) != 1 {
+		return nil, fmt.Errorf("serving: ECEC factory not found")
+	}
+	algo := core.WrapForDataset(factories[0].New, d)
+	if err := algo.Fit(d); err != nil {
+		return nil, fmt.Errorf("serving: fit: %w", err)
+	}
+
+	reg := obs.NewRegistry()
+	srv := serve.New(serve.Config{Obs: obs.New(obs.Options{Metrics: reg})})
+	meta := persist.Meta{Dataset: d.Name, Length: d.MaxLength(), NumVars: d.NumVars(), NumClasses: d.NumClasses()}
+	if err := srv.AddModel("bench", algo, meta); err != nil {
+		return nil, err
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	instances := make([][][]float64, 0, d.Len())
+	refs := make([]loadgen.Reference, 0, d.Len())
+	for _, in := range d.Instances {
+		instances = append(instances, in.Values)
+		label, consumed := algo.Classify(in)
+		if consumed > in.Length() {
+			consumed = in.Length()
+		}
+		refs = append(refs, loadgen.Reference{Label: label, Consumed: consumed})
+	}
+
+	report := &servingReport{Algorithm: algo.Name(), Dataset: d.Name, Instances: d.Len()}
+	run := func(mode loadgen.Mode, rps float64) error {
+		res, err := loadgen.Run(loadgen.Config{
+			BaseURL: hs.URL, Model: "bench",
+			Instances: instances, References: refs,
+			RPS: rps, Clients: 4, Total: requests, Mode: mode, ChunkSize: 10,
+		})
+		if err != nil {
+			return err
+		}
+		if res.ParityMismatches > 0 {
+			return fmt.Errorf("serving: %d parity mismatches at %s rps=%.0f", res.ParityMismatches, mode, rps)
+		}
+		ms := func(d int64) float64 { return float64(d) / 1e6 }
+		report.Levels = append(report.Levels, servingLevel{
+			Mode: string(mode), TargetRPS: rps,
+			Sent: res.Sent, Errors: res.Errors,
+			P50Ms: ms(int64(res.P50)), P95Ms: ms(int64(res.P95)), P99Ms: ms(int64(res.P99)),
+			MeanMs: ms(int64(res.Mean)), Achieved: res.Throughput,
+			Parity: fmt.Sprintf("%d/%d", res.ParityChecked-res.ParityMismatches, res.ParityChecked),
+		})
+		return nil
+	}
+	for _, rps := range rpsLevels {
+		if err := run(loadgen.ModeClassify, rps); err != nil {
+			return nil, err
+		}
+	}
+	// One streamed run shows the session protocol's end-to-end latency.
+	if err := run(loadgen.ModeSession, 0); err != nil {
+		return nil, err
+	}
+
+	counters, err := serveCounters(reg)
+	if err != nil {
+		return nil, err
+	}
+	report.RequestCounters = counters
+	return report, nil
+}
+
+// serveCounters extracts the server's etsc_serve_* counters from its
+// metrics registry, keyed by name and labels.
+func serveCounters(reg *obs.Registry) (map[string]float64, error) {
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		return nil, err
+	}
+	var doc struct {
+		Metrics []struct {
+			Name   string            `json:"name"`
+			Type   string            `json:"type"`
+			Labels map[string]string `json:"labels"`
+			Value  *float64          `json:"value"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		return nil, err
+	}
+	out := map[string]float64{}
+	for _, m := range doc.Metrics {
+		if m.Type != "counter" || m.Value == nil || !strings.HasPrefix(m.Name, "etsc_serve_") {
+			continue
+		}
+		keys := make([]string, 0, len(m.Labels))
+		for k := range m.Labels {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, 0, len(keys))
+		for _, k := range keys {
+			parts = append(parts, k+"="+m.Labels[k])
+		}
+		name := m.Name
+		if len(parts) > 0 {
+			name += "{" + strings.Join(parts, ",") + "}"
+		}
+		out[name] = *m.Value
+	}
+	return out, nil
+}
