@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet race chaos serve-smoke test bench bench-serve figures data tune clean
+.PHONY: all build vet race chaos serve-smoke test bench bench-serve bench-classify figures data tune clean
 
 all: build vet test
 
@@ -46,9 +46,21 @@ test: vet race chaos serve-smoke
 # benches, then the optimization benchmarks (MiniROCKET transform fast
 # path, parallel matrix engine) parsed into BENCH_PR2.json — ns/op,
 # allocs/op and derived speedup ratios in machine-readable form.
-bench:
+bench: bench-classify
 	$(GO) test -bench=. -benchmem .
 	$(GO) run ./tools/benchjson -out BENCH_PR2.json
+
+# Incremental-inference benchmark: cursor vs classic classification for
+# ECTS / EDSC / TEASER plus the kNN early abandon, and the serving-layer
+# latency levels, written to BENCH_PR5.json. When a committed baseline
+# exists the new numbers must stay within the regression tolerance
+# before they replace it.
+bench-classify:
+	$(GO) run ./tools/benchjson -classify -serve -out BENCH_PR5.next.json
+	@if [ -f BENCH_PR5.json ]; then \
+		$(GO) run ./tools/benchjson -compare BENCH_PR5.json BENCH_PR5.next.json || exit 1; \
+	fi
+	mv BENCH_PR5.next.json BENCH_PR5.json
 
 # Serving-layer latency benchmark: trains a model in-process, serves it
 # over loopback HTTP, replays it through the load generator at three

@@ -1,0 +1,84 @@
+package ecec
+
+import (
+	"github.com/goetsc/goetsc/internal/core"
+	"github.com/goetsc/goetsc/internal/stats"
+	ts "github.com/goetsc/goetsc/internal/timeseries"
+	"github.com/goetsc/goetsc/internal/weasel"
+)
+
+var _ core.IncrementalClassifier = (*Classifier)(nil)
+
+// Begin implements core.IncrementalClassifier. Checkpoint predictions
+// depend only on the prefix each checkpoint covers, so the cursor
+// evaluates every model exactly once — through weasel.PrefixEvaluators
+// sharing one PrefixCache, so the sliding-window Fourier work is paid
+// once for all N checkpoints — and extends the prediction sequence (and
+// its confidence product) as checkpoints come into coverage. It returns
+// nil when any model cannot be evaluated incrementally, leaving those
+// configurations to the generic fallback cursor.
+func (c *Classifier) Begin(in ts.Instance) core.Cursor {
+	if len(c.models) == 0 || len(in.Values) != 1 {
+		return nil
+	}
+	pc := c.models[0].NewPrefixCache()
+	evals := make([]*weasel.PrefixEvaluator, len(c.models))
+	for i, m := range c.models {
+		if evals[i] = m.NewPrefixEvaluator(pc); evals[i] == nil {
+			return nil
+		}
+	}
+	return &cursor{c: c, in: in, pc: pc, evals: evals, seq: make([]int, 0, len(c.prefixes))}
+}
+
+// cursor carries the prediction sequence across Advances; covered
+// checkpoints are never re-evaluated.
+type cursor struct {
+	c     *Classifier
+	in    ts.Instance
+	pc    *weasel.PrefixCache
+	evals []*weasel.PrefixEvaluator
+
+	seq     []int
+	covered int
+
+	label    int
+	consumed int
+	done     bool
+}
+
+// Advance implements core.Cursor: identical to Classify on the prefix of
+// min(upto, length) points. Covered checkpoints commit once the
+// confidence of the prediction sequence reaches θ (or at the final
+// checkpoint). While the prefix is shorter than the first checkpoint,
+// every classic path returns the first model's argmax on the whole
+// prefix — the pending verdict here; afterwards the pending verdict is
+// the latest covered prediction, Classify's bail-out.
+func (cur *cursor) Advance(upto int) (int, int, bool) {
+	if cur.done {
+		return cur.label, cur.consumed, true
+	}
+	s := cur.in.Values[0]
+	cur.pc.Extend(s)
+	p := len(s)
+	if upto < p {
+		p = upto
+	}
+	for cur.covered < len(cur.c.prefixes) && cur.c.prefixes[cur.covered] <= p {
+		pi := cur.covered
+		plen := cur.c.prefixes[pi]
+		pred := stats.ArgMax(cur.evals[pi].ProbaAt(plen))
+		cur.seq = append(cur.seq, pred)
+		cur.covered++
+		if cur.c.confidence(cur.seq) >= cur.c.theta || pi == len(cur.c.prefixes)-1 {
+			cur.label, cur.consumed, cur.done = pred, plen, true
+			return pred, plen, true
+		}
+	}
+	if cur.covered == 0 {
+		cur.label, cur.consumed = stats.ArgMax(cur.evals[0].ProbaAt(p)), p
+		return cur.label, cur.consumed, false
+	}
+	cur.label, cur.consumed = cur.seq[len(cur.seq)-1], p
+	return cur.label, cur.consumed, false
+}

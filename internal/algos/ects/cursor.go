@@ -1,0 +1,67 @@
+package ects
+
+import (
+	"github.com/goetsc/goetsc/internal/core"
+	"github.com/goetsc/goetsc/internal/knn"
+	ts "github.com/goetsc/goetsc/internal/timeseries"
+)
+
+var _ core.IncrementalClassifier = (*Classifier)(nil)
+
+// Begin implements core.IncrementalClassifier. The cursor carries a
+// knn.PrefixScan whose running squared distances make one sweep over all
+// prefix lengths cost O(n·L) instead of the O(n·L²) of calling Nearest at
+// every length — Classify's dominant cost. It reads only shared fitted
+// state, so cursors of one model may advance concurrently.
+func (c *Classifier) Begin(in ts.Instance) core.Cursor {
+	if c.searcher == nil || len(in.Values) != 1 {
+		return nil
+	}
+	return &cursor{c: c, in: in, ps: c.searcher.NewPrefixScan(), next: 1}
+}
+
+// cursor sweeps prefix lengths against the training set exactly as
+// Classify does, resuming where the previous Advance stopped.
+type cursor struct {
+	c  *Classifier
+	in ts.Instance
+	ps *knn.PrefixScan
+
+	next     int // next 1-based prefix length to test
+	label    int
+	consumed int
+	done     bool
+}
+
+// Advance implements core.Cursor: identical to Classify on the prefix of
+// min(upto, length) points. The scan accumulates squared differences in
+// the same time order Nearest uses and breaks ties to the lower index, so
+// the nearest neighbour at every length — and hence the committed label
+// and prefix — is bit-identical to the classic path.
+func (cur *cursor) Advance(upto int) (int, int, bool) {
+	if cur.done {
+		return cur.label, cur.consumed, true
+	}
+	s := cur.in.Values[0]
+	p := len(s)
+	if upto < p {
+		p = upto
+	}
+	limit := p
+	if limit > cur.c.length {
+		limit = cur.c.length
+	}
+	for ; cur.next <= limit; cur.next++ {
+		cur.ps.Extend(s, cur.next)
+		nn := cur.ps.Best()
+		if cur.next >= cur.c.mpl[nn] {
+			cur.label, cur.consumed, cur.done = cur.c.searcher.Label(nn), cur.next, true
+			return cur.label, cur.consumed, true
+		}
+	}
+	// No training MPL reached inside the prefix: the pending verdict is
+	// the nearest neighbour at the clamped length, like Classify's final
+	// fallback. The scan already sits at that length.
+	cur.label, cur.consumed = cur.c.searcher.Label(cur.ps.Best()), p
+	return cur.label, cur.consumed, false
+}

@@ -136,11 +136,13 @@ func (v *Voting) Stop() {
 }
 
 // Classify collects one vote per variable and applies the combination rule.
+// Voters with incremental cursors are classified through them — identical
+// results by the cursor contract, one prefix sweep instead of L.
 func (v *Voting) Classify(instance ts.Instance) (int, int) {
 	votes := make([]int, len(v.voters))
 	worst := 0
 	for variable, voter := range v.voters {
-		label, consumed := voter.Classify(instance.Variable(variable))
+		label, consumed := ClassifyIncremental(voter, instance.Variable(variable))
 		votes[variable] = label
 		if consumed > worst {
 			worst = consumed

@@ -1,0 +1,167 @@
+package core
+
+import (
+	ts "github.com/goetsc/goetsc/internal/timeseries"
+)
+
+// Cursor carries per-instance classification state forward as a prefix
+// grows — the incremental counterpart of EarlyClassifier.Classify for
+// streaming sessions and prefix sweeps.
+//
+// Advance(upto) reports exactly what Classify would report on the prefix
+// of the first p = min(upto, current length) points: the same label and
+// the same consumed count. The done flag is true once the decision is
+// frozen — the classifier committed, so no further data can change the
+// answer — after which every later Advance returns the same values.
+//
+// Callers must grow the prefix monotonically (upto never decreases) and
+// may append points to the instance's inner per-variable slices between
+// calls; the cursor re-reads the slice headers through the instance's
+// outer Values slice, which therefore must not be reallocated after
+// Begin.
+type Cursor interface {
+	Advance(upto int) (label, consumed int, done bool)
+}
+
+// IncrementalClassifier is implemented by algorithms that can classify
+// incrementally. Begin returns a cursor over the instance, or nil when
+// this particular configuration cannot run incrementally (the caller
+// then falls back to a cursor that replays Classify).
+//
+// A native cursor only reads shared classifier state, so any number of
+// cursors of one fitted model may advance concurrently without
+// serialization; per-instance scratch lives in the cursor itself.
+type IncrementalClassifier interface {
+	EarlyClassifier
+	Begin(in ts.Instance) Cursor
+}
+
+// NewCursor returns a cursor for any classifier: the algorithm's own
+// incremental cursor when it provides one, else a generic fallback that
+// replays Classify on each prefix. The boolean reports whether the
+// cursor is native; fallback cursors inherit Classify's constraints
+// (scratch reuse), so concurrent use needs the same serialization plain
+// Classify needs.
+func NewCursor(algo EarlyClassifier, in ts.Instance) (Cursor, bool) {
+	if ic, ok := algo.(IncrementalClassifier); ok {
+		if cur := ic.Begin(in); cur != nil {
+			return cur, true
+		}
+	}
+	return &fallbackCursor{algo: algo, in: in}, false
+}
+
+// ClassifyIncremental classifies one complete instance through the
+// algorithm's incremental cursor when available, falling back to plain
+// Classify. By the cursor contract the result is identical; the cursor
+// path is asymptotically cheaper for prefix-loop algorithms (ECTS drops
+// from O(n·L²) to O(n·L) per instance).
+func ClassifyIncremental(algo EarlyClassifier, in ts.Instance) (label, consumed int) {
+	if ic, ok := algo.(IncrementalClassifier); ok {
+		if cur := ic.Begin(in); cur != nil {
+			label, consumed, _ := cur.Advance(in.Length())
+			return label, consumed
+		}
+	}
+	return algo.Classify(in)
+}
+
+// fallbackCursor adapts any EarlyClassifier to the Cursor interface by
+// classifying the prefix from scratch on every Advance. The decision
+// freezes once the classifier commits strictly inside the prefix
+// (consumed < p): every framework algorithm's decision at a prefix
+// depends only on that prefix, so a strict-inside commit cannot change
+// with more data — the same invariant the serving layer's finality rule
+// has relied on since the streaming protocol was introduced.
+type fallbackCursor struct {
+	algo EarlyClassifier
+	in   ts.Instance
+
+	label    int
+	consumed int
+	done     bool
+}
+
+func (f *fallbackCursor) Advance(upto int) (int, int, bool) {
+	if f.done {
+		return f.label, f.consumed, true
+	}
+	p := f.in.Length()
+	if upto < p {
+		p = upto
+	}
+	f.label, f.consumed = f.algo.Classify(f.in.Prefix(p))
+	if f.consumed < p {
+		f.done = true
+	}
+	return f.label, f.consumed, f.done
+}
+
+// Begin implements IncrementalClassifier for the voting wrapper: one
+// sub-cursor per voter, combined with the exact Classify rule (most
+// popular label, voter order resolves ties, worst consumed). It returns
+// nil unless every voter provides a native cursor — a fallback voter
+// would reuse classifier scratch and need the model lock, defeating the
+// wrapper cursor's lock-free contract.
+//
+// Each sub-cursor views its variable through a subslice of the shared
+// outer Values array, so points appended to the instance's inner slices
+// stay visible to every voter.
+func (v *Voting) Begin(in ts.Instance) Cursor {
+	if len(v.voters) == 0 || len(in.Values) != len(v.voters) {
+		return nil
+	}
+	subs := make([]Cursor, len(v.voters))
+	for i, voter := range v.voters {
+		ic, ok := voter.(IncrementalClassifier)
+		if !ok {
+			return nil
+		}
+		view := ts.Instance{Values: in.Values[i : i+1], Label: in.Label}
+		if subs[i] = ic.Begin(view); subs[i] == nil {
+			return nil
+		}
+	}
+	return &votingCursor{subs: subs}
+}
+
+// votingCursor combines per-voter cursors; it is done once every voter's
+// decision is frozen, at which point the combination is frozen too.
+type votingCursor struct {
+	subs []Cursor
+
+	label    int
+	consumed int
+	done     bool
+}
+
+func (vc *votingCursor) Advance(upto int) (int, int, bool) {
+	if vc.done {
+		return vc.label, vc.consumed, true
+	}
+	votes := make([]int, len(vc.subs))
+	worst := 0
+	all := true
+	for i, sub := range vc.subs {
+		label, consumed, done := sub.Advance(upto)
+		votes[i] = label
+		if consumed > worst {
+			worst = consumed
+		}
+		if !done {
+			all = false
+		}
+	}
+	counts := map[int]int{}
+	for _, label := range votes {
+		counts[label]++
+	}
+	best, bestCount := votes[0], 0
+	for _, label := range votes { // voter order resolves ties
+		if counts[label] > bestCount {
+			best, bestCount = label, counts[label]
+		}
+	}
+	vc.label, vc.consumed, vc.done = best, worst, all
+	return best, worst, all
+}

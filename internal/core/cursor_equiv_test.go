@@ -1,0 +1,170 @@
+package core_test
+
+import (
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/goetsc/goetsc/internal/bench"
+	"github.com/goetsc/goetsc/internal/core"
+	"github.com/goetsc/goetsc/internal/persist"
+	"github.com/goetsc/goetsc/internal/synth"
+	ts "github.com/goetsc/goetsc/internal/timeseries"
+)
+
+// nativeCursorAlgos are the algorithms expected to provide their own
+// incremental cursor on univariate data (and, through the voting
+// wrapper, on multivariate data).
+var nativeCursorAlgos = map[string]bool{"ECTS": true, "EDSC": true, "TEASER": true, "ECEC": true}
+
+// TestCursorEquivalence is the cursor/classic contract suite: for every
+// algorithm on three datasets (one multivariate), a cursor fed the
+// series point by point must report — at every prefix length — exactly
+// the label and consumed count of Classify on that prefix, the done flag
+// must freeze results, and a model that went through a save/load
+// round-trip (cursors are derived state and are never serialized) must
+// reproduce the same decisions through a fresh cursor.
+func TestCursorEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("equivalence suite trains every algorithm")
+	}
+	datasets := []*ts.Dataset{
+		synth.Dataset("equiv-uni2", 1, 2, 20, 36, 3),
+		synth.Dataset("equiv-uni3", 1, 3, 21, 36, 5),
+		synth.Dataset("equiv-multi", 2, 2, 18, 36, 9),
+	}
+	names := append(bench.AlgorithmNames(), "SR")
+
+	for _, d := range datasets {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			t.Parallel()
+			dir := t.TempDir()
+			factories := bench.AlgorithmsByName(d.Name, bench.Fast, 1, names)
+			if len(factories) != len(names) {
+				t.Fatalf("expected %d factories, got %d", len(names), len(factories))
+			}
+			for _, f := range factories {
+				f := f
+				t.Run(f.Name, func(t *testing.T) {
+					t.Parallel()
+					algo := core.WrapForDataset(f.New, d)
+					if err := algo.Fit(d); err != nil {
+						t.Fatalf("fit: %v", err)
+					}
+
+					probes := d.Instances
+					if len(probes) > 6 {
+						probes = probes[:6]
+					}
+					expected := expectations(algo, probes)
+
+					if d.NumVars() == 1 && nativeCursorAlgos[f.Name] {
+						_, native := core.NewCursor(algo, probes[0])
+						if !native {
+							t.Fatalf("%s: expected a native cursor", f.Name)
+						}
+					}
+
+					checkCursorAgainst(t, "trained", algo, probes, expected)
+
+					// Save/load round-trip: the loaded model must rebuild
+					// cursors from its fitted state alone.
+					path := filepath.Join(dir, strings.ToLower(f.Name)+".goetsc")
+					meta := persist.Meta{Dataset: d.Name, Length: d.MaxLength(), NumVars: d.NumVars(), NumClasses: d.NumClasses()}
+					if err := persist.SaveFile(path, algo, meta); err != nil {
+						t.Fatalf("save: %v", err)
+					}
+					loaded, _, err := persist.LoadFile(path)
+					if err != nil {
+						t.Fatalf("load: %v", err)
+					}
+					checkCursorAgainst(t, "loaded", loaded, probes, expected)
+
+					// Concurrent cursors of one model must not interfere:
+					// native cursors advance lock-free by contract, and the
+					// race detector (make race) verifies the claim. Fallback
+					// cursors replay Classify, which may reuse model scratch,
+					// so they keep the serial guarantee only.
+					if _, native := core.NewCursor(algo, probes[0]); native {
+						var wg sync.WaitGroup
+						for pi := range probes {
+							wg.Add(1)
+							go func(pi int) {
+								defer wg.Done()
+								streamCursor(t, algo, probes[pi], expected[pi])
+							}(pi)
+						}
+						wg.Wait()
+					}
+				})
+			}
+		})
+	}
+}
+
+type prefixResult struct {
+	label, consumed int
+}
+
+// expectations records Classify on every prefix of every probe — the
+// classic answers the cursor must reproduce.
+func expectations(algo core.EarlyClassifier, probes []ts.Instance) [][]prefixResult {
+	out := make([][]prefixResult, len(probes))
+	for pi, in := range probes {
+		out[pi] = make([]prefixResult, in.Length()+1)
+		for l := 1; l <= in.Length(); l++ {
+			label, consumed := algo.Classify(in.Prefix(l))
+			out[pi][l] = prefixResult{label: label, consumed: consumed}
+		}
+	}
+	return out
+}
+
+func checkCursorAgainst(t *testing.T, tag string, algo core.EarlyClassifier, probes []ts.Instance, expected [][]prefixResult) {
+	t.Helper()
+	for pi, in := range probes {
+		// The Score path: one full-length incremental classification.
+		gotLabel, gotConsumed := core.ClassifyIncremental(algo, in)
+		want := expected[pi][in.Length()]
+		if gotLabel != want.label || gotConsumed != want.consumed {
+			t.Fatalf("%s probe %d: ClassifyIncremental = (%d, %d), Classify = (%d, %d)",
+				tag, pi, gotLabel, gotConsumed, want.label, want.consumed)
+		}
+		streamCursor(t, algo, in, expected[pi])
+	}
+}
+
+// streamCursor feeds the probe one point at a time through a cursor —
+// appending to the inner per-variable slices as a streaming session
+// does — and checks every step against the classic per-prefix answers,
+// including that a done cursor's results stay frozen. It reports
+// failures with Errorf so it is safe to run from helper goroutines.
+func streamCursor(t *testing.T, algo core.EarlyClassifier, in ts.Instance, expected []prefixResult) {
+	t.Helper()
+	grow := ts.Instance{Label: in.Label, Values: make([][]float64, len(in.Values))}
+	cur, _ := core.NewCursor(algo, grow)
+	frozen := false
+	var frozenAt prefixResult
+	for l := 1; l <= in.Length(); l++ {
+		for v := range in.Values {
+			grow.Values[v] = append(grow.Values[v], in.Values[v][l-1])
+		}
+		label, consumed, done := cur.Advance(l)
+		want := expected[l]
+		if label != want.label || consumed != want.consumed {
+			t.Errorf("probe at prefix %d: cursor = (%d, %d), Classify = (%d, %d)",
+				l, label, consumed, want.label, want.consumed)
+			return
+		}
+		if frozen && (label != frozenAt.label || consumed != frozenAt.consumed || !done) {
+			t.Errorf("probe at prefix %d: done cursor changed its answer: (%d, %d, %v) after (%d, %d)",
+				l, label, consumed, done, frozenAt.label, frozenAt.consumed)
+			return
+		}
+		if done && !frozen {
+			frozen, frozenAt = true, prefixResult{label: label, consumed: consumed}
+		}
+	}
+}

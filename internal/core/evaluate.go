@@ -257,7 +257,7 @@ func Score(algo EarlyClassifier, test *ts.Dataset, numClasses int) metrics.Resul
 	lengths := make([]int, 0, test.Len())
 	testStart := time.Now()
 	for _, in := range test.Instances {
-		label, used := algo.Classify(in)
+		label, used := ClassifyIncremental(algo, in)
 		cm.Add(in.Label, label)
 		if used > in.Length() {
 			used = in.Length()

@@ -33,9 +33,23 @@ func (s *Searcher) Len() int { return len(s.series) }
 // Label returns the label of stored series i.
 func (s *Searcher) Label(i int) int { return s.labels[i] }
 
+// abandonBlock is how many squared differences Nearest accumulates
+// between early-abandon checks. Checking once per small block instead of
+// once per element keeps the inner loop branch-light while preserving
+// exactness: sums of squares only grow, so a partial sum at or above the
+// best-so-far can never win regardless of where the check lands.
+const abandonBlock = 8
+
 // Nearest returns the index of the stored series closest to query in
 // Euclidean distance over the first min(len(query), prefix, len(stored))
 // time points, along with the distance. Ties resolve to the lower index.
+//
+// The inner loop abandons a candidate as soon as its running sum reaches
+// the best distance so far. The abandon is exact and order-preserving:
+// squared differences are added in time order exactly as an exhaustive
+// scan would, so the winning index and its distance are bit-identical to
+// a scan without abandoning (a true minimum never trips the bound — all
+// its partial sums stay below it).
 func (s *Searcher) Nearest(query []float64, prefix int) (int, float64) {
 	if prefix > len(query) || prefix <= 0 {
 		prefix = len(query)
@@ -47,9 +61,15 @@ func (s *Searcher) Nearest(query []float64, prefix int) (int, float64) {
 			n = len(ser)
 		}
 		var sum float64
-		for t := 0; t < n; t++ {
-			d := query[t] - ser[t]
-			sum += d * d
+		for t := 0; t < n; {
+			end := t + abandonBlock
+			if end > n {
+				end = n
+			}
+			for ; t < end; t++ {
+				d := query[t] - ser[t]
+				sum += d * d
+			}
 			if sum >= bestDist {
 				break
 			}
@@ -59,6 +79,57 @@ func (s *Searcher) Nearest(query []float64, prefix int) (int, float64) {
 		}
 	}
 	return best, math.Sqrt(bestDist)
+}
+
+// PrefixScan maintains the running squared distance from one growing
+// query prefix to every stored series, so a sweep over all prefix
+// lengths costs O(n·L) total instead of the O(n·L²) of calling Nearest
+// at every length. Squared differences are accumulated in time order —
+// the same addition order Nearest uses — so Best reproduces Nearest's
+// winner at the current prefix bit for bit.
+type PrefixScan struct {
+	s    *Searcher
+	sums []float64
+	t    int
+}
+
+// NewPrefixScan starts a sweep at prefix length zero.
+func (s *Searcher) NewPrefixScan() *PrefixScan {
+	return &PrefixScan{s: s, sums: make([]float64, len(s.series))}
+}
+
+// Prefix returns the number of query points accumulated so far.
+func (p *PrefixScan) Prefix() int { return p.t }
+
+// Extend accumulates query points up to (but not beyond) index upto.
+// Stored series shorter than the prefix stop contributing, mirroring
+// Nearest's clamp.
+func (p *PrefixScan) Extend(query []float64, upto int) {
+	if upto > len(query) {
+		upto = len(query)
+	}
+	for ; p.t < upto; p.t++ {
+		q := query[p.t]
+		for i, ser := range p.s.series {
+			if p.t < len(ser) {
+				d := q - ser[p.t]
+				p.sums[i] += d * d
+			}
+		}
+	}
+}
+
+// Best returns the index of the nearest stored series at the current
+// prefix, with ties resolving to the lower index — exactly the winner
+// Nearest(query[:Prefix()], Prefix()) would report.
+func (p *PrefixScan) Best() int {
+	best, bestSum := -1, math.Inf(1)
+	for i, sum := range p.sums {
+		if sum < bestSum {
+			best, bestSum = i, sum
+		}
+	}
+	return best
 }
 
 // IncrementalPairwise sweeps prefix lengths t = 1..L over a fixed set of

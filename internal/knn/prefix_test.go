@@ -1,0 +1,150 @@
+package knn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// nearestExhaustive is Nearest without the early abandon: the reference
+// the blocked abandon must match bit for bit.
+func nearestExhaustive(s *Searcher, query []float64, prefix int) (int, float64) {
+	if prefix > len(query) || prefix <= 0 {
+		prefix = len(query)
+	}
+	best, bestDist := -1, math.Inf(1)
+	for i, ser := range s.series {
+		n := prefix
+		if len(ser) < n {
+			n = len(ser)
+		}
+		var sum float64
+		for t := 0; t < n; t++ {
+			d := query[t] - ser[t]
+			sum += d * d
+		}
+		if sum < bestDist {
+			best, bestDist = i, sum
+		}
+	}
+	return best, math.Sqrt(bestDist)
+}
+
+func randomSearcher(rng *rand.Rand, n, L int) *Searcher {
+	series := make([][]float64, n)
+	labels := make([]int, n)
+	for i := range series {
+		series[i] = make([]float64, L)
+		for t := range series[i] {
+			series[i][t] = rng.NormFloat64()
+		}
+		labels[i] = i % 3
+	}
+	s, err := NewSearcher(series, labels)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// TestNearestMatchesExhaustive checks the abandon is exact: winner index
+// and distance must equal a scan with no abandon, including on adversarial
+// prefixes that land mid-block.
+func TestNearestMatchesExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := randomSearcher(rng, 40, 57)
+	for trial := 0; trial < 50; trial++ {
+		query := make([]float64, 57)
+		for t := range query {
+			query[t] = rng.NormFloat64()
+		}
+		for _, prefix := range []int{0, 1, 5, 7, 8, 9, 16, 31, 57} {
+			gotIdx, gotDist := s.Nearest(query, prefix)
+			wantIdx, wantDist := nearestExhaustive(s, query, prefix)
+			if gotIdx != wantIdx || gotDist != wantDist {
+				t.Fatalf("trial %d prefix %d: Nearest = (%d, %v), exhaustive = (%d, %v)",
+					trial, prefix, gotIdx, gotDist, wantIdx, wantDist)
+			}
+		}
+	}
+}
+
+// TestPrefixScanMatchesNearest checks the incremental sweep reproduces
+// Nearest's winner at every prefix length, including when Extend jumps
+// several points at once and when stored series are shorter than the
+// prefix.
+func TestPrefixScanMatchesNearest(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	s := randomSearcher(rng, 25, 40)
+	// One short stored series exercises the per-series clamp.
+	short := append([][]float64{}, s.series...)
+	short[3] = short[3][:11]
+	s2, err := NewSearcher(short, s.labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, searcher := range []*Searcher{s, s2} {
+		query := make([]float64, 48)
+		for t := range query {
+			query[t] = rng.NormFloat64()
+		}
+		ps := searcher.NewPrefixScan()
+		step := 1
+		for l := 1; l <= len(query); l += step {
+			ps.Extend(query, l)
+			if ps.Prefix() != l {
+				t.Fatalf("prefix = %d, want %d", ps.Prefix(), l)
+			}
+			wantIdx, _ := searcher.Nearest(query[:l], l)
+			if got := ps.Best(); got != wantIdx {
+				t.Fatalf("prefix %d: Best = %d, Nearest = %d", l, got, wantIdx)
+			}
+			step = 1 + rng.Intn(3) // jumps exercise multi-point Extend
+		}
+	}
+}
+
+// benchSetup builds the workload Nearest actually sees inside ECTS:
+// class-separated stored series (distinct offsets, like the paper's
+// datasets after clustering) and a query near one class, so most
+// candidates are far and abandon after a few blocks.
+func benchSetup(b *testing.B) (*Searcher, []float64) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(9))
+	const n, L, classes = 200, 400, 4
+	series := make([][]float64, n)
+	labels := make([]int, n)
+	for i := range series {
+		class := i % classes
+		labels[i] = class
+		series[i] = make([]float64, L)
+		for t := range series[i] {
+			series[i][t] = 3*float64(class) + rng.NormFloat64()*0.3
+		}
+	}
+	s, err := NewSearcher(series, labels)
+	if err != nil {
+		b.Fatal(err)
+	}
+	query := make([]float64, L)
+	for t := range query {
+		query[t] = rng.NormFloat64() * 0.3 // near class 0
+	}
+	return s, query
+}
+
+func BenchmarkNearest(b *testing.B) {
+	s, query := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Nearest(query, len(query))
+	}
+}
+
+func BenchmarkNearestNoAbandon(b *testing.B) {
+	s, query := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nearestExhaustive(s, query, len(query))
+	}
+}

@@ -92,7 +92,10 @@ func (c Config) withDefaults() (Config, error) {
 }
 
 // Result summarizes one load run. Latencies are per instance: in session
-// mode one sample spans the whole create→decide→close conversation.
+// mode one sample spans the whole create→decide→close conversation, and
+// the Advance* fields additionally break out the per-batch /points
+// requests — the cost of advancing the live cursor — which is what the
+// incremental engine optimizes.
 type Result struct {
 	Mode             Mode          `json:"mode"`
 	Sent             int           `json:"sent"`
@@ -106,6 +109,14 @@ type Result struct {
 	Max              time.Duration `json:"max_ns"`
 	Throughput       float64       `json:"throughput_rps"`
 	Elapsed          time.Duration `json:"elapsed_ns"`
+
+	// Session mode only: latency of the individual /points batches.
+	AdvanceCount int           `json:"advance_count,omitempty"`
+	AdvanceP50   time.Duration `json:"advance_p50_ns,omitempty"`
+	AdvanceP95   time.Duration `json:"advance_p95_ns,omitempty"`
+	AdvanceP99   time.Duration `json:"advance_p99_ns,omitempty"`
+	AdvanceMean  time.Duration `json:"advance_mean_ns,omitempty"`
+	AdvanceMax   time.Duration `json:"advance_max_ns,omitempty"`
 }
 
 // String renders the human-readable report line.
@@ -114,6 +125,13 @@ func (r Result) String() string {
 		r.Mode, r.Sent, r.Errors,
 		r.P50.Round(time.Microsecond), r.P95.Round(time.Microsecond), r.P99.Round(time.Microsecond),
 		r.Mean.Round(time.Microsecond), r.Max.Round(time.Microsecond), r.Throughput, r.Elapsed.Round(time.Millisecond))
+	if r.AdvanceCount > 0 {
+		s += fmt.Sprintf("\n  advance: %d batches, p50=%s p95=%s p99=%s mean=%s max=%s",
+			r.AdvanceCount,
+			r.AdvanceP50.Round(time.Microsecond), r.AdvanceP95.Round(time.Microsecond),
+			r.AdvanceP99.Round(time.Microsecond), r.AdvanceMean.Round(time.Microsecond),
+			r.AdvanceMax.Round(time.Microsecond))
+	}
 	if r.ParityChecked > 0 {
 		s += fmt.Sprintf(", parity %d/%d", r.ParityChecked-r.ParityMismatches, r.ParityChecked)
 	}
@@ -157,6 +175,7 @@ func Run(cfg Config) (Result, error) {
 
 	type sample struct {
 		latency  time.Duration
+		advances []time.Duration // session mode: per /points batch
 		err      error
 		instance int
 		dec      decision
@@ -173,14 +192,15 @@ func Run(cfg Config) (Result, error) {
 				idx := i % len(cfg.Instances)
 				t0 := time.Now()
 				var dec decision
+				var advances []time.Duration
 				var err error
 				switch cfg.Mode {
 				case ModeClassify:
 					dec, err = classifyOnce(client, cfg.BaseURL, cfg.Model, cfg.Instances[idx])
 				case ModeSession:
-					dec, err = streamOnce(client, cfg.BaseURL, cfg.Model, cfg.Instances[idx], cfg.ChunkSize)
+					dec, advances, err = streamOnce(client, cfg.BaseURL, cfg.Model, cfg.Instances[idx], cfg.ChunkSize)
 				}
-				s := sample{latency: time.Since(t0), err: err, instance: idx, dec: dec}
+				s := sample{latency: time.Since(t0), advances: advances, err: err, instance: idx, dec: dec}
 				mu.Lock()
 				samples = append(samples, s)
 				mu.Unlock()
@@ -192,7 +212,8 @@ func Run(cfg Config) (Result, error) {
 
 	res := Result{Mode: cfg.Mode, Sent: len(samples), Elapsed: elapsed}
 	latencies := make([]time.Duration, 0, len(samples))
-	var sum time.Duration
+	var advances []time.Duration
+	var sum, advSum time.Duration
 	for _, s := range samples {
 		if s.err != nil {
 			res.Errors++
@@ -202,6 +223,13 @@ func Run(cfg Config) (Result, error) {
 		sum += s.latency
 		if s.latency > res.Max {
 			res.Max = s.latency
+		}
+		for _, a := range s.advances {
+			advances = append(advances, a)
+			advSum += a
+			if a > res.AdvanceMax {
+				res.AdvanceMax = a
+			}
 		}
 		if cfg.References != nil {
 			res.ParityChecked++
@@ -217,6 +245,14 @@ func Run(cfg Config) (Result, error) {
 	res.P99 = percentile(latencies, 0.99)
 	if len(latencies) > 0 {
 		res.Mean = sum / time.Duration(len(latencies))
+	}
+	if len(advances) > 0 {
+		sort.Slice(advances, func(i, j int) bool { return advances[i] < advances[j] })
+		res.AdvanceCount = len(advances)
+		res.AdvanceP50 = percentile(advances, 0.50)
+		res.AdvanceP95 = percentile(advances, 0.95)
+		res.AdvanceP99 = percentile(advances, 0.99)
+		res.AdvanceMean = advSum / time.Duration(len(advances))
 	}
 	if elapsed > 0 {
 		res.Throughput = float64(len(samples)) / elapsed.Seconds()
@@ -260,11 +296,13 @@ type sessionState struct {
 }
 
 // streamOnce replays one instance through a streaming session and
-// deletes the session afterwards.
-func streamOnce(client *http.Client, baseURL, model string, values [][]float64, chunk int) (decision, error) {
+// deletes the session afterwards. It returns the latency of each
+// /points batch alongside the decision, so callers can separate cursor
+// advance cost from session bookkeeping.
+func streamOnce(client *http.Client, baseURL, model string, values [][]float64, chunk int) (decision, []time.Duration, error) {
 	var st sessionState
 	if err := postJSON(client, baseURL+"/v1/sessions", map[string]any{"model": model}, &st); err != nil {
-		return decision{}, err
+		return decision{}, nil, err
 	}
 	base := baseURL + "/v1/sessions/" + st.SessionID
 	defer func() {
@@ -279,6 +317,7 @@ func streamOnce(client *http.Client, baseURL, model string, values [][]float64, 
 	}()
 
 	n := len(values[0])
+	advances := make([]time.Duration, 0, (n+chunk-1)/chunk)
 	for lo := 0; lo < n; lo += chunk {
 		hi := lo + chunk
 		if hi > n {
@@ -288,18 +327,20 @@ func streamOnce(client *http.Client, baseURL, model string, values [][]float64, 
 		for v := range values {
 			batch[v] = values[v][lo:hi]
 		}
+		t0 := time.Now()
 		if err := postJSON(client, base+"/points",
 			map[string]any{"values": batch, "last": hi == n}, &st); err != nil {
-			return decision{}, err
+			return decision{}, advances, err
 		}
+		advances = append(advances, time.Since(t0))
 		if st.Status == "decided" {
 			break
 		}
 	}
 	if st.Status != "decided" || st.Label == nil || st.Consumed == nil {
-		return decision{}, fmt.Errorf("loadgen: session ended %q without a decision", st.Status)
+		return decision{}, advances, fmt.Errorf("loadgen: session ended %q without a decision", st.Status)
 	}
-	return decision{Label: *st.Label, Consumed: *st.Consumed}, nil
+	return decision{Label: *st.Label, Consumed: *st.Consumed}, advances, nil
 }
 
 // postJSON sends one JSON request and decodes the JSON response,

@@ -88,6 +88,9 @@ type payload struct {
 
 // Save writes the envelope for a trained model. meta.Algorithm is
 // overwritten with model.Name() so the tag always matches the payload.
+// Only fitted state is encoded: incremental cursors (core.Cursor) are
+// per-instance derived state and are rebuilt from a loaded model via
+// Begin, never serialized.
 func Save(w io.Writer, model core.EarlyClassifier, meta Meta) error {
 	if model == nil {
 		return fmt.Errorf("persist: nil model")

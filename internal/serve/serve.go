@@ -83,15 +83,20 @@ type ModelInfo struct {
 }
 
 // model pairs a loaded classifier with its metadata. Classify
-// implementations reuse internal scratch buffers, so calls are serialized
-// per model; different models classify concurrently.
+// implementations reuse internal scratch buffers, so classic calls are
+// serialized per model. Streaming sessions instead hold a native
+// incremental cursor where the algorithm provides one: cursors read only
+// shared fitted state and advance lock-free, and their per-instance scan
+// state amortizes across batches. One-shot requests stay on the classic
+// path — with no batches to amortize over, cursor construction is pure
+// overhead.
 type model struct {
 	info ModelInfo
 	algo core.EarlyClassifier
 	mu   sync.Mutex
 }
 
-// classify serializes access to the underlying algorithm.
+// classify answers a one-shot request through the serialized classic path.
 func (m *model) classify(values [][]float64) (label, consumed int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()

@@ -8,22 +8,28 @@ import (
 	"sync"
 	"time"
 
+	"github.com/goetsc/goetsc/internal/core"
 	ts "github.com/goetsc/goetsc/internal/timeseries"
 )
 
-// session accumulates one streamed time series. The decision is
-// recomputed after every batch of points; once final it is frozen so late
-// points cannot change a reported answer.
+// session accumulates one streamed time series behind a live
+// classification cursor: per-instance scan state (running distances,
+// checkpoint verdicts, streak machines) persists here between batches,
+// so each batch costs only the new points instead of a full reclassify
+// of the prefix. Once the decision is final it is frozen so late points
+// cannot change a reported answer.
 type session struct {
 	id    string
 	model *model
 
-	mu       sync.Mutex
-	values   [][]float64 // [variable][time], grows as points arrive
-	decided  bool
-	label    int
-	consumed int
-	lastSeen time.Time
+	mu        sync.Mutex
+	values    [][]float64 // [variable][time], grows as points arrive
+	cur       core.Cursor // created on the first batch, never serialized
+	curNative bool        // native cursors advance without the model lock
+	decided   bool
+	label     int
+	consumed  int
+	lastSeen  time.Time
 }
 
 // sessionState is the JSON view of a session's progress.
@@ -138,18 +144,38 @@ func (s *Server) handleSessionPoints(w http.ResponseWriter, r *http.Request) err
 		return errf(http.StatusBadRequest, "cannot decide an empty series")
 	}
 
+	if ss.cur == nil {
+		// The cursor aliases the session's value slices: appendPoints
+		// only ever appends to the inner slices after the first batch
+		// fixed the outer one, which is exactly the growth contract
+		// cursors require.
+		ss.cur, ss.curNative = core.NewCursor(ss.model.algo, tsInstance(ss.values))
+	}
 	if err := s.acquire(r); err != nil {
 		return err
 	}
-	label, consumed := ss.model.classify(ss.values)
+	var label, consumed int
+	var curDone bool
+	if ss.curNative {
+		// Native cursors read only shared fitted state; sessions of one
+		// model advance concurrently.
+		label, consumed, curDone = ss.cur.Advance(n)
+	} else {
+		// Fallback cursors replay Classify, which may reuse model
+		// scratch — same serialization the classic path needed.
+		ss.model.mu.Lock()
+		label, consumed, curDone = ss.cur.Advance(n)
+		ss.model.mu.Unlock()
+	}
 	s.release()
 
 	// The decision is final only when it cannot change with more data:
-	// the classifier committed strictly inside the received prefix, the
-	// series reached the model's training length, or the client declared
-	// it complete. Otherwise the answer is "pending" — exactly the online
-	// semantics the framework's earliness metric measures.
-	final := consumed < n || req.Last || (ss.model.info.Length > 0 && n >= ss.model.info.Length)
+	// the cursor froze it (the classifier committed), the classifier
+	// committed strictly inside the received prefix, the series reached
+	// the model's training length, or the client declared it complete.
+	// Otherwise the answer is "pending" — exactly the online semantics
+	// the framework's earliness metric measures.
+	final := curDone || consumed < n || req.Last || (ss.model.info.Length > 0 && n >= ss.model.info.Length)
 	if final {
 		ss.decided = true
 		ss.label = label

@@ -25,54 +25,91 @@ func SlidingCoefficients(series []float64, w, nValues int, drop bool) [][]float6
 	if len(series) <= w {
 		return [][]float64{fft.Coefficients(series, (nValues+1)/2+1, drop)}
 	}
-	const resyncInterval = 512
+	cs := NewCoeffStream(w, nValues, drop)
+	cs.out = make([][]float64, 0, len(series)-w+1)
+	cs.Extend(series)
+	return cs.out
+}
+
+// resyncInterval is how many momentary-DFT slides run between direct-DFT
+// re-anchors that stop floating-point drift. Anchors land at absolute
+// window positions (multiples of the interval), which is what makes the
+// sweep prefix-deterministic: a window's coefficients depend only on the
+// data it covers, never on how much series follows it.
+const resyncInterval = 512
+
+// CoeffStream is the incremental form of SlidingCoefficients: feed it a
+// growing series with Extend and it emits one coefficient vector per
+// complete window, bit-identical to a single full pass over the final
+// series. It exists so streaming sessions and checkpoint classifiers
+// (TEASER/ECEC) can reuse sliding-window Fourier values across prefix
+// extensions instead of re-transforming every prefix from scratch.
+type CoeffStream struct {
+	w, nValues int
+	drop       bool
+	bins       int
+	twRe, twIm []float64
+	re, im     []float64
+	pos        int // next window start to emit
+	out        [][]float64
+}
+
+// NewCoeffStream prepares a stream of windows of size w (must be >= 1).
+func NewCoeffStream(w, nValues int, drop bool) *CoeffStream {
 	// Number of complex bins needed to produce nValues real values after
 	// the optional DC drop.
 	bins := (nValues+1)/2 + 1
 	if bins > w/2+1 {
 		bins = w/2 + 1
 	}
-	nWindows := len(series) - w + 1
-	out := make([][]float64, nWindows)
-
+	cs := &CoeffStream{
+		w: w, nValues: nValues, drop: drop, bins: bins,
+		twRe: make([]float64, bins), twIm: make([]float64, bins),
+		re: make([]float64, bins), im: make([]float64, bins),
+	}
 	// Twiddle factors e^{2πik/w}.
-	twRe := make([]float64, bins)
-	twIm := make([]float64, bins)
 	for k := 0; k < bins; k++ {
 		angle := 2 * math.Pi * float64(k) / float64(w)
-		twRe[k] = math.Cos(angle)
-		twIm[k] = math.Sin(angle)
+		cs.twRe[k] = math.Cos(angle)
+		cs.twIm[k] = math.Sin(angle)
 	}
-
-	re := make([]float64, bins)
-	im := make([]float64, bins)
-	anchor := func(start int) {
-		full := fft.Transform(series[start : start+w])
-		for k := 0; k < bins; k++ {
-			re[k] = full[2*k]
-			im[k] = full[2*k+1]
-		}
-	}
-	anchor(0)
-	for s := 0; ; s++ {
-		out[s] = extract(re, im, bins, nValues, drop)
-		if s == nWindows-1 {
-			break
-		}
-		if (s+1)%resyncInterval == 0 {
-			anchor(s + 1)
-			continue
-		}
-		delta := series[s+w] - series[s]
-		for k := 0; k < bins; k++ {
-			r := re[k] + delta
-			i := im[k]
-			re[k] = r*twRe[k] - i*twIm[k]
-			im[k] = r*twIm[k] + i*twRe[k]
-		}
-	}
-	return out
+	return cs
 }
+
+// Extend consumes every complete window the series now covers. The
+// series must be a prefix-extension of what previous calls saw (already
+// emitted positions are never re-read beyond the single point the
+// recurrence needs, and series values at covered positions must not
+// change). Passing a shorter series than before is a no-op.
+func (cs *CoeffStream) Extend(series []float64) {
+	for cs.pos+cs.w <= len(series) {
+		s := cs.pos
+		if s%resyncInterval == 0 {
+			full := fft.Transform(series[s : s+cs.w])
+			for k := 0; k < cs.bins; k++ {
+				cs.re[k] = full[2*k]
+				cs.im[k] = full[2*k+1]
+			}
+		} else {
+			delta := series[s-1+cs.w] - series[s-1]
+			for k := 0; k < cs.bins; k++ {
+				r := cs.re[k] + delta
+				i := cs.im[k]
+				cs.re[k] = r*cs.twRe[k] - i*cs.twIm[k]
+				cs.im[k] = r*cs.twIm[k] + i*cs.twRe[k]
+			}
+		}
+		cs.out = append(cs.out, extract(cs.re, cs.im, cs.bins, cs.nValues, cs.drop))
+		cs.pos++
+	}
+}
+
+// Windows returns how many coefficient vectors have been emitted.
+func (cs *CoeffStream) Windows() int { return len(cs.out) }
+
+// Coeff returns the coefficient vector of window i (0-based start
+// offset). The slice is owned by the stream; callers must not modify it.
+func (cs *CoeffStream) Coeff(i int) []float64 { return cs.out[i] }
 
 // extract converts the bin arrays into the interleaved value slice,
 // honouring the DC drop and value count.

@@ -1,0 +1,65 @@
+package sfa
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestCoeffStreamChunkedMatchesFullPass checks prefix determinism: a
+// stream fed the series in arbitrary increments must emit exactly the
+// coefficient vectors of one full pass (which itself runs through the
+// stream), bit for bit — including across the resync anchors that a
+// series longer than the resync interval crosses.
+func TestCoeffStreamChunkedMatchesFullPass(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	series := make([]float64, 2*resyncInterval+301)
+	for i := range series {
+		series[i] = rng.NormFloat64() * 5
+	}
+	for _, w := range []int{4, 8, 33} {
+		for _, drop := range []bool{false, true} {
+			want := SlidingCoefficients(series, w, 4, drop)
+
+			cs := NewCoeffStream(w, 4, drop)
+			for n := 0; n < len(series); {
+				n += 1 + rng.Intn(97)
+				if n > len(series) {
+					n = len(series)
+				}
+				cs.Extend(series[:n])
+			}
+			if cs.Windows() != len(want) {
+				t.Fatalf("w=%d drop=%v: %d windows, want %d", w, drop, cs.Windows(), len(want))
+			}
+			for i := range want {
+				got := cs.Coeff(i)
+				if len(got) != len(want[i]) {
+					t.Fatalf("w=%d drop=%v window %d: %d values, want %d", w, drop, i, len(got), len(want[i]))
+				}
+				for k := range want[i] {
+					if got[k] != want[i][k] {
+						t.Fatalf("w=%d drop=%v window %d value %d: %v != %v (not bit-identical)",
+							w, drop, i, k, got[k], want[i][k])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCoeffStreamShorterExtendIsNoOp checks that handing the stream a
+// shorter slice than it has already consumed changes nothing.
+func TestCoeffStreamShorterExtendIsNoOp(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	series := make([]float64, 60)
+	for i := range series {
+		series[i] = rng.NormFloat64()
+	}
+	cs := NewCoeffStream(8, 4, false)
+	cs.Extend(series)
+	n := cs.Windows()
+	cs.Extend(series[:10])
+	if cs.Windows() != n {
+		t.Fatalf("windows changed on shorter Extend: %d -> %d", n, cs.Windows())
+	}
+}

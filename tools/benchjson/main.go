@@ -1,11 +1,19 @@
 // Command benchjson runs the performance benchmarks that back this
-// repository's optimization claims (the MiniROCKET transform fast path and
-// the parallel evaluation engine) and writes the parsed results, plus the
-// derived speedup ratios, as one JSON document. `make bench` uses it to
-// produce BENCH_PR2.json so measurements are committed in a comparable,
-// machine-readable form.
+// repository's optimization claims (the MiniROCKET transform fast path,
+// the parallel evaluation engine, and the incremental prefix-inference
+// cursors) and writes the parsed results, plus the derived speedup
+// ratios, as one JSON document. `make bench` uses it to produce the
+// committed BENCH_*.json files so measurements stay comparable and
+// machine-readable.
 //
 //	go run ./tools/benchjson -out BENCH_PR2.json
+//	go run ./tools/benchjson -classify -serve -out BENCH_PR5.json
+//
+// It can also diff two such documents, failing on ns/op regressions —
+// the gate `make bench-classify` applies before replacing a committed
+// baseline:
+//
+//	go run ./tools/benchjson -compare BENCH_PR5.json BENCH_PR5.next.json
 package main
 
 import (
@@ -16,6 +24,7 @@ import (
 	"os/exec"
 	"regexp"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -97,13 +106,33 @@ func main() {
 	serveRPS := flag.String("serve-rps", "25,100,400", "comma-separated target request rates for -serve")
 	serveN := flag.Int("serve-requests", 120, "requests per -serve level")
 	noSuites := flag.Bool("skip-suites", false, "skip the go test benchmark suites (useful with -serve alone)")
+	classify := flag.Bool("classify", false, "benchmark the incremental classification cursors instead of the default suites")
+	compare := flag.Bool("compare", false, "compare two benchmark JSON documents (old new); exit 1 on >15% ns/op regression")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two arguments: old.json new.json")
+			os.Exit(2)
+		}
+		if err := compareDocs(flag.Arg(0), flag.Arg(1)); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var results []result
 	if !*noSuites {
 		suites := []struct{ pkg, pattern string }{
 			{"./internal/minirocket", "BenchmarkTransform$|BenchmarkTransformNaive$|BenchmarkTransformSeedBaseline$|BenchmarkFit$"},
 			{"./internal/bench", "BenchmarkRunMatrixSerial$|BenchmarkRunMatrixParallel$"},
+		}
+		if *classify {
+			suites = []struct{ pkg, pattern string }{
+				{"./internal/core", "BenchmarkClassifyECTS(Classic|Cursor)$|BenchmarkStream(EDSC|TEASER)(Reclassify|Cursor)$"},
+				{"./internal/knn", "BenchmarkNearest$|BenchmarkNearestNoAbandon$"},
+			}
 		}
 		for _, s := range suites {
 			rs, err := runSuite(s.pkg, s.pattern, *benchtime)
@@ -163,6 +192,10 @@ func main() {
 	ratio(doc.Speedups, "transform_vs_naive_ppv", "BenchmarkTransformNaive", "BenchmarkTransform", nsOp)
 	ratio(doc.Speedups, "matrix_parallel_vs_serial", "BenchmarkRunMatrixSerial", "BenchmarkRunMatrixParallel", nsOp)
 	ratio(doc.AllocRatios, "transform_vs_naive_ppv", "BenchmarkTransformNaive", "BenchmarkTransform", allocs)
+	ratio(doc.Speedups, "ects_cursor_vs_classic", "BenchmarkClassifyECTSClassic", "BenchmarkClassifyECTSCursor", nsOp)
+	ratio(doc.Speedups, "edsc_stream_cursor_vs_reclassify", "BenchmarkStreamEDSCReclassify", "BenchmarkStreamEDSCCursor", nsOp)
+	ratio(doc.Speedups, "teaser_stream_cursor_vs_reclassify", "BenchmarkStreamTEASERReclassify", "BenchmarkStreamTEASERCursor", nsOp)
+	ratio(doc.Speedups, "knn_abandon_vs_exhaustive", "BenchmarkNearestNoAbandon", "BenchmarkNearest", nsOp)
 
 	f, err := os.Create(*out)
 	if err != nil {
@@ -180,6 +213,70 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s (%d benchmarks, %d CPU)\n", *out, len(results), doc.NumCPU)
+}
+
+// regressionTolerance is how much slower (ns/op) a shared benchmark may
+// get before -compare fails the run. Generous enough for single-core CI
+// noise, tight enough to catch a real perf loss.
+const regressionTolerance = 0.15
+
+// compareDocs diffs two benchmark documents by shared benchmark name and
+// returns an error if any ns/op regressed beyond the tolerance.
+func compareDocs(oldPath, newPath string) error {
+	load := func(path string) (map[string]float64, error) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var doc document
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		out := map[string]float64{}
+		for _, r := range doc.Benchmarks {
+			if r.NsPerOp > 0 {
+				out[r.Name] = r.NsPerOp
+			}
+		}
+		return out, nil
+	}
+	oldNs, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newNs, err := load(newPath)
+	if err != nil {
+		return err
+	}
+
+	names := make([]string, 0, len(oldNs))
+	for name := range oldNs {
+		if _, ok := newNs[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return fmt.Errorf("no shared benchmarks between %s and %s", oldPath, newPath)
+	}
+
+	var regressions []string
+	for _, name := range names {
+		delta := newNs[name]/oldNs[name] - 1
+		status := "ok"
+		if delta > regressionTolerance {
+			status = "REGRESSION"
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.0f -> %.0f ns/op (+%.1f%%)", name, oldNs[name], newNs[name], 100*delta))
+		}
+		fmt.Printf("%-40s %12.0f %12.0f  %+6.1f%%  %s\n", name, oldNs[name], newNs[name], 100*delta, status)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%:\n  %s",
+			len(regressions), 100*regressionTolerance, strings.Join(regressions, "\n  "))
+	}
+	fmt.Printf("compare: %d shared benchmarks within %.0f%% tolerance\n", len(names), 100*regressionTolerance)
+	return nil
 }
 
 // parseRPSLevels parses the -serve-rps list.

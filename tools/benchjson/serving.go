@@ -18,17 +18,25 @@ import (
 )
 
 // servingLevel is one load-generator run against the in-process server.
+// The Advance* fields (session mode only) break out the per-batch
+// /points requests — the cursor advance cost — from the whole-session
+// conversation latency.
 type servingLevel struct {
-	Mode      string  `json:"mode"`
-	TargetRPS float64 `json:"target_rps"` // 0 = unpaced
-	Sent      int     `json:"sent"`
-	Errors    int     `json:"errors"`
-	P50Ms     float64 `json:"p50_ms"`
-	P95Ms     float64 `json:"p95_ms"`
-	P99Ms     float64 `json:"p99_ms"`
-	MeanMs    float64 `json:"mean_ms"`
-	Achieved  float64 `json:"achieved_rps"`
-	Parity    string  `json:"parity"`
+	Mode         string  `json:"mode"`
+	TargetRPS    float64 `json:"target_rps"` // 0 = unpaced
+	Sent         int     `json:"sent"`
+	Errors       int     `json:"errors"`
+	P50Ms        float64 `json:"p50_ms"`
+	P95Ms        float64 `json:"p95_ms"`
+	P99Ms        float64 `json:"p99_ms"`
+	MeanMs       float64 `json:"mean_ms"`
+	Achieved     float64 `json:"achieved_rps"`
+	Parity       string  `json:"parity"`
+	AdvanceCount int     `json:"advance_count,omitempty"`
+	AdvanceP50Ms float64 `json:"advance_p50_ms,omitempty"`
+	AdvanceP95Ms float64 `json:"advance_p95_ms,omitempty"`
+	AdvanceP99Ms float64 `json:"advance_p99_ms,omitempty"`
+	AdvanceMaxMs float64 `json:"advance_max_ms,omitempty"`
 }
 
 // servingReport is the document section committed to BENCH_PR4.json: the
@@ -97,7 +105,10 @@ func runServing(rpsLevels []float64, requests int) (*servingReport, error) {
 			Sent: res.Sent, Errors: res.Errors,
 			P50Ms: ms(int64(res.P50)), P95Ms: ms(int64(res.P95)), P99Ms: ms(int64(res.P99)),
 			MeanMs: ms(int64(res.Mean)), Achieved: res.Throughput,
-			Parity: fmt.Sprintf("%d/%d", res.ParityChecked-res.ParityMismatches, res.ParityChecked),
+			Parity:       fmt.Sprintf("%d/%d", res.ParityChecked-res.ParityMismatches, res.ParityChecked),
+			AdvanceCount: res.AdvanceCount,
+			AdvanceP50Ms: ms(int64(res.AdvanceP50)), AdvanceP95Ms: ms(int64(res.AdvanceP95)),
+			AdvanceP99Ms: ms(int64(res.AdvanceP99)), AdvanceMaxMs: ms(int64(res.AdvanceMax)),
 		})
 		return nil
 	}
