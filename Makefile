@@ -35,9 +35,11 @@ chaos:
 # trained on three synthetic datasets (one multivariate), persisted,
 # loaded into an HTTP server, and must reproduce the offline Classify
 # decisions over both the one-shot and streaming session endpoints.
+# The observability suites ride along: trace round-trips, the /v1/stats
+# snapshot math, /metrics, the dashboard, and client↔journal correlation.
 serve-smoke:
-	$(GO) test -race -run 'ServeSmoke' ./internal/serve/...
-	$(GO) test -race -run 'Run' ./internal/loadgen/...
+	$(GO) test -race -run 'ServeSmoke|Trace|Stats|Metrics|Dashboard|Eviction|MetaRoutes' ./internal/serve/...
+	$(GO) test -race -run 'Run|Correlate' ./internal/loadgen/...
 
 test: vet race chaos serve-smoke
 	$(GO) test ./...
@@ -65,9 +67,11 @@ bench-classify:
 # Serving-layer latency benchmark: trains a model in-process, serves it
 # over loopback HTTP, replays it through the load generator at three
 # request rates (plus one streaming run) with offline parity checks, and
-# commits the percentiles and request counters to BENCH_PR4.json.
+# commits the percentiles, request counters, and the server's own
+# /v1/stats view (rolling-window quantiles + quality gauges) to
+# BENCH_PR6.json.
 bench-serve:
-	$(GO) run ./tools/benchjson -serve -skip-suites -out BENCH_PR4.json
+	$(GO) run ./tools/benchjson -serve -stats -skip-suites -out BENCH_PR6.json
 
 # Scaled-down evaluation matrix with text figures, SVG files and the
 # qualitative-claims check.

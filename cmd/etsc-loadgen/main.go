@@ -11,10 +11,19 @@
 //	  -model-file ecec.goetsc -rps 50 -clients 4
 //	etsc-loadgen -addr http://127.0.0.1:8080 -model ecec -dataset PowerCons \
 //	  -mode session -chunk 8 -json latency.json
+//	etsc-serve -models ecec.goetsc -journal server.jsonl &
+//	etsc-loadgen -addr http://127.0.0.1:8080 -model ecec -dataset PowerCons \
+//	  -server-journal server.jsonl
 //
 // The replayed instances are the same deterministic holdout split
 // etsc-run -save-model evaluated on, so the parity check compares
 // like with like.
+//
+// Every request carries an X-Etsc-Trace header; pointing -server-journal
+// at the journal file the server is writing prints a trace-correlation
+// report after the run — per-conversation client wall time joined
+// against the server's access records, separating server latency from
+// transport and client overhead.
 package main
 
 import (
@@ -27,31 +36,42 @@ import (
 
 	"github.com/goetsc/goetsc/internal/datasets"
 	"github.com/goetsc/goetsc/internal/loadgen"
+	"github.com/goetsc/goetsc/internal/obs"
 	"github.com/goetsc/goetsc/internal/persist"
 	ts "github.com/goetsc/goetsc/internal/timeseries"
 )
 
 func main() {
 	var (
-		addr        = flag.String("addr", "http://127.0.0.1:8080", "server base URL")
-		model       = flag.String("model", "", "served model name (required)")
-		datasetName = flag.String("dataset", "PowerCons", "dataset to replay")
-		scale       = flag.Float64("scale", 0.25, "dataset height scale in (0,1]")
-		folds       = flag.Int("folds", 5, "fold count used when the model was saved (fixes the holdout split)")
-		seed        = flag.Int64("seed", 42, "random seed used when the model was saved")
-		rps         = flag.Float64("rps", 0, "target request rate (0 = unpaced)")
-		clients     = flag.Int("clients", 4, "concurrent client workers")
-		total       = flag.Int("n", 0, "requests to send (0 = one per holdout instance)")
-		mode        = flag.String("mode", "classify", "request mode: classify or session")
-		chunk       = flag.Int("chunk", 8, "points per request in session mode")
-		timeout     = flag.Duration("timeout", 30*time.Second, "per-request timeout")
-		modelFile   = flag.String("model-file", "", "saved model file for offline parity checking")
-		jsonOut     = flag.String("json", "", "write the result as JSON to this file")
+		addr          = flag.String("addr", "http://127.0.0.1:8080", "server base URL")
+		model         = flag.String("model", "", "served model name (required)")
+		datasetName   = flag.String("dataset", "PowerCons", "dataset to replay")
+		scale         = flag.Float64("scale", 0.25, "dataset height scale in (0,1]")
+		folds         = flag.Int("folds", 5, "fold count used when the model was saved (fixes the holdout split)")
+		seed          = flag.Int64("seed", 42, "random seed used when the model was saved")
+		rps           = flag.Float64("rps", 0, "target request rate (0 = unpaced)")
+		clients       = flag.Int("clients", 4, "concurrent client workers")
+		total         = flag.Int("n", 0, "requests to send (0 = one per holdout instance)")
+		mode          = flag.String("mode", "classify", "request mode: classify or session")
+		chunk         = flag.Int("chunk", 8, "points per request in session mode")
+		timeout       = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+		modelFile     = flag.String("model-file", "", "saved model file for offline parity checking")
+		jsonOut       = flag.String("json", "", "write the result as JSON to this file")
+		serverJournal = flag.String("server-journal", "", "server journal file (etsc-serve -journal) to correlate traces against after the run")
+		traces        = flag.Bool("traces", false, "keep per-conversation trace records in the JSON result")
 	)
+	var obsFlags obs.Flags
+	obsFlags.Register(flag.CommandLine)
 	flag.Parse()
 	if *model == "" {
 		fail(fmt.Errorf("-model is required"))
 	}
+
+	col, obsCleanup, err := obsFlags.Start()
+	if err != nil {
+		fail(err)
+	}
+	defer obsCleanup()
 
 	spec, err := datasets.ByName(*datasetName)
 	if err != nil {
@@ -94,25 +114,56 @@ func main() {
 		Instances: instances, References: refs,
 		RPS: *rps, Clients: *clients, Total: *total,
 		Mode: loadgen.Mode(*mode), ChunkSize: *chunk, Timeout: *timeout,
+		CollectTraces: *traces || *serverJournal != "",
 	})
 	if err != nil {
 		fail(err)
 	}
 	fmt.Println(res)
+	col.Emit("loadgen_result", map[string]any{
+		"mode": string(res.Mode), "sent": res.Sent, "errors": res.Errors,
+		"p50_ms":         float64(res.P50) / float64(time.Millisecond),
+		"p99_ms":         float64(res.P99) / float64(time.Millisecond),
+		"throughput_rps": res.Throughput,
+		"parity_checked": res.ParityChecked, "parity_mismatches": res.ParityMismatches,
+	})
 
+	if *serverJournal != "" {
+		corr, err := loadgen.CorrelateFile(res, *serverJournal)
+		if err != nil {
+			failWith(obsCleanup, err)
+		}
+		fmt.Println(corr)
+		col.Emit("trace_correlation", map[string]any{
+			"client_traces": corr.ClientTraces, "matched": corr.Matched,
+			"unmatched": corr.Unmatched, "server_records": corr.ServerRecords,
+			"overhead_mean_ms": float64(corr.OverheadMean) / float64(time.Millisecond),
+		})
+	}
+	if !*traces {
+		res.Traces = nil // collected only for correlation; keep the JSON result small
+	}
 	if *jsonOut != "" {
 		b, err := json.MarshalIndent(res, "", "  ")
 		if err != nil {
-			fail(err)
+			failWith(obsCleanup, err)
 		}
 		if err := os.WriteFile(*jsonOut, append(b, '\n'), 0o644); err != nil {
-			fail(err)
+			failWith(obsCleanup, err)
 		}
 		fmt.Printf("result written to %s\n", *jsonOut)
 	}
 	if res.Errors > 0 || res.ParityMismatches > 0 {
-		fail(fmt.Errorf("%d request errors, %d parity mismatches", res.Errors, res.ParityMismatches))
+		failWith(obsCleanup, fmt.Errorf("%d request errors, %d parity mismatches", res.Errors, res.ParityMismatches))
 	}
+}
+
+// failWith flushes observability sinks before exiting so a failed run
+// still leaves a complete journal.
+func failWith(cleanup func(), err error) {
+	fmt.Fprintf(os.Stderr, "etsc-loadgen: %v\n", err)
+	cleanup()
+	os.Exit(1)
 }
 
 // holdoutTest rebuilds the deterministic holdout split etsc-run uses for

@@ -32,11 +32,14 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", "127.0.0.1:8080", "listen address")
-		models     = flag.String("models", "", "comma-separated model files and/or directories of *.goetsc files")
-		maxBody    = flag.Int64("max-body", 1<<20, "maximum request body size in bytes")
-		timeout    = flag.Duration("timeout", 30*time.Second, "per-request handling deadline")
-		sessionTTL = flag.Duration("session-ttl", 10*time.Minute, "idle streaming sessions older than this are evicted")
+		addr         = flag.String("addr", "127.0.0.1:8080", "listen address")
+		models       = flag.String("models", "", "comma-separated model files and/or directories of *.goetsc files")
+		maxBody      = flag.Int64("max-body", 1<<20, "maximum request body size in bytes")
+		timeout      = flag.Duration("timeout", 30*time.Second, "per-request handling deadline")
+		sessionTTL   = flag.Duration("session-ttl", 10*time.Minute, "idle streaming sessions older than this are evicted")
+		sloTarget    = flag.Duration("slo-target", 25*time.Millisecond, "per-endpoint latency objective evaluated over rolling windows")
+		sloObjective = flag.Float64("slo-objective", 0.99, "fraction of requests that must complete under -slo-target")
+		pprofMux     = flag.Bool("pprof", false, "serve /debug/pprof on the main listener (outside the request deadline)")
 	)
 	var obsFlags obs.Flags
 	obsFlags.Register(flag.CommandLine)
@@ -48,10 +51,26 @@ func main() {
 	}
 	defer obsCleanup()
 
+	// The stats plane (/metrics, /v1/stats, /debug/etsc) needs a live
+	// registry even when -metrics-out wasn't given: a server's metrics are
+	// scraped, not written on exit.
+	if col.Registry() == nil {
+		reg := obs.NewRegistry()
+		journal := col.Journal()
+		col = obs.New(obs.Options{Journal: journal, Metrics: reg})
+		journal.OnError(func(err error) {
+			fmt.Fprintf(os.Stderr, "obs: journal write failed, further records dropped: %v\n", err)
+			reg.Counter("etsc_journal_errors_total",
+				"Journal write failures; after the first, records are dropped.").Inc()
+		})
+	}
+
 	srv := serve.New(serve.Config{
 		MaxBodyBytes:   *maxBody,
 		RequestTimeout: *timeout,
 		SessionTTL:     *sessionTTL,
+		SLOTarget:      *sloTarget,
+		SLOObjective:   *sloObjective,
 		Obs:            col,
 	})
 	if *models == "" {
@@ -89,9 +108,17 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
+	// The API handler sits under the per-request TimeoutHandler; pprof
+	// mounts on the parent mux so long profile captures (e.g.
+	// /debug/pprof/profile?seconds=30) escape the request deadline.
+	root := http.NewServeMux()
+	root.Handle("/", srv.Handler())
+	if *pprofMux {
+		obs.RegisterPprof(root)
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           root,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	go func() {
@@ -112,6 +139,11 @@ func main() {
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	fmt.Printf("etsc-serve listening on %s (%d models)\n", *addr, len(srv.Models()))
+	fmt.Printf("stats plane: /metrics (Prometheus), /v1/stats (JSON), /debug/etsc (dashboard); SLO %s @ %.2f%%\n",
+		*sloTarget, *sloObjective*100)
+	if *pprofMux {
+		fmt.Println("pprof: /debug/pprof on the main listener")
+	}
 
 	select {
 	case err := <-errCh:

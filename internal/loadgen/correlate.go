@@ -1,0 +1,139 @@
+package loadgen
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+)
+
+// Trace correlation joins the client side of a load run (Result.Traces)
+// against the server side (the journal's "access" records) on trace ID.
+// The difference between a trace's client wall time and the sum of its
+// server-side wall times is everything the server never saw: network,
+// client-side serialization, and queueing in front of the listener —
+// exactly the gap that distinguishes "the server is slow" from "the
+// path to the server is slow".
+
+// Correlation is the per-run join report.
+type Correlation struct {
+	ClientTraces  int `json:"client_traces"`
+	Matched       int `json:"matched"`
+	Unmatched     int `json:"unmatched"`
+	ServerRecords int `json:"server_records"` // access records under matched traces
+
+	// Per-trace client wall time (whole conversation).
+	ClientP50 time.Duration `json:"client_p50_ns"`
+	ClientP99 time.Duration `json:"client_p99_ns"`
+	// Per-trace sum of server-side wall times.
+	ServerP50 time.Duration `json:"server_p50_ns"`
+	ServerP99 time.Duration `json:"server_p99_ns"`
+	// Per-trace client minus server: transport + client overhead.
+	OverheadP50  time.Duration `json:"overhead_p50_ns"`
+	OverheadP99  time.Duration `json:"overhead_p99_ns"`
+	OverheadMean time.Duration `json:"overhead_mean_ns"`
+}
+
+// String renders the human-readable report.
+func (c Correlation) String() string {
+	s := fmt.Sprintf("trace correlation: %d/%d client traces matched in journal (%d server records)",
+		c.Matched, c.ClientTraces, c.ServerRecords)
+	if c.Unmatched > 0 {
+		s += fmt.Sprintf(", %d UNMATCHED", c.Unmatched)
+	}
+	if c.Matched > 0 {
+		s += fmt.Sprintf("\n  client wall   p50=%s p99=%s\n  server wall   p50=%s p99=%s\n  overhead      p50=%s p99=%s mean=%s (client-side + transport)",
+			c.ClientP50.Round(time.Microsecond), c.ClientP99.Round(time.Microsecond),
+			c.ServerP50.Round(time.Microsecond), c.ServerP99.Round(time.Microsecond),
+			c.OverheadP50.Round(time.Microsecond), c.OverheadP99.Round(time.Microsecond),
+			c.OverheadMean.Round(time.Microsecond))
+	}
+	return s
+}
+
+// Correlate joins a load run's trace records against a server journal
+// stream (JSONL; non-access records are skipped). The run must have been
+// made with Config.CollectTraces.
+func Correlate(res Result, journal io.Reader) (Correlation, error) {
+	if len(res.Traces) == 0 {
+		return Correlation{}, fmt.Errorf("loadgen: result has no trace records (set Config.CollectTraces)")
+	}
+	type serverSide struct {
+		wall  time.Duration
+		count int
+	}
+	server := make(map[string]*serverSide)
+	sc := bufio.NewScanner(journal)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec struct {
+			Type   string  `json:"type"`
+			Trace  string  `json:"trace"`
+			WallMS float64 `json:"wall_ms"`
+		}
+		if err := json.Unmarshal(line, &rec); err != nil {
+			continue // journals interleave other shapes; skip quietly
+		}
+		if rec.Type != "access" || rec.Trace == "" {
+			continue
+		}
+		ss := server[rec.Trace]
+		if ss == nil {
+			ss = &serverSide{}
+			server[rec.Trace] = ss
+		}
+		ss.wall += time.Duration(rec.WallMS * float64(time.Millisecond))
+		ss.count++
+	}
+	if err := sc.Err(); err != nil {
+		return Correlation{}, fmt.Errorf("loadgen: reading journal: %w", err)
+	}
+
+	c := Correlation{ClientTraces: len(res.Traces)}
+	var clientW, serverW, overhead []time.Duration
+	var overheadSum time.Duration
+	for _, tr := range res.Traces {
+		ss, ok := server[tr.Trace]
+		if !ok {
+			c.Unmatched++
+			continue
+		}
+		c.Matched++
+		c.ServerRecords += ss.count
+		clientW = append(clientW, tr.Latency)
+		serverW = append(serverW, ss.wall)
+		d := tr.Latency - ss.wall
+		if d < 0 {
+			d = 0 // sub-ms rounding in wall_ms can nudge past the client clock
+		}
+		overhead = append(overhead, d)
+		overheadSum += d
+	}
+	for _, s := range [][]time.Duration{clientW, serverW, overhead} {
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	}
+	c.ClientP50, c.ClientP99 = percentile(clientW, 0.50), percentile(clientW, 0.99)
+	c.ServerP50, c.ServerP99 = percentile(serverW, 0.50), percentile(serverW, 0.99)
+	c.OverheadP50, c.OverheadP99 = percentile(overhead, 0.50), percentile(overhead, 0.99)
+	if len(overhead) > 0 {
+		c.OverheadMean = overheadSum / time.Duration(len(overhead))
+	}
+	return c, nil
+}
+
+// CorrelateFile is Correlate against a journal file on disk.
+func CorrelateFile(res Result, path string) (Correlation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Correlation{}, fmt.Errorf("loadgen: open journal: %w", err)
+	}
+	defer f.Close()
+	return Correlate(res, f)
+}

@@ -1,0 +1,143 @@
+package loadgen
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/goetsc/goetsc/internal/bench"
+	"github.com/goetsc/goetsc/internal/obs"
+	"github.com/goetsc/goetsc/internal/persist"
+	"github.com/goetsc/goetsc/internal/serve"
+	"github.com/goetsc/goetsc/internal/synth"
+)
+
+// startTracedServer is startServer with a live journal, so the access
+// records are available for correlation.
+func startTracedServer(t *testing.T) (baseURL string, instances [][][]float64, journal *bytes.Buffer) {
+	t.Helper()
+	d := synth.Dataset("loadgen-trace", 1, 2, 24, 40, 17)
+	f := bench.AlgorithmsByName(d.Name, bench.Fast, 1, []string{"ECTS"})[0]
+	algo := f.New()
+	if err := algo.Fit(d); err != nil {
+		t.Fatalf("fit: %v", err)
+	}
+	journal = &bytes.Buffer{} // Journal serializes writes; read only after the run
+	srv := serve.New(serve.Config{Obs: obs.New(obs.Options{Journal: obs.NewJournal(journal)})})
+	meta := persist.Meta{Dataset: d.Name, Length: d.MaxLength(), NumVars: d.NumVars(), NumClasses: d.NumClasses()}
+	if err := srv.AddModel("ects", algo, meta); err != nil {
+		t.Fatalf("add model: %v", err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	for _, in := range d.Instances {
+		instances = append(instances, in.Values)
+	}
+	return hs.URL, instances, journal
+}
+
+// TestCorrelateClassifyRun: every classify trace the client sent must
+// appear in the journal exactly once.
+func TestCorrelateClassifyRun(t *testing.T) {
+	baseURL, instances, journal := startTracedServer(t)
+	res, err := Run(Config{
+		BaseURL: baseURL, Model: "ects", Instances: instances,
+		Clients: 4, Total: len(instances), CollectTraces: true,
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(res.Traces) != len(instances) {
+		t.Fatalf("trace records = %d, want %d", len(res.Traces), len(instances))
+	}
+	c, err := Correlate(res, strings.NewReader(journal.String()))
+	if err != nil {
+		t.Fatalf("correlate: %v", err)
+	}
+	if c.Matched != len(instances) || c.Unmatched != 0 {
+		t.Fatalf("correlation %+v: want %d matched, 0 unmatched", c, len(instances))
+	}
+	if c.ServerRecords != len(instances) {
+		t.Fatalf("server records = %d, want one per classify", c.ServerRecords)
+	}
+	if c.ClientP50 < c.ServerP50 {
+		t.Fatalf("client wall p50 %s below server wall p50 %s", c.ClientP50, c.ServerP50)
+	}
+}
+
+// TestCorrelateSessionRun: a session conversation shares one trace ID
+// across create, every /points batch, and the delete.
+func TestCorrelateSessionRun(t *testing.T) {
+	baseURL, instances, journal := startTracedServer(t)
+	res, err := Run(Config{
+		BaseURL: baseURL, Model: "ects", Instances: instances,
+		Total: len(instances), Mode: ModeSession, ChunkSize: 6, CollectTraces: true,
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	wantRecords := 0
+	for _, tr := range res.Traces {
+		if tr.Requests < 3 { // create + at least one batch + delete
+			t.Fatalf("trace %s used %d requests, want >= 3", tr.Trace, tr.Requests)
+		}
+		wantRecords += tr.Requests
+	}
+	c, err := Correlate(res, strings.NewReader(journal.String()))
+	if err != nil {
+		t.Fatalf("correlate: %v", err)
+	}
+	if c.Matched != len(instances) || c.Unmatched != 0 {
+		t.Fatalf("correlation %+v: want %d matched, 0 unmatched", c, len(instances))
+	}
+	if c.ServerRecords != wantRecords {
+		t.Fatalf("server records = %d, want %d (sum of per-trace requests)", c.ServerRecords, wantRecords)
+	}
+}
+
+// TestCorrelateFixture pins the join math on hand-built records.
+func TestCorrelateFixture(t *testing.T) {
+	res := Result{Traces: []TraceRecord{
+		{Trace: "aaaa", Latency: 10 * time.Millisecond},
+		{Trace: "bbbb", Latency: 4 * time.Millisecond},
+		{Trace: "cccc", Latency: 7 * time.Millisecond}, // not in journal
+	}}
+	journal := strings.Join([]string{
+		`{"type":"access","trace":"aaaa","wall_ms":2}`,
+		`{"type":"session_created","session":"x"}`, // other shapes are skipped
+		`{"type":"access","trace":"aaaa","wall_ms":3}`,
+		`{"type":"access","trace":"bbbb","wall_ms":1}`,
+		`{"type":"access","trace":"dddd","wall_ms":9}`, // server-only trace ignored
+		"not json at all",
+	}, "\n")
+	c, err := Correlate(res, strings.NewReader(journal))
+	if err != nil {
+		t.Fatalf("correlate: %v", err)
+	}
+	if c.ClientTraces != 3 || c.Matched != 2 || c.Unmatched != 1 || c.ServerRecords != 3 {
+		t.Fatalf("counts wrong: %+v", c)
+	}
+	// Matched traces: aaaa client 10ms / server 5ms, bbbb client 4ms /
+	// server 1ms. Nearest-rank over two samples: p50 is the smaller,
+	// p99 the larger.
+	if c.ClientP50 != 4*time.Millisecond || c.ClientP99 != 10*time.Millisecond {
+		t.Fatalf("client quantiles: %+v", c)
+	}
+	if c.ServerP50 != 1*time.Millisecond || c.ServerP99 != 5*time.Millisecond {
+		t.Fatalf("server quantiles: %+v", c)
+	}
+	if c.OverheadP50 != 3*time.Millisecond || c.OverheadP99 != 5*time.Millisecond || c.OverheadMean != 4*time.Millisecond {
+		t.Fatalf("overhead quantiles: %+v", c)
+	}
+	if !strings.Contains(c.String(), "2/3 client traces matched") {
+		t.Fatalf("report: %q", c.String())
+	}
+}
+
+func TestCorrelateRequiresTraces(t *testing.T) {
+	if _, err := Correlate(Result{}, strings.NewReader("")); err == nil {
+		t.Fatal("correlating a run without trace records should fail")
+	}
+}

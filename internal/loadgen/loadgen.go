@@ -14,6 +14,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"github.com/goetsc/goetsc/internal/obs"
 )
 
 // Mode selects the request shape.
@@ -58,6 +60,11 @@ type Config struct {
 	// instance (parallel to Instances); mismatching served decisions are
 	// counted in Result.ParityMismatches.
 	References []Reference
+	// CollectTraces keeps one TraceRecord per replayed instance in
+	// Result.Traces, for joining against the server journal's access
+	// records (see Correlate). Tracing headers are always sent; this flag
+	// only controls client-side retention.
+	CollectTraces bool
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -117,6 +124,22 @@ type Result struct {
 	AdvanceP99   time.Duration `json:"advance_p99_ns,omitempty"`
 	AdvanceMean  time.Duration `json:"advance_mean_ns,omitempty"`
 	AdvanceMax   time.Duration `json:"advance_max_ns,omitempty"`
+
+	// Traces holds one record per replayed instance when
+	// Config.CollectTraces is set; Correlate joins them against the
+	// server journal.
+	Traces []TraceRecord `json:"traces,omitempty"`
+}
+
+// TraceRecord is the client side of one traced conversation: every HTTP
+// request a replayed instance issued (one for classify; create, points
+// batches and delete for a session) carried this trace ID.
+type TraceRecord struct {
+	Trace    string        `json:"trace"`
+	Instance int           `json:"instance"`
+	Requests int           `json:"requests"`
+	Latency  time.Duration `json:"latency_ns"`
+	Err      bool          `json:"err,omitempty"`
 }
 
 // String renders the human-readable report line.
@@ -179,6 +202,8 @@ func Run(cfg Config) (Result, error) {
 		err      error
 		instance int
 		dec      decision
+		trace    obs.TraceID
+		requests int
 	}
 	samples := make([]sample, 0, cfg.Total)
 	var mu sync.Mutex
@@ -190,17 +215,23 @@ func Run(cfg Config) (Result, error) {
 			defer wg.Done()
 			for i := range jobs {
 				idx := i % len(cfg.Instances)
+				// One trace per replayed instance: every request in the
+				// conversation carries it, each with a fresh client span.
+				tc := obs.NewTraceContext()
 				t0 := time.Now()
 				var dec decision
 				var advances []time.Duration
 				var err error
+				var reqs int
 				switch cfg.Mode {
 				case ModeClassify:
-					dec, err = classifyOnce(client, cfg.BaseURL, cfg.Model, cfg.Instances[idx])
+					dec, err = classifyOnce(client, cfg.BaseURL, cfg.Model, cfg.Instances[idx], tc)
+					reqs = 1
 				case ModeSession:
-					dec, advances, err = streamOnce(client, cfg.BaseURL, cfg.Model, cfg.Instances[idx], cfg.ChunkSize)
+					dec, advances, reqs, err = streamOnce(client, cfg.BaseURL, cfg.Model, cfg.Instances[idx], cfg.ChunkSize, tc)
 				}
-				s := sample{latency: time.Since(t0), advances: advances, err: err, instance: idx, dec: dec}
+				s := sample{latency: time.Since(t0), advances: advances, err: err, instance: idx, dec: dec,
+					trace: tc.Trace, requests: reqs}
 				mu.Lock()
 				samples = append(samples, s)
 				mu.Unlock()
@@ -237,6 +268,15 @@ func Run(cfg Config) (Result, error) {
 			if s.dec.Label != ref.Label || s.dec.Consumed != ref.Consumed {
 				res.ParityMismatches++
 			}
+		}
+	}
+	if cfg.CollectTraces {
+		res.Traces = make([]TraceRecord, 0, len(samples))
+		for _, s := range samples {
+			res.Traces = append(res.Traces, TraceRecord{
+				Trace: s.trace.String(), Instance: s.instance,
+				Requests: s.requests, Latency: s.latency, Err: s.err != nil,
+			})
 		}
 	}
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
@@ -276,12 +316,12 @@ func percentile(sorted []time.Duration, p float64) time.Duration {
 }
 
 // classifyOnce sends one /v1/classify request.
-func classifyOnce(client *http.Client, baseURL, model string, values [][]float64) (decision, error) {
+func classifyOnce(client *http.Client, baseURL, model string, values [][]float64, tc obs.TraceContext) (decision, error) {
 	var resp struct {
 		Label    int `json:"label"`
 		Consumed int `json:"consumed"`
 	}
-	err := postJSON(client, baseURL+"/v1/classify",
+	err := postJSON(client, baseURL+"/v1/classify", tc,
 		map[string]any{"model": model, "values": values}, &resp)
 	return decision{Label: resp.Label, Consumed: resp.Consumed}, err
 }
@@ -297,27 +337,31 @@ type sessionState struct {
 
 // streamOnce replays one instance through a streaming session and
 // deletes the session afterwards. It returns the latency of each
-// /points batch alongside the decision, so callers can separate cursor
-// advance cost from session bookkeeping.
-func streamOnce(client *http.Client, baseURL, model string, values [][]float64, chunk int) (decision, []time.Duration, error) {
+// /points batch alongside the decision and the number of HTTP requests
+// issued, so callers can separate cursor advance cost from session
+// bookkeeping and join the conversation against the server journal.
+func streamOnce(client *http.Client, baseURL, model string, values [][]float64, chunk int, tc obs.TraceContext) (dec decision, advances []time.Duration, reqs int, err error) {
 	var st sessionState
-	if err := postJSON(client, baseURL+"/v1/sessions", map[string]any{"model": model}, &st); err != nil {
-		return decision{}, nil, err
+	reqs++
+	if err := postJSON(client, baseURL+"/v1/sessions", tc, map[string]any{"model": model}, &st); err != nil {
+		return decision{}, nil, reqs, err
 	}
 	base := baseURL + "/v1/sessions/" + st.SessionID
 	defer func() {
-		req, err := http.NewRequest(http.MethodDelete, base, nil)
-		if err != nil {
+		req, rerr := http.NewRequest(http.MethodDelete, base, nil)
+		if rerr != nil {
 			return
 		}
-		if resp, err := client.Do(req); err == nil {
+		req.Header.Set(obs.TraceHeader, tc.Child().Header())
+		reqs++
+		if resp, derr := client.Do(req); derr == nil {
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
 		}
 	}()
 
 	n := len(values[0])
-	advances := make([]time.Duration, 0, (n+chunk-1)/chunk)
+	advances = make([]time.Duration, 0, (n+chunk-1)/chunk)
 	for lo := 0; lo < n; lo += chunk {
 		hi := lo + chunk
 		if hi > n {
@@ -328,9 +372,10 @@ func streamOnce(client *http.Client, baseURL, model string, values [][]float64, 
 			batch[v] = values[v][lo:hi]
 		}
 		t0 := time.Now()
-		if err := postJSON(client, base+"/points",
+		reqs++
+		if err := postJSON(client, base+"/points", tc,
 			map[string]any{"values": batch, "last": hi == n}, &st); err != nil {
-			return decision{}, advances, err
+			return decision{}, advances, reqs, err
 		}
 		advances = append(advances, time.Since(t0))
 		if st.Status == "decided" {
@@ -338,19 +383,29 @@ func streamOnce(client *http.Client, baseURL, model string, values [][]float64, 
 		}
 	}
 	if st.Status != "decided" || st.Label == nil || st.Consumed == nil {
-		return decision{}, advances, fmt.Errorf("loadgen: session ended %q without a decision", st.Status)
+		return decision{}, advances, reqs, fmt.Errorf("loadgen: session ended %q without a decision", st.Status)
 	}
-	return decision{Label: *st.Label, Consumed: *st.Consumed}, advances, nil
+	return decision{Label: *st.Label, Consumed: *st.Consumed}, advances, reqs, nil
 }
 
 // postJSON sends one JSON request and decodes the JSON response,
 // treating non-2xx statuses as errors carrying the server's message.
-func postJSON(client *http.Client, url string, body, out any) error {
+// Each request carries the conversation's trace ID under a fresh client
+// span, matching what a traced production caller would send.
+func postJSON(client *http.Client, url string, tc obs.TraceContext, body, out any) error {
 	b, err := json.Marshal(body)
 	if err != nil {
 		return err
 	}
-	resp, err := client.Post(url, "application/json", bytes.NewReader(b))
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tc.Valid() {
+		req.Header.Set(obs.TraceHeader, tc.Child().Header())
+	}
+	resp, err := client.Do(req)
 	if err != nil {
 		return err
 	}

@@ -63,6 +63,15 @@ func (f *Flags) Start() (*Collector, func(), error) {
 		return nil, nil, err
 	}
 	col := New(Options{Journal: journal, Metrics: registry})
+	// Surface the first journal write failure immediately: one stderr
+	// warning plus a counter scrapeable over /metrics, instead of silent
+	// record loss until the exit-time Err check (which headless servers
+	// never reach). Journal writes still degrade to no-ops afterwards.
+	journal.OnError(func(err error) {
+		fmt.Fprintf(os.Stderr, "obs: journal write failed, further records dropped: %v\n", err)
+		registry.Counter("etsc_journal_errors_total",
+			"Journal write failures; after the first, records are dropped.").Inc()
+	})
 
 	done := false
 	cleanup := func() {

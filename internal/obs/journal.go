@@ -18,15 +18,32 @@ import (
 //	{"type":"event","name":"train_timeout","path":"…","time":"…","attrs":{…}}
 //	{"type":"cell","time":"…", …cell fields…}
 type Journal struct {
-	mu  sync.Mutex
-	enc *json.Encoder
-	err error
+	mu    sync.Mutex
+	enc   *json.Encoder
+	err   error
+	onErr func(error)
 }
 
 // NewJournal wraps w; records are written as they arrive so a killed run
 // leaves a complete prefix of the trace.
 func NewJournal(w io.Writer) *Journal {
 	return &Journal{enc: json.NewEncoder(w)}
+}
+
+// OnError registers a callback invoked exactly once, on the first failed
+// write. Journal writes degrade to no-ops after a failure so a full disk
+// cannot kill a multi-hour run — but silently losing the trace is its
+// own failure mode, so the CLIs use this hook to warn immediately and
+// count the loss instead of discovering it at exit (or never). The
+// callback runs outside the journal lock and must not write to the
+// journal.
+func (j *Journal) OnError(fn func(error)) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	j.onErr = fn
+	j.mu.Unlock()
 }
 
 // Err reports the first write error, if any (a full disk should not kill
@@ -45,11 +62,20 @@ func (j *Journal) write(rec any) {
 		return
 	}
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if j.err != nil {
+		j.mu.Unlock()
 		return
 	}
-	j.err = j.enc.Encode(rec)
+	err := j.enc.Encode(rec)
+	var notify func(error)
+	if err != nil {
+		j.err = err
+		notify = j.onErr
+	}
+	j.mu.Unlock()
+	if notify != nil {
+		notify(err)
+	}
 }
 
 type spanRecord struct {

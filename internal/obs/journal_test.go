@@ -1,0 +1,61 @@
+package obs_test
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/goetsc/goetsc/internal/obs"
+)
+
+// failWriter fails every write after the first n bytes worth of calls.
+type failWriter struct {
+	okWrites int
+	writes   int
+}
+
+var errDiskFull = errors.New("disk full")
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	w.writes++
+	if w.writes > w.okWrites {
+		return 0, errDiskFull
+	}
+	return len(p), nil
+}
+
+// TestJournalOnErrorFiresOnce: the first failed write invokes the
+// callback exactly once, Err() reports it, and later writes are dropped
+// without re-firing.
+func TestJournalOnErrorFiresOnce(t *testing.T) {
+	j := obs.NewJournal(&failWriter{okWrites: 1})
+	var calls int
+	var got error
+	j.OnError(func(err error) {
+		calls++
+		got = err
+	})
+	col := obs.New(obs.Options{Journal: j})
+
+	col.Emit("first", nil) // succeeds
+	if err := j.Err(); err != nil {
+		t.Fatalf("first write errored: %v", err)
+	}
+	col.Emit("second", nil) // fails, fires callback
+	col.Emit("third", nil)  // dropped silently
+	col.Emit("fourth", nil)
+
+	if calls != 1 {
+		t.Fatalf("onError fired %d times, want 1", calls)
+	}
+	if !errors.Is(got, errDiskFull) || !errors.Is(j.Err(), errDiskFull) {
+		t.Fatalf("callback err %v, Err() %v, want %v", got, j.Err(), errDiskFull)
+	}
+}
+
+func TestJournalOnErrorNilSafe(t *testing.T) {
+	var j *obs.Journal
+	j.OnError(func(error) { t.Fatal("nil journal fired callback") })
+	if j.Err() != nil {
+		t.Fatal("nil journal has an error")
+	}
+}

@@ -3,11 +3,23 @@ package obs
 import (
 	"fmt"
 	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	httppprof "net/http/pprof" // also registers /debug/pprof on the default mux
 	"os"
 	"runtime"
 	"runtime/pprof"
 )
+
+// RegisterPprof mounts the /debug/pprof/* handlers on mux, so a server
+// can expose profiling on its own listener instead of needing a second
+// one via -pprof-addr. The index handler also serves the named runtime
+// profiles (heap, goroutine, block, mutex, allocs, threadcreate).
+func RegisterPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+}
 
 // Profiling captures CPU/heap profiles and optionally serves live pprof
 // data over HTTP during long runs. Obtain one via StartProfiling and

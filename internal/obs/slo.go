@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SLO tracks a latency service-level objective over rolling windows: a
+// request is "good" when it neither failed nor exceeded the target
+// latency, and the objective is the fraction of requests that must be
+// good (0.99 means an error budget of 1%). The budget burn rate is the
+// observed bad fraction divided by the allowed bad fraction — burn 1.0
+// consumes the budget exactly as fast as the objective allows, burn 10
+// exhausts it ten times too fast. Routers and alerting consume the burn
+// rate; dashboards consume compliance.
+type SLO struct {
+	target    time.Duration
+	objective float64
+	stride    time.Duration
+	size      int
+
+	now func() time.Time
+
+	mu   sync.Mutex
+	ring []sloDelta
+}
+
+type sloDelta struct {
+	epoch     int64
+	good, bad uint64
+}
+
+// NewSLO builds a tracker for "objective of requests complete under
+// target", aggregated at stride granularity over at most span.
+func NewSLO(target time.Duration, objective float64, stride, span time.Duration) *SLO {
+	if stride <= 0 {
+		stride = time.Second
+	}
+	if span < stride {
+		span = stride
+	}
+	if objective <= 0 || objective >= 1 {
+		objective = 0.99
+	}
+	s := &SLO{
+		target:    target,
+		objective: objective,
+		stride:    stride,
+		size:      int(span/stride) + 1,
+		now:       time.Now,
+	}
+	s.ring = make([]sloDelta, s.size)
+	for i := range s.ring {
+		s.ring[i].epoch = -1
+	}
+	return s
+}
+
+// Observe records one request outcome. failed marks server-attributable
+// errors (5xx, timeouts); client errors should not burn the budget.
+// Allocation-free; no-op on nil.
+func (s *SLO) Observe(latency time.Duration, failed bool) {
+	if s == nil {
+		return
+	}
+	bad := failed || latency > s.target
+	s.mu.Lock()
+	e := s.now().UnixNano() / int64(s.stride)
+	d := &s.ring[int(e%int64(s.size))]
+	if d.epoch != e {
+		d.epoch = e
+		d.good, d.bad = 0, 0
+	}
+	if bad {
+		d.bad++
+	} else {
+		d.good++
+	}
+	s.mu.Unlock()
+}
+
+// SLOReport is one span's verdict.
+type SLOReport struct {
+	TargetMS   float64 `json:"target_ms"`
+	Objective  float64 `json:"objective"`
+	Total      uint64  `json:"total"`
+	Breaches   uint64  `json:"breaches"`
+	Compliance float64 `json:"compliance"`
+	BudgetBurn float64 `json:"budget_burn"`
+	Healthy    bool    `json:"healthy"`
+}
+
+// Report evaluates the objective over span (clamped to the constructed
+// span). An empty window is healthy: compliance 1, burn 0.
+func (s *SLO) Report(span time.Duration) SLOReport {
+	if s == nil {
+		return SLOReport{Compliance: 1, Healthy: true}
+	}
+	if span < s.stride {
+		span = s.stride
+	}
+	k := int(span / s.stride)
+	if k > s.size-1 {
+		k = s.size - 1
+	}
+	rep := SLOReport{
+		TargetMS:  float64(s.target) / float64(time.Millisecond),
+		Objective: s.objective,
+	}
+	s.mu.Lock()
+	e := s.now().UnixNano() / int64(s.stride)
+	for _, d := range s.ring {
+		if d.epoch > e-int64(k) && d.epoch <= e {
+			rep.Total += d.good + d.bad
+			rep.Breaches += d.bad
+		}
+	}
+	s.mu.Unlock()
+
+	rep.Compliance = 1
+	if rep.Total > 0 {
+		rep.Compliance = float64(rep.Total-rep.Breaches) / float64(rep.Total)
+		rep.BudgetBurn = (float64(rep.Breaches) / float64(rep.Total)) / (1 - s.objective)
+	}
+	rep.Healthy = rep.Compliance >= s.objective
+	return rep
+}

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"context"
+	"encoding/hex"
+	"math/rand/v2"
+	"net/http"
+)
+
+// Request tracing: a TraceID names one logical operation end to end (one
+// classify call, one streaming-session conversation), a SpanID names one
+// hop's share of it. The serving layer and the load generator exchange
+// both through the X-Etsc-Trace header, and every access-log record in
+// the JSONL journal carries them, so a client-observed latency can be
+// joined against the server's own account of the same request.
+//
+// IDs are random, not cryptographic: math/rand/v2's per-goroutine
+// generator keeps creation cheap enough for the serving hot path.
+
+// TraceHeader is the HTTP header carrying "traceID-spanID" in lowercase
+// hex (32 and 16 digits). Clients send it to adopt a trace; the server
+// always echoes the resolved trace on the response, minting a fresh one
+// when the request carried none, so callers can correlate unconditionally.
+const TraceHeader = "X-Etsc-Trace"
+
+// TraceID identifies one logical request end to end (128 bits).
+type TraceID [16]byte
+
+// SpanID identifies one hop within a trace (64 bits).
+type SpanID [8]byte
+
+// IsZero reports whether the ID is unset.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// IsZero reports whether the ID is unset.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// String renders 32 lowercase hex digits.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// String renders 16 lowercase hex digits.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// NewTraceID mints a random non-zero trace ID.
+func NewTraceID() TraceID {
+	var t TraceID
+	for t.IsZero() {
+		putUint64(t[:8], rand.Uint64())
+		putUint64(t[8:], rand.Uint64())
+	}
+	return t
+}
+
+// NewSpanID mints a random non-zero span ID.
+func NewSpanID() SpanID {
+	var s SpanID
+	for s.IsZero() {
+		putUint64(s[:], rand.Uint64())
+	}
+	return s
+}
+
+func putUint64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * (7 - i)))
+	}
+}
+
+// TraceContext is one hop's identity: the shared trace plus this hop's
+// span. The zero value means "untraced".
+type TraceContext struct {
+	Trace TraceID
+	Span  SpanID
+}
+
+// NewTraceContext mints a fresh trace with a root span.
+func NewTraceContext() TraceContext {
+	return TraceContext{Trace: NewTraceID(), Span: NewSpanID()}
+}
+
+// Child keeps the trace and mints a new span for the next hop.
+func (tc TraceContext) Child() TraceContext {
+	return TraceContext{Trace: tc.Trace, Span: NewSpanID()}
+}
+
+// Valid reports whether both halves are set.
+func (tc TraceContext) Valid() bool { return !tc.Trace.IsZero() && !tc.Span.IsZero() }
+
+// Header renders the wire form "traceID-spanID".
+func (tc TraceContext) Header() string { return tc.Trace.String() + "-" + tc.Span.String() }
+
+// ParseTraceHeader parses the wire form. It returns ok=false on any
+// malformed value — wrong length, bad hex, or zero IDs — so a garbage
+// header degrades to a freshly minted trace instead of an error.
+func ParseTraceHeader(v string) (TraceContext, bool) {
+	const want = 32 + 1 + 16
+	if len(v) != want || v[32] != '-' {
+		return TraceContext{}, false
+	}
+	var tc TraceContext
+	if _, err := hex.Decode(tc.Trace[:], []byte(v[:32])); err != nil {
+		return TraceContext{}, false
+	}
+	if _, err := hex.Decode(tc.Span[:], []byte(v[33:])); err != nil {
+		return TraceContext{}, false
+	}
+	if !tc.Valid() {
+		return TraceContext{}, false
+	}
+	return tc, true
+}
+
+// TraceFromRequest resolves a request's trace context: the parsed
+// X-Etsc-Trace header when present and well-formed, otherwise a freshly
+// minted trace. adopted reports whether the client's value was used.
+func TraceFromRequest(r *http.Request) (tc TraceContext, adopted bool) {
+	if tc, ok := ParseTraceHeader(r.Header.Get(TraceHeader)); ok {
+		return tc, true
+	}
+	return NewTraceContext(), false
+}
+
+type traceCtxKey struct{}
+
+// WithTrace attaches a trace context to ctx.
+func WithTrace(ctx context.Context, tc TraceContext) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, tc)
+}
+
+// TraceFrom returns the trace context attached to ctx, or the zero value
+// when the request is untraced.
+func TraceFrom(ctx context.Context) TraceContext {
+	tc, _ := ctx.Value(traceCtxKey{}).(TraceContext)
+	return tc
+}

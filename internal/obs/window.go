@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Rolling-window aggregation: a Window is a ring of fixed-bucket
+// histogram deltas, one delta per stride (default one second). Observing
+// records into the current delta; a snapshot merges the deltas inside the
+// requested span into streaming p50/p95/p99, mean and rate. Nothing
+// retains individual samples, so memory is fixed no matter the request
+// rate — the property a serving stats plane needs.
+//
+// Quantiles are bucket-interpolated the way Prometheus's
+// histogram_quantile works: exact at bucket bounds, linear inside a
+// bucket, clamped to the largest finite bound when the rank falls in the
+// +Inf bucket.
+
+// StatsSpans are the rolling windows the serving stats plane reports:
+// a fast 10-second view for live dashboards, and one- and five-minute
+// views for SLO evaluation and routing decisions.
+var StatsSpans = []time.Duration{10 * time.Second, time.Minute, 5 * time.Minute}
+
+// ServeBuckets are histogram bounds (seconds) tuned for the serving hot
+// path, where incremental cursors put the session p50 below a
+// millisecond: seven bounds under 5 ms resolve the region the default
+// DurationBuckets lump into their first two buckets, while the tail
+// still reaches the request-timeout scale.
+var ServeBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 10, 30,
+}
+
+// Window aggregates observations into per-stride histogram deltas held
+// in a fixed ring. Safe for concurrent use; a nil *Window is a no-op.
+type Window struct {
+	bounds []float64
+	stride time.Duration
+	size   int // ring length: span/stride plus the in-progress delta
+
+	now func() time.Time // injectable for deterministic tests
+
+	mu   sync.Mutex
+	ring []windowDelta
+}
+
+type windowDelta struct {
+	epoch  int64 // stride index this delta covers; -1 = never used
+	counts []uint64
+	sum    float64
+	total  uint64
+}
+
+// NewWindow builds a ring covering span at the given stride, counting
+// observations into the given histogram bounds (an implicit +Inf bucket
+// is always present). Snapshots may ask for any span up to the
+// constructed one.
+func NewWindow(bounds []float64, stride, span time.Duration) *Window {
+	if stride <= 0 {
+		stride = time.Second
+	}
+	if span < stride {
+		span = stride
+	}
+	size := int(span/stride) + 1
+	w := &Window{
+		bounds: append([]float64(nil), bounds...),
+		stride: stride,
+		size:   size,
+		now:    time.Now,
+		ring:   make([]windowDelta, size),
+	}
+	for i := range w.ring {
+		w.ring[i].epoch = -1
+		w.ring[i].counts = make([]uint64, len(w.bounds)+1)
+	}
+	return w
+}
+
+func (w *Window) epoch(t time.Time) int64 { return t.UnixNano() / int64(w.stride) }
+
+// delta returns the ring slot for epoch e, resetting it if it still
+// holds an expired stride. Caller holds w.mu.
+func (w *Window) delta(e int64) *windowDelta {
+	d := &w.ring[int(e%int64(w.size))]
+	if d.epoch != e {
+		d.epoch = e
+		clear(d.counts)
+		d.sum = 0
+		d.total = 0
+	}
+	return d
+}
+
+// Observe records one value (seconds) into the current stride. It is
+// allocation-free. No-op on nil.
+func (w *Window) Observe(v float64) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	d := w.delta(w.epoch(w.now()))
+	i, lo, hi := 0, 0, len(w.bounds)
+	for lo < hi { // first bound >= v, branch-light binary search
+		mid := (lo + hi) / 2
+		if w.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	i = lo
+	d.counts[i]++
+	d.sum += v
+	d.total++
+	w.mu.Unlock()
+}
+
+// WindowStats is one span's merged view.
+type WindowStats struct {
+	Span  time.Duration `json:"-"`
+	Count uint64        `json:"count"`
+	Rate  float64       `json:"rate_per_s"`
+	Mean  float64       `json:"mean_s"`
+	P50   float64       `json:"p50_s"`
+	P95   float64       `json:"p95_s"`
+	P99   float64       `json:"p99_s"`
+}
+
+// Snapshot merges the deltas inside span (clamped to the constructed
+// span) ending at the current stride. The rate divides by the full span,
+// so a window that has not yet seen a whole span of traffic reads low
+// rather than spiking. Zero value on nil or when span sees no samples.
+func (w *Window) Snapshot(span time.Duration) WindowStats {
+	if w == nil {
+		return WindowStats{}
+	}
+	if span < w.stride {
+		span = w.stride
+	}
+	k := int(span / w.stride)
+	if k > w.size-1 {
+		k = w.size - 1
+	}
+	st := WindowStats{Span: span}
+
+	w.mu.Lock()
+	e := w.epoch(w.now())
+	merged := make([]uint64, len(w.bounds)+1)
+	var sum float64
+	for _, d := range w.ring {
+		if d.epoch > e-int64(k) && d.epoch <= e {
+			for i, c := range d.counts {
+				merged[i] += c
+			}
+			sum += d.sum
+			st.Count += d.total
+		}
+	}
+	w.mu.Unlock()
+
+	if st.Count == 0 {
+		return st
+	}
+	st.Rate = float64(st.Count) / span.Seconds()
+	st.Mean = sum / float64(st.Count)
+	st.P50 = bucketQuantile(0.50, w.bounds, merged, st.Count)
+	st.P95 = bucketQuantile(0.95, w.bounds, merged, st.Count)
+	st.P99 = bucketQuantile(0.99, w.bounds, merged, st.Count)
+	return st
+}
+
+// bucketQuantile interpolates quantile q from per-bucket counts, exactly
+// the way Prometheus's histogram_quantile does: the rank position is
+// located in its bucket and linearly interpolated between the bucket's
+// bounds; ranks landing in the +Inf bucket clamp to the largest finite
+// bound.
+func bucketQuantile(q float64, bounds []float64, counts []uint64, total uint64) float64 {
+	rank := q * float64(total)
+	var cum float64
+	for i, c := range counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank {
+			continue
+		}
+		if i >= len(bounds) { // +Inf bucket
+			if len(bounds) == 0 {
+				return 0
+			}
+			return bounds[len(bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = bounds[i-1]
+		}
+		if c == 0 {
+			return bounds[i]
+		}
+		return lo + (bounds[i]-lo)*(rank-prev)/float64(c)
+	}
+	if len(bounds) == 0 {
+		return 0
+	}
+	return bounds[len(bounds)-1]
+}

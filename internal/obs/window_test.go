@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock pins Window/SLO time for hand-computed fixtures.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func almost(got, want float64) bool {
+	diff := got - want
+	if diff < 0 {
+		diff = -diff
+	}
+	return diff < 1e-9
+}
+
+// TestWindowSnapshotFixture checks the merged quantile math against a
+// hand-computed distribution: 10 observations spread over known buckets.
+func TestWindowSnapshotFixture(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	w := NewWindow([]float64{0.001, 0.01, 0.1, 1}, time.Second, 5*time.Minute)
+	w.now = clk.now
+
+	for _, v := range []float64{
+		0.0005, 0.0005, // bucket le=0.001: 2
+		0.005, 0.005, 0.005, 0.005, // le=0.01: 4
+		0.05, 0.05, // le=0.1: 2
+		0.5, // le=1: 1
+		5,   // +Inf: 1
+	} {
+		w.Observe(v)
+	}
+
+	st := w.Snapshot(10 * time.Second)
+	if st.Count != 10 {
+		t.Fatalf("count = %d, want 10", st.Count)
+	}
+	if !almost(st.Rate, 1.0) {
+		t.Fatalf("rate = %v, want 1.0 (10 events / 10s span)", st.Rate)
+	}
+	if !almost(st.Mean, 5.621/10) {
+		t.Fatalf("mean = %v, want 0.5621", st.Mean)
+	}
+	// p50: rank 5 falls in the (0.001, 0.01] bucket holding ranks 3..6:
+	// 0.001 + (0.01-0.001)*(5-2)/4 = 0.00775.
+	if !almost(st.P50, 0.00775) {
+		t.Fatalf("p50 = %v, want 0.00775", st.P50)
+	}
+	// p95 and p99 (ranks 9.5, 9.9) land in the +Inf bucket and clamp to
+	// the largest finite bound.
+	if !almost(st.P95, 1) || !almost(st.P99, 1) {
+		t.Fatalf("p95/p99 = %v/%v, want 1/1 (clamped to largest bound)", st.P95, st.P99)
+	}
+}
+
+// TestWindowExpiry shows observations age out of short windows first and
+// out of the ring entirely once older than the constructed span.
+func TestWindowExpiry(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(2000, 0)}
+	w := NewWindow([]float64{0.01, 0.1}, time.Second, 5*time.Minute)
+	w.now = clk.now
+
+	w.Observe(0.05)
+	w.Observe(0.05)
+	if st := w.Snapshot(10 * time.Second); st.Count != 2 {
+		t.Fatalf("fresh 10s count = %d, want 2", st.Count)
+	}
+
+	clk.advance(30 * time.Second)
+	if st := w.Snapshot(10 * time.Second); st.Count != 0 {
+		t.Fatalf("10s count after 30s = %d, want 0", st.Count)
+	}
+	if st := w.Snapshot(time.Minute); st.Count != 2 {
+		t.Fatalf("1m count after 30s = %d, want 2", st.Count)
+	}
+	if st := w.Snapshot(5 * time.Minute); st.Count != 2 {
+		t.Fatalf("5m count after 30s = %d, want 2", st.Count)
+	}
+
+	clk.advance(10 * time.Minute)
+	if st := w.Snapshot(5 * time.Minute); st.Count != 0 {
+		t.Fatalf("5m count after 10m30s = %d, want 0", st.Count)
+	}
+}
+
+// TestWindowRingReuse wraps the ring all the way around: a slot that
+// held an expired stride must reset, not accumulate, when reused.
+func TestWindowRingReuse(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(3000, 0)}
+	w := NewWindow([]float64{0.01}, time.Second, 5*time.Minute)
+	w.now = clk.now
+
+	w.Observe(0.005)
+	clk.advance(time.Duration(w.size) * time.Second) // same ring slot, new epoch
+	w.Observe(0.005)
+	if st := w.Snapshot(5 * time.Minute); st.Count != 1 {
+		t.Fatalf("count after ring wrap = %d, want 1 (slot must reset)", st.Count)
+	}
+}
+
+// TestSLOReportFixture: 8 good + 1 slow + 1 failed at objective 0.9 give
+// compliance 0.8 and burn rate 2 (bad fraction 0.2 over budget 0.1).
+func TestSLOReportFixture(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(4000, 0)}
+	s := NewSLO(10*time.Millisecond, 0.9, time.Second, time.Minute)
+	s.now = clk.now
+
+	for i := 0; i < 8; i++ {
+		s.Observe(5*time.Millisecond, false)
+	}
+	s.Observe(20*time.Millisecond, false) // latency breach
+	s.Observe(time.Millisecond, true)     // server failure
+
+	rep := s.Report(time.Minute)
+	if rep.Total != 10 || rep.Breaches != 2 {
+		t.Fatalf("total/breaches = %d/%d, want 10/2", rep.Total, rep.Breaches)
+	}
+	if !almost(rep.Compliance, 0.8) {
+		t.Fatalf("compliance = %v, want 0.8", rep.Compliance)
+	}
+	if !almost(rep.BudgetBurn, 2) {
+		t.Fatalf("burn = %v, want 2", rep.BudgetBurn)
+	}
+	if rep.Healthy {
+		t.Fatal("0.8 compliance at 0.9 objective must be unhealthy")
+	}
+
+	// Breaches age out with their window.
+	clk.advance(2 * time.Minute)
+	rep = s.Report(time.Minute)
+	if rep.Total != 0 || !rep.Healthy || !almost(rep.Compliance, 1) || rep.BudgetBurn != 0 {
+		t.Fatalf("empty window report = %+v, want healthy/1/0", rep)
+	}
+}
+
+func TestSLOAllGood(t *testing.T) {
+	s := NewSLO(10*time.Millisecond, 0.99, time.Second, time.Minute)
+	for i := 0; i < 100; i++ {
+		s.Observe(time.Millisecond, false)
+	}
+	rep := s.Report(time.Minute)
+	if !rep.Healthy || !almost(rep.Compliance, 1) || rep.BudgetBurn != 0 {
+		t.Fatalf("all-good report = %+v", rep)
+	}
+}
+
+// TestWindowObserveZeroAlloc gates the stats-plane hot path: recording
+// into a window or an SLO tracker must not allocate.
+func TestWindowObserveZeroAlloc(t *testing.T) {
+	w := NewWindow(ServeBuckets, time.Second, 5*time.Minute)
+	s := NewSLO(25*time.Millisecond, 0.99, time.Second, 5*time.Minute)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		w.Observe(0.0007)
+		s.Observe(700*time.Microsecond, false)
+	}); allocs != 0 {
+		t.Fatalf("window/SLO observe allocates %v per run, want 0", allocs)
+	}
+}
+
+// TestWindowConcurrent hammers observe/snapshot from many goroutines;
+// meaningful under -race (make race runs this package with it).
+func TestWindowConcurrent(t *testing.T) {
+	w := NewWindow(ServeBuckets, 10*time.Millisecond, time.Second)
+	s := NewSLO(time.Millisecond, 0.99, 10*time.Millisecond, time.Second)
+	const workers = 8
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; ; j++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				w.Observe(float64(id+j%7) * 0.0001)
+				s.Observe(time.Duration(id+j%5)*100*time.Microsecond, j%97 == 0)
+				if j%50 == 0 {
+					w.Snapshot(time.Second)
+					s.Report(time.Second)
+				}
+			}
+		}(i)
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if st := w.Snapshot(time.Second); st.Count == 0 {
+		t.Fatal("concurrent hammer recorded nothing")
+	}
+}
+
+// TestNilWindowAndSLO: the nil forms are safe no-ops so optional wiring
+// needs no checks.
+func TestNilWindowAndSLO(t *testing.T) {
+	var w *Window
+	var s *SLO
+	w.Observe(1)
+	s.Observe(time.Second, true)
+	if st := w.Snapshot(time.Minute); st.Count != 0 {
+		t.Fatal("nil window snapshot non-zero")
+	}
+	if rep := s.Report(time.Minute); !rep.Healthy {
+		t.Fatal("nil SLO must report healthy")
+	}
+}

@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"fmt"
+	"html/template"
+	"net/http"
+
+	"github.com/goetsc/goetsc/internal/obs"
+)
+
+// GET /debug/etsc — an auto-refreshing human view of the stats plane,
+// rendered server-side from the same snapshot /v1/stats serves. It is a
+// debugging surface, not a product: no scripts, one template, plain
+// tables.
+
+var dashboardTmpl = template.Must(template.New("etsc").Parse(`<!doctype html>
+<html><head><meta charset="utf-8">
+<meta http-equiv="refresh" content="2">
+<title>etsc-serve stats</title>
+<style>
+body { font: 13px/1.5 monospace; margin: 1.5em; color: #222; }
+h1 { font-size: 16px; } h2 { font-size: 14px; margin-top: 1.5em; }
+table { border-collapse: collapse; margin: 0.5em 0; }
+th, td { border: 1px solid #bbb; padding: 2px 8px; text-align: right; }
+th { background: #eee; } td.name, th.name { text-align: left; }
+.ok { color: #0a0; } .bad { color: #c00; font-weight: bold; }
+</style></head><body>
+<h1>etsc-serve · live stats</h1>
+<p>uptime {{printf "%.0f" .Snap.UptimeS}}s · SLO {{.Snap.SLOTarget}} · refreshed {{.Snap.Now.Format "15:04:05"}} (auto-reloads every 2s; JSON at <a href="/v1/stats">/v1/stats</a>, Prometheus at <a href="/metrics">/metrics</a>)</p>
+
+<h2>Endpoints — rolling windows</h2>
+<table>
+<tr><th class="name">route</th><th>window</th><th>count</th><th>rate/s</th><th>p50 ms</th><th>p95 ms</th><th>p99 ms</th><th>SLO</th><th>burn</th></tr>
+{{range $route := .Routes}}{{$es := index $.Snap.Endpoints $route}}{{range $span := $.Spans}}{{$w := index $es.Windows $span}}{{$slo := index $es.SLO $span}}
+<tr><td class="name">{{$route}}</td><td>{{$span}}</td><td>{{$w.Count}}</td><td>{{printf "%.1f" $w.RatePerS}}</td>
+<td>{{printf "%.2f" $w.P50Ms}}</td><td>{{printf "%.2f" $w.P95Ms}}</td><td>{{printf "%.2f" $w.P99Ms}}</td>
+<td>{{if $slo.Healthy}}<span class="ok">ok {{printf "%.3f" $slo.Compliance}}</span>{{else}}<span class="bad">BREACH {{printf "%.3f" $slo.Compliance}}</span>{{end}}</td>
+<td>{{printf "%.2f" $slo.BudgetBurn}}</td></tr>
+{{end}}{{end}}
+</table>
+
+<h2>Models — online quality (live counterparts of the paper's earliness metrics)</h2>
+<table>
+<tr><th class="name">model</th><th>decisions</th><th>earliness@commit</th><th>early-commit rate</th><th>quality HM</th><th>point batches</th><th>pending rate</th><th>sessions c/a/d/cl/e</th></tr>
+{{range $name := .Models}}{{$m := index $.Snap.Models $name}}
+<tr><td class="name">{{$name}}</td><td>{{$m.Decisions}}</td>
+<td>{{printf "%.3f" $m.EarlinessAtCommit}}</td><td>{{printf "%.3f" $m.EarlyCommitRate}}</td><td>{{printf "%.3f" $m.QualityHM}}</td>
+<td>{{$m.PointBatches}}</td><td>{{printf "%.3f" $m.PendingRate}}</td>
+<td>{{$m.Sessions.Created}}/{{$m.Sessions.Advanced}}/{{$m.Sessions.Decided}}/{{$m.Sessions.Closed}}/{{$m.Sessions.Evicted}}</td></tr>
+{{end}}
+</table>
+
+<h2>Decision-prefix histograms (consumed/length at commit)</h2>
+<table>
+<tr><th class="name">model</th>{{range $b := .PrefixLabels}}<th>&le;{{$b}}</th>{{end}}</tr>
+{{range $name := .Models}}{{$m := index $.Snap.Models $name}}
+<tr><td class="name">{{$name}}</td>{{range $pb := $m.PrefixHist}}<td>{{$pb.Count}}</td>{{end}}</tr>
+{{end}}
+</table>
+
+<p>sessions total: created {{.Snap.Sessions.Created}}, advanced {{.Snap.Sessions.Advanced}}, decided {{.Snap.Sessions.Decided}}, closed {{.Snap.Sessions.Closed}}, evicted {{.Snap.Sessions.Evicted}}</p>
+</body></html>
+`))
+
+func (s *Server) handleDashboard(w http.ResponseWriter, _ *http.Request) error {
+	snap := s.stats.Snapshot()
+	spans := make([]string, len(obs.StatsSpans))
+	for i, d := range obs.StatsSpans {
+		spans[i] = spanKey(d)
+	}
+	labels := make([]string, prefixBuckets)
+	for i := range labels {
+		labels[i] = fmt.Sprintf("%.1f", float64(i+1)/prefixBuckets)
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	return dashboardTmpl.Execute(w, map[string]any{
+		"Snap":         snap,
+		"Routes":       sortedKeys(snap.Endpoints),
+		"Models":       sortedKeys(snap.Models),
+		"Spans":        spans,
+		"PrefixLabels": labels,
+	})
+}

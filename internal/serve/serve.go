@@ -49,6 +49,12 @@ type Config struct {
 	// Workers bounds concurrent classification work. 0 uses the shared
 	// scheduler pool's worker count (sched.Shared()).
 	Workers int
+	// SLOTarget is the per-endpoint latency objective the stats plane
+	// evaluates over rolling windows. Default 25ms.
+	SLOTarget time.Duration
+	// SLOObjective is the fraction of requests that must complete under
+	// SLOTarget (the rest is error budget). Default 0.99.
+	SLOObjective float64
 	// Obs receives request metrics and journal events; nil is a no-op.
 	Obs *obs.Collector
 }
@@ -68,6 +74,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Workers <= 0 {
 		c.Workers = sched.Shared().Workers()
+	}
+	if c.SLOTarget <= 0 {
+		c.SLOTarget = 25 * time.Millisecond
+	}
+	if c.SLOObjective <= 0 || c.SLOObjective >= 1 {
+		c.SLOObjective = 0.99
 	}
 	return c
 }
@@ -114,6 +126,8 @@ type Server struct {
 	sessions map[string]*session
 	ready    atomic.Bool
 
+	stats *serverStats
+
 	requests *obs.Counter
 	inflight *obs.Gauge
 }
@@ -126,9 +140,13 @@ func New(cfg Config) *Server {
 		sem:      make(chan struct{}, cfg.Workers),
 		models:   map[string]*model{},
 		sessions: map[string]*session{},
+		stats:    newServerStats(cfg.Obs.Registry(), cfg.SLOTarget, cfg.SLOObjective),
 	}
 	return s
 }
+
+// Stats snapshots the live stats plane — what GET /v1/stats serves.
+func (s *Server) Stats() StatsSnapshot { return s.stats.Snapshot() }
 
 // AddModel registers a trained classifier under name.
 func (s *Server) AddModel(name string, algo core.EarlyClassifier, meta persist.Meta) error {
@@ -148,6 +166,7 @@ func (s *Server) AddModel(name string, algo core.EarlyClassifier, meta persist.M
 		algo: algo,
 	}
 	s.ready.Store(true)
+	s.stats.model(name) // pre-create so /v1/stats lists idle models too
 	s.cfg.Obs.Emit("model_loaded", map[string]any{
 		"model": name, "algorithm": algo.Name(), "dataset": meta.Dataset,
 	})
@@ -219,11 +238,23 @@ func (s *Server) acquire(r *http.Request) error {
 
 func (s *Server) release() { <-s.sem }
 
+// metaRoutes are the stats plane's own endpoints plus health probes:
+// they are traced and counted but kept out of the rolling windows, SLO
+// evaluation and the access journal, so scraping the stats never skews
+// the stats.
+var metaRoutes = map[string]bool{
+	"healthz": true, "readyz": true,
+	"metrics": true, "stats": true, "dashboard": true,
+}
+
 // Handler returns the API handler with per-request deadlines applied.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.wrap("healthz", s.handleHealthz))
 	mux.HandleFunc("GET /readyz", s.wrap("readyz", s.handleReadyz))
+	mux.HandleFunc("GET /metrics", s.wrap("metrics", s.handleMetrics))
+	mux.HandleFunc("GET /v1/stats", s.wrap("stats", s.handleStats))
+	mux.HandleFunc("GET /debug/etsc", s.wrap("dashboard", s.handleDashboard))
 	mux.HandleFunc("GET /v1/models", s.wrap("models", s.handleModels))
 	mux.HandleFunc("POST /v1/classify", s.wrap("classify", s.handleClassify))
 	mux.HandleFunc("POST /v1/sessions", s.wrap("session_create", s.handleSessionCreate))
@@ -245,19 +276,42 @@ func errf(status int, format string, args ...any) *apiError {
 	return &apiError{status: status, msg: fmt.Sprintf(format, args...)}
 }
 
-// wrap instruments one route: request/error counters, a latency
-// histogram, the in-flight gauge, and uniform JSON error rendering.
+// wrap instruments one route: trace resolution and echo, request/error
+// counters, latency/queue/classify histograms, the in-flight gauge, the
+// rolling windows + SLO tracker, the access journal, and uniform JSON
+// error rendering. Route-level instruments resolve once, at Handler
+// build, so per-request work is counter bumps and window observes.
 func (s *Server) wrap(route string, h func(http.ResponseWriter, *http.Request) error) http.HandlerFunc {
 	reg := s.cfg.Obs.Registry()
+	routeLbl := obs.Label{Key: "route", Value: route}
+	requests := reg.Counter("etsc_serve_requests_total", "Requests by route.", routeLbl)
+	gauge := reg.Gauge("etsc_serve_inflight", "Requests currently being handled.")
+	// Sub-millisecond buckets: the incremental cursors put session
+	// advances well under the old DurationBuckets' first bound.
+	latHist := reg.Histogram("etsc_serve_latency_seconds", "Request handling latency by route.",
+		obs.ServeBuckets, routeLbl)
+	tracked := !metaRoutes[route]
+	var rs *routeStats
+	var queueHist, classifyHist *obs.Histogram
+	if tracked {
+		rs = s.stats.route(route)
+		queueHist = reg.Histogram("etsc_serve_queue_wait_seconds",
+			"Wait for a classification slot, by route — queueing pressure separated from compute.",
+			obs.ServeBuckets, routeLbl)
+		classifyHist = reg.Histogram("etsc_serve_classify_seconds",
+			"Time inside Classify/Advance, by route — compute separated from queueing.",
+			obs.ServeBuckets, routeLbl)
+	}
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		reg.Counter("etsc_serve_requests_total", "Requests by route.", obs.Label{Key: "route", Value: route}).Inc()
-		gauge := reg.Gauge("etsc_serve_inflight", "Requests currently being handled.")
+		requests.Inc()
 		gauge.Add(1)
 		defer gauge.Add(-1)
 
-		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-		err := h(w, r)
+		tc, parent, ri, r := traceRequest(w, r)
+		sw := &statusWriter{ResponseWriter: w}
+		r.Body = http.MaxBytesReader(sw, r.Body, s.cfg.MaxBodyBytes)
+		err := h(sw, r)
 		if err != nil {
 			status := http.StatusInternalServerError
 			var ae *apiError
@@ -272,11 +326,21 @@ func (s *Server) wrap(route string, h func(http.ResponseWriter, *http.Request) e
 				status = http.StatusServiceUnavailable
 			}
 			reg.Counter("etsc_serve_errors_total", "Request errors by route and status.",
-				obs.Label{Key: "route", Value: route}, obs.Label{Key: "code", Value: fmt.Sprint(status)}).Inc()
-			writeJSON(w, status, map[string]any{"error": err.Error()})
+				routeLbl, obs.Label{Key: "code", Value: fmt.Sprint(status)}).Inc()
+			writeJSON(sw, status, map[string]any{"error": err.Error()})
 		}
-		reg.Histogram("etsc_serve_latency_seconds", "Request handling latency by route.",
-			obs.DurationBuckets, obs.Label{Key: "route", Value: route}).Observe(time.Since(start).Seconds())
+		wall := time.Since(start)
+		latHist.Observe(wall.Seconds())
+		if tracked {
+			rs.observe(wall, sw.Status())
+			if ri.worked {
+				queueHist.Observe(ri.queue.Seconds())
+				classifyHist.Observe(ri.classify.Seconds())
+			}
+			if s.cfg.Obs.Journal() != nil {
+				s.logAccess(route, tc, parent, sw.Status(), wall, ri)
+			}
+		}
 	}
 }
 
@@ -314,11 +378,22 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) error {
 	if err := validateValues(req.Values, m.info.NumVars); err != nil {
 		return err
 	}
+	ri := info(r)
+	ri.model = m.info.Name
+	t0 := time.Now()
 	if err := s.acquire(r); err != nil {
 		return err
 	}
+	ri.queue = time.Since(t0)
+	t1 := time.Now()
 	label, consumed := m.classify(req.Values)
+	ri.classify = time.Since(t1)
+	ri.worked = true
 	s.release()
+
+	n := len(req.Values[0])
+	ri.prefix, ri.label, ri.decided = n, label, true
+	s.stats.model(m.info.Name).recordDecision(consumed, m.info.Length, n)
 	return writeJSON(w, http.StatusOK, map[string]any{
 		"model": m.info.Name, "algorithm": m.info.Algorithm,
 		"label": label, "consumed": consumed, "final": true,

@@ -91,6 +91,9 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) err
 	s.sessions[id] = ss
 	s.mu.Unlock()
 
+	ri := info(r)
+	ri.model, ri.session = m.info.Name, id
+	s.stats.lifecycle(m.info.Name, evCreated)
 	s.cfg.Obs.Emit("session_created", map[string]any{"session": id, "model": m.info.Name})
 	return writeJSON(w, http.StatusCreated, ss.state())
 }
@@ -124,11 +127,16 @@ func (s *Server) handleSessionPoints(w http.ResponseWriter, r *http.Request) err
 		return errf(http.StatusBadRequest, "values must hold at least one variable (or set last)")
 	}
 
+	ri := info(r)
+	ri.model, ri.session = ss.model.info.Name, ss.id
+
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
 	ss.lastSeen = time.Now()
 	if ss.decided {
 		// The decision is frozen: report it, ignore the extra points.
+		// No quality telemetry — nothing was classified.
+		ri.label, ri.decided = ss.label, true
 		return writeJSON(w, http.StatusOK, ss.state())
 	}
 	if len(req.Values) > 0 {
@@ -143,6 +151,7 @@ func (s *Server) handleSessionPoints(w http.ResponseWriter, r *http.Request) err
 	if n == 0 {
 		return errf(http.StatusBadRequest, "cannot decide an empty series")
 	}
+	ri.prefix = n
 
 	if ss.cur == nil {
 		// The cursor aliases the session's value slices: appendPoints
@@ -151,9 +160,12 @@ func (s *Server) handleSessionPoints(w http.ResponseWriter, r *http.Request) err
 		// cursors require.
 		ss.cur, ss.curNative = core.NewCursor(ss.model.algo, tsInstance(ss.values))
 	}
+	t0 := time.Now()
 	if err := s.acquire(r); err != nil {
 		return err
 	}
+	ri.queue = time.Since(t0)
+	t1 := time.Now()
 	var label, consumed int
 	var curDone bool
 	if ss.curNative {
@@ -167,6 +179,8 @@ func (s *Server) handleSessionPoints(w http.ResponseWriter, r *http.Request) err
 		label, consumed, curDone = ss.cur.Advance(n)
 		ss.model.mu.Unlock()
 	}
+	ri.classify = time.Since(t1)
+	ri.worked = true
 	s.release()
 
 	// The decision is final only when it cannot change with more data:
@@ -176,6 +190,9 @@ func (s *Server) handleSessionPoints(w http.ResponseWriter, r *http.Request) err
 	// Otherwise the answer is "pending" — exactly the online semantics
 	// the framework's earliness metric measures.
 	final := curDone || consumed < n || req.Last || (ss.model.info.Length > 0 && n >= ss.model.info.Length)
+	ms := s.stats.model(ss.model.info.Name)
+	ms.recordBatch(!final)
+	s.stats.lifecycle(ss.model.info.Name, evAdvanced)
 	if final {
 		ss.decided = true
 		ss.label = label
@@ -183,10 +200,15 @@ func (s *Server) handleSessionPoints(w http.ResponseWriter, r *http.Request) err
 			consumed = n
 		}
 		ss.consumed = consumed
+		ri.label, ri.decided = label, true
+		ms.recordDecision(consumed, ss.model.info.Length, n)
+		s.stats.lifecycle(ss.model.info.Name, evDecided)
 		s.cfg.Obs.Emit("session_decided", map[string]any{
 			"session": ss.id, "model": ss.model.info.Name,
 			"label": label, "consumed": consumed, "length": n,
 		})
+	} else {
+		ri.pending = true
 	}
 	return writeJSON(w, http.StatusOK, ss.state())
 }
@@ -222,20 +244,28 @@ func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) error 
 	if !ok {
 		return errf(http.StatusNotFound, "unknown session %q", r.PathValue("id"))
 	}
+	ri := info(r)
+	ri.model, ri.session = ss.model.info.Name, ss.id
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
+	if ss.decided {
+		ri.label, ri.decided = ss.label, true
+	}
 	return writeJSON(w, http.StatusOK, ss.state())
 }
 
 func (s *Server) handleSessionClose(w http.ResponseWriter, r *http.Request) error {
 	id := r.PathValue("id")
 	s.mu.Lock()
-	_, ok := s.sessions[id]
+	ss, ok := s.sessions[id]
 	delete(s.sessions, id)
 	s.mu.Unlock()
 	if !ok {
 		return errf(http.StatusNotFound, "unknown session %q", id)
 	}
+	ri := info(r)
+	ri.model, ri.session = ss.model.info.Name, id
+	s.stats.lifecycle(ss.model.info.Name, evClosed)
 	s.cfg.Obs.Emit("session_closed", map[string]any{"session": id})
 	w.WriteHeader(http.StatusNoContent)
 	return nil
@@ -246,18 +276,21 @@ func (s *Server) handleSessionClose(w http.ResponseWriter, r *http.Request) erro
 func (s *Server) EvictIdleSessions() int {
 	cutoff := time.Now().Add(-s.cfg.SessionTTL)
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	n := 0
+	var evicted []*session
 	for id, ss := range s.sessions {
 		ss.mu.Lock()
 		idle := ss.lastSeen.Before(cutoff)
 		ss.mu.Unlock()
 		if idle {
 			delete(s.sessions, id)
-			n++
+			evicted = append(evicted, ss)
 		}
 	}
-	return n
+	s.mu.Unlock()
+	for _, ss := range evicted {
+		s.stats.lifecycle(ss.model.info.Name, evEvicted)
+	}
+	return len(evicted)
 }
 
 // tsInstance adapts the JSON [variable][time] matrix to a classifier

@@ -1,0 +1,362 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/goetsc/goetsc/internal/obs"
+	"github.com/goetsc/goetsc/internal/persist"
+)
+
+// journalBuffer is a concurrency-safe sink for the test journal.
+type journalBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *journalBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *journalBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// newStatsServer builds a server with a live registry and journal, the
+// full stats-plane configuration.
+func newStatsServer(t *testing.T, cfg Config) (*Server, *httptest.Server, *obs.Registry, *journalBuffer) {
+	t.Helper()
+	algo, d := fixture(t)
+	jb := &journalBuffer{}
+	reg := obs.NewRegistry()
+	cfg.Obs = obs.New(obs.Options{Journal: obs.NewJournal(jb), Metrics: reg})
+	s := New(cfg)
+	meta := persist.Meta{Dataset: d.Name, Length: d.MaxLength(), NumVars: d.NumVars(), NumClasses: d.NumClasses()}
+	if err := s.AddModel("ects", algo, meta); err != nil {
+		t.Fatalf("add model: %v", err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(hs.Close)
+	return s, hs, reg, jb
+}
+
+// accessRecords parses the journal's type=access lines.
+func accessRecords(t *testing.T, jb *journalBuffer) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	sc := bufio.NewScanner(strings.NewReader(jb.String()))
+	for sc.Scan() {
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad journal line %q: %v", sc.Text(), err)
+		}
+		if rec["type"] == "access" {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// TestTraceRoundTripClientToJournal is the header contract: a client
+// trace is adopted (same trace ID, fresh server span), echoed on the
+// response, and lands on the journal's access record along with model,
+// prefix, decision and the wall/queue/classify split.
+func TestTraceRoundTripClientToJournal(t *testing.T) {
+	algo, d := fixture(t)
+	_, hs, _, jb := newStatsServer(t, Config{})
+	in := d.Instances[0]
+	wantLabel, _ := algo.Classify(in)
+
+	client := obs.NewTraceContext()
+	body, _ := json.Marshal(map[string]any{"model": "ects", "values": in.Values})
+	req, _ := http.NewRequest(http.MethodPost, hs.URL+"/v1/classify", bytes.NewReader(body))
+	req.Header.Set(obs.TraceHeader, client.Header())
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	echoed, ok := obs.ParseTraceHeader(resp.Header.Get(obs.TraceHeader))
+	if !ok {
+		t.Fatalf("response trace header %q unparseable", resp.Header.Get(obs.TraceHeader))
+	}
+	if echoed.Trace != client.Trace {
+		t.Fatalf("echoed trace %s != client trace %s", echoed.Trace, client.Trace)
+	}
+	if echoed.Span == client.Span {
+		t.Fatal("server must mint its own span, not reuse the client's")
+	}
+
+	recs := accessRecords(t, jb)
+	if len(recs) != 1 {
+		t.Fatalf("access records = %d, want 1", len(recs))
+	}
+	rec := recs[0]
+	if rec["trace"] != client.Trace.String() {
+		t.Fatalf("journal trace %v != client trace %s", rec["trace"], client.Trace)
+	}
+	if rec["parent_span"] != client.Span.String() {
+		t.Fatalf("journal parent_span %v != client span %s", rec["parent_span"], client.Span)
+	}
+	if rec["span"] != echoed.Span.String() {
+		t.Fatalf("journal span %v != echoed span %s", rec["span"], echoed.Span)
+	}
+	if rec["route"] != "classify" || rec["model"] != "ects" || rec["status"] != float64(200) {
+		t.Fatalf("access record fields wrong: %+v", rec)
+	}
+	if rec["decision"] != float64(wantLabel) {
+		t.Fatalf("journal decision %v != offline label %d", rec["decision"], wantLabel)
+	}
+	if rec["prefix"] != float64(in.Length()) {
+		t.Fatalf("journal prefix %v != length %d", rec["prefix"], in.Length())
+	}
+	for _, k := range []string{"wall_ms", "queue_ms", "classify_ms"} {
+		if _, ok := rec[k].(float64); !ok {
+			t.Fatalf("access record missing timing %q: %+v", k, rec)
+		}
+	}
+}
+
+// TestTraceMintedWhenAbsent: untraced requests still get a valid trace
+// echoed, so clients can correlate unconditionally.
+func TestTraceMintedWhenAbsent(t *testing.T) {
+	_, hs, _, _ := newStatsServer(t, Config{})
+	resp, err := http.Get(hs.URL + "/v1/models")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	resp.Body.Close()
+	if _, ok := obs.ParseTraceHeader(resp.Header.Get(obs.TraceHeader)); !ok {
+		t.Fatalf("untraced request: response header %q is not a valid trace", resp.Header.Get(obs.TraceHeader))
+	}
+}
+
+// streamFixture streams instance idx through a session in two chunks
+// and returns the number of /points batches sent.
+func streamFixture(t *testing.T, hs *httptest.Server, idx int) int {
+	t.Helper()
+	_, d := fixture(t)
+	in := d.Instances[idx%d.Len()]
+	resp := postJSON(t, hs.URL+"/v1/sessions", map[string]any{"model": "ects"})
+	var st sessionState
+	decodeBody(t, resp, &st)
+	base := hs.URL + "/v1/sessions/" + st.SessionID
+	half := in.Length() / 2
+	batches := 0
+	for _, step := range []struct {
+		lo, hi int
+		last   bool
+	}{{0, half, false}, {half, in.Length(), true}} {
+		batch := make([][]float64, len(in.Values))
+		for v := range in.Values {
+			batch[v] = in.Values[v][step.lo:step.hi]
+		}
+		resp := postJSON(t, base+"/points", map[string]any{"values": batch, "last": step.last})
+		decodeBody(t, resp, &st)
+		batches++
+		if st.Status == "decided" {
+			break
+		}
+	}
+	if st.Status != "decided" {
+		t.Fatalf("fixture session never decided: %+v", st)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, base, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("DELETE: %v", err)
+	}
+	dresp.Body.Close()
+	return batches
+}
+
+// TestStatsSnapshotEndpoint drives one-shot and streamed traffic, then
+// checks /v1/stats against exactly-known counts and invariant ranges.
+func TestStatsSnapshotEndpoint(t *testing.T) {
+	_, d := fixture(t)
+	_, hs, _, _ := newStatsServer(t, Config{})
+
+	const oneshots = 3
+	for i := 0; i < oneshots; i++ {
+		in := d.Instances[i%d.Len()]
+		resp := postJSON(t, hs.URL+"/v1/classify", map[string]any{"model": "ects", "values": in.Values})
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	batches := streamFixture(t, hs, 1)
+
+	resp, err := http.Get(hs.URL + "/v1/stats")
+	if err != nil {
+		t.Fatalf("GET /v1/stats: %v", err)
+	}
+	var snap StatsSnapshot
+	decodeBody(t, resp, &snap)
+
+	cls, ok := snap.Endpoints["classify"]
+	if !ok {
+		t.Fatalf("no classify endpoint in %v", snap.Endpoints)
+	}
+	for _, span := range []string{"10s", "1m", "5m"} {
+		w, ok := cls.Windows[span]
+		if !ok || w.Count != oneshots {
+			t.Fatalf("classify %s window = %+v, want count %d", span, w, oneshots)
+		}
+		if w.P50Ms <= 0 || w.P99Ms < w.P50Ms {
+			t.Fatalf("classify %s quantiles degenerate: %+v", span, w)
+		}
+		slo, ok := cls.SLO[span]
+		if !ok || slo.Total != oneshots {
+			t.Fatalf("classify %s SLO = %+v, want total %d", span, slo, oneshots)
+		}
+	}
+	if w := snap.Endpoints["session_points"].Windows["5m"]; int(w.Count) != batches {
+		t.Fatalf("session_points 5m count = %d, want %d", w.Count, batches)
+	}
+
+	q, ok := snap.Models["ects"]
+	if !ok {
+		t.Fatalf("no ects model in %v", snap.Models)
+	}
+	wantDecisions := uint64(oneshots + 1)
+	if q.Decisions != wantDecisions {
+		t.Fatalf("decisions = %d, want %d", q.Decisions, wantDecisions)
+	}
+	if q.EarlinessAtCommit <= 0 || q.EarlinessAtCommit > 1 {
+		t.Fatalf("earliness-at-commit %v outside (0,1]", q.EarlinessAtCommit)
+	}
+	if q.PointBatches != uint64(batches) {
+		t.Fatalf("point batches = %d, want %d", q.PointBatches, batches)
+	}
+	if q.PendingAnswers != uint64(batches)-1 {
+		t.Fatalf("pending answers = %d, want %d (all but the deciding batch)", q.PendingAnswers, batches-1)
+	}
+	wantPending := float64(batches-1) / float64(batches)
+	if diff := q.PendingRate - wantPending; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("pending rate = %v, want %v", q.PendingRate, wantPending)
+	}
+	var histTotal uint64
+	for _, pb := range q.PrefixHist {
+		histTotal += pb.Count
+	}
+	if histTotal != wantDecisions {
+		t.Fatalf("prefix histogram total = %d, want %d", histTotal, wantDecisions)
+	}
+	if q.QualityHM < 0 || q.QualityHM > 1 {
+		t.Fatalf("quality HM %v outside [0,1]", q.QualityHM)
+	}
+	if q.Sessions.Created != 1 || q.Sessions.Decided != 1 || q.Sessions.Closed != 1 {
+		t.Fatalf("session lifecycle = %+v, want created/decided/closed = 1", q.Sessions)
+	}
+	if snap.Sessions.Created != 1 || snap.Sessions.Advanced != uint64(batches) {
+		t.Fatalf("global lifecycle = %+v", snap.Sessions)
+	}
+}
+
+// TestMetricsEndpoint: /metrics serves Prometheus text with the serving
+// instruments, including the split queue/classify histograms and the
+// quality gauges.
+func TestMetricsEndpoint(t *testing.T) {
+	_, d := fixture(t)
+	_, hs, _, _ := newStatsServer(t, Config{})
+	in := d.Instances[0]
+	resp := postJSON(t, hs.URL+"/v1/classify", map[string]any{"model": "ects", "values": in.Values})
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	mresp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer mresp.Body.Close()
+	if ct := mresp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q, want text/plain", ct)
+	}
+	body, _ := io.ReadAll(mresp.Body)
+	text := string(body)
+	for _, want := range []string{
+		`etsc_serve_requests_total{route="classify"} 1`,
+		`etsc_serve_queue_wait_seconds_count{route="classify"} 1`,
+		`etsc_serve_classify_seconds_count{route="classify"} 1`,
+		`etsc_serve_earliness_at_commit{model="ects"}`,
+		`etsc_serve_quality_hm{model="ects"}`,
+		`etsc_serve_decision_prefix_ratio_count{model="ects"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+// TestDashboard renders without error and carries the model table.
+func TestDashboard(t *testing.T) {
+	_, hs, _, _ := newStatsServer(t, Config{})
+	resp, err := http.Get(hs.URL + "/debug/etsc")
+	if err != nil {
+		t.Fatalf("GET /debug/etsc: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("dashboard status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Fatalf("content type %q, want text/html", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	for _, want := range []string{"etsc-serve", "ects", "Endpoints", "quality"} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("dashboard missing %q", want)
+		}
+	}
+}
+
+// TestEvictionLifecycle: idle sessions bump the evicted counters.
+func TestEvictionLifecycle(t *testing.T) {
+	s, hs, _, _ := newStatsServer(t, Config{SessionTTL: time.Nanosecond})
+	resp := postJSON(t, hs.URL+"/v1/sessions", map[string]any{"model": "ects"})
+	resp.Body.Close()
+	time.Sleep(10 * time.Millisecond)
+	if n := s.EvictIdleSessions(); n != 1 {
+		t.Fatalf("evicted %d sessions, want 1", n)
+	}
+	snap := s.Stats()
+	if snap.Models["ects"].Sessions.Evicted != 1 || snap.Sessions.Evicted != 1 {
+		t.Fatalf("evicted counters = %+v / %+v", snap.Models["ects"].Sessions, snap.Sessions)
+	}
+}
+
+// TestMetaRoutesStayOutOfStats: scraping the stats plane must not feed
+// the windows, the SLO or the access journal.
+func TestMetaRoutesStayOutOfStats(t *testing.T) {
+	s, hs, _, jb := newStatsServer(t, Config{})
+	for _, path := range []string{"/v1/stats", "/metrics", "/debug/etsc", "/healthz"} {
+		resp, err := http.Get(hs.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	snap := s.Stats()
+	for _, meta := range []string{"stats", "metrics", "dashboard", "healthz"} {
+		if _, ok := snap.Endpoints[meta]; ok {
+			t.Fatalf("meta route %q leaked into endpoint stats", meta)
+		}
+	}
+	if recs := accessRecords(t, jb); len(recs) != 0 {
+		t.Fatalf("meta routes wrote %d access records, want 0", len(recs))
+	}
+}

@@ -105,6 +105,7 @@ func main() {
 	serveBench := flag.Bool("serve", false, "also benchmark the HTTP serving layer in-process and stamp its latency percentiles into the document")
 	serveRPS := flag.String("serve-rps", "25,100,400", "comma-separated target request rates for -serve")
 	serveN := flag.Int("serve-requests", 120, "requests per -serve level")
+	serveStats := flag.Bool("stats", false, "with -serve: scrape GET /v1/stats after the load runs and stamp the server-side window quantiles and quality gauges into the document")
 	noSuites := flag.Bool("skip-suites", false, "skip the go test benchmark suites (useful with -serve alone)")
 	classify := flag.Bool("classify", false, "benchmark the incremental classification cursors instead of the default suites")
 	compare := flag.Bool("compare", false, "compare two benchmark JSON documents (old new); exit 1 on >15% ns/op regression")
@@ -179,7 +180,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(1)
 		}
-		sr, err := runServing(levels, *serveN)
+		sr, err := runServing(levels, *serveN, *serveStats)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(1)

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"sort"
 	"strings"
@@ -49,13 +50,31 @@ type servingReport struct {
 	Instances       int                `json:"instances"`
 	Levels          []servingLevel     `json:"levels"`
 	RequestCounters map[string]float64 `json:"request_counters"`
+	// LiveStats is scraped from GET /v1/stats after the load runs when
+	// -stats is set: the server's own rolling-window and quality view of
+	// the same traffic the levels above measured from the client side.
+	LiveStats *servingStats `json:"live_stats,omitempty"`
+}
+
+// servingStats is the trimmed /v1/stats scrape stamped into the bench
+// document: the 5m-window latency quantiles (server-side) and the online
+// quality gauges for the benched model.
+type servingStats struct {
+	ClassifyWindowP50Ms float64 `json:"classify_window_p50_ms"`
+	ClassifyWindowP99Ms float64 `json:"classify_window_p99_ms"`
+	PointsWindowP99Ms   float64 `json:"session_points_window_p99_ms"`
+	Decisions           uint64  `json:"decisions"`
+	EarlinessAtCommit   float64 `json:"earliness_at_commit"`
+	PendingRate         float64 `json:"pending_rate"`
+	QualityHM           float64 `json:"quality_hm"`
+	SLOCompliance       float64 `json:"classify_slo_compliance"`
 }
 
 // runServing trains one model in-process, serves it over a loopback HTTP
 // listener, and replays the training instances through the load generator
 // at each target rate (plus one streaming run), asserting offline parity
 // throughout.
-func runServing(rpsLevels []float64, requests int) (*servingReport, error) {
+func runServing(rpsLevels []float64, requests int, withStats bool) (*servingReport, error) {
 	d := synth.Dataset("bench-serve", 1, 2, 30, 60, 17)
 	factories := bench.AlgorithmsByName(d.Name, bench.Fast, 1, []string{"ECEC"})
 	if len(factories) != 1 {
@@ -127,7 +146,53 @@ func runServing(rpsLevels []float64, requests int) (*servingReport, error) {
 		return nil, err
 	}
 	report.RequestCounters = counters
+	if withStats {
+		stats, err := scrapeStats(hs.URL)
+		if err != nil {
+			return nil, err
+		}
+		report.LiveStats = stats
+	}
 	return report, nil
+}
+
+// scrapeStats GETs /v1/stats the way an external monitor would and trims
+// the snapshot to the committed fields. The 5m window spans the whole
+// bench run, so its quantiles describe every request the levels sent.
+func scrapeStats(baseURL string) (*servingStats, error) {
+	resp, err := http.Get(baseURL + "/v1/stats")
+	if err != nil {
+		return nil, fmt.Errorf("serving: stats scrape: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("serving: stats scrape: status %d", resp.StatusCode)
+	}
+	var snap serve.StatsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("serving: stats scrape: %w", err)
+	}
+	out := &servingStats{}
+	if es, ok := snap.Endpoints["classify"]; ok {
+		if w, ok := es.Windows["5m"]; ok {
+			out.ClassifyWindowP50Ms, out.ClassifyWindowP99Ms = w.P50Ms, w.P99Ms
+		}
+		if slo, ok := es.SLO["5m"]; ok {
+			out.SLOCompliance = slo.Compliance
+		}
+	}
+	if es, ok := snap.Endpoints["session_points"]; ok {
+		if w, ok := es.Windows["5m"]; ok {
+			out.PointsWindowP99Ms = w.P99Ms
+		}
+	}
+	if q, ok := snap.Models["bench"]; ok {
+		out.Decisions = q.Decisions
+		out.EarlinessAtCommit = q.EarlinessAtCommit
+		out.PendingRate = q.PendingRate
+		out.QualityHM = q.QualityHM
+	}
+	return out, nil
 }
 
 // serveCounters extracts the server's etsc_serve_* counters from its
