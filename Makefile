@@ -2,7 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet race chaos serve-smoke test bench bench-serve bench-classify figures data tune clean
+.PHONY: all build vet race chaos serve-smoke test bench bench-serve bench-classify pgo figures data tune clean
+
+NPROC := $(shell nproc 2>/dev/null || echo 1)
 
 all: build vet test
 
@@ -43,14 +45,39 @@ serve-smoke:
 
 test: vet race chaos serve-smoke
 	$(GO) test ./...
+	@if [ -f BENCH_PR7.json ]; then \
+		echo "kernel regression gate: short deterministic run vs committed BENCH_PR7.json"; \
+		$(GO) run ./tools/benchjson -kernels -classify -short -out .bench_gate.json && \
+		$(GO) run ./tools/benchjson -compare-ratios BENCH_PR7.json .bench_gate.json; \
+		status=$$?; rm -f .bench_gate.json; exit $$status; \
+	fi
 
 # One benchmark per paper table/figure + per-algorithm and ablation
-# benches, then the optimization benchmarks (MiniROCKET transform fast
-# path, parallel matrix engine) parsed into BENCH_PR2.json — ns/op,
-# allocs/op and derived speedup ratios in machine-readable form.
-bench: bench-classify
+# benches, then the full optimization suite — MiniROCKET SoA transform,
+# flat-matrix kNN, fused prefix scan, float32 kernels, the cursors, and
+# the evaluation-matrix workers scaling curve at full GOMAXPROCS — into
+# BENCH_PR7.json (ns/op, allocs/op, derived speedup ratios, num_cpu and
+# the 1-vs-N workers curve in machine-readable form). A committed
+# baseline gates replacement at the regression tolerance.
+bench:
 	$(GO) test -bench=. -benchmem .
-	$(GO) run ./tools/benchjson -out BENCH_PR2.json
+	$(GO) run ./tools/benchjson -kernels -classify -matrix-workers 1,$(NPROC) -out BENCH_PR7.next.json
+	@if [ -f BENCH_PR7.json ]; then \
+		$(GO) run ./tools/benchjson -compare BENCH_PR7.json BENCH_PR7.next.json || exit 1; \
+	fi
+	mv BENCH_PR7.next.json BENCH_PR7.json
+
+# Profile-guided optimization: collect CPU profiles from the kernel
+# suites, merge them into default.pgo, rebuild everything against the
+# profile, re-run the same suites and stamp the per-benchmark delta
+# (baseline/pgo ns) into BENCH_PR7_PGO.json. The compare table prints the
+# deltas; PGO gains are workload-dependent, so it never fails the run.
+pgo:
+	$(GO) run ./tools/benchjson -kernels -classify -profile-dir .pgo-profiles -out BENCH_PR7_nopgo.json
+	$(GO) tool pprof -proto .pgo-profiles/*.prof > default.pgo
+	$(GO) build -pgo=default.pgo ./...
+	$(GO) run ./tools/benchjson -kernels -classify -pgo default.pgo -baseline BENCH_PR7_nopgo.json -out BENCH_PR7_PGO.json
+	-$(GO) run ./tools/benchjson -compare BENCH_PR7_nopgo.json BENCH_PR7_PGO.json
 
 # Incremental-inference benchmark: cursor vs classic classification for
 # ECTS / EDSC / TEASER plus the kNN early abandon, and the serving-layer
@@ -91,4 +118,5 @@ tune:
 	$(GO) run ./cmd/etsc-tune -algorithm TEASER -dataset PowerCons
 
 clean:
-	rm -rf figures data test_output.txt bench_output.txt
+	rm -rf figures data test_output.txt bench_output.txt \
+		.bench_gate.json .pgo-profiles BENCH_PR7.next.json BENCH_PR7_nopgo.json

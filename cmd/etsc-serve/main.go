@@ -39,6 +39,9 @@ func main() {
 		sessionTTL   = flag.Duration("session-ttl", 10*time.Minute, "idle streaming sessions older than this are evicted")
 		sloTarget    = flag.Duration("slo-target", 25*time.Millisecond, "per-endpoint latency objective evaluated over rolling windows")
 		sloObjective = flag.Float64("slo-objective", 0.99, "fraction of requests that must complete under -slo-target")
+		coalesceWin  = flag.Duration("coalesce-window", 0, "batch concurrent /v1/classify requests per model for this long (0 disables); only models with batched classifiers coalesce")
+		coalesceMax  = flag.Int("coalesce-max", 16, "maximum requests per coalesced batch")
+		float32Mode  = flag.Bool("float32", false, "serve models with float32-capable kernels in low precision (faster, not bit-identical to offline)")
 		pprofMux     = flag.Bool("pprof", false, "serve /debug/pprof on the main listener (outside the request deadline)")
 	)
 	var obsFlags obs.Flags
@@ -71,8 +74,12 @@ func main() {
 		SessionTTL:     *sessionTTL,
 		SLOTarget:      *sloTarget,
 		SLOObjective:   *sloObjective,
+		CoalesceWindow: *coalesceWin,
+		CoalesceMax:    *coalesceMax,
+		Float32:        *float32Mode,
 		Obs:            col,
 	})
+	defer srv.Close()
 	if *models == "" {
 		failWith(obsCleanup, fmt.Errorf("-models is required (files or directories of *.goetsc)"))
 	}

@@ -22,6 +22,7 @@ func (c *Classifier) Begin(in ts.Instance) core.Cursor {
 		return nil
 	}
 	pc := c.models[0].NewPrefixCache()
+	pc.Reserve(c.length) // full-session capacity: no mid-stream reallocs
 	evals := make([]*weasel.PrefixEvaluator, len(c.models))
 	for i, m := range c.models {
 		if evals[i] = m.NewPrefixEvaluator(pc); evals[i] == nil {

@@ -52,8 +52,7 @@ func (cur *cursor) Advance(upto int) (int, int, bool) {
 		limit = cur.c.length
 	}
 	for ; cur.next <= limit; cur.next++ {
-		cur.ps.Extend(s, cur.next)
-		nn := cur.ps.Best()
+		nn := cur.ps.ExtendBest(s, cur.next)
 		if cur.next >= cur.c.mpl[nn] {
 			cur.label, cur.consumed, cur.done = cur.c.searcher.Label(nn), cur.next, true
 			return cur.label, cur.consumed, true

@@ -14,6 +14,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"github.com/goetsc/goetsc/internal/hclust"
 	"github.com/goetsc/goetsc/internal/knn"
@@ -50,6 +51,29 @@ type Classifier struct {
 	labels   []int
 	mpl      []int
 	searcher *knn.Searcher
+
+	// scanPool recycles PrefixScan accumulators so concurrent Classify
+	// calls stay allocation-free after warm-up.
+	scanPool sync.Pool
+}
+
+// getScan returns a rewound PrefixScan in the searcher's current
+// precision, pooled across Classify calls.
+func (c *Classifier) getScan() *knn.PrefixScan {
+	if ps, _ := c.scanPool.Get().(*knn.PrefixScan); ps != nil {
+		ps.Reset()
+		return ps
+	}
+	return c.searcher.NewPrefixScan()
+}
+
+// SetFloat32 switches the underlying distance kernels to the opt-in
+// float32 serving path (or back). Float64 results are untouched while
+// off, and toggling rebuilds nothing but the searcher's mirrors.
+func (c *Classifier) SetFloat32(on bool) {
+	if c.searcher != nil {
+		c.searcher.SetFloat32(on)
+	}
 }
 
 // New returns an untrained ECTS classifier.
@@ -240,20 +264,29 @@ func sameSet(a, b []int) bool {
 // Classify implements core.EarlyClassifier: the incoming series is matched
 // against training prefixes of growing length; once the observed length
 // reaches the nearest neighbour's MPL, that neighbour's label is returned.
+//
+// The sweep rides a pooled knn.PrefixScan: running squared distances are
+// extended by one point per length and the nearest neighbour falls out
+// of the same fused pass, O(n·L) total instead of the O(n·L²) of calling
+// Nearest from scratch at every length. The scan accumulates squared
+// differences in the same time order Nearest uses and breaks ties to the
+// lower index, so the committed label and prefix are bit-identical to
+// the per-length Nearest loop this replaces.
 func (c *Classifier) Classify(in ts.Instance) (int, int) {
 	s := in.Values[0]
 	limit := len(s)
 	if limit > c.length {
 		limit = c.length
 	}
+	ps := c.getScan()
+	defer c.scanPool.Put(ps)
 	for l := 1; l <= limit; l++ {
-		nn, _ := c.searcher.Nearest(s[:l], l)
+		nn := ps.ExtendBest(s, l)
 		if l >= c.mpl[nn] {
 			return c.searcher.Label(nn), l
 		}
 	}
-	nn, _ := c.searcher.Nearest(s, limit)
-	return c.searcher.Label(nn), len(s)
+	return c.searcher.Label(ps.Best()), len(s)
 }
 
 // MPLs exposes the learned minimum prediction lengths (for tests and

@@ -22,6 +22,7 @@ func (c *Classifier) Begin(in ts.Instance) core.Cursor {
 		return nil
 	}
 	pc := c.pipelines[0].NewPrefixCache()
+	pc.Reserve(c.length) // full-session capacity: no mid-stream reallocs
 	evals := make([]*weasel.PrefixEvaluator, len(c.pipelines))
 	for i, m := range c.pipelines {
 		if evals[i] = m.NewPrefixEvaluator(pc); evals[i] == nil {

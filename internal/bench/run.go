@@ -176,8 +176,9 @@ type Results struct {
 	Length   map[string]int
 
 	// index maps (dataset, algorithm) to a Cells position; Run builds it
-	// once after the matrix completes so Get is O(1) instead of a linear
-	// scan. Hand-assembled Results (tests) leave it nil and fall back.
+	// once after the matrix completes, and Get builds it lazily for
+	// hand-assembled Results (decoded JSON, tests), so every lookup is
+	// O(1). Cells must not change between Gets.
 	index map[cellKey]int
 }
 
@@ -573,23 +574,19 @@ func roundDuration(d time.Duration) time.Duration {
 	}
 }
 
-// Get returns the cell for one dataset × algorithm pair. Results produced
-// by Run answer from the prebuilt index in O(1); hand-assembled Results
-// fall back to a linear scan.
+// Get returns the cell for one dataset × algorithm pair in O(1).
+// Results produced by Run carry a prebuilt index; hand-assembled Results
+// (decoded JSON, test fixtures) build it once on the first Get, turning
+// what was a linear scan per lookup into a single O(cells) pass.
 func (r *Results) Get(dataset, algorithm string) (Cell, bool) {
-	if r.index != nil {
-		i, ok := r.index[cellKey{dataset, algorithm}]
-		if !ok {
-			return Cell{}, false
-		}
-		return r.Cells[i], true
+	if r.index == nil {
+		r.buildIndex()
 	}
-	for _, c := range r.Cells {
-		if c.Dataset == dataset && c.Algorithm == algorithm {
-			return c, true
-		}
+	i, ok := r.index[cellKey{dataset, algorithm}]
+	if !ok {
+		return Cell{}, false
 	}
-	return Cell{}, false
+	return r.Cells[i], true
 }
 
 // CategoryAverage aggregates one metric over all datasets carrying the

@@ -1,0 +1,90 @@
+package core_test
+
+import (
+	"runtime"
+	"runtime/debug"
+	"testing"
+
+	"github.com/goetsc/goetsc/internal/bench"
+	"github.com/goetsc/goetsc/internal/core"
+	"github.com/goetsc/goetsc/internal/synth"
+	"github.com/goetsc/goetsc/internal/testenv"
+)
+
+// TestCursorAdvanceSteadyStateZeroAlloc gates every native cursor (and
+// the voting wrapper over them) at zero allocations for a steady-state
+// Advance — the serving poll: a session asks for a verdict without new
+// points having arrived. Scan state lives in buffers sized at Begin, so
+// re-answering must not touch the allocator.
+func TestCursorAdvanceSteadyStateZeroAlloc(t *testing.T) {
+	if testenv.RaceEnabled {
+		t.Skip("allocation gates are meaningless under -race")
+	}
+	if testing.Short() {
+		t.Skip("trains every native-cursor algorithm")
+	}
+	datasets := map[string]bool{ // name -> multivariate
+		"allocgate-uni":   false,
+		"allocgate-multi": true,
+	}
+	for dname, multi := range datasets {
+		vars := 1
+		if multi {
+			vars = 2
+		}
+		d := synth.Dataset(dname, vars, 2, 20, 36, 11)
+		for _, name := range []string{"ECTS", "EDSC", "TEASER", "ECEC"} {
+			t.Run(d.Name+"/"+name, func(t *testing.T) {
+				f := bench.AlgorithmsByName(d.Name, bench.Fast, 1, []string{name})[0]
+				algo := core.WrapForDataset(f.New, d)
+				if err := algo.Fit(d); err != nil {
+					t.Fatalf("fit: %v", err)
+				}
+				in := d.Instances[0]
+				cur, native := core.NewCursor(algo, in)
+				if !native {
+					t.Fatalf("%s: expected a native cursor", name)
+				}
+				half := in.Length() / 2
+				cur.Advance(half) // warm: pooled scan state, bags, checkpoint words
+				if allocs := testing.AllocsPerRun(100, func() { cur.Advance(half) }); allocs != 0 {
+					t.Errorf("%s steady-state Advance allocates %.1f allocs/op, want 0", name, allocs)
+				}
+			})
+		}
+	}
+}
+
+// TestECTSCursorPerPointZeroAlloc is the stronger gate for the
+// distance-based cursor: advancing point by point through a whole
+// session allocates nothing once the first batch sized its scan state —
+// the running-distance buffers are fixed at Begin and the prefix scan is
+// fused in place.
+func TestECTSCursorPerPointZeroAlloc(t *testing.T) {
+	if testenv.RaceEnabled {
+		t.Skip("allocation gates are meaningless under -race")
+	}
+	d := synth.Dataset("allocgate-ects", 1, 2, 20, 36, 13)
+	f := bench.AlgorithmsByName(d.Name, bench.Fast, 1, []string{"ECTS"})[0]
+	algo := core.WrapForDataset(f.New, d)
+	if err := algo.Fit(d); err != nil {
+		t.Fatalf("fit: %v", err)
+	}
+	in := d.Instances[0]
+	cur, native := core.NewCursor(algo, in)
+	if !native {
+		t.Fatal("expected a native ECTS cursor")
+	}
+	cur.Advance(3) // first batch: scan state comes from the pool
+
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for n := 4; n <= in.Length(); n++ {
+		cur.Advance(n)
+	}
+	runtime.ReadMemStats(&after)
+	if got := after.Mallocs - before.Mallocs; got != 0 {
+		t.Errorf("per-point ECTS cursor advance allocated %d objects over the session, want 0", got)
+	}
+}

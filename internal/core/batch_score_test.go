@@ -1,0 +1,50 @@
+package core_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/goetsc/goetsc/internal/core"
+	"github.com/goetsc/goetsc/internal/minirocket"
+	"github.com/goetsc/goetsc/internal/strut"
+	ts "github.com/goetsc/goetsc/internal/timeseries"
+)
+
+// hideBatch strips the BatchClassifier capability so Score falls back to
+// its per-instance loop.
+type hideBatch struct{ core.EarlyClassifier }
+
+// TestScoreBatchPathIdentical pins the evaluator's batched fast path to
+// the per-instance loop bit for bit: same accuracy, same earliness, same
+// harmonic mean — the float64 offline results the tentpole promises to
+// leave untouched.
+func TestScoreBatchPathIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := &ts.Dataset{Name: "batch-score"}
+	for i := 0; i < 60; i++ {
+		c := i % 2
+		row := make([]float64, 24)
+		for ti := range row {
+			if ti >= 4 {
+				row[ti] = float64(c)*4 + rng.NormFloat64()*0.3
+			} else {
+				row[ti] = rng.NormFloat64() * 0.3
+			}
+		}
+		d.Instances = append(d.Instances, ts.Instance{Values: [][]float64{row}, Label: c})
+	}
+	algo := strut.NewSMini(minirocket.Config{NumFeatures: 336}, strut.Options{Seed: 5})
+	if err := algo.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := core.EarlyClassifier(algo).(core.BatchClassifier); !ok {
+		t.Fatal("S-MINI should implement BatchClassifier")
+	}
+	batched := core.Score(algo, d, d.NumClasses())
+	serial := core.Score(hideBatch{algo}, d, d.NumClasses())
+	batched.TestTime, serial.TestTime = 0, 0 // wall clock, not a decision
+	if !reflect.DeepEqual(batched, serial) {
+		t.Fatalf("batched Score diverged from the per-instance loop:\nbatched %+v\nserial  %+v", batched, serial)
+	}
+}

@@ -40,6 +40,47 @@ type MultivariateCapable interface {
 	Multivariate() bool
 }
 
+// BatchClassifier is implemented by algorithms that can classify many
+// instances in one call, sharing transform scratch (and a worker pool)
+// across the batch. ClassifyBatch fills labels[i] and consumed[i] with
+// exactly what ClassifyIncremental would report for instances[i]; both
+// slices must have len(instances). The evaluation runner's scoring loop
+// prefers this path when available.
+type BatchClassifier interface {
+	EarlyClassifier
+	ClassifyBatch(instances []ts.Instance, labels, consumed []int)
+}
+
+// Float32Switchable is implemented by classifiers whose inference
+// kernels can run in float32 — the opt-in low-precision serving mode.
+// SetFloat32(true) switches subsequent classifications to float32
+// accumulation; SetFloat32(false) restores the float64 kernels bit for
+// bit. Training state is never touched.
+type Float32Switchable interface {
+	SetFloat32(on bool)
+}
+
+// EnableFloat32 switches a classifier — unwrapping the Voting wrapper to
+// reach its per-variable voters — to float32 inference kernels (or back
+// to float64). It reports whether any component switched; algorithms
+// without float32 kernels are left untouched.
+func EnableFloat32(algo EarlyClassifier, on bool) bool {
+	if v, ok := algo.(*Voting); ok {
+		switched := false
+		for _, voter := range v.voters {
+			if voter != nil && EnableFloat32(voter, on) {
+				switched = true
+			}
+		}
+		return switched
+	}
+	if fs, ok := algo.(Float32Switchable); ok {
+		fs.SetFloat32(on)
+		return true
+	}
+	return false
+}
+
 // Stoppable marks algorithms whose Fit can be aborted cooperatively. The
 // evaluation runner calls Stop when a training budget expires so that the
 // abandoned goroutine stops consuming CPU (goroutines cannot be killed);
@@ -148,17 +189,28 @@ func (v *Voting) Classify(instance ts.Instance) (int, int) {
 			worst = consumed
 		}
 	}
-	counts := map[int]int{}
-	for _, label := range votes {
-		counts[label]++
-	}
-	best, bestCount := votes[0], 0
+	best, _ := majorityVote(votes)
+	return best, worst
+}
+
+// majorityVote returns the most frequent label; the first label in voter
+// order wins ties (strictly-greater update). Voter counts are tiny (one
+// per variable), so the quadratic scan beats a map and allocates
+// nothing — the property the zero-alloc cursor path gates on.
+func majorityVote(votes []int) (best, bestCount int) {
+	best = votes[0]
 	for _, label := range votes { // voter order resolves ties
-		if counts[label] > bestCount {
-			best, bestCount = label, counts[label]
+		count := 0
+		for _, other := range votes {
+			if other == label {
+				count++
+			}
+		}
+		if count > bestCount {
+			best, bestCount = label, count
 		}
 	}
-	return best, worst
+	return best, bestCount
 }
 
 // Factory creates a fresh, untrained EarlyClassifier.

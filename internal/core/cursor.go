@@ -122,13 +122,17 @@ func (v *Voting) Begin(in ts.Instance) Cursor {
 			return nil
 		}
 	}
-	return &votingCursor{subs: subs}
+	return &votingCursor{subs: subs, votes: make([]int, len(subs))}
 }
 
 // votingCursor combines per-voter cursors; it is done once every voter's
-// decision is frozen, at which point the combination is frozen too.
+// decision is frozen, at which point the combination is frozen too. The
+// vote buffer is allocated once at Begin and the combination rule runs
+// allocation-free, keeping Advance a zero-alloc step when the voters'
+// are.
 type votingCursor struct {
-	subs []Cursor
+	subs  []Cursor
+	votes []int
 
 	label    int
 	consumed int
@@ -139,7 +143,7 @@ func (vc *votingCursor) Advance(upto int) (int, int, bool) {
 	if vc.done {
 		return vc.label, vc.consumed, true
 	}
-	votes := make([]int, len(vc.subs))
+	votes := vc.votes
 	worst := 0
 	all := true
 	for i, sub := range vc.subs {
@@ -152,16 +156,7 @@ func (vc *votingCursor) Advance(upto int) (int, int, bool) {
 			all = false
 		}
 	}
-	counts := map[int]int{}
-	for _, label := range votes {
-		counts[label]++
-	}
-	best, bestCount := votes[0], 0
-	for _, label := range votes { // voter order resolves ties
-		if counts[label] > bestCount {
-			best, bestCount = label, counts[label]
-		}
-	}
+	best, _ := majorityVote(votes)
 	vc.label, vc.consumed, vc.done = best, worst, all
 	return best, worst, all
 }

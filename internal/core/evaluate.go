@@ -256,14 +256,32 @@ func Score(algo EarlyClassifier, test *ts.Dataset, numClasses int) metrics.Resul
 	consumed := make([]int, 0, test.Len())
 	lengths := make([]int, 0, test.Len())
 	testStart := time.Now()
-	for _, in := range test.Instances {
-		label, used := ClassifyIncremental(algo, in)
-		cm.Add(in.Label, label)
-		if used > in.Length() {
-			used = in.Length()
+	if bc, ok := algo.(BatchClassifier); ok && test.Len() > 0 {
+		// Batch path: one call shares transform scratch (and the worker
+		// pool) across the whole test fold; per the BatchClassifier
+		// contract results equal the per-instance loop exactly.
+		labels := make([]int, test.Len())
+		used := make([]int, test.Len())
+		bc.ClassifyBatch(test.Instances, labels, used)
+		for i, in := range test.Instances {
+			cm.Add(in.Label, labels[i])
+			u := used[i]
+			if u > in.Length() {
+				u = in.Length()
+			}
+			consumed = append(consumed, u)
+			lengths = append(lengths, in.Length())
 		}
-		consumed = append(consumed, used)
-		lengths = append(lengths, in.Length())
+	} else {
+		for _, in := range test.Instances {
+			label, used := ClassifyIncremental(algo, in)
+			cm.Add(in.Label, label)
+			if used > in.Length() {
+				used = in.Length()
+			}
+			consumed = append(consumed, used)
+			lengths = append(lengths, in.Length())
+		}
 	}
 	result.TestTime = time.Since(testStart)
 	result.NumTest = test.Len()

@@ -1,0 +1,92 @@
+package core_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/goetsc/goetsc/internal/bench"
+	"github.com/goetsc/goetsc/internal/core"
+	"github.com/goetsc/goetsc/internal/persist"
+	"github.com/goetsc/goetsc/internal/synth"
+	ts "github.com/goetsc/goetsc/internal/timeseries"
+)
+
+type decision struct{ label, consumed int }
+
+func decisions(algo core.EarlyClassifier, probes []ts.Instance) []decision {
+	out := make([]decision, len(probes))
+	for i, in := range probes {
+		l, c := algo.Classify(in)
+		out[i] = decision{l, c}
+	}
+	return out
+}
+
+// TestFloat32DecisionParity is the low-precision serving contract: a
+// float32-switched model must reach the same decisions as its float64
+// twin on data it separates, switching back must restore the float64
+// kernels bit for bit, and a persist round-trip must preserve the
+// ability to switch (the flat float32 matrices are derived state,
+// rebuilt after decode). Covers the plain classifier and the voting
+// wrapper on multivariate data.
+func TestFloat32DecisionParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models on three datasets")
+	}
+	datasets := []*ts.Dataset{
+		synth.Dataset("f32-uni2", 1, 2, 20, 36, 3),
+		synth.Dataset("f32-uni3", 1, 3, 21, 36, 5),
+		synth.Dataset("f32-multi", 2, 2, 18, 36, 9),
+	}
+	dir := t.TempDir()
+	for _, d := range datasets {
+		t.Run(d.Name, func(t *testing.T) {
+			f := bench.AlgorithmsByName(d.Name, bench.Fast, 1, []string{"ECTS"})[0]
+			algo := core.WrapForDataset(f.New, d)
+			if err := algo.Fit(d); err != nil {
+				t.Fatalf("fit: %v", err)
+			}
+			ref := decisions(algo, d.Instances)
+
+			if !core.EnableFloat32(algo, true) {
+				t.Fatal("ECTS should be float32-switchable")
+			}
+			f32 := decisions(algo, d.Instances)
+			for i := range ref {
+				if f32[i] != ref[i] {
+					t.Errorf("instance %d: float32 decided %+v, float64 decided %+v", i, f32[i], ref[i])
+				}
+			}
+
+			// Switching back restores the float64 kernels exactly.
+			core.EnableFloat32(algo, false)
+			back := decisions(algo, d.Instances)
+			for i := range ref {
+				if back[i] != ref[i] {
+					t.Fatalf("instance %d: decisions changed after a float32 round-trip: %+v vs %+v", i, back[i], ref[i])
+				}
+			}
+
+			// Persist round-trip: the loaded model must still switch, and
+			// agree with the in-memory float32 decisions.
+			path := filepath.Join(dir, d.Name+".goetsc")
+			meta := persist.Meta{Dataset: d.Name, Length: d.MaxLength(), NumVars: d.NumVars(), NumClasses: d.NumClasses()}
+			if err := persist.SaveFile(path, algo, meta); err != nil {
+				t.Fatalf("save: %v", err)
+			}
+			loaded, _, err := persist.LoadFile(path)
+			if err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			if !core.EnableFloat32(loaded, true) {
+				t.Fatal("loaded ECTS should be float32-switchable")
+			}
+			got := decisions(loaded, d.Instances)
+			for i := range f32 {
+				if got[i] != f32[i] {
+					t.Errorf("instance %d: loaded float32 decided %+v, trained float32 decided %+v", i, got[i], f32[i])
+				}
+			}
+		})
+	}
+}

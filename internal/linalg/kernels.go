@@ -1,0 +1,144 @@
+package linalg
+
+// Flat inner-loop kernels shared by the distance and convolution hot
+// paths. Every loop is shaped for bounds-check elimination: both operands
+// are re-sliced to one common length up front so the compiler can prove
+// the per-element accesses in range, and accumulation stays in strict
+// index order so results are bit-identical to the textbook loops they
+// replace. The float32 variants back the opt-in low-precision serving
+// path; they are never used unless a caller explicitly switches a model
+// to float32, so offline float64 results stay byte-identical.
+
+// SumSq returns the sum of squares of a, accumulated in index order.
+func SumSq(a []float64) float64 {
+	var sum float64
+	for _, v := range a {
+		sum += v * v
+	}
+	return sum
+}
+
+// SqDist returns the squared Euclidean distance between a and b over
+// their common length, accumulated in index order.
+func SqDist(a, b []float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	a, b = a[:n], b[:n]
+	var sum float64
+	for i, av := range a {
+		d := av - b[i]
+		sum += d * d
+	}
+	return sum
+}
+
+// sqDistBlock is how many squared differences SqDistBounded accumulates
+// between early-abandon checks. Checking once per small block instead of
+// once per element keeps the inner loop branch-light while preserving
+// exactness: sums of squares only grow, so a partial sum at or above the
+// bound can never come back under it.
+const sqDistBlock = 8
+
+// SqDistBounded accumulates the squared distance between a and b in
+// index order, abandoning once the running sum reaches bound (checked
+// every sqDistBlock elements). The abandon is exact and order-preserving:
+// when the true distance is below bound the returned sum equals SqDist
+// bit for bit, because no partial sum ever trips the check.
+func SqDistBounded(a, b []float64, bound float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	a, b = a[:n], b[:n]
+	var sum float64
+	for t := 0; t < n; {
+		end := t + sqDistBlock
+		if end > n {
+			end = n
+		}
+		for ; t < end; t++ {
+			d := a[t] - b[t]
+			sum += d * d
+		}
+		if sum >= bound {
+			break
+		}
+	}
+	return sum
+}
+
+// Axpy adds alpha*x to y in place over the common length (y += alpha*x),
+// the classic BLAS update shaped for bounds-check elimination. It is
+// AddScaled with the operand roles spelled out and the lengths clamped
+// rather than assumed.
+func Axpy(alpha float64, x, y []float64) {
+	n := len(x)
+	if len(y) < n {
+		n = len(y)
+	}
+	x, y = x[:n], y[:n]
+	for i, xv := range x {
+		y[i] += alpha * xv
+	}
+}
+
+// DotF32 returns the float32 dot product of a and b over their common
+// length, accumulated in float32 in index order.
+func DotF32(a, b []float32) float32 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	a, b = a[:n], b[:n]
+	var sum float32
+	for i, av := range a {
+		sum += av * b[i]
+	}
+	return sum
+}
+
+// SqDistF32 returns the float32 squared distance between a and b over
+// their common length, accumulated in float32 in index order.
+func SqDistF32(a, b []float32) float32 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	a, b = a[:n], b[:n]
+	var sum float32
+	for i, av := range a {
+		d := av - b[i]
+		sum += d * d
+	}
+	return sum
+}
+
+// SqDistBoundedF32 is SqDistBounded in float32: squared differences are
+// added in index order with an exact early abandon every sqDistBlock
+// elements. Float32 additions of non-negative terms are monotone under
+// round-to-nearest, so the abandon preserves the exhaustive float32
+// winner just as the float64 version preserves the float64 one.
+func SqDistBoundedF32(a, b []float32, bound float32) float32 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	a, b = a[:n], b[:n]
+	var sum float32
+	for t := 0; t < n; {
+		end := t + sqDistBlock
+		if end > n {
+			end = n
+		}
+		for ; t < end; t++ {
+			d := a[t] - b[t]
+			sum += d * d
+		}
+		if sum >= bound {
+			break
+		}
+	}
+	return sum
+}

@@ -178,21 +178,23 @@ func (m *Model) logits(x []float64, out []float64) {
 // than the training dimension are treated as zero-padded; longer inputs are
 // truncated.
 func (m *Model) PredictProba(x []float64) []float64 {
+	return m.PredictProbaInto(nil, x)
+}
+
+// PredictProbaInto is PredictProba writing into dst (grown as needed),
+// so a caller-held buffer makes repeated predictions allocation-free.
+// The computation is identical, point for point.
+func (m *Model) PredictProbaInto(dst []float64, x []float64) []float64 {
 	if len(x) > m.dim {
 		x = x[:m.dim]
 	}
-	logits := make([]float64, m.numClasses)
-	for c := 0; c < m.numClasses; c++ {
-		w := m.weights[c]
-		sum := m.bias[c]
-		for j, xv := range x {
-			if xv != 0 {
-				sum += w[j] * xv
-			}
-		}
-		logits[c] = sum
+	if cap(dst) < m.numClasses {
+		dst = make([]float64, m.numClasses)
+	} else {
+		dst = dst[:m.numClasses]
 	}
-	return stats.Softmax(logits, nil)
+	m.logits(x, dst)
+	return stats.Softmax(dst, dst)
 }
 
 // Predict returns the argmax class for one sample.

@@ -12,6 +12,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"github.com/goetsc/goetsc/internal/ridge"
 	"github.com/goetsc/goetsc/internal/sched"
@@ -64,6 +65,28 @@ type Model struct {
 	combos  []combo
 	head    *ridge.Model
 	numVars int
+
+	// scratchPool recycles per-transform workspaces so concurrent
+	// Transform calls (batch fits, serving) never contend on one buffer
+	// and steady-state transforms stay allocation-free.
+	scratchPool sync.Pool
+}
+
+// scratch is the per-transform workspace: one convolution buffer, one
+// PPV histogram, the shared 9-tap base for the univariate fast path, and
+// the channel pre-sum for multivariate combos.
+type scratch struct {
+	conv  []float64
+	hist  []int
+	base  []float64
+	chsum []float64
+}
+
+func (m *Model) getScratch() *scratch {
+	if sc, _ := m.scratchPool.Get().(*scratch); sc != nil {
+		return sc
+	}
+	return &scratch{}
 }
 
 // New returns an untrained model.
@@ -168,10 +191,7 @@ func (m *Model) Fit(instances [][][]float64, labels []int, numClasses int) error
 	// Transform the training set — the dominant cost of Fit — in parallel
 	// over instances. Each row is independent and lands in its own slot,
 	// so the feature matrix is identical at any worker count.
-	X := make([][]float64, len(instances))
-	sched.Shared().ForEach(len(instances), func(i int) {
-		X[i] = m.Transform(instances[i])
-	})
+	X := m.TransformBatch(instances)
 	m.head = ridge.New(ridge.Config{Lambda: cfg.RidgeLambda, Standardize: true})
 	return m.head.Fit(X, labels, numClasses)
 }
@@ -278,77 +298,358 @@ func (m *Model) convolveInto(dst []float64, instance [][]float64, cb combo) []fl
 //
 // Fast path: a combo's biases come from quantile positions of a sorted
 // pool, so they are non-decreasing — each convolution output v can be
-// located among the b biases with one binary search (v exceeds exactly
-// the first idx biases), and every per-bias positive count falls out of
-// one histogram prefix sum. That is O(n log b + b) per combo against the
-// naive O(n·b) loop, with identical integer counts and therefore
-// bit-identical features. The feature vector is preallocated via
-// NumFeatures and one convolution scratch buffer is reused across all
-// combos.
+// located among the b biases with one histogram walk, and every per-bias
+// positive count falls out of one prefix sum. That is O(n + b) per combo
+// against the naive O(n·b) loop, with identical integer counts and
+// therefore bit-identical features. Convolutions run over flat
+// structure-of-arrays buffers: univariate combos share one 9-tap base
+// per dilation (combos are dilation-major, so it is computed once and
+// reused by all 84 kernels), and multi-channel combos pre-sum their
+// channel subset into one contiguous series first. Both reshapes keep
+// every floating-point addition in the original order, so features stay
+// bit-identical to the seed implementation.
 func (m *Model) Transform(instance [][]float64) []float64 {
-	features := make([]float64, 0, m.NumFeatures())
-	var conv []float64
-	var hist []int // hist[k]: conv values exceeding exactly the first k biases
+	return m.TransformInto(nil, instance)
+}
+
+// TransformInto appends the PPV feature vector into dst[:0] and returns
+// it, so a caller-held buffer makes repeated transforms allocation-free.
+func (m *Model) TransformInto(dst []float64, instance [][]float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, 0, m.NumFeatures())
+	}
+	sc := m.getScratch()
+	out := m.transformInto(dst[:0], instance, sc)
+	m.scratchPool.Put(sc)
+	return out
+}
+
+// TransformBatch transforms a batch of instances in parallel over the
+// shared worker pool, one pooled scratch per task; out[i] is
+// bit-identical to Transform(instances[i]) at any worker count.
+func (m *Model) TransformBatch(instances [][][]float64) [][]float64 {
+	out := make([][]float64, len(instances))
+	for i := range out {
+		out[i] = make([]float64, 0, m.NumFeatures())
+	}
+	m.TransformBatchInto(out, instances)
+	return out
+}
+
+// TransformBatchInto fills out[i] (reusing its capacity) with the
+// feature vector of instances[i]. len(out) must equal len(instances).
+func (m *Model) TransformBatchInto(out [][]float64, instances [][][]float64) {
+	sched.Shared().ForEach(len(instances), func(i int) {
+		sc := m.getScratch()
+		out[i] = m.transformInto(out[i][:0], instances[i], sc)
+		m.scratchPool.Put(sc)
+	})
+}
+
+// PredictProbaBatch returns class probabilities for a batch of
+// instances, sharing transform scratch across the batch.
+func (m *Model) PredictProbaBatch(instances [][][]float64) [][]float64 {
+	out := make([][]float64, len(instances))
+	nf := m.NumFeatures()
+	sched.Shared().ForEach(len(instances), func(i int) {
+		sc := m.getScratch()
+		feat := m.transformInto(make([]float64, 0, nf), instances[i], sc)
+		m.scratchPool.Put(sc)
+		out[i] = m.head.PredictProba(feat)
+	})
+	return out
+}
+
+func (m *Model) transformInto(features []float64, instance [][]float64, sc *scratch) []float64 {
+	univar := len(instance) == 1
+	lastDil := 0 // no combo has dilation 0, so the first always builds a base
 	for ci := range m.combos {
 		cb := &m.combos[ci]
-		conv = m.convolveInto(conv, instance, *cb)
-		n := len(conv)
-		b := len(cb.biases)
-		if n == 0 {
-			for i := 0; i < b; i++ {
-				features = append(features, 0)
+		switch {
+		case univar && len(cb.channels) == 1 && cb.channels[0] == 0:
+			// Univariate fast path: every combo reads channel 0, and
+			// combos are dilation-major, so the 9-tap all-weights sum is
+			// shared by all kernels of the dilation; each kernel then
+			// only needs its three weight-2 taps.
+			if cb.dilation != lastDil {
+				sc.base = sumAllInto(sc.base, instance[0], cb.dilation)
+				lastDil = cb.dilation
 			}
-			continue
+			sc.conv = convolveFromBase(sc.conv, instance[0], sc.base, m.kernels[cb.kernel], cb.dilation, cb.padding)
+		case len(cb.channels) == 1 && cb.channels[0] < len(instance):
+			sc.conv = convolveSeries(sc.conv, instance[cb.channels[0]], m.kernels[cb.kernel], cb.dilation, cb.padding)
+		default:
+			// Multi-channel: pre-sum the channel subset into one
+			// contiguous series, then run the single-series kernel over
+			// it. Per time point the additions happen in the same
+			// ascending-channel order as the seed's nested loop, so the
+			// summed values — and everything downstream — are
+			// bit-identical.
+			sc.chsum = channelSumInto(sc.chsum, instance, cb.channels)
+			sc.conv = convolveSeries(sc.conv, sc.chsum, m.kernels[cb.kernel], cb.dilation, cb.padding)
 		}
-		if !sort.Float64sAreSorted(cb.biases) {
-			// Defensive: a model with hand-edited biases keeps the exact
-			// naive semantics.
-			for _, bias := range cb.biases {
-				positive := 0
-				for _, v := range conv {
-					if v > bias {
-						positive++
-					}
-				}
-				features = append(features, float64(positive)/float64(n))
-			}
-			continue
-		}
-		if cap(hist) < b+1 {
-			hist = make([]int, b+1)
-		}
-		hist = hist[:b+1]
-		for i := range hist {
-			hist[i] = 0
-		}
-		// Histogram pass: bucket every conv value by the count of biases
-		// strictly below it, so one sweep replaces all b positive-count
-		// loops. Consecutive convolution outputs are highly correlated
-		// (dilated sums of a smooth series), so instead of a binary search
-		// — whose quantile-placed pivots make every branch a coin flip —
-		// each lookup walks from the previous value's bucket: ~O(1)
-		// predictable steps per value, b steps worst case.
-		biases := cb.biases
-		idx := 0
-		for _, v := range conv {
-			for idx < b && biases[idx] < v {
-				idx++
-			}
-			for idx > 0 && biases[idx-1] >= v {
-				idx--
-			}
-			hist[idx]++
-		}
-		// prefix(hist[0..i]) counts values at or below biases[i], so the
-		// positive count for bias i is n - prefix — the same integers the
-		// naive v > bias loop produces, divided identically.
-		prefix := 0
-		for i := 0; i < b; i++ {
-			prefix += hist[i]
-			features = append(features, float64(n-prefix)/float64(n))
-		}
+		features = appendPPV(features, sc.conv, cb.biases, sc)
 	}
 	return features
+}
+
+// appendPPV appends one PPV feature per bias for the given convolution
+// outputs: the histogram walk + prefix sum described on Transform, with
+// the defensive naive branch for hand-edited (unsorted) biases.
+func appendPPV(features []float64, conv, biases []float64, sc *scratch) []float64 {
+	n := len(conv)
+	b := len(biases)
+	if n == 0 {
+		for i := 0; i < b; i++ {
+			features = append(features, 0)
+		}
+		return features
+	}
+	if !sort.Float64sAreSorted(biases) {
+		// Defensive: a model with hand-edited biases keeps the exact
+		// naive semantics.
+		for _, bias := range biases {
+			positive := 0
+			for _, v := range conv {
+				if v > bias {
+					positive++
+				}
+			}
+			features = append(features, float64(positive)/float64(n))
+		}
+		return features
+	}
+	hist := sc.hist // hist[k]: conv values exceeding exactly the first k biases
+	if cap(hist) < b+1 {
+		hist = make([]int, b+1)
+	}
+	hist = hist[:b+1]
+	for i := range hist {
+		hist[i] = 0
+	}
+	// Histogram pass: bucket every conv value by the count of biases
+	// strictly below it, so one sweep replaces all b positive-count
+	// loops. Consecutive convolution outputs are highly correlated
+	// (dilated sums of a smooth series), so instead of a binary search
+	// — whose quantile-placed pivots make every branch a coin flip —
+	// each lookup walks from the previous value's bucket: ~O(1)
+	// predictable steps per value, b steps worst case.
+	idx := 0
+	for _, v := range conv {
+		for idx < b && biases[idx] < v {
+			idx++
+		}
+		for idx > 0 && biases[idx-1] >= v {
+			idx--
+		}
+		hist[idx]++
+	}
+	sc.hist = hist
+	// prefix(hist[0..i]) counts values at or below biases[i], so the
+	// positive count for bias i is n - prefix — the same integers the
+	// naive v > bias loop produces, divided identically.
+	prefix := 0
+	for i := 0; i < b; i++ {
+		prefix += hist[i]
+		features = append(features, float64(n-prefix)/float64(n))
+	}
+	return features
+}
+
+// convRegion returns the output region [start, end) and the interior
+// sub-region [ilo, ihi) where all nine taps are in range, with
+// start <= ilo <= ihi <= end.
+func convRegion(length, dil int, padding bool) (start, end, ilo, ihi int) {
+	span := 4 * dil
+	start, end = 0, length
+	if !padding {
+		start, end = span, length-span
+		if end <= start {
+			start, end = 0, length // series too short: fall back to padded
+		}
+	}
+	ilo, ihi = span, length-span
+	if ilo < start {
+		ilo = start
+	}
+	if ilo > end {
+		ilo = end
+	}
+	if ihi > end {
+		ihi = end
+	}
+	if ihi < ilo {
+		ihi = ilo
+	}
+	return start, end, ilo, ihi
+}
+
+// convolveSeries computes the dilated convolution of one contiguous
+// series, appending into dst[:0]. It is the seed's single-channel loop
+// with the interior rewritten over nine shifted subslices so the
+// compiler drops the bounds checks; tap order and the final expression
+// are unchanged, so outputs stay bit-identical.
+func convolveSeries(dst, s []float64, pos [3]int, dil int, padding bool) []float64 {
+	length := len(s)
+	start, end, ilo, ihi := convRegion(length, dil, padding)
+	out := dst[:0]
+	for t := start; t < ilo; t++ {
+		out = append(out, convolveGuarded(s, pos, dil, t))
+	}
+	if n := ihi - ilo; n > 0 {
+		b0 := ilo - 4*dil
+		s0, s1, s2 := s[b0:], s[b0+dil:], s[b0+2*dil:]
+		s3, s4, s5 := s[b0+3*dil:], s[b0+4*dil:], s[b0+5*dil:]
+		s6, s7, s8 := s[b0+6*dil:], s[b0+7*dil:], s[b0+8*dil:]
+		p0, p1, p2 := s[b0+pos[0]*dil:], s[b0+pos[1]*dil:], s[b0+pos[2]*dil:]
+		for i := 0; i < n; i++ {
+			sumAll := s0[i] + s1[i] + s2[i] + s3[i] + s4[i] + s5[i] + s6[i] + s7[i] + s8[i]
+			sumPos := p0[i] + p1[i] + p2[i]
+			out = append(out, 3*sumPos-sumAll)
+		}
+	}
+	for t := ihi; t < end; t++ {
+		out = append(out, convolveGuarded(s, pos, dil, t))
+	}
+	return out
+}
+
+// convolveGuarded is the boundary form: every tap range-checked, sums
+// accumulated in ascending tap order exactly as the seed loop does.
+func convolveGuarded(s []float64, pos [3]int, dil, t int) float64 {
+	length := len(s)
+	base := t - 4*dil
+	var sumAll, sumPos float64
+	for j := 0; j < kernelLength; j++ {
+		off := base + j*dil
+		if off < 0 || off >= length {
+			continue
+		}
+		sumAll += s[off]
+		if j == pos[0] || j == pos[1] || j == pos[2] {
+			sumPos += s[off]
+		}
+	}
+	return 3*sumPos - sumAll
+}
+
+// sumAllInto fills dst[t] with the 9-tap all-weights sum at every time
+// point of s for one dilation — the part of the convolution that is
+// identical for all 84 kernels. Additions run in ascending tap order,
+// matching the seed's sumAll bit for bit.
+func sumAllInto(dst, s []float64, dil int) []float64 {
+	length := len(s)
+	if cap(dst) < length {
+		dst = make([]float64, length)
+	} else {
+		dst = dst[:length]
+	}
+	lo, hi := 4*dil, length-4*dil
+	if lo > length {
+		lo = length
+	}
+	if hi < lo {
+		hi = lo
+	}
+	for t := 0; t < lo; t++ {
+		dst[t] = sumAllGuarded(s, dil, t)
+	}
+	if n := hi - lo; n > 0 {
+		s0, s1, s2 := s[0:], s[dil:], s[2*dil:]
+		s3, s4, s5 := s[3*dil:], s[4*dil:], s[5*dil:]
+		s6, s7, s8 := s[6*dil:], s[7*dil:], s[8*dil:]
+		interior := dst[lo:hi]
+		for i := range interior {
+			interior[i] = s0[i] + s1[i] + s2[i] + s3[i] + s4[i] + s5[i] + s6[i] + s7[i] + s8[i]
+		}
+	}
+	for t := hi; t < length; t++ {
+		dst[t] = sumAllGuarded(s, dil, t)
+	}
+	return dst
+}
+
+func sumAllGuarded(s []float64, dil, t int) float64 {
+	length := len(s)
+	base := t - 4*dil
+	var sum float64
+	for j := 0; j < kernelLength; j++ {
+		off := base + j*dil
+		if off < 0 || off >= length {
+			continue
+		}
+		sum += s[off]
+	}
+	return sum
+}
+
+// convolveFromBase computes one kernel's convolution given the shared
+// 9-tap base for its dilation: three weight-2 taps plus a lookup
+// instead of twelve taps. The final expression 3*sumPos - sumAll reads
+// the exact sumAll value the seed computed inline, so outputs are
+// bit-identical.
+func convolveFromBase(dst, s, base []float64, pos [3]int, dil int, padding bool) []float64 {
+	length := len(s)
+	start, end, ilo, ihi := convRegion(length, dil, padding)
+	out := dst[:0]
+	for t := start; t < ilo; t++ {
+		out = append(out, 3*posSumGuarded(s, pos, dil, t)-base[t])
+	}
+	if n := ihi - ilo; n > 0 {
+		b0 := ilo - 4*dil
+		p0, p1, p2 := s[b0+pos[0]*dil:], s[b0+pos[1]*dil:], s[b0+pos[2]*dil:]
+		bb := base[ilo:ihi]
+		for i, bv := range bb {
+			sumPos := p0[i] + p1[i] + p2[i]
+			out = append(out, 3*sumPos-bv)
+		}
+	}
+	for t := ihi; t < end; t++ {
+		out = append(out, 3*posSumGuarded(s, pos, dil, t)-base[t])
+	}
+	return out
+}
+
+func posSumGuarded(s []float64, pos [3]int, dil, t int) float64 {
+	length := len(s)
+	var sum float64
+	for _, p := range pos {
+		off := t + (p-4)*dil
+		if off < 0 || off >= length {
+			continue
+		}
+		sum += s[off]
+	}
+	return sum
+}
+
+// channelSumInto sums a combo's channel subset into one contiguous
+// series, ascending channel order per time point — the same addition
+// order as the seed's innermost loop.
+func channelSumInto(dst []float64, instance [][]float64, channels []int) []float64 {
+	length := len(instance[0])
+	if cap(dst) < length {
+		dst = make([]float64, length)
+	} else {
+		dst = dst[:length]
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for _, ch := range channels {
+		if ch >= len(instance) {
+			continue
+		}
+		s := instance[ch]
+		if len(s) > length {
+			s = s[:length]
+		}
+		w := dst[:len(s)]
+		for i, v := range s {
+			w[i] += v
+		}
+	}
+	return dst
 }
 
 // PredictProba returns class probabilities for one instance.

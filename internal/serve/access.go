@@ -89,10 +89,10 @@ func traceRequest(w http.ResponseWriter, r *http.Request) (obs.TraceContext, obs
 func (s *Server) logAccess(route string, tc obs.TraceContext, parent obs.SpanID, status int, wall time.Duration, ri *reqInfo) {
 	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 	fields := map[string]any{
-		"trace":  tc.Trace.String(),
-		"span":   tc.Span.String(),
-		"route":  route,
-		"status": status,
+		"trace":   tc.Trace.String(),
+		"span":    tc.Span.String(),
+		"route":   route,
+		"status":  status,
 		"wall_ms": ms(wall),
 	}
 	if !parent.IsZero() {

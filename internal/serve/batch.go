@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"github.com/goetsc/goetsc/internal/core"
+	ts "github.com/goetsc/goetsc/internal/timeseries"
+)
+
+// batcher coalesces concurrent one-shot classify requests for one model
+// into single core.BatchClassifier calls: the first request in an empty
+// batch arms a window timer, companions arriving inside the window pile
+// on, and the whole batch runs through one ClassifyBatch — one model
+// lock, one worker slot, one pass over shared transform scratch —
+// instead of N independent Classify calls. Under bursty load this turns
+// per-request transform setup into per-batch setup; an isolated request
+// pays at most the window in extra latency.
+type batcher struct {
+	m      *model
+	bc     core.BatchClassifier
+	window time.Duration
+	max    int
+	sem    chan struct{} // the server's worker semaphore, one slot per flush
+
+	jobs     chan *classifyJob
+	quit     chan struct{}
+	finished chan struct{}
+	queued   atomic.Int64 // jobs accepted so far
+}
+
+// classifyJob is one request waiting inside a batch. done is closed by
+// the flush that classified it, after label/consumed are set.
+type classifyJob struct {
+	values   [][]float64
+	label    int
+	consumed int
+	done     chan struct{}
+}
+
+func newBatcher(m *model, bc core.BatchClassifier, window time.Duration, max int, sem chan struct{}) *batcher {
+	b := &batcher{
+		m: m, bc: bc, window: window, max: max, sem: sem,
+		jobs:     make(chan *classifyJob, max),
+		quit:     make(chan struct{}),
+		finished: make(chan struct{}),
+	}
+	go b.run()
+	return b
+}
+
+// submit hands one request to the batcher and waits for its verdict.
+func (b *batcher) submit(ctx context.Context, values [][]float64) (label, consumed int, err error) {
+	select {
+	case <-b.quit:
+		return 0, 0, errf(http.StatusServiceUnavailable, "server shutting down")
+	default:
+	}
+	j := &classifyJob{values: values, done: make(chan struct{})}
+	select {
+	case b.jobs <- j:
+		b.queued.Add(1)
+	case <-ctx.Done():
+		return 0, 0, ctx.Err()
+	case <-b.quit:
+		return 0, 0, errf(http.StatusServiceUnavailable, "server shutting down")
+	}
+	select {
+	case <-j.done:
+		return j.label, j.consumed, nil
+	case <-ctx.Done():
+		// The flush may still run this job; we just stop waiting. values
+		// must stay valid until the handler returns, which it is — the
+		// pooled request isn't recycled until then.
+		return 0, 0, ctx.Err()
+	}
+}
+
+// stop flushes queued jobs and terminates the run loop.
+func (b *batcher) stop() {
+	close(b.quit)
+	<-b.finished
+}
+
+func (b *batcher) run() {
+	defer close(b.finished)
+	pending := make([]*classifyJob, 0, b.max)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	armed := false
+	disarm := func() {
+		if armed && !timer.Stop() {
+			<-timer.C
+		}
+		armed = false
+	}
+	flush := func() {
+		if len(pending) == 0 {
+			return
+		}
+		b.sem <- struct{}{}
+		instances := make([]ts.Instance, len(pending))
+		labels := make([]int, len(pending))
+		consumed := make([]int, len(pending))
+		for i, j := range pending {
+			instances[i] = tsInstance(j.values)
+		}
+		// ClassifyBatch shares transform scratch with Classify, so it
+		// serializes on the same model lock the classic path uses.
+		b.m.mu.Lock()
+		b.bc.ClassifyBatch(instances, labels, consumed)
+		b.m.mu.Unlock()
+		<-b.sem
+		for i, j := range pending {
+			j.label, j.consumed = labels[i], consumed[i]
+			close(j.done)
+		}
+		pending = pending[:0]
+	}
+	for {
+		select {
+		case j := <-b.jobs:
+			pending = append(pending, j)
+			if len(pending) >= b.max {
+				disarm()
+				flush()
+			} else if !armed {
+				timer.Reset(b.window)
+				armed = true
+			}
+		case <-timer.C:
+			armed = false
+			flush()
+		case <-b.quit:
+			disarm()
+			// Drain whatever raced the shutdown, then answer everyone.
+			for {
+				select {
+				case j := <-b.jobs:
+					pending = append(pending, j)
+					continue
+				default:
+				}
+				break
+			}
+			flush()
+			return
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"encoding/json"
+	"strconv"
+)
+
+// Hand-rendered hot-path responses. The two bodies every benchmark and
+// load test exercises — the one-shot classify result and the session
+// state — are appended into pooled arena buffers instead of going
+// through json.Encoder, which allocates per call. The rendered bytes are
+// byte-identical to what json.Encoder produced before (map keys sort
+// alphabetically, struct fields keep declaration order, Encode appends a
+// trailing newline); renderer tests diff against the encoder directly.
+
+// appendJSONString appends s as a JSON string. Plain ASCII — the only
+// thing model names, algorithm names, hex session ids and status words
+// ever contain — is appended raw; anything that would need escaping
+// falls back to encoding/json so the bytes stay identical in the rare
+// case too.
+func appendJSONString(dst []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < 0x20 || c >= 0x80 || c == '"' || c == '\\' || c == '<' || c == '>' || c == '&' {
+			b, _ := json.Marshal(s)
+			return append(dst, b...)
+		}
+	}
+	dst = append(dst, '"')
+	dst = append(dst, s...)
+	return append(dst, '"')
+}
+
+// renderClassify appends the POST /v1/classify success body: the
+// encoding of map[string]any{"model", "algorithm", "label", "consumed",
+// "final"} — keys in alphabetical order, as json.Encoder sorts them.
+func renderClassify(dst []byte, model, algorithm string, label, consumed int) []byte {
+	dst = append(dst, `{"algorithm":`...)
+	dst = appendJSONString(dst, algorithm)
+	dst = append(dst, `,"consumed":`...)
+	dst = strconv.AppendInt(dst, int64(consumed), 10)
+	dst = append(dst, `,"final":true,"label":`...)
+	dst = strconv.AppendInt(dst, int64(label), 10)
+	dst = append(dst, `,"model":`...)
+	dst = appendJSONString(dst, model)
+	return append(dst, "}\n"...)
+}
+
+// renderState appends the session-state body: the encoding of
+// sessionState, fields in declaration order, label/consumed omitted
+// while pending.
+func renderState(dst []byte, id, model string, decided bool, length, label, consumed int) []byte {
+	dst = append(dst, `{"session_id":`...)
+	dst = appendJSONString(dst, id)
+	dst = append(dst, `,"model":`...)
+	dst = appendJSONString(dst, model)
+	dst = append(dst, `,"status":`...)
+	if decided {
+		dst = append(dst, `"decided"`...)
+	} else {
+		dst = append(dst, `"pending"`...)
+	}
+	dst = append(dst, `,"length":`...)
+	dst = strconv.AppendInt(dst, int64(length), 10)
+	if decided {
+		dst = append(dst, `,"label":`...)
+		dst = strconv.AppendInt(dst, int64(label), 10)
+		dst = append(dst, `,"consumed":`...)
+		dst = strconv.AppendInt(dst, int64(consumed), 10)
+	}
+	return append(dst, "}\n"...)
+}

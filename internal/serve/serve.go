@@ -55,6 +55,20 @@ type Config struct {
 	// SLOObjective is the fraction of requests that must complete under
 	// SLOTarget (the rest is error budget). Default 0.99.
 	SLOObjective float64
+	// CoalesceWindow, when positive, batches concurrent one-shot
+	// /v1/classify requests per model: a request waits up to this long
+	// for companions, then the whole batch runs through one
+	// core.BatchClassifier call sharing transform scratch. Only models
+	// whose classifier implements BatchClassifier coalesce; others keep
+	// the direct path. Default 0 (off).
+	CoalesceWindow time.Duration
+	// CoalesceMax caps one coalesced batch. Default 16.
+	CoalesceMax int
+	// Float32 switches loaded models with float32-capable kernels
+	// (core.Float32Switchable) to the low-precision serving path at
+	// registration. Models without such kernels are unaffected. Default
+	// off: float64, bit-identical to offline evaluation.
+	Float32 bool
 	// Obs receives request metrics and journal events; nil is a no-op.
 	Obs *obs.Collector
 }
@@ -81,6 +95,9 @@ func (c Config) withDefaults() Config {
 	if c.SLOObjective <= 0 || c.SLOObjective >= 1 {
 		c.SLOObjective = 0.99
 	}
+	if c.CoalesceMax <= 0 {
+		c.CoalesceMax = 16
+	}
 	return c
 }
 
@@ -103,9 +120,27 @@ type ModelInfo struct {
 // path — with no batches to amortize over, cursor construction is pure
 // overhead.
 type model struct {
-	info ModelInfo
-	algo core.EarlyClassifier
-	mu   sync.Mutex
+	info     ModelInfo
+	algo     core.EarlyClassifier
+	stats    *modelStats // resolved once at registration: no map+mutex on the hot path
+	coalesce *batcher    // non-nil only when coalescing is on and algo batches
+	mu       sync.Mutex
+
+	// bufs is the model's response arena: pooled render buffers sized at
+	// registration so steady-state responses never touch the allocator.
+	bufs     sync.Pool
+	arenaCap int
+}
+
+// respBuf wraps a render buffer so pooling it doesn't re-box the slice
+// header on every Put.
+type respBuf struct{ b []byte }
+
+func (m *model) getBuf() *respBuf {
+	if rb, _ := m.bufs.Get().(*respBuf); rb != nil {
+		return rb
+	}
+	return &respBuf{b: make([]byte, 0, m.arenaCap)}
 }
 
 // classify answers a one-shot request through the serialized classic path.
@@ -113,6 +148,18 @@ func (m *model) classify(values [][]float64) (label, consumed int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.algo.Classify(tsInstance(values))
+}
+
+// writeClassify renders and writes the one-shot response from the
+// model's arena — byte-identical to the json.Encoder output it replaced.
+func (m *model) writeClassify(w http.ResponseWriter, label, consumed int) error {
+	rb := m.getBuf()
+	rb.b = renderClassify(rb.b[:0], m.info.Name, m.info.Algorithm, label, consumed)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, err := w.Write(rb.b)
+	m.bufs.Put(rb)
+	return err
 }
 
 // Server routes the JSON API. Create with New, register models with
@@ -127,6 +174,12 @@ type Server struct {
 	ready    atomic.Bool
 
 	stats *serverStats
+
+	// reqPool recycles decoded one-shot request bodies; encoding/json
+	// reuses the retained Values capacity, so steady-state decodes stop
+	// growing fresh matrices per request.
+	reqPool   sync.Pool
+	closeOnce sync.Once
 
 	requests *obs.Counter
 	inflight *obs.Gauge
@@ -158,19 +211,50 @@ func (s *Server) AddModel(name string, algo core.EarlyClassifier, meta persist.M
 	if _, exists := s.models[name]; exists {
 		return fmt.Errorf("serve: model %q already loaded", name)
 	}
-	s.models[name] = &model{
+	if s.cfg.Float32 {
+		core.EnableFloat32(algo, true)
+	}
+	m := &model{
 		info: ModelInfo{
 			Name: name, Algorithm: algo.Name(), Dataset: meta.Dataset,
 			Length: meta.Length, NumVars: meta.NumVars, NumClasses: meta.NumClasses,
 		},
 		algo: algo,
 	}
+	// Arena sizing: the largest hot response is a session state line; 96
+	// bytes covers every fixed token plus two ints, the rest is names/ids.
+	m.arenaCap = 96 + len(name) + len(m.info.Algorithm)
+	m.stats = s.stats.model(name) // pre-create so /v1/stats lists idle models too
+	if s.cfg.CoalesceWindow > 0 {
+		if bc, ok := algo.(core.BatchClassifier); ok {
+			m.coalesce = newBatcher(m, bc, s.cfg.CoalesceWindow, s.cfg.CoalesceMax, s.sem)
+		}
+	}
+	s.models[name] = m
 	s.ready.Store(true)
-	s.stats.model(name) // pre-create so /v1/stats lists idle models too
 	s.cfg.Obs.Emit("model_loaded", map[string]any{
 		"model": name, "algorithm": algo.Name(), "dataset": meta.Dataset,
 	})
 	return nil
+}
+
+// Close stops background work (per-model coalescing batchers), flushing
+// any queued requests first. The server must not take new requests after
+// Close; it is safe to call more than once.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		s.mu.RLock()
+		batchers := make([]*batcher, 0, len(s.models))
+		for _, m := range s.models {
+			if m.coalesce != nil {
+				batchers = append(batchers, m.coalesce)
+			}
+		}
+		s.mu.RUnlock()
+		for _, b := range batchers {
+			b.stop()
+		}
+	})
 }
 
 // LoadFile loads one persisted model; its name is the file's base name
@@ -366,9 +450,21 @@ type classifyRequest struct {
 	Values [][]float64 `json:"values"`
 }
 
+// getClassifyReq hands out a reset pooled request body. Both fields are
+// cleared so stale values can never leak into a request that omits them.
+func (s *Server) getClassifyReq() *classifyRequest {
+	if req, _ := s.reqPool.Get().(*classifyRequest); req != nil {
+		req.Model = ""
+		req.Values = req.Values[:0]
+		return req
+	}
+	return &classifyRequest{}
+}
+
 func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) error {
-	var req classifyRequest
-	if err := decodeJSON(r, &req); err != nil {
+	req := s.getClassifyReq()
+	defer s.reqPool.Put(req)
+	if err := decodeJSON(r, req); err != nil {
 		return err
 	}
 	m, ok := s.lookup(req.Model)
@@ -380,24 +476,36 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) error {
 	}
 	ri := info(r)
 	ri.model = m.info.Name
-	t0 := time.Now()
-	if err := s.acquire(r); err != nil {
-		return err
+	var label, consumed int
+	if m.coalesce != nil {
+		// Coalesced path: the batcher owns queueing (the shared worker
+		// semaphore is taken once per batch), so the whole wait counts as
+		// classify time.
+		t0 := time.Now()
+		var err error
+		label, consumed, err = m.coalesce.submit(r.Context(), req.Values)
+		if err != nil {
+			return err
+		}
+		ri.classify = time.Since(t0)
+		ri.worked = true
+	} else {
+		t0 := time.Now()
+		if err := s.acquire(r); err != nil {
+			return err
+		}
+		ri.queue = time.Since(t0)
+		t1 := time.Now()
+		label, consumed = m.classify(req.Values)
+		ri.classify = time.Since(t1)
+		ri.worked = true
+		s.release()
 	}
-	ri.queue = time.Since(t0)
-	t1 := time.Now()
-	label, consumed := m.classify(req.Values)
-	ri.classify = time.Since(t1)
-	ri.worked = true
-	s.release()
 
 	n := len(req.Values[0])
 	ri.prefix, ri.label, ri.decided = n, label, true
-	s.stats.model(m.info.Name).recordDecision(consumed, m.info.Length, n)
-	return writeJSON(w, http.StatusOK, map[string]any{
-		"model": m.info.Name, "algorithm": m.info.Algorithm,
-		"label": label, "consumed": consumed, "final": true,
-	})
+	m.stats.recordDecision(consumed, m.info.Length, n)
+	return m.writeClassify(w, label, consumed)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) error {

@@ -55,6 +55,23 @@ func (ss *session) state() sessionState {
 	return st
 }
 
+// writeState renders state() by hand from the model's response arena —
+// byte-identical to writeJSON of state(), without the encoder or the
+// pointer boxing. Callers hold ss.mu (or exclusively own the session).
+func (ss *session) writeState(w http.ResponseWriter, status int) error {
+	n := 0
+	if len(ss.values) > 0 {
+		n = len(ss.values[0])
+	}
+	rb := ss.model.getBuf()
+	rb.b = renderState(rb.b[:0], ss.id, ss.model.info.Name, ss.decided, n, ss.label, ss.consumed)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, err := w.Write(rb.b)
+	ss.model.bufs.Put(rb)
+	return err
+}
+
 // newSessionID returns a 16-byte random hex token.
 func newSessionID() (string, error) {
 	var b [16]byte
@@ -95,7 +112,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) err
 	ri.model, ri.session = m.info.Name, id
 	s.stats.lifecycle(m.info.Name, evCreated)
 	s.cfg.Obs.Emit("session_created", map[string]any{"session": id, "model": m.info.Name})
-	return writeJSON(w, http.StatusCreated, ss.state())
+	return ss.writeState(w, http.StatusCreated)
 }
 
 func (s *Server) session(id string) (*session, bool) {
@@ -137,10 +154,10 @@ func (s *Server) handleSessionPoints(w http.ResponseWriter, r *http.Request) err
 		// The decision is frozen: report it, ignore the extra points.
 		// No quality telemetry — nothing was classified.
 		ri.label, ri.decided = ss.label, true
-		return writeJSON(w, http.StatusOK, ss.state())
+		return ss.writeState(w, http.StatusOK)
 	}
 	if len(req.Values) > 0 {
-		if err := appendPoints(&ss.values, req.Values, ss.model.info.NumVars); err != nil {
+		if err := appendPoints(&ss.values, req.Values, ss.model.info.NumVars, ss.model.info.Length); err != nil {
 			return err
 		}
 	}
@@ -190,7 +207,7 @@ func (s *Server) handleSessionPoints(w http.ResponseWriter, r *http.Request) err
 	// Otherwise the answer is "pending" — exactly the online semantics
 	// the framework's earliness metric measures.
 	final := curDone || consumed < n || req.Last || (ss.model.info.Length > 0 && n >= ss.model.info.Length)
-	ms := s.stats.model(ss.model.info.Name)
+	ms := ss.model.stats
 	ms.recordBatch(!final)
 	s.stats.lifecycle(ss.model.info.Name, evAdvanced)
 	if final {
@@ -210,12 +227,14 @@ func (s *Server) handleSessionPoints(w http.ResponseWriter, r *http.Request) err
 	} else {
 		ri.pending = true
 	}
-	return writeJSON(w, http.StatusOK, ss.state())
+	return ss.writeState(w, http.StatusOK)
 }
 
 // appendPoints grows dst by the batch in src, validating shape. dst may
-// be empty (first batch fixes the variable count).
-func appendPoints(dst *[][]float64, src [][]float64, wantVars int) error {
+// be empty (the first batch fixes the variable count, and sizes each
+// inner slice at the model's training length so a full-length stream
+// never reallocates mid-session).
+func appendPoints(dst *[][]float64, src [][]float64, wantVars, lengthHint int) error {
 	batch := len(src[0])
 	for i, v := range src {
 		if len(v) != batch {
@@ -230,6 +249,11 @@ func appendPoints(dst *[][]float64, src [][]float64, wantVars int) error {
 	}
 	if len(*dst) == 0 {
 		*dst = make([][]float64, len(src))
+		if lengthHint > 0 {
+			for i := range *dst {
+				(*dst)[i] = make([]float64, 0, lengthHint)
+			}
+		}
 	} else if len(src) != len(*dst) {
 		return errf(http.StatusBadRequest, "session has %d variables, batch has %d", len(*dst), len(src))
 	}
@@ -251,7 +275,7 @@ func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) error 
 	if ss.decided {
 		ri.label, ri.decided = ss.label, true
 	}
-	return writeJSON(w, http.StatusOK, ss.state())
+	return ss.writeState(w, http.StatusOK)
 }
 
 func (s *Server) handleSessionClose(w http.ResponseWriter, r *http.Request) error {

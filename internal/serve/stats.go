@@ -258,12 +258,12 @@ func (st *serverStats) lifecycle(model string, ev int) {
 
 // WindowJSON is one rolling window rendered in milliseconds.
 type WindowJSON struct {
-	Count   uint64  `json:"count"`
+	Count    uint64  `json:"count"`
 	RatePerS float64 `json:"rate_per_s"`
-	MeanMs  float64 `json:"mean_ms"`
-	P50Ms   float64 `json:"p50_ms"`
-	P95Ms   float64 `json:"p95_ms"`
-	P99Ms   float64 `json:"p99_ms"`
+	MeanMs   float64 `json:"mean_ms"`
+	P50Ms    float64 `json:"p50_ms"`
+	P95Ms    float64 `json:"p95_ms"`
+	P99Ms    float64 `json:"p99_ms"`
 }
 
 // EndpointStats is one route's windows and SLO verdicts, keyed by span

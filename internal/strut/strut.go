@@ -286,6 +286,43 @@ func (c *Classifier) Classify(in ts.Instance) (int, int) {
 	return stats.ArgMax(c.base.PredictProba(prefix)), t
 }
 
+// probaBatcher is implemented by bases (MiniROCKET) that can transform a
+// batch sharing one scratch arena.
+type probaBatcher interface {
+	PredictProbaBatch(instances [][][]float64) [][]float64
+}
+
+// ClassifyBatch implements core.BatchClassifier: all truncated prefixes
+// go through the base in one call when it supports batching, so the
+// transform scratch is shared across the fold instead of re-allocated
+// per instance. Decisions equal per-instance Classify exactly (STRUT's
+// decision point is fixed, and batch transforms are bit-identical).
+func (c *Classifier) ClassifyBatch(instances []ts.Instance, labels, consumed []int) {
+	pb, ok := c.base.(probaBatcher)
+	if !ok {
+		for i, in := range instances {
+			labels[i], consumed[i] = c.Classify(in)
+		}
+		return
+	}
+	prefixes := make([][][]float64, len(instances))
+	for i, in := range instances {
+		t := c.truncAt
+		if t > in.Length() {
+			t = in.Length()
+		}
+		consumed[i] = t
+		prefix := make([][]float64, in.NumVars())
+		for v := range prefix {
+			prefix[v] = in.Values[v][:t]
+		}
+		prefixes[i] = prefix
+	}
+	for i, proba := range pb.PredictProbaBatch(prefixes) {
+		labels[i] = stats.ArgMax(proba)
+	}
+}
+
 func toInstances(d *ts.Dataset, indices []int) ([][][]float64, []int) {
 	if indices == nil {
 		indices = make([]int, d.Len())

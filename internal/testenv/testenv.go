@@ -1,0 +1,4 @@
+// Package testenv exposes build-time facts tests gate on: allocation
+// gates are meaningless under the race detector (its instrumentation
+// allocates), so they skip when RaceEnabled is true.
+package testenv

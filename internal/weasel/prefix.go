@@ -42,6 +42,22 @@ func (m *Model) NewPrefixCache() *PrefixCache {
 	return NewPrefixCache(m.cfg.WordLength, m.cfg.SFANorm)
 }
 
+// Reserve pre-grows the cache's point buffers to hold n points, so a
+// streaming session sized at model registration appends without ever
+// reallocating mid-stream.
+func (pc *PrefixCache) Reserve(n int) {
+	if cap(pc.series) < n {
+		s := make([]float64, len(pc.series), n)
+		copy(s, pc.series)
+		pc.series = s
+	}
+	if n > 0 && cap(pc.diffs) < n-1 {
+		d := make([]float64, len(pc.diffs), n-1)
+		copy(d, pc.diffs)
+		pc.diffs = d
+	}
+}
+
 // Extend appends any new points of series (a prefix-extension of what
 // previous calls saw) to the cache, growing the derivative channel in
 // step.
@@ -101,6 +117,12 @@ type PrefixEvaluator struct {
 	plen int
 
 	states map[chanWin]*cwState
+
+	// vec and proba are per-evaluator scratch for the vocabulary vector
+	// and the head's output, so steady-state ProbaAt calls allocate
+	// nothing beyond new bag entries.
+	vec   []float64
+	proba []float64
 }
 
 // cwState is the per-(channel, window) progress of one evaluator.
@@ -189,7 +211,9 @@ func (e *PrefixEvaluator) ProbaAt(plen int) []float64 {
 		}
 	}
 	e.plen = plen
-	return e.m.head.PredictProba(e.m.vector(e.bag))
+	e.vec = e.m.vectorInto(e.vec, e.bag)
+	e.proba = e.m.head.PredictProbaInto(e.proba, e.vec)
+	return e.proba
 }
 
 // dec removes one count of k from the bag, deleting exhausted entries

@@ -360,14 +360,27 @@ func (m *Model) bag(channels [][]float64) map[featKey]float64 {
 
 // vector projects a bag onto the selected vocabulary.
 func (m *Model) vector(bag map[featKey]float64) []float64 {
-	x := make([]float64, len(m.vocab))
+	return m.vectorInto(nil, bag)
+}
+
+// vectorInto fills dst (grown as needed) with the vocabulary vector of
+// the bag, zeroing entries the bag does not touch.
+func (m *Model) vectorInto(dst []float64, bag map[featKey]float64) []float64 {
+	if cap(dst) < len(m.vocab) {
+		dst = make([]float64, len(m.vocab))
+	} else {
+		dst = dst[:len(m.vocab)]
+		for i := range dst {
+			dst[i] = 0
+		}
+	}
 	for k, v := range bag {
 		if idx, ok := m.vocab[k]; ok {
 			// Square-root scaling tames bursty counts.
-			x[idx] = math.Sqrt(v)
+			dst[idx] = math.Sqrt(v)
 		}
 	}
-	return x
+	return dst
 }
 
 func featLess(a, b featKey) bool {

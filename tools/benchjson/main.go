@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"regexp"
 	"runtime"
 	"sort"
@@ -39,6 +40,13 @@ type result struct {
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
 }
 
+// workersPoint is one row of the matrix workers scaling curve.
+type workersPoint struct {
+	Workers   int     `json:"workers"`
+	NsPerOp   float64 `json:"ns_per_op"`
+	SpeedupV1 float64 `json:"speedup_vs_1,omitempty"`
+}
+
 type document struct {
 	NumCPU      int                `json:"num_cpu"`
 	GoMaxProcs  int                `json:"go_max_procs"`
@@ -46,6 +54,16 @@ type document struct {
 	Benchmarks  []result           `json:"benchmarks"`
 	Speedups    map[string]float64 `json:"speedups"`
 	AllocRatios map[string]float64 `json:"alloc_ratios"`
+	// MatrixWorkersCurve is the evaluation-matrix wall time at the worker
+	// bounds given to -matrix-workers; speedup is against the 1-worker
+	// row. On a single-core machine the curve is flat near 1.
+	MatrixWorkersCurve []workersPoint `json:"matrix_workers_curve,omitempty"`
+	// BaselineDeltas maps benchmark name -> baseline/current ns ratio
+	// against the -baseline document (>1 means this run is faster);
+	// `make pgo` uses it to stamp the profile-guided delta.
+	BaselineDeltas map[string]float64 `json:"baseline_deltas,omitempty"`
+	// PGOProfile records the -pgo profile the suites were built with.
+	PGOProfile string `json:"pgo_profile,omitempty"`
 	// FaultCounters carries a run's fault-tolerance counters (retries,
 	// isolated panics, resumed cells, failures) when -counters points at
 	// an `etsc-bench -metrics-out *.json` export.
@@ -107,36 +125,83 @@ func main() {
 	serveN := flag.Int("serve-requests", 120, "requests per -serve level")
 	serveStats := flag.Bool("stats", false, "with -serve: scrape GET /v1/stats after the load runs and stamp the server-side window quantiles and quality gauges into the document")
 	noSuites := flag.Bool("skip-suites", false, "skip the go test benchmark suites (useful with -serve alone)")
-	classify := flag.Bool("classify", false, "benchmark the incremental classification cursors instead of the default suites")
+	classify := flag.Bool("classify", false, "also benchmark the incremental classification cursors")
+	kernels := flag.Bool("kernels", false, "also benchmark the data-layout kernels (flat kNN, fused prefix scan, float32 variants, SoA transform)")
+	short := flag.Bool("short", false, "deterministic short mode: fixed iteration counts (-benchtime 300x) and no matrix suites — the regression gate `make test` runs")
+	matrixWorkers := flag.String("matrix-workers", "", "comma-separated worker bounds (e.g. 1,4); runs the evaluation matrix once per bound and stamps the scaling curve")
+	profileDir := flag.String("profile-dir", "", "collect a CPU profile per benchmark suite into this directory (input for `go tool pprof -proto ... > default.pgo`)")
+	pgoProfile := flag.String("pgo", "", "build the benchmark suites with this PGO profile (passed to go test -pgo)")
+	baseline := flag.String("baseline", "", "stamp per-benchmark deltas against this prior document (baseline/current ns ratio)")
 	compare := flag.Bool("compare", false, "compare two benchmark JSON documents (old new); exit 1 on >15% ns/op regression")
+	compareRatios := flag.Bool("compare-ratios", false, "compare the dimensionless speedup ratios of two documents (old new); exit 1 when a committed ratio >=1.25x lost >15% of its advantage — machine-portable, unlike raw ns/op")
 	flag.Parse()
 
-	if *compare {
+	if *compare || *compareRatios {
 		if flag.NArg() != 2 {
-			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two arguments: old.json new.json")
+			fmt.Fprintln(os.Stderr, "benchjson: comparison needs exactly two arguments: old.json new.json")
 			os.Exit(2)
 		}
-		if err := compareDocs(flag.Arg(0), flag.Arg(1)); err != nil {
+		cmp := compareDocs
+		if *compareRatios {
+			cmp = compareDocRatios
+		}
+		if err := cmp(flag.Arg(0), flag.Arg(1)); err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(1)
 		}
 		return
 	}
 
+	if *short {
+		*benchtime = "300x"
+	}
+	var extraArgs []string
+	if *pgoProfile != "" {
+		abs, err := filepath.Abs(*pgoProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		extraArgs = append(extraArgs, "-pgo="+abs)
+	}
+	profileArgs := func(pkg string) []string {
+		if *profileDir == "" {
+			return nil
+		}
+		abs, err := filepath.Abs(*profileDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.MkdirAll(abs, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		name := strings.ReplaceAll(strings.TrimPrefix(pkg, "./"), "/", "_")
+		return []string{"-outputdir", abs, "-cpuprofile", name + ".prof"}
+	}
+
 	var results []result
 	if !*noSuites {
 		suites := []struct{ pkg, pattern string }{
 			{"./internal/minirocket", "BenchmarkTransform$|BenchmarkTransformNaive$|BenchmarkTransformSeedBaseline$|BenchmarkFit$"},
-			{"./internal/bench", "BenchmarkRunMatrixSerial$|BenchmarkRunMatrixParallel$"},
+		}
+		if !*short {
+			suites = append(suites, struct{ pkg, pattern string }{
+				"./internal/bench", "BenchmarkRunMatrixSerial$|BenchmarkRunMatrixParallel$"})
 		}
 		if *classify {
-			suites = []struct{ pkg, pattern string }{
-				{"./internal/core", "BenchmarkClassifyECTS(Classic|Cursor)$|BenchmarkStream(EDSC|TEASER)(Reclassify|Cursor)$"},
-				{"./internal/knn", "BenchmarkNearest$|BenchmarkNearestNoAbandon$"},
-			}
+			suites = append(suites,
+				struct{ pkg, pattern string }{"./internal/core", "BenchmarkClassifyECTS(Classic|Cursor)$|BenchmarkStream(EDSC|TEASER)(Reclassify|Cursor)$"},
+				struct{ pkg, pattern string }{"./internal/knn", "BenchmarkNearest$|BenchmarkNearestNoAbandon$"})
+		}
+		if *kernels {
+			suites = append(suites,
+				struct{ pkg, pattern string }{"./internal/knn", "BenchmarkNearestSlices$|BenchmarkNearestF32$|BenchmarkPrefixScan$|BenchmarkPrefixScanSlices$|BenchmarkNearestBatch$"},
+				struct{ pkg, pattern string }{"./internal/linalg", "BenchmarkSqDist$|BenchmarkSqDistF32$"})
 		}
 		for _, s := range suites {
-			rs, err := runSuite(s.pkg, s.pattern, *benchtime)
+			rs, err := runSuite(s.pkg, s.pattern, *benchtime, append(extraArgs, profileArgs(s.pkg)...), nil)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", s.pkg, err)
 				os.Exit(1)
@@ -174,6 +239,25 @@ func main() {
 		}
 		doc.FaultCounters = fc
 	}
+	if *matrixWorkers != "" {
+		curve, err := runWorkersCurve(*matrixWorkers, *benchtime, extraArgs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		doc.MatrixWorkersCurve = curve
+	}
+	if *pgoProfile != "" {
+		doc.PGOProfile = *pgoProfile
+	}
+	if *baseline != "" {
+		deltas, err := baselineDeltas(*baseline, results)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: baseline: %v\n", err)
+			os.Exit(1)
+		}
+		doc.BaselineDeltas = deltas
+	}
 	if *serveBench {
 		levels, err := parseRPSLevels(*serveRPS)
 		if err != nil {
@@ -197,6 +281,11 @@ func main() {
 	ratio(doc.Speedups, "edsc_stream_cursor_vs_reclassify", "BenchmarkStreamEDSCReclassify", "BenchmarkStreamEDSCCursor", nsOp)
 	ratio(doc.Speedups, "teaser_stream_cursor_vs_reclassify", "BenchmarkStreamTEASERReclassify", "BenchmarkStreamTEASERCursor", nsOp)
 	ratio(doc.Speedups, "knn_abandon_vs_exhaustive", "BenchmarkNearestNoAbandon", "BenchmarkNearest", nsOp)
+	ratio(doc.Speedups, "prefix_scan_fused_vs_slices", "BenchmarkPrefixScanSlices", "BenchmarkPrefixScan", nsOp)
+	ratio(doc.Speedups, "nearest_flat_vs_slices", "BenchmarkNearestSlices", "BenchmarkNearest", nsOp)
+	ratio(doc.Speedups, "nearest_f32_vs_f64", "BenchmarkNearest", "BenchmarkNearestF32", nsOp)
+	ratio(doc.Speedups, "sqdist_f32_vs_f64", "BenchmarkSqDist", "BenchmarkSqDistF32", nsOp)
+	ratio(doc.AllocRatios, "transform_vs_seed_baseline", "BenchmarkTransformSeedBaseline", "BenchmarkTransform", allocs)
 
 	f, err := os.Create(*out)
 	if err != nil {
@@ -220,6 +309,12 @@ func main() {
 // get before -compare fails the run. Generous enough for single-core CI
 // noise, tight enough to catch a real perf loss.
 const regressionTolerance = 0.15
+
+// minGatedRatio is the smallest committed speedup -compare-ratios
+// enforces. Ratios below it sit inside run-to-run noise on a loaded
+// single-core machine — there is no real advantage to lose, so they are
+// reported but never fail the gate.
+const minGatedRatio = 1.25
 
 // compareDocs diffs two benchmark documents by shared benchmark name and
 // returns an error if any ns/op regressed beyond the tolerance.
@@ -280,6 +375,134 @@ func compareDocs(oldPath, newPath string) error {
 	return nil
 }
 
+// runWorkersCurve measures the evaluation matrix once per worker bound
+// (0 = all cores) and derives each bound's speedup against the 1-worker
+// row when present.
+func runWorkersCurve(list, benchtime string, extraArgs []string) ([]workersPoint, error) {
+	var curve []workersPoint
+	seen := map[string]bool{} // "1,$(nproc)" collapses to one bound on a single-core machine
+	for _, part := range strings.Split(list, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" || seen[part] {
+			continue
+		}
+		seen[part] = true
+		w, err := strconv.Atoi(part)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("bad -matrix-workers entry %q", part)
+		}
+		rs, err := runSuite("./internal/bench", "BenchmarkRunMatrixWorkers$", benchtime,
+			extraArgs, []string{"GOETSC_BENCH_WORKERS=" + part})
+		if err != nil {
+			return nil, fmt.Errorf("workers=%d: %w", w, err)
+		}
+		if w == 0 {
+			w = runtime.NumCPU()
+		}
+		curve = append(curve, workersPoint{Workers: w, NsPerOp: rs[0].NsPerOp})
+	}
+	var base float64
+	for _, p := range curve {
+		if p.Workers == 1 {
+			base = p.NsPerOp
+		}
+	}
+	if base > 0 {
+		for i := range curve {
+			curve[i].SpeedupV1 = base / curve[i].NsPerOp
+		}
+	}
+	return curve, nil
+}
+
+// baselineDeltas maps every benchmark shared with the prior document to
+// baseline/current ns — the speedup this run achieved over it.
+func baselineDeltas(path string, results []result) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	old := map[string]float64{}
+	for _, r := range doc.Benchmarks {
+		if r.NsPerOp > 0 {
+			old[r.Name] = r.NsPerOp
+		}
+	}
+	out := map[string]float64{}
+	for _, r := range results {
+		if o, ok := old[r.Name]; ok && r.NsPerOp > 0 {
+			out[r.Name] = o / r.NsPerOp
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no benchmarks shared with %s", path)
+	}
+	return out, nil
+}
+
+// compareDocRatios diffs the dimensionless speedup ratios of two
+// documents. Unlike raw ns/op, ratios transfer across machines, so this
+// is the gate `make test` can run against a committed document produced
+// elsewhere: it fails when an optimization lost more than the tolerance
+// of its committed advantage.
+func compareDocRatios(oldPath, newPath string) error {
+	load := func(path string) (map[string]float64, error) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var doc document
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return doc.Speedups, nil
+	}
+	oldR, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newR, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(oldR))
+	for name := range oldR {
+		if _, ok := newR[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return fmt.Errorf("no shared speedup ratios between %s and %s", oldPath, newPath)
+	}
+	var regressions []string
+	for _, name := range names {
+		rel := newR[name]/oldR[name] - 1
+		status := "ok"
+		switch {
+		case oldR[name] < minGatedRatio:
+			// A ratio hovering near 1 has no committed advantage to
+			// protect; gating it would only flake on machine noise.
+			status = "info (not gated)"
+		case newR[name] < oldR[name]*(1-regressionTolerance):
+			status = "REGRESSION"
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.2fx -> %.2fx (%.1f%%)", name, oldR[name], newR[name], 100*rel))
+		}
+		fmt.Printf("%-40s %8.2fx %8.2fx  %+6.1f%%  %s\n", name, oldR[name], newR[name], 100*rel, status)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d speedup ratio(s) lost more than %.0f%% of their committed advantage:\n  %s",
+			len(regressions), 100*regressionTolerance, strings.Join(regressions, "\n  "))
+	}
+	fmt.Printf("compare-ratios: %d shared ratios within %.0f%% tolerance\n", len(names), 100*regressionTolerance)
+	return nil
+}
+
 // parseRPSLevels parses the -serve-rps list.
 func parseRPSLevels(s string) ([]float64, error) {
 	var out []float64
@@ -301,10 +524,18 @@ func parseRPSLevels(s string) ([]float64, error) {
 }
 
 // runSuite executes one package's benchmarks (skipping its tests) and
-// parses the standard testing.B output.
-func runSuite(pkg, pattern, benchtime string) ([]result, error) {
-	cmd := exec.Command("go", "test", "-run", "^$", "-bench", pattern,
-		"-benchmem", "-benchtime", benchtime, pkg)
+// parses the standard testing.B output. extraArgs are appended to the go
+// test invocation (PGO and profiling flags); env entries are appended to
+// the child's environment.
+func runSuite(pkg, pattern, benchtime string, extraArgs, env []string) ([]result, error) {
+	args := []string{"test", "-run", "^$", "-bench", pattern,
+		"-benchmem", "-benchtime", benchtime}
+	args = append(args, extraArgs...)
+	args = append(args, pkg)
+	cmd := exec.Command("go", args...)
+	if len(env) > 0 {
+		cmd.Env = append(os.Environ(), env...)
+	}
 	out, err := cmd.CombinedOutput()
 	if err != nil {
 		return nil, fmt.Errorf("%v\n%s", err, out)
