@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet race chaos serve-smoke test bench bench-serve bench-classify pgo figures data tune clean
+.PHONY: all build vet race chaos chaos-serve serve-smoke test bench bench-serve bench-classify pgo figures data tune clean
 
 NPROC := $(shell nproc 2>/dev/null || echo 1)
 
@@ -33,6 +33,17 @@ chaos:
 	$(GO) test -race ./internal/faults/...
 	$(GO) test -race -run 'Chaos|Fault|Retry|Resume|Checkpoint|FailFast|Panic' ./internal/bench/...
 
+# Serve-layer chaos under the race detector: hot reload mid-stream keeps
+# live sessions bit-identical to their pinned version, a corrupt
+# artifact (every persist failure mode) never replaces a healthy model,
+# rollback restores byte-identical responses, circuit breakers open and
+# recover on their configured schedule, drain flushes in-flight work,
+# and at ~10x saturation admission control sheds cleanly while keeping
+# the admitted p99 within 2x of the unloaded p99.
+chaos-serve:
+	$(GO) test -race -run 'Reload|Rollback|Breaker|Admission|Tenant|Shed|Overload|Drain|Readyz|Degraded|Corrupt' ./internal/serve/...
+	$(GO) test -race -run 'ServeHook|Corrupt' ./internal/faults/...
+
 # End-to-end serving parity under the race detector: every algorithm is
 # trained on three synthetic datasets (one multivariate), persisted,
 # loaded into an HTTP server, and must reproduce the offline Classify
@@ -43,7 +54,7 @@ serve-smoke:
 	$(GO) test -race -run 'ServeSmoke|Trace|Stats|Metrics|Dashboard|Eviction|MetaRoutes' ./internal/serve/...
 	$(GO) test -race -run 'Run|Correlate' ./internal/loadgen/...
 
-test: vet race chaos serve-smoke
+test: vet race chaos chaos-serve serve-smoke
 	$(GO) test ./...
 	@if [ -f BENCH_PR7.json ]; then \
 		echo "kernel regression gate: short deterministic run vs committed BENCH_PR7.json"; \
@@ -95,10 +106,12 @@ bench-classify:
 # over loopback HTTP, replays it through the load generator at three
 # request rates (plus one streaming run) with offline parity checks, and
 # commits the percentiles, request counters, and the server's own
-# /v1/stats view (rolling-window quantiles + quality gauges) to
-# BENCH_PR6.json.
+# /v1/stats view (rolling-window quantiles + quality gauges +
+# shed/breaker/reload counters) to BENCH_PR8.json. The -overload pass
+# additionally drives a deliberately tiny server past saturation and
+# records goodput vs shed rate and the admitted-vs-unloaded p99 ratio.
 bench-serve:
-	$(GO) run ./tools/benchjson -serve -stats -skip-suites -out BENCH_PR6.json
+	$(GO) run ./tools/benchjson -serve -stats -overload -skip-suites -out BENCH_PR8.json
 
 # Scaled-down evaluation matrix with text figures, SVG files and the
 # qualitative-claims check.

@@ -59,6 +59,8 @@ func main() {
 		jsonOut       = flag.String("json", "", "write the result as JSON to this file")
 		serverJournal = flag.String("server-journal", "", "server journal file (etsc-serve -journal) to correlate traces against after the run")
 		traces        = flag.Bool("traces", false, "keep per-conversation trace records in the JSON result")
+		overload      = flag.Bool("overload", false, "drive past capacity: unpaced, many clients; 429/503 sheds are expected and reported as goodput vs shed rate instead of failing the run")
+		tenant        = flag.String("tenant", "", "X-Etsc-Tenant header attributing the load to one tenant's quota")
 	)
 	var obsFlags obs.Flags
 	obsFlags.Register(flag.CommandLine)
@@ -109,19 +111,40 @@ func main() {
 		fmt.Printf("parity reference: %s from %s\n", offline.Name(), *modelFile)
 	}
 
+	runRPS, runClients, runTotal := *rps, *clients, *total
+	if *overload {
+		// Past capacity on purpose: unpaced, a big client pool, several
+		// passes over the holdout so the shed/goodput split stabilizes.
+		runRPS = 0
+		if runClients < 32 {
+			runClients = 32
+		}
+		if runTotal <= 0 {
+			runTotal = 4 * len(instances)
+		}
+		// Parity references stay on: every *admitted* answer must still
+		// match the offline classifier, shedding must not corrupt results.
+	}
+
 	res, err := loadgen.Run(loadgen.Config{
 		BaseURL: *addr, Model: *model,
 		Instances: instances, References: refs,
-		RPS: *rps, Clients: *clients, Total: *total,
+		RPS: runRPS, Clients: runClients, Total: runTotal,
 		Mode: loadgen.Mode(*mode), ChunkSize: *chunk, Timeout: *timeout,
 		CollectTraces: *traces || *serverJournal != "",
+		Tenant:        *tenant,
 	})
 	if err != nil {
 		fail(err)
 	}
 	fmt.Println(res)
+	if *overload {
+		fmt.Printf("overload summary: goodput %.1f req/s vs %d shed (%.1f%%), admitted p99 %s\n",
+			res.Goodput, res.Shed, res.ShedRate*100, res.P99.Round(time.Microsecond))
+	}
 	col.Emit("loadgen_result", map[string]any{
 		"mode": string(res.Mode), "sent": res.Sent, "errors": res.Errors,
+		"shed": res.Shed, "shed_rate": res.ShedRate, "goodput_rps": res.Goodput,
 		"p50_ms":         float64(res.P50) / float64(time.Millisecond),
 		"p99_ms":         float64(res.P99) / float64(time.Millisecond),
 		"throughput_rps": res.Throughput,

@@ -43,6 +43,17 @@ func main() {
 		coalesceMax  = flag.Int("coalesce-max", 16, "maximum requests per coalesced batch")
 		float32Mode  = flag.Bool("float32", false, "serve models with float32-capable kernels in low precision (faster, not bit-identical to offline)")
 		pprofMux     = flag.Bool("pprof", false, "serve /debug/pprof on the main listener (outside the request deadline)")
+		reloadAPI    = flag.Bool("reload-api", false, "enable POST /v1/models/{name}/reload and /rollback (hot swap under traffic)")
+		tenantRPS    = flag.Float64("tenant-rps", 0, "per-tenant request rate limit (tokens/s; 0 disables tenant quotas)")
+		tenantBurst  = flag.Int("tenant-burst", 0, "per-tenant token-bucket burst (default 2x -tenant-rps)")
+		queueDepth   = flag.Int("queue-depth", 0, "admission queue bound; waiting requests beyond it are shed with 503 (default 4x workers)")
+		queueTimeout = flag.Duration("queue-timeout", time.Second, "longest a request may wait for a classification slot before it is shed")
+		brkThreshold = flag.Float64("breaker-threshold", 0.5, "classify failure rate that opens a model's circuit breaker (<=0 or >1 disables)")
+		brkSamples   = flag.Int("breaker-min-samples", 10, "window population required before the breaker can open")
+		brkWindow    = flag.Duration("breaker-window", 10*time.Second, "failure-rate observation window")
+		brkCooldown  = flag.Duration("breaker-cooldown", 5*time.Second, "how long an open breaker rejects before probing half-open")
+		brkProbes    = flag.Int("breaker-probes", 3, "half-open successes required to re-close the breaker")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "longest to wait for in-flight requests when draining on SIGTERM")
 	)
 	var obsFlags obs.Flags
 	obsFlags.Register(flag.CommandLine)
@@ -68,16 +79,33 @@ func main() {
 		})
 	}
 
+	// On the flag surface <=0 disables breakers, but Config treats 0 as
+	// "use the default": translate an explicit 0 into a disabling value.
+	threshold := *brkThreshold
+	if threshold == 0 {
+		threshold = -1
+	}
+
 	srv := serve.New(serve.Config{
-		MaxBodyBytes:   *maxBody,
-		RequestTimeout: *timeout,
-		SessionTTL:     *sessionTTL,
-		SLOTarget:      *sloTarget,
-		SLOObjective:   *sloObjective,
-		CoalesceWindow: *coalesceWin,
-		CoalesceMax:    *coalesceMax,
-		Float32:        *float32Mode,
-		Obs:            col,
+		MaxBodyBytes:      *maxBody,
+		RequestTimeout:    *timeout,
+		SessionTTL:        *sessionTTL,
+		SLOTarget:         *sloTarget,
+		SLOObjective:      *sloObjective,
+		CoalesceWindow:    *coalesceWin,
+		CoalesceMax:       *coalesceMax,
+		Float32:           *float32Mode,
+		ReloadAPI:         *reloadAPI,
+		TenantRPS:         *tenantRPS,
+		TenantBurst:       *tenantBurst,
+		QueueDepth:        *queueDepth,
+		QueueTimeout:      *queueTimeout,
+		BreakerThreshold:  threshold,
+		BreakerMinSamples: *brkSamples,
+		BreakerWindow:     *brkWindow,
+		BreakerCooldown:   *brkCooldown,
+		BreakerProbes:     *brkProbes,
+		Obs:               col,
 	})
 	defer srv.Close()
 	if *models == "" {
@@ -158,8 +186,16 @@ func main() {
 			failWith(obsCleanup, err)
 		}
 	case <-ctx.Done():
-		fmt.Println("etsc-serve: shutting down")
+		// Graceful drain: stop admitting work (503 + Connection: close,
+		// meta routes keep answering so probes see the drain), flush
+		// in-flight requests, then close the listener.
+		fmt.Println("etsc-serve: draining")
 		col.Emit("server_shutdown", map[string]any{"reason": "signal"})
+		drainCtx, cancelDrain := context.WithTimeout(context.Background(), *drainTimeout)
+		if err := srv.Drain(drainCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "etsc-serve: drain incomplete: %v\n", err)
+		}
+		cancelDrain()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *timeout)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {

@@ -1,0 +1,93 @@
+package faults
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Serving-plane chaos. The evaluation engine injects faults by wrapping
+// fold factories; the serving layer instead exposes a classify hook
+// (serve.Config.ClassifyHook) that runs before every classify/advance.
+// ServeHook adapts a Plan to that hook: the n-th classify call against a
+// model draws the fault assigned to the (model, n) key, so a chaos run
+// that drives a model with a fixed request sequence sees the same
+// panics, errors and latency spikes every time, at any -race schedule.
+
+// serveInjector tracks per-model call numbers for a plan-driven hook.
+type serveInjector struct {
+	plan *Plan
+
+	mu    sync.Mutex
+	calls map[string]int
+}
+
+// ServeHook returns a classify-path fault hook driven by the plan. Each
+// model's calls are numbered independently; the fault for call n is
+// Plan.For(model, "classify", 0, n). A nil plan returns nil — the
+// serving layer treats a nil hook as chaos off.
+func (p *Plan) ServeHook() func(model string) error {
+	if p == nil {
+		return nil
+	}
+	inj := &serveInjector{plan: p, calls: map[string]int{}}
+	return inj.hook
+}
+
+func (i *serveInjector) hook(model string) error {
+	i.mu.Lock()
+	n := i.calls[model]
+	i.calls[model] = n + 1
+	i.mu.Unlock()
+	f := i.plan.For(model, "classify", 0, n)
+	switch f.Kind {
+	case Panic:
+		panic(fmt.Sprintf("faults: injected classify panic at %s/call%d", model, n))
+	case Error:
+		return fmt.Errorf("faults: injected classify error at %s/call%d", model, n)
+	case Latency:
+		time.Sleep(f.Delay)
+	}
+	return nil
+}
+
+// Corruption enumerates ways to damage a persisted model artifact for
+// corrupt-reload chaos. Each maps to a distinct typed persist error, so
+// the chaos suite can prove the reload API's whole failure taxonomy.
+type Corruption int
+
+// Corruption modes.
+const (
+	// WrongMagic overwrites the magic header (persist.ErrBadMagic).
+	WrongMagic Corruption = iota
+	// FutureVersion bumps the format version (persist.ErrVersion).
+	FutureVersion
+	// Truncate cuts the file mid-payload (persist.ErrTruncated).
+	Truncate
+	// FlipBit flips one payload bit (persist.ErrChecksum).
+	FlipBit
+)
+
+// Corrupt returns a damaged copy of a persist envelope; data itself is
+// never modified. The damage is deterministic — no randomness — so a
+// corrupt-reload chaos run is reproducible byte for byte.
+func Corrupt(data []byte, c Corruption) []byte {
+	out := append([]byte(nil), data...)
+	switch c {
+	case WrongMagic:
+		copy(out, "NOTMODEL")
+	case FutureVersion:
+		// The u32 format version sits right after the 8-byte magic.
+		if len(out) >= 12 {
+			binary.BigEndian.PutUint32(out[8:], binary.BigEndian.Uint32(out[8:])+1)
+		}
+	case Truncate:
+		out = out[:len(out)/2]
+	case FlipBit:
+		// Flip a bit in the middle: lands in the gob payload for any real
+		// model, far from the length-prefixed structure.
+		out[len(out)/2] ^= 0x01
+	}
+	return out
+}

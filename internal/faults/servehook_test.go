@@ -1,0 +1,117 @@
+package faults
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/goetsc/goetsc/internal/persist"
+	ts "github.com/goetsc/goetsc/internal/timeseries"
+)
+
+// outcome classifies what one hook call did, mirroring Kind.
+func outcome(hook func(string) error, model string) (k Kind) {
+	defer func() {
+		if recover() != nil {
+			k = Panic
+		}
+	}()
+	if err := hook(model); err != nil {
+		return Error
+	}
+	return None // Latency sleeps then succeeds; callers observe no fault
+}
+
+// TestServeHookDeterministicPerModel pins the classify-hook contract:
+// the n-th call for a model draws Plan.For(model, "classify", 0, n), so
+// two injectors built from the same plan see identical fault sequences,
+// and each model's call numbering is independent of interleaving.
+func TestServeHookDeterministicPerModel(t *testing.T) {
+	plan := NewPlan(Config{Seed: 11, PanicProb: 0.2, ErrorProb: 0.3, LatencyProb: 0.2,
+		MaxLatency: time.Microsecond})
+
+	want := func(model string, n int) Kind {
+		k := plan.For(model, "classify", 0, n).Kind
+		if k == Latency {
+			k = None // latency delays but does not fail the call
+		}
+		return k
+	}
+
+	hookA, hookB := plan.ServeHook(), plan.ServeHook()
+	// Interleave two models on hookA; counters must not cross-talk.
+	for n := 0; n < 64; n++ {
+		for _, model := range []string{"m1", "m2"} {
+			if got := outcome(hookA, model); got != want(model, n) {
+				t.Fatalf("hookA %s call %d = %v, want %v", model, n, got, want(model, n))
+			}
+		}
+	}
+	// A second injector from the same plan replays the same sequence.
+	for n := 0; n < 64; n++ {
+		if got := outcome(hookB, "m1"); got != want("m1", n) {
+			t.Fatalf("hookB m1 call %d = %v, want %v", n, got, want("m1", n))
+		}
+	}
+}
+
+func TestServeHookNilPlan(t *testing.T) {
+	var p *Plan
+	if hook := p.ServeHook(); hook != nil {
+		t.Fatal("nil plan must yield a nil hook (chaos off)")
+	}
+}
+
+// persistStub is a minimal gob-encodable classifier so the corruption
+// tests can build a real persist envelope without training anything.
+type persistStub struct{ K int }
+
+func (s *persistStub) Name() string                    { return "STUB" }
+func (s *persistStub) Fit(*ts.Dataset) error           { return nil }
+func (s *persistStub) Classify(ts.Instance) (int, int) { return s.K, 1 }
+
+// TestCorruptMapsToPersistTaxonomy proves each Corruption mode lands on
+// its promised typed persist error — the mapping the reload API's
+// failure taxonomy (and its chaos tests) relies on — and that the
+// damage is deterministic and leaves the input untouched.
+func TestCorruptMapsToPersistTaxonomy(t *testing.T) {
+	gob.Register(&persistStub{})
+	var env bytes.Buffer
+	if err := persist.Save(&env, &persistStub{K: 3}, persist.Meta{Dataset: "synthetic"}); err != nil {
+		t.Fatalf("save stub envelope: %v", err)
+	}
+
+	cases := []struct {
+		mode Corruption
+		want error
+	}{
+		{WrongMagic, persist.ErrBadMagic},
+		{FutureVersion, persist.ErrVersion},
+		{Truncate, persist.ErrTruncated},
+		{FlipBit, persist.ErrChecksum},
+	}
+	for _, tc := range cases {
+		before := append([]byte(nil), env.Bytes()...)
+		bad := Corrupt(env.Bytes(), tc.mode)
+		if !bytes.Equal(env.Bytes(), before) {
+			t.Fatalf("mode %d mutated its input", tc.mode)
+		}
+		if again := Corrupt(env.Bytes(), tc.mode); !bytes.Equal(bad, again) {
+			t.Fatalf("mode %d is not deterministic", tc.mode)
+		}
+		if _, _, err := persist.Load(bytes.NewReader(bad)); !errors.Is(err, tc.want) {
+			t.Fatalf("mode %d: Load = %v, want %v", tc.mode, err, tc.want)
+		}
+	}
+
+	// The undamaged envelope still loads — the baseline the modes damage.
+	model, _, err := persist.Load(bytes.NewReader(env.Bytes()))
+	if err != nil {
+		t.Fatalf("pristine envelope failed to load: %v", err)
+	}
+	if label, _ := model.Classify(ts.Instance{Values: [][]float64{{0}}}); label != 3 {
+		t.Fatalf("round-tripped stub answers %d, want 3", label)
+	}
+}

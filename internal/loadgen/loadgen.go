@@ -8,6 +8,7 @@ package loadgen
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -65,6 +66,9 @@ type Config struct {
 	// records (see Correlate). Tracing headers are always sent; this flag
 	// only controls client-side retention.
 	CollectTraces bool
+	// Tenant, when set, is sent as the X-Etsc-Tenant header on every
+	// request, attributing the load to one tenant's quota.
+	Tenant string
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -117,6 +121,15 @@ type Result struct {
 	Throughput       float64       `json:"throughput_rps"`
 	Elapsed          time.Duration `json:"elapsed_ns"`
 
+	// Shed counts instances the server rejected with 429/503 — admission
+	// control doing its job under overload, reported separately from
+	// Errors (real failures). Latency percentiles cover only admitted,
+	// successful instances, so under overload P99 is the admitted p99.
+	// Goodput is those instances per second of wall time.
+	Shed     int     `json:"shed,omitempty"`
+	ShedRate float64 `json:"shed_rate,omitempty"`
+	Goodput  float64 `json:"goodput_rps,omitempty"`
+
 	// Session mode only: latency of the individual /points batches.
 	AdvanceCount int           `json:"advance_count,omitempty"`
 	AdvanceP50   time.Duration `json:"advance_p50_ns,omitempty"`
@@ -155,6 +168,10 @@ func (r Result) String() string {
 			r.AdvanceP99.Round(time.Microsecond), r.AdvanceMean.Round(time.Microsecond),
 			r.AdvanceMax.Round(time.Microsecond))
 	}
+	if r.Shed > 0 {
+		s += fmt.Sprintf("\n  overload: %d shed (%.1f%%), goodput %.1f req/s, admitted p99=%s",
+			r.Shed, r.ShedRate*100, r.Goodput, r.P99.Round(time.Microsecond))
+	}
 	if r.ParityChecked > 0 {
 		s += fmt.Sprintf(", parity %d/%d", r.ParityChecked-r.ParityMismatches, r.ParityChecked)
 	}
@@ -174,7 +191,14 @@ func Run(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	client := &http.Client{Timeout: cfg.Timeout}
+	// One warm connection per client: the default transport keeps only
+	// two idle connections per host, so an overload run with dozens of
+	// clients would redial constantly and bill the handshakes to the
+	// measured latency.
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConns = cfg.Clients + 2
+	tr.MaxIdleConnsPerHost = cfg.Clients
+	client := &http.Client{Timeout: cfg.Timeout, Transport: tr}
 
 	// The pacer drops one token per request interval; unpaced runs use a
 	// closed channel so receives never block.
@@ -225,10 +249,10 @@ func Run(cfg Config) (Result, error) {
 				var reqs int
 				switch cfg.Mode {
 				case ModeClassify:
-					dec, err = classifyOnce(client, cfg.BaseURL, cfg.Model, cfg.Instances[idx], tc)
+					dec, err = classifyOnce(client, cfg.BaseURL, cfg.Model, cfg.Instances[idx], tc, cfg.Tenant)
 					reqs = 1
 				case ModeSession:
-					dec, advances, reqs, err = streamOnce(client, cfg.BaseURL, cfg.Model, cfg.Instances[idx], cfg.ChunkSize, tc)
+					dec, advances, reqs, err = streamOnce(client, cfg.BaseURL, cfg.Model, cfg.Instances[idx], cfg.ChunkSize, tc, cfg.Tenant)
 				}
 				s := sample{latency: time.Since(t0), advances: advances, err: err, instance: idx, dec: dec,
 					trace: tc.Trace, requests: reqs}
@@ -247,7 +271,11 @@ func Run(cfg Config) (Result, error) {
 	var sum, advSum time.Duration
 	for _, s := range samples {
 		if s.err != nil {
-			res.Errors++
+			if IsShed(s.err) {
+				res.Shed++
+			} else {
+				res.Errors++
+			}
 			continue
 		}
 		latencies = append(latencies, s.latency)
@@ -296,8 +324,31 @@ func Run(cfg Config) (Result, error) {
 	}
 	if elapsed > 0 {
 		res.Throughput = float64(len(samples)) / elapsed.Seconds()
+		res.Goodput = float64(len(latencies)) / elapsed.Seconds()
+	}
+	if res.Sent > 0 {
+		res.ShedRate = float64(res.Shed) / float64(res.Sent)
 	}
 	return res, nil
+}
+
+// statusError carries the HTTP status of a non-2xx response so callers
+// can tell an admission-control rejection from a real failure.
+type statusError struct {
+	status int
+	msg    string
+}
+
+func (e *statusError) Error() string { return e.msg }
+
+// IsShed reports whether the error is a server-side admission rejection:
+// 429 (tenant over quota) or 503 (overload shedding, breaker open,
+// draining). Under deliberate overload these are the server working as
+// designed, not failures.
+func IsShed(err error) bool {
+	var se *statusError
+	return errors.As(err, &se) &&
+		(se.status == http.StatusTooManyRequests || se.status == http.StatusServiceUnavailable)
 }
 
 // percentile reads the nearest-rank percentile from sorted samples.
@@ -316,12 +367,12 @@ func percentile(sorted []time.Duration, p float64) time.Duration {
 }
 
 // classifyOnce sends one /v1/classify request.
-func classifyOnce(client *http.Client, baseURL, model string, values [][]float64, tc obs.TraceContext) (decision, error) {
+func classifyOnce(client *http.Client, baseURL, model string, values [][]float64, tc obs.TraceContext, tenant string) (decision, error) {
 	var resp struct {
 		Label    int `json:"label"`
 		Consumed int `json:"consumed"`
 	}
-	err := postJSON(client, baseURL+"/v1/classify", tc,
+	err := postJSON(client, baseURL+"/v1/classify", tc, tenant,
 		map[string]any{"model": model, "values": values}, &resp)
 	return decision{Label: resp.Label, Consumed: resp.Consumed}, err
 }
@@ -340,10 +391,10 @@ type sessionState struct {
 // /points batch alongside the decision and the number of HTTP requests
 // issued, so callers can separate cursor advance cost from session
 // bookkeeping and join the conversation against the server journal.
-func streamOnce(client *http.Client, baseURL, model string, values [][]float64, chunk int, tc obs.TraceContext) (dec decision, advances []time.Duration, reqs int, err error) {
+func streamOnce(client *http.Client, baseURL, model string, values [][]float64, chunk int, tc obs.TraceContext, tenant string) (dec decision, advances []time.Duration, reqs int, err error) {
 	var st sessionState
 	reqs++
-	if err := postJSON(client, baseURL+"/v1/sessions", tc, map[string]any{"model": model}, &st); err != nil {
+	if err := postJSON(client, baseURL+"/v1/sessions", tc, tenant, map[string]any{"model": model}, &st); err != nil {
 		return decision{}, nil, reqs, err
 	}
 	base := baseURL + "/v1/sessions/" + st.SessionID
@@ -353,6 +404,9 @@ func streamOnce(client *http.Client, baseURL, model string, values [][]float64, 
 			return
 		}
 		req.Header.Set(obs.TraceHeader, tc.Child().Header())
+		if tenant != "" {
+			req.Header.Set("X-Etsc-Tenant", tenant)
+		}
 		reqs++
 		if resp, derr := client.Do(req); derr == nil {
 			io.Copy(io.Discard, resp.Body)
@@ -373,7 +427,7 @@ func streamOnce(client *http.Client, baseURL, model string, values [][]float64, 
 		}
 		t0 := time.Now()
 		reqs++
-		if err := postJSON(client, base+"/points", tc,
+		if err := postJSON(client, base+"/points", tc, tenant,
 			map[string]any{"values": batch, "last": hi == n}, &st); err != nil {
 			return decision{}, advances, reqs, err
 		}
@@ -392,7 +446,7 @@ func streamOnce(client *http.Client, baseURL, model string, values [][]float64, 
 // treating non-2xx statuses as errors carrying the server's message.
 // Each request carries the conversation's trace ID under a fresh client
 // span, matching what a traced production caller would send.
-func postJSON(client *http.Client, url string, tc obs.TraceContext, body, out any) error {
+func postJSON(client *http.Client, url string, tc obs.TraceContext, tenant string, body, out any) error {
 	b, err := json.Marshal(body)
 	if err != nil {
 		return err
@@ -405,6 +459,9 @@ func postJSON(client *http.Client, url string, tc obs.TraceContext, body, out an
 	if tc.Valid() {
 		req.Header.Set(obs.TraceHeader, tc.Child().Header())
 	}
+	if tenant != "" {
+		req.Header.Set("X-Etsc-Tenant", tenant)
+	}
 	resp, err := client.Do(req)
 	if err != nil {
 		return err
@@ -416,9 +473,11 @@ func postJSON(client *http.Client, url string, tc obs.TraceContext, body, out an
 		}
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		if json.Unmarshal(msg, &apiErr) == nil && apiErr.Error != "" {
-			return fmt.Errorf("loadgen: %s: %d: %s", url, resp.StatusCode, apiErr.Error)
+			return &statusError{status: resp.StatusCode,
+				msg: fmt.Sprintf("loadgen: %s: %d: %s", url, resp.StatusCode, apiErr.Error)}
 		}
-		return fmt.Errorf("loadgen: %s: status %d", url, resp.StatusCode)
+		return &statusError{status: resp.StatusCode,
+			msg: fmt.Sprintf("loadgen: %s: status %d", url, resp.StatusCode)}
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
 }

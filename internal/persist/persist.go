@@ -141,65 +141,91 @@ func SaveFile(path string, model core.EarlyClassifier, meta Meta) error {
 	return f.Close()
 }
 
+// FileInfo describes a verified envelope beyond its Meta: the checksum
+// that validated and the payload size. The serving registry stamps both
+// onto each loaded model version so reloads have provenance.
+type FileInfo struct {
+	// Checksum is the envelope's verified FNV-1a 64 trailer.
+	Checksum uint64
+	// Bytes is the whole envelope size.
+	Bytes int64
+}
+
 // Load reads and verifies an envelope, returning the trained model and
 // its metadata. Structural damage is reported before the checksum so a
 // truncated file yields ErrTruncated rather than a generic corruption
 // error; a bit flip anywhere yields ErrChecksum.
 func Load(r io.Reader) (core.EarlyClassifier, Meta, error) {
+	model, meta, _, err := loadInfo(r)
+	return model, meta, err
+}
+
+// loadInfo is Load plus the envelope's FileInfo.
+func loadInfo(r io.Reader) (core.EarlyClassifier, Meta, FileInfo, error) {
 	data, err := io.ReadAll(r)
 	if err != nil {
-		return nil, Meta{}, fmt.Errorf("persist: read: %w", err)
+		return nil, Meta{}, FileInfo{}, fmt.Errorf("persist: read: %w", err)
 	}
+	model, meta, sum, err := loadEnvelope(data)
+	if err != nil {
+		return nil, Meta{}, FileInfo{}, err
+	}
+	return model, meta, FileInfo{Checksum: sum, Bytes: int64(len(data))}, nil
+}
+
+// loadEnvelope parses and verifies one complete envelope, returning the
+// verified checksum trailer alongside the model.
+func loadEnvelope(data []byte) (core.EarlyClassifier, Meta, uint64, error) {
 	cur := data
 	if len(cur) < len(magic)+4 {
-		return nil, Meta{}, ErrTruncated
+		return nil, Meta{}, 0, ErrTruncated
 	}
 	if !bytes.Equal(cur[:len(magic)], magic[:]) {
-		return nil, Meta{}, ErrBadMagic
+		return nil, Meta{}, 0, ErrBadMagic
 	}
 	cur = cur[len(magic):]
 	version := binary.BigEndian.Uint32(cur)
 	cur = cur[4:]
 	if version != Version {
-		return nil, Meta{}, fmt.Errorf("%w: file has version %d, supported %d", ErrVersion, version, Version)
+		return nil, Meta{}, 0, fmt.Errorf("%w: file has version %d, supported %d", ErrVersion, version, Version)
 	}
 
 	name, cur, err := readBlock32(cur)
 	if err != nil {
-		return nil, Meta{}, err
+		return nil, Meta{}, 0, err
 	}
 	metaJSON, cur, err := readBlock32(cur)
 	if err != nil {
-		return nil, Meta{}, err
+		return nil, Meta{}, 0, err
 	}
 	gobBytes, cur, err := readBlock64(cur)
 	if err != nil {
-		return nil, Meta{}, err
+		return nil, Meta{}, 0, err
 	}
 	if len(cur) < 8 {
-		return nil, Meta{}, ErrTruncated
+		return nil, Meta{}, 0, ErrTruncated
 	}
 	stored := binary.BigEndian.Uint64(cur)
 	if got := Checksum(data[:len(data)-len(cur)]); got != stored {
-		return nil, Meta{}, ErrChecksum
+		return nil, Meta{}, 0, ErrChecksum
 	}
 
 	var meta Meta
 	if err := json.Unmarshal(metaJSON, &meta); err != nil {
-		return nil, Meta{}, fmt.Errorf("persist: decode meta: %w", err)
+		return nil, Meta{}, 0, fmt.Errorf("persist: decode meta: %w", err)
 	}
 	var p payload
 	if err := gob.NewDecoder(bytes.NewReader(gobBytes)).Decode(&p); err != nil {
-		return nil, Meta{}, fmt.Errorf("persist: decode model: %w", err)
+		return nil, Meta{}, 0, fmt.Errorf("persist: decode model: %w", err)
 	}
 	if p.Model == nil {
-		return nil, Meta{}, fmt.Errorf("persist: decode model: empty payload")
+		return nil, Meta{}, 0, fmt.Errorf("persist: decode model: empty payload")
 	}
 	if got := p.Model.Name(); got != string(name) {
-		return nil, Meta{}, fmt.Errorf("%w: tag %q, model reports %q", ErrAlgorithmMismatch, name, got)
+		return nil, Meta{}, 0, fmt.Errorf("%w: tag %q, model reports %q", ErrAlgorithmMismatch, name, got)
 	}
 	meta.Algorithm = string(name)
-	return p.Model, meta, nil
+	return p.Model, meta, stored, nil
 }
 
 // LoadFile reads and verifies the model stored at path.
@@ -214,6 +240,22 @@ func LoadFile(path string) (core.EarlyClassifier, Meta, error) {
 		return nil, Meta{}, fmt.Errorf("%w (file %s)", err, path)
 	}
 	return model, meta, nil
+}
+
+// LoadFileInfo is LoadFile plus the envelope's verified checksum and
+// size — the provenance fields the serving registry stamps onto each
+// model version it hot-reloads.
+func LoadFileInfo(path string) (core.EarlyClassifier, Meta, FileInfo, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, Meta{}, FileInfo{}, fmt.Errorf("persist: %w", err)
+	}
+	defer f.Close()
+	model, meta, fi, err := loadInfo(f)
+	if err != nil {
+		return nil, Meta{}, FileInfo{}, fmt.Errorf("%w (file %s)", err, path)
+	}
+	return model, meta, fi, nil
 }
 
 // Checksum is the envelope's FNV-1a 64 hash, exported so tests can craft

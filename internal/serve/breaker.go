@@ -1,0 +1,214 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"github.com/goetsc/goetsc/internal/obs"
+)
+
+// Per-model circuit breakers. A model whose classify path keeps failing
+// (injected chaos faults, panics inside a damaged model, requests blown
+// past their deadline) takes its whole worker slot budget down with it:
+// every doomed request still queues, runs and fails. The breaker fails
+// those requests fast instead — closed → open when the failure rate over
+// a rolling window crosses the threshold, open → half-open after a
+// cooldown, half-open → closed after a run of successful probes (or
+// straight back to open on the first failed one). Every transition is
+// journaled and mirrored into a Prometheus gauge, and open breakers turn
+// readyz degraded.
+
+// Breaker states.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+var breakerStateNames = [...]string{"closed", "open", "half_open"}
+
+// breakerConfig tunes one breaker; the zero value is filled from the
+// server Config defaults.
+type breakerConfig struct {
+	// Threshold is the failure rate in the window that opens the breaker.
+	Threshold float64
+	// MinSamples is the minimum window population before the rate counts.
+	MinSamples int
+	// Window bounds the failure-rate observation span; counts reset when
+	// it elapses.
+	Window time.Duration
+	// Cooldown is how long an open breaker rejects before probing.
+	Cooldown time.Duration
+	// Probes is the run of half-open successes that closes the breaker.
+	Probes int
+}
+
+// breaker is one model's circuit state machine. All methods are safe for
+// concurrent use; now is injectable so the chaos suite can prove the
+// open/half-open/closed schedule deterministically.
+type breaker struct {
+	cfg   breakerConfig
+	model string
+	now   func() time.Time
+	emit  func(typ string, fields map[string]any)
+
+	stateGauge  *obs.Gauge
+	transitions *obs.Counter
+
+	mu          sync.Mutex
+	state       int
+	fails       uint64 // failures in the current window
+	total       uint64 // samples in the current window
+	windowStart time.Time
+	openedAt    time.Time
+	probeOKs    int
+}
+
+func newBreaker(model string, cfg breakerConfig, reg *obs.Registry,
+	emit func(string, map[string]any)) *breaker {
+	lbl := obs.Label{Key: "model", Value: model}
+	b := &breaker{
+		cfg: cfg, model: model, now: time.Now, emit: emit,
+		stateGauge: reg.Gauge("etsc_serve_breaker_state",
+			"Circuit breaker state per model: 0 closed, 1 open, 2 half-open.", lbl),
+		transitions: reg.Counter("etsc_serve_breaker_transitions_total",
+			"Circuit breaker state transitions per model.", lbl),
+	}
+	b.windowStart = b.now()
+	return b
+}
+
+// disabled reports whether the breaker is configured off (threshold out
+// of (0,1]); a disabled breaker admits everything and records nothing.
+func (b *breaker) disabled() bool {
+	return b == nil || b.cfg.Threshold <= 0 || b.cfg.Threshold > 1
+}
+
+// allow decides whether a classify request may proceed. When the
+// breaker is open it returns false with the remaining cooldown, which
+// the handler surfaces as 503 + Retry-After.
+func (b *breaker) allow() (bool, time.Duration) {
+	if b.disabled() {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		wait := b.openedAt.Add(b.cfg.Cooldown).Sub(b.now())
+		if wait > 0 {
+			return false, wait
+		}
+		b.transition(breakerHalfOpen, "cooldown_elapsed")
+		return true, 0
+	default:
+		return true, 0
+	}
+}
+
+// record folds one classify outcome into the window and drives the
+// state machine.
+func (b *breaker) record(ok bool) {
+	if b.disabled() {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	switch b.state {
+	case breakerClosed:
+		if now.Sub(b.windowStart) >= b.cfg.Window {
+			b.fails, b.total, b.windowStart = 0, 0, now
+		}
+		b.total++
+		if !ok {
+			b.fails++
+		}
+		if b.total >= uint64(b.cfg.MinSamples) &&
+			float64(b.fails)/float64(b.total) >= b.cfg.Threshold {
+			b.openedAt = now
+			b.transition(breakerOpen, "failure_rate")
+		}
+	case breakerHalfOpen:
+		if !ok {
+			b.openedAt = now
+			b.transition(breakerOpen, "probe_failed")
+			return
+		}
+		b.probeOKs++
+		if b.probeOKs >= b.cfg.Probes {
+			b.fails, b.total, b.windowStart = 0, 0, now
+			b.transition(breakerClosed, "probes_succeeded")
+		}
+	case breakerOpen:
+		// A request admitted before the breaker opened finishing late;
+		// its outcome is stale, the cooldown clock decides what happens.
+	}
+}
+
+// reset forces the breaker closed — a freshly reloaded or rolled-back
+// model starts with a clean slate.
+func (b *breaker) reset(cause string) {
+	if b.disabled() {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails, b.total, b.probeOKs = 0, 0, 0
+	b.windowStart = b.now()
+	if b.state != breakerClosed {
+		b.transition(breakerClosed, cause)
+	}
+}
+
+// transition moves the state machine, journals the edge and mirrors the
+// new state into the gauge. Callers hold b.mu.
+func (b *breaker) transition(to int, cause string) {
+	from := b.state
+	b.state = to
+	if to == breakerHalfOpen {
+		b.probeOKs = 0
+	}
+	b.stateGauge.Set(float64(to))
+	b.transitions.Inc()
+	b.emit("breaker_state", map[string]any{
+		"model": b.model, "from": breakerStateNames[from], "to": breakerStateNames[to],
+		"cause": cause, "window_fails": b.fails, "window_total": b.total,
+	})
+}
+
+// BreakerStatus is one breaker's /v1/stats view.
+type BreakerStatus struct {
+	State       string  `json:"state"`
+	WindowFails uint64  `json:"window_fails"`
+	WindowTotal uint64  `json:"window_total"`
+	CooldownMs  float64 `json:"cooldown_remaining_ms,omitempty"`
+}
+
+// status snapshots the breaker for /v1/stats and readyz.
+func (b *breaker) status() BreakerStatus {
+	if b.disabled() {
+		return BreakerStatus{State: "disabled"}
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := BreakerStatus{
+		State: breakerStateNames[b.state], WindowFails: b.fails, WindowTotal: b.total,
+	}
+	if b.state == breakerOpen {
+		if wait := b.openedAt.Add(b.cfg.Cooldown).Sub(b.now()); wait > 0 {
+			st.CooldownMs = float64(wait) / float64(time.Millisecond)
+		}
+	}
+	return st
+}
+
+// open reports whether the breaker currently rejects requests.
+func (b *breaker) isOpen() bool {
+	if b.disabled() {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state == breakerOpen
+}

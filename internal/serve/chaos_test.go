@@ -1,0 +1,951 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/goetsc/goetsc/internal/bench"
+	"github.com/goetsc/goetsc/internal/core"
+	"github.com/goetsc/goetsc/internal/faults"
+	"github.com/goetsc/goetsc/internal/loadgen"
+	"github.com/goetsc/goetsc/internal/obs"
+	"github.com/goetsc/goetsc/internal/persist"
+	ts "github.com/goetsc/goetsc/internal/timeseries"
+)
+
+// The serve-layer chaos suite (`make chaos-serve`, run under -race):
+// hot reload under live traffic, corrupt-artifact rejection across the
+// whole persist failure taxonomy, rollback, circuit-breaker schedules,
+// tenant quotas, overload shedding and graceful drain. Fault placement
+// is deterministic (explicit hooks, no randomness), so every run sees
+// the same faults at the same requests at any -race schedule.
+
+// chaosModels returns the shared v1 ECTS fixture plus a second ECTS
+// trained on the same series with flipped labels — a deliberately
+// different decision function behind the identical request shape, so a
+// hot swap visibly changes answers while every validation still passes.
+var chaosOnce sync.Once
+var chaosV2 core.EarlyClassifier
+
+func chaosModels(t *testing.T) (v1, v2 core.EarlyClassifier, d *ts.Dataset) {
+	t.Helper()
+	v1, d = fixture(t)
+	chaosOnce.Do(func() {
+		flipped := &ts.Dataset{Name: d.Name, Instances: make([]ts.Instance, d.Len()), Freq: d.Freq}
+		for i, in := range d.Instances {
+			flipped.Instances[i] = ts.Instance{Values: in.Values, Label: 1 - in.Label}
+		}
+		f := bench.AlgorithmsByName(d.Name, bench.Fast, 1, []string{"ECTS"})[0]
+		chaosV2 = f.New()
+		if err := chaosV2.Fit(flipped); err != nil {
+			panic(err)
+		}
+	})
+	return v1, chaosV2, fixtureData
+}
+
+// saveModel persists algo at path with the fixture dataset's meta.
+func saveModel(t *testing.T, path string, algo core.EarlyClassifier, d *ts.Dataset) {
+	t.Helper()
+	meta := persist.Meta{Dataset: d.Name, Length: d.MaxLength(), NumVars: d.NumVars(), NumClasses: d.NumClasses()}
+	if err := persist.SaveFile(path, algo, meta); err != nil {
+		t.Fatalf("save model: %v", err)
+	}
+}
+
+// newChaosServer builds a server whose "ects" model was loaded from a
+// file (so reloads have a source), with the reload API on and a live
+// journal + registry. The returned path is the model's source file.
+func newChaosServer(t *testing.T, cfg Config) (*Server, *httptest.Server, string, *journalBuffer) {
+	t.Helper()
+	v1, _, d := chaosModels(t)
+	path := filepath.Join(t.TempDir(), "ects.goetsc")
+	saveModel(t, path, v1, d)
+	jb := &journalBuffer{}
+	if cfg.Obs == nil {
+		cfg.Obs = obs.New(obs.Options{Journal: obs.NewJournal(jb), Metrics: obs.NewRegistry()})
+	}
+	cfg.ReloadAPI = true
+	s := New(cfg)
+	if name, err := s.LoadFile(path); err != nil || name != "ects" {
+		t.Fatalf("load %s: name %q err %v", path, name, err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(hs.Close)
+	t.Cleanup(s.Close)
+	return s, hs, path, jb
+}
+
+// journalEvents returns the journal records of one type, in order.
+func journalEvents(t *testing.T, jb *journalBuffer, typ string) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	for _, line := range bytes.Split([]byte(jb.String()), []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		var rec map[string]any
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatalf("bad journal line %q: %v", line, err)
+		}
+		if rec["type"] == typ {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// postRaw posts a JSON body and returns status, raw response bytes and
+// headers — the byte-identity tests compare whole bodies.
+func postRaw(t *testing.T, url string, body any) (int, []byte, http.Header) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp.StatusCode, raw, resp.Header
+}
+
+// apiErrorBody decodes the uniform error JSON.
+func apiErrorBody(t *testing.T, raw []byte) (msg, kind string) {
+	t.Helper()
+	var got struct {
+		Error string `json:"error"`
+		Kind  string `json:"kind"`
+	}
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatalf("decode error body %q: %v", raw, err)
+	}
+	return got.Error, got.Kind
+}
+
+// classifyProbe classifies one instance and fails unless the server
+// answers with wantLabel/wantConsumed.
+func classifyProbe(t *testing.T, baseURL string, in ts.Instance, ref core.EarlyClassifier, who string) {
+	t.Helper()
+	refMu.Lock()
+	wantLabel, wantConsumed := ref.Classify(in)
+	refMu.Unlock()
+	status, raw, _ := postRaw(t, baseURL+"/v1/classify", map[string]any{"model": "ects", "values": in.Values})
+	if status != http.StatusOK {
+		t.Fatalf("%s: classify = %d: %s", who, status, raw)
+	}
+	var got struct {
+		Label    int `json:"label"`
+		Consumed int `json:"consumed"`
+	}
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatalf("%s: decode: %v", who, err)
+	}
+	if got.Label != wantLabel || got.Consumed != wantConsumed {
+		t.Fatalf("%s: served (%d, %d) != offline (%d, %d)", who, got.Label, got.Consumed, wantLabel, wantConsumed)
+	}
+}
+
+// divergingInstance finds a probe where v1 and v2 decide differently —
+// the witness that a swap actually changed the serving model.
+func divergingInstance(t *testing.T) ts.Instance {
+	t.Helper()
+	v1, v2, d := chaosModels(t)
+	refMu.Lock()
+	defer refMu.Unlock()
+	for _, in := range d.Instances {
+		l1, _ := v1.Classify(in)
+		l2, _ := v2.Classify(in)
+		if l1 != l2 {
+			return in
+		}
+	}
+	t.Fatal("no instance distinguishes the flipped-label model from the original")
+	return ts.Instance{}
+}
+
+func TestReloadHotSwapServesNewVersion(t *testing.T) {
+	v1, v2, d := chaosModels(t)
+	s, hs, path, jb := newChaosServer(t, Config{})
+	in := divergingInstance(t)
+
+	classifyProbe(t, hs.URL, in, v1, "before reload")
+
+	saveModel(t, path, v2, d)
+	status, raw, _ := postRaw(t, hs.URL+"/v1/models/ects/reload", nil)
+	if status != http.StatusOK {
+		t.Fatalf("reload = %d: %s", status, raw)
+	}
+	var rr reloadResponse
+	if err := json.Unmarshal(raw, &rr); err != nil {
+		t.Fatalf("decode reload response: %v", err)
+	}
+	if rr.Version != 2 || rr.PreviousVersion != 1 || rr.Checksum == "" {
+		t.Fatalf("reload response = %+v, want version 2 over 1 with a checksum", rr)
+	}
+
+	classifyProbe(t, hs.URL, in, v2, "after reload")
+
+	models := s.Models()
+	if len(models) != 1 || models[0].Version != 2 || models[0].Checksum == "" {
+		t.Fatalf("models after reload = %+v, want version 2 with checksum", models)
+	}
+	rs := s.Stats().Resilience
+	if rs == nil || rs.Models["ects"].Reloads != 1 || rs.Models["ects"].Version != 2 {
+		t.Fatalf("resilience stats after reload = %+v", rs)
+	}
+	if n := len(journalEvents(t, jb, "model_reloaded")); n != 1 {
+		t.Fatalf("model_reloaded events = %d, want 1", n)
+	}
+}
+
+// streamChunks runs one chunked session over values, recording the
+// decision content (status, length, label, consumed) of every /points
+// answer; session and model ids are blanked so runs compare equal when
+// and only when their decisions match. after, when non-nil, runs once
+// the chunk with index afterChunk has been answered.
+func streamChunks(t *testing.T, baseURL string, values [][]float64, chunk, afterChunk int, after func()) []sessionState {
+	t.Helper()
+	resp := postJSON(t, baseURL+"/v1/sessions", map[string]any{"model": "ects"})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create session = %d", resp.StatusCode)
+	}
+	var st sessionState
+	decodeBody(t, resp, &st)
+	base := baseURL + "/v1/sessions/" + st.SessionID
+	var out []sessionState
+	n := len(values[0])
+	idx := 0
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		batch := make([][]float64, len(values))
+		for v := range values {
+			batch[v] = values[v][lo:hi]
+		}
+		resp := postJSON(t, base+"/points", map[string]any{"values": batch, "last": hi == n})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("points chunk %d = %d", idx, resp.StatusCode)
+		}
+		decodeBody(t, resp, &st)
+		st.SessionID, st.Model = "", ""
+		out = append(out, st)
+		if after != nil && idx == afterChunk {
+			after()
+		}
+		idx++
+		if st.Status == "decided" {
+			break
+		}
+	}
+	return out
+}
+
+// TestReloadMidStreamKeepsSessionDecisions is the pinning contract: a
+// session created on v1 must produce decisions bit-identical to an
+// undisturbed v1 run even when the model is hot-swapped mid-stream,
+// while sessions created after the swap see v2.
+func TestReloadMidStreamKeepsSessionDecisions(t *testing.T) {
+	v1, v2, d := chaosModels(t)
+	in := divergingInstance(t)
+	refMu.Lock()
+	_, consumed := v1.Classify(in)
+	refMu.Unlock()
+	// Chunk so the decision lands well after the swap at chunk index 1.
+	chunk := consumed / 4
+	if chunk < 1 {
+		chunk = 1
+	}
+
+	_, control, _, _ := newChaosServer(t, Config{})
+	want := streamChunks(t, control.URL, in.Values, chunk, -1, nil)
+
+	_, hs, path, _ := newChaosServer(t, Config{})
+	got := streamChunks(t, hs.URL, in.Values, chunk, 1, func() {
+		saveModel(t, path, v2, d)
+		status, raw, _ := postRaw(t, hs.URL+"/v1/models/ects/reload", nil)
+		if status != http.StatusOK {
+			t.Fatalf("mid-stream reload = %d: %s", status, raw)
+		}
+	})
+	if len(want) <= 2 {
+		t.Fatalf("decision landed before the swap (%d chunks) — fixture too easy", len(want))
+	}
+	wantJSON, _ := json.Marshal(want)
+	gotJSON, _ := json.Marshal(got)
+	if !bytes.Equal(wantJSON, gotJSON) {
+		t.Fatalf("session decisions diverged after mid-stream reload:\n got %s\nwant %s", gotJSON, wantJSON)
+	}
+
+	// A session created after the swap streams against v2.
+	refMu.Lock()
+	wantLabel, _ := v2.Classify(in)
+	refMu.Unlock()
+	fresh := streamChunks(t, hs.URL, in.Values, chunk, -1, nil)
+	last := fresh[len(fresh)-1]
+	if last.Status != "decided" || last.Label == nil || *last.Label != wantLabel {
+		t.Fatalf("post-swap session = %+v, want decided label %d (v2)", last, wantLabel)
+	}
+}
+
+// TestReloadUnderConcurrentTraffic hammers classify while the control
+// plane flips between versions; under -race this proves the pointer
+// swap is safe, and every answer must match one of the two versions'
+// offline decisions (each request pins whichever version it resolved).
+func TestReloadUnderConcurrentTraffic(t *testing.T) {
+	v1, v2, d := chaosModels(t)
+	_, hs, path, _ := newChaosServer(t, Config{})
+	in := divergingInstance(t)
+	refMu.Lock()
+	l1, c1 := v1.Classify(in)
+	l2, c2 := v2.Classify(in)
+	refMu.Unlock()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				status, raw, _ := postRaw(t, hs.URL+"/v1/classify", map[string]any{"model": "ects", "values": in.Values})
+				if status != http.StatusOK {
+					errs <- io.ErrUnexpectedEOF
+					return
+				}
+				var got struct {
+					Label    int `json:"label"`
+					Consumed int `json:"consumed"`
+				}
+				if err := json.Unmarshal(raw, &got); err != nil {
+					errs <- err
+					return
+				}
+				if !(got.Label == l1 && got.Consumed == c1) && !(got.Label == l2 && got.Consumed == c2) {
+					t.Errorf("answer (%d, %d) matches neither v1 (%d, %d) nor v2 (%d, %d)",
+						got.Label, got.Consumed, l1, c1, l2, c2)
+					errs <- io.ErrUnexpectedEOF
+					return
+				}
+			}
+		}()
+	}
+	saveModel(t, path, v2, d)
+	for i := 0; i < 8; i++ {
+		status, raw, _ := postRaw(t, hs.URL+"/v1/models/ects/reload", nil)
+		if status != http.StatusOK {
+			t.Fatalf("reload %d = %d: %s", i, status, raw)
+		}
+		status, raw, _ = postRaw(t, hs.URL+"/v1/models/ects/rollback", nil)
+		if status != http.StatusOK {
+			t.Fatalf("rollback %d = %d: %s", i, status, raw)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatalf("traffic during reload churn failed: %v", err)
+		}
+	}
+}
+
+// mismatchEnvelope rewrites the envelope's algorithm tag in place (same
+// length, different name) and fixes the checksum, so the file is
+// structurally sound but its tag contradicts the stored model:
+// persist.ErrAlgorithmMismatch, the one failure mode byte damage alone
+// cannot reach.
+func mismatchEnvelope(t *testing.T, env []byte) []byte {
+	t.Helper()
+	out := append([]byte(nil), env...)
+	tagLen := binary.BigEndian.Uint32(out[12:])
+	if tagLen == 0 || len(out) < 16+int(tagLen) {
+		t.Fatalf("unexpected envelope layout (tag length %d)", tagLen)
+	}
+	out[16] ^= 0x01 // "ECTS" -> "DCTS"
+	binary.BigEndian.PutUint64(out[len(out)-8:], persist.Checksum(out[:len(out)-8]))
+	return out
+}
+
+// TestCorruptReloadTaxonomy drives every persist failure mode through
+// the reload API: each maps to its own status + machine-readable kind
+// and a reload_failed journal event, readyz turns degraded, and the old
+// model keeps serving bit-identical answers throughout. A final good
+// reload clears the degraded state.
+func TestCorruptReloadTaxonomy(t *testing.T) {
+	v1, _, d := chaosModels(t)
+	s, hs, path, jb := newChaosServer(t, Config{})
+	in := d.Instances[0]
+
+	var env bytes.Buffer
+	meta := persist.Meta{Dataset: d.Name, Length: d.MaxLength(), NumVars: d.NumVars(), NumClasses: d.NumClasses()}
+	if err := persist.Save(&env, v1, meta); err != nil {
+		t.Fatalf("build envelope: %v", err)
+	}
+	bad := filepath.Join(filepath.Dir(path), "bad.goetsc")
+
+	cases := []struct {
+		name       string
+		data       []byte
+		reloadPath string
+		wantStatus int
+		wantKind   string
+	}{
+		{"bad_magic", faults.Corrupt(env.Bytes(), faults.WrongMagic), bad, http.StatusUnsupportedMediaType, "bad_magic"},
+		{"unsupported_version", faults.Corrupt(env.Bytes(), faults.FutureVersion), bad, http.StatusPreconditionFailed, "unsupported_version"},
+		{"truncated", faults.Corrupt(env.Bytes(), faults.Truncate), bad, http.StatusUnprocessableEntity, "truncated"},
+		{"checksum", faults.Corrupt(env.Bytes(), faults.FlipBit), bad, http.StatusInternalServerError, "checksum"},
+		{"algorithm_mismatch", mismatchEnvelope(t, env.Bytes()), bad, http.StatusConflict, "algorithm_mismatch"},
+		{"not_found", nil, filepath.Join(filepath.Dir(path), "missing.goetsc"), http.StatusNotFound, "not_found"},
+	}
+	for i, tc := range cases {
+		if tc.data != nil {
+			if err := os.WriteFile(bad, tc.data, 0o644); err != nil {
+				t.Fatalf("%s: write: %v", tc.name, err)
+			}
+		}
+		status, raw, _ := postRaw(t, hs.URL+"/v1/models/ects/reload", reloadRequest{Path: tc.reloadPath})
+		msg, kind := apiErrorBody(t, raw)
+		if status != tc.wantStatus || kind != tc.wantKind {
+			t.Fatalf("%s: reload = %d kind %q (%s), want %d %q", tc.name, status, kind, msg, tc.wantStatus, tc.wantKind)
+		}
+
+		// The live model is untouched: same version, same answers.
+		classifyProbe(t, hs.URL, in, v1, tc.name)
+		if got := s.Models()[0].Version; got != 1 {
+			t.Fatalf("%s: version = %d after rejected reload, want 1", tc.name, got)
+		}
+
+		// readyz reports the failure; healthz stays liveness-only.
+		rstatus, rraw, _ := getRaw(t, hs.URL+"/readyz")
+		var ready struct {
+			Status        string                   `json:"status"`
+			FailedReloads map[string]reloadFailure `json:"failed_reloads"`
+		}
+		if err := json.Unmarshal(rraw, &ready); err != nil {
+			t.Fatalf("%s: decode readyz: %v", tc.name, err)
+		}
+		if rstatus != http.StatusServiceUnavailable || ready.Status != "degraded" ||
+			ready.FailedReloads["ects"].Kind != tc.wantKind {
+			t.Fatalf("%s: readyz = %d %s, want degraded with failed reload kind %q", tc.name, rstatus, rraw, tc.wantKind)
+		}
+		if hstatus, _, _ := getRaw(t, hs.URL+"/healthz"); hstatus != http.StatusOK {
+			t.Fatalf("%s: healthz = %d during degraded state, want 200", tc.name, hstatus)
+		}
+
+		events := journalEvents(t, jb, "reload_failed")
+		if len(events) != i+1 || events[i]["kind"] != tc.wantKind {
+			t.Fatalf("%s: reload_failed events = %v, want %d with kind %q", tc.name, events, i+1, tc.wantKind)
+		}
+	}
+
+	// A good reload clears the degraded state.
+	status, raw, _ := postRaw(t, hs.URL+"/v1/models/ects/reload", nil)
+	if status != http.StatusOK {
+		t.Fatalf("healing reload = %d: %s", status, raw)
+	}
+	if rstatus, rraw, _ := getRaw(t, hs.URL+"/readyz"); rstatus != http.StatusOK {
+		t.Fatalf("readyz after healing reload = %d: %s", rstatus, rraw)
+	}
+	rs := s.Stats().Resilience
+	if rs.Models["ects"].LastReloadError != nil {
+		t.Fatalf("last reload error survives a good reload: %+v", rs.Models["ects"].LastReloadError)
+	}
+}
+
+// getRaw GETs a URL and returns status, raw body, headers.
+func getRaw(t *testing.T, url string) (int, []byte, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp.StatusCode, raw, resp.Header
+}
+
+// TestRollbackRestoresByteIdenticalResponses swaps v1→v2 and back,
+// comparing whole response bodies: rollback must reproduce the exact
+// bytes v1 served before the reload. The two-deep history is a toggle —
+// a second rollback swaps forward to v2 again.
+func TestRollbackRestoresByteIdenticalResponses(t *testing.T) {
+	_, v2, d := chaosModels(t)
+	s, hs, path, _ := newChaosServer(t, Config{})
+	probes := d.Instances
+	if len(probes) > 4 {
+		probes = probes[:4]
+	}
+
+	classify := func(in ts.Instance) []byte {
+		status, raw, _ := postRaw(t, hs.URL+"/v1/classify", map[string]any{"model": "ects", "values": in.Values})
+		if status != http.StatusOK {
+			t.Fatalf("classify = %d: %s", status, raw)
+		}
+		return raw
+	}
+	v1Bodies := make([][]byte, len(probes))
+	for i, in := range probes {
+		v1Bodies[i] = classify(in)
+	}
+
+	saveModel(t, path, v2, d)
+	if status, raw, _ := postRaw(t, hs.URL+"/v1/models/ects/reload", nil); status != http.StatusOK {
+		t.Fatalf("reload = %d: %s", status, raw)
+	}
+	diverged := false
+	for i, in := range probes {
+		if !bytes.Equal(classify(in), v1Bodies[i]) {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("v2 answers identical to v1 on every probe — swap not observable")
+	}
+
+	status, raw, _ := postRaw(t, hs.URL+"/v1/models/ects/rollback", nil)
+	if status != http.StatusOK {
+		t.Fatalf("rollback = %d: %s", status, raw)
+	}
+	var rr reloadResponse
+	if err := json.Unmarshal(raw, &rr); err != nil || rr.Version != 1 {
+		t.Fatalf("rollback response = %s (err %v), want version 1", raw, err)
+	}
+	for i, in := range probes {
+		if got := classify(in); !bytes.Equal(got, v1Bodies[i]) {
+			t.Fatalf("probe %d after rollback: %s != v1's %s", i, got, v1Bodies[i])
+		}
+	}
+	if rs := s.Stats().Resilience; rs.Models["ects"].Rollbacks != 1 {
+		t.Fatalf("rollback counter = %d, want 1", rs.Models["ects"].Rollbacks)
+	}
+
+	// Toggle forward again.
+	if status, raw, _ := postRaw(t, hs.URL+"/v1/models/ects/rollback", nil); status != http.StatusOK {
+		t.Fatalf("second rollback = %d: %s", status, raw)
+	} else {
+		var rr reloadResponse
+		if err := json.Unmarshal(raw, &rr); err != nil || rr.Version != 2 {
+			t.Fatalf("second rollback = %s, want version 2", raw)
+		}
+	}
+}
+
+func TestRollbackWithoutHistory(t *testing.T) {
+	_, hs, _, _ := newChaosServer(t, Config{})
+	status, raw, _ := postRaw(t, hs.URL+"/v1/models/ects/rollback", nil)
+	_, kind := apiErrorBody(t, raw)
+	if status != http.StatusConflict || kind != "no_previous_version" {
+		t.Fatalf("rollback with no history = %d %q, want 409 no_previous_version", status, kind)
+	}
+}
+
+func TestReloadAPIDisabledByDefault(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	for _, route := range []string{"reload", "rollback"} {
+		status, _, _ := postRaw(t, hs.URL+"/v1/models/ects/"+route, nil)
+		if status != http.StatusNotFound {
+			t.Fatalf("%s without -reload-api = %d, want 404", route, status)
+		}
+	}
+}
+
+func TestReloadInMemoryModelNeedsPath(t *testing.T) {
+	_, hs := newTestServer(t, Config{ReloadAPI: true})
+	status, raw, _ := postRaw(t, hs.URL+"/v1/models/ects/reload", nil)
+	_, kind := apiErrorBody(t, raw)
+	if status != http.StatusConflict || kind != "no_source" {
+		t.Fatalf("reload of in-memory model = %d %q, want 409 no_source", status, kind)
+	}
+}
+
+// TestBreakerOpensAndRecovers drives the full schedule: enough classify
+// failures open the breaker (fast 503s with Retry-After, readyz
+// degraded), the cooldown admits half-open probes, and a run of probe
+// successes re-closes it — every transition journaled.
+func TestBreakerOpensAndRecovers(t *testing.T) {
+	var failing atomic.Bool
+	cfg := Config{
+		BreakerThreshold:  0.5,
+		BreakerMinSamples: 4,
+		BreakerCooldown:   60 * time.Millisecond,
+		BreakerProbes:     2,
+		ClassifyHook: func(string) error {
+			if failing.Load() {
+				return io.ErrUnexpectedEOF
+			}
+			return nil
+		},
+	}
+	_, _, d := chaosModels(t)
+	s, hs, _, jb := newChaosServer(t, cfg)
+	in := d.Instances[0]
+	body := map[string]any{"model": "ects", "values": in.Values}
+
+	failing.Store(true)
+	for i := 0; i < 4; i++ {
+		status, raw, _ := postRaw(t, hs.URL+"/v1/classify", body)
+		_, kind := apiErrorBody(t, raw)
+		if status != http.StatusInternalServerError || kind != "classify_fault" {
+			t.Fatalf("failing classify %d = %d %q, want 500 classify_fault", i, status, kind)
+		}
+	}
+
+	// The breaker is open: requests fail fast with Retry-After, without
+	// touching the classifier.
+	status, raw, hdr := postRaw(t, hs.URL+"/v1/classify", body)
+	_, kind := apiErrorBody(t, raw)
+	if status != http.StatusServiceUnavailable || kind != "breaker_open" || hdr.Get("Retry-After") == "" {
+		t.Fatalf("open breaker = %d %q Retry-After %q, want 503 breaker_open with Retry-After",
+			status, kind, hdr.Get("Retry-After"))
+	}
+	rstatus, rraw, _ := getRaw(t, hs.URL+"/readyz")
+	var ready struct {
+		Status       string   `json:"status"`
+		OpenBreakers []string `json:"open_breakers"`
+	}
+	if err := json.Unmarshal(rraw, &ready); err != nil {
+		t.Fatalf("decode readyz: %v", err)
+	}
+	if rstatus != http.StatusServiceUnavailable || len(ready.OpenBreakers) != 1 || ready.OpenBreakers[0] != "ects" {
+		t.Fatalf("readyz with open breaker = %d %s, want 503 listing ects", rstatus, rraw)
+	}
+	if hstatus, _, _ := getRaw(t, hs.URL+"/healthz"); hstatus != http.StatusOK {
+		t.Fatalf("healthz = %d with open breaker, want 200 (liveness only)", hstatus)
+	}
+	if st := s.Stats().Resilience.Models["ects"].Breaker; st.State != "open" {
+		t.Fatalf("stats breaker state = %q, want open", st.State)
+	}
+
+	// Sessions against the broken model fail fast too.
+	sstatus, sraw, _ := postRaw(t, hs.URL+"/v1/sessions", map[string]any{"model": "ects"})
+	if sstatus != http.StatusCreated {
+		t.Fatalf("session create with open breaker = %d: %s", sstatus, sraw)
+	}
+	var st sessionState
+	if err := json.Unmarshal(sraw, &st); err != nil {
+		t.Fatalf("decode session: %v", err)
+	}
+	batch := [][]float64{in.Values[0][:1]}
+	pstatus, praw, _ := postRaw(t, hs.URL+"/v1/sessions/"+st.SessionID+"/points",
+		map[string]any{"values": batch})
+	_, pkind := apiErrorBody(t, praw)
+	if pstatus != http.StatusServiceUnavailable || pkind != "breaker_open" {
+		t.Fatalf("session points with open breaker = %d %q, want 503 breaker_open", pstatus, pkind)
+	}
+
+	// After the cooldown, two healthy probes re-close the breaker.
+	failing.Store(false)
+	time.Sleep(80 * time.Millisecond)
+	for i := 0; i < 2; i++ {
+		status, raw, _ := postRaw(t, hs.URL+"/v1/classify", body)
+		if status != http.StatusOK {
+			t.Fatalf("half-open probe %d = %d: %s", i, status, raw)
+		}
+	}
+	if st := s.Stats().Resilience.Models["ects"].Breaker; st.State != "closed" {
+		t.Fatalf("breaker after probes = %q, want closed", st.State)
+	}
+	if rstatus, _, _ := getRaw(t, hs.URL+"/readyz"); rstatus != http.StatusOK {
+		t.Fatalf("readyz after recovery = %d, want 200", rstatus)
+	}
+
+	var edges []string
+	for _, ev := range journalEvents(t, jb, "breaker_state") {
+		edges = append(edges, ev["from"].(string)+">"+ev["to"].(string))
+	}
+	want := []string{"closed>open", "open>half_open", "half_open>closed"}
+	if len(edges) != len(want) {
+		t.Fatalf("breaker transitions = %v, want %v", edges, want)
+	}
+	for i := range want {
+		if edges[i] != want[i] {
+			t.Fatalf("breaker transitions = %v, want %v", edges, want)
+		}
+	}
+}
+
+// TestBreakerPanicContained proves a panicking classifier fails its own
+// request with a 500 — counted by the breaker — while the process and
+// the other models keep serving.
+func TestBreakerPanicContained(t *testing.T) {
+	var panicking atomic.Bool
+	cfg := Config{
+		ClassifyHook: func(string) error {
+			if panicking.Load() {
+				panic("chaos: injected classify panic")
+			}
+			return nil
+		},
+	}
+	v1, _, d := chaosModels(t)
+	_, hs, _, _ := newChaosServer(t, cfg)
+	in := d.Instances[0]
+	body := map[string]any{"model": "ects", "values": in.Values}
+
+	panicking.Store(true)
+	status, raw, _ := postRaw(t, hs.URL+"/v1/classify", body)
+	_, kind := apiErrorBody(t, raw)
+	if status != http.StatusInternalServerError || kind != "classify_panic" {
+		t.Fatalf("panicking classify = %d %q, want 500 classify_panic", status, kind)
+	}
+	panicking.Store(false)
+	classifyProbe(t, hs.URL, in, v1, "after contained panic")
+}
+
+// TestTenantQuotaSheds enforces per-tenant token buckets: a tenant
+// burning through its burst gets 429 + Retry-After while other tenants
+// and the meta routes are untouched.
+func TestTenantQuotaSheds(t *testing.T) {
+	s, hs, _, _ := newChaosServer(t, Config{TenantRPS: 1, TenantBurst: 2})
+
+	get := func(tenant, path string) (int, http.Header, string) {
+		req, _ := http.NewRequest(http.MethodGet, hs.URL+path, nil)
+		if tenant != "" {
+			req.Header.Set("X-Etsc-Tenant", tenant)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var body struct {
+			Kind string `json:"kind"`
+		}
+		json.Unmarshal(raw, &body)
+		return resp.StatusCode, resp.Header, body.Kind
+	}
+
+	// Two requests ride the burst; the third is over quota.
+	for i := 0; i < 2; i++ {
+		if status, _, _ := get("alice", "/v1/models"); status != http.StatusOK {
+			t.Fatalf("alice request %d = %d, want 200", i, status)
+		}
+	}
+	status, hdr, kind := get("alice", "/v1/models")
+	if status != http.StatusTooManyRequests || kind != "quota" || hdr.Get("Retry-After") == "" {
+		t.Fatalf("alice over quota = %d %q Retry-After %q, want 429 quota with Retry-After",
+			status, kind, hdr.Get("Retry-After"))
+	}
+
+	// A different tenant (via query) has its own bucket.
+	if status, _, _ := get("", "/v1/models?tenant=bob"); status != http.StatusOK {
+		t.Fatalf("bob = %d, want 200", status)
+	}
+
+	// Meta routes are never shed, not even for the throttled tenant.
+	for _, path := range []string{"/healthz", "/readyz", "/v1/stats", "/metrics"} {
+		if status, _, _ := get("alice", path); status != http.StatusOK {
+			t.Fatalf("meta route %s for throttled tenant = %d, want 200", path, status)
+		}
+	}
+
+	if shed := s.Stats().Resilience.Shed["quota"]; shed < 1 {
+		t.Fatalf("quota shed counter = %d, want >= 1", shed)
+	}
+}
+
+// TestOverloadShedsAndKeepsAdmittedP99Flat is the saturation contract:
+// a deliberately tiny server (2 workers, 40ms injected classify work,
+// 10ms queue deadline) is slammed by 24 unpaced clients — >10x its
+// capacity. The server must shed with 503s rather than queue without
+// bound, every admitted answer must still match the offline classifier,
+// and the admitted p99 must stay within 2x of the unloaded p99 (by
+// construction the queue deadline caps the added wait at 10ms; the
+// injected work is deliberately large so that fixed cost, not race
+// -detector scheduling overhead, dominates both runs).
+func TestOverloadShedsAndKeepsAdmittedP99Flat(t *testing.T) {
+	v1, _, d := chaosModels(t)
+	cfg := Config{
+		Workers:      2,
+		QueueDepth:   4,
+		QueueTimeout: 10 * time.Millisecond,
+		ClassifyHook: func(string) error { time.Sleep(40 * time.Millisecond); return nil },
+	}
+	s, hs, _, _ := newChaosServer(t, cfg)
+
+	instances := make([][][]float64, 0, d.Len())
+	refs := make([]loadgen.Reference, 0, d.Len())
+	refMu.Lock()
+	for _, in := range d.Instances {
+		label, consumed := v1.Classify(in)
+		if consumed > in.Length() {
+			consumed = in.Length()
+		}
+		instances = append(instances, in.Values)
+		refs = append(refs, loadgen.Reference{Label: label, Consumed: consumed})
+	}
+	refMu.Unlock()
+
+	run := func(clients, total int) loadgen.Result {
+		res, err := loadgen.Run(loadgen.Config{
+			BaseURL: hs.URL, Model: "ects",
+			Instances: instances, References: refs,
+			Clients: clients, Total: total, Mode: loadgen.ModeClassify,
+		})
+		if err != nil {
+			t.Fatalf("loadgen: %v", err)
+		}
+		if res.Errors > 0 {
+			t.Fatalf("loadgen saw %d non-shed errors", res.Errors)
+		}
+		if res.ParityMismatches > 0 {
+			t.Fatalf("%d admitted answers mismatched the offline classifier", res.ParityMismatches)
+		}
+		return res
+	}
+
+	base := run(1, 20)
+	if base.Shed != 0 {
+		t.Fatalf("unloaded run shed %d requests", base.Shed)
+	}
+	over := run(24, 240)
+	if over.Shed == 0 {
+		t.Fatal("overload run shed nothing at >10x saturation")
+	}
+	if admitted := over.Sent - over.Shed - over.Errors; admitted < 1 {
+		t.Fatalf("overload run admitted nothing (sent %d, shed %d)", over.Sent, over.Shed)
+	}
+	if over.P99 > 2*base.P99 {
+		t.Fatalf("admitted p99 %v > 2x unloaded p99 %v under overload", over.P99, base.P99)
+	}
+	if shed := s.Stats().Resilience.Shed["overload"]; shed == 0 {
+		t.Fatal("server-side overload shed counter is zero")
+	}
+}
+
+// TestDrainStopsAdmissionAndFlushesInflight is the SIGTERM path: with a
+// chunked session request mid-classify, Drain must flip new work to 503
+// + Connection: close while that request finishes, keep the meta routes
+// answering, and journal drain_started/drain_complete.
+func TestDrainStopsAdmissionAndFlushesInflight(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var gate sync.Once
+	cfg := Config{
+		ClassifyHook: func(string) error {
+			gate.Do(func() {
+				close(entered)
+				<-release
+			})
+			return nil
+		},
+	}
+	_, _, d := chaosModels(t)
+	s, hs, _, jb := newChaosServer(t, cfg)
+	in := d.Instances[0]
+
+	// Open a session and block its first chunk inside the classify path.
+	sstatus, sraw, _ := postRaw(t, hs.URL+"/v1/sessions", map[string]any{"model": "ects"})
+	if sstatus != http.StatusCreated {
+		t.Fatalf("create session = %d", sstatus)
+	}
+	var st sessionState
+	if err := json.Unmarshal(sraw, &st); err != nil {
+		t.Fatalf("decode session: %v", err)
+	}
+	base := hs.URL + "/v1/sessions/" + st.SessionID
+	half := in.Length() / 2
+	chunkBody := func(lo, hi int, last bool) map[string]any {
+		batch := make([][]float64, len(in.Values))
+		for v := range in.Values {
+			batch[v] = in.Values[v][lo:hi]
+		}
+		return map[string]any{"values": batch, "last": last}
+	}
+	inflight := make(chan int, 1)
+	go func() {
+		status, _, _ := postRaw(t, base+"/points", chunkBody(0, half, false))
+		inflight <- status
+	}()
+	<-entered
+
+	// Drain with the chunk still in flight.
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		drained <- s.Drain(ctx)
+	}()
+	for i := 0; !s.Draining(); i++ {
+		if i > 1000 {
+			t.Fatal("server never entered drain mode")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// New work is refused with 503 + Connection: close; probes still
+	// work. The Go client surfaces the close header as resp.Close.
+	b, _ := json.Marshal(chunkBody(half, in.Length(), true))
+	resp, err := http.Post(base+"/points", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("points during drain: %v", err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	_, kind := apiErrorBody(t, raw)
+	if resp.StatusCode != http.StatusServiceUnavailable || kind != "draining" || !resp.Close {
+		t.Fatalf("points during drain = %d %q close=%v, want 503 draining with Connection: close",
+			resp.StatusCode, kind, resp.Close)
+	}
+	if hstatus, _, _ := getRaw(t, hs.URL+"/healthz"); hstatus != http.StatusOK {
+		t.Fatalf("healthz during drain = %d, want 200", hstatus)
+	}
+	if rstatus, _, _ := getRaw(t, hs.URL+"/readyz"); rstatus != http.StatusServiceUnavailable {
+		t.Fatalf("readyz during drain = %d, want 503", rstatus)
+	}
+
+	// Release the blocked chunk: it was admitted before the drain and
+	// must complete; Drain returns clean once it does.
+	close(release)
+	if got := <-inflight; got != http.StatusOK {
+		t.Fatalf("in-flight chunk finished with %d, want 200", got)
+	}
+	if err := <-drained; err != nil {
+		t.Fatalf("drain = %v, want clean", err)
+	}
+
+	started := journalEvents(t, jb, "drain_started")
+	completed := journalEvents(t, jb, "drain_complete")
+	if len(started) != 1 || len(completed) != 1 {
+		t.Fatalf("drain events = %d started, %d complete, want 1 each", len(started), len(completed))
+	}
+	if clean, _ := completed[0]["clean"].(bool); !clean {
+		t.Fatalf("drain_complete = %v, want clean", completed[0])
+	}
+	if live, _ := completed[0]["live_sessions"].(float64); live != 1 {
+		t.Fatalf("drain_complete live_sessions = %v, want 1", completed[0]["live_sessions"])
+	}
+	if shed := s.Stats().Resilience.Shed["draining"]; shed < 1 {
+		t.Fatalf("draining shed counter = %d, want >= 1", shed)
+	}
+}

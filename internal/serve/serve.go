@@ -22,6 +22,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -69,6 +70,44 @@ type Config struct {
 	// registration. Models without such kernels are unaffected. Default
 	// off: float64, bit-identical to offline evaluation.
 	Float32 bool
+	// ReloadAPI enables the model control plane: POST
+	// /v1/models/{name}/reload and /rollback. Off by default — hot swap
+	// is an operator surface, not a tenant one.
+	ReloadAPI bool
+	// TenantRPS, when positive, rate-limits work-plane requests per
+	// tenant (X-Etsc-Tenant header, ?tenant= query, "default" otherwise)
+	// with a token bucket refilled at this rate; over-quota requests get
+	// 429 + Retry-After. Default 0: no tenant quotas.
+	TenantRPS float64
+	// TenantBurst caps a tenant's token bucket. Default 2×TenantRPS.
+	TenantBurst int
+	// QueueDepth bounds requests waiting for a classification slot;
+	// arrivals beyond it are shed with 503. Default 4×Workers.
+	QueueDepth int
+	// QueueTimeout bounds how long an admitted request may wait for a
+	// slot before it is shed with 503 — the knob that keeps admitted
+	// latency flat under overload. Default 1s.
+	QueueTimeout time.Duration
+	// BreakerThreshold is the classify failure rate that opens a model's
+	// circuit breaker. 0 means the default 0.5; values outside (0,1]
+	// disable breakers.
+	BreakerThreshold float64
+	// BreakerMinSamples is the window population required before the
+	// failure rate can open the breaker. Default 10.
+	BreakerMinSamples int
+	// BreakerWindow is the failure-rate observation window. Default 10s.
+	BreakerWindow time.Duration
+	// BreakerCooldown is how long an open breaker rejects before probing
+	// half-open. Default 5s.
+	BreakerCooldown time.Duration
+	// BreakerProbes is the run of half-open successes that re-closes the
+	// breaker. Default 3.
+	BreakerProbes int
+	// ClassifyHook, when set, runs before every classify/advance with the
+	// model name — the chaos suite's entry point into the serving path
+	// (injected latency, errors, panics). A returned error fails the
+	// request with 500 and counts against the model's breaker.
+	ClassifyHook func(model string) error
 	// Obs receives request metrics and journal events; nil is a no-op.
 	Obs *obs.Collector
 }
@@ -98,7 +137,36 @@ func (c Config) withDefaults() Config {
 	if c.CoalesceMax <= 0 {
 		c.CoalesceMax = 16
 	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.QueueTimeout <= 0 {
+		c.QueueTimeout = time.Second
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 0.5
+	}
+	if c.BreakerMinSamples <= 0 {
+		c.BreakerMinSamples = 10
+	}
+	if c.BreakerWindow <= 0 {
+		c.BreakerWindow = 10 * time.Second
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
+	if c.BreakerProbes <= 0 {
+		c.BreakerProbes = 3
+	}
 	return c
+}
+
+// breakerConfig extracts the breaker tuning shared by every model entry.
+func (c Config) breakerConfig() breakerConfig {
+	return breakerConfig{
+		Threshold: c.BreakerThreshold, MinSamples: c.BreakerMinSamples,
+		Window: c.BreakerWindow, Cooldown: c.BreakerCooldown, Probes: c.BreakerProbes,
+	}
 }
 
 // ModelInfo is one entry of the /v1/models listing.
@@ -109,6 +177,12 @@ type ModelInfo struct {
 	Length     int    `json:"length,omitempty"`
 	NumVars    int    `json:"num_vars,omitempty"`
 	NumClasses int    `json:"num_classes,omitempty"`
+	// Version counts hot swaps: 1 at registration, +1 per reload;
+	// rollback re-serves the previous version's number.
+	Version int `json:"version,omitempty"`
+	// Checksum is the persist envelope's verified FNV-1a trailer in hex;
+	// empty for models registered in-memory.
+	Checksum string `json:"checksum,omitempty"`
 }
 
 // model pairs a loaded classifier with its metadata. Classify
@@ -125,6 +199,10 @@ type model struct {
 	stats    *modelStats // resolved once at registration: no map+mutex on the hot path
 	coalesce *batcher    // non-nil only when coalescing is on and algo batches
 	mu       sync.Mutex
+
+	// Version provenance, stamped when the registry built this version.
+	checksum uint64
+	loadedAt time.Time
 
 	// bufs is the model's response arena: pooled render buffers sized at
 	// registration so steady-state responses never touch the allocator.
@@ -165,44 +243,82 @@ func (m *model) writeClassify(w http.ResponseWriter, label, consumed int) error 
 // Server routes the JSON API. Create with New, register models with
 // AddModel/LoadFile/LoadDir, then mount Handler.
 type Server struct {
-	cfg Config
-	sem chan struct{} // bounds concurrent classification work
+	cfg     Config
+	sem     chan struct{} // bounds concurrent classification work
+	tenants *tenantLimiter
 
 	mu       sync.RWMutex
-	models   map[string]*model
+	models   map[string]*modelEntry
 	sessions map[string]*session
 	ready    atomic.Bool
 
 	stats *serverStats
+
+	// Admission/drain state: queued counts requests waiting in the
+	// admission queue, inflightWork counts admitted work-plane requests
+	// (Drain waits on it), draining flips once and never back.
+	queued       atomic.Int64
+	inflightWork atomic.Int64
+	draining     atomic.Bool
+
+	// Shed accounting: the atomics are the /v1/stats truth (they work
+	// with no metrics registry configured); shedProm mirrors them into
+	// Prometheus. Reload/rollback counters live per entry; these are the
+	// fleet-level Prometheus aggregates.
+	shedCounts   [numShedReasons]atomic.Uint64
+	shedProm     [numShedReasons]*obs.Counter
+	reloadOK     *obs.Counter
+	reloadFailed *obs.Counter
+	rollbacks    *obs.Counter
 
 	// reqPool recycles decoded one-shot request bodies; encoding/json
 	// reuses the retained Values capacity, so steady-state decodes stop
 	// growing fresh matrices per request.
 	reqPool   sync.Pool
 	closeOnce sync.Once
-
-	requests *obs.Counter
-	inflight *obs.Gauge
 }
 
 // New returns an empty server.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	reg := cfg.Obs.Registry()
 	s := &Server{
 		cfg:      cfg,
 		sem:      make(chan struct{}, cfg.Workers),
-		models:   map[string]*model{},
+		tenants:  newTenantLimiter(cfg.TenantRPS, cfg.TenantBurst),
+		models:   map[string]*modelEntry{},
 		sessions: map[string]*session{},
-		stats:    newServerStats(cfg.Obs.Registry(), cfg.SLOTarget, cfg.SLOObjective),
+		stats:    newServerStats(reg, cfg.SLOTarget, cfg.SLOObjective),
 	}
+	for i, reason := range shedReasonNames {
+		s.shedProm[i] = reg.Counter("etsc_serve_shed_total",
+			"Requests shed before classification, by reason.",
+			obs.Label{Key: "reason", Value: reason})
+	}
+	s.reloadOK = reg.Counter("etsc_serve_reloads_total",
+		"Successful model hot reloads.")
+	s.reloadFailed = reg.Counter("etsc_serve_reload_failures_total",
+		"Rejected model reloads — validation failed, old model kept serving.")
+	s.rollbacks = reg.Counter("etsc_serve_rollbacks_total",
+		"Model rollbacks to the retained previous version.")
 	return s
 }
 
 // Stats snapshots the live stats plane — what GET /v1/stats serves.
-func (s *Server) Stats() StatsSnapshot { return s.stats.Snapshot() }
+func (s *Server) Stats() StatsSnapshot {
+	snap := s.stats.Snapshot()
+	snap.Resilience = s.resilienceSnapshot()
+	return snap
+}
 
 // AddModel registers a trained classifier under name.
 func (s *Server) AddModel(name string, algo core.EarlyClassifier, meta persist.Meta) error {
+	return s.addModel(name, algo, meta, "", 0)
+}
+
+// addModel creates the registry entry for a new model name at version 1.
+func (s *Server) addModel(name string, algo core.EarlyClassifier, meta persist.Meta,
+	source string, checksum uint64) error {
 	if name == "" || algo == nil {
 		return fmt.Errorf("serve: model name and classifier are required")
 	}
@@ -211,26 +327,16 @@ func (s *Server) AddModel(name string, algo core.EarlyClassifier, meta persist.M
 	if _, exists := s.models[name]; exists {
 		return fmt.Errorf("serve: model %q already loaded", name)
 	}
-	if s.cfg.Float32 {
-		core.EnableFloat32(algo, true)
+	e := &modelEntry{
+		name:   name,
+		source: source,
+		// Pre-create stats so /v1/stats lists idle models too; versions of
+		// one name share them, keeping quality telemetry continuous.
+		stats:   s.stats.model(name),
+		breaker: newBreaker(name, s.cfg.breakerConfig(), s.cfg.Obs.Registry(), s.cfg.Obs.Emit),
 	}
-	m := &model{
-		info: ModelInfo{
-			Name: name, Algorithm: algo.Name(), Dataset: meta.Dataset,
-			Length: meta.Length, NumVars: meta.NumVars, NumClasses: meta.NumClasses,
-		},
-		algo: algo,
-	}
-	// Arena sizing: the largest hot response is a session state line; 96
-	// bytes covers every fixed token plus two ints, the rest is names/ids.
-	m.arenaCap = 96 + len(name) + len(m.info.Algorithm)
-	m.stats = s.stats.model(name) // pre-create so /v1/stats lists idle models too
-	if s.cfg.CoalesceWindow > 0 {
-		if bc, ok := algo.(core.BatchClassifier); ok {
-			m.coalesce = newBatcher(m, bc, s.cfg.CoalesceWindow, s.cfg.CoalesceMax, s.sem)
-		}
-	}
-	s.models[name] = m
+	e.cur.Store(s.newModel(name, algo, meta, 1, checksum, e.stats))
+	s.models[name] = e
 	s.ready.Store(true)
 	s.cfg.Obs.Emit("model_loaded", map[string]any{
 		"model": name, "algorithm": algo.Name(), "dataset": meta.Dataset,
@@ -244,11 +350,16 @@ func (s *Server) AddModel(name string, algo core.EarlyClassifier, meta persist.M
 func (s *Server) Close() {
 	s.closeOnce.Do(func() {
 		s.mu.RLock()
-		batchers := make([]*batcher, 0, len(s.models))
-		for _, m := range s.models {
-			if m.coalesce != nil {
+		var batchers []*batcher
+		for _, e := range s.models {
+			if m := e.cur.Load(); m != nil && m.coalesce != nil {
 				batchers = append(batchers, m.coalesce)
 			}
+			e.ctl.Lock()
+			if e.prev != nil && e.prev.coalesce != nil {
+				batchers = append(batchers, e.prev.coalesce)
+			}
+			e.ctl.Unlock()
 		}
 		s.mu.RUnlock()
 		for _, b := range batchers {
@@ -258,14 +369,15 @@ func (s *Server) Close() {
 }
 
 // LoadFile loads one persisted model; its name is the file's base name
-// without extension.
+// without extension. The path is remembered as the entry's source so a
+// bodyless reload re-reads it.
 func (s *Server) LoadFile(path string) (string, error) {
-	algo, meta, err := persist.LoadFile(path)
+	algo, meta, fi, err := persist.LoadFileInfo(path)
 	if err != nil {
 		return "", err
 	}
 	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
-	return name, s.AddModel(name, algo, meta)
+	return name, s.addModel(name, algo, meta, path, fi.Checksum)
 }
 
 // LoadDir loads every *.goetsc file in dir, returning the loaded names.
@@ -289,46 +401,36 @@ func (s *Server) LoadDir(dir string) ([]string, error) {
 	return names, nil
 }
 
-// Models lists the loaded models sorted by name.
+// Models lists the live version of every loaded model sorted by name.
 func (s *Server) Models() []ModelInfo {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	out := make([]ModelInfo, 0, len(s.models))
-	for _, m := range s.models {
-		out = append(out, m.info)
+	for _, e := range s.models {
+		out = append(out, e.cur.Load().info)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
 
-func (s *Server) lookup(name string) (*model, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	m, ok := s.models[name]
-	return m, ok
-}
-
-// acquire reserves one classification slot, bounding concurrent CPU work
-// to the scheduler's worker count; it fails when the request is cancelled
-// first (deadline or client disconnect).
-func (s *Server) acquire(r *http.Request) error {
-	select {
-	case s.sem <- struct{}{}:
-		return nil
-	case <-r.Context().Done():
-		return r.Context().Err()
-	}
-}
-
-func (s *Server) release() { <-s.sem }
-
 // metaRoutes are the stats plane's own endpoints plus health probes:
 // they are traced and counted but kept out of the rolling windows, SLO
 // evaluation and the access journal, so scraping the stats never skews
-// the stats.
+// the stats. They are also never shed: an overloaded or draining server
+// must stay observable.
 var metaRoutes = map[string]bool{
 	"healthz": true, "readyz": true,
 	"metrics": true, "stats": true, "dashboard": true,
+}
+
+// workRoutes go through admission control (drain gate, tenant quota) and
+// the in-flight accounting Drain waits on. The control plane
+// (model_reload/model_rollback) is an operator surface: exempt from
+// tenant quotas and still usable mid-incident.
+var workRoutes = map[string]bool{
+	"models": true, "classify": true,
+	"session_create": true, "session_points": true,
+	"session_get": true, "session_close": true,
 }
 
 // Handler returns the API handler with per-request deadlines applied.
@@ -345,19 +447,43 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sessions/{id}/points", s.wrap("session_points", s.handleSessionPoints))
 	mux.HandleFunc("GET /v1/sessions/{id}", s.wrap("session_get", s.handleSessionGet))
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.wrap("session_close", s.handleSessionClose))
+	if s.cfg.ReloadAPI {
+		mux.HandleFunc("POST /v1/models/{name}/reload", s.wrap("model_reload", s.handleModelReload))
+		mux.HandleFunc("POST /v1/models/{name}/rollback", s.wrap("model_rollback", s.handleModelRollback))
+	}
 	return http.TimeoutHandler(mux, s.cfg.RequestTimeout, `{"error":"request deadline exceeded"}`)
 }
 
-// apiError carries an HTTP status with its message.
+// apiError carries an HTTP status with its message, an optional
+// machine-readable kind rendered into the JSON body, and an optional
+// Retry-After hint for 429/503 responses.
 type apiError struct {
-	status int
-	msg    string
+	status     int
+	msg        string
+	kind       string
+	retryAfter time.Duration
 }
 
 func (e *apiError) Error() string { return e.msg }
 
 func errf(status int, format string, args ...any) *apiError {
 	return &apiError{status: status, msg: fmt.Sprintf(format, args...)}
+}
+
+// errk is errf with a machine-readable kind ("quota", "overloaded",
+// "breaker_open", the reload failure taxonomy, …).
+func errk(status int, kind, format string, args ...any) *apiError {
+	return &apiError{status: status, msg: fmt.Sprintf(format, args...), kind: kind}
+}
+
+// retryAfterSeconds renders a Retry-After header value: whole seconds,
+// rounded up, at least 1.
+func retryAfterSeconds(d time.Duration) string {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
 }
 
 // wrap instruments one route: trace resolution and echo, request/error
@@ -375,6 +501,7 @@ func (s *Server) wrap(route string, h func(http.ResponseWriter, *http.Request) e
 	latHist := reg.Histogram("etsc_serve_latency_seconds", "Request handling latency by route.",
 		obs.ServeBuckets, routeLbl)
 	tracked := !metaRoutes[route]
+	work := workRoutes[route]
 	var rs *routeStats
 	var queueHist, classifyHist *obs.Histogram
 	if tracked {
@@ -395,7 +522,19 @@ func (s *Server) wrap(route string, h func(http.ResponseWriter, *http.Request) e
 		tc, parent, ri, r := traceRequest(w, r)
 		sw := &statusWriter{ResponseWriter: w}
 		r.Body = http.MaxBytesReader(sw, r.Body, s.cfg.MaxBodyBytes)
-		err := h(sw, r)
+		var err error
+		if work {
+			err = s.admit(sw, r)
+		}
+		if err == nil {
+			if work {
+				s.inflightWork.Add(1)
+			}
+			err = h(sw, r)
+			if work {
+				s.inflightWork.Add(-1)
+			}
+		}
 		if err != nil {
 			status := http.StatusInternalServerError
 			var ae *apiError
@@ -403,6 +542,9 @@ func (s *Server) wrap(route string, h func(http.ResponseWriter, *http.Request) e
 			switch {
 			case errors.As(err, &ae):
 				status = ae.status
+				if ae.retryAfter > 0 {
+					sw.Header().Set("Retry-After", retryAfterSeconds(ae.retryAfter))
+				}
 			case errors.As(err, &mbe):
 				status = http.StatusRequestEntityTooLarge
 				err = fmt.Errorf("request body exceeds %d bytes", mbe.Limit)
@@ -411,7 +553,11 @@ func (s *Server) wrap(route string, h func(http.ResponseWriter, *http.Request) e
 			}
 			reg.Counter("etsc_serve_errors_total", "Request errors by route and status.",
 				routeLbl, obs.Label{Key: "code", Value: fmt.Sprint(status)}).Inc()
-			writeJSON(sw, status, map[string]any{"error": err.Error()})
+			body := map[string]any{"error": err.Error()}
+			if ae != nil && ae.kind != "" {
+				body["kind"] = ae.kind
+			}
+			writeJSON(sw, status, body)
 		}
 		wall := time.Since(start)
 		latHist.Observe(wall.Seconds())
@@ -432,11 +578,40 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) error {
 	return writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
 }
 
+// handleReadyz is the readiness probe: 200 only when the server has
+// models, is not draining, and no model is degraded (open circuit
+// breaker, or a reload rejected since the last good swap). Degraded
+// state answers 503 with a JSON body naming the causes so orchestrators
+// stop routing; healthz stays pure liveness.
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) error {
 	if !s.ready.Load() {
-		return errf(http.StatusServiceUnavailable, "no models loaded")
+		return errk(http.StatusServiceUnavailable, "no_models", "no models loaded")
 	}
-	return writeJSON(w, http.StatusOK, map[string]any{"status": "ready", "models": len(s.Models())})
+	s.mu.RLock()
+	entries := make([]*modelEntry, 0, len(s.models))
+	for _, e := range s.models {
+		entries = append(entries, e)
+	}
+	s.mu.RUnlock()
+	openBreakers := []string{}
+	failedReloads := map[string]*reloadFailure{}
+	for _, e := range entries {
+		if e.breaker.isOpen() {
+			openBreakers = append(openBreakers, e.name)
+		}
+		if f := e.lastReloadErr.Load(); f != nil {
+			failedReloads[e.name] = f
+		}
+	}
+	sort.Strings(openBreakers)
+	if s.draining.Load() || len(openBreakers) > 0 || len(failedReloads) > 0 {
+		return writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "degraded", "draining": s.draining.Load(),
+			"open_breakers": openBreakers, "failed_reloads": failedReloads,
+			"models": len(entries),
+		})
+	}
+	return writeJSON(w, http.StatusOK, map[string]any{"status": "ready", "models": len(entries)})
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) error {
@@ -467,45 +642,93 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) error {
 	if err := decodeJSON(r, req); err != nil {
 		return err
 	}
-	m, ok := s.lookup(req.Model)
+	e, ok := s.entry(req.Model)
 	if !ok {
 		return errf(http.StatusNotFound, "unknown model %q", req.Model)
 	}
+	// Pin the live version for this whole request; a concurrent hot swap
+	// retires it only for requests that resolve after the swap.
+	m := e.cur.Load()
 	if err := validateValues(req.Values, m.info.NumVars); err != nil {
+		return err
+	}
+	if err := s.breakerAllow(e); err != nil {
 		return err
 	}
 	ri := info(r)
 	ri.model = m.info.Name
 	var label, consumed int
+	var cerr error
 	if m.coalesce != nil {
 		// Coalesced path: the batcher owns queueing (the shared worker
 		// semaphore is taken once per batch), so the whole wait counts as
 		// classify time.
 		t0 := time.Now()
-		var err error
-		label, consumed, err = m.coalesce.submit(r.Context(), req.Values)
-		if err != nil {
+		cerr = s.runClassify(m.info.Name, func() error {
+			var err error
+			label, consumed, err = m.coalesce.submit(r.Context(), req.Values)
 			return err
-		}
+		})
 		ri.classify = time.Since(t0)
 		ri.worked = true
 	} else {
 		t0 := time.Now()
 		if err := s.acquire(r); err != nil {
+			// Shed in the queue, not a model failure: no breaker record.
 			return err
 		}
 		ri.queue = time.Since(t0)
 		t1 := time.Now()
-		label, consumed = m.classify(req.Values)
+		cerr = s.runClassify(m.info.Name, func() error {
+			label, consumed = m.classify(req.Values)
+			return nil
+		})
 		ri.classify = time.Since(t1)
 		ri.worked = true
 		s.release()
+	}
+	e.breaker.record(cerr == nil)
+	if cerr != nil {
+		return cerr
 	}
 
 	n := len(req.Values[0])
 	ri.prefix, ri.label, ri.decided = n, label, true
 	m.stats.recordDecision(consumed, m.info.Length, n)
 	return m.writeClassify(w, label, consumed)
+}
+
+// breakerAllow turns an open circuit breaker into a fast 503 with the
+// remaining cooldown as Retry-After, before any classify work is queued.
+func (s *Server) breakerAllow(e *modelEntry) error {
+	ok, wait := e.breaker.allow()
+	if ok {
+		return nil
+	}
+	ae := errk(http.StatusServiceUnavailable, "breaker_open",
+		"model %q circuit breaker is open", e.name)
+	ae.retryAfter = wait
+	return ae
+}
+
+// runClassify executes one classify/advance with the chaos hook applied
+// and panics contained: a classifier that panics fails its own request
+// with a 500 (and counts against its breaker) instead of killing the
+// process.
+func (s *Server) runClassify(model string, fn func() error) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = errk(http.StatusInternalServerError, "classify_panic",
+				"model %q: classifier panicked: %v", model, rec)
+		}
+	}()
+	if hook := s.cfg.ClassifyHook; hook != nil {
+		if herr := hook(model); herr != nil {
+			return errk(http.StatusInternalServerError, "classify_fault",
+				"model %q: %v", model, herr)
+		}
+	}
+	return fn()
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) error {

@@ -20,7 +20,8 @@ import (
 // cannot change a reported answer.
 type session struct {
 	id    string
-	model *model
+	entry *modelEntry // registry slot: breaker + version history
+	model *model      // the version pinned at creation; hot swaps never move it
 
 	mu        sync.Mutex
 	values    [][]float64 // [variable][time], grows as points arrive
@@ -90,7 +91,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) err
 	if err := decodeJSON(r, &req); err != nil {
 		return err
 	}
-	m, ok := s.lookup(req.Model)
+	e, ok := s.entry(req.Model)
 	if !ok {
 		return errf(http.StatusNotFound, "unknown model %q", req.Model)
 	}
@@ -98,7 +99,11 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) err
 	if err != nil {
 		return err
 	}
-	ss := &session{id: id, model: m, lastSeen: time.Now()}
+	// The session pins the version live at creation: every Advance for
+	// its lifetime runs against this *model, so a hot swap mid-stream
+	// cannot change a decision already in progress.
+	m := e.cur.Load()
+	ss := &session{id: id, entry: e, model: m, lastSeen: time.Now()}
 
 	s.mu.Lock()
 	if len(s.sessions) >= s.cfg.MaxSessions {
@@ -170,6 +175,9 @@ func (s *Server) handleSessionPoints(w http.ResponseWriter, r *http.Request) err
 	}
 	ri.prefix = n
 
+	if err := s.breakerAllow(ss.entry); err != nil {
+		return err
+	}
 	if ss.cur == nil {
 		// The cursor aliases the session's value slices: appendPoints
 		// only ever appends to the inner slices after the first batch
@@ -179,26 +187,36 @@ func (s *Server) handleSessionPoints(w http.ResponseWriter, r *http.Request) err
 	}
 	t0 := time.Now()
 	if err := s.acquire(r); err != nil {
+		// Shed in the queue, not a model failure: no breaker record.
 		return err
 	}
 	ri.queue = time.Since(t0)
 	t1 := time.Now()
 	var label, consumed int
 	var curDone bool
-	if ss.curNative {
-		// Native cursors read only shared fitted state; sessions of one
-		// model advance concurrently.
-		label, consumed, curDone = ss.cur.Advance(n)
-	} else {
-		// Fallback cursors replay Classify, which may reuse model
-		// scratch — same serialization the classic path needed.
-		ss.model.mu.Lock()
-		label, consumed, curDone = ss.cur.Advance(n)
-		ss.model.mu.Unlock()
-	}
+	cerr := s.runClassify(ss.model.info.Name, func() error {
+		if ss.curNative {
+			// Native cursors read only shared fitted state; sessions of
+			// one model advance concurrently.
+			label, consumed, curDone = ss.cur.Advance(n)
+		} else {
+			// Fallback cursors replay Classify, which may reuse model
+			// scratch — same serialization the classic path needed. The
+			// deferred unlock keeps the lock safe across a panicking
+			// classifier.
+			ss.model.mu.Lock()
+			defer ss.model.mu.Unlock()
+			label, consumed, curDone = ss.cur.Advance(n)
+		}
+		return nil
+	})
 	ri.classify = time.Since(t1)
 	ri.worked = true
 	s.release()
+	ss.entry.breaker.record(cerr == nil)
+	if cerr != nil {
+		return cerr
+	}
 
 	// The decision is final only when it cannot change with more data:
 	// the cursor froze it (the classifier committed), the classifier

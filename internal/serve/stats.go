@@ -296,12 +296,76 @@ type ModelQuality struct {
 
 // StatsSnapshot is the GET /v1/stats document.
 type StatsSnapshot struct {
-	Now       time.Time                `json:"now"`
-	UptimeS   float64                  `json:"uptime_s"`
-	SLOTarget string                   `json:"slo_target"`
-	Endpoints map[string]EndpointStats `json:"endpoints"`
-	Models    map[string]ModelQuality  `json:"models"`
-	Sessions  lifecycleCounts          `json:"sessions"`
+	Now        time.Time                `json:"now"`
+	UptimeS    float64                  `json:"uptime_s"`
+	SLOTarget  string                   `json:"slo_target"`
+	Endpoints  map[string]EndpointStats `json:"endpoints"`
+	Models     map[string]ModelQuality  `json:"models"`
+	Sessions   lifecycleCounts          `json:"sessions"`
+	Resilience *ResilienceStats         `json:"resilience,omitempty"`
+}
+
+// ModelResilience is one model's control-plane view: version history,
+// artifact provenance and circuit-breaker state.
+type ModelResilience struct {
+	Version         int            `json:"version"`
+	PreviousVersion int            `json:"previous_version,omitempty"`
+	Checksum        string         `json:"checksum,omitempty"`
+	Source          string         `json:"source,omitempty"`
+	LoadedAt        time.Time      `json:"loaded_at"`
+	Reloads         uint64         `json:"reloads"`
+	Rollbacks       uint64         `json:"rollbacks"`
+	LastReloadError *reloadFailure `json:"last_reload_error,omitempty"`
+	Breaker         BreakerStatus  `json:"breaker"`
+}
+
+// ResilienceStats is the serving plane's admission/reload/breaker view.
+type ResilienceStats struct {
+	Draining     bool                       `json:"draining"`
+	InflightWork int64                      `json:"inflight_work"`
+	QueueDepth   int                        `json:"queue_depth"`
+	Queued       int64                      `json:"queued"`
+	Shed         map[string]uint64          `json:"shed"`
+	Models       map[string]ModelResilience `json:"models"`
+}
+
+// resilienceSnapshot assembles the resilience section of /v1/stats.
+func (s *Server) resilienceSnapshot() *ResilienceStats {
+	rs := &ResilienceStats{
+		Draining: s.draining.Load(), InflightWork: s.inflightWork.Load(),
+		QueueDepth: s.cfg.QueueDepth, Queued: s.queued.Load(),
+		Shed: map[string]uint64{}, Models: map[string]ModelResilience{},
+	}
+	for i, reason := range shedReasonNames {
+		rs.Shed[reason] = s.shedCounts[i].Load()
+	}
+	s.mu.RLock()
+	entries := make([]*modelEntry, 0, len(s.models))
+	for _, e := range s.models {
+		entries = append(entries, e)
+	}
+	s.mu.RUnlock()
+	for _, e := range entries {
+		m := e.cur.Load()
+		mr := ModelResilience{
+			Version:  m.info.Version,
+			Checksum: m.info.Checksum,
+			LoadedAt: m.loadedAt,
+			Reloads:  e.reloads.Load(), Rollbacks: e.rollbacks.Load(),
+			Breaker: e.breaker.status(),
+		}
+		e.ctl.Lock()
+		mr.Source = e.source
+		if e.prev != nil {
+			mr.PreviousVersion = e.prev.info.Version
+		}
+		e.ctl.Unlock()
+		if f := e.lastReloadErr.Load(); f != nil {
+			mr.LastReloadError = f
+		}
+		rs.Models[e.name] = mr
+	}
+	return rs
 }
 
 // spanKey renders a window span compactly ("10s", "1m", "5m").
@@ -379,7 +443,7 @@ func (st *serverStats) Snapshot() StatsSnapshot {
 // ---- handlers ----
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) error {
-	return writeJSON(w, http.StatusOK, s.stats.Snapshot())
+	return writeJSON(w, http.StatusOK, s.Stats())
 }
 
 // handleMetrics serves the registry in Prometheus text exposition

@@ -71,7 +71,11 @@ type document struct {
 	// Serving carries the serving layer's latency percentiles and request
 	// counters when -serve is set (`make bench-serve`).
 	Serving *servingReport `json:"serving,omitempty"`
-	Note    string         `json:"note"`
+	// Overload carries the admission-control benchmark when -overload is
+	// set: goodput vs shed rate at ~10x saturation and the admitted p99
+	// relative to the unloaded p99 (`make bench-serve`, BENCH_PR8.json).
+	Overload *overloadReport `json:"overload,omitempty"`
+	Note     string          `json:"note"`
 }
 
 // faultCounterNames are the evaluation engine's robustness counters,
@@ -123,7 +127,8 @@ func main() {
 	serveBench := flag.Bool("serve", false, "also benchmark the HTTP serving layer in-process and stamp its latency percentiles into the document")
 	serveRPS := flag.String("serve-rps", "25,100,400", "comma-separated target request rates for -serve")
 	serveN := flag.Int("serve-requests", 120, "requests per -serve level")
-	serveStats := flag.Bool("stats", false, "with -serve: scrape GET /v1/stats after the load runs and stamp the server-side window quantiles and quality gauges into the document")
+	serveStats := flag.Bool("stats", false, "with -serve: scrape GET /v1/stats after the load runs and stamp the server-side window quantiles, quality gauges and shed/breaker/reload counters into the document")
+	overloadBench := flag.Bool("overload", false, "benchmark admission control in-process: drive a small server at ~10x saturation and stamp goodput, shed rate and admitted-vs-unloaded p99 into the document")
 	noSuites := flag.Bool("skip-suites", false, "skip the go test benchmark suites (useful with -serve alone)")
 	classify := flag.Bool("classify", false, "also benchmark the incremental classification cursors")
 	kernels := flag.Bool("kernels", false, "also benchmark the data-layout kernels (flat kNN, fused prefix scan, float32 variants, SoA transform)")
@@ -270,6 +275,14 @@ func main() {
 			os.Exit(1)
 		}
 		doc.Serving = sr
+	}
+	if *overloadBench {
+		or, err := runOverload(*serveN)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		doc.Overload = or
 	}
 	nsOp := func(r result) float64 { return r.NsPerOp }
 	allocs := func(r result) float64 { return float64(r.AllocsPerOp) }
