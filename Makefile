@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet race chaos chaos-serve serve-smoke test bench bench-serve bench-classify pgo figures data tune clean
+.PHONY: all build vet race chaos chaos-serve chaos-ingest serve-smoke test bench bench-serve bench-classify pgo figures data tune clean
 
 NPROC := $(shell nproc 2>/dev/null || echo 1)
 
@@ -44,6 +44,18 @@ chaos-serve:
 	$(GO) test -race -run 'Reload|Rollback|Breaker|Admission|Tenant|Shed|Overload|Drain|Readyz|Degraded|Corrupt' ./internal/serve/...
 	$(GO) test -race -run 'ServeHook|Corrupt' ./internal/faults/...
 
+# Continuous-ingest chaos under the race detector: a deterministic
+# drifting event stream must trip the detector, retrain in the
+# background and hot-swap the model — with pre-swap entity decisions
+# bit-identical to the pinned version, post-swap accuracy recovered, a
+# failed retrain leaving the old model serving, seeded event faults
+# (drops/duplicates/late arrivals) absorbed with exact counters, and
+# session + entity TTL eviction driven from one injected fake clock.
+chaos-ingest:
+	$(GO) test -race ./internal/ingest/...
+	$(GO) test -race -run 'Event' ./internal/faults/...
+	$(GO) test -race -run 'SharedClock|Eviction' ./internal/serve/...
+
 # End-to-end serving parity under the race detector: every algorithm is
 # trained on three synthetic datasets (one multivariate), persisted,
 # loaded into an HTTP server, and must reproduce the offline Classify
@@ -54,7 +66,7 @@ serve-smoke:
 	$(GO) test -race -run 'ServeSmoke|Trace|Stats|Metrics|Dashboard|Eviction|MetaRoutes' ./internal/serve/...
 	$(GO) test -race -run 'Run|Correlate' ./internal/loadgen/...
 
-test: vet race chaos chaos-serve serve-smoke
+test: vet race chaos chaos-serve chaos-ingest serve-smoke
 	$(GO) test ./...
 	@if [ -f BENCH_PR7.json ]; then \
 		echo "kernel regression gate: short deterministic run vs committed BENCH_PR7.json"; \
@@ -110,8 +122,12 @@ bench-classify:
 # shed/breaker/reload counters) to BENCH_PR8.json. The -overload pass
 # additionally drives a deliberately tiny server past saturation and
 # records goodput vs shed rate and the admitted-vs-unloaded p99 ratio.
+# The second run replays an interleaved entity event stream through the
+# continuous-ingest endpoint and commits entity throughput and
+# decision-latency percentiles to BENCH_PR9.json.
 bench-serve:
 	$(GO) run ./tools/benchjson -serve -stats -overload -skip-suites -out BENCH_PR8.json
+	$(GO) run ./tools/benchjson -ingest -skip-suites -out BENCH_PR9.json
 
 # Scaled-down evaluation matrix with text figures, SVG files and the
 # qualitative-claims check.

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"github.com/goetsc/goetsc/internal/datasets"
+	"github.com/goetsc/goetsc/internal/ingest"
 	"github.com/goetsc/goetsc/internal/loadgen"
 	"github.com/goetsc/goetsc/internal/obs"
 	"github.com/goetsc/goetsc/internal/persist"
@@ -61,6 +62,9 @@ func main() {
 		traces        = flag.Bool("traces", false, "keep per-conversation trace records in the JSON result")
 		overload      = flag.Bool("overload", false, "drive past capacity: unpaced, many clients; 429/503 sheds are expected and reported as goodput vs shed rate instead of failing the run")
 		tenant        = flag.String("tenant", "", "X-Etsc-Tenant header attributing the load to one tenant's quota")
+		ingestMode    = flag.Bool("ingest", false, "replay the dataset as one interleaved entity event stream against POST /v1/ingest (etsc-serve -ingest), reporting decision latency and entity churn")
+		eps           = flag.Float64("eps", 0, "target events/sec in -ingest mode (0 = unpaced)")
+		cohort        = flag.Int("cohort", 8, "concurrently interleaved entities in -ingest mode")
 	)
 	var obsFlags obs.Flags
 	obsFlags.Register(flag.CommandLine)
@@ -81,6 +85,12 @@ func main() {
 	}
 	d := spec.Generate(*scale, *seed)
 	d.Interpolate()
+
+	if *ingestMode {
+		runIngestMode(col, obsCleanup, d, *addr, *model, *eps, *cohort, *jsonOut)
+		return
+	}
+
 	test, err := holdoutTest(d, *folds, *seed)
 	if err != nil {
 		fail(err)
@@ -178,6 +188,45 @@ func main() {
 	}
 	if res.Errors > 0 || res.ParityMismatches > 0 {
 		failWith(obsCleanup, fmt.Errorf("%d request errors, %d parity mismatches", res.Errors, res.ParityMismatches))
+	}
+}
+
+// runIngestMode replays the whole dataset as one interleaved entity
+// event stream — per-entity ordering preserved on the single connection
+// — and reports decision latency percentiles plus the server's entity
+// churn counters.
+func runIngestMode(col *obs.Collector, cleanup func(), d *ts.Dataset, addr, model string, eps float64, cohort int, jsonOut string) {
+	events := ingest.InterleaveInstances(d, "entity", cohort)
+	fmt.Printf("replaying %d instances of %s as %d interleaved events\n", d.Len(), d.Name, len(events))
+	res, err := loadgen.RunIngest(loadgen.IngestConfig{
+		BaseURL: addr, Path: "/v1/ingest?model=" + model,
+		Events: events, EPS: eps,
+	})
+	if err != nil {
+		failWith(cleanup, err)
+	}
+	fmt.Println(res)
+	col.Emit("loadgen_ingest_result", map[string]any{
+		"events": res.Events, "decisions": res.Decisions, "errors": res.Errors,
+		"p50_ms":           float64(res.P50) / float64(time.Millisecond),
+		"p99_ms":           float64(res.P99) / float64(time.Millisecond),
+		"throughput_eps":   res.Throughput,
+		"entities_created": res.Summary.EntitiesCreated,
+		"entities_evicted": res.Summary.EntitiesEvicted,
+		"windows":          res.Summary.Windows,
+	})
+	if jsonOut != "" {
+		b, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			failWith(cleanup, err)
+		}
+		if err := os.WriteFile(jsonOut, append(b, '\n'), 0o644); err != nil {
+			failWith(cleanup, err)
+		}
+		fmt.Printf("result written to %s\n", jsonOut)
+	}
+	if res.Errors > 0 {
+		failWith(cleanup, fmt.Errorf("%d response errors", res.Errors))
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/goetsc/goetsc/internal/ingest"
 	"github.com/goetsc/goetsc/internal/obs"
 	"github.com/goetsc/goetsc/internal/serve"
 )
@@ -54,6 +55,8 @@ func main() {
 		brkCooldown  = flag.Duration("breaker-cooldown", 5*time.Second, "how long an open breaker rejects before probing half-open")
 		brkProbes    = flag.Int("breaker-probes", 3, "half-open successes required to re-close the breaker")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "longest to wait for in-flight requests when draining on SIGTERM")
+		ingestAPI    = flag.Bool("ingest", false, "enable POST /v1/ingest: NDJSON entity event streams windowed and classified continuously (?model= selects the model)")
+		ingestShards = flag.Int("ingest-shards", 0, "entity demux shards per ingest stream (0 = pipeline default)")
 	)
 	var obsFlags obs.Flags
 	obsFlags.Register(flag.CommandLine)
@@ -151,6 +154,25 @@ func main() {
 	if *pprofMux {
 		obs.RegisterPprof(root)
 	}
+	if *ingestAPI {
+		// The ingest endpoint streams NDJSON decisions with per-line
+		// flushes, so it mounts beside the TimeoutHandler (which buffers
+		// whole responses), not under it — the same placement as pprof.
+		root.Handle("/v1/ingest", ingest.Handler(func(r *http.Request, onDecision func(ingest.Decision)) (*ingest.Pipeline, error) {
+			model := r.URL.Query().Get("model")
+			if model == "" {
+				if ms := srv.Models(); len(ms) == 1 {
+					model = ms[0].Name
+				} else {
+					return nil, fmt.Errorf("?model= is required with %d models loaded", len(ms))
+				}
+			}
+			return ingest.New(ingest.Config{
+				Registry: srv, Model: model, Shards: *ingestShards,
+				OnDecision: onDecision, Obs: col,
+			})
+		}))
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           root,
@@ -178,6 +200,9 @@ func main() {
 		*sloTarget, *sloObjective*100)
 	if *pprofMux {
 		fmt.Println("pprof: /debug/pprof on the main listener")
+	}
+	if *ingestAPI {
+		fmt.Println("ingest: POST /v1/ingest (NDJSON entity event stream)")
 	}
 
 	select {

@@ -58,14 +58,24 @@ func (p Profile) In(c Category) bool {
 // dataset that is not Wide, Large, Unstable, Imbalanced or Multiclass is
 // flagged Common; every dataset is additionally Univariate or Multivariate.
 func Categorize(d *ts.Dataset) Profile {
+	return ProfileFromStats(d.Name, d.MaxLength(), d.Len(), d.NumVars(), d.NumClasses(),
+		DatasetCoV(d), ClassImbalanceRatio(d))
+}
+
+// ProfileFromStats assigns the paper's category flags to already-computed
+// summary statistics — the flag half of Categorize, shared with the
+// ingest subsystem's rolling-window profile so a profile computed
+// incrementally over a stream carries exactly the flags a batch
+// Categorize of the same points would.
+func ProfileFromStats(name string, length, height, numVars, numClasses int, cov, cir float64) Profile {
 	p := Profile{
-		Name:       d.Name,
-		Length:     d.MaxLength(),
-		Height:     d.Len(),
-		NumVars:    d.NumVars(),
-		NumClasses: d.NumClasses(),
-		CoV:        DatasetCoV(d),
-		CIR:        ClassImbalanceRatio(d),
+		Name:       name,
+		Length:     length,
+		Height:     height,
+		NumVars:    numVars,
+		NumClasses: numClasses,
+		CoV:        cov,
+		CIR:        cir,
 	}
 	if p.Length > WideLengthThreshold {
 		p.Categories = append(p.Categories, Wide)

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"github.com/goetsc/goetsc/internal/ingest"
 	ts "github.com/goetsc/goetsc/internal/timeseries"
 )
 
@@ -104,6 +105,18 @@ func Maritime(scale float64, seed int64) *ts.Dataset {
 		})
 	}
 	return d
+}
+
+// MaritimeEvents replays the vessel simulator as one interleaved
+// entity-keyed event stream — the AIS-shaped feed the continuous-ingest
+// subsystem consumes. Each simulated window becomes one entity
+// ("vessel-<i>") whose 30 points arrive as events interleaved
+// round-robin with a cohort of concurrently active vessels; the last
+// event of each window carries the inside-port label as delayed ground
+// truth. Same scale and seed ⇒ same stream, point for point, because
+// the events replay exactly the windows Maritime(scale, seed) builds.
+func MaritimeEvents(scale float64, seed int64, cohort int) []ingest.Event {
+	return ingest.InterleaveInstances(Maritime(scale, seed), "vessel", cohort)
 }
 
 // angleDiff returns the signed smallest rotation from a to b in radians.

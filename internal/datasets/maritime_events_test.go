@@ -1,0 +1,81 @@
+package datasets
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestMaritimeEventsDeterministic: same seed ⇒ byte-identical event
+// stream, different seed ⇒ a different one.
+func TestMaritimeEventsDeterministic(t *testing.T) {
+	a := MaritimeEvents(0.03, 42, 8)
+	b := MaritimeEvents(0.03, 42, 8)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different event streams")
+	}
+	c := MaritimeEvents(0.03, 43, 8)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical event streams")
+	}
+	if len(a) == 0 {
+		t.Fatal("empty event stream")
+	}
+}
+
+// TestMaritimeEventsReassemble: regrouping the interleaved stream by
+// entity must reproduce the Maritime instances exactly — values, label,
+// one entity per vessel track.
+func TestMaritimeEventsReassemble(t *testing.T) {
+	d := Maritime(0.03, 42)
+	events := MaritimeEvents(0.03, 42, 8)
+
+	type acc struct {
+		values [][]float64
+		label  int
+		seen   bool
+	}
+	byEntity := map[string]*acc{}
+	for _, ev := range events {
+		a := byEntity[ev.Entity]
+		if a == nil {
+			a = &acc{values: make([][]float64, len(ev.Values))}
+			byEntity[ev.Entity] = a
+		}
+		for v, x := range ev.Values {
+			a.values[v] = append(a.values[v], x)
+		}
+		if ev.Labeled {
+			a.label, a.seen = ev.Label, true
+		}
+	}
+	if len(byEntity) != d.Len() {
+		t.Fatalf("%d entities, want one per instance (%d)", len(byEntity), d.Len())
+	}
+	for i, in := range d.Instances {
+		name := "vessel-" + itoa(i)
+		a := byEntity[name]
+		if a == nil {
+			t.Fatalf("entity %s missing from stream", name)
+		}
+		if !reflect.DeepEqual(a.values, in.Values) {
+			t.Errorf("entity %s does not reassemble to its instance", name)
+		}
+		if !a.seen || a.label != in.Label {
+			t.Errorf("entity %s label = %d (labeled=%v), want %d", name, a.label, a.seen, in.Label)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [12]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

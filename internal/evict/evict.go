@@ -1,0 +1,37 @@
+// Package evict is the shared TTL-eviction policy behind the serving
+// layer's session sweep and the ingest subsystem's entity sweep. Both
+// sweeps answer the same question — "has this item been idle longer than
+// the TTL?" — and both need a deterministic answer in chaos tests, so the
+// policy carries an injectable clock: production passes nil and gets
+// time.Now, tests pass a fake clock and drive eviction to the tick.
+package evict
+
+import "time"
+
+// Clock supplies the current time. A nil Clock means time.Now.
+type Clock func() time.Time
+
+// Now resolves the clock, defaulting to the wall clock.
+func (c Clock) Now() time.Time {
+	if c == nil {
+		return time.Now()
+	}
+	return c()
+}
+
+// Policy decides idleness against a TTL with an injectable clock.
+type Policy struct {
+	TTL   time.Duration
+	Clock Clock
+}
+
+// Now reads the policy's clock.
+func (p Policy) Now() time.Time { return p.Clock.Now() }
+
+// Cutoff returns the instant before which a last-seen time counts as
+// idle: Now() - TTL.
+func (p Policy) Cutoff() time.Time { return p.Clock.Now().Add(-p.TTL) }
+
+// ExpiredAt reports whether lastSeen is idle against a precomputed
+// cutoff — sweeps over many items read the clock once.
+func ExpiredAt(lastSeen, cutoff time.Time) bool { return lastSeen.Before(cutoff) }

@@ -1,0 +1,140 @@
+package faults
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"github.com/goetsc/goetsc/internal/ingest"
+)
+
+// Event-stream fault schedules: the same seeded-hash discipline the
+// training plan uses, applied to an entity event stream. The decision
+// for one event is a pure function of (seed, entity, t), never of
+// stream position, so a plan places the same drops, duplicates and
+// delays in the same places however the stream is produced — which lets
+// chaos tests assert exact post-fault pipeline counters.
+
+// EventKind enumerates the injectable stream faults.
+type EventKind int
+
+// Event fault kinds.
+const (
+	// EventNone delivers the event untouched.
+	EventNone EventKind = iota
+	// EventDrop loses the event, as a flaky transceiver would.
+	EventDrop
+	// EventDup delivers the event twice back to back — the at-least-once
+	// delivery case the pipeline's staleness check must absorb.
+	EventDup
+	// EventLate holds the event back and re-delivers it after LateBy
+	// later events, by which time its entity has moved on and the
+	// pipeline must reject it as stale.
+	EventLate
+)
+
+// String names the kind for journals and test output.
+func (k EventKind) String() string {
+	switch k {
+	case EventDrop:
+		return "drop"
+	case EventDup:
+		return "dup"
+	case EventLate:
+		return "late"
+	default:
+		return "none"
+	}
+}
+
+// EventConfig sets the stream plan's seed and per-event probabilities,
+// partitioning [0, 1) the way the training Config does.
+type EventConfig struct {
+	Seed     int64
+	DropProb float64
+	DupProb  float64
+	LateProb float64
+	// LateBy is how many subsequent events a Late event is held behind.
+	// Default 8.
+	LateBy int
+}
+
+// EventPlan deterministically maps events to stream faults.
+type EventPlan struct {
+	cfg EventConfig
+}
+
+// NewEventPlan builds a stream plan from the config.
+func NewEventPlan(cfg EventConfig) *EventPlan {
+	if cfg.LateBy <= 0 {
+		cfg.LateBy = 8
+	}
+	return &EventPlan{cfg: cfg}
+}
+
+// For returns the fault assigned to one (entity, t) event. A nil plan
+// injects nothing.
+func (p *EventPlan) For(entity string, t int) EventKind {
+	if p == nil {
+		return EventNone
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|event|%s|%d", p.cfg.Seed, entity, t)
+	// Event keys are short and near-identical, which leaves FNV's upper
+	// bits visibly non-uniform; a finalizer mix (murmur3's) fixes the
+	// distribution without giving up determinism.
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	u := float64(x>>11) / float64(uint64(1)<<53)
+	switch {
+	case u < p.cfg.DropProb:
+		return EventDrop
+	case u < p.cfg.DropProb+p.cfg.DupProb:
+		return EventDup
+	case u < p.cfg.DropProb+p.cfg.DupProb+p.cfg.LateProb:
+		return EventLate
+	default:
+		return EventNone
+	}
+}
+
+// Apply materializes the plan over a stream: dropped events vanish,
+// duplicated events appear twice in a row, late events are re-inserted
+// LateBy delivered events downstream (or at the end of the stream).
+// The input is not modified; the output is deterministic in the input.
+func (p *EventPlan) Apply(events []ingest.Event) []ingest.Event {
+	if p == nil {
+		return events
+	}
+	out := make([]ingest.Event, 0, len(events))
+	type held struct {
+		ev  ingest.Event
+		due int // deliver once len(out) reaches this
+	}
+	var pending []held
+	flushDue := func() {
+		for len(pending) > 0 && pending[0].due <= len(out) {
+			out = append(out, pending[0].ev)
+			pending = pending[1:]
+		}
+	}
+	for _, ev := range events {
+		flushDue()
+		switch p.For(ev.Entity, ev.T) {
+		case EventDrop:
+		case EventDup:
+			out = append(out, ev, ev)
+		case EventLate:
+			pending = append(pending, held{ev: ev, due: len(out) + p.cfg.LateBy})
+		default:
+			out = append(out, ev)
+		}
+	}
+	for _, h := range pending {
+		out = append(out, h.ev)
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+package faults
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"github.com/goetsc/goetsc/internal/ingest"
+)
+
+func eventStream(entities, length int) []ingest.Event {
+	var out []ingest.Event
+	for t := 0; t < length; t++ {
+		for e := 0; e < entities; e++ {
+			out = append(out, ingest.Event{
+				Entity: fmt.Sprintf("e-%d", e), T: t, Values: []float64{float64(t)},
+			})
+		}
+	}
+	return out
+}
+
+// TestEventPlanDeterministic: the fault for an event is a pure function
+// of (seed, entity, t) — independent of stream position — so two
+// applications of one plan, and For called in any order, agree exactly.
+func TestEventPlanDeterministic(t *testing.T) {
+	plan := NewEventPlan(EventConfig{Seed: 7, DropProb: 0.1, DupProb: 0.1, LateProb: 0.1})
+	stream := eventStream(10, 30)
+	a := plan.Apply(stream)
+	b := plan.Apply(stream)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same plan over same stream produced different outputs")
+	}
+	for _, ev := range stream {
+		if plan.For(ev.Entity, ev.T) != plan.For(ev.Entity, ev.T) {
+			t.Fatal("For is not stable")
+		}
+	}
+	other := NewEventPlan(EventConfig{Seed: 8, DropProb: 0.1, DupProb: 0.1, LateProb: 0.1})
+	diff := 0
+	for _, ev := range stream {
+		if plan.For(ev.Entity, ev.T) != other.For(ev.Entity, ev.T) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+// TestEventPlanKindDistribution: each kind lands within a loose band of
+// its configured probability over a large key space.
+func TestEventPlanKindDistribution(t *testing.T) {
+	cfg := EventConfig{Seed: 3, DropProb: 0.1, DupProb: 0.2, LateProb: 0.1}
+	plan := NewEventPlan(cfg)
+	counts := map[EventKind]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[plan.For(fmt.Sprintf("entity-%d", i%500), i/500)]++
+	}
+	for kind, want := range map[EventKind]float64{
+		EventDrop: cfg.DropProb, EventDup: cfg.DupProb, EventLate: cfg.LateProb,
+		EventNone: 1 - cfg.DropProb - cfg.DupProb - cfg.LateProb,
+	} {
+		got := float64(counts[kind]) / n
+		if got < want-0.02 || got > want+0.02 {
+			t.Errorf("%v rate = %.3f, want %.2f ± 0.02", kind, got, want)
+		}
+	}
+}
+
+// TestEventPlanApplySemantics checks the three materializations: a drop
+// vanishes, a dup appears twice back to back, a late event is delivered
+// LateBy events downstream — and nothing else moves.
+func TestEventPlanApplySemantics(t *testing.T) {
+	stream := eventStream(6, 20)
+
+	if out := (*EventPlan)(nil).Apply(stream); !reflect.DeepEqual(out, stream) {
+		t.Error("nil plan modified the stream")
+	}
+	if out := NewEventPlan(EventConfig{Seed: 1}).Apply(stream); !reflect.DeepEqual(out, stream) {
+		t.Error("zero-probability plan modified the stream")
+	}
+	if out := NewEventPlan(EventConfig{Seed: 1, DropProb: 1}).Apply(stream); len(out) != 0 {
+		t.Errorf("drop-everything plan delivered %d events", len(out))
+	}
+	if out := NewEventPlan(EventConfig{Seed: 1, DupProb: 1}).Apply(stream); len(out) != 2*len(stream) {
+		t.Errorf("dup-everything plan delivered %d events, want %d", len(out), 2*len(stream))
+	}
+
+	// A mixed plan conserves events: output = input − drops + dups, and
+	// the multiset of non-dropped events is preserved.
+	plan := NewEventPlan(EventConfig{Seed: 11, DropProb: 0.1, DupProb: 0.1, LateProb: 0.2, LateBy: 5})
+	out := plan.Apply(stream)
+	drops, dups := 0, 0
+	var kept []ingest.Event
+	for _, ev := range stream {
+		switch plan.For(ev.Entity, ev.T) {
+		case EventDrop:
+			drops++
+		case EventDup:
+			dups++
+			kept = append(kept, ev, ev)
+		default:
+			kept = append(kept, ev)
+		}
+	}
+	if len(out) != len(stream)-drops+dups {
+		t.Errorf("delivered %d events, want %d − %d drops + %d dups", len(out), len(stream), drops, dups)
+	}
+	key := func(ev ingest.Event) string { return fmt.Sprintf("%s@%d", ev.Entity, ev.T) }
+	gotKeys := make([]string, len(out))
+	for i, ev := range out {
+		gotKeys[i] = key(ev)
+	}
+	wantKeys := make([]string, len(kept))
+	for i, ev := range kept {
+		wantKeys[i] = key(ev)
+	}
+	sort.Strings(gotKeys)
+	sort.Strings(wantKeys)
+	if !reflect.DeepEqual(gotKeys, wantKeys) {
+		t.Error("delivered multiset differs from planned keeps+dups")
+	}
+}
+
+// TestEventPlanLateDisplacement: with LateProb 1 every event is held
+// back; the stream drains in order once nothing else can come first.
+func TestEventPlanLateDisplacement(t *testing.T) {
+	stream := eventStream(2, 3)
+	plan := NewEventPlan(EventConfig{Seed: 1, LateProb: 1, LateBy: 2})
+	out := plan.Apply(stream)
+	if len(out) != len(stream) {
+		t.Fatalf("late-only plan delivered %d events, want %d", len(out), len(stream))
+	}
+	// Every event must appear at or after its original position.
+	pos := map[string]int{}
+	for i, ev := range stream {
+		pos[fmt.Sprintf("%s@%d", ev.Entity, ev.T)] = i
+	}
+	for i, ev := range out {
+		if orig := pos[fmt.Sprintf("%s@%d", ev.Entity, ev.T)]; i < orig {
+			t.Errorf("event %s@%d moved earlier (%d → %d)", ev.Entity, ev.T, orig, i)
+		}
+	}
+}

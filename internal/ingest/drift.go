@@ -1,0 +1,151 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/goetsc/goetsc/internal/core"
+)
+
+// DriftConfig tunes the rolling-profile drift detector. The detector is
+// deliberately simple — relative shifts of the same two statistics the
+// paper's categorization rests on (coefficient of variation and class
+// imbalance ratio), measured against a fixed reference profile — so
+// that trip points are hand-computable in tests and explainable in the
+// journal.
+type DriftConfig struct {
+	// Reference is the profile of the data the live model was trained
+	// on; drift is measured relative to it. Typically
+	// core.Categorize(trainSet). Leaving it zero self-calibrates: the
+	// detector snapshots the rolling profile once MinWindows windows have
+	// arrived and measures drift against that — for deployments where the
+	// training data is gone but the stream's opening stretch is known
+	// good.
+	Reference core.Profile
+	// Windows is the rolling-profile width in completed windows.
+	// Default 32.
+	Windows int
+	// MinWindows delays the first evaluation until the rolling profile
+	// holds this many windows, so a half-filled ring cannot trip.
+	// Default Windows.
+	MinWindows int
+	// CoVJump is the relative CoV change versus the reference that
+	// trips the detector: |cov−ref|/max(ref,1e-12) > CoVJump. 0 disables
+	// the CoV test.
+	CoVJump float64
+	// CIRJump is the same relative test on the class imbalance ratio. 0
+	// disables it.
+	CIRJump float64
+	// Cooldown is how many windows after a trip the detector stays
+	// quiet — the retrain it triggered needs windows of post-swap data
+	// before the rolling profile is meaningful again. Default Windows.
+	Cooldown int
+}
+
+func (c DriftConfig) withDefaults() (DriftConfig, error) {
+	if c.Windows <= 0 {
+		c.Windows = 32
+	}
+	if c.MinWindows <= 0 {
+		c.MinWindows = c.Windows
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = c.Windows
+	}
+	if c.CoVJump < 0 || c.CIRJump < 0 {
+		return c, errors.New("ingest: drift jump thresholds must be non-negative")
+	}
+	if c.CoVJump == 0 && c.CIRJump == 0 {
+		return c, errors.New("ingest: drift detector needs at least one of CoVJump/CIRJump")
+	}
+	return c, nil
+}
+
+// Detector trips when the rolling profile's statistics shift too far
+// from the reference profile. Callers own the locking (the pipeline
+// evaluates it under its drift mutex).
+type Detector struct {
+	cfg      DriftConfig
+	observed int
+	quiet    int // windows of cooldown remaining
+	trips    int
+	selfCal  bool // reference pending: snapshot at MinWindows
+}
+
+// NewDetector validates the config and returns a detector.
+func NewDetector(cfg DriftConfig) (*Detector, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	selfCal := cfg.Reference.CoV == 0 && cfg.Reference.CIR == 0
+	return &Detector{cfg: cfg, selfCal: selfCal}, nil
+}
+
+// Trips reports how many times the detector has fired.
+func (d *Detector) Trips() int { return d.trips }
+
+// Rebase re-references the detector at the given profile and restarts
+// the cooldown. The pipeline calls it after a successful model swap:
+// the refreshed model represents the stream's current distribution, so
+// drift must be measured against that, not against the regime the
+// retrain just left behind — otherwise a permanently shifted stream
+// would re-trip (and retrain) every cooldown forever.
+func (d *Detector) Rebase(p core.Profile) {
+	d.cfg.Reference = p
+	d.selfCal = false
+	d.quiet = d.cfg.Cooldown
+}
+
+// Observe evaluates one completed window's rolling profile. It returns
+// whether the detector tripped and, when it did, a journal-ready reason
+// naming the statistic and the shift that crossed its threshold.
+func (d *Detector) Observe(p core.Profile) (bool, string) {
+	d.observed++
+	if d.quiet > 0 {
+		d.quiet--
+		return false, ""
+	}
+	if d.observed < d.cfg.MinWindows {
+		return false, ""
+	}
+	if d.selfCal {
+		// First full profile becomes the reference; testing starts on the
+		// next window.
+		d.cfg.Reference, d.selfCal = p, false
+		return false, ""
+	}
+	if d.cfg.CoVJump > 0 {
+		if shift := relativeShift(p.CoV, d.cfg.Reference.CoV); shift > d.cfg.CoVJump {
+			return d.trip(fmt.Sprintf("cov shifted %.3f (%.4f vs reference %.4f, threshold %.3f)",
+				shift, p.CoV, d.cfg.Reference.CoV, d.cfg.CoVJump))
+		}
+	}
+	if d.cfg.CIRJump > 0 {
+		if shift := relativeShift(p.CIR, d.cfg.Reference.CIR); shift > d.cfg.CIRJump {
+			return d.trip(fmt.Sprintf("cir shifted %.3f (%.4f vs reference %.4f, threshold %.3f)",
+				shift, p.CIR, d.cfg.Reference.CIR, d.cfg.CIRJump))
+		}
+	}
+	return false, ""
+}
+
+func (d *Detector) trip(why string) (bool, string) {
+	d.trips++
+	d.quiet = d.cfg.Cooldown
+	return true, why
+}
+
+// relativeShift is |value−ref|/max(|ref|,1e-12); an infinite rolling
+// statistic (zero-mean window) always reads as a full shift.
+func relativeShift(value, ref float64) float64 {
+	if math.IsInf(value, 0) || math.IsNaN(value) {
+		return math.Inf(1)
+	}
+	den := math.Abs(ref)
+	if den < 1e-12 {
+		den = 1e-12
+	}
+	return math.Abs(value-ref) / den
+}

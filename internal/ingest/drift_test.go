@@ -1,0 +1,204 @@
+package ingest
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/goetsc/goetsc/internal/core"
+)
+
+func profileCoV(cov float64) core.Profile { return core.Profile{CoV: cov, CIR: 1} }
+
+// TestDriftDetectorTripPoint hand-computes the trip boundary: reference
+// CoV 1.0, threshold 0.25 — a shift of exactly 0.25 must not trip
+// (strict inequality), 0.2501 must.
+func TestDriftDetectorTripPoint(t *testing.T) {
+	d, err := NewDetector(DriftConfig{
+		Reference: core.Profile{CoV: 1.0, CIR: 1},
+		Windows:   4, MinWindows: 1, CoVJump: 0.25, Cooldown: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trip, _ := d.Observe(profileCoV(1.25)); trip {
+		t.Error("shift of exactly the threshold tripped; the test is strict >")
+	}
+	if trip, _ := d.Observe(profileCoV(0.76)); trip {
+		t.Error("downward shift 0.24 tripped below threshold")
+	}
+	trip, why := d.Observe(profileCoV(1.2501))
+	if !trip {
+		t.Fatal("shift 0.2501 over threshold 0.25 did not trip")
+	}
+	if !strings.Contains(why, "cov") {
+		t.Errorf("trip reason %q does not name the statistic", why)
+	}
+	if d.Trips() != 1 {
+		t.Errorf("trips = %d, want 1", d.Trips())
+	}
+	// Downward shifts count too: |0.7−1.0| = 0.3. (One cooldown window
+	// first.)
+	d.Observe(profileCoV(0.7))
+	if trip, _ := d.Observe(profileCoV(0.7)); !trip {
+		t.Error("downward shift 0.3 did not trip")
+	}
+}
+
+// TestDriftDetectorWarmup: with MinWindows = 3 the first two profiles
+// are never evaluated, however extreme.
+func TestDriftDetectorWarmup(t *testing.T) {
+	d, err := NewDetector(DriftConfig{
+		Reference: core.Profile{CoV: 1.0, CIR: 1},
+		Windows:   8, MinWindows: 3, CoVJump: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if trip, _ := d.Observe(profileCoV(50)); trip {
+			t.Fatalf("tripped on warmup window %d", i+1)
+		}
+	}
+	if trip, _ := d.Observe(profileCoV(50)); !trip {
+		t.Error("window 3 (= MinWindows) with a 49x shift did not trip")
+	}
+}
+
+// TestDriftDetectorCooldown: after a trip the detector stays quiet for
+// exactly Cooldown windows, then arms again.
+func TestDriftDetectorCooldown(t *testing.T) {
+	d, err := NewDetector(DriftConfig{
+		Reference: core.Profile{CoV: 1.0, CIR: 1},
+		Windows:   4, MinWindows: 1, CoVJump: 0.1, Cooldown: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trip, _ := d.Observe(profileCoV(2)); !trip {
+		t.Fatal("setup trip did not fire")
+	}
+	for i := 0; i < 3; i++ {
+		if trip, _ := d.Observe(profileCoV(2)); trip {
+			t.Fatalf("tripped during cooldown window %d of 3", i+1)
+		}
+	}
+	if trip, _ := d.Observe(profileCoV(2)); !trip {
+		t.Error("first window after cooldown did not re-trip")
+	}
+	if d.Trips() != 2 {
+		t.Errorf("trips = %d, want 2", d.Trips())
+	}
+}
+
+// TestDriftDetectorSelfCalibration: with a zero reference the profile
+// at MinWindows becomes the reference, and shifts are measured against
+// it from the next window on.
+func TestDriftDetectorSelfCalibration(t *testing.T) {
+	d, err := NewDetector(DriftConfig{
+		Windows: 4, MinWindows: 2, CoVJump: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Observe(profileCoV(2.0)) // warmup
+	if trip, _ := d.Observe(profileCoV(2.0)); trip {
+		t.Fatal("calibration window itself tripped")
+	}
+	// Against the snapshotted reference 2.0: 2.8 shifts 0.4 (no trip),
+	// 3.2 shifts 0.6 (trip).
+	if trip, _ := d.Observe(profileCoV(2.8)); trip {
+		t.Error("shift 0.4 below threshold tripped")
+	}
+	if trip, _ := d.Observe(profileCoV(3.2)); !trip {
+		t.Error("shift 0.6 over threshold 0.5 did not trip")
+	}
+}
+
+// TestDriftDetectorCIR: the class-imbalance test fires independently of
+// the CoV test and names itself in the reason.
+func TestDriftDetectorCIR(t *testing.T) {
+	d, err := NewDetector(DriftConfig{
+		Reference: core.Profile{CoV: 1.0, CIR: 2.0},
+		Windows:   4, MinWindows: 1, CoVJump: 10, CIRJump: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CIR 2.0 → 4.0 is a relative shift of 1.0 > 0.5; CoV unchanged.
+	trip, why := d.Observe(core.Profile{CoV: 1.0, CIR: 4.0})
+	if !trip {
+		t.Fatal("CIR doubling did not trip")
+	}
+	if !strings.Contains(why, "cir") {
+		t.Errorf("trip reason %q does not name cir", why)
+	}
+}
+
+// TestDriftDetectorInfiniteStatistic: a zero-mean stretch drives the
+// rolling CoV to +Inf; that must read as a full shift, not poison the
+// comparison.
+func TestDriftDetectorInfiniteStatistic(t *testing.T) {
+	d, err := NewDetector(DriftConfig{
+		Reference: core.Profile{CoV: 1.0, CIR: 1},
+		Windows:   4, MinWindows: 1, CoVJump: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trip, _ := d.Observe(profileCoV(math.Inf(1))); !trip {
+		t.Error("infinite CoV did not trip")
+	}
+	if trip, _ := NewDetectorMust(t).Observe(profileCoV(math.NaN())); !trip {
+		t.Error("NaN CoV did not trip")
+	}
+}
+
+func NewDetectorMust(t *testing.T) *Detector {
+	t.Helper()
+	d, err := NewDetector(DriftConfig{
+		Reference: core.Profile{CoV: 1.0, CIR: 1},
+		Windows:   4, MinWindows: 1, CoVJump: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDriftConfigValidation(t *testing.T) {
+	if _, err := NewDetector(DriftConfig{}); err == nil {
+		t.Error("config with no thresholds accepted")
+	}
+	if _, err := NewDetector(DriftConfig{CoVJump: -0.1}); err == nil {
+		t.Error("negative threshold accepted")
+	}
+	d, err := NewDetector(DriftConfig{CoVJump: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.cfg.Windows != 32 || d.cfg.MinWindows != 32 || d.cfg.Cooldown != 32 {
+		t.Errorf("defaults = %d/%d/%d, want 32/32/32", d.cfg.Windows, d.cfg.MinWindows, d.cfg.Cooldown)
+	}
+}
+
+func TestRelativeShift(t *testing.T) {
+	for _, tc := range []struct {
+		value, ref, want float64
+	}{
+		{1.5, 1.0, 0.5},
+		{0.5, 1.0, 0.5},
+		{2.0, 2.0, 0},
+		{-1.0, 2.0, 1.5},
+	} {
+		if got := relativeShift(tc.value, tc.ref); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("relativeShift(%v, %v) = %v, want %v", tc.value, tc.ref, got, tc.want)
+		}
+	}
+	if got := relativeShift(1, 0); got < 1e11 {
+		t.Errorf("zero reference should amplify any shift, got %v", got)
+	}
+	if !math.IsInf(relativeShift(math.Inf(1), 1), 1) {
+		t.Error("infinite value should be an infinite shift")
+	}
+}

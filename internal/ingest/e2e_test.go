@@ -1,0 +1,389 @@
+// End-to-end chaos for the continuous-ingest subsystem, run against the
+// real serving registry (external test package: serve imports ingest).
+// The deterministic levers: Shards=1 processes the stream in arrival
+// order, Synchronous retrains complete before the next window opens,
+// and the drifting stream is a seeded synthetic regime change.
+package ingest_test
+
+import (
+	"errors"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/goetsc/goetsc/internal/bench"
+	"github.com/goetsc/goetsc/internal/core"
+	"github.com/goetsc/goetsc/internal/faults"
+	"github.com/goetsc/goetsc/internal/ingest"
+	"github.com/goetsc/goetsc/internal/persist"
+	"github.com/goetsc/goetsc/internal/serve"
+	"github.com/goetsc/goetsc/internal/synth"
+	ts "github.com/goetsc/goetsc/internal/timeseries"
+)
+
+func fitECTS(t *testing.T, d *ts.Dataset) core.EarlyClassifier {
+	t.Helper()
+	algo, err := trainECTS(d)
+	if err != nil {
+		t.Fatalf("fit on %s: %v", d.Name, err)
+	}
+	return algo
+}
+
+func trainECTS(d *ts.Dataset) (core.EarlyClassifier, error) {
+	fs := bench.AlgorithmsByName(d.Name, bench.Fast, 1, []string{"ECTS"})
+	if len(fs) != 1 {
+		return nil, errors.New("ECTS factory not found")
+	}
+	algo := core.WrapForDataset(fs[0].New, d)
+	if err := algo.Fit(d); err != nil {
+		return nil, err
+	}
+	return algo, nil
+}
+
+func newRegistryServer(t *testing.T, train *ts.Dataset) (*serve.Server, core.EarlyClassifier) {
+	t.Helper()
+	base := fitECTS(t, train)
+	srv := serve.New(serve.Config{})
+	t.Cleanup(srv.Close)
+	meta := persist.Meta{Dataset: train.Name, Length: train.MaxLength(),
+		NumVars: train.NumVars(), NumClasses: train.NumClasses()}
+	if err := srv.AddModel("live", base, meta); err != nil {
+		t.Fatal(err)
+	}
+	return srv, base
+}
+
+type decisions struct {
+	mu sync.Mutex
+	ds []ingest.Decision
+}
+
+func (c *decisions) add(d ingest.Decision) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ds = append(c.ds, d)
+}
+
+// instanceOf maps a decision's entity back to the dataset instance it
+// streamed from ("pre-7" → pre.Instances[7]).
+func instanceOf(t *testing.T, pre, post *ts.Dataset, entity string) (ts.Instance, bool) {
+	t.Helper()
+	i := strings.LastIndexByte(entity, '-')
+	idx, err := strconv.Atoi(entity[i+1:])
+	if err != nil {
+		t.Fatalf("bad entity %q", entity)
+	}
+	if strings.HasPrefix(entity, "pre-") {
+		return pre.Instances[idx], false
+	}
+	return post.Instances[idx], true
+}
+
+// TestIngestChaosDriftRetrainSwap is the full online-adaptation loop on
+// a deterministic regime change: the stream opens on the regime the
+// model trained on, switches regimes, the detector trips on the rolling
+// CoV shift, a synchronous retrain fits on the recent labeled windows,
+// the registry hot-swaps — and every decision along the way is
+// bit-identical to an offline Classify by the exact version its window
+// pinned.
+func TestIngestChaosDriftRetrainSwap(t *testing.T) {
+	train := synth.RegimeDataset("regime", 1, 2, 32, 30, 7, 0)
+	srv, base := newRegistryServer(t, train)
+
+	var fitMu sync.Mutex
+	var fitted []core.EarlyClassifier // fitted[k] serves as version 2+k
+	var fitWall time.Duration
+	var got decisions
+	p, err := ingest.New(ingest.Config{
+		Registry: srv, Model: "live", Shards: 1, OnDecision: got.add,
+		Drift: &ingest.DriftConfig{
+			Reference: core.Categorize(train),
+			Windows:   8, MinWindows: 8, Cooldown: 4, CoVJump: 0.25,
+		},
+		Retrain: &ingest.RetrainConfig{
+			Synchronous: true, MinInstances: 6, BufferSize: 8,
+			Fit: func(d *ts.Dataset) (core.EarlyClassifier, error) {
+				start := time.Now()
+				algo, err := trainECTS(d)
+				if err != nil {
+					return nil, err
+				}
+				fitMu.Lock()
+				fitted = append(fitted, algo)
+				fitWall += time.Since(start)
+				fitMu.Unlock()
+				return algo, nil
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	pre := synth.RegimeDataset("pre", 1, 2, 40, 30, 8, 0)
+	post := synth.RegimeDataset("post", 1, 2, 48, 30, 9, 1)
+	events := append(ingest.InterleaveInstances(pre, "pre", 4),
+		ingest.InterleaveInstances(post, "post", 4)...)
+	for _, ev := range events {
+		if err := p.Submit(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Flush()
+	st := p.Stats()
+
+	wantWindows := int64(pre.Len() + post.Len())
+	if st.Windows != wantWindows || st.Decisions != wantWindows {
+		t.Fatalf("windows/decisions = %d/%d, want %d each", st.Windows, st.Decisions, wantWindows)
+	}
+	if st.DriftTrips < 1 {
+		t.Fatalf("drift never tripped: %+v", st)
+	}
+	if st.Retrains < 1 || st.Swaps < 1 {
+		t.Fatalf("retrains/swaps = %d/%d, want at least one each", st.Retrains, st.Swaps)
+	}
+	if st.RetrainFailures != 0 {
+		t.Fatalf("retrain failures = %d, want 0", st.RetrainFailures)
+	}
+
+	// Every decision must be bit-identical to offline Classify by its
+	// pinned version. Version 1 is the base model; version 1+k is the kth
+	// retrained classifier.
+	byVersion := map[int]core.EarlyClassifier{1: base}
+	for k, algo := range fitted {
+		byVersion[2+k] = algo
+	}
+	maxVersion := 1
+	var v1Post, finalPost, v1PostCorrect, finalPostCorrect int
+	for _, d := range got.ds {
+		if d.Version > maxVersion {
+			maxVersion = d.Version
+		}
+	}
+	for _, d := range got.ds {
+		algo := byVersion[d.Version]
+		if algo == nil {
+			t.Fatalf("decision by unknown version %d", d.Version)
+		}
+		in, isPost := instanceOf(t, pre, post, d.Entity)
+		wantLabel, wantConsumed := algo.Classify(in)
+		if d.Label != wantLabel || d.Consumed != wantConsumed {
+			t.Fatalf("decision %s/w%d v%d = (%d,%d), offline Classify = (%d,%d)",
+				d.Entity, d.Window, d.Version, d.Label, d.Consumed, wantLabel, wantConsumed)
+		}
+		if !isPost {
+			continue
+		}
+		correct := d.Label == in.Label
+		switch d.Version {
+		case 1:
+			v1Post++
+			if correct {
+				v1PostCorrect++
+			}
+		case maxVersion:
+			finalPost++
+			if correct {
+				finalPostCorrect++
+			}
+		}
+	}
+	// Detection lag is real: some post-regime windows were decided by the
+	// stale version before the swap.
+	if v1Post < 4 {
+		t.Fatalf("only %d post-regime windows decided by v1 — detection fired implausibly early", v1Post)
+	}
+	if finalPost < 4 {
+		t.Fatalf("only %d post-regime windows decided by the final version %d", finalPost, maxVersion)
+	}
+	staleAcc := float64(v1PostCorrect) / float64(v1Post)
+	finalAcc := float64(finalPostCorrect) / float64(finalPost)
+	if finalAcc < 0.75 {
+		t.Errorf("post-swap accuracy %.2f (%d/%d) below 0.75", finalAcc, finalPostCorrect, finalPost)
+	}
+	if finalAcc <= staleAcc {
+		t.Errorf("post-swap accuracy %.2f did not recover over the stale model's %.2f", finalAcc, staleAcc)
+	}
+	t.Logf("trips=%d retrains=%d swaps=%d final_version=%d stale_acc=%.2f (%d windows) recovered_acc=%.2f (%d windows) retrain_fit=%s",
+		st.DriftTrips, st.Retrains, st.Swaps, maxVersion, staleAcc, v1Post, finalAcc, finalPost, fitWall.Round(time.Microsecond))
+}
+
+// TestIngestChaosRetrainFailureKeepsServing: every failure mode of the
+// retrainer — a Fit error and a Fit panic — must leave the old version
+// serving every subsequent window, with the failure counted.
+func TestIngestChaosRetrainFailureKeepsServing(t *testing.T) {
+	train := synth.RegimeDataset("regime", 1, 2, 32, 30, 7, 0)
+	srv, _ := newRegistryServer(t, train)
+
+	calls := 0
+	var got decisions
+	p, err := ingest.New(ingest.Config{
+		Registry: srv, Model: "live", Shards: 1, OnDecision: got.add,
+		Drift: &ingest.DriftConfig{
+			Reference: core.Categorize(train),
+			Windows:   8, MinWindows: 8, Cooldown: 4, CoVJump: 0.25,
+		},
+		Retrain: &ingest.RetrainConfig{
+			Synchronous: true, MinInstances: 6, BufferSize: 8,
+			Fit: func(d *ts.Dataset) (core.EarlyClassifier, error) {
+				calls++
+				if calls == 1 {
+					panic("training node lost")
+				}
+				return nil, errors.New("training infrastructure down")
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	pre := synth.RegimeDataset("pre", 1, 2, 40, 30, 8, 0)
+	post := synth.RegimeDataset("post", 1, 2, 48, 30, 9, 1)
+	for _, ev := range append(ingest.InterleaveInstances(pre, "pre", 4),
+		ingest.InterleaveInstances(post, "post", 4)...) {
+		if err := p.Submit(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Flush()
+	st := p.Stats()
+	if st.DriftTrips < 1 || st.Retrains < 1 {
+		t.Fatalf("drift/retrain never fired: %+v", st)
+	}
+	if st.RetrainFailures != st.Retrains {
+		t.Errorf("retrain failures = %d, want every attempt (%d) to fail", st.RetrainFailures, st.Retrains)
+	}
+	if st.Swaps != 0 {
+		t.Errorf("swaps = %d after failed retrains, want 0", st.Swaps)
+	}
+	if st.Decisions != int64(pre.Len()+post.Len()) {
+		t.Errorf("decisions = %d, want %d — failed retrains must not stall the stream", st.Decisions, pre.Len()+post.Len())
+	}
+	for _, d := range got.ds {
+		if d.Version != 1 {
+			t.Fatalf("decision %s/w%d on version %d after failed retrains, want 1", d.Entity, d.Window, d.Version)
+		}
+	}
+	pin, err := srv.Pin("live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pin.Version != 1 {
+		t.Errorf("registry serves version %d after failed retrains, want 1", pin.Version)
+	}
+}
+
+// prefixCursor decides exactly when the full window is visible — the
+// deterministic classifier for counter-exact fault tests.
+type prefixCursor struct{ at int }
+
+func (c prefixCursor) Advance(upto int) (label, consumed int, done bool) {
+	if upto >= c.at {
+		return 1, c.at, true
+	}
+	return -1, upto, false
+}
+
+// stubRegistry pins a fixed-version model of prefixCursors.
+type stubRegistry struct{ length, nvars int }
+
+func (r stubRegistry) Pin(name string) (ingest.Pinned, error) {
+	return ingest.Pinned{
+		Name: name, Version: 1, Length: r.length, NumVars: r.nvars, NumClasses: 2,
+		Begin: func(in ts.Instance) core.Cursor { return prefixCursor{at: r.length} },
+	}, nil
+}
+
+func (r stubRegistry) SwapModel(string, core.EarlyClassifier, persist.Meta) (int, error) {
+	return 0, errors.New("stub registry does not swap")
+}
+
+// TestIngestEventFaultScheduleAbsorbed replays a stream through a
+// seeded fault plan — drops, duplicates, late redeliveries — and checks
+// the pipeline's counters match a reference simulation of its
+// accept/reject rule exactly: duplicates and stale redeliveries are
+// counted late and change nothing, drops just shorten windows.
+func TestIngestEventFaultScheduleAbsorbed(t *testing.T) {
+	const window = 20
+	clean := ingest.InterleaveInstances(synth.Dataset("faulted", 1, 2, 24, window, 5), "f", 6)
+	plan := faults.NewEventPlan(faults.EventConfig{
+		Seed: 99, DropProb: 0.05, DupProb: 0.05, LateProb: 0.05, LateBy: 12,
+	})
+	kinds := map[faults.EventKind]int{}
+	for _, ev := range clean {
+		kinds[plan.For(ev.Entity, ev.T)]++
+	}
+	for _, k := range []faults.EventKind{faults.EventDrop, faults.EventDup, faults.EventLate} {
+		if kinds[k] == 0 {
+			t.Fatalf("seed plants no %v faults — pick a different seed", k)
+		}
+	}
+	faulted := plan.Apply(clean)
+
+	// Reference simulation of the pipeline's accept/reject rule.
+	type simEnt struct {
+		lastT, n int
+		started  bool
+	}
+	ents := map[string]*simEnt{}
+	var simLate, simWindows int64
+	for _, ev := range faulted {
+		e := ents[ev.Entity]
+		if e == nil {
+			e = &simEnt{lastT: -1}
+			ents[ev.Entity] = e
+		}
+		if ev.T <= e.lastT && e.started {
+			simLate++
+			continue
+		}
+		e.lastT = ev.T
+		e.n++
+		e.started = true
+		if e.n >= window {
+			simWindows++
+			e.n, e.started = 0, false
+		}
+	}
+
+	p, err := ingest.New(ingest.Config{
+		Registry: stubRegistry{length: window, nvars: 1}, Model: "m", Shards: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	for _, ev := range faulted {
+		if err := p.Submit(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Flush()
+	st := p.Stats()
+	if st.Events != int64(len(faulted)) {
+		t.Errorf("events = %d, want %d", st.Events, len(faulted))
+	}
+	if st.Late != simLate {
+		t.Errorf("late = %d, reference simulation says %d", st.Late, simLate)
+	}
+	if st.Windows != simWindows {
+		t.Errorf("windows = %d, reference simulation says %d", st.Windows, simWindows)
+	}
+	// The deciding cursor commits exactly at the full window.
+	if st.Decisions != simWindows {
+		t.Errorf("decisions = %d, want one per completed window (%d)", st.Decisions, simWindows)
+	}
+	if st.Malformed != 0 {
+		t.Errorf("malformed = %d, want 0", st.Malformed)
+	}
+	t.Logf("faults planned: %d drops, %d dups, %d late → %d events in, %d late-dropped, %d/%d windows completed",
+		kinds[faults.EventDrop], kinds[faults.EventDup], kinds[faults.EventLate],
+		len(faulted), st.Late, st.Windows, len(clean)/window)
+}

@@ -1,0 +1,63 @@
+package ingest
+
+import (
+	"fmt"
+
+	ts "github.com/goetsc/goetsc/internal/timeseries"
+)
+
+// InterleaveInstances flattens a dataset into one interleaved event
+// stream the way a live feed would deliver it: instances are processed
+// in cohorts of `group` concurrent entities, and within a cohort the
+// entities' points interleave round-robin by time index — entity A's
+// t=0, entity B's t=0, …, entity A's t=1 — so consecutive events
+// almost never belong to the same entity. Entity i is named
+// "<prefix>-<i>" after its instance index, and the final event of each
+// entity carries the instance's label as delayed ground truth. The
+// function is pure: the same dataset yields the same stream.
+func InterleaveInstances(d *ts.Dataset, prefix string, group int) []Event {
+	if group <= 0 {
+		group = 8
+	}
+	var out []Event
+	for lo := 0; lo < len(d.Instances); lo += group {
+		hi := lo + group
+		if hi > len(d.Instances) {
+			hi = len(d.Instances)
+		}
+		cohort := d.Instances[lo:hi]
+		maxLen := 0
+		for _, in := range cohort {
+			if n := in.Length(); n > maxLen {
+				maxLen = n
+			}
+		}
+		for t := 0; t < maxLen; t++ {
+			for j, in := range cohort {
+				if t >= in.Length() {
+					continue
+				}
+				ev := Event{
+					Entity: fmt.Sprintf("%s-%d", prefix, lo+j),
+					T:      t,
+					Values: pointAt(in, t),
+				}
+				if t == in.Length()-1 {
+					ev.Label, ev.Labeled = in.Label, true
+				}
+				out = append(out, ev)
+			}
+		}
+	}
+	return out
+}
+
+// pointAt copies one time slice of an instance — the event owns its
+// values, so a consumer may retain them.
+func pointAt(in ts.Instance, t int) []float64 {
+	vals := make([]float64, len(in.Values))
+	for v := range in.Values {
+		vals[v] = in.Values[v][t]
+	}
+	return vals
+}

@@ -1,0 +1,86 @@
+package ingest
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/goetsc/goetsc/internal/synth"
+	ts "github.com/goetsc/goetsc/internal/timeseries"
+)
+
+func TestInterleaveInstancesDeterministic(t *testing.T) {
+	d := synth.Dataset("interleave", 2, 2, 10, 12, 21)
+	a := InterleaveInstances(d, "e", 4)
+	b := InterleaveInstances(synth.Dataset("interleave", 2, 2, 10, 12, 21), "e", 4)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same dataset produced different event streams")
+	}
+	wantEvents := 0
+	for _, in := range d.Instances {
+		wantEvents += in.Length()
+	}
+	if len(a) != wantEvents {
+		t.Fatalf("stream has %d events, want one per point = %d", len(a), wantEvents)
+	}
+}
+
+// TestInterleaveInstancesOrderAndLabels pins the cohort round-robin
+// order on a tiny dataset and checks exactly the final event of each
+// entity carries the instance's label.
+func TestInterleaveInstancesOrderAndLabels(t *testing.T) {
+	d := &ts.Dataset{Name: "tiny", Instances: []ts.Instance{
+		{Label: 3, Values: [][]float64{{10, 11}}},
+		{Label: 4, Values: [][]float64{{20, 21}}},
+	}}
+	got := InterleaveInstances(d, "x", 2)
+	want := []Event{
+		{Entity: "x-0", T: 0, Values: []float64{10}},
+		{Entity: "x-1", T: 0, Values: []float64{20}},
+		{Entity: "x-0", T: 1, Values: []float64{11}, Label: 3, Labeled: true},
+		{Entity: "x-1", T: 1, Values: []float64{21}, Label: 4, Labeled: true},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("stream = %+v\nwant %+v", got, want)
+	}
+}
+
+// TestInterleaveReassemblesToInstances: regrouping a stream by entity
+// must reproduce every instance's values and label exactly — the
+// property that makes streamed decisions comparable to offline ones.
+func TestInterleaveReassemblesToInstances(t *testing.T) {
+	d := synth.Dataset("reassemble", 2, 3, 9, 15, 33)
+	events := InterleaveInstances(d, "r", 4)
+	type acc struct {
+		values [][]float64
+		label  int
+	}
+	byEntity := map[string]*acc{}
+	for _, ev := range events {
+		a := byEntity[ev.Entity]
+		if a == nil {
+			a = &acc{values: make([][]float64, len(ev.Values))}
+			byEntity[ev.Entity] = a
+		}
+		for v, x := range ev.Values {
+			a.values[v] = append(a.values[v], x)
+		}
+		if ev.Labeled {
+			a.label = ev.Label
+		}
+	}
+	if len(byEntity) != d.Len() {
+		t.Fatalf("%d entities, want %d", len(byEntity), d.Len())
+	}
+	for i, in := range d.Instances {
+		a := byEntity["r-"+itoa(i)]
+		if a == nil {
+			t.Fatalf("entity r-%d missing", i)
+		}
+		if !reflect.DeepEqual(a.values, in.Values) {
+			t.Errorf("entity r-%d values differ from instance", i)
+		}
+		if a.label != in.Label {
+			t.Errorf("entity r-%d label = %d, want %d", i, a.label, in.Label)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package ingest
+
+import (
+	"math"
+
+	"github.com/goetsc/goetsc/internal/core"
+)
+
+// WindowStats summarizes one completed window for the rolling profile:
+// the one-pass sums stats.MeanStd is built on, so an aggregate over
+// windows reproduces the batch coefficient of variation, plus the shape
+// and (when ground truth arrived) the window's label.
+type WindowStats struct {
+	Sum, SumSq float64
+	Count      int
+	Length     int
+	NumVars    int
+	Label      int
+	Labeled    bool
+}
+
+// RollingProfile maintains core.Categorize's summary statistics
+// incrementally over the last W completed windows, treating each window
+// as one instance of a sliding dataset. Profile() carries exactly the
+// category flags a batch Categorize of the same windows would, because
+// both feed core.ProfileFromStats: CoV comes from the same
+// sum/sum-of-squares formula stats.MeanStd uses, CIR from the same
+// most/least-populated-class ratio over the windows' labels.
+type RollingProfile struct {
+	name string
+	ring []WindowStats
+	next int
+	n    int // windows currently in the ring (≤ len(ring))
+	seen int // windows ever observed
+}
+
+// NewRollingProfile returns a profile over the last `windows` completed
+// windows.
+func NewRollingProfile(name string, windows int) *RollingProfile {
+	if windows <= 0 {
+		windows = 64
+	}
+	return &RollingProfile{name: name, ring: make([]WindowStats, windows)}
+}
+
+// Add slides one completed window into the profile, displacing the
+// oldest once the ring is full.
+func (rp *RollingProfile) Add(ws WindowStats) {
+	rp.ring[rp.next] = ws
+	rp.next = (rp.next + 1) % len(rp.ring)
+	if rp.n < len(rp.ring) {
+		rp.n++
+	}
+	rp.seen++
+}
+
+// Windows reports how many windows the profile has ever observed.
+func (rp *RollingProfile) Windows() int { return rp.seen }
+
+// Profile computes the current rolling profile through the same flag
+// assignment batch Categorize uses.
+func (rp *RollingProfile) Profile() core.Profile {
+	var sum, sumsq float64
+	var count, length, numVars int
+	classCounts := map[int]int{}
+	for i := 0; i < rp.n; i++ {
+		ws := rp.ring[i]
+		sum += ws.Sum
+		sumsq += ws.SumSq
+		count += ws.Count
+		if ws.Length > length {
+			length = ws.Length
+		}
+		if ws.NumVars > numVars {
+			numVars = ws.NumVars
+		}
+		if ws.Labeled {
+			classCounts[ws.Label]++
+		}
+	}
+	return core.ProfileFromStats(rp.name, length, rp.n, numVars, len(classCounts),
+		covFromSums(sum, sumsq, count), cirFromCounts(classCounts))
+}
+
+// covFromSums is stats.CoefficientOfVariation over pre-aggregated
+// one-pass sums: same variance formula (E[x²]−E[x]², clamped at zero),
+// same zero-mean guards.
+func covFromSums(sum, sumsq float64, count int) float64 {
+	if count == 0 {
+		return 0
+	}
+	n := float64(count)
+	mean := sum / n
+	v := sumsq/n - mean*mean
+	if v < 0 {
+		v = 0
+	}
+	std := math.Sqrt(v)
+	if math.Abs(mean) < 1e-12 {
+		if std < 1e-12 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return std / math.Abs(mean)
+}
+
+// cirFromCounts mirrors core.ClassImbalanceRatio over a label-count
+// map: most populated class over least, 1 when fewer than one class has
+// members.
+func cirFromCounts(counts map[int]int) float64 {
+	max, min := 0, int(^uint(0)>>1)
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if c > max {
+			max = c
+		}
+		if c < min {
+			min = c
+		}
+	}
+	if min == 0 || min == int(^uint(0)>>1) {
+		return 1
+	}
+	return float64(max) / float64(min)
+}

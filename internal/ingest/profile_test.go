@@ -1,0 +1,145 @@
+package ingest
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"github.com/goetsc/goetsc/internal/core"
+	"github.com/goetsc/goetsc/internal/stats"
+	"github.com/goetsc/goetsc/internal/synth"
+	ts "github.com/goetsc/goetsc/internal/timeseries"
+)
+
+// windowStatsOf summarizes one instance the way the pipeline's hot path
+// does: one-pass sums over every value of every variable.
+func windowStatsOf(in ts.Instance) WindowStats {
+	ws := WindowStats{Length: in.Length(), NumVars: len(in.Values), Label: in.Label, Labeled: true}
+	for _, row := range in.Values {
+		for _, v := range row {
+			ws.Sum += v
+			ws.SumSq += v * v
+			ws.Count++
+		}
+	}
+	return ws
+}
+
+// TestRollingProfileMatchesBatchCategorize is the incremental-equals-
+// batch contract: feeding every instance of a dataset through the
+// rolling profile as one completed window each must reproduce the batch
+// core.Categorize of that dataset — identical category flags, CoV and
+// CIR equal to floating-point tolerance.
+func TestRollingProfileMatchesBatchCategorize(t *testing.T) {
+	for _, tc := range []struct {
+		name                          string
+		vars, classes, height, length int
+		seed                          int64
+	}{
+		{"univariate-binary", 1, 2, 40, 30, 3},
+		{"multivariate", 3, 2, 24, 20, 5},
+		{"multiclass", 1, 5, 50, 25, 9},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			d := synth.Dataset(tc.name, tc.vars, tc.classes, tc.height, tc.length, tc.seed)
+			want := core.Categorize(d)
+
+			rp := NewRollingProfile(tc.name, d.Len())
+			for _, in := range d.Instances {
+				rp.Add(windowStatsOf(in))
+			}
+			got := rp.Profile()
+
+			if got.Height != want.Height || got.Length != want.Length ||
+				got.NumVars != want.NumVars || got.NumClasses != want.NumClasses {
+				t.Errorf("shape: got %d/%d/%d/%d, want %d/%d/%d/%d",
+					got.Height, got.Length, got.NumVars, got.NumClasses,
+					want.Height, want.Length, want.NumVars, want.NumClasses)
+			}
+			if math.Abs(got.CoV-want.CoV) > 1e-9*math.Max(1, math.Abs(want.CoV)) {
+				t.Errorf("CoV: rolling %v vs batch %v", got.CoV, want.CoV)
+			}
+			if math.Abs(got.CIR-want.CIR) > 1e-12 {
+				t.Errorf("CIR: rolling %v vs batch %v", got.CIR, want.CIR)
+			}
+			if !reflect.DeepEqual(got.Categories, want.Categories) {
+				t.Errorf("categories: rolling %v vs batch %v", got.Categories, want.Categories)
+			}
+		})
+	}
+}
+
+// TestRollingProfileSlides checks the ring displaces oldest-first: once
+// full, the profile must equal a batch profile of only the last W
+// windows.
+func TestRollingProfileSlides(t *testing.T) {
+	d := synth.Dataset("slide", 1, 2, 30, 20, 11)
+	const W = 10
+	rp := NewRollingProfile("slide", W)
+	for _, in := range d.Instances {
+		rp.Add(windowStatsOf(in))
+	}
+	if rp.Windows() != d.Len() {
+		t.Fatalf("Windows() = %d, want %d observed", rp.Windows(), d.Len())
+	}
+	tail := &ts.Dataset{Name: "slide", Instances: d.Instances[d.Len()-W:]}
+	want := core.Categorize(tail)
+	got := rp.Profile()
+	if got.Height != W {
+		t.Errorf("height = %d, want ring width %d", got.Height, W)
+	}
+	if math.Abs(got.CoV-want.CoV) > 1e-9 {
+		t.Errorf("CoV over last %d windows: rolling %v vs batch %v", W, got.CoV, want.CoV)
+	}
+	if math.Abs(got.CIR-want.CIR) > 1e-12 {
+		t.Errorf("CIR over last %d windows: rolling %v vs batch %v", W, got.CIR, want.CIR)
+	}
+}
+
+// TestCovFromSumsMatchesStats pins the aggregated one-pass formula to
+// the batch stats.CoefficientOfVariation on the same values, including
+// the zero-mean guards.
+func TestCovFromSumsMatchesStats(t *testing.T) {
+	cases := [][]float64{
+		{1, 2, 3, 4, 5},
+		{-3, 1, 4, -1, 5, -9, 2, 6},
+		{2.5, 2.5, 2.5},     // zero variance
+		{-1, 1, -1, 1},      // zero mean, nonzero std → +Inf
+		{0, 0, 0},           // zero mean, zero std → 0
+		{1e-9, -1e-9, 2e-9}, // tiny values around the guards
+	}
+	for _, xs := range cases {
+		var sum, sumsq float64
+		for _, v := range xs {
+			sum += v
+			sumsq += v * v
+		}
+		got := covFromSums(sum, sumsq, len(xs))
+		want := stats.CoefficientOfVariation(xs)
+		same := got == want || math.Abs(got-want) <= 1e-12 ||
+			(math.IsInf(got, 1) && math.IsInf(want, 1))
+		if !same {
+			t.Errorf("covFromSums(%v) = %v, stats = %v", xs, got, want)
+		}
+	}
+	if got := covFromSums(0, 0, 0); got != 0 {
+		t.Errorf("covFromSums of no data = %v, want 0", got)
+	}
+}
+
+func TestCIRFromCounts(t *testing.T) {
+	for _, tc := range []struct {
+		counts map[int]int
+		want   float64
+	}{
+		{map[int]int{}, 1},                 // no labels yet
+		{map[int]int{0: 7}, 1},             // single class
+		{map[int]int{0: 6, 1: 2}, 3},       // 6:2
+		{map[int]int{0: 5, 1: 5, 2: 1}, 5}, // most/least over three classes
+		{map[int]int{0: 4, 1: 0, 2: 2}, 2}, // empty class skipped
+	} {
+		if got := cirFromCounts(tc.counts); got != tc.want {
+			t.Errorf("cirFromCounts(%v) = %v, want %v", tc.counts, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/goetsc/goetsc/internal/core"
+	"github.com/goetsc/goetsc/internal/persist"
+	ts "github.com/goetsc/goetsc/internal/timeseries"
+)
+
+// RetrainConfig wires a drift trip to a model refresh: fit a fresh
+// classifier on the recent labeled windows and swap it into the
+// registry. A retrain that fails — fit error, panic, or swap rejection
+// — changes nothing: the old version keeps serving, the failure is
+// journaled, and the detector's cooldown schedules the next attempt.
+type RetrainConfig struct {
+	// Fit trains a fresh classifier on the recent labeled windows.
+	// Required. It runs off the hot path (or inline under Synchronous)
+	// and must not retain d.
+	Fit func(d *ts.Dataset) (core.EarlyClassifier, error)
+	// MinInstances is the labeled-window floor below which a trip is
+	// journaled but no retrain runs. Default 8.
+	MinInstances int
+	// BufferSize bounds the labeled-window ring the retrainer learns
+	// from — the per-pipeline memory cap for ground truth. Default 256.
+	BufferSize int
+	// Synchronous runs the retrain inline on the window-completing
+	// shard's goroutine instead of a background goroutine — the
+	// deterministic mode chaos tests run with Shards=1, where every
+	// window after the trip is guaranteed to see the swapped model.
+	Synchronous bool
+}
+
+func (c *RetrainConfig) validate() error {
+	if c.Fit == nil {
+		return errors.New("ingest: RetrainConfig.Fit is required")
+	}
+	if c.MinInstances <= 0 {
+		c.MinInstances = 8
+	}
+	if c.BufferSize <= 0 {
+		c.BufferSize = 256
+	}
+	return nil
+}
+
+// labeledBuffer is a bounded ring of ground-truth windows — the
+// retrainer's training set, oldest displaced first.
+type labeledBuffer struct {
+	ring []ts.Instance
+	next int
+	n    int
+}
+
+func newLabeledBuffer(size int) *labeledBuffer {
+	return &labeledBuffer{ring: make([]ts.Instance, size)}
+}
+
+func (b *labeledBuffer) add(in ts.Instance) {
+	b.ring[b.next] = in
+	b.next = (b.next + 1) % len(b.ring)
+	if b.n < len(b.ring) {
+		b.n++
+	}
+}
+
+// snapshot copies the buffered instances oldest-first. The instances
+// themselves are already owned copies (copyInstance), so the training
+// set cannot alias a live window buffer.
+func (b *labeledBuffer) snapshot() []ts.Instance {
+	out := make([]ts.Instance, 0, b.n)
+	start := b.next - b.n
+	if start < 0 {
+		start += len(b.ring)
+	}
+	for i := 0; i < b.n; i++ {
+		out = append(out, b.ring[(start+i)%len(b.ring)])
+	}
+	return out
+}
+
+// maybeRetrain launches one retrain for a drift trip. At most one
+// retrain runs at a time; a trip landing while one is in flight is
+// journaled and skipped — its drift, if real, trips again after the
+// cooldown.
+func (p *Pipeline) maybeRetrain(why string) {
+	rc := p.cfg.Retrain
+	if rc == nil {
+		return
+	}
+	if !p.retraining.CompareAndSwap(false, true) {
+		p.cfg.Obs.Emit("retrain_skipped", map[string]any{
+			"model": p.cfg.Model, "reason": "retrain already in flight",
+		})
+		return
+	}
+	p.driftMu.Lock()
+	instances := p.buffer.snapshot()
+	p.driftMu.Unlock()
+	if len(instances) < rc.MinInstances {
+		p.retraining.Store(false)
+		p.cfg.Obs.Emit("retrain_skipped", map[string]any{
+			"model": p.cfg.Model,
+			"reason": fmt.Sprintf("%d labeled windows buffered, need %d",
+				len(instances), rc.MinInstances),
+		})
+		return
+	}
+	p.retrainWG.Add(1)
+	if rc.Synchronous {
+		p.retrain(instances, why)
+	} else {
+		go p.retrain(instances, why)
+	}
+}
+
+// retrain fits on the labeled windows and swaps the result in. All
+// failure paths leave the live version serving.
+func (p *Pipeline) retrain(instances []ts.Instance, why string) {
+	defer p.retrainWG.Done()
+	defer p.retraining.Store(false)
+	p.stats.retrains.Add(1)
+	p.cfg.Obs.Emit("retrain_started", map[string]any{
+		"model": p.cfg.Model, "instances": len(instances), "trigger": why,
+	})
+	start := time.Now()
+	d := &ts.Dataset{Name: p.cfg.Model + "-retrain", Instances: instances}
+	algo, err := p.fit(d)
+	if err != nil {
+		p.stats.retrainFail.Add(1)
+		p.cfg.Obs.Emit("retrain_failed", map[string]any{
+			"model": p.cfg.Model, "error": err.Error(),
+		})
+		return
+	}
+	meta := persist.Meta{
+		Algorithm: algo.Name(), Dataset: d.Name,
+		Length: d.MaxLength(), NumVars: d.NumVars(), NumClasses: d.NumClasses(),
+	}
+	version, err := p.cfg.Registry.SwapModel(p.cfg.Model, algo, meta)
+	if err != nil {
+		p.stats.retrainFail.Add(1)
+		p.cfg.Obs.Emit("retrain_failed", map[string]any{
+			"model": p.cfg.Model, "error": err.Error(),
+		})
+		return
+	}
+	p.stats.swaps.Add(1)
+	p.driftMu.Lock()
+	if p.detector != nil {
+		// The swapped model serves the current distribution; measure
+		// future drift against it. Still-mixed rolling windows can shift a
+		// little further and re-trip once — the next retrain then sees a
+		// fully post-drift buffer and the reference settles.
+		p.detector.Rebase(p.profile.Profile())
+	}
+	p.driftMu.Unlock()
+	p.cfg.Obs.Emit("retrain_succeeded", map[string]any{
+		"model": p.cfg.Model, "version": version, "instances": len(instances),
+		"wall_ms": time.Since(start).Milliseconds(),
+	})
+}
+
+// fit runs the user's Fit with panics contained — a training crash is a
+// failed retrain, not a dead pipeline.
+func (p *Pipeline) fit(d *ts.Dataset) (algo core.EarlyClassifier, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			algo, err = nil, fmt.Errorf("ingest: fit panicked: %v", rec)
+		}
+	}()
+	algo, err = p.cfg.Retrain.Fit(d)
+	if err == nil && algo == nil {
+		err = errors.New("ingest: fit returned no classifier")
+	}
+	return algo, err
+}

@@ -1,0 +1,104 @@
+package loadgen
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/goetsc/goetsc/internal/bench"
+	"github.com/goetsc/goetsc/internal/ingest"
+	"github.com/goetsc/goetsc/internal/persist"
+	"github.com/goetsc/goetsc/internal/serve"
+	"github.com/goetsc/goetsc/internal/synth"
+	ts "github.com/goetsc/goetsc/internal/timeseries"
+)
+
+// startIngestServer mounts the ingest endpoint next to the serve
+// handler the way etsc-serve does — on the root mux, outside any
+// buffering middleware.
+func startIngestServer(t *testing.T) (baseURL string, d *ts.Dataset) {
+	t.Helper()
+	d = synth.Dataset("loadgen-ingest", 1, 2, 16, 30, 19)
+	f := bench.AlgorithmsByName(d.Name, bench.Fast, 1, []string{"ECTS"})[0]
+	algo := f.New()
+	if err := algo.Fit(d); err != nil {
+		t.Fatalf("fit: %v", err)
+	}
+	srv := serve.New(serve.Config{})
+	t.Cleanup(srv.Close)
+	meta := persist.Meta{Dataset: d.Name, Length: d.MaxLength(), NumVars: d.NumVars(), NumClasses: d.NumClasses()}
+	if err := srv.AddModel("ects", algo, meta); err != nil {
+		t.Fatalf("add model: %v", err)
+	}
+	root := http.NewServeMux()
+	root.Handle("/", srv.Handler())
+	root.Handle("/v1/ingest", ingest.Handler(func(r *http.Request, onDecision func(ingest.Decision)) (*ingest.Pipeline, error) {
+		return ingest.New(ingest.Config{Registry: srv, Model: "ects", Shards: 1, OnDecision: onDecision})
+	}))
+	hs := httptest.NewServer(root)
+	t.Cleanup(hs.Close)
+	return hs.URL, d
+}
+
+// TestRunIngestReplay replays an interleaved stream through the ingest
+// endpoint and checks the client-side accounting: one decision per
+// entity window, latency percentiles populated, and the server's
+// summary counters round-tripped.
+func TestRunIngestReplay(t *testing.T) {
+	baseURL, d := startIngestServer(t)
+	events := ingest.InterleaveInstances(d, "entity", 4)
+	res, err := RunIngest(IngestConfig{BaseURL: baseURL, Events: events})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("errors = %d: %+v", res.Errors, res)
+	}
+	if res.Events != len(events) {
+		t.Errorf("events = %d, want %d", res.Events, len(events))
+	}
+	// Every instance is exactly one window, so one decision each.
+	if res.Decisions != d.Len() {
+		t.Errorf("decisions = %d, want %d", res.Decisions, d.Len())
+	}
+	if res.Summary.Windows != int64(d.Len()) || res.Summary.Events != int64(len(events)) {
+		t.Errorf("summary = %+v, want %d windows / %d events", res.Summary.Stats, d.Len(), len(events))
+	}
+	if res.P50 <= 0 || res.P99 < res.P50 || res.Max < res.P99 {
+		t.Errorf("latency percentiles inconsistent: p50=%v p99=%v max=%v", res.P50, res.P99, res.Max)
+	}
+	if res.Throughput <= 0 {
+		t.Errorf("throughput = %v, want > 0", res.Throughput)
+	}
+	if s := res.String(); s == "" {
+		t.Error("empty report")
+	}
+}
+
+// TestRunIngestPaced drives the same stream at a fixed rate; the run
+// must take at least the scheduled duration.
+func TestRunIngestPaced(t *testing.T) {
+	baseURL, d := startIngestServer(t)
+	events := ingest.InterleaveInstances(d, "entity", 4)[:120]
+	const eps = 2000.0
+	res, err := RunIngest(IngestConfig{BaseURL: baseURL, Events: events, EPS: eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMin := float64(len(events)-1) / eps // seconds
+	if res.Elapsed.Seconds() < wantMin*0.9 {
+		t.Errorf("paced run finished in %v, schedule requires ≥ %.3fs", res.Elapsed, wantMin)
+	}
+	if res.Throughput > eps*1.5 {
+		t.Errorf("achieved %v events/s against a %v target", res.Throughput, eps)
+	}
+}
+
+func TestRunIngestConfigErrors(t *testing.T) {
+	if _, err := RunIngest(IngestConfig{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	if _, err := RunIngest(IngestConfig{BaseURL: "http://x"}); err == nil {
+		t.Error("config with no events accepted")
+	}
+}

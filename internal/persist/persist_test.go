@@ -1,4 +1,4 @@
-package persist
+package persist_test
 
 import (
 	"bytes"
@@ -9,6 +9,7 @@ import (
 
 	"github.com/goetsc/goetsc/internal/bench"
 	"github.com/goetsc/goetsc/internal/core"
+	"github.com/goetsc/goetsc/internal/persist"
 	"github.com/goetsc/goetsc/internal/synth"
 	ts "github.com/goetsc/goetsc/internal/timeseries"
 )
@@ -58,11 +59,11 @@ func TestRoundTripAllAlgorithms(t *testing.T) {
 			}
 
 			path := filepath.Join(t.TempDir(), "model.goetsc")
-			meta := Meta{Dataset: d.Name, Length: d.MaxLength(), NumVars: d.NumVars(), NumClasses: d.NumClasses()}
-			if err := SaveFile(path, algo, meta); err != nil {
+			meta := persist.Meta{Dataset: d.Name, Length: d.MaxLength(), NumVars: d.NumVars(), NumClasses: d.NumClasses()}
+			if err := persist.SaveFile(path, algo, meta); err != nil {
 				t.Fatalf("save: %v", err)
 			}
-			loaded, gotMeta, err := LoadFile(path)
+			loaded, gotMeta, err := persist.LoadFile(path)
 			if err != nil {
 				t.Fatalf("load: %v", err)
 			}
@@ -100,10 +101,10 @@ func TestRoundTripVoting(t *testing.T) {
 		t.Fatalf("fit: %v", err)
 	}
 	var buf bytes.Buffer
-	if err := Save(&buf, algo, Meta{Dataset: d.Name}); err != nil {
+	if err := persist.Save(&buf, algo, persist.Meta{Dataset: d.Name}); err != nil {
 		t.Fatalf("save: %v", err)
 	}
-	loaded, meta, err := Load(&buf)
+	loaded, meta, err := persist.Load(&buf)
 	if err != nil {
 		t.Fatalf("load: %v", err)
 	}
@@ -124,7 +125,7 @@ func savedECTS(t *testing.T) []byte {
 		t.Fatalf("fit: %v", err)
 	}
 	var buf bytes.Buffer
-	if err := Save(&buf, algo, Meta{Dataset: d.Name}); err != nil {
+	if err := persist.Save(&buf, algo, persist.Meta{Dataset: d.Name}); err != nil {
 		t.Fatalf("save: %v", err)
 	}
 	return buf.Bytes()
@@ -135,14 +136,14 @@ func TestCorruptedHeader(t *testing.T) {
 
 	bad := append([]byte(nil), data...)
 	bad[0] ^= 0xFF // damage the magic
-	if _, _, err := Load(bytes.NewReader(bad)); !errors.Is(err, ErrBadMagic) {
-		t.Fatalf("bad magic: got %v, want ErrBadMagic", err)
+	if _, _, err := persist.Load(bytes.NewReader(bad)); !errors.Is(err, persist.ErrBadMagic) {
+		t.Fatalf("bad magic: got %v, want persist.ErrBadMagic", err)
 	}
 
 	bad = append([]byte(nil), data...)
 	bad[len(bad)/2] ^= 0xFF // flip a payload bit
-	if _, _, err := Load(bytes.NewReader(bad)); !errors.Is(err, ErrChecksum) {
-		t.Fatalf("payload corruption: got %v, want ErrChecksum", err)
+	if _, _, err := persist.Load(bytes.NewReader(bad)); !errors.Is(err, persist.ErrChecksum) {
+		t.Fatalf("payload corruption: got %v, want persist.ErrChecksum", err)
 	}
 }
 
@@ -151,9 +152,9 @@ func TestUnsupportedVersion(t *testing.T) {
 	bad := append([]byte(nil), data...)
 	binary.BigEndian.PutUint32(bad[8:], 99)
 	// Recompute the checksum so only the version is wrong.
-	binary.BigEndian.PutUint64(bad[len(bad)-8:], Checksum(bad[:len(bad)-8]))
-	if _, _, err := Load(bytes.NewReader(bad)); !errors.Is(err, ErrVersion) {
-		t.Fatalf("got %v, want ErrVersion", err)
+	binary.BigEndian.PutUint64(bad[len(bad)-8:], persist.Checksum(bad[:len(bad)-8]))
+	if _, _, err := persist.Load(bytes.NewReader(bad)); !errors.Is(err, persist.ErrVersion) {
+		t.Fatalf("got %v, want persist.ErrVersion", err)
 	}
 }
 
@@ -167,17 +168,17 @@ func TestWrongAlgorithmTag(t *testing.T) {
 		t.Fatalf("expected ECTS tag at offset %d, found %q", tagStart, got)
 	}
 	copy(bad[tagStart:], "EDSC")
-	binary.BigEndian.PutUint64(bad[len(bad)-8:], Checksum(bad[:len(bad)-8]))
-	if _, _, err := Load(bytes.NewReader(bad)); !errors.Is(err, ErrAlgorithmMismatch) {
-		t.Fatalf("got %v, want ErrAlgorithmMismatch", err)
+	binary.BigEndian.PutUint64(bad[len(bad)-8:], persist.Checksum(bad[:len(bad)-8]))
+	if _, _, err := persist.Load(bytes.NewReader(bad)); !errors.Is(err, persist.ErrAlgorithmMismatch) {
+		t.Fatalf("got %v, want persist.ErrAlgorithmMismatch", err)
 	}
 }
 
 func TestTruncatedFile(t *testing.T) {
 	data := savedECTS(t)
 	for _, cut := range []int{1, 9, len(data) / 2, len(data) - 9} {
-		if _, _, err := Load(bytes.NewReader(data[:cut])); !errors.Is(err, ErrTruncated) {
-			t.Fatalf("cut at %d bytes: got %v, want ErrTruncated", cut, err)
+		if _, _, err := persist.Load(bytes.NewReader(data[:cut])); !errors.Is(err, persist.ErrTruncated) {
+			t.Fatalf("cut at %d bytes: got %v, want persist.ErrTruncated", cut, err)
 		}
 	}
 }

@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/goetsc/goetsc/internal/ingest"
+)
+
+// sharedClock is one injectable time source driving both eviction
+// planes in the shared-clock test.
+type sharedClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *sharedClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *sharedClock) advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+// TestSharedClockEviction drives the serve layer's session TTL sweep
+// and the ingest layer's entity TTL sweep from one injected fake clock:
+// both planes share the evict.Policy helper, so one clock advance ages
+// both deterministically — no sleeps, no wall time.
+func TestSharedClockEviction(t *testing.T) {
+	clk := &sharedClock{t: time.Unix(1_700_000_000, 0)}
+	s, hs := newTestServer(t, Config{SessionTTL: time.Minute, Clock: clk.now})
+
+	// One streaming session on the serve plane.
+	resp := postJSON(t, hs.URL+"/v1/sessions", map[string]string{"model": "ects"})
+	if resp.StatusCode != 201 {
+		t.Fatalf("session create status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// One live entity on the ingest plane, against the same registry and
+	// the same clock.
+	p, err := ingest.New(ingest.Config{
+		Registry: s, Model: "ects", Shards: 1,
+		EntityTTL: time.Minute, Clock: clk.now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if err := p.Submit(ingest.Event{Entity: "vessel", T: 0, Values: []float64{1}}); err != nil {
+		t.Fatal(err)
+	}
+	p.Flush()
+
+	// Before the TTL, neither plane evicts.
+	clk.advance(30 * time.Second)
+	if n := s.EvictIdleSessions(); n != 0 {
+		t.Fatalf("session sweep evicted %d before TTL", n)
+	}
+	if n := p.EvictIdle(); n != 0 {
+		t.Fatalf("entity sweep evicted %d before TTL", n)
+	}
+
+	// One advance past the TTL ages both planes together.
+	clk.advance(31 * time.Second)
+	if n := s.EvictIdleSessions(); n != 1 {
+		t.Errorf("session sweep evicted %d, want 1", n)
+	}
+	if n := p.EvictIdle(); n != 1 {
+		t.Errorf("entity sweep evicted %d, want 1", n)
+	}
+	if st := p.Stats(); st.EntitiesLive != 0 || st.EntitiesEvicted != 1 {
+		t.Errorf("ingest live/evicted = %d/%d, want 0/1", st.EntitiesLive, st.EntitiesEvicted)
+	}
+}

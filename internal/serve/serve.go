@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"github.com/goetsc/goetsc/internal/core"
+	"github.com/goetsc/goetsc/internal/evict"
 	"github.com/goetsc/goetsc/internal/obs"
 	"github.com/goetsc/goetsc/internal/persist"
 	"github.com/goetsc/goetsc/internal/sched"
@@ -108,6 +109,11 @@ type Config struct {
 	// (injected latency, errors, panics). A returned error fails the
 	// request with 500 and counts against the model's breaker.
 	ClassifyHook func(model string) error
+	// Clock overrides the server's time source for session activity
+	// stamps and TTL eviction. The ingest subsystem shares the same
+	// injectable-clock eviction policy, so chaos tests can drive both
+	// sweeps deterministically from one fake clock. nil means time.Now.
+	Clock evict.Clock
 	// Obs receives request metrics and journal events; nil is a no-op.
 	Obs *obs.Collector
 }
@@ -303,6 +309,10 @@ func New(cfg Config) *Server {
 		"Model rollbacks to the retained previous version.")
 	return s
 }
+
+// now reads the configured clock — time.Now unless a test injected a
+// fake clock to drive session eviction deterministically.
+func (s *Server) now() time.Time { return s.cfg.Clock.Now() }
 
 // Stats snapshots the live stats plane — what GET /v1/stats serves.
 func (s *Server) Stats() StatsSnapshot {

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/goetsc/goetsc/internal/core"
+	"github.com/goetsc/goetsc/internal/evict"
 	ts "github.com/goetsc/goetsc/internal/timeseries"
 )
 
@@ -103,7 +104,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) err
 	// its lifetime runs against this *model, so a hot swap mid-stream
 	// cannot change a decision already in progress.
 	m := e.cur.Load()
-	ss := &session{id: id, entry: e, model: m, lastSeen: time.Now()}
+	ss := &session{id: id, entry: e, model: m, lastSeen: s.now()}
 
 	s.mu.Lock()
 	if len(s.sessions) >= s.cfg.MaxSessions {
@@ -154,7 +155,7 @@ func (s *Server) handleSessionPoints(w http.ResponseWriter, r *http.Request) err
 
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
-	ss.lastSeen = time.Now()
+	ss.lastSeen = s.now()
 	if ss.decided {
 		// The decision is frozen: report it, ignore the extra points.
 		// No quality telemetry — nothing was classified.
@@ -314,9 +315,11 @@ func (s *Server) handleSessionClose(w http.ResponseWriter, r *http.Request) erro
 }
 
 // EvictIdleSessions drops sessions idle longer than the TTL and returns
-// how many were removed. The command binary runs it on a ticker.
+// how many were removed. The command binary runs it on a ticker; the
+// shared evict.Policy (same helper the ingest subsystem's entity sweep
+// uses) resolves the cutoff against the injectable clock.
 func (s *Server) EvictIdleSessions() int {
-	cutoff := time.Now().Add(-s.cfg.SessionTTL)
+	cutoff := evict.Policy{TTL: s.cfg.SessionTTL, Clock: s.cfg.Clock}.Cutoff()
 	s.mu.Lock()
 	var evicted []*session
 	for id, ss := range s.sessions {

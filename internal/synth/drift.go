@@ -1,0 +1,48 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+
+	ts "github.com/goetsc/goetsc/internal/timeseries"
+)
+
+// RegimeDataset generates like Dataset but under a numbered regime — the
+// deterministic drift source for the continuous-ingest tests. Regime 0
+// is statistically the plain generator. Each later regime changes the
+// data two ways at once, matching the two halves of real concept drift:
+//
+//   - the class→shape mapping rotates (class c emits the offset and
+//     frequency regime 0 gave class c+regime), so a model fitted on an
+//     earlier regime systematically mislabels the stream until it is
+//     retrained — accuracy collapses, then recovers after a swap;
+//   - a gain scales the oscillatory component only (a full-signal gain
+//     would cancel out of std/mean), shifting the coefficient of
+//     variation the drift detector watches, so the distribution change
+//     is visible without any labels.
+//
+// The same arguments always produce the same data.
+func RegimeDataset(name string, numVars, numClasses, height, length int, seed int64, regime int) *ts.Dataset {
+	rng := rand.New(rand.NewSource(seed + int64(regime)*7919))
+	gain := 1 + 0.8*float64(regime)
+	d := &ts.Dataset{Name: name}
+	for i := 0; i < height; i++ {
+		class := i % numClasses
+		shape := (class + regime) % numClasses
+		inst := ts.Instance{Label: class, Values: make([][]float64, numVars)}
+		for v := 0; v < numVars; v++ {
+			series := make([]float64, length)
+			freq := 1 + float64(shape)
+			phase := rng.Float64() * 2 * math.Pi
+			offset := 2 * float64(shape)
+			amp := 1 + 0.3*float64(v)
+			for t := 0; t < length; t++ {
+				x := float64(t) / float64(length)
+				series[t] = offset + gain*amp*math.Sin(2*math.Pi*freq*x+phase) + rng.NormFloat64()*0.2
+			}
+			inst.Values[v] = series
+		}
+		d.Instances = append(d.Instances, inst)
+	}
+	return d
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+
+	"github.com/goetsc/goetsc/internal/bench"
+	"github.com/goetsc/goetsc/internal/core"
+	"github.com/goetsc/goetsc/internal/ingest"
+	"github.com/goetsc/goetsc/internal/loadgen"
+	"github.com/goetsc/goetsc/internal/persist"
+	"github.com/goetsc/goetsc/internal/serve"
+	"github.com/goetsc/goetsc/internal/synth"
+)
+
+// ingestLevel is one ingest replay: the whole interleaved event stream
+// through one NDJSON request at a target event rate. Decision latency
+// is client-observed — last event sent for the entity to its decision
+// line arriving.
+type ingestLevel struct {
+	TargetEPS   float64 `json:"target_eps"` // 0 = unpaced
+	Events      int     `json:"events"`
+	Decisions   int     `json:"decisions"`
+	P50Ms       float64 `json:"decision_p50_ms"`
+	P95Ms       float64 `json:"decision_p95_ms"`
+	P99Ms       float64 `json:"decision_p99_ms"`
+	MeanMs      float64 `json:"decision_mean_ms"`
+	AchievedEPS float64 `json:"achieved_eps"`
+}
+
+// ingestReport is the continuous-ingest section committed to
+// BENCH_PR9.json: entity throughput and decision-latency percentiles
+// for the windowed streaming path, plus the pipeline's churn counters
+// from the last run's summary line.
+type ingestReport struct {
+	Algorithm       string        `json:"algorithm"`
+	Dataset         string        `json:"dataset"`
+	Entities        int           `json:"entities"`
+	WindowLength    int           `json:"window_length"`
+	Levels          []ingestLevel `json:"levels"`
+	EntitiesCreated int64         `json:"entities_created"`
+	Windows         int64         `json:"windows"`
+	Late            int64         `json:"late_events"`
+	Shed            int64         `json:"shed_events"`
+}
+
+// runIngestBench trains one model in-process, mounts the ingest
+// endpoint the way etsc-serve does (on the root mux, outside the
+// buffering TimeoutHandler), and replays a deterministic interleaved
+// entity stream through it unpaced (throughput) and paced (latency
+// under a steady rate).
+func runIngestBench(entities int) (*ingestReport, error) {
+	d := synth.Dataset("bench-ingest", 1, 2, entities, 60, 17)
+	factories := bench.AlgorithmsByName(d.Name, bench.Fast, 1, []string{"ECEC"})
+	if len(factories) != 1 {
+		return nil, fmt.Errorf("ingest: ECEC factory not found")
+	}
+	algo := core.WrapForDataset(factories[0].New, d)
+	if err := algo.Fit(d); err != nil {
+		return nil, fmt.Errorf("ingest: fit: %w", err)
+	}
+	srv := serve.New(serve.Config{})
+	defer srv.Close()
+	meta := persist.Meta{Dataset: d.Name, Length: d.MaxLength(), NumVars: d.NumVars(), NumClasses: d.NumClasses()}
+	if err := srv.AddModel("bench", algo, meta); err != nil {
+		return nil, err
+	}
+	root := http.NewServeMux()
+	root.Handle("/", srv.Handler())
+	root.Handle("/v1/ingest", ingest.Handler(func(r *http.Request, onDecision func(ingest.Decision)) (*ingest.Pipeline, error) {
+		return ingest.New(ingest.Config{
+			Registry: srv, Model: "bench", OnDecision: onDecision,
+		})
+	}))
+	hs := httptest.NewServer(root)
+	defer hs.Close()
+
+	events := ingest.InterleaveInstances(d, "entity", 16)
+	report := &ingestReport{
+		Algorithm: algo.Name(), Dataset: d.Name,
+		Entities: d.Len(), WindowLength: d.MaxLength(),
+	}
+	// Unpaced first for peak throughput, then paced at roughly half the
+	// achieved rate for steady-state decision latency.
+	var lastSummary ingest.Summary
+	run := func(eps float64) (float64, error) {
+		res, err := loadgen.RunIngest(loadgen.IngestConfig{
+			BaseURL: hs.URL, Events: events, EPS: eps,
+		})
+		if err != nil {
+			return 0, err
+		}
+		ms := func(d int64) float64 { return float64(d) / 1e6 }
+		report.Levels = append(report.Levels, ingestLevel{
+			TargetEPS: eps, Events: res.Events, Decisions: res.Decisions,
+			P50Ms: ms(int64(res.P50)), P95Ms: ms(int64(res.P95)), P99Ms: ms(int64(res.P99)),
+			MeanMs: ms(int64(res.Mean)), AchievedEPS: res.Throughput,
+		})
+		lastSummary = res.Summary
+		return res.Throughput, nil
+	}
+	peak, err := run(0)
+	if err != nil {
+		return nil, err
+	}
+	if paced := peak / 2; paced >= 1 {
+		if _, err := run(paced); err != nil {
+			return nil, err
+		}
+	}
+	report.EntitiesCreated = lastSummary.EntitiesCreated
+	report.Windows = lastSummary.Windows
+	report.Late = lastSummary.Late
+	report.Shed = lastSummary.Shed
+	return report, nil
+}

@@ -75,6 +75,10 @@ type document struct {
 	// set: goodput vs shed rate at ~10x saturation and the admitted p99
 	// relative to the unloaded p99 (`make bench-serve`, BENCH_PR8.json).
 	Overload *overloadReport `json:"overload,omitempty"`
+	// Ingest carries the continuous-ingest benchmark when -ingest is
+	// set: interleaved entity-stream throughput and decision-latency
+	// percentiles (`make bench-serve`, BENCH_PR9.json).
+	Ingest *ingestReport `json:"ingest,omitempty"`
 	Note     string          `json:"note"`
 }
 
@@ -129,6 +133,8 @@ func main() {
 	serveN := flag.Int("serve-requests", 120, "requests per -serve level")
 	serveStats := flag.Bool("stats", false, "with -serve: scrape GET /v1/stats after the load runs and stamp the server-side window quantiles, quality gauges and shed/breaker/reload counters into the document")
 	overloadBench := flag.Bool("overload", false, "benchmark admission control in-process: drive a small server at ~10x saturation and stamp goodput, shed rate and admitted-vs-unloaded p99 into the document")
+	ingestBench := flag.Bool("ingest", false, "benchmark the continuous-ingest pipeline in-process: replay an interleaved entity event stream through POST /v1/ingest and stamp entity throughput and decision-latency percentiles into the document")
+	ingestEntities := flag.Int("ingest-entities", 200, "entities (one window each) in the -ingest replay stream")
 	noSuites := flag.Bool("skip-suites", false, "skip the go test benchmark suites (useful with -serve alone)")
 	classify := flag.Bool("classify", false, "also benchmark the incremental classification cursors")
 	kernels := flag.Bool("kernels", false, "also benchmark the data-layout kernels (flat kNN, fused prefix scan, float32 variants, SoA transform)")
@@ -283,6 +289,14 @@ func main() {
 			os.Exit(1)
 		}
 		doc.Overload = or
+	}
+	if *ingestBench {
+		ir, err := runIngestBench(*ingestEntities)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		doc.Ingest = ir
 	}
 	nsOp := func(r result) float64 { return r.NsPerOp }
 	allocs := func(r result) float64 { return float64(r.AllocsPerOp) }
