@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet race chaos chaos-serve chaos-ingest serve-smoke test bench bench-serve bench-classify pgo figures data tune clean
+.PHONY: all build vet race chaos chaos-serve chaos-ingest chaos-fleet serve-smoke test bench bench-serve bench-classify bench-fleet pgo figures data tune clean
 
 NPROC := $(shell nproc 2>/dev/null || echo 1)
 
@@ -56,6 +56,19 @@ chaos-ingest:
 	$(GO) test -race -run 'Event' ./internal/faults/...
 	$(GO) test -race -run 'SharedClock|Eviction' ./internal/serve/...
 
+# Fleet chaos under the race detector: the rendezvous router's
+# distribution and K/N-stability bounds, session parity through 1..N
+# local replicas, a replica killed mid-stream (every surviving decision
+# byte-identical to the single-replica control after healing), graceful
+# leave, reload/rollback fanned out mid-stream, the shared fake clock
+# aging replica sessions and router pins together, the seeded
+# replica-death/latency hook, and the churn workload's mixed
+# create/advance/abandon/evict phases.
+chaos-fleet:
+	$(GO) test -race ./internal/fleet/...
+	$(GO) test -race -run 'FleetHook' ./internal/faults/...
+	$(GO) test -race -run 'Churn' ./internal/loadgen/...
+
 # End-to-end serving parity under the race detector: every algorithm is
 # trained on three synthetic datasets (one multivariate), persisted,
 # loaded into an HTTP server, and must reproduce the offline Classify
@@ -66,7 +79,7 @@ serve-smoke:
 	$(GO) test -race -run 'ServeSmoke|Trace|Stats|Metrics|Dashboard|Eviction|MetaRoutes' ./internal/serve/...
 	$(GO) test -race -run 'Run|Correlate' ./internal/loadgen/...
 
-test: vet race chaos chaos-serve chaos-ingest serve-smoke
+test: vet race chaos chaos-serve chaos-ingest chaos-fleet serve-smoke
 	$(GO) test ./...
 	@if [ -f BENCH_PR7.json ]; then \
 		echo "kernel regression gate: short deterministic run vs committed BENCH_PR7.json"; \
@@ -128,6 +141,19 @@ bench-classify:
 bench-serve:
 	$(GO) run ./tools/benchjson -serve -stats -overload -skip-suites -out BENCH_PR8.json
 	$(GO) run ./tools/benchjson -ingest -skip-suites -out BENCH_PR9.json
+
+# Replica-fleet throughput benchmark: churns a 10k-session population
+# (create / stream-to-decision / abandon / evict mix, every decided
+# session parity-checked offline) through the rendezvous router at each
+# replica count and commits the curve to BENCH_PR10.json. The replica
+# list scales with the machine — on a single-core box the curve
+# honestly measures routing overhead, not parallel speedup; boxes with
+# more cores add an $(NPROC)-replica point and the workers scaling
+# matrix alongside.
+FLEET_REPLICAS := $(shell if [ $(NPROC) -le 2 ]; then echo 1,2; else echo 1,2,$(NPROC); fi)
+FLEET_MATRIX := $(shell if [ $(NPROC) -gt 1 ]; then echo -matrix-workers 1,$(NPROC); fi)
+bench-fleet:
+	$(GO) run ./tools/benchjson -fleet -fleet-replicas $(FLEET_REPLICAS) -fleet-sessions 10000 -skip-suites $(FLEET_MATRIX) -out BENCH_PR10.json
 
 # Scaled-down evaluation matrix with text figures, SVG files and the
 # qualitative-claims check.

@@ -65,6 +65,10 @@ func main() {
 		ingestMode    = flag.Bool("ingest", false, "replay the dataset as one interleaved entity event stream against POST /v1/ingest (etsc-serve -ingest), reporting decision latency and entity churn")
 		eps           = flag.Float64("eps", 0, "target events/sec in -ingest mode (0 = unpaced)")
 		cohort        = flag.Int("cohort", 8, "concurrently interleaved entities in -ingest mode")
+		churnMode     = flag.Bool("churn", false, "fleet churn mode: hold -sessions streaming sessions live concurrently and keep turning them over (create/advance/evict mix), reporting per-phase latency and session throughput")
+		sessions      = flag.Int("sessions", 1000, "concurrent live sessions in -churn mode")
+		churnTotal    = flag.Int("churn-total", 0, "sessions to run to completion in -churn mode (default 2x -sessions)")
+		abandonEvery  = flag.Int("abandon-every", 5, "every k-th -churn session is abandoned halfway through its stream (0 = stream all to a decision)")
 	)
 	var obsFlags obs.Flags
 	obsFlags.Register(flag.CommandLine)
@@ -119,6 +123,15 @@ func main() {
 			refs = append(refs, loadgen.Reference{Label: label, Consumed: consumed})
 		}
 		fmt.Printf("parity reference: %s from %s\n", offline.Name(), *modelFile)
+	}
+
+	if *churnMode {
+		runChurnMode(col, obsCleanup, instances, refs, churnOptions{
+			addr: *addr, model: *model, sessions: *sessions, total: *churnTotal,
+			chunk: *chunk, clients: *clients, abandonEvery: *abandonEvery,
+			timeout: *timeout, tenant: *tenant, jsonOut: *jsonOut,
+		})
+		return
 	}
 
 	runRPS, runClients, runTotal := *rps, *clients, *total
@@ -188,6 +201,53 @@ func main() {
 	}
 	if res.Errors > 0 || res.ParityMismatches > 0 {
 		failWith(obsCleanup, fmt.Errorf("%d request errors, %d parity mismatches", res.Errors, res.ParityMismatches))
+	}
+}
+
+type churnOptions struct {
+	addr, model, tenant, jsonOut    string
+	sessions, total, chunk, clients int
+	abandonEvery                    int
+	timeout                         time.Duration
+}
+
+// runChurnMode drives the concurrent-session churn workload — the fleet
+// router's sizing benchmark — and reports per-phase latency.
+func runChurnMode(col *obs.Collector, cleanup func(), instances [][][]float64, refs []loadgen.Reference, opt churnOptions) {
+	fmt.Printf("churn: %d concurrent sessions, %d total, chunk %d, %d clients\n",
+		opt.sessions, opt.total, opt.chunk, opt.clients)
+	res, err := loadgen.RunChurn(loadgen.ChurnConfig{
+		BaseURL: opt.addr, Model: opt.model,
+		Instances: instances, References: refs,
+		Sessions: opt.sessions, Total: opt.total,
+		ChunkSize: opt.chunk, Clients: opt.clients,
+		AbandonEvery: opt.abandonEvery, Timeout: opt.timeout,
+		Tenant: opt.tenant,
+	})
+	if err != nil {
+		failWith(cleanup, err)
+	}
+	fmt.Println(res)
+	col.Emit("loadgen_churn_result", map[string]any{
+		"sessions": res.Sessions, "decided": res.Decided, "abandoned": res.Abandoned,
+		"errors": res.Errors, "shed": res.Shed, "peak_concurrent": res.PeakConcurrent,
+		"sessions_per_sec": res.SessionsPerSec, "advances_per_sec": res.AdvancesPerSec,
+		"advance_p50_ms": float64(res.Advance.P50) / float64(time.Millisecond),
+		"advance_p99_ms": float64(res.Advance.P99) / float64(time.Millisecond),
+		"parity_checked": res.ParityChecked, "parity_mismatches": res.ParityMismatches,
+	})
+	if opt.jsonOut != "" {
+		b, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			failWith(cleanup, err)
+		}
+		if err := os.WriteFile(opt.jsonOut, append(b, '\n'), 0o644); err != nil {
+			failWith(cleanup, err)
+		}
+		fmt.Printf("result written to %s\n", opt.jsonOut)
+	}
+	if res.Errors > 0 || res.ParityMismatches > 0 {
+		failWith(cleanup, fmt.Errorf("%d request errors, %d parity mismatches", res.Errors, res.ParityMismatches))
 	}
 }
 

@@ -10,6 +10,13 @@
 //	curl -s -X POST localhost:8080/v1/classify \
 //	  -d '{"model":"ecec","values":[[0.1,0.4,0.9,1.2]]}'
 //
+// With -fleet N the same address serves a replica fleet: N in-process
+// serving replicas (each with its own copy of every model) behind a
+// consistent-hash session router, optionally joined by remote backends
+// via -fleet-backends. Streaming sessions pin to one replica by hash of
+// their session ID; one-shot classification load-balances round-robin;
+// reload/rollback fan out to every replica.
+//
 // The server shuts down gracefully on SIGINT/SIGTERM: in-flight requests
 // finish (bounded by -timeout) before the process exits.
 package main
@@ -26,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/goetsc/goetsc/internal/fleet"
 	"github.com/goetsc/goetsc/internal/ingest"
 	"github.com/goetsc/goetsc/internal/obs"
 	"github.com/goetsc/goetsc/internal/serve"
@@ -33,30 +41,33 @@ import (
 
 func main() {
 	var (
-		addr         = flag.String("addr", "127.0.0.1:8080", "listen address")
-		models       = flag.String("models", "", "comma-separated model files and/or directories of *.goetsc files")
-		maxBody      = flag.Int64("max-body", 1<<20, "maximum request body size in bytes")
-		timeout      = flag.Duration("timeout", 30*time.Second, "per-request handling deadline")
-		sessionTTL   = flag.Duration("session-ttl", 10*time.Minute, "idle streaming sessions older than this are evicted")
-		sloTarget    = flag.Duration("slo-target", 25*time.Millisecond, "per-endpoint latency objective evaluated over rolling windows")
-		sloObjective = flag.Float64("slo-objective", 0.99, "fraction of requests that must complete under -slo-target")
-		coalesceWin  = flag.Duration("coalesce-window", 0, "batch concurrent /v1/classify requests per model for this long (0 disables); only models with batched classifiers coalesce")
-		coalesceMax  = flag.Int("coalesce-max", 16, "maximum requests per coalesced batch")
-		float32Mode  = flag.Bool("float32", false, "serve models with float32-capable kernels in low precision (faster, not bit-identical to offline)")
-		pprofMux     = flag.Bool("pprof", false, "serve /debug/pprof on the main listener (outside the request deadline)")
-		reloadAPI    = flag.Bool("reload-api", false, "enable POST /v1/models/{name}/reload and /rollback (hot swap under traffic)")
-		tenantRPS    = flag.Float64("tenant-rps", 0, "per-tenant request rate limit (tokens/s; 0 disables tenant quotas)")
-		tenantBurst  = flag.Int("tenant-burst", 0, "per-tenant token-bucket burst (default 2x -tenant-rps)")
-		queueDepth   = flag.Int("queue-depth", 0, "admission queue bound; waiting requests beyond it are shed with 503 (default 4x workers)")
-		queueTimeout = flag.Duration("queue-timeout", time.Second, "longest a request may wait for a classification slot before it is shed")
-		brkThreshold = flag.Float64("breaker-threshold", 0.5, "classify failure rate that opens a model's circuit breaker (<=0 or >1 disables)")
-		brkSamples   = flag.Int("breaker-min-samples", 10, "window population required before the breaker can open")
-		brkWindow    = flag.Duration("breaker-window", 10*time.Second, "failure-rate observation window")
-		brkCooldown  = flag.Duration("breaker-cooldown", 5*time.Second, "how long an open breaker rejects before probing half-open")
-		brkProbes    = flag.Int("breaker-probes", 3, "half-open successes required to re-close the breaker")
-		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "longest to wait for in-flight requests when draining on SIGTERM")
-		ingestAPI    = flag.Bool("ingest", false, "enable POST /v1/ingest: NDJSON entity event streams windowed and classified continuously (?model= selects the model)")
-		ingestShards = flag.Int("ingest-shards", 0, "entity demux shards per ingest stream (0 = pipeline default)")
+		addr          = flag.String("addr", "127.0.0.1:8080", "listen address")
+		models        = flag.String("models", "", "comma-separated model files and/or directories of *.goetsc files")
+		maxBody       = flag.Int64("max-body", 1<<20, "maximum request body size in bytes")
+		timeout       = flag.Duration("timeout", 30*time.Second, "per-request handling deadline")
+		sessionTTL    = flag.Duration("session-ttl", 10*time.Minute, "idle streaming sessions older than this are evicted")
+		maxSessions   = flag.Int("max-sessions", 0, "live streaming session bound per replica (0 = default 4096)")
+		sloTarget     = flag.Duration("slo-target", 25*time.Millisecond, "per-endpoint latency objective evaluated over rolling windows")
+		sloObjective  = flag.Float64("slo-objective", 0.99, "fraction of requests that must complete under -slo-target")
+		coalesceWin   = flag.Duration("coalesce-window", 0, "batch concurrent /v1/classify requests per model for this long (0 disables); only models with batched classifiers coalesce")
+		coalesceMax   = flag.Int("coalesce-max", 16, "maximum requests per coalesced batch")
+		float32Mode   = flag.Bool("float32", false, "serve models with float32-capable kernels in low precision (faster, not bit-identical to offline)")
+		pprofMux      = flag.Bool("pprof", false, "serve /debug/pprof on the main listener (outside the request deadline)")
+		reloadAPI     = flag.Bool("reload-api", false, "enable POST /v1/models/{name}/reload and /rollback (hot swap under traffic)")
+		tenantRPS     = flag.Float64("tenant-rps", 0, "per-tenant request rate limit (tokens/s; 0 disables tenant quotas)")
+		tenantBurst   = flag.Int("tenant-burst", 0, "per-tenant token-bucket burst (default 2x -tenant-rps)")
+		queueDepth    = flag.Int("queue-depth", 0, "admission queue bound; waiting requests beyond it are shed with 503 (default 4x workers)")
+		queueTimeout  = flag.Duration("queue-timeout", time.Second, "longest a request may wait for a classification slot before it is shed")
+		brkThreshold  = flag.Float64("breaker-threshold", 0.5, "classify failure rate that opens a model's circuit breaker (<=0 or >1 disables)")
+		brkSamples    = flag.Int("breaker-min-samples", 10, "window population required before the breaker can open")
+		brkWindow     = flag.Duration("breaker-window", 10*time.Second, "failure-rate observation window")
+		brkCooldown   = flag.Duration("breaker-cooldown", 5*time.Second, "how long an open breaker rejects before probing half-open")
+		brkProbes     = flag.Int("breaker-probes", 3, "half-open successes required to re-close the breaker")
+		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "longest to wait for in-flight requests when draining on SIGTERM")
+		ingestAPI     = flag.Bool("ingest", false, "enable POST /v1/ingest: NDJSON entity event streams windowed and classified continuously (?model= selects the model)")
+		ingestShards  = flag.Int("ingest-shards", 0, "entity demux shards per ingest stream (0 = pipeline default)")
+		fleetN        = flag.Int("fleet", 0, "serve through a replica fleet: this many in-process serving replicas behind a consistent-hash session router (0 = single server)")
+		fleetBackends = flag.String("fleet-backends", "", "comma-separated base URLs of remote serving replicas to attach behind the fleet router (implies fleet mode)")
 	)
 	var obsFlags obs.Flags
 	obsFlags.Register(flag.CommandLine)
@@ -89,10 +100,11 @@ func main() {
 		threshold = -1
 	}
 
-	srv := serve.New(serve.Config{
+	cfg := serve.Config{
 		MaxBodyBytes:      *maxBody,
 		RequestTimeout:    *timeout,
 		SessionTTL:        *sessionTTL,
+		MaxSessions:       *maxSessions,
 		SLOTarget:         *sloTarget,
 		SLOObjective:      *sloObjective,
 		CoalesceWindow:    *coalesceWin,
@@ -109,38 +121,51 @@ func main() {
 		BreakerCooldown:   *brkCooldown,
 		BreakerProbes:     *brkProbes,
 		Obs:               col,
-	})
-	defer srv.Close()
-	if *models == "" {
-		failWith(obsCleanup, fmt.Errorf("-models is required (files or directories of *.goetsc)"))
 	}
-	for _, path := range strings.Split(*models, ",") {
-		path = strings.TrimSpace(path)
-		if path == "" {
-			continue
-		}
-		info, err := os.Stat(path)
-		if err != nil {
-			failWith(obsCleanup, err)
-		}
-		if info.IsDir() {
-			names, err := srv.LoadDir(path)
-			if err != nil {
-				failWith(obsCleanup, err)
-			}
-			for _, n := range names {
-				fmt.Printf("loaded model %s from %s\n", n, path)
-			}
-		} else {
-			name, err := srv.LoadFile(path)
-			if err != nil {
-				failWith(obsCleanup, err)
-			}
-			fmt.Printf("loaded model %s from %s\n", name, path)
-		}
+
+	fleetMode := *fleetN > 0 || *fleetBackends != ""
+	if fleetMode && *ingestAPI {
+		failWith(obsCleanup, fmt.Errorf("-ingest is not supported with -fleet: the ingest pipeline binds to one replica's registry"))
 	}
-	if len(srv.Models()) == 0 {
-		failWith(obsCleanup, fmt.Errorf("no models loaded from %q", *models))
+
+	var (
+		replicas []*serve.Server // local replicas (or the single server)
+		router   *fleet.Router
+		handler  http.Handler
+	)
+	if fleetMode {
+		n := *fleetN
+		if n <= 0 && *fleetBackends == "" {
+			n = 1
+		}
+		// Local replicas share one obs collector: their Prometheus
+		// counters merge into one registry, which is the fleet rollup
+		// /metrics serves; per-replica detail comes from /v1/stats.
+		router = fleet.New(fleet.Config{
+			SessionTTL:   *sessionTTL,
+			MaxBodyBytes: *maxBody,
+			SLOTarget:    *sloTarget,
+			SLOObjective: *sloObjective,
+			ReloadAPI:    *reloadAPI,
+			Obs:          col,
+		})
+		for i := 0; i < n; i++ {
+			srv := serve.New(cfg)
+			defer srv.Close()
+			loadModels(srv, *models, obsCleanup)
+			replicas = append(replicas, srv)
+			router.Add(fleet.NewLocal(fmt.Sprintf("r%d", i), srv))
+		}
+		for i, base := range splitList(*fleetBackends) {
+			router.Add(fleet.NewRemote(fmt.Sprintf("b%d", i), base))
+		}
+		handler = router.Handler()
+	} else {
+		srv := serve.New(cfg)
+		defer srv.Close()
+		loadModels(srv, *models, obsCleanup)
+		replicas = append(replicas, srv)
+		handler = srv.Handler()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -150,11 +175,12 @@ func main() {
 	// mounts on the parent mux so long profile captures (e.g.
 	// /debug/pprof/profile?seconds=30) escape the request deadline.
 	root := http.NewServeMux()
-	root.Handle("/", srv.Handler())
+	root.Handle("/", handler)
 	if *pprofMux {
 		obs.RegisterPprof(root)
 	}
 	if *ingestAPI {
+		srv := replicas[0]
 		// The ingest endpoint streams NDJSON decisions with per-line
 		// flushes, so it mounts beside the TimeoutHandler (which buffers
 		// whole responses), not under it — the same placement as pprof.
@@ -186,8 +212,17 @@ func main() {
 			case <-ctx.Done():
 				return
 			case <-ticker.C:
-				if n := srv.EvictIdleSessions(); n > 0 {
-					col.Emit("sessions_evicted", map[string]any{"count": n})
+				evicted := 0
+				for _, srv := range replicas {
+					evicted += srv.EvictIdleSessions()
+				}
+				if router != nil {
+					// Local replicas free their pins through the eviction
+					// callback; this sweep covers remote-backed sessions.
+					router.EvictIdlePins()
+				}
+				if evicted > 0 {
+					col.Emit("sessions_evicted", map[string]any{"count": evicted})
 				}
 			}
 		}
@@ -195,7 +230,12 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	fmt.Printf("etsc-serve listening on %s (%d models)\n", *addr, len(srv.Models()))
+	if router != nil {
+		fmt.Printf("etsc-serve listening on %s: fleet of %d replicas (%s), %d models each\n",
+			*addr, len(router.Replicas()), strings.Join(router.Replicas(), ","), len(replicas[0].Models()))
+	} else {
+		fmt.Printf("etsc-serve listening on %s (%d models)\n", *addr, len(replicas[0].Models()))
+	}
 	fmt.Printf("stats plane: /metrics (Prometheus), /v1/stats (JSON), /debug/etsc (dashboard); SLO %s @ %.2f%%\n",
 		*sloTarget, *sloObjective*100)
 	if *pprofMux {
@@ -217,8 +257,14 @@ func main() {
 		fmt.Println("etsc-serve: draining")
 		col.Emit("server_shutdown", map[string]any{"reason": "signal"})
 		drainCtx, cancelDrain := context.WithTimeout(context.Background(), *drainTimeout)
-		if err := srv.Drain(drainCtx); err != nil {
-			fmt.Fprintf(os.Stderr, "etsc-serve: drain incomplete: %v\n", err)
+		var drainErr error
+		if router != nil {
+			drainErr = router.Drain(drainCtx)
+		} else {
+			drainErr = replicas[0].Drain(drainCtx)
+		}
+		if drainErr != nil {
+			fmt.Fprintf(os.Stderr, "etsc-serve: drain incomplete: %v\n", drainErr)
 		}
 		cancelDrain()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *timeout)
@@ -227,6 +273,48 @@ func main() {
 			failWith(obsCleanup, err)
 		}
 	}
+}
+
+// loadModels loads every -models path into one server, failing the
+// process on any error.
+func loadModels(srv *serve.Server, models string, cleanup func()) {
+	if models == "" {
+		failWith(cleanup, fmt.Errorf("-models is required (files or directories of *.goetsc)"))
+	}
+	for _, path := range splitList(models) {
+		info, err := os.Stat(path)
+		if err != nil {
+			failWith(cleanup, err)
+		}
+		if info.IsDir() {
+			names, err := srv.LoadDir(path)
+			if err != nil {
+				failWith(cleanup, err)
+			}
+			for _, n := range names {
+				fmt.Printf("loaded model %s from %s\n", n, path)
+			}
+		} else {
+			name, err := srv.LoadFile(path)
+			if err != nil {
+				failWith(cleanup, err)
+			}
+			fmt.Printf("loaded model %s from %s\n", name, path)
+		}
+	}
+	if len(srv.Models()) == 0 {
+		failWith(cleanup, fmt.Errorf("no models loaded from %q", models))
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }
 
 func fail(err error) {

@@ -1,0 +1,75 @@
+package faults
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Fleet-plane chaos. The fleet router exposes a per-replica hook
+// (fleet.Config.ReplicaHook) that runs before every routed work
+// request. FleetHook adapts a Plan to it — the n-th request routed to a
+// replica draws the fault assigned to the (replica, n) key, so a chaos
+// run with a fixed request sequence kills and delays the same replicas
+// at the same points every time — plus an explicit kill schedule for
+// tests that need a replica to die at one exact routed call.
+
+// fleetInjector tracks per-replica routed-call numbers.
+type fleetInjector struct {
+	plan *Plan
+	kill map[string]int
+
+	mu    sync.Mutex
+	calls map[string]int
+	dead  map[string]bool
+}
+
+// FleetHook returns a replica fault hook. kill maps replica IDs to the
+// routed-call number (0-based) at which the replica dies: every call
+// from that number on returns an error, which the router treats exactly
+// like a transport failure — mark the replica down and heal its
+// sessions elsewhere. The plan (may be nil) layers seeded faults on
+// top: Panic and Error at (replica, n) also read as a death, Latency
+// sleeps in the routing path. A nil plan with an empty schedule returns
+// nil — chaos off.
+func (p *Plan) FleetHook(kill map[string]int) func(replicaID string) error {
+	if p == nil && len(kill) == 0 {
+		return nil
+	}
+	inj := &fleetInjector{plan: p, kill: kill, calls: map[string]int{}, dead: map[string]bool{}}
+	return inj.hook
+}
+
+func (i *fleetInjector) hook(replica string) error {
+	i.mu.Lock()
+	n := i.calls[replica]
+	i.calls[replica] = n + 1
+	dead := i.dead[replica]
+	if !dead {
+		if at, ok := i.kill[replica]; ok && n >= at {
+			i.dead[replica] = true
+			dead = true
+		}
+	}
+	i.mu.Unlock()
+	if dead {
+		return fmt.Errorf("faults: injected replica death at %s/call%d", replica, n)
+	}
+	if i.plan == nil {
+		return nil
+	}
+	f := i.plan.For(replica, "route", 0, n)
+	switch f.Kind {
+	case Panic, Error:
+		// Both read as the replica failing the request: the router has no
+		// in-process frame to recover a panic from a remote backend, so a
+		// planted panic means death, same as an error.
+		i.mu.Lock()
+		i.dead[replica] = true
+		i.mu.Unlock()
+		return fmt.Errorf("faults: injected replica failure at %s/call%d", replica, n)
+	case Latency:
+		time.Sleep(f.Delay)
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFleetHookNilWhenChaosOff(t *testing.T) {
+	var p *Plan
+	if p.FleetHook(nil) != nil {
+		t.Fatal("nil plan with empty schedule must return a nil hook")
+	}
+}
+
+// TestFleetHookKillSchedule: the explicit schedule kills a replica at
+// one exact routed call, the death is sticky, and unscheduled replicas
+// never die.
+func TestFleetHookKillSchedule(t *testing.T) {
+	var p *Plan
+	hook := p.FleetHook(map[string]int{"r1": 2})
+	for i := 0; i < 5; i++ {
+		if err := hook("r0"); err != nil {
+			t.Fatalf("r0 call %d failed: %v", i, err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if err := hook("r1"); err != nil {
+			t.Fatalf("r1 call %d died before its scheduled call: %v", i, err)
+		}
+	}
+	for i := 2; i < 6; i++ {
+		if err := hook("r1"); err == nil {
+			t.Fatalf("r1 call %d survived past its death", i)
+		}
+	}
+}
+
+// TestFleetHookPlanDeterminism: the hook draws from the plan's seeded
+// key space, so the first planted fault is a pure function of the plan
+// — find it with For, then confirm two independent hooks die at exactly
+// that call and stay dead (plan-injected failures are sticky).
+func TestFleetHookPlanDeterminism(t *testing.T) {
+	plan := NewPlan(Config{Seed: 7, ErrorProb: 0.4})
+	first := -1
+	for i := 0; i < 500; i++ {
+		if k := plan.For("rX", "route", 0, i).Kind; k == Error || k == Panic {
+			first = i
+			break
+		}
+	}
+	if first < 0 {
+		t.Fatal("seed 7 at 40% error rate planted nothing in 500 calls")
+	}
+	for run := 0; run < 2; run++ {
+		hook := plan.FleetHook(nil)
+		for i := 0; i <= first+10; i++ {
+			err := hook("rX")
+			if i < first && err != nil {
+				t.Fatalf("run %d: call %d died before the planted fault at %d: %v", run, i, first, err)
+			}
+			if i >= first && err == nil {
+				t.Fatalf("run %d: call %d survived after the planted death at %d", run, i, first)
+			}
+		}
+	}
+}
+
+// TestFleetHookLatency: latency faults delay the routing path without
+// killing the replica.
+func TestFleetHookLatency(t *testing.T) {
+	plan := NewPlan(Config{Seed: 3, LatencyProb: 1, MaxLatency: time.Millisecond})
+	hook := plan.FleetHook(nil)
+	for i := 0; i < 5; i++ {
+		if err := hook("r0"); err != nil {
+			t.Fatalf("latency fault killed the replica at call %d: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"github.com/goetsc/goetsc/internal/faults"
+	"github.com/goetsc/goetsc/internal/obs"
+	"github.com/goetsc/goetsc/internal/persist"
+	"github.com/goetsc/goetsc/internal/serve"
+)
+
+// The fleet chaos suite (`make chaos-fleet`, run under -race): replica
+// death and graceful leave mid-stream, reload/rollback fan-out under
+// live sessions — each compared byte-for-byte against an undisturbed
+// control run. The comparison works because the request schedule is
+// fixed and single-threaded, session IDs are client-chosen, and
+// streamed decisions depend only on the point prefix: any divergence in
+// any response body is a real divergence in serving behavior.
+
+// runScript drives nSessions interleaved streaming sessions on a fixed
+// single-threaded schedule and records every raw response body. hook,
+// when non-nil, runs after every recorded step with the 1-based step
+// number — the injection point for kills, leaves and reloads.
+func runScript(t *testing.T, baseURL string, nSessions, chunk int, hook func(step int)) []string {
+	t.Helper()
+	fixture(t)
+	type slot struct {
+		id     string
+		values [][]float64
+		sent   int
+		done   bool
+	}
+	var transcript []string
+	step := 0
+	record := func(raw []byte) {
+		transcript = append(transcript, string(raw))
+		step++
+		if hook != nil {
+			hook(step)
+		}
+	}
+	slots := make([]*slot, nSessions)
+	for i := range slots {
+		in := fixData.Instances[i%len(fixData.Instances)]
+		s := &slot{id: fmt.Sprintf("script-%02d", i), values: in.Values}
+		status, raw := postRaw(t, baseURL+"/v1/sessions", map[string]any{"model": "ects", "session_id": s.id})
+		if status != http.StatusCreated {
+			t.Fatalf("create %s = %d: %s", s.id, status, raw)
+		}
+		record(raw)
+		slots[i] = s
+	}
+	for {
+		progress := false
+		for _, s := range slots {
+			if s.done {
+				continue
+			}
+			progress = true
+			n := len(s.values[0])
+			hi := s.sent + chunk
+			if hi > n {
+				hi = n
+			}
+			batch := make([][]float64, len(s.values))
+			for v := range s.values {
+				batch[v] = s.values[v][s.sent:hi]
+			}
+			status, raw := postRaw(t, baseURL+"/v1/sessions/"+s.id+"/points",
+				map[string]any{"values": batch, "last": hi == n})
+			if status != http.StatusOK {
+				t.Fatalf("points %s (sent %d) = %d: %s", s.id, s.sent, status, raw)
+			}
+			record(raw)
+			s.sent = hi
+			var st sessionState
+			if err := json.Unmarshal(raw, &st); err != nil {
+				t.Fatalf("decode points response: %v", err)
+			}
+			if st.Status == "decided" || s.sent >= n {
+				s.done = true
+			}
+		}
+		if !progress {
+			return transcript
+		}
+	}
+}
+
+// compareTranscripts fails on the first differing response.
+func compareTranscripts(t *testing.T, control, got []string, what string) {
+	t.Helper()
+	if len(control) != len(got) {
+		t.Fatalf("%s: transcript length %d, control %d", what, len(got), len(control))
+	}
+	for i := range control {
+		if control[i] != got[i] {
+			t.Fatalf("%s: response %d diverged:\n control: %s\n     got: %s", what, i, control[i], got[i])
+		}
+	}
+}
+
+// TestFleetKillReplicaByteIdentical is the tentpole chaos contract: a
+// replica dying mid-stream (hard death, injected through the fault
+// hook) loses nothing — every session it held is rebuilt from the
+// replay log on the surviving owner, and the complete response
+// transcript is byte-identical to a single-replica control run.
+func TestFleetKillReplicaByteIdentical(t *testing.T) {
+	const nSessions, chunk = 12, 6
+
+	_, controlHS, _, _ := newFleet(t, 1, Config{})
+	control := runScript(t, controlHS.URL, nSessions, chunk, nil)
+
+	var plan *faults.Plan
+	hook := plan.FleetHook(map[string]int{"r1": 8}) // r1 dies at its 8th routed call
+	rt, hs, _, _ := newFleet(t, 3, Config{ReplicaHook: hook})
+	got := runScript(t, hs.URL, nSessions, chunk, nil)
+
+	compareTranscripts(t, control, got, "hard kill")
+	if rt.deaths.Load() != 1 {
+		t.Fatalf("replica deaths = %d, want 1", rt.deaths.Load())
+	}
+	if rt.heals.Load() == 0 {
+		t.Fatal("no sessions were healed — the kill never disturbed a pinned session")
+	}
+	if len(rt.Replicas()) != 2 {
+		t.Fatalf("live replicas = %v, want 2 survivors", rt.Replicas())
+	}
+	t.Logf("hard kill healed %d sessions, transcript of %d responses identical", rt.heals.Load(), len(got))
+}
+
+// TestFleetGracefulLeaveByteIdentical: the same contract for a planned
+// leave — Remove mid-stream remaps the departed replica's sessions
+// lazily, and the transcript still matches the control run exactly.
+func TestFleetGracefulLeaveByteIdentical(t *testing.T) {
+	const nSessions, chunk = 12, 6
+
+	_, controlHS, _, _ := newFleet(t, 1, Config{})
+	control := runScript(t, controlHS.URL, nSessions, chunk, nil)
+
+	rt, hs, _, _ := newFleet(t, 3, Config{})
+	leaveAt := nSessions + 10 // mid-stream: after all creates plus a few chunks
+	got := runScript(t, hs.URL, nSessions, chunk, func(step int) {
+		if step == leaveAt {
+			if !rt.Remove("r0") {
+				t.Fatal("remove r0 failed")
+			}
+		}
+	})
+
+	compareTranscripts(t, control, got, "graceful leave")
+	if rt.deaths.Load() != 0 {
+		t.Fatalf("graceful leave counted %d deaths", rt.deaths.Load())
+	}
+	t.Logf("graceful leave: %d remaps, %d heals", rt.remaps.Load(), rt.heals.Load())
+}
+
+// newReloadFleet builds an n-replica fleet whose replicas all loaded
+// the fixture model from one shared file, with the reload API enabled
+// end to end — the fan-out fixture.
+func newReloadFleet(t *testing.T, n int) (*Router, *httptest.Server, string) {
+	t.Helper()
+	fixture(t)
+	path := filepath.Join(t.TempDir(), "ects.goetsc")
+	if err := persist.SaveFile(path, fixV1, fixMeta); err != nil {
+		t.Fatal(err)
+	}
+	col := obs.New(obs.Options{Metrics: obs.NewRegistry()})
+	rt := New(Config{ReloadAPI: true, Obs: col})
+	for i := 0; i < n; i++ {
+		srv := serve.New(serve.Config{Workers: 8, QueueDepth: 256, ReloadAPI: true, Obs: col})
+		if name, err := srv.LoadFile(path); err != nil || name != "ects" {
+			t.Fatalf("load replica %d: %q %v", i, name, err)
+		}
+		t.Cleanup(srv.Close)
+		rt.Add(NewLocal(fmt.Sprintf("r%d", i), srv))
+	}
+	hs := httptest.NewServer(rt.Handler())
+	t.Cleanup(hs.Close)
+	return rt, hs, path
+}
+
+// TestFleetReloadMidStreamByteIdentical: swapping the model (and then
+// rolling it back) under live fleet sessions changes nothing about
+// them — sessions pin the version they started on, on every replica, so
+// the transcript matches a control run that never reloaded at all.
+func TestFleetReloadMidStreamByteIdentical(t *testing.T) {
+	const nSessions, chunk = 12, 6
+
+	_, controlHS, _ := newReloadFleet(t, 3)
+	control := runScript(t, controlHS.URL, nSessions, chunk, nil)
+
+	_, hs, path := newReloadFleet(t, 3)
+	reloadAt := nSessions + 4 // after every session exists and has advanced
+	rollbackAt := nSessions + 20
+	got := runScript(t, hs.URL, nSessions, chunk, func(step int) {
+		switch step {
+		case reloadAt:
+			if err := persist.SaveFile(path, fixV2, fixMeta); err != nil {
+				t.Fatal(err)
+			}
+			if status, raw := postRaw(t, hs.URL+"/v1/models/ects/reload", nil); status != http.StatusOK {
+				t.Fatalf("mid-stream reload = %d: %s", status, raw)
+			}
+		case rollbackAt:
+			if status, raw := postRaw(t, hs.URL+"/v1/models/ects/rollback", nil); status != http.StatusOK {
+				t.Fatalf("mid-stream rollback = %d: %s", status, raw)
+			}
+		}
+	})
+
+	compareTranscripts(t, control, got, "mid-stream reload/rollback")
+}

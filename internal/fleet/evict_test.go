@@ -1,0 +1,95 @@
+package fleet
+
+import (
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/goetsc/goetsc/internal/serve"
+)
+
+// sharedClock drives the router's pin TTL and the replicas' session TTL
+// from one fake time source, so both planes age in lockstep.
+type sharedClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *sharedClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *sharedClock) advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+// TestFleetSharedClockEviction: replica TTL sweeps notify the router,
+// so an evicted session frees its pin (and replay log) in the same
+// sweep; the router's own pin sweep covers pins whose replica never
+// reported (orphans). One fake clock drives both deterministically.
+func TestFleetSharedClockEviction(t *testing.T) {
+	clk := &sharedClock{t: time.Unix(1_700_000_000, 0)}
+	rt, hs, servers, _ := newFleet(t, 2,
+		Config{SessionTTL: time.Minute, Clock: clk.now},
+		func(c *serve.Config) { c.SessionTTL = time.Minute; c.Clock = clk.now })
+
+	const nSessions = 6
+	for i := 0; i < nSessions; i++ {
+		status, raw := postRaw(t, hs.URL+"/v1/sessions", map[string]any{"model": "ects"})
+		if status != http.StatusCreated {
+			t.Fatalf("create %d = %d: %s", i, status, raw)
+		}
+	}
+	if pinCount(rt) != nSessions {
+		t.Fatalf("pins = %d, want %d", pinCount(rt), nSessions)
+	}
+
+	// Before the TTL nothing ages out on either plane.
+	clk.advance(30 * time.Second)
+	for i, srv := range servers {
+		if n := srv.EvictIdleSessions(); n != 0 {
+			t.Fatalf("replica %d evicted %d before TTL", i, n)
+		}
+	}
+	if n := rt.EvictIdlePins(); n != 0 {
+		t.Fatalf("pin sweep evicted %d before TTL", n)
+	}
+
+	// Past the TTL the replica sweeps evict every session and each
+	// eviction pushes through the router's Unpin callback.
+	clk.advance(31 * time.Second)
+	total := 0
+	for _, srv := range servers {
+		total += srv.EvictIdleSessions()
+	}
+	if total != nSessions {
+		t.Fatalf("replica sweeps evicted %d, want %d", total, nSessions)
+	}
+	if pinCount(rt) != 0 {
+		t.Fatalf("pins after replica sweeps = %d, want 0 (eviction callback lost)", pinCount(rt))
+	}
+	if n := rt.EvictIdlePins(); n != 0 {
+		t.Fatalf("pin sweep found %d leftovers after callbacks", n)
+	}
+
+	// Orphan coverage: pins whose replicas never report (a remote
+	// backend, or a death) fall to the router's own sweep.
+	for i := 0; i < 3; i++ {
+		status, raw := postRaw(t, hs.URL+"/v1/sessions", map[string]any{"model": "ects"})
+		if status != http.StatusCreated {
+			t.Fatalf("orphan create %d = %d: %s", i, status, raw)
+		}
+	}
+	clk.advance(2 * time.Minute)
+	if n := rt.EvictIdlePins(); n != 3 {
+		t.Fatalf("orphan pin sweep evicted %d, want 3", n)
+	}
+	if pinCount(rt) != 0 {
+		t.Fatalf("pins after orphan sweep = %d, want 0", pinCount(rt))
+	}
+}

@@ -1,0 +1,731 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/goetsc/goetsc/internal/bench"
+	"github.com/goetsc/goetsc/internal/core"
+	"github.com/goetsc/goetsc/internal/obs"
+	"github.com/goetsc/goetsc/internal/persist"
+	"github.com/goetsc/goetsc/internal/serve"
+	"github.com/goetsc/goetsc/internal/synth"
+	ts "github.com/goetsc/goetsc/internal/timeseries"
+)
+
+// ---- fixture ----
+//
+// One ECTS model trained once, persisted once, and loaded fresh into
+// every replica — clones share no scratch state, so replicas really are
+// independent processes from the classifier's point of view, just like
+// a production fleet. A flipped-label v2 rides along for the reload
+// fan-out tests.
+
+var (
+	fixOnce sync.Once
+	fixData *ts.Dataset
+	fixV1   core.EarlyClassifier
+	fixV2   core.EarlyClassifier
+	fixMeta persist.Meta
+	fixBlob []byte
+	fixRefs []fleetRef
+	fixMu   sync.Mutex // guards Classify on the shared fixture models
+)
+
+type fleetRef struct {
+	label    int
+	consumed int
+}
+
+func fixture(t *testing.T) {
+	t.Helper()
+	fixOnce.Do(func() {
+		d := synth.Dataset("fleet-uni", 1, 2, 24, 40, 29)
+		f := bench.AlgorithmsByName(d.Name, bench.Fast, 1, []string{"ECTS"})[0]
+		v1 := f.New()
+		if err := v1.Fit(d); err != nil {
+			panic(err)
+		}
+		flipped := &ts.Dataset{Name: d.Name, Instances: make([]ts.Instance, d.Len()), Freq: d.Freq}
+		for i, in := range d.Instances {
+			flipped.Instances[i] = ts.Instance{Values: in.Values, Label: 1 - in.Label}
+		}
+		v2 := f.New()
+		if err := v2.Fit(flipped); err != nil {
+			panic(err)
+		}
+		meta := persist.Meta{Dataset: d.Name, Length: d.MaxLength(), NumVars: d.NumVars(), NumClasses: d.NumClasses()}
+		var buf bytes.Buffer
+		if err := persist.Save(&buf, v1, meta); err != nil {
+			panic(err)
+		}
+		refs := make([]fleetRef, d.Len())
+		for i, in := range d.Instances {
+			label, consumed := v1.Classify(in)
+			if consumed > in.Length() {
+				consumed = in.Length()
+			}
+			refs[i] = fleetRef{label: label, consumed: consumed}
+		}
+		fixData, fixV1, fixV2, fixMeta, fixBlob, fixRefs = d, v1, v2, meta, buf.Bytes(), refs
+	})
+}
+
+// replicaConfig tweaks one replica's serve.Config before New.
+type replicaConfig func(*serve.Config)
+
+// newReplicaServer loads a fresh clone of the fixture model into a new
+// serve.Server. Workers and queue depth are raised above the single-CPU
+// defaults so concurrent tests exercise routing, not admission control.
+func newReplicaServer(t *testing.T, col *obs.Collector, mods ...replicaConfig) *serve.Server {
+	t.Helper()
+	fixture(t)
+	algo, meta, err := persist.Load(bytes.NewReader(fixBlob))
+	if err != nil {
+		t.Fatalf("load fixture clone: %v", err)
+	}
+	cfg := serve.Config{Workers: 8, QueueDepth: 256, Obs: col}
+	for _, mod := range mods {
+		mod(&cfg)
+	}
+	srv := serve.New(cfg)
+	if err := srv.AddModel("ects", algo, meta); err != nil {
+		t.Fatalf("add model: %v", err)
+	}
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// journalBuffer is a concurrency-safe sink for obs.NewJournal.
+type journalBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *journalBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *journalBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// newFleet builds an n-replica fleet behind one router: a shared
+// collector (journal + registry), local replicas r0..r(n-1), and an
+// httptest front end.
+func newFleet(t *testing.T, n int, fcfg Config, mods ...replicaConfig) (*Router, *httptest.Server, []*serve.Server, *journalBuffer) {
+	t.Helper()
+	jb := &journalBuffer{}
+	col := obs.New(obs.Options{Journal: obs.NewJournal(jb), Metrics: obs.NewRegistry()})
+	fcfg.Obs = col
+	rt := New(fcfg)
+	servers := make([]*serve.Server, n)
+	for i := 0; i < n; i++ {
+		servers[i] = newReplicaServer(t, col, mods...)
+		rt.Add(NewLocal(fmt.Sprintf("r%d", i), servers[i]))
+	}
+	hs := httptest.NewServer(rt.Handler())
+	t.Cleanup(hs.Close)
+	return rt, hs, servers, jb
+}
+
+// ---- request helpers ----
+
+func postRaw(t *testing.T, url string, body any) (int, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	resp, err := http.Post(url, "application/json", rd)
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp.StatusCode, raw
+}
+
+func getRaw(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp.StatusCode, raw
+}
+
+func deleteRaw(t *testing.T, url string) int {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("DELETE %s: %v", url, err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+type sessionState struct {
+	SessionID string `json:"session_id"`
+	Model     string `json:"model"`
+	Status    string `json:"status"`
+	Label     *int   `json:"label"`
+	Consumed  *int   `json:"consumed"`
+}
+
+func pinCount(rt *Router) int {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return len(rt.pins)
+}
+
+// ---- tests ----
+
+// TestFleetClassifyParity: one-shot classification through the fleet
+// answers exactly what the offline model answers, for every instance,
+// across all replicas the round-robin touches.
+func TestFleetClassifyParity(t *testing.T) {
+	_, hs, _, _ := newFleet(t, 3, Config{})
+	for i, in := range fixData.Instances {
+		status, raw := postRaw(t, hs.URL+"/v1/classify", map[string]any{"model": "ects", "values": in.Values})
+		if status != http.StatusOK {
+			t.Fatalf("classify %d = %d: %s", i, status, raw)
+		}
+		var got struct {
+			Label    int `json:"label"`
+			Consumed int `json:"consumed"`
+		}
+		if err := json.Unmarshal(raw, &got); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if got.Label != fixRefs[i].label || got.Consumed != fixRefs[i].consumed {
+			t.Fatalf("instance %d: fleet (%d,%d) != offline (%d,%d)",
+				i, got.Label, got.Consumed, fixRefs[i].label, fixRefs[i].consumed)
+		}
+	}
+}
+
+// TestFleetSessionLifecycle: the router mints the session ID, pins the
+// session to its rendezvous owner, every chunk routes there, and DELETE
+// frees the pin.
+func TestFleetSessionLifecycle(t *testing.T) {
+	rt, hs, _, _ := newFleet(t, 3, Config{})
+	in := fixData.Instances[0]
+	status, raw := postRaw(t, hs.URL+"/v1/sessions", map[string]any{"model": "ects"})
+	if status != http.StatusCreated {
+		t.Fatalf("create = %d: %s", status, raw)
+	}
+	var st sessionState
+	if err := json.Unmarshal(raw, &st); err != nil || st.SessionID == "" {
+		t.Fatalf("create body %s (err %v)", raw, err)
+	}
+	if pinCount(rt) != 1 {
+		t.Fatalf("pins after create = %d, want 1", pinCount(rt))
+	}
+	n := len(in.Values[0])
+	for lo := 0; lo < n; lo += 6 {
+		hi := lo + 6
+		if hi > n {
+			hi = n
+		}
+		batch := [][]float64{in.Values[0][lo:hi]}
+		status, raw = postRaw(t, hs.URL+"/v1/sessions/"+st.SessionID+"/points",
+			map[string]any{"values": batch, "last": hi == n})
+		if status != http.StatusOK {
+			t.Fatalf("points = %d: %s", status, raw)
+		}
+		if err := json.Unmarshal(raw, &st); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if st.Status == "decided" {
+			break
+		}
+	}
+	if st.Status != "decided" || st.Label == nil || *st.Label != fixRefs[0].label {
+		t.Fatalf("final state %+v, want decided label %d", st, fixRefs[0].label)
+	}
+	if status := deleteRaw(t, hs.URL+"/v1/sessions/"+st.SessionID); status != http.StatusOK && status != http.StatusNoContent {
+		t.Fatalf("close = %d", status)
+	}
+	if pinCount(rt) != 0 {
+		t.Fatalf("pins after close = %d, want 0", pinCount(rt))
+	}
+}
+
+// TestFleetCreateWithClientID: a client-chosen session ID routes by its
+// hash and a duplicate create is refused at the router.
+func TestFleetCreateWithClientID(t *testing.T) {
+	_, hs, _, _ := newFleet(t, 2, Config{})
+	status, raw := postRaw(t, hs.URL+"/v1/sessions", map[string]any{"model": "ects", "session_id": "pinned-id-1"})
+	if status != http.StatusCreated {
+		t.Fatalf("create = %d: %s", status, raw)
+	}
+	var st sessionState
+	if err := json.Unmarshal(raw, &st); err != nil || st.SessionID != "pinned-id-1" {
+		t.Fatalf("create body %s (err %v), want session_id pinned-id-1", raw, err)
+	}
+	status, raw = postRaw(t, hs.URL+"/v1/sessions", map[string]any{"model": "ects", "session_id": "pinned-id-1"})
+	if status != http.StatusConflict {
+		t.Fatalf("duplicate create = %d: %s, want 409", status, raw)
+	}
+}
+
+// TestFleetReadyzAndStats: the aggregated control plane reports every
+// replica individually and rolls the fleet's counters up.
+func TestFleetReadyzAndStats(t *testing.T) {
+	rt, hs, _, _ := newFleet(t, 3, Config{})
+	status, raw := getRaw(t, hs.URL+"/readyz")
+	if status != http.StatusOK {
+		t.Fatalf("readyz = %d: %s", status, raw)
+	}
+	var ready struct {
+		Status   string                   `json:"status"`
+		Replicas map[string]ReplicaStatus `json:"replicas"`
+	}
+	if err := json.Unmarshal(raw, &ready); err != nil {
+		t.Fatalf("decode readyz: %v", err)
+	}
+	if ready.Status != "ready" || len(ready.Replicas) != 3 {
+		t.Fatalf("readyz %+v, want ready with 3 replicas", ready)
+	}
+
+	// Drive a little traffic so the stats windows have content.
+	in := fixData.Instances[0]
+	for i := 0; i < 6; i++ {
+		if status, raw := postRaw(t, hs.URL+"/v1/classify", map[string]any{"model": "ects", "values": in.Values}); status != http.StatusOK {
+			t.Fatalf("classify = %d: %s", status, raw)
+		}
+	}
+	status, raw = getRaw(t, hs.URL+"/v1/stats")
+	if status != http.StatusOK {
+		t.Fatalf("stats = %d", status)
+	}
+	var snap FleetSnapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("decode stats: %v", err)
+	}
+	if len(snap.Replicas) != 3 || len(snap.PerReplica) != 3 {
+		t.Fatalf("stats lists %d/%d replicas, want 3/3", len(snap.Replicas), len(snap.PerReplica))
+	}
+	for id, rs := range snap.PerReplica {
+		if rs.Status != http.StatusOK || len(rs.Body) == 0 {
+			t.Fatalf("replica %s stats status %d", id, rs.Status)
+		}
+	}
+	es, ok := snap.Endpoints["classify"]
+	if !ok {
+		t.Fatalf("no classify endpoint window in %v", snap.Endpoints)
+	}
+	if w := es.Windows["5m"]; w.Count < 6 {
+		t.Fatalf("classify 5m window count = %d, want >= 6", w.Count)
+	}
+
+	// A removed replica disappears from the roll-up but stays live-set
+	// consistent: readyz still passes on the survivors.
+	if !rt.Remove("r1") {
+		t.Fatal("remove r1 failed")
+	}
+	status, raw = getRaw(t, hs.URL+"/readyz")
+	if status != http.StatusOK {
+		t.Fatalf("readyz after remove = %d: %s", status, raw)
+	}
+}
+
+// TestFleetMetricsRollup: the shared collector means one /metrics scrape
+// at the router carries both the router's fleet counters and the summed
+// serve-layer counters of every local replica.
+func TestFleetMetricsRollup(t *testing.T) {
+	_, hs, _, _ := newFleet(t, 2, Config{})
+	in := fixData.Instances[0]
+	for i := 0; i < 4; i++ {
+		postRaw(t, hs.URL+"/v1/classify", map[string]any{"model": "ects", "values": in.Values})
+	}
+	status, raw := getRaw(t, hs.URL+"/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("metrics = %d", status)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		"etsc_fleet_requests_total",
+		"etsc_fleet_routed_total",
+		"etsc_fleet_replicas",
+		"etsc_serve_requests_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics missing %s:\n%s", want, text)
+		}
+	}
+}
+
+// TestFleetTracePropagation: a client trace is adopted, the router
+// answers with its own child span, and the journal carries a
+// fleet_access record linking back to the client's span — plus the
+// replica's own access record one hop further down.
+func TestFleetTracePropagation(t *testing.T) {
+	_, hs, _, jb := newFleet(t, 2, Config{})
+	client := obs.NewTraceContext()
+	in := fixData.Instances[0]
+	b, _ := json.Marshal(map[string]any{"model": "ects", "values": in.Values})
+	req, err := http.NewRequest(http.MethodPost, hs.URL+"/v1/classify", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.TraceHeader, client.Header())
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	echoed, ok := obs.ParseTraceHeader(resp.Header.Get(obs.TraceHeader))
+	if !ok {
+		t.Fatalf("malformed echoed trace header %q", resp.Header.Get(obs.TraceHeader))
+	}
+	if echoed.Trace != client.Trace {
+		t.Fatalf("router echoed trace %s, want %s", echoed.Trace, client.Trace)
+	}
+	if echoed.Span == client.Span {
+		t.Fatal("router reused the client's span instead of minting a child")
+	}
+
+	var fleetRec, serveRec map[string]any
+	for _, line := range strings.Split(jb.String(), "\n") {
+		if line == "" {
+			continue
+		}
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad journal line %q: %v", line, err)
+		}
+		if rec["trace"] != client.Trace.String() {
+			continue
+		}
+		switch rec["type"] {
+		case "fleet_access":
+			fleetRec = rec
+		case "access":
+			serveRec = rec
+		}
+	}
+	if fleetRec == nil {
+		t.Fatal("no fleet_access record for the client trace")
+	}
+	if fleetRec["parent_span"] != client.Span.String() {
+		t.Fatalf("fleet_access parent_span = %v, want client span %s", fleetRec["parent_span"], client.Span)
+	}
+	if fleetRec["replica"] == nil {
+		t.Fatal("fleet_access record lacks the replica attribution")
+	}
+	if serveRec == nil {
+		t.Fatal("no replica access record for the client trace — the trace did not survive the hop")
+	}
+	if serveRec["parent_span"] != fleetRec["span"] {
+		t.Fatalf("replica parent_span = %v, want router span %v", serveRec["parent_span"], fleetRec["span"])
+	}
+}
+
+// divergingIdx finds an instance where v1 and v2 decide differently —
+// the witness that a swap really changed the serving model.
+func divergingIdx(t *testing.T) int {
+	t.Helper()
+	fixture(t)
+	fixMu.Lock()
+	defer fixMu.Unlock()
+	for i, in := range fixData.Instances {
+		l1, _ := fixV1.Classify(in)
+		l2, _ := fixV2.Classify(in)
+		if l1 != l2 {
+			return i
+		}
+	}
+	t.Fatal("no instance distinguishes v2 from v1")
+	return -1
+}
+
+// streamAll streams one instance through a fleet session and returns
+// the final state plus every raw /points body.
+func streamAll(t *testing.T, baseURL, id string, values [][]float64, chunk int) (sessionState, [][]byte) {
+	t.Helper()
+	create := map[string]any{"model": "ects"}
+	if id != "" {
+		create["session_id"] = id
+	}
+	status, raw := postRaw(t, baseURL+"/v1/sessions", create)
+	if status != http.StatusCreated {
+		t.Fatalf("create = %d: %s", status, raw)
+	}
+	var st sessionState
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	var bodies [][]byte
+	n := len(values[0])
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		batch := make([][]float64, len(values))
+		for v := range values {
+			batch[v] = values[v][lo:hi]
+		}
+		status, raw = postRaw(t, baseURL+"/v1/sessions/"+st.SessionID+"/points",
+			map[string]any{"values": batch, "last": hi == n})
+		if status != http.StatusOK {
+			t.Fatalf("points = %d: %s", status, raw)
+		}
+		bodies = append(bodies, raw)
+		if err := json.Unmarshal(raw, &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.Status == "decided" {
+			break
+		}
+	}
+	return st, bodies
+}
+
+// TestFleetReloadFanOut: a reload at the router lands on every replica
+// (new one-shot answers flip to v2 everywhere), sessions opened before
+// the swap keep deciding on v1 — the PR 8 pinning contract holds across
+// the fleet — and a rollback fan-out restores v1 for new traffic.
+func TestFleetReloadFanOut(t *testing.T) {
+	fixture(t)
+	path := filepath.Join(t.TempDir(), "ects.goetsc")
+	if err := persist.SaveFile(path, fixV1, fixMeta); err != nil {
+		t.Fatal(err)
+	}
+	jb := &journalBuffer{}
+	col := obs.New(obs.Options{Journal: obs.NewJournal(jb), Metrics: obs.NewRegistry()})
+	rt := New(Config{ReloadAPI: true, Obs: col})
+	const n = 3
+	servers := make([]*serve.Server, n)
+	for i := 0; i < n; i++ {
+		srv := serve.New(serve.Config{Workers: 8, QueueDepth: 256, ReloadAPI: true, Obs: col})
+		if name, err := srv.LoadFile(path); err != nil || name != "ects" {
+			t.Fatalf("load replica %d: %q %v", i, name, err)
+		}
+		t.Cleanup(srv.Close)
+		servers[i] = srv
+		rt.Add(NewLocal(fmt.Sprintf("r%d", i), srv))
+	}
+	hs := httptest.NewServer(rt.Handler())
+	defer hs.Close()
+
+	idx := divergingIdx(t)
+	in := fixData.Instances[idx]
+	fixMu.Lock()
+	v1Label, _ := fixV1.Classify(in)
+	v2Label, _ := fixV2.Classify(in)
+	fixMu.Unlock()
+
+	classifyLabel := func(who string) int {
+		t.Helper()
+		status, raw := postRaw(t, hs.URL+"/v1/classify", map[string]any{"model": "ects", "values": in.Values})
+		if status != http.StatusOK {
+			t.Fatalf("%s: classify = %d: %s", who, status, raw)
+		}
+		var got struct {
+			Label int `json:"label"`
+		}
+		if err := json.Unmarshal(raw, &got); err != nil {
+			t.Fatal(err)
+		}
+		return got.Label
+	}
+
+	// Every replica (round-robin covers all three) serves v1.
+	for i := 0; i < n; i++ {
+		if got := classifyLabel("before reload"); got != v1Label {
+			t.Fatalf("before reload: label %d, want v1's %d", got, v1Label)
+		}
+	}
+
+	// Open a session on v1, advance it one chunk, then swap under it.
+	status, raw := postRaw(t, hs.URL+"/v1/sessions", map[string]any{"model": "ects"})
+	if status != http.StatusCreated {
+		t.Fatalf("create = %d: %s", status, raw)
+	}
+	var st sessionState
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	pinnedID := st.SessionID
+	values := in.Values
+	first := [][]float64{values[0][:4]}
+	if status, raw = postRaw(t, hs.URL+"/v1/sessions/"+pinnedID+"/points",
+		map[string]any{"values": first, "last": false}); status != http.StatusOK {
+		t.Fatalf("pre-swap points = %d: %s", status, raw)
+	}
+
+	if err := persist.SaveFile(path, fixV2, fixMeta); err != nil {
+		t.Fatal(err)
+	}
+	status, raw = postRaw(t, hs.URL+"/v1/models/ects/reload", nil)
+	if status != http.StatusOK {
+		t.Fatalf("fan-out reload = %d: %s", status, raw)
+	}
+	var fan struct {
+		Replicas map[string]ReplicaStatus `json:"replicas"`
+	}
+	if err := json.Unmarshal(raw, &fan); err != nil {
+		t.Fatal(err)
+	}
+	if len(fan.Replicas) != n {
+		t.Fatalf("fan-out touched %d replicas, want %d", len(fan.Replicas), n)
+	}
+	for id, rs := range fan.Replicas {
+		if rs.Status != http.StatusOK {
+			t.Fatalf("replica %s reload = %d: %s", id, rs.Status, rs.Body)
+		}
+	}
+
+	// New one-shot traffic sees v2 on every replica.
+	for i := 0; i < n; i++ {
+		if got := classifyLabel("after reload"); got != v2Label {
+			t.Fatalf("after reload: label %d, want v2's %d", got, v2Label)
+		}
+	}
+
+	// The pre-swap session keeps deciding on v1.
+	n0 := len(values[0])
+	var final sessionState
+	for lo := 4; lo < n0; lo += 4 {
+		hi := lo + 4
+		if hi > n0 {
+			hi = n0
+		}
+		batch := [][]float64{values[0][lo:hi]}
+		status, raw = postRaw(t, hs.URL+"/v1/sessions/"+pinnedID+"/points",
+			map[string]any{"values": batch, "last": hi == n0})
+		if status != http.StatusOK {
+			t.Fatalf("post-swap points = %d: %s", status, raw)
+		}
+		if err := json.Unmarshal(raw, &final); err != nil {
+			t.Fatal(err)
+		}
+		if final.Status == "decided" {
+			break
+		}
+	}
+	if final.Status != "decided" || final.Label == nil || *final.Label != v1Label {
+		t.Fatalf("pinned session decided %+v, want v1's label %d", final, v1Label)
+	}
+
+	// A session created after the swap decides on v2.
+	st2, _ := streamAll(t, hs.URL, "", values, 6)
+	if st2.Status != "decided" || st2.Label == nil || *st2.Label != v2Label {
+		t.Fatalf("post-swap session decided %+v, want v2's label %d", st2, v2Label)
+	}
+
+	// Rollback fan-out restores v1 for new traffic.
+	status, raw = postRaw(t, hs.URL+"/v1/models/ects/rollback", nil)
+	if status != http.StatusOK {
+		t.Fatalf("fan-out rollback = %d: %s", status, raw)
+	}
+	for i := 0; i < n; i++ {
+		if got := classifyLabel("after rollback"); got != v1Label {
+			t.Fatalf("after rollback: label %d, want v1's %d", got, v1Label)
+		}
+	}
+}
+
+// TestFleetJoinLeaveHammer runs streaming sessions while replicas join
+// and leave — the -race workout for the routing tables. Every session
+// must still decide with the offline answer: remaps heal sessions, they
+// never corrupt them.
+func TestFleetJoinLeaveHammer(t *testing.T) {
+	rt, hs, _, _ := newFleet(t, 3, Config{})
+	stop := make(chan struct{})
+	var churn sync.WaitGroup
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		joined := 3
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if i%2 == 0 {
+				id := fmt.Sprintf("r%d", joined)
+				joined++
+				rt.Add(NewLocal(id, newReplicaServer(t, rt.cfg.Obs)))
+			} else {
+				ids := rt.Replicas()
+				if len(ids) > 2 {
+					rt.Remove(ids[len(ids)-1])
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	const workers = 4
+	const perWorker = 8
+	errs := make(chan error, workers*perWorker)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for s := 0; s < perWorker; s++ {
+				idx := (w*perWorker + s) % len(fixData.Instances)
+				in := fixData.Instances[idx]
+				st, _ := streamAll(t, hs.URL, fmt.Sprintf("hammer-%d-%d", w, s), in.Values, 6)
+				if st.Status != "decided" || st.Label == nil {
+					errs <- fmt.Errorf("session %d-%d ended %+v", w, s, st)
+					continue
+				}
+				if *st.Label != fixRefs[idx].label || st.Consumed == nil || *st.Consumed != fixRefs[idx].consumed {
+					errs <- fmt.Errorf("session %d-%d decided (%d,%v), offline (%d,%d)",
+						w, s, *st.Label, st.Consumed, fixRefs[idx].label, fixRefs[idx].consumed)
+				}
+				deleteRaw(t, hs.URL+"/v1/sessions/"+fmt.Sprintf("hammer-%d-%d", w, s))
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	churn.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.Fatalf("join/leave hammer corrupted sessions (remaps=%d heals=%d)", rt.remaps.Load(), rt.heals.Load())
+	}
+	t.Logf("hammer survived: %d remaps, %d heals", rt.remaps.Load(), rt.heals.Load())
+}

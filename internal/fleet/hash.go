@@ -1,0 +1,54 @@
+// Package fleet routes the serving API across N replicas — in-process
+// serve.Server instances and/or remote HTTP backends — behind one
+// front-end handler. Streaming sessions are placed by rendezvous hash of
+// the session ID, so a session always lands on the replica holding its
+// live classification cursor; one-shot classify traffic load-balances
+// round-robin. The router keeps a replay log of every session's point
+// batches: when a replica dies or the hash remaps a session, the session
+// is re-created deterministically on the new owner and every decision
+// stays byte-identical to a single-replica run (streamed decisions are
+// prefix-deterministic, so replaying the same chunks reproduces them).
+package fleet
+
+import "hash/fnv"
+
+// rendezvousScore ranks one replica for one key: FNV-1a over
+// "replica|key", passed through the murmur3 finalizer. FNV alone is
+// visibly non-uniform on short keys (replica IDs are things like "r0"),
+// and a biased score would concentrate sessions; the finalizer's
+// avalanche restores uniform placement.
+func rendezvousScore(replica, key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(replica))
+	h.Write([]byte{'|'})
+	h.Write([]byte(key))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the murmur3 64-bit finalizer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// rendezvousPick returns the id with the highest score for key — the
+// highest-random-weight winner. Every node ranks every key
+// independently, so when a replica joins or leaves only the keys whose
+// winner changed move (~K/N of them); everyone else keeps their owner.
+// Ties (vanishingly rare with 64-bit scores) break toward the larger id
+// so the pick never depends on iteration order.
+func rendezvousPick(key string, ids []string) string {
+	best := ""
+	var bestScore uint64
+	for _, id := range ids {
+		s := rendezvousScore(id, key)
+		if best == "" || s > bestScore || (s == bestScore && id > best) {
+			best, bestScore = id, s
+		}
+	}
+	return best
+}

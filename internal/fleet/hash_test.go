@@ -1,0 +1,110 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+// sessionIDs generates n deterministic session-ID-shaped keys.
+func sessionIDs(n int) []string {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("sess-%08x", mix64(uint64(i)+1))
+	}
+	return ids
+}
+
+// TestRendezvousDistribution checks placement uniformity at the scale
+// the churn benchmark runs: across 10k session IDs no replica may hold
+// more than 2x its fair share, for any fleet size we actually deploy.
+func TestRendezvousDistribution(t *testing.T) {
+	keys := sessionIDs(10000)
+	for _, n := range []int{2, 3, 4, 8} {
+		replicas := make([]string, n)
+		for i := range replicas {
+			replicas[i] = fmt.Sprintf("r%d", i)
+		}
+		counts := map[string]int{}
+		for _, k := range keys {
+			counts[rendezvousPick(k, replicas)]++
+		}
+		mean := float64(len(keys)) / float64(n)
+		for _, id := range replicas {
+			c := counts[id]
+			if c == 0 {
+				t.Fatalf("n=%d: replica %s got no sessions", n, id)
+			}
+			if float64(c) > 2*mean {
+				t.Fatalf("n=%d: replica %s holds %d sessions, over 2x the mean %.0f", n, id, c, mean)
+			}
+		}
+		t.Logf("n=%d: %v (mean %.0f)", n, counts, mean)
+	}
+}
+
+// TestRendezvousStability checks the minimal-disruption property that
+// makes session pinning survive membership churn: removing one of N
+// replicas moves exactly the sessions it owned (~1/N) and nobody else;
+// adding a replica steals roughly 1/(N+1) and displaces no one among
+// the survivors' keys.
+func TestRendezvousStability(t *testing.T) {
+	keys := sessionIDs(10000)
+	replicas := []string{"r0", "r1", "r2", "r3"}
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k] = rendezvousPick(k, replicas)
+	}
+
+	// Remove r1: its keys must move, every other key must stay put.
+	without := []string{"r0", "r2", "r3"}
+	moved := 0
+	for _, k := range keys {
+		after := rendezvousPick(k, without)
+		if before[k] == "r1" {
+			moved++
+			if after == "r1" {
+				t.Fatalf("key %s still maps to removed replica", k)
+			}
+			continue
+		}
+		if after != before[k] {
+			t.Fatalf("key %s moved from surviving %s to %s on unrelated removal", k, before[k], after)
+		}
+	}
+	share := float64(moved) / float64(len(keys))
+	if share < 0.10 || share > 0.45 {
+		t.Fatalf("removal moved %.1f%% of keys, expected ~25%%", share*100)
+	}
+
+	// Add r4: only keys r4 wins may move, and it should win roughly 1/5.
+	with := append(append([]string{}, replicas...), "r4")
+	stolen := 0
+	for _, k := range keys {
+		after := rendezvousPick(k, with)
+		if after == "r4" {
+			stolen++
+			continue
+		}
+		if after != before[k] {
+			t.Fatalf("key %s moved from %s to %s when r4 joined", k, before[k], after)
+		}
+	}
+	share = float64(stolen) / float64(len(keys))
+	if share < 0.08 || share > 0.40 {
+		t.Fatalf("join stole %.1f%% of keys, expected ~20%%", share*100)
+	}
+	t.Logf("removal moved %d/10000, join stole %d/10000", moved, stolen)
+}
+
+// TestRendezvousDeterminism: the pick is a pure function of (key,
+// membership) and ignores slice order.
+func TestRendezvousDeterminism(t *testing.T) {
+	keys := sessionIDs(200)
+	a := []string{"r0", "r1", "r2", "r3"}
+	b := []string{"r3", "r1", "r0", "r2"}
+	for _, k := range keys {
+		if rendezvousPick(k, a) != rendezvousPick(k, b) {
+			t.Fatalf("pick for %s depends on membership order", k)
+		}
+	}
+}

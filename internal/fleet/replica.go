@@ -1,0 +1,139 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"github.com/goetsc/goetsc/internal/obs"
+	"github.com/goetsc/goetsc/internal/serve"
+)
+
+// maxReplicaResponse bounds how much of a backend response the router
+// buffers — generous for stats documents, small enough that a confused
+// backend cannot balloon router memory.
+const maxReplicaResponse = 8 << 20
+
+// Replica is one serving backend: either an in-process serve.Server
+// (requests dispatched straight into its handler, no sockets) or a
+// remote HTTP base URL. Both answer through the same buffered response,
+// so the router's retry-and-heal logic never cares which kind it hit.
+type Replica struct {
+	id      string
+	local   *serve.Server
+	handler http.Handler // local request plane; nil for remote replicas
+	base    string       // remote base URL; empty for local replicas
+	client  *http.Client
+
+	routed *obs.Counter // pre-resolved per-replica routed-request counter
+}
+
+// NewLocal wraps an in-process server as a replica named id.
+func NewLocal(id string, srv *serve.Server) *Replica {
+	return &Replica{id: id, local: srv, handler: srv.Handler()}
+}
+
+// NewRemote attaches a remote serving backend by base URL.
+func NewRemote(id, baseURL string) *Replica {
+	return &Replica{
+		id:     id,
+		base:   strings.TrimRight(baseURL, "/"),
+		client: &http.Client{Timeout: 30 * time.Second},
+	}
+}
+
+// ID returns the replica's stable name — the rendezvous hash input.
+func (rp *Replica) ID() string { return rp.id }
+
+// Server returns the in-process server, or nil for remote replicas.
+func (rp *Replica) Server() *serve.Server { return rp.local }
+
+// response is one buffered backend answer. Buffering decouples the
+// backend call from the client write: the router can retry a failed
+// forward on another replica, or replay a heal sequence, before any byte
+// reaches the client.
+type response struct {
+	status int
+	header http.Header
+	body   []byte
+}
+
+// do forwards one request to the replica and buffers the whole answer.
+// A returned error means the replica itself failed (transport error or
+// handler panic), not that it answered an HTTP error — callers treat it
+// as a death signal and reroute.
+func (rp *Replica) do(ctx context.Context, method, path string, header http.Header, body []byte) (*response, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	if rp.local != nil {
+		req, err := http.NewRequestWithContext(ctx, method, "http://"+rp.id+path, rd)
+		if err != nil {
+			return nil, err
+		}
+		copyHeader(req.Header, header)
+		rec := &responseRecorder{header: http.Header{}}
+		rp.handler.ServeHTTP(rec, req)
+		return rec.response(), nil
+	}
+	req, err := http.NewRequestWithContext(ctx, method, rp.base+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	copyHeader(req.Header, header)
+	resp, err := rp.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: replica %s: %w", rp.id, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, maxReplicaResponse))
+	if err != nil {
+		return nil, fmt.Errorf("fleet: replica %s: read response: %w", rp.id, err)
+	}
+	return &response{status: resp.StatusCode, header: resp.Header.Clone(), body: b}, nil
+}
+
+func copyHeader(dst, src http.Header) {
+	for k, vs := range src {
+		for _, v := range vs {
+			dst.Add(k, v)
+		}
+	}
+}
+
+// responseRecorder captures a local handler's answer in memory. It is
+// the in-process analogue of the remote round trip — deliberately
+// minimal (no Flush/Hijack), which the serve handlers never need.
+type responseRecorder struct {
+	header http.Header
+	status int
+	buf    bytes.Buffer
+}
+
+func (w *responseRecorder) Header() http.Header { return w.header }
+
+func (w *responseRecorder) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+}
+
+func (w *responseRecorder) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.buf.Write(b)
+}
+
+func (w *responseRecorder) response() *response {
+	status := w.status
+	if status == 0 {
+		status = http.StatusOK
+	}
+	return &response{status: status, header: w.header, body: w.buf.Bytes()}
+}

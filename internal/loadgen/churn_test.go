@@ -1,0 +1,98 @@
+package loadgen
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"github.com/goetsc/goetsc/internal/bench"
+	"github.com/goetsc/goetsc/internal/persist"
+	"github.com/goetsc/goetsc/internal/serve"
+	"github.com/goetsc/goetsc/internal/synth"
+)
+
+// startChurnServer is startServer with enough workers and queue that a
+// churning client population measures routing, not admission control.
+func startChurnServer(t *testing.T) (baseURL string, instances [][][]float64, refs []Reference) {
+	t.Helper()
+	d := synth.Dataset("loadgen-uni", 1, 2, 24, 40, 13)
+	f := bench.AlgorithmsByName(d.Name, bench.Fast, 1, []string{"ECTS"})[0]
+	algo := f.New()
+	if err := algo.Fit(d); err != nil {
+		t.Fatalf("fit: %v", err)
+	}
+	srv := serve.New(serve.Config{Workers: 8, QueueDepth: 256, MaxSessions: 1024})
+	meta := persist.Meta{Dataset: d.Name, Length: d.MaxLength(), NumVars: d.NumVars(), NumClasses: d.NumClasses()}
+	if err := srv.AddModel("ects", algo, meta); err != nil {
+		t.Fatalf("add model: %v", err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	t.Cleanup(srv.Close)
+
+	for _, in := range d.Instances {
+		instances = append(instances, in.Values)
+		label, consumed := algo.Classify(in)
+		if consumed > in.Length() {
+			consumed = in.Length()
+		}
+		refs = append(refs, Reference{Label: label, Consumed: consumed})
+	}
+	return hs.URL, instances, refs
+}
+
+// TestRunChurnMix: the create/advance/evict mix completes every session
+// (decided or deliberately abandoned), keeps parity on every decision,
+// and reports per-phase latencies.
+func TestRunChurnMix(t *testing.T) {
+	baseURL, instances, refs := startChurnServer(t)
+	res, err := RunChurn(ChurnConfig{
+		BaseURL: baseURL, Model: "ects",
+		Instances: instances, References: refs,
+		Sessions: 16, Total: 48, ChunkSize: 6,
+		Clients: 8, AbandonEvery: 4,
+	})
+	if err != nil {
+		t.Fatalf("churn: %v", err)
+	}
+	if res.Errors != 0 || res.Shed != 0 {
+		t.Fatalf("churn saw %d errors, %d shed: %s", res.Errors, res.Shed, res)
+	}
+	if res.Sessions != 48 {
+		t.Fatalf("completed %d sessions, want 48: %s", res.Sessions, res)
+	}
+	if res.Decided == 0 || res.Abandoned == 0 {
+		t.Fatalf("mix degenerate: %d decided, %d abandoned", res.Decided, res.Abandoned)
+	}
+	if res.Decided+res.Abandoned != res.Sessions {
+		t.Fatalf("decided %d + abandoned %d != sessions %d", res.Decided, res.Abandoned, res.Sessions)
+	}
+	if res.ParityChecked != res.Decided || res.ParityMismatches != 0 {
+		t.Fatalf("parity %d/%d checked, %d mismatches", res.ParityChecked, res.Decided, res.ParityMismatches)
+	}
+	if res.Create.Count != 48 || res.Advance.Count == 0 || res.Close.Count == 0 {
+		t.Fatalf("phase counts create=%d advance=%d close=%d", res.Create.Count, res.Advance.Count, res.Close.Count)
+	}
+	if res.Create.P50 <= 0 || res.Advance.P99 < res.Advance.P50 {
+		t.Fatalf("implausible phase latencies: %s", res)
+	}
+	if res.SessionsPerSec <= 0 || res.PeakConcurrent < 1 {
+		t.Fatalf("implausible throughput: %s", res)
+	}
+}
+
+// TestRunChurnDefaultsValidation: the config guards.
+func TestRunChurnDefaultsValidation(t *testing.T) {
+	if _, err := RunChurn(ChurnConfig{}); err == nil {
+		t.Fatal("empty config must error")
+	}
+	if _, err := RunChurn(ChurnConfig{BaseURL: "http://x", Model: "m"}); err == nil {
+		t.Fatal("config without instances must error")
+	}
+	cfg, err := ChurnConfig{BaseURL: "http://x", Model: "m", Instances: [][][]float64{{{1}}}}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Sessions != 256 || cfg.Total != 512 || cfg.ChunkSize != 8 || cfg.Clients != 16 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+}

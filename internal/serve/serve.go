@@ -282,6 +282,19 @@ type Server struct {
 	// growing fresh matrices per request.
 	reqPool   sync.Pool
 	closeOnce sync.Once
+
+	// onSessionEvict, when set, observes TTL evictions (not client
+	// closes): the fleet router registers itself here so an evicted
+	// session also frees its hash-slot pin. Guarded by mu.
+	onSessionEvict func(sessionID string)
+}
+
+// SetOnSessionEvict registers fn to run (outside the server's locks)
+// for every session dropped by EvictIdleSessions.
+func (s *Server) SetOnSessionEvict(fn func(sessionID string)) {
+	s.mu.Lock()
+	s.onSessionEvict = fn
+	s.mu.Unlock()
 }
 
 // New returns an empty server.

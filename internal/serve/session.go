@@ -74,8 +74,11 @@ func (ss *session) writeState(w http.ResponseWriter, status int) error {
 	return err
 }
 
-// newSessionID returns a 16-byte random hex token.
-func newSessionID() (string, error) {
+// NewSessionID returns a 16-byte random hex token — the identifier
+// minted for create requests that don't name one. It is exported so the
+// fleet router can mint IDs before placement: the rendezvous hash of the
+// ID decides the owning replica, so the ID must exist first.
+func NewSessionID() (string, error) {
 	var b [16]byte
 	if _, err := rand.Read(b[:]); err != nil {
 		return "", fmt.Errorf("serve: session id: %w", err)
@@ -85,6 +88,28 @@ func newSessionID() (string, error) {
 
 type sessionCreateRequest struct {
 	Model string `json:"model"`
+	// SessionID optionally names the session instead of letting the
+	// server mint one. The fleet router supplies it so session placement
+	// is derivable from the ID alone; direct clients normally omit it.
+	SessionID string `json:"session_id,omitempty"`
+}
+
+// validateSessionID bounds client-supplied session names: short, and
+// drawn from the same alphabet minted IDs use (plus '-' and '_') so they
+// embed cleanly in paths, journals and metrics labels.
+func validateSessionID(id string) error {
+	if len(id) > 64 {
+		return errf(http.StatusBadRequest, "session_id longer than 64 bytes")
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+		default:
+			return errf(http.StatusBadRequest, "session_id may hold only letters, digits, '-' and '_'")
+		}
+	}
+	return nil
 }
 
 func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) error {
@@ -96,8 +121,13 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) err
 	if !ok {
 		return errf(http.StatusNotFound, "unknown model %q", req.Model)
 	}
-	id, err := newSessionID()
-	if err != nil {
+	id := req.SessionID
+	if id == "" {
+		var err error
+		if id, err = NewSessionID(); err != nil {
+			return err
+		}
+	} else if err := validateSessionID(id); err != nil {
 		return err
 	}
 	// The session pins the version live at creation: every Advance for
@@ -107,6 +137,10 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) err
 	ss := &session{id: id, entry: e, model: m, lastSeen: s.now()}
 
 	s.mu.Lock()
+	if _, exists := s.sessions[id]; exists {
+		s.mu.Unlock()
+		return errk(http.StatusConflict, "session_exists", "session %q already exists", id)
+	}
 	if len(s.sessions) >= s.cfg.MaxSessions {
 		s.mu.Unlock()
 		return errf(http.StatusServiceUnavailable, "session limit reached (%d live sessions)", s.cfg.MaxSessions)
@@ -331,9 +365,13 @@ func (s *Server) EvictIdleSessions() int {
 			evicted = append(evicted, ss)
 		}
 	}
+	notify := s.onSessionEvict
 	s.mu.Unlock()
 	for _, ss := range evicted {
 		s.stats.lifecycle(ss.model.info.Name, evEvicted)
+		if notify != nil {
+			notify(ss.id)
+		}
 	}
 	return len(evicted)
 }

@@ -1,0 +1,263 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/goetsc/goetsc/internal/bench"
+	"github.com/goetsc/goetsc/internal/fleet"
+	"github.com/goetsc/goetsc/internal/loadgen"
+	"github.com/goetsc/goetsc/internal/obs"
+	"github.com/goetsc/goetsc/internal/persist"
+	"github.com/goetsc/goetsc/internal/serve"
+	"github.com/goetsc/goetsc/internal/synth"
+)
+
+// fleetLevel is one replica count's churn measurement: a 10k-plus
+// population of streaming sessions created, advanced and evicted
+// through the fleet router, with per-phase latency percentiles and the
+// router's own heal/remap accounting scraped afterwards.
+type fleetLevel struct {
+	Replicas       int     `json:"replicas"`
+	Sessions       int     `json:"sessions"`
+	Decided        int     `json:"decided"`
+	Abandoned      int     `json:"abandoned"`
+	Errors         int     `json:"errors"`
+	Shed           int     `json:"shed"`
+	PeakConcurrent int     `json:"peak_concurrent"`
+	SessionsPerSec float64 `json:"sessions_per_sec"`
+	AdvancesPerSec float64 `json:"advances_per_sec"`
+	ElapsedS       float64 `json:"elapsed_s"`
+	CreateP50Ms    float64 `json:"create_p50_ms"`
+	CreateP99Ms    float64 `json:"create_p99_ms"`
+	AdvanceP50Ms   float64 `json:"advance_p50_ms"`
+	AdvanceP95Ms   float64 `json:"advance_p95_ms"`
+	AdvanceP99Ms   float64 `json:"advance_p99_ms"`
+	SessionP99Ms   float64 `json:"session_p99_ms"`
+	Parity         string  `json:"parity"`
+	// SpeedupVs1 is this level's session throughput over the 1-replica
+	// level's; AdvanceP99Vs1 is the admitted advance p99 relative to the
+	// same baseline (the <=2x bound the chaos suite enforces).
+	SpeedupVs1    float64 `json:"speedup_vs_1,omitempty"`
+	AdvanceP99Vs1 float64 `json:"advance_p99_vs_1,omitempty"`
+	// Router accounting scraped from GET /v1/stats after the run.
+	Heals         uint64 `json:"heals"`
+	Remaps        uint64 `json:"remaps"`
+	PinnedAtEnd   int    `json:"pinned_at_end"`
+	ReplicaDeaths uint64 `json:"replica_deaths"`
+}
+
+// fleetReport is the replica-scaling section committed to
+// BENCH_PR10.json: the same churn workload driven through 1..N local
+// replicas behind the rendezvous router.
+type fleetReport struct {
+	Algorithm      string       `json:"algorithm"`
+	Dataset        string       `json:"dataset"`
+	SessionsTarget int          `json:"sessions_target"`
+	SessionsTotal  int          `json:"sessions_total"`
+	ChunkSize      int          `json:"chunk_size"`
+	Clients        int          `json:"clients"`
+	WorkersPerRep  int          `json:"workers_per_replica"`
+	Levels         []fleetLevel `json:"levels"`
+	Note           string       `json:"note"`
+}
+
+// runFleetBench drives the churn workload through an in-process fleet
+// at each replica count. Every replica serves an independent clone of
+// one trained model (persist round-trip, so no shared scratch state),
+// and every decided session is parity-checked against the offline
+// answer — throughput that corrupted decisions would not get stamped.
+func runFleetBench(replicaList string, sessions int) (*fleetReport, error) {
+	var counts []int
+	for _, part := range strings.Split(replicaList, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -fleet-replicas entry %q", part)
+		}
+		counts = append(counts, n)
+	}
+	if len(counts) == 0 {
+		return nil, fmt.Errorf("-fleet-replicas is empty")
+	}
+	if sessions < 1 {
+		return nil, fmt.Errorf("-fleet-sessions must be positive")
+	}
+
+	d := synth.Dataset("bench-fleet", 1, 2, 24, 40, 17)
+	factories := bench.AlgorithmsByName(d.Name, bench.Fast, 1, []string{"ECTS"})
+	if len(factories) != 1 {
+		return nil, fmt.Errorf("fleet: ECTS factory not found")
+	}
+	algo := factories[0].New()
+	if err := algo.Fit(d); err != nil {
+		return nil, fmt.Errorf("fleet: fit: %w", err)
+	}
+	meta := persist.Meta{Dataset: d.Name, Length: d.MaxLength(), NumVars: d.NumVars(), NumClasses: d.NumClasses()}
+	var blob bytes.Buffer
+	if err := persist.Save(&blob, algo, meta); err != nil {
+		return nil, fmt.Errorf("fleet: persist: %w", err)
+	}
+
+	instances := make([][][]float64, 0, d.Len())
+	refs := make([]loadgen.Reference, 0, d.Len())
+	for _, in := range d.Instances {
+		instances = append(instances, in.Values)
+		label, consumed := algo.Classify(in)
+		if consumed > in.Length() {
+			consumed = in.Length()
+		}
+		refs = append(refs, loadgen.Reference{Label: label, Consumed: consumed})
+	}
+
+	// Per-replica serving knobs: the churn population far exceeds the
+	// serving defaults (sized for one modest box), so workers, queue and
+	// the session cap are raised to keep the benchmark measuring routing
+	// and cursor work, not admission shedding.
+	workers := runtime.NumCPU()
+	if workers < 4 {
+		workers = 4
+	}
+	const chunkSize = 4
+	const clients = 64
+	total := sessions + sessions/2 // the population fully turns over after ramp-up
+
+	rep := &fleetReport{
+		Algorithm:      algo.Name(),
+		Dataset:        d.Name,
+		SessionsTarget: sessions,
+		SessionsTotal:  total,
+		ChunkSize:      chunkSize,
+		Clients:        clients,
+		WorkersPerRep:  workers,
+		Note: "replicas are in-process behind the rendezvous router; on a single-core " +
+			"machine the curve measures routing overhead, not parallel speedup — " +
+			"speedup_vs_1 approaches the replica count only when num_cpu allows it",
+	}
+
+	var baseThroughput, baseAdvP99 float64
+	for _, n := range counts {
+		level, err := runFleetLevel(n, sessions, total, chunkSize, clients, workers, &blob, instances, refs)
+		if err != nil {
+			return nil, fmt.Errorf("fleet replicas=%d: %w", n, err)
+		}
+		if n == 1 || baseThroughput == 0 {
+			baseThroughput = level.SessionsPerSec
+			baseAdvP99 = level.AdvanceP99Ms
+		}
+		if baseThroughput > 0 {
+			level.SpeedupVs1 = level.SessionsPerSec / baseThroughput
+		}
+		if baseAdvP99 > 0 {
+			level.AdvanceP99Vs1 = level.AdvanceP99Ms / baseAdvP99
+		}
+		rep.Levels = append(rep.Levels, *level)
+		fmt.Printf("fleet replicas=%d: %.0f sessions/s, %.0f advances/s, advance p99 %.2fms, %d healed, parity %s\n",
+			n, level.SessionsPerSec, level.AdvancesPerSec, level.AdvanceP99Ms, level.Heals, level.Parity)
+	}
+	return rep, nil
+}
+
+// runFleetLevel measures one replica count end to end.
+func runFleetLevel(n, sessions, total, chunkSize, clients, workers int, blob *bytes.Buffer,
+	instances [][][]float64, refs []loadgen.Reference) (*fleetLevel, error) {
+	col := obs.New(obs.Options{Metrics: obs.NewRegistry()})
+	rt := fleet.New(fleet.Config{Obs: col})
+	var servers []*serve.Server
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		clone, meta, err := persist.Load(bytes.NewReader(blob.Bytes()))
+		if err != nil {
+			return nil, fmt.Errorf("clone replica %d: %w", i, err)
+		}
+		srv := serve.New(serve.Config{
+			Workers:     workers,
+			QueueDepth:  4 * clients,
+			MaxSessions: sessions + 1024,
+			Obs:         col,
+		})
+		if err := srv.AddModel("bench", clone, meta); err != nil {
+			return nil, err
+		}
+		servers = append(servers, srv)
+		rt.Add(fleet.NewLocal(fmt.Sprintf("r%d", i), srv))
+	}
+	hs := httptest.NewServer(rt.Handler())
+	defer hs.Close()
+
+	res, err := loadgen.RunChurn(loadgen.ChurnConfig{
+		BaseURL: hs.URL, Model: "bench",
+		Instances: instances, References: refs,
+		Sessions: sessions, Total: total,
+		ChunkSize: chunkSize, Clients: clients,
+		AbandonEvery: 5, Timeout: 2 * time.Minute,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if res.Errors > 0 || res.ParityMismatches > 0 {
+		return nil, fmt.Errorf("churn saw %d errors, %d parity mismatches:\n%s",
+			res.Errors, res.ParityMismatches, res)
+	}
+
+	snap, err := scrapeFleetStats(hs.URL)
+	if err != nil {
+		return nil, err
+	}
+	ms := func(d time.Duration) float64 { return float64(d) / 1e6 }
+	return &fleetLevel{
+		Replicas:       n,
+		Sessions:       res.Sessions,
+		Decided:        res.Decided,
+		Abandoned:      res.Abandoned,
+		Errors:         res.Errors,
+		Shed:           res.Shed,
+		PeakConcurrent: res.PeakConcurrent,
+		SessionsPerSec: res.SessionsPerSec,
+		AdvancesPerSec: res.AdvancesPerSec,
+		ElapsedS:       res.Elapsed.Seconds(),
+		CreateP50Ms:    ms(res.Create.P50),
+		CreateP99Ms:    ms(res.Create.P99),
+		AdvanceP50Ms:   ms(res.Advance.P50),
+		AdvanceP95Ms:   ms(res.Advance.P95),
+		AdvanceP99Ms:   ms(res.Advance.P99),
+		SessionP99Ms:   ms(res.Session.P99),
+		Parity:         fmt.Sprintf("%d/%d", res.ParityChecked-res.ParityMismatches, res.ParityChecked),
+		Heals:          snap.Heals,
+		Remaps:         snap.Remaps,
+		PinnedAtEnd:    snap.PinnedSessions,
+		ReplicaDeaths:  snap.ReplicaDeaths,
+	}, nil
+}
+
+// scrapeFleetStats reads the router's own accounting the way a monitor
+// would.
+func scrapeFleetStats(baseURL string) (*fleet.FleetSnapshot, error) {
+	resp, err := http.Get(baseURL + "/v1/stats")
+	if err != nil {
+		return nil, fmt.Errorf("fleet stats scrape: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fleet stats scrape: status %d", resp.StatusCode)
+	}
+	var snap fleet.FleetSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("fleet stats scrape: %w", err)
+	}
+	return &snap, nil
+}

@@ -79,7 +79,12 @@ type document struct {
 	// set: interleaved entity-stream throughput and decision-latency
 	// percentiles (`make bench-serve`, BENCH_PR9.json).
 	Ingest *ingestReport `json:"ingest,omitempty"`
-	Note     string          `json:"note"`
+	// Fleet carries the replica-scaling churn benchmark when -fleet is
+	// set: session throughput and per-phase latency at each replica
+	// count behind the rendezvous router (`make bench-fleet`,
+	// BENCH_PR10.json).
+	Fleet *fleetReport `json:"fleet,omitempty"`
+	Note  string       `json:"note"`
 }
 
 // faultCounterNames are the evaluation engine's robustness counters,
@@ -135,6 +140,9 @@ func main() {
 	overloadBench := flag.Bool("overload", false, "benchmark admission control in-process: drive a small server at ~10x saturation and stamp goodput, shed rate and admitted-vs-unloaded p99 into the document")
 	ingestBench := flag.Bool("ingest", false, "benchmark the continuous-ingest pipeline in-process: replay an interleaved entity event stream through POST /v1/ingest and stamp entity throughput and decision-latency percentiles into the document")
 	ingestEntities := flag.Int("ingest-entities", 200, "entities (one window each) in the -ingest replay stream")
+	fleetBench := flag.Bool("fleet", false, "benchmark the replica fleet in-process: churn a large session population through the rendezvous router at each replica count and stamp the throughput curve into the document")
+	fleetReplicas := flag.String("fleet-replicas", "1,2", "comma-separated replica counts for -fleet")
+	fleetSessions := flag.Int("fleet-sessions", 10000, "concurrent session population per -fleet level")
 	noSuites := flag.Bool("skip-suites", false, "skip the go test benchmark suites (useful with -serve alone)")
 	classify := flag.Bool("classify", false, "also benchmark the incremental classification cursors")
 	kernels := flag.Bool("kernels", false, "also benchmark the data-layout kernels (flat kNN, fused prefix scan, float32 variants, SoA transform)")
@@ -297,6 +305,14 @@ func main() {
 			os.Exit(1)
 		}
 		doc.Ingest = ir
+	}
+	if *fleetBench {
+		fr, err := runFleetBench(*fleetReplicas, *fleetSessions)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		doc.Fleet = fr
 	}
 	nsOp := func(r result) float64 { return r.NsPerOp }
 	allocs := func(r result) float64 { return float64(r.AllocsPerOp) }
